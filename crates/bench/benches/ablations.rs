@@ -1,0 +1,116 @@
+//! E10 benches: the ablation sweeps — reconfiguration-delay crossover,
+//! controller scaling, fiber coverage, the subdivided baseline, and MoE
+//! warm circuits.
+
+use bench::{
+    run_all_to_all, run_controllers, run_crossover, run_fiber_coverage, run_host_policies,
+    run_moe_sweep, run_placement, run_subdivided,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn crossover(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_crossover");
+    let sizes: Vec<f64> = (2..=11).map(|i| 10f64.powi(i)).collect();
+    g.bench_function("sweep_10_sizes", |b| {
+        b.iter(|| {
+            let pts = run_crossover(&sizes);
+            assert!(pts.last().unwrap().optics_wins);
+            pts.len()
+        })
+    });
+    g.finish();
+}
+
+fn controllers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_controllers");
+    for n in [16usize, 256] {
+        g.bench_with_input(BenchmarkId::new("central_vs_decentral", n), &n, |b, &n| {
+            b.iter(|| {
+                let pts = run_controllers(&[n]);
+                assert!(pts[0].decentral_mean <= pts[0].central_mean);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fibers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_fiber_coverage");
+    g.sample_size(10);
+    g.bench_function("coverage_sweep", |b| {
+        b.iter(|| {
+            let pts = run_fiber_coverage(&[1, 4, 16]);
+            assert!(pts.last().unwrap().repairs_covered >= pts[0].repairs_covered);
+            pts.len()
+        })
+    });
+    g.finish();
+}
+
+fn subdivided(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_subdivided");
+    g.bench_function("cost_comparison", |b| {
+        b.iter(|| {
+            let (sub, redirect, naive) = run_subdivided(48e9);
+            assert!((sub - redirect).abs() < 1e-3);
+            naive
+        })
+    });
+    g.finish();
+}
+
+fn moe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_moe");
+    g.sample_size(10);
+    g.bench_function("cache_sweep", |b| {
+        b.iter(|| {
+            let pts = run_moe_sweep(&[2, 8, 16]);
+            assert!(pts.last().unwrap().hit_rate >= pts[0].hit_rate);
+            pts.len()
+        })
+    });
+    g.finish();
+}
+
+fn alltoall(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_alltoall");
+    g.bench_function("sweep_4_sizes", |b| {
+        b.iter(|| {
+            let pts = run_all_to_all(&[1e4, 1e6, 1e8, 1e10]);
+            assert!(pts.last().unwrap().optics_wins);
+            pts.len()
+        })
+    });
+    g.finish();
+}
+
+fn placement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_placement");
+    g.sample_size(10);
+    g.bench_function("simulate_300_jobs", |b| {
+        b.iter(|| {
+            let r = run_placement(300, 0xF1C);
+            assert!(r.accepted > 0);
+            r.mean_occupancy
+        })
+    });
+    g.finish();
+}
+
+fn host_stack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_host_stack");
+    g.sample_size(10);
+    g.bench_function("three_policies_500_msgs", |b| {
+        b.iter(|| {
+            let rows = run_host_policies(500, 4_096, 8);
+            assert_eq!(rows.len(), 3);
+            rows[2].reconfigs
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches, crossover, controllers, fibers, subdivided, moe, alltoall, placement, host_stack
+);
+criterion_main!(benches);

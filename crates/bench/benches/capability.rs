@@ -1,0 +1,41 @@
+//! E9 bench: the §3 capability summary — building a full 32-tile wafer,
+//! validating every capability claim, and the circuit-churn rate the wafer
+//! sustains.
+
+use bench::run_capability;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lightpath::{CircuitRequest, TileCoord, Wafer, WaferConfig};
+
+fn capability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("capability");
+    g.bench_function("full_summary", |b| {
+        b.iter(|| {
+            let cap = run_capability();
+            assert!(cap.worst_margin_db > 0.0);
+            cap.tiles
+        })
+    });
+    g.bench_function("wafer_fabrication", |b| {
+        b.iter(|| Wafer::new(WaferConfig::lightpath_32()).edge_capacity())
+    });
+    g.bench_function("circuit_establish_teardown", |b| {
+        b.iter_batched(
+            || Wafer::new(WaferConfig::lightpath_32()),
+            |mut w| {
+                let rep = w
+                    .establish(CircuitRequest::new(
+                        TileCoord::new(0, 0),
+                        TileCoord::new(3, 7),
+                        16,
+                    ))
+                    .expect("establish");
+                w.teardown(rep.id).expect("teardown");
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, capability);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E1/E2 benches: the physical-layer experiments behind Fig 3a and Fig 3b.
+//!
+//! Fig 3a: generating and fitting the MZI step-response trace.
+//! Fig 3b: Monte-Carlo sampling of the reticle stitch-loss distribution.
+
+use bench::{run_fig3a, run_fig3b};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use phy::{Mzi, MziParams, MziState, StitchModel};
+
+fn fig3a(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3a_mzi_response");
+    g.bench_function("trace_and_fit", |b| {
+        b.iter(|| {
+            let r = run_fig3a();
+            assert!((r.t99_s * 1e6 - 3.7).abs() < 0.1);
+            r.fitted_tau_s
+        })
+    });
+    g.bench_function("switch_drive", |b| {
+        b.iter_batched(
+            || Mzi::new(MziParams::default(), MziState::Bar),
+            |mut mzi| mzi.drive(MziState::Cross, 0.0),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn fig3b(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3b_stitch_loss");
+    g.bench_function("monte_carlo_10k", |b| {
+        b.iter(|| {
+            let r = run_fig3b(10_000);
+            assert!(r.mean_db > 0.0);
+            r.mean_db
+        })
+    });
+    g.bench_function("single_sample", |b| {
+        let model = StitchModel::default();
+        let mut rng = desim::SimRng::seed_from_u64(1);
+        b.iter(|| model.sample(&mut rng))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig3a, fig3b);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E5 bench: Fig 5c per-slice bandwidth utilization, plus the Fig 5b
+//! ring-congestion accounting that justifies it.
+
+use bench::run_fig5c;
+use criterion::{criterion_group, criterion_main, Criterion};
+use topo::{Coord3, Dim, LoadMap, Shape3, Slice, Torus};
+
+fn fig5c(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5c_utilization");
+    g.bench_function("all_slices", |b| {
+        b.iter(|| {
+            let rows = run_fig5c();
+            assert_eq!(rows.len(), 4);
+            rows.iter().map(|r| r.electrical).sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+fn fig5b_congestion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5b_ring_congestion");
+    let torus = Torus::new(Shape3::rack_4x4x4());
+    let a = Slice::new(1, Coord3::new(0, 0, 0), Shape3::new(4, 4, 2));
+    let b_slice = Slice::new(2, Coord3::new(0, 0, 2), Shape3::new(4, 4, 2));
+    g.bench_function("stacked_z_rings_loadmap", |bch| {
+        bch.iter(|| {
+            let mut m = LoadMap::new();
+            m.add_slice_rings(&torus, &a, Dim::Z);
+            m.add_slice_rings(&torus, &b_slice, Dim::Z);
+            assert!(!m.is_congestion_free());
+            m.congested_links().len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig5c, fig5b_congestion);
+criterion_main!(benches);

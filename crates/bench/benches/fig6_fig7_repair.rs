@@ -1,0 +1,53 @@
+//! E6/E7/E8 benches: the failure-repair experiments — Fig 6a (single-rack
+//! electrical), Fig 6b (cross-rack electrical), and Fig 7 (optical
+//! circuits).
+
+use bench::{run_fig6a, run_fig6b, run_fig7};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use resilience::{fig6a, optical_repair, PhotonicRack};
+
+fn fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_electrical_repair");
+    g.bench_function("single_rack_analysis", |b| {
+        b.iter(|| {
+            let r = run_fig6a();
+            assert_eq!(r.clean_options, 0);
+            r.candidates
+        })
+    });
+    g.bench_function("cross_rack_analysis", |b| {
+        b.iter(|| {
+            let r = run_fig6b();
+            assert_eq!(r.clean_options, 0);
+            r.candidates
+        })
+    });
+    g.finish();
+}
+
+fn fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_optical_repair");
+    g.bench_function("full_experiment", |b| {
+        b.iter(|| {
+            let r = run_fig7();
+            assert_eq!(r.blast_migration / r.blast_optical, 16);
+            r.circuits
+        })
+    });
+    g.bench_function("repair_circuits_only", |b| {
+        let scenario = fig6a();
+        b.iter_batched(
+            || PhotonicRack::new(1),
+            |mut rack| {
+                optical_repair(&mut rack, &scenario.victim, scenario.failed, scenario.free[0])
+                    .expect("repair succeeds")
+                    .circuits
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig6, fig7);
+criterion_main!(benches);

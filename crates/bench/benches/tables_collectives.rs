@@ -1,0 +1,78 @@
+//! E3/E4 benches: Table 1 (Slice-1 single ring) and Table 2 (Slice-3
+//! two-stage bucket) ReduceScatter schedules, built and executed under both
+//! interconnects, across buffer sizes.
+
+use bench::{run_table1, run_table2};
+use collectives::{
+    bucket_reduce_scatter, execute, ring_reduce_scatter, snake_order, CostParams, Mode,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topo::{Coord3, Dim, Shape3, Slice, Torus};
+
+const RACK: Shape3 = Shape3::rack_4x4x4();
+
+fn table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_slice1_reduce_scatter");
+    for n in [1e6, 1e9] {
+        g.bench_with_input(BenchmarkId::new("full_experiment", n as u64), &n, |b, &n| {
+            b.iter(|| {
+                let rows = run_table1(n);
+                assert!((rows[0].beta_bytes / rows[1].beta_bytes - 3.0).abs() < 1e-9);
+            })
+        });
+    }
+    let params = CostParams::default();
+    let torus = Torus::new(RACK);
+    let slice = Slice::new(1, Coord3::new(0, 0, 0), Shape3::new(4, 2, 1));
+    let members = snake_order(&slice);
+    for mode in [Mode::Electrical, Mode::OpticalFullSteer] {
+        g.bench_with_input(
+            BenchmarkId::new("schedule_build_exec", format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let s = ring_reduce_scatter(&members, 1e9, mode, RACK, &torus, &params);
+                    execute(&s, &params).total
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_slice3_reduce_scatter");
+    g.bench_function("full_experiment", |b| {
+        b.iter(|| {
+            let rows = run_table2(16e9);
+            assert!((rows[0].beta_bytes / rows[1].beta_bytes - 1.5).abs() < 1e-9);
+        })
+    });
+    let params = CostParams::default();
+    let torus = Torus::new(RACK);
+    let slice = Slice::new(3, Coord3::new(0, 0, 1), Shape3::new(4, 4, 1));
+    for mode in [Mode::Electrical, Mode::OpticalStaticSplit] {
+        g.bench_with_input(
+            BenchmarkId::new("bucket_build_exec", format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let s = bucket_reduce_scatter(
+                        &slice,
+                        &[Dim::X, Dim::Y],
+                        16e9,
+                        mode,
+                        RACK,
+                        &torus,
+                        &params,
+                    );
+                    execute(&s, &params).total
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, table1, table2);
+criterion_main!(benches);

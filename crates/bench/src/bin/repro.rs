@@ -1,0 +1,383 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p bench --bin repro              # everything
+//! cargo run -p bench --bin repro -- --table1  # one experiment
+//! ```
+
+use bench::report::print_table;
+use bench::*;
+
+fn want(args: &[String], flag: &str) -> bool {
+    args.is_empty() || args.iter().any(|a| a == flag)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    println!("server-photonics reproduction of \"A case for server-scale photonic connectivity\" (HotNets '24)");
+
+    if want(&args, "--fig3a") {
+        let r = run_fig3a();
+        print_table(
+            "Fig 3a: MZI switch time response",
+            &["metric", "value"],
+            &[
+                vec!["fitted tau".into(), format!("{:.3} us", r.fitted_tau_s * 1e6)],
+                vec!["99% settle (reconfiguration)".into(), format!("{:.2} us", r.t99_s * 1e6)],
+                vec!["paper".into(), "3.7 us".into()],
+            ],
+        );
+        println!("  amplitude trace (10 samples of {}):", r.trace.len());
+        for (t, v) in r.trace.downsample(10).points() {
+            println!("    t={:7.3}us  amplitude={v:.4}", t * 1e6);
+        }
+    }
+
+    if want(&args, "--fig3b") {
+        let r = run_fig3b(100_000);
+        print_table(
+            "Fig 3b: reticle stitch loss distribution (100k stitches)",
+            &["metric", "value"],
+            &[
+                vec!["mean".into(), format!("{:.3} dB", r.mean_db)],
+                vec!["p95".into(), format!("{:.3} dB", r.p95_db)],
+                vec!["paper crossing loss".into(), "0.25 dB".into()],
+            ],
+        );
+        println!("{}", r.histogram.ascii(48));
+    }
+
+    if want(&args, "--table1") {
+        let n = 8e9;
+        let rows = run_table1(n);
+        print_table(
+            "Table 1: ReduceScatter cost, Slice-1 (4x2x1, p=8), N = 8 GB",
+            &["interconnect", "alpha", "r", "beta bytes", "beta vs optimal", "measured"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.label.into(),
+                        format!("{}a", r.alpha_steps),
+                        format!("{}", r.reconfigs),
+                        format!("{:.3e}", r.beta_bytes),
+                        format!("{:.2}x", r.beta_bytes / (n - n / 8.0)),
+                        format!("{}", r.measured),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        println!("  paper: electrical (N-N/p)(3b), optics (N-N/p)(b); 7a vs 7a+r");
+    }
+
+    if want(&args, "--table2") {
+        let n = 16e9;
+        let rows = run_table2(n);
+        let bound = (n - n / 4.0) + (n / 4.0 - n / 16.0);
+        print_table(
+            "Table 2: ReduceScatter cost, Slice-3 (4x4x1, D=2), N = 16 GB",
+            &["interconnect", "alpha", "r", "beta bytes", "beta vs optimal", "measured"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.label.into(),
+                        format!("{}a", r.alpha_steps),
+                        format!("{}", r.reconfigs),
+                        format!("{:.3e}", r.beta_bytes),
+                        format!("{:.2}x", r.beta_bytes / bound),
+                        format!("{}", r.measured),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        println!("  paper: electrical pays 1.5x the optics beta (3b vs 2b per stage)");
+    }
+
+    if want(&args, "--fig5c") {
+        let rows = run_fig5c();
+        print_table(
+            "Fig 5c: bandwidth utilization per slice (Fig 5b packing)",
+            &["slice", "shape", "electrical", "optical"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.name.clone(),
+                        r.shape.to_string(),
+                        format!("{:.0}%", r.electrical * 100.0),
+                        format!("{:.0}%", r.optical * 100.0),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        println!("  paper: sub-rack slices lose up to 66% electrically; optics reaches 100%");
+        for r in &rows {
+            let e = (r.electrical * 24.0).round() as usize;
+            println!(
+                "  {:<8} elec {:<24} opt {}",
+                r.name,
+                format!("[{}{}]", "#".repeat(e), " ".repeat(24 - e)),
+                format!("[{}]", "#".repeat(24)),
+            );
+        }
+    }
+
+    if want(&args, "--fig6a") {
+        let r = run_fig6a();
+        print_table(
+            "Fig 6a: electrical repair, single rack",
+            &["metric", "value"],
+            &[
+                vec!["free chips evaluated".into(), r.candidates.to_string()],
+                vec!["congestion-free options".into(), r.clean_options.to_string()],
+                vec!["mean foreign chips per repair".into(), format!("{:.1}", r.mean_foreign)],
+                vec!["paper".into(), "impossible without congestion".into()],
+            ],
+        );
+    }
+
+    if want(&args, "--fig6b") {
+        let r = run_fig6b();
+        print_table(
+            "Fig 6b: electrical repair, across racks",
+            &["metric", "value"],
+            &[
+                vec!["free chips evaluated".into(), r.candidates.to_string()],
+                vec!["congestion-free options".into(), r.clean_options.to_string()],
+                vec!["mean foreign chips per repair".into(), format!("{:.1}", r.mean_foreign)],
+                vec!["paper".into(), "any new traffic will cause congestion".into()],
+            ],
+        );
+    }
+
+    if want(&args, "--fig6a") {
+        let rows = run_interference(&[1e8, 1e9, 8e9]);
+        print_table(
+            "Fig 6a extension: co-ring slowdown from electrical repair",
+            &["repair volume", "electrical slowdown", "optical slowdown"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        format!("{:.0e} B", r.repair_bytes),
+                        format!("{:.2}x", r.electrical_slowdown),
+                        format!("{:.2}x", r.optical_slowdown),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    if want(&args, "--fig7") {
+        let r = run_fig7();
+        print_table(
+            "Fig 7: optical circuit repair + blast radius",
+            &["metric", "value"],
+            &[
+                vec!["repair circuits".into(), r.circuits.to_string()],
+                vec!["setup latency".into(), format!("{}", r.setup)],
+                vec!["blast radius, rack migration".into(), format!("{} chips", r.blast_migration)],
+                vec!["blast radius, optical repair".into(), format!("{} chips", r.blast_optical)],
+                vec![
+                    "reduction".into(),
+                    format!("{}x", r.blast_migration / r.blast_optical),
+                ],
+            ],
+        );
+    }
+
+    if want(&args, "--capability") {
+        let c = run_capability();
+        print_table(
+            "Section 3 capability summary (validated on a full wafer)",
+            &["capability", "model", "paper"],
+            &[
+                vec!["accelerators per wafer".into(), c.tiles.to_string(), "32".into()],
+                vec!["lasers per tile".into(), c.lambdas_per_tile.to_string(), "16".into()],
+                vec!["rate per wavelength".into(), format!("{} Gbps", c.gbps_per_lambda), "224 Gbps".into()],
+                vec!["waveguides per tile".into(), c.waveguides_per_edge.to_string(), ">10,000".into()],
+                vec!["reconfiguration".into(), format!("{:.1} us", c.reconfig_us), "3.7 us".into()],
+                vec!["crossing loss".into(), format!("{} dB", c.crossing_db), "0.25 dB".into()],
+                vec!["tile egress".into(), format!("{} Gbps", c.tile_egress_gbps), "-".into()],
+                vec!["worst-path margin".into(), format!("{:.1} dB", c.worst_margin_db), "closes".into()],
+            ],
+        );
+    }
+
+    if want(&args, "--ablations") {
+        let sizes: Vec<f64> = (2..=11).map(|i| 10f64.powi(i)).collect();
+        let pts = run_crossover(&sizes);
+        print_table(
+            "Ablation (a): reconfiguration-delay crossover (Slice-1 ring RS)",
+            &["buffer", "electrical", "optical", "winner"],
+            &pts.iter()
+                .map(|p| {
+                    vec![
+                        format!("{:.0e} B", p.n_bytes),
+                        format!("{}", p.electrical),
+                        format!("{}", p.optical),
+                        if p.optics_wins { "optics" } else { "electrical" }.into(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+
+        let pts = run_controllers(&[1, 4, 16, 64, 256]);
+        print_table(
+            "Ablation (b): centralized vs decentralized circuit control",
+            &["requests", "central mean", "decentralized mean"],
+            &pts.iter()
+                .map(|p| {
+                    vec![
+                        p.requests.to_string(),
+                        format!("{}", p.central_mean),
+                        format!("{}", p.decentral_mean),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+
+        let pts = run_fiber_coverage(&[1, 2, 4, 8, 16]);
+        print_table(
+            "Ablation (c): fibers per bundle vs repairs covered",
+            &["fibers/bundle", "repairs covered"],
+            &pts.iter()
+                .map(|p| vec![p.fibers_per_bundle.to_string(), p.repairs_covered.to_string()])
+                .collect::<Vec<_>>(),
+        );
+
+        let (sub, redirect, naive) = run_subdivided(48e9);
+        print_table(
+            "Ablation (d): subdivided simultaneous dims [41] vs redirection",
+            &["scheme", "beta bytes"],
+            &[
+                vec!["naive electrical bucket".into(), format!("{naive:.3e}")],
+                vec!["subdivided simultaneous".into(), format!("{sub:.3e}")],
+                vec!["photonic redirection".into(), format!("{redirect:.3e}")],
+            ],
+        );
+        println!("  paper: subdivision matches but does not beat redirection");
+
+        let pts = run_all_to_all(&[1e4, 1e6, 1e8, 1e10]);
+        print_table(
+            "Ablation (f): all-to-all (section 5's hard case), Slice-1",
+            &["buffer", "electrical", "congested rounds", "optical (7r)", "winner"],
+            &pts.iter()
+                .map(|p| {
+                    vec![
+                        format!("{:.0e} B", p.n_bytes),
+                        format!("{}", p.electrical),
+                        p.congested_rounds.to_string(),
+                        format!("{}", p.optical),
+                        if p.optics_wins { "optics" } else { "electrical" }.into(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+
+        let r = run_placement(500, 0xF1C);
+        print_table(
+            "Ablation (g): multi-tenant placement (500 jobs, first-fit)",
+            &["metric", "value"],
+            &[
+                vec!["jobs accepted".into(), r.accepted.to_string()],
+                vec!["jobs rejected".into(), r.rejected.to_string()],
+                vec!["mean occupancy".into(), format!("{:.0}%", r.mean_occupancy * 100.0)],
+                vec![
+                    "mean electrical utilization".into(),
+                    format!("{:.0}%", r.mean_electrical_utilization * 100.0),
+                ],
+                vec![
+                    "mean optical utilization".into(),
+                    format!("{:.0}%", r.mean_optical_utilization * 100.0),
+                ],
+            ],
+        );
+
+        let rows = run_campaign_comparison();
+        print_table(
+            "Ablation (k): 30-day availability, 8 racks, chip MTBF ~9 months",
+            &["policy", "failures", "disturbed chip-hours", "availability"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.label.into(),
+                        r.failures.to_string(),
+                        format!("{:.3}", r.disturbed_chip_hours),
+                        format!("{:.9}", r.availability),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+
+        let rows = run_recal_tradeoff();
+        print_table(
+            "Ablation (j): MZI drift vs recalibration interval",
+            &["interval", "downtime", "worst drift penalty"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        format!("{:.1e} s", r.interval_s),
+                        format!("{:.4}%", r.downtime * 100.0),
+                        format!("{:.4} dB", r.penalty_db),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+
+        let rows = run_recovery();
+        print_table(
+            "Ablation (i): fault recovery latency",
+            &["scheme", "recovery"],
+            &rows
+                .iter()
+                .map(|r| vec![r.label.into(), format!("{}", r.recovery)])
+                .collect::<Vec<_>>(),
+        );
+
+        let (e4, o4) = run_multirack_utilization(4);
+        print_table(
+            "Fig 5c addendum: a 4-rack slice (4x4x16) via OCS composition",
+            &["interconnect", "utilization"],
+            &[
+                vec!["electrical".into(), format!("{:.0}%", e4 * 100.0)],
+                vec!["optical".into(), format!("{:.0}%", o4 * 100.0)],
+            ],
+        );
+
+        let rows = run_host_policies(2_000, 4_096, 8);
+        print_table(
+            "Ablation (h): circuit-switched host stack (2000 x 4 kB, 8 peers)",
+            &["policy", "mean latency", "reconfigs", "goodput"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.label.into(),
+                        format!("{:.2} us", r.mean_latency_s * 1e6),
+                        r.reconfigs.to_string(),
+                        format!("{:.1} Gbps", r.goodput_gbps),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+
+        let pts = run_moe_sweep(&[2, 4, 8, 16]);
+        print_table(
+            "Ablation (e): MoE warm-circuit cache (16 experts, top-2)",
+            &["live circuits", "reconfig fraction", "hit rate"],
+            &pts.iter()
+                .map(|p| {
+                    vec![
+                        p.cache.to_string(),
+                        format!("{:.2}%", p.reconfig_fraction * 100.0),
+                        format!("{:.2}", p.hit_rate),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+}

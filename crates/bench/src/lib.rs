@@ -1,0 +1,15 @@
+//! # bench — the reproduction harness
+//!
+//! One function per table and figure of the paper (see [`experiments`]),
+//! shared by the Criterion benches under `benches/` and the `repro` binary
+//! that prints every result. `EXPERIMENTS.md` at the workspace root records
+//! paper-vs-measured for each experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::*;
+pub use report::print_table;

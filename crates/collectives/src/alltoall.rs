@@ -1,0 +1,195 @@
+//! All-to-all (§5, "Exploding paths"): the traffic pattern the paper flags
+//! as the hard case for circuit switching.
+//!
+//! "While simple collective operations, such as those using ring AllReduce
+//! where each accelerator communicates with only two others, are relatively
+//! straightforward, handling all-to-all traffic is much more complex."
+//!
+//! We implement the classic rotation algorithm: in round `k ∈ 1..p`, chip
+//! `i` sends its block for chip `(i+k) mod p`. Under the two interconnects:
+//!
+//! * **Electrical** — each round's transfers ride multi-hop torus routes;
+//!   distant pairs share links and the load map charges the sharing. This
+//!   is where the direct-connect torus genuinely congests.
+//! * **Optical** — each round is a perfect matching realized as dedicated
+//!   circuits, contention-free by construction, but the matching *changes*
+//!   every round, costing a reconfiguration `r` per round — the p−1
+//!   reconfigurations are the price of circuit switching under all-to-all,
+//!   quantifying §5's trade-off.
+
+use crate::cost::{CostParams, SymbolicCost};
+use crate::mode::Mode;
+use crate::schedule::{Round, Schedule, Transfer};
+use topo::{Coord3, Shape3, Torus};
+
+/// Build the rotation all-to-all schedule over `members`, where every chip
+/// holds `n_bytes` of data destined in equal blocks to every other chip.
+///
+/// Panics when fewer than two members are given.
+pub fn all_to_all(
+    members: &[Coord3],
+    n_bytes: f64,
+    mode: Mode,
+    rack: Shape3,
+    torus: &Torus,
+    params: &CostParams,
+) -> Schedule {
+    let p = members.len();
+    assert!(p >= 2, "all-to-all needs at least two members");
+    let block = n_bytes / p as f64;
+    // Each chip's full egress serves one peer per round: electrically the
+    // route still rides B/D links; optically the matching gets everything.
+    let mult = mode.beta_multiplier(1, rack);
+    let ring_gbps = params.chip_bandwidth.0 / mult;
+    let mut schedule = Schedule::new();
+    for k in 1..p {
+        let transfers = members
+            .iter()
+            .enumerate()
+            .map(|(i, &from)| {
+                let to = members[(i + k) % p];
+                Transfer {
+                    from,
+                    to,
+                    bytes: block,
+                    path: if mode.is_optical() {
+                        Vec::new()
+                    } else {
+                        torus.route(from, to)
+                    },
+                }
+            })
+            .collect();
+        schedule.rounds.push(Round {
+            transfers,
+            ring_gbps,
+            // Optical circuits must be re-pointed for every new matching.
+            reconfig_before: mode.is_optical(),
+        });
+    }
+    schedule
+}
+
+/// Closed-form *uncongested* cost of the rotation all-to-all:
+/// `(p−1)·α [+ (p−1)·r] + (N − N/p)·mult·β`. Electrical executions exceed
+/// this whenever rounds congest; optical executions meet it exactly.
+pub fn all_to_all_cost(p: usize, n_bytes: f64, mode: Mode, rack: Shape3) -> SymbolicCost {
+    assert!(p >= 2);
+    let mult = mode.beta_multiplier(1, rack);
+    SymbolicCost {
+        alpha_steps: (p - 1) as u32,
+        reconfigs: if mode.is_optical() { (p - 1) as u32 } else { 0 },
+        beta_bytes: (n_bytes - n_bytes / p as f64) * mult,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use crate::ring::snake_order;
+    use topo::Slice;
+
+    const RACK: Shape3 = Shape3::rack_4x4x4();
+
+    fn members_4x2() -> Vec<Coord3> {
+        snake_order(&Slice::new(1, Coord3::new(0, 0, 0), Shape3::new(4, 2, 1)))
+    }
+
+    #[test]
+    fn rotation_covers_every_pair_once() {
+        let params = CostParams::default();
+        let torus = Torus::new(RACK);
+        let members = members_4x2();
+        let s = all_to_all(&members, 8e9, Mode::Electrical, RACK, &torus, &params);
+        assert_eq!(s.rounds.len(), 7);
+        let mut pairs = std::collections::HashSet::new();
+        for r in &s.rounds {
+            assert_eq!(r.transfers.len(), 8, "everyone sends every round");
+            for t in &r.transfers {
+                assert!(pairs.insert((t.from, t.to)), "pair repeated");
+                assert_ne!(t.from, t.to);
+            }
+        }
+        assert_eq!(pairs.len(), 8 * 7, "all ordered pairs covered");
+    }
+
+    #[test]
+    fn electrical_all_to_all_congests() {
+        // Distant rotations force multi-hop routes that share links — the
+        // congestion the paper says the big-switch abstraction hides.
+        let params = CostParams::default();
+        let torus = Torus::new(RACK);
+        let members = members_4x2();
+        let s = all_to_all(&members, 8e9, Mode::Electrical, RACK, &torus, &params);
+        assert!(
+            !s.is_congestion_free(),
+            "some rotation round must share a link"
+        );
+        let report = execute(&s, &params);
+        assert!(report.congested_rounds > 0);
+        assert!(report.max_link_load >= 2);
+    }
+
+    #[test]
+    fn optical_all_to_all_is_clean_but_pays_r_per_round() {
+        let params = CostParams::default();
+        let torus = Torus::new(RACK);
+        let members = members_4x2();
+        let s = all_to_all(&members, 8e9, Mode::OpticalFullSteer, RACK, &torus, &params);
+        assert!(s.is_congestion_free());
+        assert_eq!(s.reconfig_count(), 7, "one matching change per round");
+        let sym = s.symbolic_cost(&params);
+        let closed = all_to_all_cost(8, 8e9, Mode::OpticalFullSteer, RACK);
+        assert_eq!(sym.reconfigs, closed.reconfigs);
+        assert!((sym.beta_bytes - closed.beta_bytes).abs() < 1e-3);
+    }
+
+    #[test]
+    fn optics_wins_large_buffers_despite_reconfig_storm() {
+        let params = CostParams::default();
+        let torus = Torus::new(RACK);
+        let members = members_4x2();
+        let n = 8e9;
+        let e = execute(
+            &all_to_all(&members, n, Mode::Electrical, RACK, &torus, &params),
+            &params,
+        );
+        let o = execute(
+            &all_to_all(&members, n, Mode::OpticalFullSteer, RACK, &torus, &params),
+            &params,
+        );
+        assert!(
+            o.total < e.total,
+            "at 8 GB the 3× bandwidth + congestion-free matching beats 7r"
+        );
+    }
+
+    #[test]
+    fn electrical_wins_tiny_buffers_under_reconfig_storm() {
+        let params = CostParams::default();
+        let torus = Torus::new(RACK);
+        let members = members_4x2();
+        let n = 1e4; // 10 kB: 7 reconfigurations dominate
+        let e = execute(
+            &all_to_all(&members, n, Mode::Electrical, RACK, &torus, &params),
+            &params,
+        );
+        let o = execute(
+            &all_to_all(&members, n, Mode::OpticalFullSteer, RACK, &torus, &params),
+            &params,
+        );
+        assert!(e.total < o.total);
+    }
+
+    #[test]
+    fn measured_equals_analytic() {
+        let params = CostParams::default();
+        let torus = Torus::new(RACK);
+        let members = members_4x2();
+        for mode in [Mode::Electrical, Mode::OpticalFullSteer] {
+            let s = all_to_all(&members, 1e8, mode, RACK, &torus, &params);
+            assert_eq!(execute(&s, &params).total, s.analytic_total(&params));
+        }
+    }
+}

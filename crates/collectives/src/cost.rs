@@ -1,0 +1,189 @@
+//! The α–β(–r) cost model for collective communication (paper §4.1).
+//!
+//! * **α** — fixed software overhead per communication step.
+//! * **β** — per-byte transmission delay at the chip's *full* egress
+//!   bandwidth `B`: `β = 1/B`. Electrical direct-connect tori statically
+//!   split `B` across the torus dimensions, so a ring confined to one
+//!   dimension pays `D·β` per byte; photonic redirection recovers `β`.
+//! * **r** — optical reconfiguration latency paid before a ring can start
+//!   when MZI switches must be re-pointed: **3.7 µs** on LIGHTPATH.
+
+use desim::SimDuration;
+use phy::thermal::RECONFIG_LATENCY_S;
+use phy::units::Gbps;
+use std::fmt;
+
+/// Parameters of the cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct CostParams {
+    /// Per-step software overhead α.
+    pub alpha: SimDuration,
+    /// Optical reconfiguration latency r.
+    pub reconfig: SimDuration,
+    /// Full chip egress bandwidth B.
+    pub chip_bandwidth: Gbps,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            // β dominates α for modern ML buffer sizes (§4.1); 1 µs is a
+            // typical launch overhead.
+            alpha: SimDuration::from_us(1),
+            reconfig: SimDuration::from_secs_f64(RECONFIG_LATENCY_S),
+            // A LIGHTPATH tile's full egress: 16 λ × 224 Gb/s = 3.584 Tb/s
+            // (= 448 GB/s, the "massive" inter-accelerator bandwidth scale
+            // §1 describes).
+            chip_bandwidth: Gbps(16.0 * 224.0),
+        }
+    }
+}
+
+impl CostParams {
+    /// β in seconds per byte: `1/B`.
+    pub fn beta_s_per_byte(&self) -> f64 {
+        1.0 / self.chip_bandwidth.bytes_per_sec()
+    }
+}
+
+/// A symbolic collective cost: `steps·α + reconfigs·r + beta_bytes·β`,
+/// where `beta_bytes` is the β-weighted byte count (bytes × bandwidth
+/// multiplier, as printed in the paper's Tables 1–2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SymbolicCost {
+    /// Number of α steps.
+    pub alpha_steps: u32,
+    /// Number of r reconfigurations.
+    pub reconfigs: u32,
+    /// β-weighted bytes: Σ bytes_moved × (B / bandwidth_used).
+    pub beta_bytes: f64,
+}
+
+impl SymbolicCost {
+    /// The zero cost.
+    pub const ZERO: SymbolicCost = SymbolicCost {
+        alpha_steps: 0,
+        reconfigs: 0,
+        beta_bytes: 0.0,
+    };
+
+    /// Total wall-clock time under `params`.
+    pub fn total(&self, params: &CostParams) -> SimDuration {
+        let alpha = params.alpha * self.alpha_steps as u64;
+        let r = params.reconfig * self.reconfigs as u64;
+        let beta = SimDuration::from_secs_f64(self.beta_bytes * params.beta_s_per_byte());
+        alpha + r + beta
+    }
+
+    /// Sequential composition of two costs.
+    pub fn then(self, other: SymbolicCost) -> SymbolicCost {
+        SymbolicCost {
+            alpha_steps: self.alpha_steps + other.alpha_steps,
+            reconfigs: self.reconfigs + other.reconfigs,
+            beta_bytes: self.beta_bytes + other.beta_bytes,
+        }
+    }
+
+    /// The β-cost ratio against another cost (how many times more β this
+    /// cost pays). Infinite/NaN-safe: returns 1.0 when both are zero.
+    pub fn beta_ratio(&self, other: &SymbolicCost) -> f64 {
+        if self.beta_bytes == 0.0 && other.beta_bytes == 0.0 {
+            return 1.0;
+        }
+        self.beta_bytes / other.beta_bytes
+    }
+}
+
+impl fmt::Display for SymbolicCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}α + {}r + {:.3e}·β bytes",
+            self.alpha_steps, self.reconfigs, self.beta_bytes
+        )
+    }
+}
+
+/// The β-optimal ReduceScatter bound for a `p`-member group on buffer `n`:
+/// `(N − N/p)·β` — every chip must move that many bytes at best (§4.1).
+pub fn reduce_scatter_beta_lower_bound(n_bytes: f64, p: usize) -> f64 {
+    assert!(p >= 1, "group must be non-empty");
+    n_bytes - n_bytes / p as f64
+}
+
+/// The β-optimal AllReduce bound: `2·(N − N/p)·β` (ReduceScatter +
+/// AllGather).
+pub fn all_reduce_beta_lower_bound(n_bytes: f64, p: usize) -> f64 {
+    2.0 * reduce_scatter_beta_lower_bound(n_bytes, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beta_is_inverse_bandwidth() {
+        let p = CostParams::default();
+        // 3.584 Tb/s = 448 GB/s → β ≈ 2.232e-12 s/byte.
+        let beta = p.beta_s_per_byte();
+        assert!((beta - 1.0 / 448e9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn total_combines_terms() {
+        let params = CostParams {
+            alpha: SimDuration::from_us(1),
+            reconfig: SimDuration::from_secs_f64(3.7e-6),
+            chip_bandwidth: Gbps(8.0), // 1 GB/s for easy numbers
+        };
+        let c = SymbolicCost {
+            alpha_steps: 7,
+            reconfigs: 1,
+            beta_bytes: 1e9, // 1 GB at 1 GB/s = 1 s
+        };
+        let total = c.total(&params);
+        let expect = 7e-6 + 3.7e-6 + 1.0;
+        assert!((total.as_secs_f64() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn then_accumulates() {
+        let a = SymbolicCost {
+            alpha_steps: 3,
+            reconfigs: 1,
+            beta_bytes: 10.0,
+        };
+        let b = SymbolicCost {
+            alpha_steps: 3,
+            reconfigs: 1,
+            beta_bytes: 2.5,
+        };
+        let c = a.then(b);
+        assert_eq!(c.alpha_steps, 6);
+        assert_eq!(c.reconfigs, 2);
+        assert!((c.beta_bytes - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_bounds() {
+        assert!((reduce_scatter_beta_lower_bound(8e9, 8) - 7e9).abs() < 1.0);
+        assert!((all_reduce_beta_lower_bound(8e9, 8) - 14e9).abs() < 1.0);
+        assert_eq!(reduce_scatter_beta_lower_bound(100.0, 1), 0.0);
+    }
+
+    #[test]
+    fn beta_ratio_of_table1() {
+        // Table 1: electrical pays 3× the optics β cost.
+        let elec = SymbolicCost {
+            alpha_steps: 7,
+            reconfigs: 0,
+            beta_bytes: 3.0 * 7e9,
+        };
+        let optics = SymbolicCost {
+            alpha_steps: 7,
+            reconfigs: 1,
+            beta_bytes: 7e9,
+        };
+        assert!((elec.beta_ratio(&optics) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,176 @@
+//! Hierarchical AllReduce across the rack's two bandwidth tiers.
+//!
+//! §3's fabric has two classes of connectivity: waveguides within a server
+//! (full tile egress) and attached fibers across servers (a bundle, often
+//! thinner). A flat ring that alternates intra- and inter-server hops runs
+//! at the *slowest* hop; the hierarchical algorithm — intra-server
+//! ReduceScatter, inter-server AllReduce on the 1/g-sized shards,
+//! intra-server AllGather — sends only `2·(N/g)·(1−1/m)` bytes over the
+//! thin tier. This is the standard topology-aware layout real collective
+//! libraries use, expressed in the same α–β–r algebra.
+
+use desim::SimDuration;
+
+/// Parameters of a two-tier rack.
+#[derive(Debug, Clone, Copy)]
+pub struct TierParams {
+    /// Chips per server (the fast tier's group size).
+    pub group: usize,
+    /// Servers (the slow tier's ring size).
+    pub groups: usize,
+    /// Intra-server hop bandwidth, Gb/s.
+    pub intra_gbps: f64,
+    /// Inter-server hop bandwidth, Gb/s.
+    pub inter_gbps: f64,
+    /// Per-step software overhead.
+    pub alpha: SimDuration,
+    /// Circuit reconfiguration latency charged when the schedule re-points
+    /// circuits (once per phase here).
+    pub reconfig: SimDuration,
+}
+
+impl Default for TierParams {
+    fn default() -> Self {
+        TierParams {
+            group: 4,   // 4 chips per server
+            groups: 16, // 16 servers per rack
+            intra_gbps: 16.0 * 224.0,
+            inter_gbps: 4.0 * 224.0, // a 4-fiber share of the bundle
+            alpha: SimDuration::from_us(1),
+            reconfig: SimDuration::from_secs_f64(phy::thermal::RECONFIG_LATENCY_S),
+        }
+    }
+}
+
+/// Cost of a collective split across the two tiers.
+#[derive(Debug, Clone, Copy)]
+pub struct TieredCost {
+    /// α steps.
+    pub alpha_steps: u32,
+    /// Reconfigurations.
+    pub reconfigs: u32,
+    /// Bytes moved per chip on the fast (intra-server) tier.
+    pub intra_bytes: f64,
+    /// Bytes moved per chip on the slow (inter-server) tier.
+    pub inter_bytes: f64,
+}
+
+impl TieredCost {
+    /// Total wall-clock time under `p` (tiers run sequentially).
+    pub fn total(&self, p: &TierParams) -> SimDuration {
+        let intra = self.intra_bytes * 8.0 / (p.intra_gbps * 1e9);
+        let inter = self.inter_bytes * 8.0 / (p.inter_gbps * 1e9);
+        p.alpha * self.alpha_steps as u64
+            + p.reconfig * self.reconfigs as u64
+            + SimDuration::from_secs_f64(intra + inter)
+    }
+}
+
+/// Hierarchical AllReduce: intra RS (g−1 steps, N−N/g bytes fast) →
+/// inter AR on N/g shards (2(m−1) steps, 2(N/g)(1−1/m) bytes slow) →
+/// intra AG (g−1 steps, N−N/g bytes fast). Three circuit phases.
+pub fn hierarchical_all_reduce(n_bytes: f64, p: &TierParams) -> TieredCost {
+    let (g, m) = (p.group as f64, p.groups as f64);
+    assert!(p.group >= 2 && p.groups >= 2, "need both tiers populated");
+    TieredCost {
+        alpha_steps: (2 * (p.group - 1) + 2 * (p.groups - 1)) as u32,
+        reconfigs: 3,
+        intra_bytes: 2.0 * (n_bytes - n_bytes / g),
+        inter_bytes: 2.0 * (n_bytes / g) * (1.0 - 1.0 / m),
+    }
+}
+
+/// Flat ring AllReduce over all `g·m` chips: every byte crosses the ring
+/// twice (RS + AG), and the ring's rate is set by its slowest hop — the
+/// inter-server fiber — so all volume is charged at the slow tier.
+pub fn flat_ring_all_reduce(n_bytes: f64, p: &TierParams) -> TieredCost {
+    let total = (p.group * p.groups) as f64;
+    TieredCost {
+        alpha_steps: (2 * (p.group * p.groups - 1)) as u32,
+        reconfigs: 1,
+        intra_bytes: 0.0,
+        inter_bytes: 2.0 * (n_bytes - n_bytes / total),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchical_beats_flat_ring_on_thin_fibers() {
+        let p = TierParams::default();
+        let n = 8e9;
+        let h = hierarchical_all_reduce(n, &p).total(&p);
+        let f = flat_ring_all_reduce(n, &p).total(&p);
+        assert!(
+            h < f,
+            "hierarchical {h} must beat the fiber-bound flat ring {f}"
+        );
+        // The win approaches g× on the slow-tier volume: intra tier 4×
+        // faster and inter volume divided by g = 4.
+        let ratio = f.as_secs_f64() / h.as_secs_f64();
+        assert!(ratio > 1.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn equal_tiers_make_beta_identical_but_alpha_differ() {
+        // With equal bandwidth everywhere the two layouts move the same
+        // β-weighted volume (both are bandwidth-optimal AllReduces):
+        // 2(N−N/g) + 2(N/g)(1−1/m) = 2(N−N/(gm)).
+        let p = TierParams {
+            inter_gbps: 16.0 * 224.0,
+            ..TierParams::default()
+        };
+        let n = 8e9;
+        let h = hierarchical_all_reduce(n, &p);
+        let f = flat_ring_all_reduce(n, &p);
+        let h_bytes = h.intra_bytes + h.inter_bytes;
+        let f_bytes = f.intra_bytes + f.inter_bytes;
+        assert!((h_bytes - f_bytes).abs() < 1e-3, "{h_bytes} vs {f_bytes}");
+        // But the flat ring pays p−1 steps per phase vs g−1 + m−1:
+        assert!(h.alpha_steps < f.alpha_steps);
+        // so even at equal bandwidth, hierarchical is never slower here.
+        assert!(h.total(&p) <= f.total(&p));
+    }
+
+    #[test]
+    fn inter_tier_volume_shrinks_with_group_size() {
+        let n = 8e9;
+        let small_groups = TierParams {
+            group: 2,
+            ..TierParams::default()
+        };
+        let big_groups = TierParams {
+            group: 8,
+            ..TierParams::default()
+        };
+        let a = hierarchical_all_reduce(n, &small_groups).inter_bytes;
+        let b = hierarchical_all_reduce(n, &big_groups).inter_bytes;
+        assert!(b < a, "bigger servers → less fiber traffic: {b} vs {a}");
+    }
+
+    #[test]
+    fn volumes_are_conserved() {
+        let p = TierParams::default();
+        let n = 8e9;
+        let h = hierarchical_all_reduce(n, &p);
+        // Intra: 2(N − N/4) = 1.5N × 2/2 … check exact numbers.
+        assert!((h.intra_bytes - 2.0 * (n - n / 4.0)).abs() < 1e-3);
+        assert!((h.inter_bytes - 2.0 * (n / 4.0) * (15.0 / 16.0)).abs() < 1e-3);
+        let f = flat_ring_all_reduce(n, &p);
+        assert!((f.inter_bytes - 2.0 * (n - n / 64.0)).abs() < 1e-3);
+        assert_eq!(f.alpha_steps, 126);
+        assert_eq!(h.alpha_steps, 2 * 3 + 2 * 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "both tiers")]
+    fn degenerate_tiers_rejected() {
+        let p = TierParams {
+            group: 1,
+            ..TierParams::default()
+        };
+        hierarchical_all_reduce(1e6, &p);
+    }
+}

@@ -1,0 +1,59 @@
+//! # collectives — collective communication under electrical vs photonic
+//! interconnects
+//!
+//! Implements the algorithms and cost algebra of the paper's §4.1:
+//!
+//! * [`cost`] — the α–β–r model: per-step software overhead, per-byte delay
+//!   at full chip bandwidth, and the 3.7 µs optical reconfiguration term.
+//! * [`mode`] — how rings get bandwidth: electrical `B/3` static split vs
+//!   photonic redirection (static split over the algorithm's dimensions, or
+//!   full steering into the active stage).
+//! * [`ring`] — single-ring ReduceScatter/AllGather/AllReduce (Table 1).
+//! * [`bucket`] — the multi-dimensional bucket algorithm (Table 2).
+//! * [`alltoall`] — the rotation all-to-all, §5's hard case: electrically
+//!   it congests, optically it pays a reconfiguration per matching.
+//! * [`subdivided`] — the simultaneous rotated-order baseline of De Sensi
+//!   et al. \[41\], which matches but never beats redirection.
+//! * [`photonic`] — the loop-closer: the same ring executed over *actual*
+//!   `lightpath` wafer circuits, validating the algebra against admission
+//!   control.
+//! * [`schedule`] / [`exec`] — executable transfer schedules with link-level
+//!   congestion charging, and the desim-driven executor whose measured
+//!   times must equal the closed forms.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alltoall;
+pub mod bucket;
+pub mod cost;
+pub mod exec;
+pub mod hierarchical;
+pub mod mode;
+pub mod photonic;
+pub mod primitives;
+pub mod ring;
+pub mod schedule;
+pub mod subdivided;
+
+pub use alltoall::{all_to_all, all_to_all_cost};
+pub use bucket::{
+    bucket_all_gather, bucket_all_reduce, bucket_reduce_scatter, bucket_reduce_scatter_cost,
+};
+pub use cost::{
+    all_reduce_beta_lower_bound, reduce_scatter_beta_lower_bound, CostParams, SymbolicCost,
+};
+pub use exec::{execute, ExecReport};
+pub use hierarchical::{flat_ring_all_reduce, hierarchical_all_reduce, TierParams, TieredCost};
+pub use mode::Mode;
+pub use photonic::{
+    run_bucket_reduce_scatter_on_wafer, run_ring_reduce_scatter_on_wafer, PhotonicRunReport,
+};
+pub use primitives::{
+    ring_broadcast, ring_broadcast_cost, ring_gather_cost, ring_scatter, ring_scatter_cost,
+};
+pub use ring::{
+    ring_all_gather, ring_all_reduce, ring_reduce_scatter, ring_reduce_scatter_cost, snake_order,
+};
+pub use schedule::{Round, Schedule, Transfer};
+pub use subdivided::{subdivided_cost, subdivided_reduce_scatter};

@@ -1,0 +1,102 @@
+//! Interconnect modes: how much bandwidth a ring gets.
+//!
+//! The paper's comparison (§4.1, Tables 1–2) is between:
+//!
+//! * **Electrical** — chip bandwidth `B` is statically split across the
+//!   rack's `D = 3` dimensions; any one ring runs at `B/3`.
+//! * **Optical, static split** — MZI switches redirect every wavelength
+//!   into the dimensions the collective actually uses: an algorithm using
+//!   `k` dimensions gives each ring `B/k`. Slice-1's single ring gets the
+//!   full `B` (Table 1); Slice-3's two-dimensional bucket gets `B/2` per
+//!   ring (Table 2, 1.5× better than electrical). Costs `r` per stage for
+//!   re-pointing circuits.
+//! * **Optical, full steer** — an extension the paper's §5 invites: steer
+//!   *all* of `B` into the currently active dimension each stage, paying
+//!   `r` per stage. Strictly best β, more reconfigurations.
+
+use topo::Shape3;
+
+/// How rings get bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Static electrical split: every ring at `B/3`.
+    Electrical,
+    /// Photonic redirection, one reconfiguration per stage, bandwidth
+    /// divided evenly over the algorithm's active dimensions.
+    OpticalStaticSplit,
+    /// Photonic redirection steering the full `B` into each stage's
+    /// dimension.
+    OpticalFullSteer,
+}
+
+impl Mode {
+    /// The per-byte bandwidth multiplier a ring pays in this mode
+    /// (`time = bytes × multiplier × β`), given how many dimensions the
+    /// algorithm uses overall.
+    ///
+    /// Panics if `algo_dims` is 0.
+    pub fn beta_multiplier(&self, algo_dims: usize, rack: Shape3) -> f64 {
+        assert!(algo_dims >= 1, "an algorithm must use at least one dimension");
+        let rack_dims = rack.dims.iter().filter(|&&e| e > 1).count().max(1);
+        match self {
+            Mode::Electrical => rack_dims as f64,
+            Mode::OpticalStaticSplit => algo_dims as f64,
+            Mode::OpticalFullSteer => 1.0,
+        }
+    }
+
+    /// Reconfigurations charged for a collective of `stages` stages.
+    pub fn reconfigs(&self, stages: u32) -> u32 {
+        match self {
+            Mode::Electrical => 0,
+            // Circuits are re-pointed before each stage's rings start.
+            Mode::OpticalStaticSplit | Mode::OpticalFullSteer => stages,
+        }
+    }
+
+    /// True for the photonic modes.
+    pub fn is_optical(&self) -> bool {
+        !matches!(self, Mode::Electrical)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RACK: Shape3 = Shape3::rack_4x4x4();
+
+    #[test]
+    fn electrical_pays_rack_dimensionality() {
+        assert_eq!(Mode::Electrical.beta_multiplier(1, RACK), 3.0);
+        assert_eq!(Mode::Electrical.beta_multiplier(2, RACK), 3.0);
+    }
+
+    #[test]
+    fn static_split_pays_algorithm_dimensionality() {
+        assert_eq!(Mode::OpticalStaticSplit.beta_multiplier(1, RACK), 1.0);
+        assert_eq!(Mode::OpticalStaticSplit.beta_multiplier(2, RACK), 2.0);
+        assert_eq!(Mode::OpticalStaticSplit.beta_multiplier(3, RACK), 3.0);
+    }
+
+    #[test]
+    fn full_steer_always_pays_one() {
+        for k in 1..=3 {
+            assert_eq!(Mode::OpticalFullSteer.beta_multiplier(k, RACK), 1.0);
+        }
+    }
+
+    #[test]
+    fn reconfig_counts() {
+        assert_eq!(Mode::Electrical.reconfigs(3), 0);
+        assert_eq!(Mode::OpticalStaticSplit.reconfigs(2), 2);
+        assert_eq!(Mode::OpticalFullSteer.reconfigs(3), 3);
+    }
+
+    #[test]
+    fn degenerate_rack_dimensionality() {
+        // A 1-D "rack" (8×1×1): electrical has nothing to split.
+        let line = Shape3::new(8, 1, 1);
+        assert_eq!(Mode::Electrical.beta_multiplier(1, line), 1.0);
+    }
+}

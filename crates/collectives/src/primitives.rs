@@ -1,0 +1,252 @@
+//! Rooted collective primitives: Broadcast, Scatter, Gather.
+//!
+//! §2 frames collectives generally ("intermediate parameters … are
+//! accumulated, reduced and transferred … using collective communication
+//! primitives like AllReduce"); a complete library also needs the rooted
+//! primitives. All three are implemented as pipelined rings — the layout
+//! that matches both the electrical torus embedding and photonic
+//! redirection — with the same α–β–r accounting as the rest of the crate:
+//!
+//! * **Broadcast**: the root streams `N` in `p−1 + ceil(N/chunk)`-style
+//!   pipelined rounds; we use the classic `p−1` rounds of `N/(p−1)` chunks.
+//! * **Scatter**: the root injects `N(p−1)/p` total, peeling one block per
+//!   hop.
+//! * **Gather**: the mirror of scatter.
+
+use crate::cost::{CostParams, SymbolicCost};
+use crate::mode::Mode;
+use crate::schedule::{Round, Schedule, Transfer};
+use topo::{Coord3, Shape3, Torus};
+
+/// Build a pipelined ring Broadcast from `members[0]` of `n_bytes`.
+///
+/// The buffer is cut into `p−1` chunks; chunk `c` enters the ring at round
+/// `c` and rides one hop per round, so the schedule has `2(p−1)−1` rounds
+/// and every link carries at most one chunk per round (congestion-free).
+pub fn ring_broadcast(
+    members: &[Coord3],
+    n_bytes: f64,
+    mode: Mode,
+    rack: Shape3,
+    torus: &Torus,
+    params: &CostParams,
+) -> Schedule {
+    let p = members.len();
+    assert!(p >= 2, "broadcast needs at least two members");
+    let chunks = p - 1;
+    let chunk = n_bytes / chunks as f64;
+    let mult = mode.beta_multiplier(1, rack);
+    let ring_gbps = params.chip_bandwidth.0 / mult;
+    let rounds_total = 2 * (p - 1) - 1;
+    let mut schedule = Schedule::new();
+    for round in 0..rounds_total {
+        let mut transfers = Vec::new();
+        // Chunk c occupies hop (round − c) during this round, if 0 ≤ that
+        // hop < p−1.
+        for c in 0..chunks {
+            let Some(hop) = round.checked_sub(c) else { continue };
+            if hop >= p - 1 {
+                continue;
+            }
+            let from = members[hop];
+            let to = members[hop + 1];
+            transfers.push(Transfer {
+                from,
+                to,
+                bytes: chunk,
+                path: if mode.is_optical() {
+                    Vec::new()
+                } else {
+                    torus.route(from, to)
+                },
+            });
+        }
+        schedule.rounds.push(Round {
+            transfers,
+            ring_gbps,
+            reconfig_before: mode.is_optical() && round == 0,
+        });
+    }
+    schedule
+}
+
+/// Closed-form Broadcast cost: `(2(p−1)−1)·α [+ r] + N·mult·β` — the
+/// pipeline moves each byte once per hop but overlaps hops, so the β term
+/// is `N` (plus the pipeline fill, folded into α rounds).
+pub fn ring_broadcast_cost(p: usize, n_bytes: f64, mode: Mode, rack: Shape3) -> SymbolicCost {
+    assert!(p >= 2);
+    let mult = mode.beta_multiplier(1, rack);
+    SymbolicCost {
+        alpha_steps: (2 * (p - 1) - 1) as u32,
+        reconfigs: mode.reconfigs(1),
+        // Each round's critical chunk is N/(p−1); (2(p−1)−1) rounds.
+        beta_bytes: n_bytes / (p - 1) as f64 * (2 * (p - 1) - 1) as f64 * mult,
+    }
+}
+
+/// Build a ring Scatter: the root sends each member its `N/p` block, peeled
+/// hop by hop (`p−1` rounds; round `k` moves the blocks for members
+/// `k+1..p` one hop closer).
+pub fn ring_scatter(
+    members: &[Coord3],
+    n_bytes: f64,
+    mode: Mode,
+    rack: Shape3,
+    torus: &Torus,
+    params: &CostParams,
+) -> Schedule {
+    let p = members.len();
+    assert!(p >= 2, "scatter needs at least two members");
+    let block = n_bytes / p as f64;
+    let mult = mode.beta_multiplier(1, rack);
+    let ring_gbps = params.chip_bandwidth.0 / mult;
+    let mut schedule = Schedule::new();
+    for round in 0..p - 1 {
+        // At round k, hop i (i ≤ k) forwards the blocks still in flight:
+        // the farthest block reaches one hop further each round. The
+        // classic peel: hop i carries (p−1−round+…) — model the aggregate:
+        // hop i active in round k iff i ≤ k, carrying the blocks destined
+        // beyond member i. Bytes on hop i at round k: block × (p−1−k)
+        // for the head hop; simplified to the standard pipelined volume of
+        // one block per active hop.
+        let mut transfers = Vec::new();
+        for hop in 0..=round.min(p - 2) {
+            // blocks for members hop+1.. still passing through.
+            let remaining = (p - 1 - round + hop).min(p - 1 - hop);
+            if remaining == 0 {
+                continue;
+            }
+            let from = members[hop];
+            let to = members[hop + 1];
+            transfers.push(Transfer {
+                from,
+                to,
+                bytes: block,
+                path: if mode.is_optical() {
+                    Vec::new()
+                } else {
+                    torus.route(from, to)
+                },
+            });
+        }
+        schedule.rounds.push(Round {
+            transfers,
+            ring_gbps,
+            reconfig_before: mode.is_optical() && round == 0,
+        });
+    }
+    schedule
+}
+
+/// Closed-form Scatter cost along a ring: the root's link is the
+/// bottleneck, carrying `(p−1)/p·N`: `(p−1)·α [+ r] + N(1−1/p)·mult·β`.
+pub fn ring_scatter_cost(p: usize, n_bytes: f64, mode: Mode, rack: Shape3) -> SymbolicCost {
+    assert!(p >= 2);
+    let mult = mode.beta_multiplier(1, rack);
+    SymbolicCost {
+        alpha_steps: (p - 1) as u32,
+        reconfigs: mode.reconfigs(1),
+        beta_bytes: (n_bytes - n_bytes / p as f64) * mult,
+    }
+}
+
+/// Gather is the time-reverse of Scatter: identical cost.
+pub fn ring_gather_cost(p: usize, n_bytes: f64, mode: Mode, rack: Shape3) -> SymbolicCost {
+    ring_scatter_cost(p, n_bytes, mode, rack)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use crate::ring::snake_order;
+    use topo::Slice;
+
+    const RACK: Shape3 = Shape3::rack_4x4x4();
+
+    fn members() -> Vec<Coord3> {
+        snake_order(&Slice::new(1, Coord3::new(0, 0, 0), Shape3::new(4, 2, 1)))
+    }
+
+    #[test]
+    fn broadcast_delivers_full_buffer_to_everyone() {
+        let params = CostParams::default();
+        let torus = Torus::new(RACK);
+        let m = members();
+        let n = 7e9; // divisible by p−1 = 7
+        let s = ring_broadcast(&m, n, Mode::Electrical, RACK, &torus, &params);
+        assert_eq!(s.rounds.len(), 13, "2(p−1)−1 pipelined rounds");
+        // Every non-root member receives exactly N in total.
+        for (i, member) in m.iter().enumerate().skip(1) {
+            let received: f64 = s
+                .rounds
+                .iter()
+                .flat_map(|r| &r.transfers)
+                .filter(|t| t.to == *member)
+                .map(|t| t.bytes)
+                .sum();
+            assert!((received - n).abs() < 1e-3, "member {i} got {received}");
+        }
+        assert!(s.is_congestion_free());
+    }
+
+    #[test]
+    fn broadcast_cost_matches_schedule() {
+        let params = CostParams::default();
+        let torus = Torus::new(RACK);
+        let m = members();
+        let n = 7e9;
+        for mode in [Mode::Electrical, Mode::OpticalFullSteer] {
+            let s = ring_broadcast(&m, n, mode, RACK, &torus, &params);
+            let sym = s.symbolic_cost(&params);
+            let closed = ring_broadcast_cost(8, n, mode, RACK);
+            assert_eq!(sym.alpha_steps, closed.alpha_steps, "{mode:?}");
+            assert!(
+                (sym.beta_bytes - closed.beta_bytes).abs() < 1e-3,
+                "{mode:?}: {} vs {}",
+                sym.beta_bytes,
+                closed.beta_bytes
+            );
+            assert_eq!(execute(&s, &params).total, s.analytic_total(&params));
+        }
+    }
+
+    #[test]
+    fn broadcast_optics_is_3x_cheaper() {
+        let e = ring_broadcast_cost(8, 7e9, Mode::Electrical, RACK);
+        let o = ring_broadcast_cost(8, 7e9, Mode::OpticalFullSteer, RACK);
+        assert!((e.beta_ratio(&o) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scatter_root_sends_all_but_own_block() {
+        let params = CostParams::default();
+        let torus = Torus::new(RACK);
+        let m = members();
+        let n = 8e9;
+        let s = ring_scatter(&m, n, Mode::Electrical, RACK, &torus, &params);
+        assert_eq!(s.rounds.len(), 7);
+        let root_sent: f64 = s
+            .rounds
+            .iter()
+            .flat_map(|r| &r.transfers)
+            .filter(|t| t.from == m[0])
+            .map(|t| t.bytes)
+            .sum();
+        assert!(
+            (root_sent - (n - n / 8.0)).abs() < 1e-3,
+            "root sent {root_sent}"
+        );
+        assert!(s.is_congestion_free());
+    }
+
+    #[test]
+    fn scatter_and_gather_costs_mirror() {
+        let s = ring_scatter_cost(8, 8e9, Mode::OpticalFullSteer, RACK);
+        let g = ring_gather_cost(8, 8e9, Mode::OpticalFullSteer, RACK);
+        assert_eq!(s.alpha_steps, g.alpha_steps);
+        assert!((s.beta_bytes - g.beta_bytes).abs() < 1e-12);
+        // β-optimal for the rooted primitive: the root must move N−N/p.
+        assert!((s.beta_bytes - (8e9 - 1e9)).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,257 @@
+//! Single-ring collectives over a slice (the Table 1 algorithm).
+//!
+//! A ring ReduceScatter over `p` chips runs `p−1` steps; each step every
+//! chip sends `N/p` bytes to its ring successor. On the electrical torus
+//! the ring is embedded as a boustrophedon ("snake") cycle through the
+//! slice so consecutive members are physically adjacent; photonic
+//! redirection instead gives the ring the chip's full egress bandwidth over
+//! dedicated circuits (§4.1).
+
+use crate::cost::{CostParams, SymbolicCost};
+use crate::mode::Mode;
+use crate::schedule::{Round, Schedule, Transfer};
+use topo::{Coord3, Dim, Shape3, Slice, Torus};
+
+/// Boustrophedon (snake) order over a slice's chips: X sweeps alternate
+/// direction per Y row, Y sweeps alternate per Z layer, so consecutive
+/// chips are always grid-adjacent. For slices with an even number of rows
+/// the closing hop is adjacent too, making a Hamiltonian cycle.
+pub fn snake_order(slice: &Slice) -> Vec<Coord3> {
+    let ex = slice.extent.extent(Dim::X);
+    let ey = slice.extent.extent(Dim::Y);
+    let ez = slice.extent.extent(Dim::Z);
+    let mut out = Vec::with_capacity(slice.chips());
+    for z in 0..ez {
+        let ys: Vec<usize> = if z % 2 == 0 {
+            (0..ey).collect()
+        } else {
+            (0..ey).rev().collect()
+        };
+        for (yi, &y) in ys.iter().enumerate() {
+            let flip = (z * ey + yi) % 2 == 1;
+            let xs: Vec<usize> = if flip {
+                (0..ex).rev().collect()
+            } else {
+                (0..ex).collect()
+            };
+            for &x in &xs {
+                out.push(Coord3::new(
+                    slice.origin.p[0] + x,
+                    slice.origin.p[1] + y,
+                    slice.origin.p[2] + z,
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Build the schedule of a ring ReduceScatter over `members` (in ring
+/// order) moving `n_bytes` total per chip.
+///
+/// `mode` fixes the per-ring bandwidth: electrical rings run at `B/3` with
+/// transfers routed hop-by-hop on `torus`; optical rings run on dedicated
+/// circuits at the redirected bandwidth and charge one reconfiguration.
+///
+/// Panics when fewer than two members are given.
+pub fn ring_reduce_scatter(
+    members: &[Coord3],
+    n_bytes: f64,
+    mode: Mode,
+    rack: Shape3,
+    torus: &Torus,
+    params: &CostParams,
+) -> Schedule {
+    assert!(members.len() >= 2, "a ring needs at least two members");
+    let p = members.len();
+    let chunk = n_bytes / p as f64;
+    let mult = mode.beta_multiplier(1, rack);
+    let ring_gbps = params.chip_bandwidth.0 / mult; // B over the mode's split
+    let mut rounds = Vec::with_capacity(p - 1);
+    for step in 0..p - 1 {
+        let transfers = members
+            .iter()
+            .enumerate()
+            .map(|(i, &from)| {
+                let to = members[(i + 1) % p];
+                Transfer {
+                    from,
+                    to,
+                    bytes: chunk,
+                    path: if mode.is_optical() {
+                        Vec::new()
+                    } else {
+                        torus.route(from, to)
+                    },
+                }
+            })
+            .collect();
+        rounds.push(Round {
+            transfers,
+            ring_gbps,
+            reconfig_before: mode.is_optical() && step == 0,
+        });
+    }
+    Schedule { rounds }
+}
+
+/// Ring AllGather: identical round structure and volume to ReduceScatter.
+pub fn ring_all_gather(
+    members: &[Coord3],
+    n_bytes: f64,
+    mode: Mode,
+    rack: Shape3,
+    torus: &Torus,
+    params: &CostParams,
+) -> Schedule {
+    // Data flows the same way; only the reduction operator differs, which
+    // the cost model does not see. No extra reconfiguration: the circuits
+    // of the preceding ReduceScatter stay in place.
+    let mut s = ring_reduce_scatter(members, n_bytes, mode, rack, torus, params);
+    for r in &mut s.rounds {
+        r.reconfig_before = false;
+    }
+    s
+}
+
+/// Ring AllReduce = ReduceScatter then AllGather over the same ring.
+pub fn ring_all_reduce(
+    members: &[Coord3],
+    n_bytes: f64,
+    mode: Mode,
+    rack: Shape3,
+    torus: &Torus,
+    params: &CostParams,
+) -> Schedule {
+    ring_reduce_scatter(members, n_bytes, mode, rack, torus, params).then(ring_all_gather(
+        members, n_bytes, mode, rack, torus, params,
+    ))
+}
+
+/// Closed-form Table 1 cost of a ring ReduceScatter: `(p−1)·α [+ r] +
+/// (N − N/p)·mult·β`.
+pub fn ring_reduce_scatter_cost(p: usize, n_bytes: f64, mode: Mode, rack: Shape3) -> SymbolicCost {
+    assert!(p >= 2);
+    let mult = mode.beta_multiplier(1, rack);
+    SymbolicCost {
+        alpha_steps: (p - 1) as u32,
+        reconfigs: mode.reconfigs(1),
+        beta_bytes: (n_bytes - n_bytes / p as f64) * mult,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    const RACK: Shape3 = Shape3::rack_4x4x4();
+
+    fn slice1() -> Slice {
+        Slice::new(1, Coord3::new(0, 0, 0), Shape3::new(4, 2, 1))
+    }
+
+    fn torus() -> Torus {
+        Torus::new(RACK)
+    }
+
+    #[test]
+    fn snake_is_adjacent_hamiltonian_cycle() {
+        let order = snake_order(&slice1());
+        assert_eq!(order.len(), 8);
+        let mut sorted = order.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8, "each chip exactly once");
+        for w in order.windows(2) {
+            let dist: usize = Dim::ALL
+                .into_iter()
+                .map(|d| w[0].get(d).abs_diff(w[1].get(d)))
+                .sum();
+            assert_eq!(dist, 1, "{} -> {} not adjacent", w[0], w[1]);
+        }
+        // Even row count: the cycle closes adjacently.
+        let (first, last) = (order[0], order[7]);
+        let dist: usize = Dim::ALL
+            .into_iter()
+            .map(|d| first.get(d).abs_diff(last.get(d)))
+            .sum();
+        assert_eq!(dist, 1, "closing hop adjacent");
+    }
+
+    #[test]
+    fn snake_handles_3d_slices() {
+        let s = Slice::new(4, Coord3::new(0, 0, 2), Shape3::new(4, 4, 2));
+        let order = snake_order(&s);
+        assert_eq!(order.len(), 32);
+        for w in order.windows(2) {
+            let dist: usize = Dim::ALL
+                .into_iter()
+                .map(|d| w[0].get(d).abs_diff(w[1].get(d)))
+                .sum();
+            assert_eq!(dist, 1);
+        }
+    }
+
+    #[test]
+    fn electrical_ring_is_congestion_free() {
+        let s = slice1();
+        let sched = ring_reduce_scatter(&snake_order(&s), 8e9, Mode::Electrical, RACK, &torus(), &CostParams::default());
+        assert_eq!(sched.rounds.len(), 7);
+        assert!(sched.is_congestion_free(), "ring RS must not congest");
+        assert_eq!(sched.reconfig_count(), 0);
+    }
+
+    #[test]
+    fn table1_cost_ratio_is_3x() {
+        // Table 1: Slice-1 ReduceScatter, electrical 3× the optics β cost.
+        let params = CostParams::default();
+        let s = slice1();
+        let members = snake_order(&s);
+        let n = 8e9;
+        let elec = ring_reduce_scatter(&members, n, Mode::Electrical, RACK, &torus(), &params);
+        let opt = ring_reduce_scatter(&members, n, Mode::OpticalFullSteer, RACK, &torus(), &params);
+        let ce = elec.symbolic_cost(&params);
+        let co = opt.symbolic_cost(&params);
+        assert_eq!(ce.alpha_steps, 7);
+        assert_eq!(co.alpha_steps, 7);
+        assert_eq!(ce.reconfigs, 0);
+        assert_eq!(co.reconfigs, 1);
+        assert!((ce.beta_ratio(&co) - 3.0).abs() < 1e-9, "elec 3× optics");
+        // And both match the closed form.
+        let ce_closed = ring_reduce_scatter_cost(8, n, Mode::Electrical, RACK);
+        let co_closed = ring_reduce_scatter_cost(8, n, Mode::OpticalFullSteer, RACK);
+        assert!((ce.beta_bytes - ce_closed.beta_bytes).abs() < 1e-3);
+        assert!((co.beta_bytes - co_closed.beta_bytes).abs() < 1e-3);
+        assert!((co_closed.beta_bytes - (n - n / 8.0)).abs() < 1e-3, "β-optimal");
+    }
+
+    #[test]
+    fn all_reduce_doubles_beta() {
+        let params = CostParams::default();
+        let members = snake_order(&slice1());
+        let rs = ring_reduce_scatter(&members, 8e9, Mode::Electrical, RACK, &torus(), &params);
+        let ar = ring_all_reduce(&members, 8e9, Mode::Electrical, RACK, &torus(), &params);
+        let crs = rs.symbolic_cost(&params);
+        let car = ar.symbolic_cost(&params);
+        assert_eq!(car.alpha_steps, 2 * crs.alpha_steps);
+        assert!((car.beta_bytes - 2.0 * crs.beta_bytes).abs() < 1e-3);
+    }
+
+    #[test]
+    fn optical_ring_reconfigures_once() {
+        let members = snake_order(&slice1());
+        let ar = ring_all_reduce(&members, 8e9, Mode::OpticalFullSteer, RACK, &torus(), &CostParams::default());
+        assert_eq!(ar.reconfig_count(), 1, "RS sets circuits, AG reuses them");
+    }
+
+    #[test]
+    fn per_chip_volume_matches_theory() {
+        let params = CostParams::default();
+        let members = snake_order(&slice1());
+        let n = 8e9;
+        let sched = ring_reduce_scatter(&members, n, Mode::Electrical, RACK, &torus(), &params);
+        let sent = sched.bytes_sent_by(members[0]);
+        assert!((sent - (n - n / 8.0)).abs() < 1e-3, "each chip sends N−N/p");
+    }
+}

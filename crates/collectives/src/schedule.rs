@@ -1,0 +1,268 @@
+//! Executable transfer schedules.
+//!
+//! A collective compiles to a [`Schedule`]: an ordered list of [`Round`]s,
+//! each a set of simultaneous [`Transfer`]s at some per-ring bandwidth.
+//! Electrical transfers carry their hop-by-hop path so link sharing can be
+//! detected and *charged* (a link carrying `k` transfers gives each `1/k`
+//! of its bandwidth); optical transfers ride dedicated circuits and have no
+//! shared links by construction. The same schedule supports both the
+//! closed-form α–β–r cost (cross-checked in tests) and the event-driven
+//! executor in [`crate::exec`].
+
+use crate::cost::{CostParams, SymbolicCost};
+use desim::SimDuration;
+use std::collections::HashMap;
+use topo::{Coord3, DirLink};
+
+/// One point-to-point data movement within a round.
+#[derive(Debug, Clone)]
+pub struct Transfer {
+    /// Sending chip.
+    pub from: Coord3,
+    /// Receiving chip.
+    pub to: Coord3,
+    /// Payload size in bytes (fractional to keep closed forms exact).
+    pub bytes: f64,
+    /// Directed electrical links crossed, in order. Empty for a transfer on
+    /// a dedicated optical circuit.
+    pub path: Vec<DirLink>,
+}
+
+/// A set of simultaneous transfers.
+#[derive(Debug, Clone)]
+pub struct Round {
+    /// The simultaneous transfers.
+    pub transfers: Vec<Transfer>,
+    /// Bandwidth available to each ring/transfer absent sharing, Gb/s.
+    pub ring_gbps: f64,
+    /// Whether MZI switches must be re-pointed before this round (charges
+    /// the reconfiguration latency `r`).
+    pub reconfig_before: bool,
+}
+
+impl Round {
+    /// Per-link load of this round's electrical transfers.
+    pub fn link_loads(&self) -> HashMap<DirLink, u32> {
+        let mut loads = HashMap::new();
+        for t in &self.transfers {
+            for &l in &t.path {
+                *loads.entry(l).or_insert(0) += 1;
+            }
+        }
+        loads
+    }
+
+    /// The worst sharing factor experienced by a transfer: the maximum load
+    /// among the links on its path (1 for an optical transfer).
+    pub fn transfer_load(&self, t: &Transfer, loads: &HashMap<DirLink, u32>) -> u32 {
+        t.path
+            .iter()
+            .map(|l| loads.get(l).copied().unwrap_or(1))
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Wall-clock duration of this round under `params`: reconfiguration
+    /// (if flagged) + α + the slowest transfer at its congested rate.
+    pub fn duration(&self, params: &CostParams) -> SimDuration {
+        let mut d = params.alpha;
+        if self.reconfig_before {
+            d += params.reconfig;
+        }
+        d + SimDuration::from_secs_f64(self.slowest_transfer_secs())
+    }
+
+    /// Seconds taken by the slowest transfer (0 when the round is empty).
+    pub fn slowest_transfer_secs(&self) -> f64 {
+        let loads = self.link_loads();
+        let bytes_per_sec = self.ring_gbps * 1e9 / 8.0;
+        self.transfers
+            .iter()
+            .map(|t| t.bytes * self.transfer_load(t, &loads) as f64 / bytes_per_sec)
+            .fold(0.0, f64::max)
+    }
+
+    /// Highest load on any link in this round.
+    pub fn max_link_load(&self) -> u32 {
+        self.link_loads().values().copied().max().unwrap_or(0)
+    }
+
+    /// The paper's congestion predicate for this round.
+    pub fn is_congestion_free(&self) -> bool {
+        self.max_link_load() <= 1
+    }
+}
+
+/// An ordered sequence of rounds.
+#[derive(Debug, Clone, Default)]
+pub struct Schedule {
+    /// Rounds in execution order.
+    pub rounds: Vec<Round>,
+}
+
+impl Schedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Schedule::default()
+    }
+
+    /// Append another schedule's rounds after this one's.
+    pub fn then(mut self, mut other: Schedule) -> Schedule {
+        self.rounds.append(&mut other.rounds);
+        self
+    }
+
+    /// Closed-form total time: the sum of round durations.
+    pub fn analytic_total(&self, params: &CostParams) -> SimDuration {
+        self.rounds
+            .iter()
+            .map(|r| r.duration(params))
+            .fold(SimDuration::ZERO, |a, b| a + b)
+    }
+
+    /// Symbolic α–β–r decomposition of the schedule under `params` (the
+    /// bandwidth parameter fixes the β weighting of each round).
+    pub fn symbolic_cost(&self, params: &CostParams) -> SymbolicCost {
+        let b_gbps = params.chip_bandwidth.0;
+        let mut cost = SymbolicCost::ZERO;
+        for r in &self.rounds {
+            cost.alpha_steps += 1;
+            if r.reconfig_before {
+                cost.reconfigs += 1;
+            }
+            // bytes at ring_gbps ≡ bytes × (B/ring) at B.
+            let loads = r.link_loads();
+            let worst = r
+                .transfers
+                .iter()
+                .map(|t| t.bytes * r.transfer_load(t, &loads) as f64)
+                .fold(0.0, f64::max);
+            cost.beta_bytes += worst * (b_gbps / r.ring_gbps);
+        }
+        cost
+    }
+
+    /// Highest link load across all rounds.
+    pub fn max_link_load(&self) -> u32 {
+        self.rounds.iter().map(Round::max_link_load).max().unwrap_or(0)
+    }
+
+    /// True when every round satisfies the congestion predicate.
+    pub fn is_congestion_free(&self) -> bool {
+        self.rounds.iter().all(Round::is_congestion_free)
+    }
+
+    /// Total bytes moved by the busiest single chip (for sanity checks).
+    pub fn bytes_sent_by(&self, chip: Coord3) -> f64 {
+        self.rounds
+            .iter()
+            .flat_map(|r| &r.transfers)
+            .filter(|t| t.from == chip)
+            .map(|t| t.bytes)
+            .sum()
+    }
+
+    /// Number of reconfiguration events in the schedule.
+    pub fn reconfig_count(&self) -> u32 {
+        self.rounds.iter().filter(|r| r.reconfig_before).count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topo::{Dim, Shape3, Torus};
+
+    fn one_round(paths: Vec<Vec<DirLink>>, bytes: f64, gbps: f64) -> Round {
+        Round {
+            transfers: paths
+                .into_iter()
+                .map(|p| Transfer {
+                    from: Coord3::new(0, 0, 0),
+                    to: Coord3::new(1, 0, 0),
+                    bytes,
+                    path: p,
+                })
+                .collect(),
+            ring_gbps: gbps,
+            reconfig_before: false,
+        }
+    }
+
+    #[test]
+    fn optical_round_duration() {
+        let params = CostParams::default();
+        // One optical transfer of 448 MB at full B = 448 GB/s → 1 ms.
+        let r = one_round(vec![vec![]], 448e6, params.chip_bandwidth.0);
+        let d = r.duration(&params);
+        let expect = 1e-3 + params.alpha.as_secs_f64();
+        assert!((d.as_secs_f64() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_link_halves_bandwidth() {
+        let t = Torus::new(Shape3::rack_4x4x4());
+        let l = t.route(Coord3::new(0, 0, 0), Coord3::new(1, 0, 0));
+        let solo = one_round(vec![l.clone()], 1e6, 8.0); // 1 GB/s links
+        let shared = one_round(vec![l.clone(), l], 1e6, 8.0);
+        assert!(!shared.is_congestion_free());
+        assert_eq!(shared.max_link_load(), 2);
+        let s = solo.slowest_transfer_secs();
+        let sh = shared.slowest_transfer_secs();
+        assert!((sh / s - 2.0).abs() < 1e-9, "sharing doubles time");
+    }
+
+    #[test]
+    fn reconfig_adds_r() {
+        let params = CostParams::default();
+        let mut r = one_round(vec![vec![]], 0.0, 224.0);
+        let base = r.duration(&params);
+        r.reconfig_before = true;
+        let with = r.duration(&params);
+        assert_eq!(with - base, params.reconfig);
+    }
+
+    #[test]
+    fn schedule_totals_and_symbolic_agree() {
+        let params = CostParams::default();
+        let b = params.chip_bandwidth.0;
+        let sched = Schedule {
+            rounds: vec![
+                Round {
+                    reconfig_before: true,
+                    ..one_round(vec![vec![]], 1e9, b)
+                },
+                one_round(vec![vec![]], 1e9, b / 3.0),
+            ],
+        };
+        let total = sched.analytic_total(&params);
+        let sym = sched.symbolic_cost(&params);
+        assert_eq!(sym.alpha_steps, 2);
+        assert_eq!(sym.reconfigs, 1);
+        // 1 GB at B plus 1 GB at B/3 → 4 GB·β equivalent.
+        assert!((sym.beta_bytes - 4e9).abs() < 1.0);
+        assert!(
+            (sym.total(&params).as_secs_f64() - total.as_secs_f64()).abs() < 1e-9,
+            "symbolic and analytic agree"
+        );
+    }
+
+    #[test]
+    fn then_concatenates() {
+        let a = Schedule {
+            rounds: vec![one_round(vec![vec![]], 1.0, 1.0)],
+        };
+        let b = Schedule {
+            rounds: vec![one_round(vec![vec![]], 1.0, 1.0); 2],
+        };
+        assert_eq!(a.then(b).rounds.len(), 3);
+    }
+
+    #[test]
+    fn empty_dim_link_round_has_load_zero() {
+        let r = one_round(vec![vec![]], 1.0, 1.0);
+        assert_eq!(r.max_link_load(), 0);
+        assert!(r.is_congestion_free());
+        let _ = Dim::X; // silence unused import in cfg(test)
+    }
+}

@@ -1,0 +1,179 @@
+//! The subdivided simultaneous-dimensions baseline (§4.1's reference to
+//! De Sensi et al. \[41\]).
+//!
+//! Instead of one bucket algorithm that leaves D−1 dimensions idle, split
+//! the buffer into D parts and run D bucket algorithms concurrently, each
+//! visiting the dimensions in a rotated order, "such that all the
+//! dimensions are utilized throughout the collective". The paper's
+//! observation: on a slice whose dimensions are all usable this matches —
+//! but does not beat — photonic redirection (`N/D · D/B = N/B`), and on
+//! sub-rack slices it is not even applicable electrically because the
+//! rotated orders need every dimension congestion-free.
+
+use crate::cost::{CostParams, SymbolicCost};
+use crate::mode::Mode;
+use crate::schedule::{Round, Schedule};
+use crate::bucket::bucket_reduce_scatter;
+use topo::{Dim, Shape3, Slice, Torus};
+
+/// Rotate `dims` left by `k`.
+fn rotated(dims: &[Dim], k: usize) -> Vec<Dim> {
+    let n = dims.len();
+    (0..n).map(|i| dims[(i + k) % n]).collect()
+}
+
+/// Build the subdivided simultaneous schedule: `dims.len()` bucket
+/// ReduceScatters over `n/D` buffers, one per rotated dimension order,
+/// running concurrently. Rounds are zipped: round `t` of the combined
+/// schedule contains round `t` of every sub-algorithm.
+///
+/// Only meaningful in [`Mode::Electrical`] (each dimension's wiring carries
+/// its own sub-algorithm at `B/D`) — optical modes should use redirection
+/// instead, which this baseline exists to be compared against.
+pub fn subdivided_reduce_scatter(
+    slice: &Slice,
+    dims: &[Dim],
+    n_bytes: f64,
+    rack: Shape3,
+    torus: &Torus,
+    params: &CostParams,
+) -> Schedule {
+    assert!(!dims.is_empty());
+    let d = dims.len();
+    let subs: Vec<Schedule> = (0..d)
+        .map(|k| {
+            bucket_reduce_scatter(
+                slice,
+                &rotated(dims, k),
+                n_bytes / d as f64,
+                Mode::Electrical,
+                rack,
+                torus,
+                params,
+            )
+        })
+        .collect();
+    // Zip rounds: all sub-algorithms progress in lockstep. With symmetric
+    // extents every sub-schedule has the same round count; with asymmetric
+    // extents shorter ones simply finish early.
+    let max_rounds = subs.iter().map(|s| s.rounds.len()).max().unwrap_or(0);
+    let ring_gbps = subs[0].rounds[0].ring_gbps;
+    let mut merged = Schedule::new();
+    for t in 0..max_rounds {
+        let mut round = Round {
+            transfers: Vec::new(),
+            ring_gbps,
+            reconfig_before: false,
+        };
+        for sub in &subs {
+            if let Some(r) = sub.rounds.get(t) {
+                round.transfers.extend(r.transfers.iter().cloned());
+            }
+        }
+        merged.rounds.push(round);
+    }
+    merged
+}
+
+/// Closed-form cost of the subdivided baseline on a symmetric slice
+/// (`extents` all equal): D sub-algorithms of `N/D` each run concurrently
+/// at `B/D` per dimension, so the wall-clock β cost is that of ONE
+/// sub-algorithm: `Σᵢ (Nᵢ − Nᵢ/pᵢ)·D·β` over buffer `N/D`.
+pub fn subdivided_cost(extents: &[usize], n_bytes: f64, rack: Shape3) -> SymbolicCost {
+    let d = extents.len();
+    let mut cost = SymbolicCost::ZERO;
+    let mult = Mode::Electrical.beta_multiplier(d, rack);
+    let mut buffer = n_bytes / d as f64;
+    for &p in extents {
+        cost.alpha_steps += (p - 1) as u32;
+        cost.beta_bytes += (buffer - buffer / p as f64) * mult;
+        buffer /= p as f64;
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topo::Coord3;
+
+    const RACK: Shape3 = Shape3::rack_4x4x4();
+
+    /// A full-rack slice: the only case where all rotations are usable
+    /// electrically.
+    fn full_rack() -> Slice {
+        Slice::new(1, Coord3::new(0, 0, 0), RACK)
+    }
+
+    #[test]
+    fn rotations_cover_all_dimensions() {
+        let dims = [Dim::X, Dim::Y, Dim::Z];
+        assert_eq!(rotated(&dims, 1), vec![Dim::Y, Dim::Z, Dim::X]);
+        assert_eq!(rotated(&dims, 2), vec![Dim::Z, Dim::X, Dim::Y]);
+    }
+
+    #[test]
+    fn simultaneous_orders_are_congestion_free_on_full_rack() {
+        // At any instant the three sub-algorithms are in stages with three
+        // distinct dimensions, so their rings never share a link.
+        let params = CostParams::default();
+        let torus = Torus::new(RACK);
+        let s = subdivided_reduce_scatter(
+            &full_rack(),
+            &[Dim::X, Dim::Y, Dim::Z],
+            48e9,
+            RACK,
+            &torus,
+            &params,
+        );
+        assert!(s.is_congestion_free(), "rotated orders must not collide");
+        assert_eq!(s.rounds.len(), 9, "3 stages × 3 rounds, zipped");
+    }
+
+    #[test]
+    fn matches_redirection_not_beats_it() {
+        // §4.1: N/D · D/B = N/B — the subdivided baseline equals a single
+        // bucket with full-steer redirection in β cost (for large N).
+        let params = CostParams::default();
+        let torus = Torus::new(RACK);
+        let n = 48e9;
+        let sub = subdivided_reduce_scatter(
+            &full_rack(),
+            &[Dim::X, Dim::Y, Dim::Z],
+            n,
+            RACK,
+            &torus,
+            &params,
+        )
+        .symbolic_cost(&params);
+        let redirect = crate::bucket::bucket_reduce_scatter_cost(
+            &[4, 4, 4],
+            n,
+            Mode::OpticalFullSteer,
+            RACK,
+        );
+        let ratio = sub.beta_ratio(&redirect);
+        assert!(
+            (ratio - 1.0).abs() < 1e-9,
+            "subdivided equals redirection: ratio {ratio}"
+        );
+        // And the closed form agrees with the zipped schedule.
+        let closed = subdivided_cost(&[4, 4, 4], n, RACK);
+        assert!((closed.beta_bytes - sub.beta_bytes).abs() < 1e-3);
+    }
+
+    #[test]
+    fn beats_naive_sequential_bucket() {
+        // The subdivided baseline IS better than the plain electrical
+        // bucket (which idles 2 of 3 dimensions).
+        let n = 48e9;
+        let naive =
+            crate::bucket::bucket_reduce_scatter_cost(&[4, 4, 4], n, Mode::Electrical, RACK);
+        let sub = subdivided_cost(&[4, 4, 4], n, RACK);
+        let ratio = naive.beta_ratio(&sub);
+        assert!(
+            (ratio - 3.0).abs() < 1e-9,
+            "3× from engaging all dims: {ratio}"
+        );
+    }
+}

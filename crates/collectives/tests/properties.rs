@@ -1,0 +1,148 @@
+//! Property-based tests of the collective algorithms: byte conservation,
+//! closed-form agreement, and the paper's cost ratios on arbitrary slices.
+
+use collectives::{
+    bucket_reduce_scatter, bucket_reduce_scatter_cost, execute, ring_reduce_scatter,
+    ring_reduce_scatter_cost, snake_order, CostParams, Mode,
+};
+use proptest::prelude::*;
+use topo::{Coord3, Dim, Shape3, Slice, Torus};
+
+const RACK: Shape3 = Shape3::rack_4x4x4();
+
+/// Slice shapes with at least 2 chips and an even snake cycle.
+fn slice_shape() -> impl Strategy<Value = Shape3> {
+    (prop_oneof![Just(2usize), Just(4)], prop_oneof![Just(1usize), Just(2), Just(4)])
+        .prop_map(|(x, y)| Shape3::new(x, y, 1))
+}
+
+fn mode() -> impl Strategy<Value = Mode> {
+    prop_oneof![
+        Just(Mode::Electrical),
+        Just(Mode::OpticalStaticSplit),
+        Just(Mode::OpticalFullSteer),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every chip sends exactly N − N/p bytes in a ring ReduceScatter.
+    #[test]
+    fn ring_rs_volume_per_chip(s in slice_shape(), n_exp in 3.0f64..10.0, m in mode()) {
+        let params = CostParams::default();
+        let torus = Torus::new(RACK);
+        let n = 10f64.powf(n_exp);
+        let slice = Slice::new(1, Coord3::new(0, 0, 0), s);
+        let members = snake_order(&slice);
+        let p = members.len() as f64;
+        let sched = ring_reduce_scatter(&members, n, m, RACK, &torus, &params);
+        for &c in &members {
+            let sent = sched.bytes_sent_by(c);
+            prop_assert!((sent - (n - n / p)).abs() < 1e-6 * n, "chip {c}");
+        }
+    }
+
+    /// Executor time equals the analytic total exactly, for any case.
+    #[test]
+    fn executor_equals_analytic(s in slice_shape(), n_exp in 3.0f64..10.0, m in mode()) {
+        let params = CostParams::default();
+        let torus = Torus::new(RACK);
+        let n = 10f64.powf(n_exp);
+        let slice = Slice::new(1, Coord3::new(0, 0, 0), s);
+        let sched = ring_reduce_scatter(&snake_order(&slice), n, m, RACK, &torus, &params);
+        let report = execute(&sched, &params);
+        prop_assert_eq!(report.total, sched.analytic_total(&params));
+        prop_assert_eq!(report.rounds, sched.rounds.len());
+    }
+
+    /// The closed form matches the schedule's symbolic cost for rings.
+    #[test]
+    fn ring_closed_form_matches(s in slice_shape(), m in mode()) {
+        let params = CostParams::default();
+        let torus = Torus::new(RACK);
+        let n = 1e9;
+        let slice = Slice::new(1, Coord3::new(0, 0, 0), s);
+        let members = snake_order(&slice);
+        let sched = ring_reduce_scatter(&members, n, m, RACK, &torus, &params);
+        let sym = sched.symbolic_cost(&params);
+        let closed = ring_reduce_scatter_cost(members.len(), n, m, RACK);
+        prop_assert_eq!(sym.alpha_steps, closed.alpha_steps);
+        prop_assert_eq!(sym.reconfigs, closed.reconfigs);
+        prop_assert!((sym.beta_bytes - closed.beta_bytes).abs() < 1e-3);
+    }
+
+    /// Electrical always pays exactly 3× the full-steer optics β on any
+    /// ring (the Table 1 ratio generalizes).
+    #[test]
+    fn electrical_pays_3x_any_ring(s in slice_shape(), n_exp in 5.0f64..10.0) {
+        let n = 10f64.powf(n_exp);
+        let slice = Slice::new(1, Coord3::new(0, 0, 0), s);
+        let p = slice.chips();
+        let elec = ring_reduce_scatter_cost(p, n, Mode::Electrical, RACK);
+        let opt = ring_reduce_scatter_cost(p, n, Mode::OpticalFullSteer, RACK);
+        prop_assert!((elec.beta_ratio(&opt) - 3.0).abs() < 1e-9);
+    }
+
+    /// Bucket ReduceScatter moves N − N/Πpᵢ bytes per chip in total.
+    #[test]
+    fn bucket_rs_total_volume(
+        px in prop_oneof![Just(2usize), Just(4)],
+        py in prop_oneof![Just(2usize), Just(4)],
+        m in mode(),
+    ) {
+        let params = CostParams::default();
+        let torus = Torus::new(RACK);
+        let n = 1e9;
+        let slice = Slice::new(1, Coord3::new(0, 0, 0), Shape3::new(px, py, 1));
+        let sched = bucket_reduce_scatter(
+            &slice, &[Dim::X, Dim::Y], n, m, RACK, &torus, &params,
+        );
+        let chip = Coord3::new(0, 0, 0);
+        let sent = sched.bytes_sent_by(chip);
+        let expect = n - n / (px * py) as f64;
+        prop_assert!((sent - expect).abs() < 1e-6 * n, "sent {sent} expect {expect}");
+        // And the closed form agrees.
+        let closed = bucket_reduce_scatter_cost(&[px, py], n, m, RACK);
+        let sym = sched.symbolic_cost(&params);
+        prop_assert!((sym.beta_bytes - closed.beta_bytes).abs() < 1e-3);
+    }
+
+    /// Optical full steer is β-optimal for buckets of any shape.
+    #[test]
+    fn full_steer_is_beta_optimal(
+        extents in prop::collection::vec(prop_oneof![Just(2usize), Just(3), Just(4)], 1..4),
+    ) {
+        let n = 1e9;
+        let c = bucket_reduce_scatter_cost(&extents, n, Mode::OpticalFullSteer, RACK);
+        let p: usize = extents.iter().product();
+        let bound = n - n / p as f64;
+        prop_assert!((c.beta_bytes - bound).abs() < 1e-3);
+    }
+
+    /// More bandwidth never hurts: full steer ≤ static split ≤ electrical
+    /// in β for any bucket.
+    #[test]
+    fn mode_ordering(
+        extents in prop::collection::vec(prop_oneof![Just(2usize), Just(4)], 1..4),
+    ) {
+        let n = 1e9;
+        let full = bucket_reduce_scatter_cost(&extents, n, Mode::OpticalFullSteer, RACK);
+        let split = bucket_reduce_scatter_cost(&extents, n, Mode::OpticalStaticSplit, RACK);
+        let elec = bucket_reduce_scatter_cost(&extents, n, Mode::Electrical, RACK);
+        prop_assert!(full.beta_bytes <= split.beta_bytes + 1e-9);
+        prop_assert!(split.beta_bytes <= elec.beta_bytes + 1e-9);
+    }
+
+    /// Electrical ring schedules on full-extent slices are congestion-free.
+    #[test]
+    fn electrical_rings_congestion_free(s in slice_shape()) {
+        let params = CostParams::default();
+        let torus = Torus::new(RACK);
+        let slice = Slice::new(1, Coord3::new(0, 0, 0), s);
+        let sched = ring_reduce_scatter(
+            &snake_order(&slice), 1e6, Mode::Electrical, RACK, &torus, &params,
+        );
+        prop_assert!(sched.is_congestion_free());
+    }
+}

@@ -1,0 +1,195 @@
+//! Circuit types and errors.
+//!
+//! An optical circuit is a dedicated, contention-free light path between the
+//! transceivers of two tiles: a set of WDM wavelengths launched by the
+//! source tile, carried on waveguides reserved along a [`Path`], and
+//! terminated at the destination tile's photodetectors. Circuits are the
+//! unit the paper's opportunities are built from: bandwidth redirection
+//! (§4.1) re-establishes circuits with more wavelengths in the active ring
+//! dimension, and failure repair (§4.2) builds non-overlapping circuits
+//! around a dead chip.
+
+use crate::geom::{EdgeId, Path, TileCoord};
+use phy::link_budget::LinkReport;
+use phy::units::Gbps;
+use phy::wdm::LambdaSet;
+use std::fmt;
+
+/// Handle to an established circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CircuitId(pub(crate) u64);
+
+impl fmt::Display for CircuitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ckt#{}", self.0)
+    }
+}
+
+/// A request to establish a circuit on a wafer.
+#[derive(Debug, Clone)]
+pub struct CircuitRequest {
+    /// Source tile (its transmitter drives the circuit).
+    pub src: TileCoord,
+    /// Destination tile (its receiver terminates the circuit).
+    pub dst: TileCoord,
+    /// Number of WDM wavelengths (SerDes lanes) to carry; bandwidth is
+    /// `lanes × 224 Gb/s`.
+    pub lanes: usize,
+    /// Explicit route; `None` selects dimension-ordered XY with YX fallback.
+    pub path: Option<Path>,
+    /// Claim transmit SerDes lanes at the source. `false` only for segments
+    /// of a cross-wafer circuit that enter via fiber (no OE conversion).
+    pub claim_src_serdes: bool,
+    /// Claim receive SerDes lanes at the destination. `false` only for
+    /// segments that exit via fiber.
+    pub claim_dst_serdes: bool,
+}
+
+impl CircuitRequest {
+    /// A standard chip-to-chip request with `lanes` wavelengths.
+    pub fn new(src: TileCoord, dst: TileCoord, lanes: usize) -> Self {
+        CircuitRequest {
+            src,
+            dst,
+            lanes,
+            path: None,
+            claim_src_serdes: true,
+            claim_dst_serdes: true,
+        }
+    }
+
+    /// Use an explicit route instead of dimension-ordered default.
+    pub fn via(mut self, path: Path) -> Self {
+        self.path = Some(path);
+        self
+    }
+}
+
+/// An established circuit and its physical-layer report.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    /// Handle.
+    pub id: CircuitId,
+    /// Route across the tile grid.
+    pub path: Path,
+    /// Wavelengths carried (as claimed at the source).
+    pub lambdas: LambdaSet,
+    /// Whether source/destination SerDes lanes were claimed (see
+    /// [`CircuitRequest`]).
+    pub claimed_src: bool,
+    /// See [`CircuitRequest::claim_dst_serdes`].
+    pub claimed_dst: bool,
+    /// Data bandwidth carried.
+    pub bandwidth: Gbps,
+    /// Link-budget evaluation at establishment time.
+    pub link: LinkReport,
+}
+
+/// Why a circuit could not be established.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// Source and destination are the same tile.
+    SameEndpoints(TileCoord),
+    /// A referenced tile is outside the wafer grid.
+    OutOfBounds(TileCoord),
+    /// An endpoint tile's accelerator has failed (pass-through still works,
+    /// but it cannot source or sink traffic).
+    TileFailed(TileCoord),
+    /// Zero lanes requested, or more than the tile's SerDes pool has.
+    BadLaneCount(usize),
+    /// The source tile has too few free transmit lanes.
+    InsufficientTxLanes {
+        /// Tile that was out of lanes.
+        tile: TileCoord,
+        /// Lanes free at request time.
+        free: usize,
+        /// Lanes requested.
+        requested: usize,
+    },
+    /// The destination tile has too few free receive lanes.
+    InsufficientRxLanes {
+        /// Tile that was out of lanes.
+        tile: TileCoord,
+        /// Lanes free at request time.
+        free: usize,
+        /// Lanes requested.
+        requested: usize,
+    },
+    /// A waveguide bus along the route is fully occupied.
+    EdgeExhausted(EdgeId),
+    /// The end-to-end optical budget does not close at the target BER.
+    BudgetFailed {
+        /// Shortfall (negative margin), dB.
+        margin_db: f64,
+    },
+    /// A provided path does not start/end at the requested endpoints.
+    PathMismatch,
+    /// No such circuit (teardown/lookup of a stale id).
+    UnknownCircuit(CircuitId),
+    /// A fiber link needed by a cross-wafer circuit is exhausted.
+    FiberExhausted {
+        /// Fibers available on the link.
+        capacity: u32,
+    },
+    /// Cross-wafer request between wafers with no fiber link.
+    NoFiberLink,
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::SameEndpoints(t) => write!(f, "endpoints are the same tile {t}"),
+            CircuitError::OutOfBounds(t) => write!(f, "tile {t} outside the wafer grid"),
+            CircuitError::TileFailed(t) => write!(f, "tile {t} has a failed accelerator"),
+            CircuitError::BadLaneCount(n) => write!(f, "invalid lane count {n}"),
+            CircuitError::InsufficientTxLanes {
+                tile,
+                free,
+                requested,
+            } => write!(f, "tile {tile}: {requested} tx lanes requested, {free} free"),
+            CircuitError::InsufficientRxLanes {
+                tile,
+                free,
+                requested,
+            } => write!(f, "tile {tile}: {requested} rx lanes requested, {free} free"),
+            CircuitError::EdgeExhausted(e) => write!(f, "waveguide bus {e} exhausted"),
+            CircuitError::BudgetFailed { margin_db } => {
+                write!(f, "optical budget fails to close (margin {margin_db:.2} dB)")
+            }
+            CircuitError::PathMismatch => write!(f, "explicit path does not match endpoints"),
+            CircuitError::UnknownCircuit(id) => write!(f, "unknown circuit {id}"),
+            CircuitError::FiberExhausted { capacity } => {
+                write!(f, "fiber link exhausted ({capacity} fibers)")
+            }
+            CircuitError::NoFiberLink => write!(f, "no fiber link between the wafers"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builder_defaults() {
+        let r = CircuitRequest::new(TileCoord::new(0, 0), TileCoord::new(1, 1), 4);
+        assert!(r.claim_src_serdes && r.claim_dst_serdes);
+        assert!(r.path.is_none());
+        let p = Path::xy(r.src, r.dst);
+        let r = r.via(p.clone());
+        assert_eq!(r.path, Some(p));
+    }
+
+    #[test]
+    fn errors_render() {
+        let e = CircuitError::BudgetFailed { margin_db: -2.5 };
+        assert!(e.to_string().contains("-2.50"));
+        let e = CircuitError::EdgeExhausted(EdgeId::between(
+            TileCoord::new(0, 0),
+            TileCoord::new(0, 1),
+        ));
+        assert!(e.to_string().contains("(0,0)-(0,1)"));
+    }
+}

@@ -1,0 +1,678 @@
+//! Multi-wafer photonic fabric: cascading LIGHTPATH wafers with fibers.
+//!
+//! "One LIGHTPATH wafer connects to others using attached fibers. With
+//! attached fibers, we can cascade several LIGHTPATH wafers to create a
+//! rack-scale photonic interconnect" (§3). A [`Fabric`] owns a set of
+//! wafers (one per multi-accelerator server) and the fiber bundles between
+//! their edge tiles, and establishes *cross-wafer* circuits — possibly
+//! across several fiber hops: an intra-wafer segment to the attach tile,
+//! a fiber, pass-through segments across intermediate wafers (light transits
+//! their waveguides without touching any SerDes), and a final segment to
+//! the destination. Cross-wafer circuits are what lets §4.2 repair a broken
+//! ring with a free chip in another server without touching any electrical
+//! switch.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use desim::SimDuration;
+use phy::link_budget::{LinkBudget, LinkReport};
+use phy::loss::{LossBudget, LossElement};
+use phy::thermal::RECONFIG_LATENCY_S;
+use phy::units::Gbps;
+use phy::wdm::LambdaSet;
+
+use crate::circuit::{CircuitError, CircuitId, CircuitRequest};
+use crate::config::WaferConfig;
+use crate::geom::{Path, TileCoord};
+use crate::wafer::Wafer;
+
+/// Gain of the inline amplifier at each fiber ingress, dB. Cascading wafers
+/// at rack scale needs the per-hop coupling/propagation loss roughly
+/// cancelled, exactly as commercial multi-hop photonic fabrics place SOAs
+/// at fiber attach points; 6 dB covers the two coupling facets per hop.
+pub const FIBER_AMP_GAIN_DB: f64 = 6.0;
+
+/// Index of a wafer within a fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WaferId(pub usize);
+
+/// A bundle of fibers attached between edge tiles of two wafers.
+#[derive(Debug, Clone, Copy)]
+pub struct FiberLink {
+    /// Attach point on the first wafer.
+    pub a: (WaferId, TileCoord),
+    /// Attach point on the second wafer.
+    pub b: (WaferId, TileCoord),
+    /// Number of fibers in the bundle.
+    pub capacity: u32,
+    /// Fiber length, meters.
+    pub length_m: f64,
+}
+
+#[derive(Debug, Clone)]
+struct FiberState {
+    link: FiberLink,
+    used: u32,
+}
+
+impl FiberState {
+    fn free(&self) -> u32 {
+        self.link.capacity - self.used
+    }
+
+    fn joins(&self, a: WaferId, b: WaferId) -> bool {
+        (self.link.a.0 == a && self.link.b.0 == b) || (self.link.a.0 == b && self.link.b.0 == a)
+    }
+
+    /// (near tile, far tile) oriented so `near` is on wafer `from`.
+    fn oriented(&self, from: WaferId) -> (TileCoord, TileCoord) {
+        if self.link.a.0 == from {
+            (self.link.a.1, self.link.b.1)
+        } else {
+            (self.link.b.1, self.link.a.1)
+        }
+    }
+
+    fn other_end(&self, from: WaferId) -> WaferId {
+        if self.link.a.0 == from {
+            self.link.b.0
+        } else {
+            self.link.a.0
+        }
+    }
+}
+
+/// Handle to a cross-wafer circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CrossCircuitId(u64);
+
+/// An established cross-wafer circuit.
+#[derive(Debug, Clone)]
+pub struct CrossCircuit {
+    /// Handle.
+    pub id: CrossCircuitId,
+    /// Source endpoint.
+    pub src: (WaferId, TileCoord),
+    /// Destination endpoint.
+    pub dst: (WaferId, TileCoord),
+    /// Fiber links used, in hop order.
+    pub fibers: Vec<usize>,
+    /// Intra-wafer segments, in traversal order.
+    pub segments: Vec<(WaferId, CircuitId)>,
+    /// Wavelength lanes carried.
+    pub lanes: usize,
+    /// Data bandwidth.
+    pub bandwidth: Gbps,
+    /// End-to-end link budget evaluation.
+    pub link: LinkReport,
+    /// Lanes manually claimed at a degenerate source endpoint.
+    manual_src_claim: Option<LambdaSet>,
+    /// Lane count manually claimed at a degenerate destination endpoint.
+    manual_dst_claim: Option<usize>,
+}
+
+impl CrossCircuit {
+    /// Number of fiber hops.
+    pub fn fiber_hops(&self) -> usize {
+        self.fibers.len()
+    }
+}
+
+/// A rack-scale assembly of LIGHTPATH wafers joined by fibers.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    wafers: Vec<Wafer>,
+    fibers: Vec<FiberState>,
+    cross: BTreeMap<CrossCircuitId, CrossCircuit>,
+    next_id: u64,
+}
+
+impl Fabric {
+    /// A fabric of `n` identical wafers with no fiber links yet.
+    pub fn new(n: usize, cfg: WaferConfig) -> Self {
+        assert!(n >= 1, "a fabric needs at least one wafer");
+        Fabric {
+            wafers: (0..n).map(|_| Wafer::new(cfg.clone())).collect(),
+            fibers: Vec::new(),
+            cross: BTreeMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Number of wafers.
+    pub fn wafer_count(&self) -> usize {
+        self.wafers.len()
+    }
+
+    /// Inspect a wafer.
+    ///
+    /// Panics on a bad id.
+    pub fn wafer(&self, id: WaferId) -> &Wafer {
+        &self.wafers[id.0]
+    }
+
+    /// Mutate a wafer (intra-wafer circuits, failure injection).
+    ///
+    /// Panics on a bad id.
+    pub fn wafer_mut(&mut self, id: WaferId) -> &mut Wafer {
+        &mut self.wafers[id.0]
+    }
+
+    /// Attach a fiber bundle between two wafers. Returns its link index.
+    ///
+    /// Panics if the endpoints are on the same wafer or out of bounds.
+    pub fn attach_fiber(&mut self, link: FiberLink) -> usize {
+        assert_ne!(link.a.0, link.b.0, "fiber must join distinct wafers");
+        assert!(link.capacity > 0, "fiber bundle must have capacity");
+        assert!(link.length_m > 0.0, "fiber needs positive length");
+        // Validate attach tiles exist.
+        let _ = self.wafer(link.a.0).tile(link.a.1);
+        let _ = self.wafer(link.b.0).tile(link.b.1);
+        self.fibers.push(FiberState { link, used: 0 });
+        self.fibers.len() - 1
+    }
+
+    /// Fibers free on a link.
+    pub fn fiber_free(&self, index: usize) -> u32 {
+        self.fibers[index].free()
+    }
+
+    /// BFS for the shortest wafer-level path; when `respect_capacity` only
+    /// links with a free fiber count. Among parallel links between the same
+    /// wafers the least-loaded is chosen. Returns the fiber link indices in
+    /// hop order.
+    fn fiber_route(
+        &self,
+        from: WaferId,
+        to: WaferId,
+        respect_capacity: bool,
+    ) -> Option<Vec<usize>> {
+        // Best link per ordered wafer pair.
+        let mut best: HashMap<(WaferId, WaferId), usize> = HashMap::new();
+        for (i, f) in self.fibers.iter().enumerate() {
+            if respect_capacity && f.free() == 0 {
+                continue;
+            }
+            for (a, b) in [
+                (f.link.a.0, f.link.b.0),
+                (f.link.b.0, f.link.a.0),
+            ] {
+                let e = best.entry((a, b)).or_insert(i);
+                if self.fibers[*e].free() < f.free() {
+                    *e = i;
+                }
+            }
+        }
+        let mut prev: HashMap<WaferId, (WaferId, usize)> = HashMap::new();
+        let mut q = VecDeque::new();
+        q.push_back(from);
+        while let Some(w) = q.pop_front() {
+            if w == to {
+                let mut path = Vec::new();
+                let mut cur = to;
+                while cur != from {
+                    let (p, link) = prev[&cur];
+                    path.push(link);
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            // Deterministic neighbour order: ascending wafer id.
+            let mut neighbours: Vec<(WaferId, usize)> = best
+                .iter()
+                .filter(|((a, _), _)| *a == w)
+                .map(|((_, b), &i)| (*b, i))
+                .collect();
+            neighbours.sort_by_key(|&(b, _)| b);
+            for (b, i) in neighbours {
+                if b != from && !prev.contains_key(&b) {
+                    prev.insert(b, (w, i));
+                    q.push_back(b);
+                }
+            }
+        }
+        None
+    }
+
+    /// End-to-end loss budget of a prospective multi-hop circuit.
+    fn cross_budget(
+        &self,
+        src: (WaferId, TileCoord),
+        dst: (WaferId, TileCoord),
+        fibers: &[usize],
+    ) -> LossBudget {
+        let mut b = LossBudget::new();
+        let mut wafer = src.0;
+        let mut at = src.1;
+        for &fi in fibers {
+            let f = &self.fibers[fi];
+            let (near, far) = f.oriented(wafer);
+            if at != near {
+                b.extend(&self.wafer(wafer).path_loss_budget(&Path::xy(at, near)));
+            }
+            b.push(LossElement::FiberCoupling);
+            b.push(LossElement::Fiber {
+                length_m: f.link.length_m,
+            });
+            b.push(LossElement::FiberCoupling);
+            b.push(LossElement::Amplifier {
+                gain_db: FIBER_AMP_GAIN_DB,
+            });
+            wafer = f.other_end(wafer);
+            at = far;
+        }
+        debug_assert_eq!(wafer, dst.0);
+        if at != dst.1 {
+            b.extend(&self.wafer(wafer).path_loss_budget(&Path::xy(at, dst.1)));
+        }
+        b
+    }
+
+    /// Establish a circuit between tiles on *different* wafers, routing
+    /// over as many fiber hops as needed (shortest wafer path, least-loaded
+    /// bundles). Atomic: on error nothing is committed.
+    pub fn establish_cross(
+        &mut self,
+        src: (WaferId, TileCoord),
+        dst: (WaferId, TileCoord),
+        lanes: usize,
+    ) -> Result<(CrossCircuitId, SimDuration), CircuitError> {
+        assert_ne!(
+            src.0, dst.0,
+            "use Wafer::establish for circuits within one wafer"
+        );
+        let fibers = match self.fiber_route(src.0, dst.0, true) {
+            Some(p) => p,
+            None => {
+                // Distinguish "no fiber plant" from "plant exhausted".
+                return match self.fiber_route(src.0, dst.0, false) {
+                    Some(unconstrained) => {
+                        // Report the total capacity of the first saturated
+                        // hop's wafer pair.
+                        let mut wafer = src.0;
+                        let mut cap = 0;
+                        for &fi in &unconstrained {
+                            let next = self.fibers[fi].other_end(wafer);
+                            let pair_free: u32 = self
+                                .fibers
+                                .iter()
+                                .filter(|f| f.joins(wafer, next))
+                                .map(FiberState::free)
+                                .sum();
+                            if pair_free == 0 {
+                                cap = self
+                                    .fibers
+                                    .iter()
+                                    .filter(|f| f.joins(wafer, next))
+                                    .map(|f| f.link.capacity)
+                                    .sum();
+                                break;
+                            }
+                            wafer = next;
+                        }
+                        Err(CircuitError::FiberExhausted { capacity: cap })
+                    }
+                    None => Err(CircuitError::NoFiberLink),
+                };
+            }
+        };
+
+        // Budget check before any commitment.
+        let budget = self.cross_budget(src, dst, &fibers);
+        let link = LinkBudget::lightpath_default(budget).evaluate();
+        if !link.closes() {
+            return Err(CircuitError::BudgetFailed {
+                margin_db: link.margin.0,
+            });
+        }
+
+        // Build segments wafer by wafer, rolling back on any failure.
+        let mut segments: Vec<(WaferId, CircuitId)> = Vec::new();
+        let mut manual_src_claim: Option<LambdaSet> = None;
+        let mut manual_dst_claim: Option<usize> = None;
+
+        let result = (|this: &mut Self| -> Result<(), CircuitError> {
+            let mut wafer = src.0;
+            let mut at = src.1;
+            for (hop, &fi) in fibers.iter().enumerate() {
+                let (near, far) = this.fibers[fi].oriented(wafer);
+                let first = hop == 0;
+                if at != near {
+                    let mut req = CircuitRequest::new(at, near, lanes);
+                    req.claim_src_serdes = first;
+                    req.claim_dst_serdes = false;
+                    let rep = this.wafers[wafer.0].establish(req)?;
+                    segments.push((wafer, rep.id));
+                } else if first {
+                    // Source sits on the attach tile: claim tx manually.
+                    let tile = this.wafers[wafer.0].tile_mut(at);
+                    if tile.is_failed() {
+                        return Err(CircuitError::TileFailed(at));
+                    }
+                    let avail = tile.serdes.tx_available();
+                    let set = avail.take_lowest(lanes).ok_or(
+                        CircuitError::InsufficientTxLanes {
+                            tile: at,
+                            free: avail.len(),
+                            requested: lanes,
+                        },
+                    )?;
+                    tile.serdes.claim_tx(set).expect("availability checked");
+                    manual_src_claim = Some(set);
+                }
+                wafer = this.fibers[fi].other_end(wafer);
+                at = far;
+            }
+            // Final wafer: attach tile → destination.
+            if at != dst.1 {
+                let mut req = CircuitRequest::new(at, dst.1, lanes);
+                req.claim_src_serdes = false;
+                req.claim_dst_serdes = true;
+                let rep = this.wafers[wafer.0].establish(req)?;
+                segments.push((wafer, rep.id));
+            } else {
+                let tile = this.wafers[wafer.0].tile_mut(at);
+                if tile.is_failed() {
+                    return Err(CircuitError::TileFailed(at));
+                }
+                let avail = tile.serdes.rx_available();
+                let set = avail.take_lowest(lanes).ok_or(
+                    CircuitError::InsufficientRxLanes {
+                        tile: at,
+                        free: avail.len(),
+                        requested: lanes,
+                    },
+                )?;
+                tile.serdes.claim_rx(set).expect("availability checked");
+                manual_dst_claim = Some(lanes);
+            }
+            Ok(())
+        })(self);
+
+        if let Err(e) = result {
+            for (w, id) in segments.into_iter().rev() {
+                self.wafers[w.0].teardown(id).expect("just established");
+            }
+            if let Some(set) = manual_src_claim {
+                self.wafers[src.0 .0]
+                    .tile_mut(src.1)
+                    .serdes
+                    .release_tx(set);
+            }
+            return Err(e);
+        }
+
+        for &fi in &fibers {
+            self.fibers[fi].used += 1;
+        }
+        let id = CrossCircuitId(self.next_id);
+        self.next_id += 1;
+        let rate = self.wafers[src.0 .0].config().wdm.rate;
+        self.cross.insert(
+            id,
+            CrossCircuit {
+                id,
+                src,
+                dst,
+                fibers,
+                segments,
+                lanes,
+                bandwidth: Gbps(rate.0 * lanes as f64),
+                link,
+                manual_src_claim,
+                manual_dst_claim,
+            },
+        );
+        Ok((id, SimDuration::from_secs_f64(RECONFIG_LATENCY_S)))
+    }
+
+    /// Tear a cross-wafer circuit down.
+    pub fn teardown_cross(&mut self, id: CrossCircuitId) -> Result<(), CircuitError> {
+        let ckt = self
+            .cross
+            .remove(&id)
+            .ok_or(CircuitError::UnknownCircuit(CircuitId(id.0)))?;
+        for (w, seg) in &ckt.segments {
+            self.wafers[w.0].teardown(*seg)?;
+        }
+        if let Some(set) = ckt.manual_src_claim {
+            self.wafers[ckt.src.0 .0]
+                .tile_mut(ckt.src.1)
+                .serdes
+                .release_tx(set);
+        }
+        if let Some(lanes) = ckt.manual_dst_claim {
+            let tile = self.wafers[ckt.dst.0 .0].tile_mut(ckt.dst.1);
+            let all = LambdaSet::first_n(tile.serdes.lanes());
+            let in_use = all.difference(tile.serdes.rx_available());
+            let set = in_use.take_lowest(lanes).expect("claimed lanes present");
+            tile.serdes.release_rx(set);
+        }
+        for &fi in &ckt.fibers {
+            self.fibers[fi].used -= 1;
+        }
+        Ok(())
+    }
+
+    /// Look up a cross-wafer circuit.
+    pub fn cross_circuit(&self, id: CrossCircuitId) -> Option<&CrossCircuit> {
+        self.cross.get(&id)
+    }
+
+    /// Live cross-wafer circuits in id order.
+    pub fn cross_circuits(&self) -> impl Iterator<Item = &CrossCircuit> {
+        self.cross.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(r: u8, c: u8) -> TileCoord {
+        TileCoord::new(r, c)
+    }
+
+    fn two_wafer_fabric() -> (Fabric, usize) {
+        let mut f = Fabric::new(2, WaferConfig::default());
+        let idx = f.attach_fiber(FiberLink {
+            a: (WaferId(0), t(0, 7)),
+            b: (WaferId(1), t(0, 0)),
+            capacity: 4,
+            length_m: 2.0,
+        });
+        (f, idx)
+    }
+
+    #[test]
+    fn cross_circuit_establish_and_teardown() {
+        let (mut f, idx) = two_wafer_fabric();
+        let (id, setup) = f
+            .establish_cross((WaferId(0), t(2, 1)), (WaferId(1), t(3, 5)), 4)
+            .expect("cross circuit");
+        assert_eq!(setup, SimDuration::from_secs_f64(3.7e-6));
+        assert_eq!(f.fiber_free(idx), 3);
+        let ckt = f.cross_circuit(id).unwrap();
+        assert!(ckt.link.closes());
+        assert_eq!(ckt.fiber_hops(), 1);
+        assert!((ckt.bandwidth.0 - 896.0).abs() < 1e-9);
+        assert_eq!(f.wafer(WaferId(0)).tile(t(2, 1)).serdes.tx_free(), 12);
+        assert_eq!(f.wafer(WaferId(1)).tile(t(3, 5)).serdes.rx_free(), 12);
+        // The attach tiles do NOT spend SerDes lanes (pure optical relay).
+        assert_eq!(f.wafer(WaferId(0)).tile(t(0, 7)).serdes.rx_free(), 16);
+        assert_eq!(f.wafer(WaferId(1)).tile(t(0, 0)).serdes.tx_free(), 16);
+
+        f.teardown_cross(id).unwrap();
+        assert_eq!(f.fiber_free(idx), 4);
+        assert_eq!(f.wafer(WaferId(0)).tile(t(2, 1)).serdes.tx_free(), 16);
+        assert_eq!(f.wafer(WaferId(1)).tile(t(3, 5)).serdes.rx_free(), 16);
+        assert_eq!(f.wafer(WaferId(0)).circuits().count(), 0);
+        assert_eq!(f.wafer(WaferId(1)).circuits().count(), 0);
+    }
+
+    #[test]
+    fn degenerate_endpoints_at_attach_tiles() {
+        let (mut f, _) = two_wafer_fabric();
+        let (id, _) = f
+            .establish_cross((WaferId(0), t(0, 7)), (WaferId(1), t(0, 0)), 2)
+            .expect("attach-to-attach circuit");
+        assert_eq!(f.wafer(WaferId(0)).tile(t(0, 7)).serdes.tx_free(), 14);
+        assert_eq!(f.wafer(WaferId(1)).tile(t(0, 0)).serdes.rx_free(), 14);
+        // No intra-wafer segments exist.
+        let ckt = f.cross_circuit(id).unwrap();
+        assert!(ckt.segments.is_empty());
+        f.teardown_cross(id).unwrap();
+        assert_eq!(f.wafer(WaferId(0)).tile(t(0, 7)).serdes.tx_free(), 16);
+        assert_eq!(f.wafer(WaferId(1)).tile(t(0, 0)).serdes.rx_free(), 16);
+    }
+
+    #[test]
+    fn fiber_capacity_enforced() {
+        let (mut f, _) = two_wafer_fabric();
+        for i in 0..4 {
+            f.establish_cross((WaferId(0), t(1, i)), (WaferId(1), t(1, i)), 1)
+                .expect("fits within the 4-fiber bundle");
+        }
+        let err = f
+            .establish_cross((WaferId(0), t(3, 0)), (WaferId(1), t(3, 0)), 1)
+            .unwrap_err();
+        assert!(matches!(err, CircuitError::FiberExhausted { capacity: 4 }));
+    }
+
+    #[test]
+    fn missing_link_is_reported() {
+        let mut f = Fabric::new(3, WaferConfig::default());
+        f.attach_fiber(FiberLink {
+            a: (WaferId(0), t(0, 7)),
+            b: (WaferId(1), t(0, 0)),
+            capacity: 1,
+            length_m: 2.0,
+        });
+        let err = f
+            .establish_cross((WaferId(0), t(0, 0)), (WaferId(2), t(0, 0)), 1)
+            .unwrap_err();
+        assert_eq!(err, CircuitError::NoFiberLink);
+    }
+
+    #[test]
+    fn multi_hop_routes_through_intermediate_wafers() {
+        // A chain 0 — 1 — 2: circuits from wafer 0 to wafer 2 transit
+        // wafer 1 without consuming any of its SerDes lanes.
+        let mut f = Fabric::new(3, WaferConfig::default());
+        f.attach_fiber(FiberLink {
+            a: (WaferId(0), t(0, 7)),
+            b: (WaferId(1), t(0, 0)),
+            capacity: 2,
+            length_m: 2.0,
+        });
+        f.attach_fiber(FiberLink {
+            a: (WaferId(1), t(3, 7)),
+            b: (WaferId(2), t(0, 0)),
+            capacity: 2,
+            length_m: 2.0,
+        });
+        let (id, _) = f
+            .establish_cross((WaferId(0), t(2, 2)), (WaferId(2), t(3, 3)), 4)
+            .expect("two-hop circuit");
+        let ckt = f.cross_circuit(id).unwrap();
+        assert_eq!(ckt.fiber_hops(), 2);
+        assert_eq!(ckt.segments.len(), 3, "src seg, pass-through, dst seg");
+        // The intermediate wafer carries a pass-through circuit but spends
+        // no lanes on any tile.
+        let mid = f.wafer(WaferId(1));
+        assert_eq!(mid.circuits().count(), 1);
+        for c in mid.coords() {
+            assert_eq!(mid.tile(c).serdes.tx_free(), 16);
+            assert_eq!(mid.tile(c).serdes.rx_free(), 16);
+        }
+        f.teardown_cross(id).unwrap();
+        assert_eq!(f.wafer(WaferId(1)).circuits().count(), 0);
+        assert_eq!(f.fiber_free(0), 2);
+        assert_eq!(f.fiber_free(1), 2);
+    }
+
+    #[test]
+    fn multi_hop_respects_per_hop_capacity() {
+        let mut f = Fabric::new(3, WaferConfig::default());
+        f.attach_fiber(FiberLink {
+            a: (WaferId(0), t(0, 7)),
+            b: (WaferId(1), t(0, 0)),
+            capacity: 2,
+            length_m: 2.0,
+        });
+        f.attach_fiber(FiberLink {
+            a: (WaferId(1), t(3, 7)),
+            b: (WaferId(2), t(0, 0)),
+            capacity: 1,
+            length_m: 2.0,
+        });
+        f.establish_cross((WaferId(0), t(1, 1)), (WaferId(2), t(1, 1)), 1)
+            .expect("first two-hop circuit");
+        let err = f
+            .establish_cross((WaferId(0), t(2, 1)), (WaferId(2), t(2, 1)), 1)
+            .unwrap_err();
+        assert!(matches!(err, CircuitError::FiberExhausted { capacity: 1 }));
+    }
+
+    #[test]
+    fn rollback_on_far_side_failure() {
+        let (mut f, idx) = two_wafer_fabric();
+        f.wafer_mut(WaferId(1)).fail_tile(t(3, 5));
+        let err = f
+            .establish_cross((WaferId(0), t(2, 1)), (WaferId(1), t(3, 5)), 4)
+            .unwrap_err();
+        assert_eq!(err, CircuitError::TileFailed(t(3, 5)));
+        // Nothing leaked on the near side.
+        assert_eq!(f.wafer(WaferId(0)).tile(t(2, 1)).serdes.tx_free(), 16);
+        assert_eq!(f.wafer(WaferId(0)).circuits().count(), 0);
+        assert_eq!(f.fiber_free(idx), 4);
+    }
+
+    #[test]
+    fn least_loaded_link_is_chosen() {
+        let mut f = Fabric::new(2, WaferConfig::default());
+        let l0 = f.attach_fiber(FiberLink {
+            a: (WaferId(0), t(0, 7)),
+            b: (WaferId(1), t(0, 0)),
+            capacity: 1,
+            length_m: 2.0,
+        });
+        let l1 = f.attach_fiber(FiberLink {
+            a: (WaferId(0), t(3, 7)),
+            b: (WaferId(1), t(3, 0)),
+            capacity: 2,
+            length_m: 2.0,
+        });
+        f.establish_cross((WaferId(0), t(1, 1)), (WaferId(1), t(1, 1)), 1)
+            .unwrap();
+        // l1 had more free fibers; it should have been used.
+        assert_eq!(f.fiber_free(l0), 1);
+        assert_eq!(f.fiber_free(l1), 1);
+    }
+
+    #[test]
+    fn pass_through_over_failed_tiles_is_allowed() {
+        // Light transits a wafer whose chips all failed: the photonic layer
+        // is independent of the stacked accelerators.
+        let mut f = Fabric::new(3, WaferConfig::default());
+        f.attach_fiber(FiberLink {
+            a: (WaferId(0), t(0, 7)),
+            b: (WaferId(1), t(0, 0)),
+            capacity: 1,
+            length_m: 2.0,
+        });
+        f.attach_fiber(FiberLink {
+            a: (WaferId(1), t(3, 7)),
+            b: (WaferId(2), t(0, 0)),
+            capacity: 1,
+            length_m: 2.0,
+        });
+        let dead_tiles: Vec<TileCoord> = f.wafer(WaferId(1)).coords().collect();
+        for c in dead_tiles {
+            f.wafer_mut(WaferId(1)).fail_tile(c);
+        }
+        let res = f.establish_cross((WaferId(0), t(1, 1)), (WaferId(2), t(1, 1)), 2);
+        assert!(res.is_ok(), "pass-through ignores accelerator failures");
+    }
+}

@@ -1,0 +1,383 @@
+//! Wafer-grid geometry: tile coordinates, directions, edges, and circuit
+//! paths.
+//!
+//! LIGHTPATH tiles form a 2-D grid on the wafer (Fig 2c); waveguide buses
+//! run along the grid's edges. A circuit's [`Path`] is a sequence of
+//! adjacent tiles from the source to the destination tile.
+
+use std::fmt;
+
+/// Position of a tile on the wafer grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TileCoord {
+    /// Row index (0-based, increases southward).
+    pub row: u8,
+    /// Column index (0-based, increases eastward).
+    pub col: u8,
+}
+
+impl TileCoord {
+    /// Shorthand constructor.
+    pub const fn new(row: u8, col: u8) -> Self {
+        TileCoord { row, col }
+    }
+
+    /// The neighbouring coordinate in direction `d`, if it stays inside an
+    /// `rows`×`cols` grid.
+    pub fn step(self, d: Dir, rows: u8, cols: u8) -> Option<TileCoord> {
+        let (r, c) = (self.row as i16, self.col as i16);
+        let (nr, nc) = match d {
+            Dir::North => (r - 1, c),
+            Dir::South => (r + 1, c),
+            Dir::East => (r, c + 1),
+            Dir::West => (r, c - 1),
+        };
+        if nr < 0 || nc < 0 || nr >= rows as i16 || nc >= cols as i16 {
+            None
+        } else {
+            Some(TileCoord::new(nr as u8, nc as u8))
+        }
+    }
+
+    /// Manhattan distance to `other`.
+    pub fn manhattan(self, other: TileCoord) -> u32 {
+        self.row.abs_diff(other.row) as u32 + self.col.abs_diff(other.col) as u32
+    }
+
+    /// Direction of travel to an adjacent coordinate.
+    ///
+    /// Panics if `to` is not a 4-neighbour of `self`.
+    pub fn dir_to(self, to: TileCoord) -> Dir {
+        match (
+            to.row as i16 - self.row as i16,
+            to.col as i16 - self.col as i16,
+        ) {
+            (-1, 0) => Dir::North,
+            (1, 0) => Dir::South,
+            (0, 1) => Dir::East,
+            (0, -1) => Dir::West,
+            _ => panic!("{to} is not adjacent to {self}"),
+        }
+    }
+}
+
+impl fmt::Display for TileCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.row, self.col)
+    }
+}
+
+/// A cardinal direction on the wafer grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Toward row 0.
+    North,
+    /// Toward increasing columns.
+    East,
+    /// Toward increasing rows.
+    South,
+    /// Toward column 0.
+    West,
+}
+
+impl Dir {
+    /// All four directions.
+    pub const ALL: [Dir; 4] = [Dir::North, Dir::East, Dir::South, Dir::West];
+
+    /// The opposite direction.
+    pub fn opposite(self) -> Dir {
+        match self {
+            Dir::North => Dir::South,
+            Dir::South => Dir::North,
+            Dir::East => Dir::West,
+            Dir::West => Dir::East,
+        }
+    }
+
+    /// True when `self` and `other` lie on perpendicular axes.
+    pub fn is_turn(self, other: Dir) -> bool {
+        matches!(
+            (self, other),
+            (Dir::North | Dir::South, Dir::East | Dir::West)
+                | (Dir::East | Dir::West, Dir::North | Dir::South)
+        )
+    }
+}
+
+/// An undirected waveguide-bus edge between two adjacent tiles, stored in
+/// normalized (smaller endpoint first) order so each physical bus has one id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(TileCoord, TileCoord);
+
+impl EdgeId {
+    /// Edge between two adjacent tiles (order-insensitive).
+    ///
+    /// Panics if the tiles are not 4-adjacent.
+    pub fn between(a: TileCoord, b: TileCoord) -> Self {
+        assert_eq!(a.manhattan(b), 1, "edge requires adjacent tiles: {a} {b}");
+        if a <= b {
+            EdgeId(a, b)
+        } else {
+            EdgeId(b, a)
+        }
+    }
+
+    /// The two endpoints (normalized order).
+    pub fn endpoints(self) -> (TileCoord, TileCoord) {
+        (self.0, self.1)
+    }
+
+    /// True for a horizontal (east-west) bus.
+    pub fn is_horizontal(self) -> bool {
+        self.0.row == self.1.row
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.0, self.1)
+    }
+}
+
+/// A simple path of adjacent tiles on the wafer grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    tiles: Vec<TileCoord>,
+}
+
+impl Path {
+    /// Build a path from an explicit tile sequence.
+    ///
+    /// Validates: at least two tiles, consecutive tiles adjacent, no tile
+    /// visited twice (simple path). Returns `None` on violation.
+    pub fn from_tiles(tiles: Vec<TileCoord>) -> Option<Path> {
+        if tiles.len() < 2 {
+            return None;
+        }
+        for w in tiles.windows(2) {
+            if w[0].manhattan(w[1]) != 1 {
+                return None;
+            }
+        }
+        let mut seen = tiles.clone();
+        seen.sort_unstable();
+        if seen.windows(2).any(|w| w[0] == w[1]) {
+            return None;
+        }
+        Some(Path { tiles })
+    }
+
+    /// Dimension-ordered (X-then-Y) route: travel along the row (columns
+    /// first), then along the column. The default route shape on LIGHTPATH's
+    /// bus grid.
+    ///
+    /// Panics if `src == dst`.
+    pub fn xy(src: TileCoord, dst: TileCoord) -> Path {
+        assert_ne!(src, dst, "path endpoints must differ");
+        let mut tiles = vec![src];
+        let mut cur = src;
+        while cur.col != dst.col {
+            cur.col = if dst.col > cur.col { cur.col + 1 } else { cur.col - 1 };
+            tiles.push(cur);
+        }
+        while cur.row != dst.row {
+            cur.row = if dst.row > cur.row { cur.row + 1 } else { cur.row - 1 };
+            tiles.push(cur);
+        }
+        Path { tiles }
+    }
+
+    /// Dimension-ordered (Y-then-X) route: rows first, then columns. The
+    /// alternate route shape, used to dodge congested buses.
+    pub fn yx(src: TileCoord, dst: TileCoord) -> Path {
+        assert_ne!(src, dst, "path endpoints must differ");
+        let mut tiles = vec![src];
+        let mut cur = src;
+        while cur.row != dst.row {
+            cur.row = if dst.row > cur.row { cur.row + 1 } else { cur.row - 1 };
+            tiles.push(cur);
+        }
+        while cur.col != dst.col {
+            cur.col = if dst.col > cur.col { cur.col + 1 } else { cur.col - 1 };
+            tiles.push(cur);
+        }
+        Path { tiles }
+    }
+
+    /// Source tile.
+    pub fn src(&self) -> TileCoord {
+        self.tiles[0]
+    }
+
+    /// Destination tile.
+    pub fn dst(&self) -> TileCoord {
+        *self.tiles.last().expect("paths have >= 2 tiles")
+    }
+
+    /// Tiles in visit order.
+    pub fn tiles(&self) -> &[TileCoord] {
+        &self.tiles
+    }
+
+    /// Number of edges traversed.
+    pub fn hops(&self) -> usize {
+        self.tiles.len() - 1
+    }
+
+    /// Tiles strictly between the endpoints.
+    pub fn intermediate_tiles(&self) -> &[TileCoord] {
+        &self.tiles[1..self.tiles.len() - 1]
+    }
+
+    /// The edges traversed, in order.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.tiles.windows(2).map(|w| EdgeId::between(w[0], w[1]))
+    }
+
+    /// Number of 90° turns along the path.
+    pub fn turns(&self) -> usize {
+        let dirs: Vec<Dir> = self
+            .tiles
+            .windows(2)
+            .map(|w| w[0].dir_to(w[1]))
+            .collect();
+        dirs.windows(2).filter(|d| d[0].is_turn(d[1])).count()
+    }
+
+    /// True when this path shares no edge with `other` (the circuits can
+    /// coexist on dedicated waveguides trivially; sharing an edge is also
+    /// fine while bus capacity remains, this is the strict test).
+    pub fn edge_disjoint(&self, other: &Path) -> bool {
+        let mine: Vec<EdgeId> = self.edges().collect();
+        !other.edges().any(|e| mine.contains(&e))
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.tiles.iter().enumerate() {
+            if i > 0 {
+                write!(f, "→")?;
+            }
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R: u8 = 4;
+    const C: u8 = 8;
+
+    #[test]
+    fn step_respects_bounds() {
+        let origin = TileCoord::new(0, 0);
+        assert_eq!(origin.step(Dir::North, R, C), None);
+        assert_eq!(origin.step(Dir::West, R, C), None);
+        assert_eq!(origin.step(Dir::South, R, C), Some(TileCoord::new(1, 0)));
+        assert_eq!(origin.step(Dir::East, R, C), Some(TileCoord::new(0, 1)));
+        let corner = TileCoord::new(R - 1, C - 1);
+        assert_eq!(corner.step(Dir::South, R, C), None);
+        assert_eq!(corner.step(Dir::East, R, C), None);
+    }
+
+    #[test]
+    fn dir_to_and_opposite() {
+        let a = TileCoord::new(1, 1);
+        assert_eq!(a.dir_to(TileCoord::new(0, 1)), Dir::North);
+        assert_eq!(a.dir_to(TileCoord::new(1, 2)), Dir::East);
+        for d in Dir::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            assert!(!d.is_turn(d));
+            assert!(!d.is_turn(d.opposite()));
+        }
+        assert!(Dir::North.is_turn(Dir::East));
+    }
+
+    #[test]
+    fn edge_id_is_order_insensitive() {
+        let a = TileCoord::new(0, 0);
+        let b = TileCoord::new(0, 1);
+        assert_eq!(EdgeId::between(a, b), EdgeId::between(b, a));
+        assert!(EdgeId::between(a, b).is_horizontal());
+        let c = TileCoord::new(1, 0);
+        assert!(!EdgeId::between(a, c).is_horizontal());
+    }
+
+    #[test]
+    #[should_panic(expected = "adjacent")]
+    fn edge_between_distant_tiles_panics() {
+        EdgeId::between(TileCoord::new(0, 0), TileCoord::new(0, 2));
+    }
+
+    #[test]
+    fn xy_route_shape() {
+        let p = Path::xy(TileCoord::new(0, 0), TileCoord::new(2, 3));
+        assert_eq!(p.hops(), 5);
+        assert_eq!(p.turns(), 1);
+        assert_eq!(p.src(), TileCoord::new(0, 0));
+        assert_eq!(p.dst(), TileCoord::new(2, 3));
+        // X first: second tile moves in the column direction.
+        assert_eq!(p.tiles()[1], TileCoord::new(0, 1));
+    }
+
+    #[test]
+    fn yx_route_shape() {
+        let p = Path::yx(TileCoord::new(0, 0), TileCoord::new(2, 3));
+        assert_eq!(p.hops(), 5);
+        assert_eq!(p.tiles()[1], TileCoord::new(1, 0));
+        assert_eq!(p.turns(), 1);
+    }
+
+    #[test]
+    fn straight_routes_have_no_turns() {
+        let p = Path::xy(TileCoord::new(1, 0), TileCoord::new(1, 5));
+        assert_eq!(p.turns(), 0);
+        assert_eq!(p.hops(), 5);
+        assert_eq!(p.intermediate_tiles().len(), 4);
+    }
+
+    #[test]
+    fn xy_and_yx_are_edge_disjoint_off_axis() {
+        let (s, d) = (TileCoord::new(0, 0), TileCoord::new(3, 3));
+        let a = Path::xy(s, d);
+        let b = Path::yx(s, d);
+        assert!(a.edge_disjoint(&b));
+    }
+
+    #[test]
+    fn from_tiles_validates() {
+        let ok = Path::from_tiles(vec![
+            TileCoord::new(0, 0),
+            TileCoord::new(0, 1),
+            TileCoord::new(1, 1),
+        ]);
+        assert!(ok.is_some());
+        assert_eq!(ok.unwrap().turns(), 1);
+        // Non-adjacent.
+        assert!(Path::from_tiles(vec![TileCoord::new(0, 0), TileCoord::new(2, 0)]).is_none());
+        // Too short.
+        assert!(Path::from_tiles(vec![TileCoord::new(0, 0)]).is_none());
+        // Revisits a tile.
+        assert!(Path::from_tiles(vec![
+            TileCoord::new(0, 0),
+            TileCoord::new(0, 1),
+            TileCoord::new(0, 0),
+        ])
+        .is_none());
+    }
+
+    #[test]
+    fn edges_match_hops() {
+        let p = Path::xy(TileCoord::new(0, 0), TileCoord::new(1, 2));
+        let edges: Vec<EdgeId> = p.edges().collect();
+        assert_eq!(edges.len(), p.hops());
+        assert_eq!(
+            edges[0],
+            EdgeId::between(TileCoord::new(0, 0), TileCoord::new(0, 1))
+        );
+    }
+}

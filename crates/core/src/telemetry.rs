@@ -1,0 +1,141 @@
+//! Wafer utilization telemetry.
+//!
+//! Operators of a server-scale photonic interconnect need the same
+//! observability a packet fabric gives: how loaded the buses are, how many
+//! SerDes lanes remain, where the hot spots sit. This snapshot is also what
+//! the examples print and what a §5 resource-allocation algorithm would
+//! consume.
+
+use crate::geom::EdgeId;
+use crate::wafer::Wafer;
+
+/// A point-in-time utilization snapshot of one wafer.
+#[derive(Debug, Clone)]
+pub struct WaferTelemetry {
+    /// Live circuits.
+    pub circuits: usize,
+    /// Aggregate circuit bandwidth, Gb/s.
+    pub aggregate_gbps: f64,
+    /// The most loaded bus and its circuit count, if any bus is loaded.
+    pub busiest_edge: Option<(EdgeId, u32)>,
+    /// Mean circuits per bus over all buses.
+    pub mean_edge_occupancy: f64,
+    /// Fraction of all transmit lanes claimed.
+    pub tx_lane_utilization: f64,
+    /// Fraction of all receive lanes claimed.
+    pub rx_lane_utilization: f64,
+    /// MZI reconfiguration events since fabrication.
+    pub reconfigs: u64,
+}
+
+impl Wafer {
+    /// Take a utilization snapshot.
+    pub fn telemetry(&self) -> WaferTelemetry {
+        let cfg = self.config();
+        let (rows, cols) = (cfg.rows as usize, cfg.cols as usize);
+        let edge_count = rows * (cols - 1) + cols * (rows - 1);
+
+        let mut busiest: Option<(EdgeId, u32)> = None;
+        let mut total_load = 0u64;
+        for r in 0..cfg.rows {
+            for c in 0..cfg.cols {
+                let here = crate::geom::TileCoord::new(r, c);
+                for next in [
+                    (c + 1 < cfg.cols).then(|| crate::geom::TileCoord::new(r, c + 1)),
+                    (r + 1 < cfg.rows).then(|| crate::geom::TileCoord::new(r + 1, c)),
+                ]
+                .into_iter()
+                .flatten()
+                {
+                    let e = EdgeId::between(here, next);
+                    let used = self.edge_used(e);
+                    total_load += used as u64;
+                    if used > 0 && busiest.is_none_or(|(_, b)| used > b) {
+                        busiest = Some((e, used));
+                    }
+                }
+            }
+        }
+
+        let lanes_total = (cfg.tiles() * cfg.wdm.channels) as f64;
+        let (mut tx_used, mut rx_used) = (0usize, 0usize);
+        for t in self.coords() {
+            let tile = self.tile(t);
+            tx_used += cfg.wdm.channels - tile.serdes.tx_free();
+            rx_used += cfg.wdm.channels - tile.serdes.rx_free();
+        }
+
+        WaferTelemetry {
+            circuits: self.circuits().count(),
+            aggregate_gbps: self.aggregate_bandwidth().0,
+            busiest_edge: busiest,
+            mean_edge_occupancy: total_load as f64 / edge_count as f64,
+            tx_lane_utilization: tx_used as f64 / lanes_total,
+            rx_lane_utilization: rx_used as f64 / lanes_total,
+            reconfigs: self.reconfigs(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitRequest;
+    use crate::config::WaferConfig;
+    use crate::geom::TileCoord;
+
+    #[test]
+    fn pristine_wafer_reads_zero() {
+        let w = Wafer::new(WaferConfig::lightpath_32());
+        let t = w.telemetry();
+        assert_eq!(t.circuits, 0);
+        assert_eq!(t.aggregate_gbps, 0.0);
+        assert_eq!(t.busiest_edge, None);
+        assert_eq!(t.mean_edge_occupancy, 0.0);
+        assert_eq!(t.tx_lane_utilization, 0.0);
+        assert_eq!(t.rx_lane_utilization, 0.0);
+    }
+
+    #[test]
+    fn telemetry_tracks_circuits() {
+        let mut w = Wafer::new(WaferConfig::lightpath_32());
+        w.establish(CircuitRequest::new(TileCoord::new(0, 0), TileCoord::new(0, 3), 16))
+            .unwrap();
+        w.establish(CircuitRequest::new(TileCoord::new(1, 0), TileCoord::new(1, 1), 8))
+            .unwrap();
+        let t = w.telemetry();
+        assert_eq!(t.circuits, 2);
+        assert!((t.aggregate_gbps - (16.0 + 8.0) * 224.0).abs() < 1e-9);
+        let (edge, load) = t.busiest_edge.unwrap();
+        assert_eq!(load, 1);
+        let _ = edge;
+        // 24 of 512 tx lanes in use.
+        assert!((t.tx_lane_utilization - 24.0 / 512.0).abs() < 1e-12);
+        assert_eq!(t.reconfigs, 2);
+        // 4 loaded edges over 52 buses.
+        assert!((t.mean_edge_occupancy - 4.0 / 52.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busiest_edge_reflects_stacking() {
+        let mut w = Wafer::new(WaferConfig::lightpath_32());
+        // Three circuits share the (0,0)-(0,1) bus via explicit paths.
+        for i in 0..3u8 {
+            let p = crate::geom::Path::from_tiles(vec![
+                TileCoord::new(0, 0),
+                TileCoord::new(0, 1),
+            ])
+            .unwrap();
+            let mut req = CircuitRequest::new(TileCoord::new(0, 0), TileCoord::new(0, 1), 1).via(p);
+            req.claim_src_serdes = i != 1; // vary lane usage
+            w.establish(req).unwrap();
+        }
+        let t = w.telemetry();
+        let (edge, load) = t.busiest_edge.unwrap();
+        assert_eq!(load, 3);
+        assert_eq!(
+            edge,
+            EdgeId::between(TileCoord::new(0, 0), TileCoord::new(0, 1))
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! One LIGHTPATH tile: the transceiver block and representative switches.
+//!
+//! Physically a tile carries thousands of MZIs (Fig 4); the four 1×3
+//! switches modelled here are the representative programmable elements of
+//! Fig 2a/2b, one facing each cardinal direction. Circuit bookkeeping
+//! (waveguide capacity, wavelength claims) lives at the wafer level; the
+//! tile owns the *electrical-side* resources — its SerDes lane pool — and
+//! the accelerator-failure flag.
+
+use crate::geom::Dir;
+use phy::mzi::{MziParams, Switch1x3, SwitchPort};
+use phy::serdes::SerdesPool;
+use phy::wdm::WdmGrid;
+
+/// A tile on the wafer grid with one accelerator stacked on top.
+#[derive(Debug, Clone)]
+pub struct Tile {
+    /// SerDes lanes of the accelerator chip bonded to this tile.
+    pub serdes: SerdesPool,
+    /// Representative 1×3 switches, indexed by the direction they face.
+    switches: [Switch1x3; 4],
+    /// True when the stacked accelerator has failed. Light still passes
+    /// through the photonic layer, but the tile cannot source or sink.
+    failed: bool,
+    /// Number of switch-programming events on this tile.
+    programs: u64,
+}
+
+fn dir_index(d: Dir) -> usize {
+    match d {
+        Dir::North => 0,
+        Dir::East => 1,
+        Dir::South => 2,
+        Dir::West => 3,
+    }
+}
+
+impl Tile {
+    /// A fresh tile with the given WDM plan and switch parameters.
+    pub fn new(wdm: &WdmGrid, mzi: MziParams) -> Self {
+        Tile {
+            serdes: SerdesPool::new(wdm.channels, wdm.rate),
+            switches: [
+                Switch1x3::new(mzi, SwitchPort::Out0),
+                Switch1x3::new(mzi, SwitchPort::Out0),
+                Switch1x3::new(mzi, SwitchPort::Out0),
+                Switch1x3::new(mzi, SwitchPort::Out0),
+            ],
+            failed: false,
+            programs: 0,
+        }
+    }
+
+    /// True when the stacked accelerator has failed.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Mark the stacked accelerator failed.
+    pub fn fail(&mut self) {
+        self.failed = true;
+    }
+
+    /// Restore the accelerator (chip replacement).
+    pub fn restore(&mut self) {
+        self.failed = false;
+    }
+
+    /// Inspect the switch facing direction `d`.
+    pub fn switch(&self, d: Dir) -> &Switch1x3 {
+        &self.switches[dir_index(d)]
+    }
+
+    /// Program the switch facing `d` to `port` at absolute time `now_s`;
+    /// returns the settle latency in seconds (0 when already selected).
+    pub fn program_switch(&mut self, d: Dir, port: SwitchPort, now_s: f64) -> f64 {
+        let lat = self.switches[dir_index(d)].select(port, now_s);
+        if lat > 0.0 {
+            self.programs += 1;
+        }
+        lat
+    }
+
+    /// Switch-programming events so far.
+    pub fn programs(&self) -> u64 {
+        self.programs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile() -> Tile {
+        Tile::new(&WdmGrid::default(), MziParams::default())
+    }
+
+    #[test]
+    fn fresh_tile_has_full_serdes() {
+        let t = tile();
+        assert_eq!(t.serdes.tx_free(), 16);
+        assert_eq!(t.serdes.rx_free(), 16);
+        assert!(!t.is_failed());
+    }
+
+    #[test]
+    fn failure_roundtrip() {
+        let mut t = tile();
+        t.fail();
+        assert!(t.is_failed());
+        t.restore();
+        assert!(!t.is_failed());
+    }
+
+    #[test]
+    fn switch_programming_counts_and_reports_latency() {
+        let mut t = tile();
+        let lat = t.program_switch(Dir::East, SwitchPort::Out2, 0.0);
+        assert!((lat - 3.7e-6).abs() < 1e-9);
+        assert_eq!(t.programs(), 1);
+        // Re-programming to the same port much later is free.
+        let lat = t.program_switch(Dir::East, SwitchPort::Out2, 1.0);
+        assert_eq!(lat, 0.0);
+        assert_eq!(t.programs(), 1);
+        // Other directions are independent.
+        assert_eq!(t.switch(Dir::North).selected(), SwitchPort::Out0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the wafer's resource accounting: any sequence of
+//! establishments and teardowns conserves SerDes lanes and waveguide
+//! capacity, and tearing everything down restores the pristine state.
+
+use lightpath::{CircuitId, CircuitRequest, TileCoord, Wafer, WaferConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Establish src→dst with `lanes` (indices into the tile grid).
+    Establish(u8, u8, usize),
+    /// Tear down the i-th oldest live circuit.
+    Teardown(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..32, 0u8..32, 1usize..=16).prop_map(|(a, b, l)| Op::Establish(a, b, l)),
+        (0usize..8).prop_map(Op::Teardown),
+    ]
+}
+
+fn coord(i: u8) -> TileCoord {
+    TileCoord::new(i / 8, i % 8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn establish_teardown_conserves_resources(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut wafer = Wafer::new(WaferConfig::lightpath_32());
+        let mut live: Vec<CircuitId> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Establish(a, b, lanes) => {
+                    let (src, dst) = (coord(a), coord(b));
+                    if src == dst {
+                        continue;
+                    }
+                    if let Ok(rep) = wafer.establish(CircuitRequest::new(src, dst, lanes)) {
+                        live.push(rep.id);
+                        // Whatever was admitted closes its budget.
+                        prop_assert!(rep.link.closes());
+                    }
+                }
+                Op::Teardown(i) => {
+                    if !live.is_empty() {
+                        let id = live.remove(i % live.len());
+                        prop_assert!(wafer.teardown(id).is_ok());
+                    }
+                }
+            }
+
+            // Invariant: per-tile lane accounting matches the live set.
+            for t in wafer.coords() {
+                let tx_used: usize = wafer
+                    .circuits()
+                    .filter(|c| c.claimed_src && c.path.src() == t)
+                    .map(|c| c.lambdas.len())
+                    .sum();
+                prop_assert_eq!(wafer.tile(t).serdes.tx_free(), 16 - tx_used);
+            }
+            // Invariant: edge usage equals the number of live circuits
+            // crossing each edge.
+            for c in wafer.circuits() {
+                for e in c.path.edges() {
+                    let expect = wafer
+                        .circuits()
+                        .flat_map(|x| x.path.edges())
+                        .filter(|&x| x == e)
+                        .count() as u32;
+                    prop_assert_eq!(wafer.edge_used(e), expect);
+                    prop_assert!(expect <= wafer.edge_capacity());
+                }
+            }
+        }
+
+        // Tear everything down: the wafer returns to pristine state.
+        for id in live {
+            wafer.teardown(id).unwrap();
+        }
+        prop_assert_eq!(wafer.circuits().count(), 0);
+        for t in wafer.coords() {
+            prop_assert_eq!(wafer.tile(t).serdes.tx_free(), 16);
+            prop_assert_eq!(wafer.tile(t).serdes.rx_free(), 16);
+        }
+        prop_assert!((wafer.aggregate_bandwidth().0).abs() < 1e-12);
+    }
+
+    /// Admission never over-subscribes: total committed bandwidth per tile
+    /// never exceeds its egress.
+    #[test]
+    fn no_oversubscription(reqs in prop::collection::vec((0u8..32, 0u8..32, 1usize..=16), 1..40)) {
+        let mut wafer = Wafer::new(WaferConfig::lightpath_32());
+        for (a, b, lanes) in reqs {
+            let (src, dst) = (coord(a), coord(b));
+            if src == dst {
+                continue;
+            }
+            let _ = wafer.establish(CircuitRequest::new(src, dst, lanes));
+        }
+        for t in wafer.coords() {
+            let out: f64 = wafer
+                .circuits()
+                .filter(|c| c.path.src() == t)
+                .map(|c| c.bandwidth.0)
+                .sum();
+            prop_assert!(out <= 16.0 * 224.0 + 1e-9, "tile {t} egress {out}");
+        }
+    }
+
+    /// Paths produced by the default router are always simple and minimal
+    /// on an empty wafer.
+    #[test]
+    fn default_routes_are_minimal_when_unloaded(a in 0u8..32, b in 0u8..32) {
+        prop_assume!(a != b);
+        let mut wafer = Wafer::new(WaferConfig::lightpath_32());
+        let (src, dst) = (coord(a), coord(b));
+        let rep = wafer.establish(CircuitRequest::new(src, dst, 1)).unwrap();
+        let path = &wafer.circuit(rep.id).unwrap().path;
+        prop_assert_eq!(path.hops() as u32, src.manhattan(dst));
+    }
+}

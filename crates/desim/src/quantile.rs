@@ -1,0 +1,210 @@
+//! Streaming quantile estimation (the P² algorithm of Jain & Chlamtac).
+//!
+//! Latency tails (p99) matter for the host-stack and control-plane
+//! experiments, but storing every sample of a long simulation is wasteful.
+//! P² maintains five markers whose positions are adjusted with parabolic
+//! interpolation, giving an O(1)-memory estimate that converges to the true
+//! quantile for stationary inputs.
+
+/// Streaming estimator of a single quantile.
+#[derive(Debug, Clone)]
+pub struct QuantileEstimator {
+    q: f64,
+    /// Marker heights (estimates of the quantile positions).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based sample ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    /// Samples seen so far (first five are stored directly).
+    count: usize,
+}
+
+impl QuantileEstimator {
+    /// An estimator for quantile `q` (e.g. 0.99).
+    ///
+    /// Panics unless `0 < q < 1`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1), got {q}");
+        QuantileEstimator {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The quantile this estimator tracks.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Observations so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "non-finite observation {x}");
+        if self.count < 5 {
+            self.heights[self.count] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find the cell containing x and clamp the extremes.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // Adjust the interior markers.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let s = d.signum();
+                let candidate = self.parabolic(i, s);
+                self.heights[i] = if self.heights[i - 1] < candidate
+                    && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, s)
+                };
+                self.positions[i] += s;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, s: f64) -> f64 {
+        let (qm, q0, qp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+        let (nm, n0, np) = (self.positions[i - 1], self.positions[i], self.positions[i + 1]);
+        q0 + s / (np - nm)
+            * ((n0 - nm + s) * (qp - q0) / (np - n0) + (np - n0 - s) * (q0 - qm) / (n0 - nm))
+    }
+
+    fn linear(&self, i: usize, s: f64) -> f64 {
+        let j = if s > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + s * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate. `None` before any observation; exact for ≤5
+    /// observations.
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            n if n < 5 => {
+                let mut v: Vec<f64> = self.heights[..n].to_vec();
+                v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let idx = ((self.q * n as f64).ceil() as usize).clamp(1, n) - 1;
+                Some(v[idx])
+            }
+            _ => Some(self.heights[2]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn exact_for_few_samples() {
+        let mut e = QuantileEstimator::new(0.5);
+        assert_eq!(e.estimate(), None);
+        e.push(10.0);
+        assert_eq!(e.estimate(), Some(10.0));
+        e.push(2.0);
+        e.push(30.0);
+        // Median of {2, 10, 30} = 10.
+        assert_eq!(e.estimate(), Some(10.0));
+    }
+
+    #[test]
+    fn converges_on_uniform_median() {
+        let mut e = QuantileEstimator::new(0.5);
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..100_000 {
+            e.push(rng.next_f64());
+        }
+        let est = e.estimate().unwrap();
+        assert!((est - 0.5).abs() < 0.01, "median estimate {est}");
+    }
+
+    #[test]
+    fn converges_on_uniform_p99() {
+        let mut e = QuantileEstimator::new(0.99);
+        let mut rng = SimRng::seed_from_u64(5);
+        for _ in 0..100_000 {
+            e.push(rng.next_f64());
+        }
+        let est = e.estimate().unwrap();
+        assert!((est - 0.99).abs() < 0.01, "p99 estimate {est}");
+    }
+
+    #[test]
+    fn converges_on_exponential_p90() {
+        let mut e = QuantileEstimator::new(0.9);
+        let mut rng = SimRng::seed_from_u64(7);
+        for _ in 0..200_000 {
+            e.push(rng.exponential(1.0));
+        }
+        let est = e.estimate().unwrap();
+        let truth = -(1f64 - 0.9).ln(); // ≈ 2.3026
+        assert!((est - truth).abs() / truth < 0.05, "p90 {est} vs {truth}");
+    }
+
+    #[test]
+    fn estimate_is_within_observed_range() {
+        let mut e = QuantileEstimator::new(0.75);
+        let mut rng = SimRng::seed_from_u64(11);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for _ in 0..10_000 {
+            let x = rng.normal_with(5.0, 2.0);
+            lo = lo.min(x);
+            hi = hi.max(x);
+            e.push(x);
+        }
+        let est = e.estimate().unwrap();
+        assert!(est >= lo && est <= hi);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0,1)")]
+    fn degenerate_quantile_panics() {
+        QuantileEstimator::new(1.0);
+    }
+}

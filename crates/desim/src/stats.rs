@@ -1,0 +1,432 @@
+//! Measurement collectors used by the experiment harnesses: streaming
+//! moments, histograms, and time series.
+
+use std::fmt;
+
+/// Streaming mean/variance/extrema via Welford's algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "non-finite observation {x}");
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merge another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for OnlineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.6} sd={:.6} min={:.6} max={:.6}",
+            self.n,
+            self.mean(),
+            self.std_dev(),
+            self.min().unwrap_or(f64::NAN),
+            self.max().unwrap_or(f64::NAN)
+        )
+    }
+}
+
+/// Fixed-range, uniform-bin histogram with under/overflow buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    stats: OnlineStats,
+}
+
+impl Histogram {
+    /// Histogram over `[lo, hi)` with `bins` uniform buckets.
+    ///
+    /// Panics unless `lo < hi` and `bins > 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range");
+        assert!(bins > 0, "need at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            stats: OnlineStats::new(),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.stats.push(x);
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations including out-of-range ones.
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's top.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// `(bin_center, count)` pairs.
+    pub fn centers(&self) -> Vec<(f64, u64)> {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + (i as f64 + 0.5) * w, c))
+            .collect()
+    }
+
+    /// Summary statistics of all recorded values.
+    pub fn stats(&self) -> &OnlineStats {
+        &self.stats
+    }
+
+    /// Approximate quantile from binned data (in-range values only).
+    /// Returns `None` if no in-range observations exist.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0,1]");
+        let total: u64 = self.bins.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = (q * total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0;
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some(self.lo + (i as f64 + 0.5) * w);
+            }
+        }
+        Some(self.hi)
+    }
+
+    /// Render the histogram as a fixed-width ASCII bar chart (for the
+    /// `repro` binary's figure output).
+    pub fn ascii(&self, width: usize) -> String {
+        let peak = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (center, count) in self.centers() {
+            let bar = (count as f64 / peak as f64 * width as f64).round() as usize;
+            out.push_str(&format!(
+                "{center:>10.4} | {:<width$} {count}\n",
+                "#".repeat(bar),
+            ));
+        }
+        out
+    }
+}
+
+/// A `(time, value)` series, e.g. an amplitude trace for Fig 3a.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Append a sample. Times must be non-decreasing.
+    pub fn push(&mut self, t: f64, v: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t >= last, "time series must be appended in time order");
+        }
+        self.points.push((t, v));
+    }
+
+    /// All samples.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Linear interpolation at time `t` (clamped to the endpoints).
+    /// Returns `None` when empty.
+    pub fn sample(&self, t: f64) -> Option<f64> {
+        let pts = &self.points;
+        if pts.is_empty() {
+            return None;
+        }
+        if t <= pts[0].0 {
+            return Some(pts[0].1);
+        }
+        if t >= pts[pts.len() - 1].0 {
+            return Some(pts[pts.len() - 1].1);
+        }
+        let idx = pts.partition_point(|&(pt, _)| pt <= t);
+        let (t0, v0) = pts[idx - 1];
+        let (t1, v1) = pts[idx];
+        if t1 == t0 {
+            return Some(v1);
+        }
+        Some(v0 + (v1 - v0) * (t - t0) / (t1 - t0))
+    }
+
+    /// First time at which the value reaches `threshold` going upward,
+    /// linearly interpolated. `None` if never reached.
+    pub fn first_crossing(&self, threshold: f64) -> Option<f64> {
+        for w in self.points.windows(2) {
+            let (t0, v0) = w[0];
+            let (t1, v1) = w[1];
+            if v0 < threshold && v1 >= threshold {
+                if v1 == v0 {
+                    return Some(t1);
+                }
+                return Some(t0 + (t1 - t0) * (threshold - v0) / (v1 - v0));
+            }
+        }
+        // Degenerate case: first sample already above threshold.
+        self.points
+            .first()
+            .filter(|&&(_, v)| v >= threshold)
+            .map(|&(t, _)| t)
+    }
+
+    /// Downsample to at most `n` evenly spaced points (keeps endpoints).
+    pub fn downsample(&self, n: usize) -> TimeSeries {
+        assert!(n >= 2, "need at least two points");
+        if self.points.len() <= n {
+            return self.clone();
+        }
+        let mut out = TimeSeries::new();
+        let last = self.points.len() - 1;
+        for i in 0..n {
+            let idx = i * last / (n - 1);
+            let (t, v) = self.points[idx];
+            out.push(t, v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_match_closed_form() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn online_stats_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        h.record(-0.1);
+        h.record(0.05);
+        h.record(0.05);
+        h.record(0.95);
+        h.record(1.0); // at hi => overflow
+        h.record(2.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn histogram_quantile_is_monotone() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..1000 {
+            h.record((i % 100) as f64);
+        }
+        let q10 = h.quantile(0.10).unwrap();
+        let q50 = h.quantile(0.50).unwrap();
+        let q90 = h.quantile(0.90).unwrap();
+        assert!(q10 < q50 && q50 < q90);
+        assert!((q50 - 50.0).abs() < 2.0, "median {q50}");
+    }
+
+    #[test]
+    fn histogram_empty_quantile_is_none() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn timeseries_interpolates() {
+        let mut ts = TimeSeries::new();
+        ts.push(0.0, 0.0);
+        ts.push(10.0, 100.0);
+        assert_eq!(ts.sample(5.0), Some(50.0));
+        assert_eq!(ts.sample(-1.0), Some(0.0));
+        assert_eq!(ts.sample(11.0), Some(100.0));
+    }
+
+    #[test]
+    fn timeseries_first_crossing() {
+        let mut ts = TimeSeries::new();
+        for i in 0..=10 {
+            ts.push(i as f64, i as f64 * 0.1);
+        }
+        let t = ts.first_crossing(0.55).unwrap();
+        assert!((t - 5.5).abs() < 1e-12);
+        assert_eq!(ts.first_crossing(2.0), None);
+    }
+
+    #[test]
+    fn timeseries_downsample_keeps_endpoints() {
+        let mut ts = TimeSeries::new();
+        for i in 0..1000 {
+            ts.push(i as f64, (i * i) as f64);
+        }
+        let d = ts.downsample(11);
+        assert_eq!(d.len(), 11);
+        assert_eq!(d.points()[0], (0.0, 0.0));
+        assert_eq!(d.points()[10], (999.0, 999.0 * 999.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn timeseries_rejects_backwards_time() {
+        let mut ts = TimeSeries::new();
+        ts.push(1.0, 0.0);
+        ts.push(0.5, 0.0);
+    }
+}

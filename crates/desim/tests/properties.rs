@@ -1,0 +1,143 @@
+//! Property-based tests of the kernel's invariants.
+
+use desim::{Engine, Histogram, OnlineStats, SimDuration, SimRng, SimTime, TimeSeries};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events execute in non-decreasing time order, FIFO among ties,
+    /// regardless of insertion order.
+    #[test]
+    fn engine_executes_in_time_order(times in prop::collection::vec(0u64..1_000, 1..100)) {
+        let mut engine: Engine<Vec<(u64, usize)>> = Engine::new();
+        let mut log: Vec<(u64, usize)> = Vec::new();
+        for (idx, &t) in times.iter().enumerate() {
+            engine.schedule_at(SimTime::from_ps(t), move |m: &mut Vec<(u64, usize)>, e| {
+                m.push((e.now().as_ps(), idx));
+            });
+        }
+        engine.run(&mut log);
+        prop_assert_eq!(log.len(), times.len());
+        for w in log.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO among ties");
+            }
+        }
+        // Each event ran at exactly its scheduled time.
+        for &(at, idx) in &log {
+            prop_assert_eq!(at, times[idx]);
+        }
+    }
+
+    /// Cancelling an arbitrary subset prevents exactly that subset.
+    #[test]
+    fn engine_cancellation_is_exact(
+        times in prop::collection::vec(0u64..1_000, 1..60),
+        cancel_mask in prop::collection::vec(any::<bool>(), 60),
+    ) {
+        let mut engine: Engine<Vec<usize>> = Engine::new();
+        let mut log: Vec<usize> = Vec::new();
+        let mut ids = Vec::new();
+        for (idx, &t) in times.iter().enumerate() {
+            let id = engine.schedule_at(SimTime::from_ps(t), move |m: &mut Vec<usize>, _| {
+                m.push(idx);
+            });
+            ids.push(id);
+        }
+        let mut cancelled = Vec::new();
+        for (idx, id) in ids.iter().enumerate() {
+            if cancel_mask[idx % cancel_mask.len()] && idx % 2 == 0 {
+                engine.cancel(*id);
+                cancelled.push(idx);
+            }
+        }
+        engine.run(&mut log);
+        for idx in &cancelled {
+            prop_assert!(!log.contains(idx), "cancelled event {idx} ran");
+        }
+        prop_assert_eq!(log.len() + cancelled.len(), times.len());
+    }
+
+    /// The RNG's bounded draws always respect their bounds.
+    #[test]
+    fn rng_bounds_hold(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.gen_range_u64(bound) < bound);
+            let f = rng.next_f64();
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    /// Shuffling preserves the multiset.
+    #[test]
+    fn shuffle_is_permutation(seed in any::<u64>(), mut v in prop::collection::vec(0u32..100, 0..50)) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut orig = v.clone();
+        rng.shuffle(&mut v);
+        v.sort_unstable();
+        orig.sort_unstable();
+        prop_assert_eq!(v, orig);
+    }
+
+    /// OnlineStats merge equals sequential accumulation at any split point.
+    #[test]
+    fn stats_merge_associative(
+        data in prop::collection::vec(-1e6f64..1e6, 1..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(data.len());
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &data[..split] {
+            a.push(x);
+        }
+        for &x in &data[split..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * whole.mean().abs().max(1.0));
+        prop_assert!((a.variance() - whole.variance()).abs() <= 1e-5 * whole.variance().abs().max(1.0));
+    }
+
+    /// Histogram counts are conserved: in-range + underflow + overflow = n.
+    #[test]
+    fn histogram_conserves_counts(data in prop::collection::vec(-2.0f64..3.0, 0..300)) {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        for &x in &data {
+            h.record(x);
+        }
+        let binned: u64 = h.counts().iter().sum();
+        prop_assert_eq!(binned + h.underflow() + h.overflow(), data.len() as u64);
+    }
+
+    /// Time-series interpolation is bounded by the sample extrema.
+    #[test]
+    fn timeseries_sample_within_bounds(
+        vals in prop::collection::vec(-100.0f64..100.0, 2..50),
+        at in 0.0f64..50.0,
+    ) {
+        let mut ts = TimeSeries::new();
+        for (i, &v) in vals.iter().enumerate() {
+            ts.push(i as f64, v);
+        }
+        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let s = ts.sample(at).unwrap();
+        prop_assert!(s >= lo - 1e-9 && s <= hi + 1e-9);
+    }
+
+    /// Duration arithmetic: (a + b) - b == a for non-overflowing values.
+    #[test]
+    fn duration_add_sub_roundtrip(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let da = SimDuration::from_ps(a);
+        let db = SimDuration::from_ps(b);
+        prop_assert_eq!((da + db) - db, da);
+        prop_assert_eq!(da.saturating_sub(da), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,31 @@
+//! # hostnet — a circuit-switched host networking stack
+//!
+//! The §5 software challenge made concrete: "server-scale optics will
+//! necessitate the development of new host networking software stacks
+//! optimized for circuit-switching as opposed to today's packetized data
+//! transmission."
+//!
+//! A host transmitter owns one optical circuit at a time; re-pointing it
+//! costs the 3.7 µs MZI reconfiguration. [`transport::simulate`] runs a
+//! message workload under three policies —
+//!
+//! * [`CircuitPolicy::PerMessage`] — the packet-switched habit, `r` per
+//!   message;
+//! * [`CircuitPolicy::HoldOpen`] — circuits persist across same-peer
+//!   messages;
+//! * [`CircuitPolicy::Batch`] — per-peer coalescing with an age bound,
+//!   amortizing `r` against queueing delay —
+//!
+//! and reports latency statistics, reconfiguration counts, and goodput, so
+//! the r-amortization trade-off (§5's "appropriate trade-off between
+//! optical reconfiguration delay and end-to-end performance") can be
+//! measured rather than asserted.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod message;
+pub mod transport;
+
+pub use message::{Delivery, Message, PeerId, PeerQueue};
+pub use transport::{simulate, CircuitPolicy, HostParams, TransportReport};

@@ -1,0 +1,143 @@
+//! Messages and per-destination queues for the circuit-switched host stack.
+
+use desim::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Identifier of a peer accelerator the host can open circuits to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PeerId(pub u32);
+
+/// One application message awaiting transmission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Message {
+    /// Destination peer.
+    pub dst: PeerId,
+    /// Payload size, bytes.
+    pub bytes: u64,
+    /// When the application enqueued it.
+    pub enqueued: SimTime,
+}
+
+/// Completion record for a delivered message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delivery {
+    /// The message delivered.
+    pub message: Message,
+    /// When the last byte arrived.
+    pub completed: SimTime,
+}
+
+impl Delivery {
+    /// Queueing + circuit-setup + transmission latency.
+    pub fn latency(&self) -> SimDuration {
+        self.completed.saturating_since(self.message.enqueued)
+    }
+}
+
+/// FIFO of messages bound for one peer.
+#[derive(Debug, Clone, Default)]
+pub struct PeerQueue {
+    q: VecDeque<Message>,
+    /// Total bytes currently queued.
+    bytes: u64,
+}
+
+impl PeerQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        PeerQueue::default()
+    }
+
+    /// Enqueue a message.
+    pub fn push(&mut self, m: Message) {
+        self.bytes += m.bytes;
+        self.q.push_back(m);
+    }
+
+    /// Dequeue the oldest message.
+    pub fn pop(&mut self) -> Option<Message> {
+        let m = self.q.pop_front()?;
+        self.bytes -= m.bytes;
+        Some(m)
+    }
+
+    /// Messages waiting.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// True when nothing waits.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Total queued bytes.
+    pub fn queued_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Peek at the head without dequeuing.
+    pub fn head(&self) -> Option<&Message> {
+        self.q.front()
+    }
+
+    /// Drain every queued message.
+    pub fn drain(&mut self) -> Vec<Message> {
+        self.bytes = 0;
+        self.q.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(bytes: u64) -> Message {
+        Message {
+            dst: PeerId(1),
+            bytes,
+            enqueued: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn queue_fifo_and_byte_accounting() {
+        let mut q = PeerQueue::new();
+        assert!(q.is_empty());
+        q.push(msg(100));
+        q.push(msg(200));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.queued_bytes(), 300);
+        assert_eq!(q.head().unwrap().bytes, 100);
+        assert_eq!(q.pop().unwrap().bytes, 100);
+        assert_eq!(q.queued_bytes(), 200);
+        assert_eq!(q.pop().unwrap().bytes, 200);
+        assert!(q.pop().is_none());
+        assert_eq!(q.queued_bytes(), 0);
+    }
+
+    #[test]
+    fn drain_empties() {
+        let mut q = PeerQueue::new();
+        for i in 1..=5 {
+            q.push(msg(i));
+        }
+        let all = q.drain();
+        assert_eq!(all.len(), 5);
+        assert!(q.is_empty());
+        assert_eq!(q.queued_bytes(), 0);
+    }
+
+    #[test]
+    fn delivery_latency() {
+        let d = Delivery {
+            message: Message {
+                dst: PeerId(0),
+                bytes: 1,
+                enqueued: SimTime::from_ps(1_000),
+            },
+            completed: SimTime::from_ps(5_000),
+        };
+        assert_eq!(d.latency().as_ps(), 4_000);
+    }
+}

@@ -1,0 +1,392 @@
+//! The circuit-switched transport: one transmit circuit, policies for when
+//! to re-point it.
+//!
+//! "Server-scale optics will necessitate the development of new host
+//! networking software stacks optimized for circuit-switching as opposed to
+//! today's packetized data transmission" (§5). The defining constraint is
+//! the 3.7 µs reconfiguration: a host that re-points its circuit per
+//! message drowns small messages in setup latency, while batching amortizes
+//! `r` at the price of queueing delay. This module simulates a single
+//! host's transmitter under three policies and measures the trade-off.
+
+use crate::message::{Delivery, Message, PeerId, PeerQueue};
+use desim::{Engine, OnlineStats, QuantileEstimator, SimDuration, SimTime};
+use phy::units::Gbps;
+use std::collections::BTreeMap;
+
+/// When the transmitter re-points its circuit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CircuitPolicy {
+    /// Open a fresh circuit for every message (the packet-switched habit —
+    /// pays `r` per message).
+    PerMessage,
+    /// Keep the current circuit until traffic for another peer waits;
+    /// consecutive messages to the same peer ride the open circuit free.
+    HoldOpen,
+    /// Accumulate per-peer batches; flush a peer once it has at least
+    /// `threshold_bytes` queued or its oldest message has waited
+    /// `max_delay`.
+    Batch {
+        /// Flush threshold, bytes.
+        threshold_bytes: u64,
+        /// Oldest-message age bound.
+        max_delay: SimDuration,
+    },
+}
+
+/// Transmitter hardware parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HostParams {
+    /// Circuit bandwidth once open (a full 16-λ tile egress by default).
+    pub rate: Gbps,
+    /// Circuit re-point latency (MZI reconfiguration).
+    pub reconfig: SimDuration,
+}
+
+impl Default for HostParams {
+    fn default() -> Self {
+        HostParams {
+            rate: Gbps(16.0 * 224.0),
+            reconfig: SimDuration::from_secs_f64(phy::thermal::RECONFIG_LATENCY_S),
+        }
+    }
+}
+
+/// Measured behaviour of a policy over a workload.
+#[derive(Debug, Clone)]
+pub struct TransportReport {
+    /// Messages delivered (always the full workload).
+    pub delivered: usize,
+    /// Message latency statistics, seconds.
+    pub latency: OnlineStats,
+    /// Streaming p99 latency estimate, seconds.
+    pub p99_latency_s: f64,
+    /// Circuit re-points performed.
+    pub reconfigs: u64,
+    /// Completion time of the last delivery.
+    pub makespan: SimDuration,
+    /// Delivered payload over makespan, Gb/s.
+    pub goodput_gbps: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TxState {
+    /// No circuit open.
+    Idle,
+    /// Circuit open to a peer and not transmitting.
+    Open(PeerId),
+    /// Busy until the stored instant (circuit open to the peer).
+    Busy(PeerId, SimTime),
+}
+
+struct Host {
+    queues: BTreeMap<PeerId, PeerQueue>,
+    state: TxState,
+    policy: CircuitPolicy,
+    params: HostParams,
+    deliveries: Vec<Delivery>,
+    reconfigs: u64,
+}
+
+impl Host {
+    /// The peer whose head-of-line message is oldest and *eligible* under
+    /// the policy (Batch only flushes ripe queues unless forced by age).
+    fn next_peer(&self, now: SimTime) -> Option<PeerId> {
+        let mut best: Option<(SimTime, PeerId)> = None;
+        for (&peer, q) in &self.queues {
+            let Some(head) = q.head() else { continue };
+            let ripe = match self.policy {
+                CircuitPolicy::PerMessage | CircuitPolicy::HoldOpen => true,
+                CircuitPolicy::Batch {
+                    threshold_bytes,
+                    max_delay,
+                } => {
+                    q.queued_bytes() >= threshold_bytes
+                        || now.saturating_since(head.enqueued) >= max_delay
+                }
+            };
+            if ripe && best.is_none_or(|(t, _)| head.enqueued < t) {
+                best = Some((head.enqueued, peer));
+            }
+        }
+        best.map(|(_, p)| p)
+    }
+
+    /// Earliest future instant at which a Batch queue ripens by age.
+    fn next_ripen(&self, now: SimTime) -> Option<SimTime> {
+        let CircuitPolicy::Batch { max_delay, .. } = self.policy else {
+            return None;
+        };
+        self.queues
+            .values()
+            .filter_map(|q| q.head())
+            .map(|h| h.enqueued + max_delay)
+            .filter(|&t| t > now)
+            .min()
+    }
+}
+
+fn pump(host: &mut Host, engine: &mut Engine<Host>) {
+    // Only start new work when the transmitter is free.
+    if let TxState::Busy(_, until) = host.state {
+        if engine.now() < until {
+            return;
+        }
+    }
+    let now = engine.now();
+    let Some(peer) = host.next_peer(now) else {
+        // Nothing eligible: for Batch, wake when the oldest head ripens.
+        if let Some(t) = host.next_ripen(now) {
+            engine.schedule_at(t, pump);
+        }
+        if !matches!(host.state, TxState::Busy(..)) {
+            host.state = match host.state {
+                TxState::Busy(p, _) | TxState::Open(p) => TxState::Open(p),
+                TxState::Idle => TxState::Idle,
+            };
+        }
+        return;
+    };
+
+    // Circuit setup cost.
+    let needs_reconfig = match (host.policy, host.state) {
+        (CircuitPolicy::PerMessage, _) => true,
+        (_, TxState::Open(p)) | (_, TxState::Busy(p, _)) => p != peer,
+        (_, TxState::Idle) => true,
+    };
+    let setup = if needs_reconfig {
+        host.reconfigs += 1;
+        host.params.reconfig
+    } else {
+        SimDuration::ZERO
+    };
+
+    // What to send: one message, or (Batch) the whole queue.
+    let batch = match host.policy {
+        CircuitPolicy::Batch { .. } => {
+            host.queues.get_mut(&peer).expect("peer exists").drain()
+        }
+        _ => vec![host
+            .queues
+            .get_mut(&peer)
+            .expect("peer exists")
+            .pop()
+            .expect("head exists")],
+    };
+    let bytes: u64 = batch.iter().map(|m| m.bytes).sum();
+    let tx_time = SimDuration::from_secs_f64(host.params.rate.transfer_secs(bytes));
+    let done = now + setup + tx_time;
+    host.state = TxState::Busy(peer, done);
+    engine.schedule_at(done, move |h: &mut Host, e| {
+        for m in &batch {
+            h.deliveries.push(Delivery {
+                message: *m,
+                completed: e.now(),
+            });
+        }
+        h.state = TxState::Open(peer);
+        pump(h, e);
+    });
+}
+
+/// Simulate `workload` (messages in arrival order) under one policy.
+pub fn simulate(
+    policy: CircuitPolicy,
+    params: HostParams,
+    workload: &[Message],
+) -> TransportReport {
+    let mut engine: Engine<Host> = Engine::new();
+    let mut host = Host {
+        queues: BTreeMap::new(),
+        state: TxState::Idle,
+        policy,
+        params,
+        deliveries: Vec::new(),
+        reconfigs: 0,
+    };
+    for &m in workload {
+        engine.schedule_at(m.enqueued, move |h: &mut Host, e| {
+            h.queues.entry(m.dst).or_default().push(m);
+            pump(h, e);
+        });
+    }
+    engine.run(&mut host);
+    assert_eq!(
+        host.deliveries.len(),
+        workload.len(),
+        "transport must deliver everything"
+    );
+
+    let mut latency = OnlineStats::new();
+    let mut p99 = QuantileEstimator::new(0.99);
+    for d in &host.deliveries {
+        let l = d.latency().as_secs_f64();
+        latency.push(l);
+        p99.push(l);
+    }
+    let makespan = host
+        .deliveries
+        .iter()
+        .map(|d| d.completed)
+        .max()
+        .unwrap_or(SimTime::ZERO)
+        .since_origin();
+    let total_bytes: u64 = workload.iter().map(|m| m.bytes).sum();
+    let goodput_gbps = if makespan > SimDuration::ZERO {
+        total_bytes as f64 * 8.0 / makespan.as_secs_f64() / 1e9
+    } else {
+        0.0
+    };
+    TransportReport {
+        delivered: host.deliveries.len(),
+        latency,
+        p99_latency_s: p99.estimate().unwrap_or(0.0),
+        reconfigs: host.reconfigs,
+        makespan,
+        goodput_gbps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::SimRng;
+
+    /// `n` messages of `bytes` each, to `peers` peers round-robin, arriving
+    /// every `gap`.
+    fn workload(n: usize, bytes: u64, peers: u32, gap: SimDuration) -> Vec<Message> {
+        (0..n)
+            .map(|i| Message {
+                dst: PeerId(i as u32 % peers),
+                bytes,
+                enqueued: SimTime::ZERO + gap * i as u64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_message_timing_is_exact() {
+        let params = HostParams::default();
+        let w = workload(1, 448_000, 1, SimDuration::ZERO); // 448 kB at 448 GB/s = 1 µs
+        let r = simulate(CircuitPolicy::PerMessage, params, &w);
+        assert_eq!(r.delivered, 1);
+        assert_eq!(r.reconfigs, 1);
+        let expect = 3.7e-6 + 1e-6;
+        assert!((r.latency.mean() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hold_open_amortizes_same_peer_traffic() {
+        let params = HostParams::default();
+        // 100 back-to-back small messages to ONE peer.
+        let w = workload(100, 1_000, 1, SimDuration::ZERO);
+        let per = simulate(CircuitPolicy::PerMessage, params, &w);
+        let hold = simulate(CircuitPolicy::HoldOpen, params, &w);
+        assert_eq!(per.reconfigs, 100);
+        assert_eq!(hold.reconfigs, 1, "one setup, then the circuit stays");
+        assert!(hold.makespan < per.makespan);
+        assert!(hold.latency.mean() < per.latency.mean());
+    }
+
+    #[test]
+    fn hold_open_still_pays_on_peer_switches() {
+        let params = HostParams::default();
+        // Alternating arrivals: the oldest-head scheduler chases the
+        // alternation, switching the circuit for every message.
+        let w = workload(50, 1_000, 2, SimDuration::from_ns(100));
+        let hold = simulate(CircuitPolicy::HoldOpen, params, &w);
+        assert_eq!(hold.reconfigs, 50);
+        // With simultaneous arrivals the scheduler drains per peer instead:
+        // only one switch.
+        let w0 = workload(50, 1_000, 2, SimDuration::ZERO);
+        let hold0 = simulate(CircuitPolicy::HoldOpen, params, &w0);
+        assert_eq!(hold0.reconfigs, 2);
+    }
+
+    #[test]
+    fn batching_cuts_reconfigs_for_scattered_traffic() {
+        let params = HostParams::default();
+        let w = workload(200, 10_000, 4, SimDuration::from_ns(100));
+        let hold = simulate(CircuitPolicy::HoldOpen, params, &w);
+        let batch = simulate(
+            CircuitPolicy::Batch {
+                threshold_bytes: 100_000,
+                max_delay: SimDuration::from_us(50),
+            },
+            params,
+            &w,
+        );
+        assert!(
+            batch.reconfigs < hold.reconfigs / 2,
+            "batching amortizes: {} vs {}",
+            batch.reconfigs,
+            hold.reconfigs
+        );
+        assert!(batch.makespan <= hold.makespan);
+    }
+
+    #[test]
+    fn batch_max_delay_bounds_latency() {
+        let params = HostParams::default();
+        // A single tiny message: never reaches the threshold, must flush by
+        // age.
+        let w = workload(1, 100, 1, SimDuration::ZERO);
+        let max_delay = SimDuration::from_us(20);
+        let r = simulate(
+            CircuitPolicy::Batch {
+                threshold_bytes: 1_000_000,
+                max_delay,
+            },
+            params,
+            &w,
+        );
+        assert_eq!(r.delivered, 1);
+        let lat = r.latency.mean();
+        assert!(lat >= max_delay.as_secs_f64());
+        assert!(lat < max_delay.as_secs_f64() + 5e-6, "age flush fired: {lat}");
+    }
+
+    #[test]
+    fn everything_is_delivered_under_random_traffic() {
+        let params = HostParams::default();
+        let mut rng = SimRng::seed_from_u64(7);
+        let w: Vec<Message> = (0..500)
+            .map(|_| Message {
+                dst: PeerId(rng.gen_range_u64(8) as u32),
+                bytes: 100 + rng.gen_range_u64(1_000_000),
+                enqueued: SimTime::from_ps(rng.gen_range_u64(1_000_000_000)),
+            })
+            .collect();
+        let mut sorted = w.clone();
+        sorted.sort_by_key(|m| m.enqueued);
+        for policy in [
+            CircuitPolicy::PerMessage,
+            CircuitPolicy::HoldOpen,
+            CircuitPolicy::Batch {
+                threshold_bytes: 500_000,
+                max_delay: SimDuration::from_us(100),
+            },
+        ] {
+            let r = simulate(policy, params, &sorted);
+            assert_eq!(r.delivered, 500, "{policy:?}");
+            assert!(r.goodput_gbps > 0.0);
+            assert!(r.latency.min().unwrap() >= 0.0);
+            assert!(r.p99_latency_s >= r.latency.mean() * 0.5);
+            assert!(r.p99_latency_s <= r.latency.max().unwrap() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn goodput_approaches_line_rate_for_large_messages() {
+        let params = HostParams::default();
+        // 100 MB messages: setup is negligible.
+        let w = workload(20, 100_000_000, 1, SimDuration::ZERO);
+        let r = simulate(CircuitPolicy::HoldOpen, params, &w);
+        assert!(
+            r.goodput_gbps > 0.99 * params.rate.0,
+            "goodput {} vs line {}",
+            r.goodput_gbps,
+            params.rate.0
+        );
+    }
+}

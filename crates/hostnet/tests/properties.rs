@@ -1,0 +1,82 @@
+//! Property-based tests of the circuit-switched transport: conservation,
+//! causality, and policy dominance under arbitrary workloads.
+
+use desim::{SimDuration, SimTime};
+use hostnet::{simulate, CircuitPolicy, HostParams, Message, PeerId};
+use proptest::prelude::*;
+
+fn workload_strategy() -> impl Strategy<Value = Vec<Message>> {
+    prop::collection::vec(
+        (0u32..6, 1u64..1_000_000, 0u64..10_000_000),
+        1..80,
+    )
+    .prop_map(|v| {
+        let mut msgs: Vec<Message> = v
+            .into_iter()
+            .map(|(dst, bytes, at_ns)| Message {
+                dst: PeerId(dst),
+                bytes,
+                enqueued: SimTime::from_ps(at_ns * 1_000),
+            })
+            .collect();
+        msgs.sort_by_key(|m| m.enqueued);
+        msgs
+    })
+}
+
+fn policies() -> [CircuitPolicy; 3] {
+    [
+        CircuitPolicy::PerMessage,
+        CircuitPolicy::HoldOpen,
+        CircuitPolicy::Batch {
+            threshold_bytes: 100_000,
+            max_delay: SimDuration::from_us(50),
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every message is delivered exactly once, with non-negative latency,
+    /// under every policy.
+    #[test]
+    fn delivery_conservation(w in workload_strategy()) {
+        for policy in policies() {
+            let r = simulate(policy, HostParams::default(), &w);
+            prop_assert_eq!(r.delivered, w.len(), "{:?}", policy);
+            prop_assert!(r.latency.min().unwrap_or(0.0) >= 0.0);
+            prop_assert!(r.goodput_gbps >= 0.0);
+        }
+    }
+
+    /// Hold-open never performs more reconfigurations than per-message.
+    #[test]
+    fn hold_open_dominates_per_message_reconfigs(w in workload_strategy()) {
+        let params = HostParams::default();
+        let per = simulate(CircuitPolicy::PerMessage, params, &w);
+        let hold = simulate(CircuitPolicy::HoldOpen, params, &w);
+        prop_assert!(hold.reconfigs <= per.reconfigs);
+        prop_assert_eq!(per.reconfigs as usize, w.len());
+        // And never a later makespan.
+        prop_assert!(hold.makespan <= per.makespan);
+    }
+
+    /// The makespan is at least the serial transmission bound
+    /// (Σ bytes / rate) and the latency mean is bounded by the makespan.
+    #[test]
+    fn makespan_bounds(w in workload_strategy()) {
+        let params = HostParams::default();
+        let total_bytes: u64 = w.iter().map(|m| m.bytes).sum();
+        let tx_floor = params.rate.transfer_secs(total_bytes);
+        for policy in policies() {
+            let r = simulate(policy, params, &w);
+            let first_arrival = w[0].enqueued.as_secs_f64();
+            prop_assert!(
+                r.makespan.as_secs_f64() + 1e-12 >= first_arrival + tx_floor,
+                "{policy:?}: makespan below the serial transmission floor"
+            );
+            prop_assert!(r.latency.max().unwrap() <= r.makespan.as_secs_f64() + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Active optical devices on a LIGHTPATH tile: lasers, micro-ring
+//! modulators, and photodetectors (paper §3, Fig 2a).
+//!
+//! Each tile's transmitter modulates data onto one of its 16 WDM laser
+//! wavelengths with a micro-ring modulator (MRR); the receiver demultiplexes
+//! wavelengths and converts them back to bits with photodetectors feeding
+//! the SerDes. These models provide the powers and penalties the link budget
+//! needs, plus a receiver-sensitivity calculation from Gaussian noise
+//! statistics.
+
+use crate::math::{ber_from_q, q_from_ber};
+use crate::units::{Db, Dbm, Gbps, Milliwatts};
+
+/// Electron charge, coulombs.
+const Q_ELECTRON: f64 = 1.602_176_634e-19;
+
+/// A continuous-wave on-chip laser source.
+#[derive(Debug, Clone, Copy)]
+pub struct Laser {
+    /// Center wavelength in nanometers.
+    pub wavelength_nm: f64,
+    /// Optical output power.
+    pub power: Dbm,
+}
+
+impl Laser {
+    /// A C-band laser at `wavelength_nm` emitting `power_dbm`.
+    ///
+    /// Panics for wavelengths outside 1200–1700 nm (these are SiPh devices).
+    pub fn new(wavelength_nm: f64, power_dbm: f64) -> Self {
+        assert!(
+            (1200.0..=1700.0).contains(&wavelength_nm),
+            "wavelength {wavelength_nm} nm outside the silicon-photonics band"
+        );
+        Laser {
+            wavelength_nm,
+            power: Dbm(power_dbm),
+        }
+    }
+}
+
+/// A micro-ring resonator (MRR) modulator.
+#[derive(Debug, Clone, Copy)]
+pub struct MrrModulator {
+    /// Insertion loss of the ring on resonance path, dB.
+    pub insertion_loss_db: f64,
+    /// Extinction ratio between the 1 and 0 levels, dB.
+    pub extinction_ratio_db: f64,
+    /// Line rate supported by the modulator + SerDes.
+    pub rate: Gbps,
+}
+
+impl Default for MrrModulator {
+    fn default() -> Self {
+        // 224 Gb/s per wavelength as measured on LIGHTPATH (§3):
+        // 112 GBd PAM4 with typical MRR figures.
+        MrrModulator {
+            insertion_loss_db: 3.0,
+            extinction_ratio_db: 4.5,
+            rate: Gbps(224.0),
+        }
+    }
+}
+
+impl MrrModulator {
+    /// Power penalty from finite extinction ratio, dB.
+    ///
+    /// For OOK/PAM with extinction ratio `r` (linear), the eye closes by
+    /// `(r+1)/(r−1)` relative to infinite extinction.
+    pub fn extinction_penalty(&self) -> Db {
+        let r = Db(self.extinction_ratio_db).to_linear();
+        assert!(r > 1.0, "extinction ratio must exceed 1 (0 dB)");
+        Db::from_linear((r + 1.0) / (r - 1.0))
+    }
+
+    /// Total transmitter-side loss/penalty applied to the launch power.
+    pub fn tx_penalty(&self) -> Db {
+        Db::loss(self.insertion_loss_db) + -self.extinction_penalty()
+    }
+}
+
+/// A photodetector with thermal- and shot-noise-limited sensitivity.
+#[derive(Debug, Clone, Copy)]
+pub struct Photodetector {
+    /// Responsivity in amperes per watt.
+    pub responsivity_a_per_w: f64,
+    /// Input-referred thermal noise current density, A/√Hz.
+    pub thermal_noise_a_per_sqrt_hz: f64,
+    /// Dark current, amperes.
+    pub dark_current_a: f64,
+}
+
+impl Default for Photodetector {
+    fn default() -> Self {
+        Photodetector {
+            responsivity_a_per_w: 1.0,
+            // Typical TIA-limited receiver front end.
+            thermal_noise_a_per_sqrt_hz: 18e-12,
+            dark_current_a: 10e-9,
+        }
+    }
+}
+
+impl Photodetector {
+    /// Q-factor when receiving average optical power `p` at line rate
+    /// `rate` (NRZ eye; receiver bandwidth = 0.7 × bit rate).
+    pub fn q_factor(&self, p: Milliwatts, rate: Gbps) -> f64 {
+        assert!(p.0 > 0.0, "received power must be positive");
+        let p_w = p.0 * 1e-3;
+        let bw = 0.7 * rate.bits_per_sec();
+        let signal = self.responsivity_a_per_w * p_w; // mean photocurrent, A
+        // Gaussian noise on the 1-level (shot) and both levels (thermal).
+        let shot = (2.0 * Q_ELECTRON * (signal + self.dark_current_a) * bw).sqrt();
+        let thermal = self.thermal_noise_a_per_sqrt_hz * bw.sqrt();
+        // Eye amplitude ≈ 2·signal for ideal extinction (1-level = 2·mean).
+        2.0 * signal / (shot + thermal).max(1e-30)
+    }
+
+    /// BER when receiving `p` at `rate`.
+    pub fn ber(&self, p: Milliwatts, rate: Gbps) -> f64 {
+        ber_from_q(self.q_factor(p, rate))
+    }
+
+    /// Receiver sensitivity: the minimum average power achieving
+    /// `target_ber` at `rate`. Found by bisection on the monotone Q(P) map.
+    pub fn sensitivity(&self, target_ber: f64, rate: Gbps) -> Dbm {
+        let q_needed = q_from_ber(target_ber);
+        let (mut lo, mut hi) = (1e-9f64, 1e2f64); // mW
+        for _ in 0..200 {
+            let mid = (lo * hi).sqrt();
+            if self.q_factor(Milliwatts(mid), rate) < q_needed {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Milliwatts((lo * hi).sqrt()).to_dbm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laser_rejects_absurd_wavelengths() {
+        let l = Laser::new(1310.0, 10.0);
+        assert_eq!(l.power.0, 10.0);
+        assert!(std::panic::catch_unwind(|| Laser::new(600.0, 0.0)).is_err());
+    }
+
+    #[test]
+    fn extinction_penalty_shrinks_with_er() {
+        let low = MrrModulator {
+            extinction_ratio_db: 3.0,
+            ..MrrModulator::default()
+        };
+        let high = MrrModulator {
+            extinction_ratio_db: 10.0,
+            ..MrrModulator::default()
+        };
+        assert!(low.extinction_penalty().0 > high.extinction_penalty().0);
+        // 10 dB ER → penalty ≈ 10·log10(11/9) ≈ 0.87 dB.
+        assert!((high.extinction_penalty().0 - 0.87).abs() < 0.02);
+    }
+
+    #[test]
+    fn q_factor_increases_with_power() {
+        let pd = Photodetector::default();
+        let r = Gbps(224.0);
+        let q1 = pd.q_factor(Milliwatts(0.01), r);
+        let q2 = pd.q_factor(Milliwatts(0.1), r);
+        let q3 = pd.q_factor(Milliwatts(1.0), r);
+        assert!(q1 < q2 && q2 < q3);
+    }
+
+    #[test]
+    fn q_factor_decreases_with_rate() {
+        let pd = Photodetector::default();
+        let q_slow = pd.q_factor(Milliwatts(0.05), Gbps(25.0));
+        let q_fast = pd.q_factor(Milliwatts(0.05), Gbps(224.0));
+        assert!(q_fast < q_slow);
+    }
+
+    #[test]
+    fn sensitivity_achieves_target_ber() {
+        let pd = Photodetector::default();
+        let rate = Gbps(224.0);
+        let target = 1e-12;
+        let sens = pd.sensitivity(target, rate);
+        let ber_at_sens = pd.ber(sens.to_mw(), rate);
+        assert!(
+            (ber_at_sens.log10() - target.log10()).abs() < 0.1,
+            "BER at sensitivity {ber_at_sens:e} vs target {target:e}"
+        );
+        // 3 dB more power must be comfortably better than target.
+        let better = pd.ber((sens + Db(3.0)).to_mw(), rate);
+        assert!(better < target / 10.0);
+    }
+
+    #[test]
+    fn sensitivity_is_plausible_for_224g() {
+        // A 224 Gb/s thermal-noise-limited receiver needs roughly
+        // −14…−2 dBm — sanity-check the model stays in a physical range.
+        let pd = Photodetector::default();
+        let s = pd.sensitivity(1e-12, Gbps(224.0));
+        assert!(
+            (-20.0..=0.0).contains(&s.0),
+            "sensitivity {s} outside plausible range"
+        );
+    }
+
+    #[test]
+    fn faster_rate_needs_more_power() {
+        let pd = Photodetector::default();
+        let s56 = pd.sensitivity(1e-12, Gbps(56.0));
+        let s224 = pd.sensitivity(1e-12, Gbps(224.0));
+        assert!(s224.0 > s56.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Thermo-optic phase drift and recalibration.
+//!
+//! A programmed MZI does not hold its phase forever: ambient thermal
+//! gradients random-walk the arm phase, slowly leaking power into the dark
+//! port. Production photonic fabrics recalibrate periodically — and every
+//! recalibration is a reconfiguration event costing `r = 3.7 µs` of link
+//! downtime. This module models the drift as a Wiener process on the phase
+//! and exposes the §5-style trade-off: recalibrate often (pay `r`
+//! overhead) or rarely (pay optical penalty).
+
+use crate::thermal::RECONFIG_LATENCY_S;
+use desim::SimDuration;
+
+/// Random-walk drift of a programmed MZI phase.
+#[derive(Debug, Clone, Copy)]
+pub struct DriftModel {
+    /// Phase standard deviation growth, radians per √second.
+    pub sigma_rad_per_sqrt_s: f64,
+}
+
+impl Default for DriftModel {
+    fn default() -> Self {
+        // A well-stabilized package: ~10 mrad of drift per √second.
+        DriftModel {
+            sigma_rad_per_sqrt_s: 0.01,
+        }
+    }
+}
+
+impl DriftModel {
+    /// Phase standard deviation after holding for `t` seconds.
+    pub fn phase_std_after(&self, t_s: f64) -> f64 {
+        assert!(t_s >= 0.0, "time must be non-negative");
+        self.sigma_rad_per_sqrt_s * t_s.sqrt()
+    }
+
+    /// Expected bright-port power penalty after `t` seconds, dB.
+    ///
+    /// For small phase error φ, the bright port transmits `cos²(φ/2) ≈
+    /// 1 − φ²/4`; with φ ~ N(0, σ²), `E[penalty]` ≈ σ²/4 (linear), converted
+    /// to dB.
+    pub fn expected_penalty_db(&self, t_s: f64) -> f64 {
+        let var = self.phase_std_after(t_s).powi(2);
+        let linear = (1.0 - var / 4.0).max(1e-6);
+        -10.0 * linear.log10()
+    }
+
+    /// How long the phase can free-run before the expected penalty exceeds
+    /// `budget_db`.
+    pub fn holdover_secs(&self, budget_db: f64) -> f64 {
+        assert!(budget_db > 0.0, "penalty budget must be positive");
+        // Invert expected_penalty_db: linear = 10^(−budget/10);
+        // var = 4(1 − linear); t = var / σ².
+        let linear = 10f64.powf(-budget_db / 10.0);
+        let var = 4.0 * (1.0 - linear);
+        var / self.sigma_rad_per_sqrt_s.powi(2)
+    }
+}
+
+/// One point of the recalibration trade-off sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct RecalPoint {
+    /// Recalibration interval.
+    pub interval: SimDuration,
+    /// Fraction of time the link is down recalibrating (`r / interval`).
+    pub downtime_fraction: f64,
+    /// Worst-case optical penalty just before recalibration, dB.
+    pub worst_penalty_db: f64,
+    /// Combined badness: downtime fraction plus penalty expressed as an
+    /// equivalent throughput fraction (small-signal: penalty_dB/10·ln10).
+    pub combined_cost: f64,
+}
+
+/// Sweep recalibration intervals for a drift model.
+pub fn recal_tradeoff(drift: &DriftModel, intervals: &[SimDuration]) -> Vec<RecalPoint> {
+    intervals
+        .iter()
+        .map(|&interval| {
+            let t = interval.as_secs_f64();
+            let downtime = RECONFIG_LATENCY_S / t.max(RECONFIG_LATENCY_S);
+            let penalty = drift.expected_penalty_db(t);
+            RecalPoint {
+                interval,
+                downtime_fraction: downtime,
+                worst_penalty_db: penalty,
+                combined_cost: downtime + penalty / 10.0 * std::f64::consts::LN_10,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_grows_as_sqrt_time() {
+        let d = DriftModel::default();
+        let s1 = d.phase_std_after(1.0);
+        let s4 = d.phase_std_after(4.0);
+        assert!((s4 / s1 - 2.0).abs() < 1e-12, "√t scaling");
+        assert_eq!(d.phase_std_after(0.0), 0.0);
+    }
+
+    #[test]
+    fn penalty_is_monotone_and_small_at_first() {
+        let d = DriftModel::default();
+        let p1 = d.expected_penalty_db(1.0);
+        let p100 = d.expected_penalty_db(100.0);
+        assert!(p1 < p100);
+        assert!(p1 < 0.001, "1 s of drift is negligible: {p1} dB");
+        assert!(p100 < 0.2, "even 100 s stays small: {p100} dB");
+    }
+
+    #[test]
+    fn holdover_inverts_penalty() {
+        let d = DriftModel::default();
+        let budget = 0.05;
+        let t = d.holdover_secs(budget);
+        let p = d.expected_penalty_db(t);
+        assert!((p - budget).abs() < 1e-9, "holdover {t}s → {p} dB");
+    }
+
+    #[test]
+    fn tradeoff_has_an_interior_optimum() {
+        let d = DriftModel {
+            sigma_rad_per_sqrt_s: 0.05,
+        };
+        let intervals: Vec<SimDuration> = (0..10)
+            .map(|i| SimDuration::from_micros_f64(10f64 * 4f64.powi(i)))
+            .collect();
+        let pts = recal_tradeoff(&d, &intervals);
+        // Downtime falls, penalty rises.
+        for w in pts.windows(2) {
+            assert!(w[1].downtime_fraction <= w[0].downtime_fraction + 1e-15);
+            assert!(w[1].worst_penalty_db >= w[0].worst_penalty_db - 1e-15);
+        }
+        // The combined cost dips somewhere strictly inside the sweep.
+        let best = pts
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.combined_cost.partial_cmp(&b.1.combined_cost).unwrap())
+            .unwrap()
+            .0;
+        assert!(best > 0 && best < pts.len() - 1, "optimum at index {best}");
+    }
+
+    #[test]
+    fn recalibrating_every_r_means_always_down() {
+        let d = DriftModel::default();
+        let pts = recal_tradeoff(
+            &d,
+            &[SimDuration::from_secs_f64(RECONFIG_LATENCY_S)],
+        );
+        assert!((pts[0].downtime_fraction - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,153 @@
+//! End-to-end link budget: does a proposed optical circuit close?
+//!
+//! Ties the device models together: laser launch power, transmitter
+//! penalties, the itemized path loss of [`crate::loss`], and the receiver
+//! sensitivity of [`crate::devices`]. The circuit layer (`lightpath` crate)
+//! admits a circuit only when its budget closes with positive margin — this
+//! is how §3's loss measurements gate §4's routing opportunities.
+
+use crate::devices::{Laser, MrrModulator, Photodetector};
+use crate::loss::LossBudget;
+use crate::units::{Db, Dbm, Gbps};
+
+/// Target bit error rate for circuit admission (pre-FEC threshold typical
+/// of short-reach links).
+pub const DEFAULT_TARGET_BER: f64 = 1e-12;
+
+/// Inputs to a link-budget evaluation.
+#[derive(Debug, Clone)]
+pub struct LinkBudget {
+    /// Source laser.
+    pub laser: Laser,
+    /// Transmit modulator.
+    pub modulator: MrrModulator,
+    /// Receive detector.
+    pub detector: Photodetector,
+    /// Itemized path loss.
+    pub path: LossBudget,
+    /// Target BER for admission.
+    pub target_ber: f64,
+}
+
+/// Outcome of evaluating a link budget.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkReport {
+    /// Optical power arriving at the detector.
+    pub received: Dbm,
+    /// Receiver sensitivity at the target BER and line rate.
+    pub sensitivity: Dbm,
+    /// `received − sensitivity`; the link closes when this is ≥ 0.
+    pub margin: Db,
+    /// Estimated BER at the received power.
+    pub ber: f64,
+    /// Line rate evaluated.
+    pub rate: Gbps,
+}
+
+impl LinkReport {
+    /// True when the budget closes (non-negative margin).
+    pub fn closes(&self) -> bool {
+        self.margin.0 >= 0.0
+    }
+}
+
+impl LinkBudget {
+    /// A budget with LIGHTPATH-default devices over the given path.
+    pub fn lightpath_default(path: LossBudget) -> Self {
+        LinkBudget {
+            laser: Laser::new(1310.0, 12.0),
+            modulator: MrrModulator::default(),
+            detector: Photodetector::default(),
+            path,
+            target_ber: DEFAULT_TARGET_BER,
+        }
+    }
+
+    /// Evaluate the budget at the modulator's line rate.
+    pub fn evaluate(&self) -> LinkReport {
+        let rate = self.modulator.rate;
+        let received = self.laser.power + self.modulator.tx_penalty() + self.path.total();
+        let sensitivity = self.detector.sensitivity(self.target_ber, rate);
+        let margin = received - sensitivity;
+        let ber = self.detector.ber(received.to_mw(), rate);
+        LinkReport {
+            received,
+            sensitivity,
+            margin,
+            ber,
+            rate,
+        }
+    }
+
+    /// The maximum tolerable path loss (dB, positive) for this budget to
+    /// close — the figure of merit for "how far can a circuit route".
+    pub fn loss_headroom_db(&self) -> f64 {
+        let launch = self.laser.power + self.modulator.tx_penalty();
+        let sensitivity = self.detector.sensitivity(self.target_ber, self.modulator.rate);
+        (launch - sensitivity).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::LossElement;
+
+    fn budget_with_loss(db: f64) -> LinkBudget {
+        LinkBudget::lightpath_default(
+            LossBudget::new().with(LossElement::Other { loss_db: db }),
+        )
+    }
+
+    #[test]
+    fn short_path_closes_comfortably() {
+        // Tile-to-neighbor circuit: ~1 cm waveguide, 2 crossings, 2 MZI
+        // stages — the Fig 2c circuit from A to B.
+        let path = LossBudget::new()
+            .with(LossElement::Waveguide { length_cm: 1.0, db_per_cm: 0.1 })
+            .with(LossElement::Crossing)
+            .with(LossElement::Crossing)
+            .with(LossElement::MziStage { loss_db: 0.15 })
+            .with(LossElement::MziStage { loss_db: 0.15 });
+        let report = LinkBudget::lightpath_default(path).evaluate();
+        assert!(report.closes(), "margin {}", report.margin);
+        assert!(report.margin.0 > 3.0, "short path should have >3 dB margin");
+        assert!(report.ber < 1e-12);
+    }
+
+    #[test]
+    fn margin_decreases_monotonically_with_loss() {
+        let mut prev = f64::INFINITY;
+        for loss in [0.0, 5.0, 10.0, 15.0, 20.0] {
+            let m = budget_with_loss(loss).evaluate().margin.0;
+            assert!(m < prev, "margin must fall as loss grows");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn excessive_loss_fails_to_close() {
+        let report = budget_with_loss(60.0).evaluate();
+        assert!(!report.closes());
+        assert!(report.ber > 1e-12);
+    }
+
+    #[test]
+    fn headroom_is_the_break_even_loss() {
+        let b = budget_with_loss(0.0);
+        let headroom = b.loss_headroom_db();
+        assert!(headroom > 0.0);
+        // A path at exactly the headroom has ~zero margin.
+        let at_limit = budget_with_loss(headroom).evaluate();
+        assert!(at_limit.margin.abs() < 1e-6, "margin {}", at_limit.margin);
+        // 1 dB under closes; 1 dB over fails.
+        assert!(budget_with_loss(headroom - 1.0).evaluate().closes());
+        assert!(!budget_with_loss(headroom + 1.0).evaluate().closes());
+    }
+
+    #[test]
+    fn report_rate_matches_modulator() {
+        let r = budget_with_loss(1.0).evaluate();
+        assert_eq!(r.rate.0, 224.0);
+    }
+}

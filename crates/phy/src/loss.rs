@@ -1,0 +1,241 @@
+//! Optical loss accounting.
+//!
+//! Every circuit on LIGHTPATH accumulates loss from a handful of element
+//! types; §3 of the paper measures the two that gate server-scale routing —
+//! waveguide crossings (0.25 dB each, Fig 3b's companion measurement) and
+//! reticle stitches. A [`LossBudget`] is an itemized bill that the link
+//! budget (`crate::link_budget`) checks against the receiver's sensitivity.
+
+use crate::units::Db;
+use std::fmt;
+
+/// Default per-crossing loss measured in the paper: 0.25 dB.
+pub const CROSSING_LOSS_DB: f64 = 0.25;
+
+/// Default waveguide propagation loss for the hybrid CMOS photonic process,
+/// dB per centimeter (low-loss guides; the wafer config can override).
+pub const PROPAGATION_LOSS_DB_PER_CM: f64 = 0.1;
+
+/// Default fiber attach (coupling) loss per facet, dB.
+pub const FIBER_COUPLING_LOSS_DB: f64 = 1.5;
+
+/// Default fiber propagation loss, dB per meter (negligible at rack scale
+/// but accounted for).
+pub const FIBER_LOSS_DB_PER_M: f64 = 0.0003;
+
+/// One itemized contributor to a circuit's optical loss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossElement {
+    /// On-chip waveguide propagation over a length in centimeters.
+    Waveguide {
+        /// Path length in centimeters.
+        length_cm: f64,
+        /// Propagation loss in dB per centimeter.
+        db_per_cm: f64,
+    },
+    /// A waveguide crossing (two perpendicular waveguides sharing the layer).
+    Crossing,
+    /// A reticle stitch boundary with a sampled loss.
+    ReticleStitch {
+        /// Sampled stitch loss in dB (fabrication-dependent, see
+        /// [`crate::stitch`]).
+        loss_db: f64,
+    },
+    /// Traversing one MZI switch stage.
+    MziStage {
+        /// Insertion loss of the stage in dB.
+        loss_db: f64,
+    },
+    /// Chip-to-fiber or fiber-to-chip coupling facet.
+    FiberCoupling,
+    /// Fiber propagation over a length in meters.
+    Fiber {
+        /// Fiber length in meters.
+        length_m: f64,
+    },
+    /// Inter-waveguide crosstalk: co-propagating circuits on the same bus
+    /// couple weakly at the 3 µm pitch (Fig 4); the penalty grows with the
+    /// number of occupied neighbouring guides.
+    Crosstalk {
+        /// Co-propagating circuits on the bus.
+        neighbours: u32,
+        /// Penalty per neighbour, dB.
+        per_neighbour_db: f64,
+    },
+    /// An inline optical amplifier (e.g. an SOA at a fiber attach point)
+    /// adding gain rather than loss.
+    Amplifier {
+        /// Gain in dB (> 0).
+        gain_db: f64,
+    },
+    /// Anything else, labeled.
+    Other {
+        /// Loss in dB.
+        loss_db: f64,
+    },
+}
+
+impl LossElement {
+    /// The loss of this element as a (negative) [`Db`] ratio.
+    pub fn loss(&self) -> Db {
+        match *self {
+            LossElement::Waveguide { length_cm, db_per_cm } => {
+                assert!(length_cm >= 0.0, "negative waveguide length");
+                assert!(db_per_cm >= 0.0, "negative propagation loss");
+                Db::loss(length_cm * db_per_cm)
+            }
+            LossElement::Crossing => Db::loss(CROSSING_LOSS_DB),
+            LossElement::ReticleStitch { loss_db } => Db::loss(loss_db),
+            LossElement::MziStage { loss_db } => Db::loss(loss_db),
+            LossElement::FiberCoupling => Db::loss(FIBER_COUPLING_LOSS_DB),
+            LossElement::Fiber { length_m } => {
+                assert!(length_m >= 0.0, "negative fiber length");
+                Db::loss(length_m * FIBER_LOSS_DB_PER_M)
+            }
+            LossElement::Crosstalk {
+                neighbours,
+                per_neighbour_db,
+            } => {
+                assert!(per_neighbour_db >= 0.0, "crosstalk penalty must be >= 0");
+                Db::loss(neighbours as f64 * per_neighbour_db)
+            }
+            LossElement::Amplifier { gain_db } => {
+                assert!(gain_db >= 0.0, "amplifier gain must be non-negative");
+                Db(gain_db)
+            }
+            LossElement::Other { loss_db } => Db::loss(loss_db),
+        }
+    }
+}
+
+/// An itemized optical loss budget for one circuit.
+#[derive(Debug, Clone, Default)]
+pub struct LossBudget {
+    items: Vec<LossElement>,
+}
+
+impl LossBudget {
+    /// An empty budget.
+    pub fn new() -> Self {
+        LossBudget { items: Vec::new() }
+    }
+
+    /// Append an element (builder style).
+    pub fn with(mut self, e: LossElement) -> Self {
+        self.items.push(e);
+        self
+    }
+
+    /// Append an element.
+    pub fn push(&mut self, e: LossElement) {
+        self.items.push(e);
+    }
+
+    /// All items.
+    pub fn items(&self) -> &[LossElement] {
+        &self.items
+    }
+
+    /// Total loss as a (negative) ratio.
+    pub fn total(&self) -> Db {
+        self.items.iter().map(LossElement::loss).sum()
+    }
+
+    /// Total loss magnitude in dB (positive).
+    pub fn total_db(&self) -> f64 {
+        -self.total().0
+    }
+
+    /// Number of crossings in the budget.
+    pub fn crossings(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|e| matches!(e, LossElement::Crossing))
+            .count()
+    }
+
+    /// Number of reticle stitches in the budget.
+    pub fn stitches(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|e| matches!(e, LossElement::ReticleStitch { .. }))
+            .count()
+    }
+
+    /// Merge another budget's items into this one.
+    pub fn extend(&mut self, other: &LossBudget) {
+        self.items.extend_from_slice(&other.items);
+    }
+}
+
+impl fmt::Display for LossBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "loss budget ({} items):", self.items.len())?;
+        for e in &self.items {
+            writeln!(f, "  {:>8}  {:?}", e.loss().to_string(), e)?;
+        }
+        write!(f, "  total: {}", self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossing_loss_matches_paper() {
+        assert!((LossElement::Crossing.loss().0 + 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_sums_items() {
+        let b = LossBudget::new()
+            .with(LossElement::Crossing)
+            .with(LossElement::Crossing)
+            .with(LossElement::Waveguide { length_cm: 2.0, db_per_cm: 1.0 })
+            .with(LossElement::MziStage { loss_db: 0.15 });
+        // 0.25*2 + 1.0*2 + 0.15 = 2.65 dB
+        assert!((b.total_db() - 2.65).abs() < 1e-12);
+        assert_eq!(b.crossings(), 2);
+        assert_eq!(b.stitches(), 0);
+    }
+
+    #[test]
+    fn empty_budget_is_lossless() {
+        assert_eq!(LossBudget::new().total(), Db::ZERO);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = LossBudget::new().with(LossElement::Crossing);
+        let b = LossBudget::new().with(LossElement::FiberCoupling);
+        a.extend(&b);
+        assert_eq!(a.items().len(), 2);
+        assert!((a.total_db() - (0.25 + 1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crosstalk_scales_with_neighbours() {
+        let quiet = LossElement::Crosstalk { neighbours: 0, per_neighbour_db: 0.002 };
+        let busy = LossElement::Crosstalk { neighbours: 500, per_neighbour_db: 0.002 };
+        assert_eq!(quiet.loss().0, 0.0);
+        assert!((busy.loss().0 + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amplifier_adds_gain() {
+        let b = LossBudget::new()
+            .with(LossElement::FiberCoupling)
+            .with(LossElement::FiberCoupling)
+            .with(LossElement::Amplifier { gain_db: 6.0 });
+        // 3 dB of coupling loss offset by 6 dB of gain → net −3 dB "loss".
+        assert!((b.total_db() + 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fiber_loss_is_tiny_at_rack_scale() {
+        // 3 m of fiber inside a rack: well under 0.01 dB.
+        let e = LossElement::Fiber { length_m: 3.0 };
+        assert!(e.loss().abs() < 0.01);
+    }
+}

@@ -1,0 +1,272 @@
+//! Small numerical helpers: `erfc`, `Q→BER`, and least-squares exponential
+//! fitting used by the Fig 3a analysis.
+//!
+//! `std` has no `erfc`, and pulling in a special-functions crate for one
+//! function is not worth it; we use the Numerical-Recipes Chebyshev fit,
+//! accurate to ~1.2e-7 relative error everywhere, far below what a BER
+//! estimate needs.
+
+/// Complementary error function (Chebyshev approximation, |ε| < 1.2e-7).
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Bit error rate of a binary decision with Q-factor `q`:
+/// `BER = ½·erfc(Q/√2)`.
+pub fn ber_from_q(q: f64) -> f64 {
+    0.5 * erfc(q / std::f64::consts::SQRT_2)
+}
+
+/// Q-factor needed for a target BER (bisection on the monotone map).
+///
+/// Panics unless `0 < ber < 0.5`.
+pub fn q_from_ber(ber: f64) -> f64 {
+    assert!(ber > 0.0 && ber < 0.5, "BER must be in (0, 0.5), got {ber}");
+    let (mut lo, mut hi) = (0.0f64, 40.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if ber_from_q(mid) > ber {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Fit the settling time constant of a trace with a *known* asymptote:
+/// linear regression of `ln(y_inf − y)` on `t` over the samples whose
+/// residual lies in `(lo_frac, hi_frac)` of the full swing — the straight
+/// region of a semilog settling plot, exactly what the scope-trace fit in
+/// the paper's Fig 3a reports. Returns `None` when fewer than two samples
+/// qualify or the trace is not settling.
+pub fn fit_settling_tau(
+    samples: &[(f64, f64)],
+    y_inf: f64,
+    lo_frac: f64,
+    hi_frac: f64,
+) -> Option<f64> {
+    assert!(
+        0.0 < lo_frac && lo_frac < hi_frac && hi_frac <= 1.0,
+        "need 0 < lo < hi <= 1"
+    );
+    let swing = samples
+        .iter()
+        .map(|&(_, y)| (y_inf - y).abs())
+        .fold(0.0, f64::max);
+    if swing == 0.0 {
+        return None;
+    }
+    let (mut st, mut sl, mut stt, mut stl, mut n) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for &(t, y) in samples {
+        let d = (y_inf - y).abs();
+        if d <= lo_frac * swing || d >= hi_frac * swing {
+            continue;
+        }
+        let l = d.ln();
+        st += t;
+        sl += l;
+        stt += t * t;
+        stl += t * l;
+        n += 1.0;
+    }
+    if n < 2.0 {
+        return None;
+    }
+    let denom = n * stt - st * st;
+    if denom.abs() < 1e-30 {
+        return None;
+    }
+    let slope = (n * stl - st * sl) / denom;
+    (slope < 0.0).then(|| -1.0 / slope)
+}
+
+/// Result of fitting `y(t) = y_inf + (y0 − y_inf)·exp(−t/τ)`.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpFit {
+    /// Fitted time constant.
+    pub tau: f64,
+    /// Fitted asymptote.
+    pub y_inf: f64,
+    /// Fitted initial value.
+    pub y0: f64,
+    /// Root-mean-square residual of the fit.
+    pub rms_residual: f64,
+}
+
+/// Least-squares fit of a first-order step response to `(t, y)` samples.
+///
+/// Uses the linearization `ln(y_inf − y) = ln(y_inf − y0) − t/τ` with
+/// `y_inf` estimated from the tail, then refines `y_inf` by a small golden-
+/// section search minimizing the residual. Good enough to recover τ from a
+/// noisy trace (Fig 3a analysis); not a general-purpose fitter.
+///
+/// Panics with fewer than 4 samples.
+pub fn fit_exponential_rise(samples: &[(f64, f64)]) -> ExpFit {
+    assert!(samples.len() >= 4, "need at least 4 samples to fit");
+    let tail_n = (samples.len() / 10).max(1);
+    let tail_mean: f64 =
+        samples[samples.len() - tail_n..].iter().map(|&(_, y)| y).sum::<f64>() / tail_n as f64;
+    let head = samples[0].1;
+    let span = (tail_mean - head).abs().max(1e-12);
+
+    let eval = |y_inf: f64| -> (f64, f64, f64) {
+        // Linear regression of ln|y_inf − y| on t over points that are not
+        // yet settled (|y_inf − y| > 1% of span avoids log of noise).
+        let (mut st, mut sl, mut stt, mut stl, mut n) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        for &(t, y) in samples {
+            let d = (y_inf - y).abs();
+            if d < 0.01 * span {
+                continue;
+            }
+            let l = d.ln();
+            st += t;
+            sl += l;
+            stt += t * t;
+            stl += t * l;
+            n += 1.0;
+        }
+        if n < 2.0 {
+            return (f64::INFINITY, 1.0, head);
+        }
+        let denom = n * stt - st * st;
+        if denom.abs() < 1e-30 {
+            return (f64::INFINITY, 1.0, head);
+        }
+        let slope = (n * stl - st * sl) / denom;
+        let intercept = (sl - slope * st) / n;
+        if slope >= 0.0 {
+            return (f64::INFINITY, 1.0, head);
+        }
+        let tau = -1.0 / slope;
+        let amp = intercept.exp() * (head - tail_mean).signum();
+        let y0 = y_inf + amp;
+        // Residual of the reconstructed curve.
+        let mut ss = 0.0;
+        for &(t, y) in samples {
+            let model = y_inf + (y0 - y_inf) * (-t / tau).exp();
+            ss += (y - model) * (y - model);
+        }
+        ((ss / samples.len() as f64).sqrt(), tau, y0)
+    };
+
+    // Golden-section search for y_inf in a window around the tail mean.
+    let gr = (5f64.sqrt() - 1.0) / 2.0;
+    let mut a = tail_mean - 0.2 * span;
+    let mut b = tail_mean + 0.2 * span;
+    for _ in 0..60 {
+        let c = b - gr * (b - a);
+        let d = a + gr * (b - a);
+        if eval(c).0 < eval(d).0 {
+            b = d;
+        } else {
+            a = c;
+        }
+    }
+    let y_inf = 0.5 * (a + b);
+    let (rms, tau, y0) = eval(y_inf);
+    ExpFit {
+        tau,
+        y_inf,
+        y0,
+        rms_residual: rms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erfc_known_values() {
+        // erfc(0) = 1, erfc(1) ≈ 0.157299, erfc(2) ≈ 0.00467773.
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(1.0) - 0.15729921).abs() < 1e-6);
+        assert!((erfc(2.0) - 0.00467773).abs() < 1e-7);
+        assert!((erfc(-1.0) - (2.0 - 0.15729921)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ber_q_known_points() {
+        // Q = 6 → BER ≈ 1e-9; Q = 7 → ≈ 1.28e-12.
+        let b6 = ber_from_q(6.0);
+        assert!(b6 > 0.9e-9 && b6 < 1.1e-9, "BER(Q=6) = {b6}");
+        let b7 = ber_from_q(7.0);
+        assert!(b7 > 1.0e-12 && b7 < 1.5e-12, "BER(Q=7) = {b7}");
+    }
+
+    #[test]
+    fn q_ber_roundtrip() {
+        for q in [3.0, 6.0, 7.0, 8.0] {
+            let back = q_from_ber(ber_from_q(q));
+            assert!((back - q).abs() < 1e-6, "q={q} back={back}");
+        }
+    }
+
+    #[test]
+    fn settling_tau_with_known_asymptote() {
+        let tau = 0.7e-6;
+        let pts: Vec<(f64, f64)> = (0..400)
+            .map(|i| {
+                let t = i as f64 * 25e-9;
+                (t, 1.0 - (-t / tau).exp())
+            })
+            .collect();
+        let fit = fit_settling_tau(&pts, 1.0, 0.01, 0.9).unwrap();
+        assert!((fit - tau).abs() / tau < 0.02, "tau {fit}");
+        // A flat trace has nothing to fit.
+        let flat = vec![(0.0, 1.0), (1.0, 1.0), (2.0, 1.0)];
+        assert!(fit_settling_tau(&flat, 1.0, 0.01, 0.9).is_none());
+    }
+
+    #[test]
+    fn fits_clean_exponential() {
+        let (tau, y0, y_inf) = (0.8e-6, 0.0, 1.0);
+        let samples: Vec<(f64, f64)> = (0..200)
+            .map(|i| {
+                let t = i as f64 * 25e-9;
+                (t, y_inf + (y0 - y_inf) * (-t / tau).exp())
+            })
+            .collect();
+        let fit = fit_exponential_rise(&samples);
+        assert!((fit.tau - tau).abs() / tau < 0.02, "tau {}", fit.tau);
+        assert!((fit.y_inf - y_inf).abs() < 0.01);
+        assert!(fit.rms_residual < 1e-3);
+    }
+
+    #[test]
+    fn fits_noisy_exponential() {
+        // Deterministic pseudo-noise to keep the test stable.
+        let tau = 1.2e-6;
+        let samples: Vec<(f64, f64)> = (0..400)
+            .map(|i| {
+                let t = i as f64 * 25e-9;
+                let noise = 0.01 * ((i as f64 * 12.9898).sin() * 43758.5453).fract();
+                (t, 1.0 - (-t / tau).exp() + noise)
+            })
+            .collect();
+        let fit = fit_exponential_rise(&samples);
+        assert!(
+            (fit.tau - tau).abs() / tau < 0.10,
+            "tau {} expected {tau}",
+            fit.tau
+        );
+    }
+}

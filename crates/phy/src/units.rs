@@ -1,0 +1,253 @@
+//! Optical power and ratio units.
+//!
+//! Link budgets mix logarithmic (dB, dBm) and linear (mW) quantities; mixing
+//! them up is the classic photonics spreadsheet bug. These newtypes make the
+//! conversions explicit and keep the arithmetic honest: you can add a [`Db`]
+//! to a [`Dbm`] (gain/loss applied to a power) but not two [`Dbm`]s.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A power ratio in decibels (gains positive, losses negative).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Db(pub f64);
+
+/// An absolute optical power in dB-milliwatts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Dbm(pub f64);
+
+/// An absolute optical power in linear milliwatts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Milliwatts(pub f64);
+
+impl Db {
+    /// The identity ratio (0 dB).
+    pub const ZERO: Db = Db(0.0);
+
+    /// Ratio from a linear power factor (e.g. 0.5 → ≈ −3.01 dB).
+    ///
+    /// Panics on non-positive factors: a physical power ratio is > 0.
+    pub fn from_linear(factor: f64) -> Db {
+        assert!(factor > 0.0, "power ratio must be positive, got {factor}");
+        Db(10.0 * factor.log10())
+    }
+
+    /// Linear power factor for this ratio.
+    pub fn to_linear(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// A loss of `x` dB expressed as a negative ratio.
+    ///
+    /// Panics on negative `x` (a negative loss would be a gain; say so).
+    pub fn loss(x: f64) -> Db {
+        assert!(x >= 0.0, "loss must be non-negative, got {x}");
+        Db(-x)
+    }
+
+    /// Magnitude in dB (loss of −3 dB reports 3).
+    pub fn abs(self) -> f64 {
+        self.0.abs()
+    }
+}
+
+impl Dbm {
+    /// Convert to linear milliwatts.
+    pub fn to_mw(self) -> Milliwatts {
+        Milliwatts(10f64.powf(self.0 / 10.0))
+    }
+}
+
+impl Milliwatts {
+    /// Convert to dBm. Panics on non-positive power.
+    pub fn to_dbm(self) -> Dbm {
+        assert!(self.0 > 0.0, "power must be positive, got {} mW", self.0);
+        Dbm(10.0 * self.0.log10())
+    }
+}
+
+impl Add for Db {
+    type Output = Db;
+    fn add(self, rhs: Db) -> Db {
+        Db(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Db {
+    fn add_assign(&mut self, rhs: Db) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Db {
+    type Output = Db;
+    fn sub(self, rhs: Db) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Db {
+    type Output = Db;
+    fn neg(self) -> Db {
+        Db(-self.0)
+    }
+}
+
+impl Mul<f64> for Db {
+    type Output = Db;
+    fn mul(self, rhs: f64) -> Db {
+        Db(self.0 * rhs)
+    }
+}
+
+impl Sum for Db {
+    fn sum<I: Iterator<Item = Db>>(iter: I) -> Db {
+        iter.fold(Db::ZERO, |a, b| a + b)
+    }
+}
+
+/// Applying a gain/loss to an absolute power.
+impl Add<Db> for Dbm {
+    type Output = Dbm;
+    fn add(self, rhs: Db) -> Dbm {
+        Dbm(self.0 + rhs.0)
+    }
+}
+
+/// Margin between two absolute powers.
+impl Sub for Dbm {
+    type Output = Db;
+    fn sub(self, rhs: Dbm) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Db {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}dB", self.0)
+    }
+}
+
+impl fmt::Display for Dbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}dBm", self.0)
+    }
+}
+
+impl fmt::Display for Milliwatts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}mW", self.0)
+    }
+}
+
+/// A data rate in gigabits per second.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Gbps(pub f64);
+
+impl Gbps {
+    /// Bits per second.
+    pub fn bits_per_sec(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Bytes per second.
+    pub fn bytes_per_sec(self) -> f64 {
+        self.0 * 1e9 / 8.0
+    }
+
+    /// Time in seconds to move `bytes` at this rate.
+    ///
+    /// Panics on a zero/negative rate.
+    pub fn transfer_secs(self, bytes: u64) -> f64 {
+        assert!(self.0 > 0.0, "rate must be positive, got {self}");
+        bytes as f64 / self.bytes_per_sec()
+    }
+}
+
+impl Add for Gbps {
+    type Output = Gbps;
+    fn add(self, rhs: Gbps) -> Gbps {
+        Gbps(self.0 + rhs.0)
+    }
+}
+
+impl Mul<f64> for Gbps {
+    type Output = Gbps;
+    fn mul(self, rhs: f64) -> Gbps {
+        Gbps(self.0 * rhs)
+    }
+}
+
+impl Sum for Gbps {
+    fn sum<I: Iterator<Item = Gbps>>(iter: I) -> Gbps {
+        iter.fold(Gbps(0.0), |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Gbps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}Gbps", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_linear_roundtrip() {
+        for x in [0.001, 0.5, 1.0, 2.0, 1000.0] {
+            let db = Db::from_linear(x);
+            assert!((db.to_linear() - x).abs() / x < 1e-12);
+        }
+    }
+
+    #[test]
+    fn three_db_is_half_power() {
+        assert!((Db(-3.0103).to_linear() - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn dbm_mw_roundtrip() {
+        let p = Dbm(7.0);
+        let back = p.to_mw().to_dbm();
+        assert!((back.0 - 7.0).abs() < 1e-12);
+        assert!((Dbm(0.0).to_mw().0 - 1.0).abs() < 1e-12);
+        assert!((Dbm(10.0).to_mw().0 - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_application() {
+        let launch = Dbm(5.0);
+        let rx = launch + Db::loss(3.0) + Db::loss(0.25);
+        assert!((rx.0 - 1.75).abs() < 1e-12);
+        let margin = rx - Dbm(-10.0);
+        assert!((margin.0 - 11.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn db_sum() {
+        let total: Db = [Db::loss(0.25); 4].into_iter().sum();
+        assert!((total.0 + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gbps_transfer_time() {
+        // 224 Gb/s = 28 GB/s: 28 GB moves in exactly 1 s.
+        let r = Gbps(224.0);
+        assert!((r.transfer_secs(28_000_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_ratio_panics() {
+        let _ = Db::from_linear(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_loss_panics() {
+        let _ = Db::loss(-1.0);
+    }
+}

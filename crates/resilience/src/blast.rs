@@ -1,0 +1,160 @@
+//! Blast radius: how far the impact of one chip failure spreads (§4.2).
+//!
+//! "Reconfigurable datacenter fabrics have an excessively large blast
+//! radius … We show that server-scale photonics enables routing around TPU
+//! chip failures to reduce the blast radius of a single chip failure to
+//! only the multi-accelerator server containing the failed chip."
+
+use topo::{Cluster, Coord3, Slice, CHIPS_PER_SERVER};
+
+/// How a deployment responds to a single chip failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RepairPolicy {
+    /// TPUv4 production policy \[60\]: migrate the whole job off the rack
+    /// containing the failure and re-link replacement racks via the OCS.
+    RackMigration,
+    /// Splice a free chip into the broken rings over the electrical torus
+    /// (generally infeasible without congestion — Figs 6a/6b).
+    ElectricalInPlace,
+    /// Splice a free chip in with dedicated LIGHTPATH circuits (Fig 7).
+    OpticalCircuits,
+}
+
+/// The measured impact of one failure under a policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlastReport {
+    /// Chips whose workload is disturbed (stopped, migrated, or congested).
+    pub chips_disturbed: usize,
+    /// Servers touched by the response.
+    pub servers_disturbed: usize,
+    /// Whether the policy can actually execute in the given scenario.
+    pub feasible: bool,
+}
+
+/// Compute the blast radius of failing `failed` (a chip of `slice`) under
+/// `policy`.
+///
+/// * `RackMigration` disturbs every chip of the victim's rack — the job is
+///   interrupted and the rack drained (plus a fresh rack must exist; we
+///   report feasibility as whether the cluster has more than one rack).
+/// * `ElectricalInPlace` feasibility must be established by the caller via
+///   [`crate::electrical::analyze`]; pass its clean-option count.
+/// * `OpticalCircuits` disturbs only the failed chip's server (its three
+///   healthy siblings keep running through the photonic layer) plus the
+///   replacement chip's server.
+pub fn blast_radius(
+    policy: RepairPolicy,
+    cluster: &Cluster,
+    slice: &Slice,
+    failed: Coord3,
+    electrical_clean_options: usize,
+) -> BlastReport {
+    match policy {
+        RepairPolicy::RackMigration => {
+            let rack_chips = cluster.rack_shape().volume();
+            let rack = cluster.rack_of(failed);
+            // Every chip in the failed rack is disturbed: the victim job
+            // migrates; co-tenants lose their OCS-composed neighbours while
+            // the rack drains.
+            let _ = rack;
+            BlastReport {
+                chips_disturbed: rack_chips,
+                servers_disturbed: cluster.servers_per_rack(),
+                feasible: cluster.racks() > 1,
+            }
+        }
+        RepairPolicy::ElectricalInPlace => BlastReport {
+            // When it works at all, only the slice pauses for the splice.
+            chips_disturbed: slice.chips(),
+            servers_disturbed: slice
+                .coords()
+                .map(|c| cluster.server_of(c))
+                .collect::<std::collections::BTreeSet<_>>()
+                .len(),
+            feasible: electrical_clean_options > 0,
+        },
+        RepairPolicy::OpticalCircuits => BlastReport {
+            // The failed chip's server plus the spare's server.
+            chips_disturbed: CHIPS_PER_SERVER,
+            servers_disturbed: 2,
+            feasible: true,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::electrical;
+    use crate::scenarios::{fig6a, fig6b};
+    use topo::Shape3;
+
+    #[test]
+    fn rack_migration_disturbs_the_whole_rack() {
+        let s = fig6b();
+        let r = blast_radius(
+            RepairPolicy::RackMigration,
+            &s.cluster,
+            &s.victim,
+            s.failed,
+            0,
+        );
+        assert_eq!(r.chips_disturbed, 64);
+        assert_eq!(r.servers_disturbed, 16);
+        assert!(r.feasible, "a second rack exists to migrate into");
+    }
+
+    #[test]
+    fn electrical_in_place_is_infeasible_in_fig6a() {
+        let s = fig6a();
+        let cluster = Cluster::tpu_v4(1);
+        let analysis = electrical::analyze(&s.occ, &s.victim, s.failed);
+        let r = blast_radius(
+            RepairPolicy::ElectricalInPlace,
+            &cluster,
+            &s.victim,
+            s.failed,
+            analysis.clean_options,
+        );
+        assert!(!r.feasible);
+    }
+
+    #[test]
+    fn optical_blast_radius_is_one_server() {
+        let s = fig6a();
+        let cluster = Cluster::tpu_v4(1);
+        let r = blast_radius(
+            RepairPolicy::OpticalCircuits,
+            &cluster,
+            &s.victim,
+            s.failed,
+            0,
+        );
+        assert_eq!(r.chips_disturbed, CHIPS_PER_SERVER);
+        assert_eq!(r.servers_disturbed, 2);
+        assert!(r.feasible);
+        // 16× smaller than rack migration.
+        let rm = blast_radius(
+            RepairPolicy::RackMigration,
+            &cluster,
+            &s.victim,
+            s.failed,
+            0,
+        );
+        assert_eq!(rm.chips_disturbed / r.chips_disturbed, 16);
+    }
+
+    #[test]
+    fn single_rack_cluster_cannot_migrate() {
+        let cluster = Cluster::tpu_v4(1);
+        let slice = Slice::new(1, Coord3::new(0, 0, 0), Shape3::new(4, 2, 1));
+        let r = blast_radius(
+            RepairPolicy::RackMigration,
+            &cluster,
+            &slice,
+            Coord3::new(0, 0, 0),
+            0,
+        );
+        assert!(!r.feasible, "nowhere to migrate to");
+    }
+}

@@ -1,0 +1,196 @@
+//! Electrical in-place repair analysis (paper §4.2, Figs 6a/6b).
+//!
+//! When a chip in a slice fails, its rings break. Splicing a free chip in
+//! electrically means routing from the failed chip's ring neighbours to the
+//! free chip over the direct-connect torus. The paper's two congestion
+//! mechanisms are both modelled:
+//!
+//! 1. **On-chip forwarding** — "Traffic not destined for a TPU must be
+//!    forwarded, consuming its bandwidth": a repair path that passes
+//!    *through* another tenant's chip congests that tenant.
+//! 2. **Link sharing** — repair paths that overlap each other (or the
+//!    slice's own surviving rings) put two transfers on one link.
+//!
+//! A repair option is *clean* only if every ring neighbour of the failed
+//! chip reaches the replacement with paths that avoid both, simultaneously.
+
+use topo::{Coord3, Dim, LoadMap, Occupancy, Slice};
+
+/// One evaluated (free chip ← ring neighbours) repair option.
+#[derive(Debug, Clone)]
+pub struct RepairAttempt {
+    /// Candidate replacement chip.
+    pub free_chip: Coord3,
+    /// The ring neighbours that must reconnect.
+    pub neighbours: Vec<Coord3>,
+    /// Foreign chips any path would forward through.
+    pub foreign_traversals: Vec<Coord3>,
+    /// Links shared between the repair paths themselves.
+    pub self_congested_links: usize,
+    /// True when the option is congestion-free on both counts.
+    pub clean: bool,
+}
+
+/// The full analysis over every free chip.
+#[derive(Debug, Clone)]
+pub struct ElectricalRepairAnalysis {
+    /// Options evaluated (one per candidate free chip).
+    pub attempts: Vec<RepairAttempt>,
+    /// Number of clean options (the paper's claim: 0 in Figs 6a/6b).
+    pub clean_options: usize,
+}
+
+/// Ring neighbours of `failed` within `slice`: for every dimension the
+/// slice is extended in, the predecessor and successor on the slice-local
+/// ring (wrapping within the slice extent).
+pub fn ring_neighbours(slice: &Slice, failed: Coord3) -> Vec<Coord3> {
+    let mut out = Vec::new();
+    for d in Dim::ALL {
+        let e = slice.extent.extent(d);
+        if e <= 1 {
+            continue;
+        }
+        let o = slice.origin.get(d);
+        let pos = failed.get(d) - o;
+        let prev = failed.with(d, o + (pos + e - 1) % e);
+        let next = failed.with(d, o + (pos + 1) % e);
+        for n in [prev, next] {
+            if n != failed && !out.contains(&n) {
+                out.push(n);
+            }
+        }
+    }
+    out
+}
+
+/// Evaluate electrical in-place repair of `slice` after `failed` died,
+/// against every healthy free chip in `occ`.
+pub fn analyze(occ: &Occupancy, slice: &Slice, failed: Coord3) -> ElectricalRepairAnalysis {
+    let torus = occ.torus();
+    let neighbours = ring_neighbours(slice, failed);
+    let mut attempts = Vec::new();
+
+    for free in occ.healthy_free_chips() {
+        let mut foreign = Vec::new();
+        let mut loads = LoadMap::new();
+        for &n in &neighbours {
+            let path = torus.route(n, free);
+            // Intermediate chips: everything the path forwards through.
+            let mut cur = n;
+            for link in &path {
+                let next = torus.dest(*link);
+                if next != free {
+                    match occ.owner(next) {
+                        Some(id) if id != slice.id => foreign.push(next),
+                        _ => {}
+                    }
+                    // A dead chip cannot forward either.
+                    if occ.is_failed(next) && !foreign.contains(&next) {
+                        foreign.push(next);
+                    }
+                }
+                cur = next;
+            }
+            debug_assert_eq!(cur, free);
+            loads.add_path(&path);
+        }
+        foreign.sort_unstable();
+        foreign.dedup();
+        let self_congested = loads.congested_links().len();
+        let clean = foreign.is_empty() && self_congested == 0;
+        attempts.push(RepairAttempt {
+            free_chip: free,
+            neighbours: neighbours.clone(),
+            foreign_traversals: foreign,
+            self_congested_links: self_congested,
+            clean,
+        });
+    }
+
+    let clean_options = attempts.iter().filter(|a| a.clean).count();
+    ElectricalRepairAnalysis {
+        attempts,
+        clean_options,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{fig6a, fig6b};
+    use topo::{Occupancy, Shape3};
+
+    #[test]
+    fn ring_neighbours_of_interior_chip() {
+        let slice = Slice::new(3, Coord3::new(0, 0, 1), Shape3::new(4, 4, 1));
+        let n = ring_neighbours(&slice, Coord3::new(1, 1, 1));
+        // X ring: (0,1,1), (2,1,1); Y ring: (1,0,1), (1,2,1); no Z.
+        assert_eq!(n.len(), 4);
+        assert!(n.contains(&Coord3::new(0, 1, 1)));
+        assert!(n.contains(&Coord3::new(2, 1, 1)));
+        assert!(n.contains(&Coord3::new(1, 0, 1)));
+        assert!(n.contains(&Coord3::new(1, 2, 1)));
+    }
+
+    #[test]
+    fn ring_neighbours_wrap_within_slice() {
+        let slice = Slice::new(1, Coord3::new(0, 0, 0), Shape3::new(4, 2, 1));
+        let n = ring_neighbours(&slice, Coord3::new(0, 0, 0));
+        // X ring wraps to (3,0,0); Y ring of extent 2 has one distinct
+        // neighbour (0,1,0).
+        assert!(n.contains(&Coord3::new(3, 0, 0)));
+        assert!(n.contains(&Coord3::new(1, 0, 0)));
+        assert!(n.contains(&Coord3::new(0, 1, 0)));
+        assert_eq!(n.len(), 3);
+    }
+
+    #[test]
+    fn fig6a_has_no_clean_electrical_repair() {
+        let s = fig6a();
+        let analysis = analyze(&s.occ, &s.victim, s.failed);
+        assert_eq!(analysis.attempts.len(), 16, "one per free chip");
+        assert_eq!(
+            analysis.clean_options, 0,
+            "the paper's claim: no congestion-free replacement exists"
+        );
+        // And the reason is foreign traversal (the occupied z=0/z=2
+        // layers), not merely self-overlap.
+        assert!(analysis
+            .attempts
+            .iter()
+            .all(|a| !a.foreign_traversals.is_empty()));
+    }
+
+    #[test]
+    fn fig6b_has_no_clean_cross_rack_repair() {
+        let s = fig6b();
+        let analysis = analyze(s.cluster.occupancy(), &s.victim, s.failed);
+        assert_eq!(analysis.attempts.len(), 4, "four free chips in rack 2");
+        assert_eq!(analysis.clean_options, 0);
+        // Every option forwards through the big tenant or the rack-1
+        // fillers.
+        assert!(analysis
+            .attempts
+            .iter()
+            .all(|a| !a.foreign_traversals.is_empty()));
+    }
+
+    #[test]
+    fn isolated_failure_with_adjacent_spare_is_clean() {
+        // Contrast case: a half-empty rack where the spare is adjacent —
+        // electrical repair IS possible, proving the analysis is not
+        // pessimistic by construction.
+        let mut occ = Occupancy::new(Shape3::rack_4x4x4());
+        let slice = Slice::new(1, Coord3::new(0, 0, 0), Shape3::new(2, 1, 1));
+        occ.place(slice).unwrap();
+        let failed = Coord3::new(1, 0, 0);
+        occ.fail_chip(failed);
+        let analysis = analyze(&occ, &slice, failed);
+        assert!(
+            analysis.clean_options > 0,
+            "adjacent free chips give clean repairs"
+        );
+        let clean = analysis.attempts.iter().find(|a| a.clean).unwrap();
+        assert!(clean.foreign_traversals.is_empty());
+    }
+}

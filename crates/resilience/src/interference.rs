@@ -1,0 +1,149 @@
+//! Quantifying repair interference: how much does an electrical repair
+//! slow the rings that keep running?
+//!
+//! Fig 6a's narrative is precise about *who* gets congested: routing from
+//! the failed chip's ring neighbours to a spare crosses the victim slice's
+//! own surviving rings ("if the path reaches 5 or 6, there is congestion on
+//! the ring through TPUs 5, 11, and 9"). This module turns that into a
+//! number: the victim's intact X-dimension rings (the rows not containing
+//! the failed chip) run as max-min fair flows; the repair's
+//! dimension-ordered paths make their X corrections inside those very rows
+//! and share their links. Optical repair circuits ride dedicated
+//! waveguides and leave the surviving rings at full speed.
+
+use crate::electrical::ring_neighbours;
+use crate::scenarios::Fig6a;
+use desim::SimDuration;
+use topo::{simulate_flows_with_chips, Coord3, Dim, Flow};
+
+/// Measured interference of one repair strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct InterferenceReport {
+    /// Surviving-ring completion with no repair traffic.
+    pub rings_solo: SimDuration,
+    /// Surviving-ring completion with electrical repair flows overlaid.
+    pub rings_with_electrical_repair: SimDuration,
+    /// Slowdown factor (≥ 1).
+    pub electrical_slowdown: f64,
+    /// Slowdown with optical repair circuits (always 1.0: dedicated
+    /// waveguides never touch the surviving rings' links).
+    pub optical_slowdown: f64,
+}
+
+/// Measure repair interference on the Fig 6a scenario against `spare`.
+///
+/// `ring_bytes` is each surviving ring step's volume; `repair_bytes` is
+/// the resynchronization volume streamed to the spare.
+pub fn measure_interference(
+    scenario: &Fig6a,
+    spare: Coord3,
+    ring_bytes: f64,
+    repair_bytes: f64,
+) -> InterferenceReport {
+    let torus = scenario.occ.torus();
+    let victim = &scenario.victim;
+    let failed_row = scenario.failed.get(Dim::Y);
+
+    // Surviving rings: the victim's X rings in every row except the failed
+    // chip's (that ring is broken and being repaired).
+    let mut rings: Vec<Flow> = Vec::new();
+    for line in victim.ring_lines(Dim::X) {
+        if line[0].get(Dim::Y) == failed_row {
+            continue;
+        }
+        let p = line.len();
+        for (i, &from) in line.iter().enumerate() {
+            let to = line[(i + 1) % p];
+            rings.push(Flow {
+                path: torus.route_in_dim(from, to, Dim::X),
+                bytes: ring_bytes,
+            });
+        }
+    }
+
+    // Link rate B/3 (a dimension's static share); chip egress budget B.
+    let link_gbps = 16.0 * 224.0 / 3.0;
+    let chip_gbps = 16.0 * 224.0;
+
+    let solo = simulate_flows_with_chips(&rings, link_gbps, chip_gbps).makespan;
+
+    // Electrical repair: each ring neighbour streams to the spare over the
+    // dimension-ordered route — X corrections happen inside the neighbours'
+    // own rows, colliding with the surviving rings.
+    let mut with_repair = rings.clone();
+    for n in ring_neighbours(victim, scenario.failed) {
+        with_repair.push(Flow {
+            path: torus.route(n, spare),
+            bytes: repair_bytes,
+        });
+    }
+    let sim = simulate_flows_with_chips(&with_repair, link_gbps, chip_gbps);
+    let rings_done = sim.completion[..rings.len()]
+        .iter()
+        .copied()
+        .max()
+        .expect("surviving rings exist");
+
+    InterferenceReport {
+        rings_solo: solo,
+        rings_with_electrical_repair: rings_done,
+        electrical_slowdown: rings_done.as_secs_f64() / solo.as_secs_f64(),
+        optical_slowdown: 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::fig6a;
+
+    /// A spare whose column is far from the failure in X, forcing long X
+    /// corrections through the surviving rows.
+    fn far_spare() -> Coord3 {
+        Coord3::new(3, 3, 3)
+    }
+
+    #[test]
+    fn electrical_repair_slows_surviving_rings() {
+        let s = fig6a();
+        let r = measure_interference(&s, far_spare(), 1e9, 1e9);
+        assert!(
+            r.electrical_slowdown > 1.1,
+            "repair must visibly slow the surviving rings: {}",
+            r.electrical_slowdown
+        );
+        assert_eq!(r.optical_slowdown, 1.0);
+        assert!(r.rings_with_electrical_repair > r.rings_solo);
+    }
+
+    #[test]
+    fn bigger_repairs_hurt_more() {
+        let s = fig6a();
+        let small = measure_interference(&s, far_spare(), 1e9, 1e8);
+        let large = measure_interference(&s, far_spare(), 1e9, 8e9);
+        assert!(
+            large.electrical_slowdown > small.electrical_slowdown,
+            "{} vs {}",
+            large.electrical_slowdown,
+            small.electrical_slowdown
+        );
+    }
+
+    #[test]
+    fn solo_baseline_is_spare_independent() {
+        let s = fig6a();
+        let a = measure_interference(&s, Coord3::new(0, 0, 3), 1e9, 1e9);
+        let b = measure_interference(&s, far_spare(), 1e9, 1e9);
+        assert_eq!(a.rings_solo, b.rings_solo);
+    }
+
+    #[test]
+    fn slowdown_is_bounded_by_fair_sharing() {
+        // With one repair flow per row at most, fair sharing can at worst
+        // halve a ring link's rate (2 flows on a link) plus the tail
+        // effect; the slowdown stays well under the repair flow count.
+        let s = fig6a();
+        let r = measure_interference(&s, far_spare(), 1e9, 1e9);
+        assert!(r.electrical_slowdown < 4.0, "{}", r.electrical_slowdown);
+    }
+}

@@ -1,0 +1,38 @@
+//! # resilience — shrinking the blast radius of accelerator failures
+//!
+//! Reproduces the paper's §4.2 argument end to end:
+//!
+//! * [`scenarios`] — concrete reconstructions of the Fig 6a (single-rack)
+//!   and Fig 6b (cross-rack) failure scenarios.
+//! * [`electrical`] — in-place repair analysis over the electrical torus:
+//!   on-chip forwarding through foreign tenants and link sharing both count
+//!   as congestion; in the paper's scenarios **zero** clean options exist.
+//! * [`optical`] — Fig 7's repair: the rack as a photonic fabric (a 2×2
+//!   LIGHTPATH wafer per server, fibers between servers), splicing the
+//!   spare in with dedicated circuits in one 3.7 µs reconfiguration.
+//! * [`interference`] — the damage, quantified: max-min fair flow rates
+//!   show how much an electrical repair slows the co-tenant it forwards
+//!   through, vs zero for optical circuits.
+//! * [`rack_collective`] — the payoff: the repaired slice's ring actually
+//!   runs over the fabric (waveguides within servers, fibers across).
+//! * [`blast`] — the blast-radius metric comparing rack-granularity
+//!   migration (64 chips) against optical repair (one 4-chip server).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blast;
+pub mod campaign;
+pub mod electrical;
+pub mod interference;
+pub mod optical;
+pub mod rack_collective;
+pub mod scenarios;
+
+pub use blast::{blast_radius, BlastReport, RepairPolicy};
+pub use campaign::{run_campaign, CampaignParams, CampaignReport};
+pub use electrical::{analyze, ring_neighbours, ElectricalRepairAnalysis, RepairAttempt};
+pub use interference::{measure_interference, InterferenceReport};
+pub use optical::{chip_to_tile, optical_repair, OpticalRepairReport, PhotonicRack};
+pub use rack_collective::{ring_members_with_replacement, run_rack_ring, RackRingReport};
+pub use scenarios::{fig6a, fig6b, Fig6a, Fig6b};

@@ -1,0 +1,263 @@
+//! Optical circuit repair (paper §4.2, Fig 7).
+//!
+//! With LIGHTPATH under every server, the rack is a photonic fabric: TPUs
+//! within a server are joined by waveguides, servers by attached fibers
+//! (§3). Repairing a failed chip is then a *circuit* problem, not a torus
+//! routing problem: program MZI switches to connect each broken-ring
+//! neighbour to the replacement chip with a dedicated end-to-end circuit on
+//! separate waveguides/fibers. Light passes *through* intermediate tiles
+//! without consuming their accelerators' bandwidth — the exact mechanism
+//! electrical forwarding lacks — so the repair never congests other
+//! tenants, and the blast radius shrinks to the failed chip's server.
+
+use crate::electrical::ring_neighbours;
+use desim::SimDuration;
+use lightpath::{
+    CircuitError, CircuitRequest, Fabric, FiberLink, TileCoord, WaferConfig, WaferId,
+};
+use topo::{Cluster, Coord3, Dim, Slice};
+
+/// A rack modelled as a photonic fabric: one 2×2 LIGHTPATH wafer per
+/// 4-chip server, fibers between adjacent servers.
+#[derive(Debug)]
+pub struct PhotonicRack {
+    /// The underlying multi-wafer fabric.
+    pub fabric: Fabric,
+    /// The logical cluster geometry used for chip → server mapping.
+    pub cluster: Cluster,
+}
+
+/// Map a chip coordinate to its (server wafer, tile) on the photonic rack.
+pub fn chip_to_tile(cluster: &Cluster, c: Coord3) -> (WaferId, TileCoord) {
+    let server = cluster.server_of(c);
+    let servers_per_rack = cluster.servers_per_rack();
+    let wafer = WaferId(server.rack * servers_per_rack + server.server);
+    let tile = TileCoord::new((c.get(Dim::Y) % 2) as u8, (c.get(Dim::X) % 2) as u8);
+    (wafer, tile)
+}
+
+impl PhotonicRack {
+    /// Build the photonic fabric for `racks` TPUv4 racks: 16 servers per
+    /// rack, each a 2×2 wafer; fiber bundles of 16 fibers join every pair
+    /// of adjacent servers (server-level torus adjacency, incl. wraparound).
+    pub fn new(racks: usize) -> Self {
+        Self::with_fiber_capacity(racks, 16)
+    }
+
+    /// Same as [`PhotonicRack::new`] with an explicit fibers-per-bundle
+    /// count (the §5 fiber-minimization knob).
+    pub fn with_fiber_capacity(racks: usize, fibers_per_bundle: u32) -> Self {
+        let cluster = Cluster::tpu_v4(racks);
+        let cfg = WaferConfig {
+            rows: 2,
+            cols: 2,
+            ..WaferConfig::default()
+        };
+        let n_servers = racks * cluster.servers_per_rack();
+        let mut fabric = Fabric::new(n_servers, cfg);
+
+        // Server grid: 2×2×(4·racks) positions (sx, sy, sz).
+        let (sx_n, sy_n) = (2usize, 2usize);
+        let sz_n = 4 * racks;
+        let server_index = |sx: usize, sy: usize, sz: usize| -> usize {
+            // Matches Cluster::server_of: server = z·4 + sy·2 + sx within a
+            // rack, racks stacked.
+            let rack = sz / 4;
+            let local_z = sz % 4;
+            rack * 16 + local_z * 4 + sy * 2 + sx
+        };
+        let mut linked: Vec<(usize, usize)> = Vec::new();
+        for sz in 0..sz_n {
+            for sy in 0..sy_n {
+                for sx in 0..sx_n {
+                    let a = server_index(sx, sy, sz);
+                    for (nx, ny, nz) in [
+                        ((sx + 1) % sx_n, sy, sz),
+                        (sx, (sy + 1) % sy_n, sz),
+                        (sx, sy, (sz + 1) % sz_n),
+                    ] {
+                        let b = server_index(nx, ny, nz);
+                        if a == b {
+                            continue; // extent-1 wraparound degenerates
+                        }
+                        let key = (a.min(b), a.max(b));
+                        if linked.contains(&key) {
+                            continue;
+                        }
+                        linked.push(key);
+                        fabric.attach_fiber(FiberLink {
+                            a: (WaferId(a), TileCoord::new(0, 0)),
+                            b: (WaferId(b), TileCoord::new(1, 1)),
+                            capacity: fibers_per_bundle,
+                            length_m: 2.0,
+                        });
+                    }
+                }
+            }
+        }
+        PhotonicRack { fabric, cluster }
+    }
+}
+
+/// Result of an optical repair.
+#[derive(Debug)]
+pub struct OpticalRepairReport {
+    /// Circuits established (two per ring neighbour: both directions).
+    pub circuits: usize,
+    /// Time until the repaired rings can run: one parallel MZI
+    /// reconfiguration (3.7 µs).
+    pub setup: SimDuration,
+    /// The ring neighbours reconnected.
+    pub neighbours: Vec<Coord3>,
+    /// Servers touched by the repair: the failed chip's and the spare's.
+    pub servers_touched: usize,
+}
+
+/// Repair `slice` after `failed` died by splicing in `replacement` with
+/// dedicated optical circuits to every broken-ring neighbour.
+///
+/// Returns an error if any circuit cannot be established (lanes, fibers,
+/// budget). Lanes per circuit default to splitting the replacement chip's
+/// 16 lanes across the neighbours.
+pub fn optical_repair(
+    rack: &mut PhotonicRack,
+    slice: &Slice,
+    failed: Coord3,
+    replacement: Coord3,
+) -> Result<OpticalRepairReport, CircuitError> {
+    let neighbours = ring_neighbours(slice, failed);
+    assert!(!neighbours.is_empty(), "a 1-chip slice has no rings to fix");
+    let lanes = (16 / neighbours.len()).max(1);
+    let (rep_wafer, rep_tile) = chip_to_tile(&rack.cluster, replacement);
+
+    let mut circuits = 0;
+    let mut setup = SimDuration::ZERO;
+    for &n in &neighbours {
+        let (n_wafer, n_tile) = chip_to_tile(&rack.cluster, n);
+        // Both directions: the ring sends into and out of the replacement.
+        for (src, dst) in [
+            ((n_wafer, n_tile), (rep_wafer, rep_tile)),
+            ((rep_wafer, rep_tile), (n_wafer, n_tile)),
+        ] {
+            if src.0 == dst.0 {
+                let rep = rack
+                    .fabric
+                    .wafer_mut(src.0)
+                    .establish(CircuitRequest::new(src.1, dst.1, lanes))?;
+                setup = setup.max(rep.setup);
+            } else {
+                let (_, s) = rack.fabric.establish_cross(src, dst, lanes)?;
+                setup = setup.max(s);
+            }
+            circuits += 1;
+        }
+    }
+
+    let mut servers: Vec<WaferId> = vec![rep_wafer];
+    let failed_server = chip_to_tile(&rack.cluster, failed).0;
+    if !servers.contains(&failed_server) {
+        servers.push(failed_server);
+    }
+    Ok(OpticalRepairReport {
+        circuits,
+        setup,
+        neighbours,
+        servers_touched: servers.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::fig6a;
+
+    #[test]
+    fn chip_to_tile_mapping_is_consistent() {
+        let cluster = Cluster::tpu_v4(1);
+        // Chips of one server map to distinct tiles of the same wafer.
+        let chips = [
+            Coord3::new(0, 0, 0),
+            Coord3::new(1, 0, 0),
+            Coord3::new(0, 1, 0),
+            Coord3::new(1, 1, 0),
+        ];
+        let mapped: Vec<_> = chips.iter().map(|&c| chip_to_tile(&cluster, c)).collect();
+        let wafer = mapped[0].0;
+        assert!(mapped.iter().all(|&(w, _)| w == wafer));
+        let mut tiles: Vec<_> = mapped.iter().map(|&(_, t)| t).collect();
+        tiles.sort();
+        tiles.dedup();
+        assert_eq!(tiles.len(), 4, "four distinct tiles");
+        // A chip in the next server maps to a different wafer.
+        let (w2, _) = chip_to_tile(&cluster, Coord3::new(2, 0, 0));
+        assert_ne!(w2, wafer);
+    }
+
+    #[test]
+    fn photonic_rack_has_all_server_links() {
+        let rack = PhotonicRack::new(1);
+        assert_eq!(rack.fabric.wafer_count(), 16);
+        // Server grid 2×2×4: X pairs 1·2·4 = 8 (extent 2 → single link),
+        // Y pairs 8, Z pairs 2·2·4 = 16 (extent 4 wraps) → 32 bundles.
+        // (Counting via establish success is done in the repair test.)
+    }
+
+    #[test]
+    fn fig7_optical_repair_succeeds_where_electrical_cannot() {
+        let scenario = fig6a();
+        // Electrical repair has zero clean options (asserted in
+        // electrical.rs); the optical repair succeeds outright.
+        let mut rack = PhotonicRack::new(1);
+        let replacement = scenario.free[0];
+        let report =
+            optical_repair(&mut rack, &scenario.victim, scenario.failed, replacement)
+                .expect("optical repair must succeed");
+        // 4 ring neighbours (X and Y rings) × 2 directions.
+        assert_eq!(report.circuits, 8);
+        assert!((report.setup.as_micros_f64() - 3.7).abs() < 1e-9);
+        assert_eq!(report.neighbours.len(), 4);
+        assert_eq!(report.servers_touched, 2);
+    }
+
+    #[test]
+    fn repair_circuits_are_contention_free_by_construction() {
+        let scenario = fig6a();
+        let mut rack = PhotonicRack::new(1);
+        optical_repair(&mut rack, &scenario.victim, scenario.failed, scenario.free[0])
+            .unwrap();
+        // Every wafer's circuit load respects bus capacity (the wafer
+        // admission control guarantees dedicated waveguides).
+        for w in 0..rack.fabric.wafer_count() {
+            let wafer = rack.fabric.wafer(WaferId(w));
+            for ckt in wafer.circuits() {
+                assert!(ckt.link.closes());
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_failures_exhaust_lanes_eventually() {
+        // Robustness: repairing many failures against the same replacement
+        // chip must eventually fail cleanly (SerDes exhaustion), not panic.
+        let scenario = fig6a();
+        let mut rack = PhotonicRack::new(1);
+        let replacement = scenario.free[0];
+        let mut ok = 0;
+        for _ in 0..8 {
+            match optical_repair(&mut rack, &scenario.victim, scenario.failed, replacement) {
+                Ok(_) => ok += 1,
+                Err(e) => {
+                    assert!(matches!(
+                        e,
+                        CircuitError::InsufficientRxLanes { .. }
+                            | CircuitError::InsufficientTxLanes { .. }
+                            | CircuitError::FiberExhausted { .. }
+                            | CircuitError::EdgeExhausted(_)
+                    ));
+                    break;
+                }
+            }
+        }
+        assert!(ok >= 1, "at least the first repair fits");
+    }
+}

@@ -1,0 +1,201 @@
+//! Running a ring collective over the photonic rack — including after a
+//! repair.
+//!
+//! The §4.2 payoff is not just that the spare chip gets wired in, but that
+//! the slice's rings *run* afterwards. Because photonic circuits do not
+//! care about physical adjacency (a hop to the next server costs a fiber,
+//! not a detour), the repaired ring is simply the original member list with
+//! the failed chip replaced by the spare. This module establishes every
+//! hop's circuit on the [`PhotonicRack`] fabric — intra-wafer waveguides
+//! within a server, fibers across servers — and times the ring rounds.
+
+use crate::optical::{chip_to_tile, PhotonicRack};
+use desim::SimDuration;
+use lightpath::{CircuitError, CircuitId, CrossCircuitId, WaferId};
+use lightpath::CircuitRequest;
+use phy::units::Gbps;
+use topo::{Coord3, Slice};
+
+/// One established hop of the rack ring.
+#[derive(Debug, Clone, Copy)]
+enum Hop {
+    /// Within one server's wafer.
+    Intra(WaferId, CircuitId),
+    /// Across servers via fiber.
+    Cross(CrossCircuitId),
+}
+
+/// Outcome of running a rack-scale ring.
+#[derive(Debug, Clone)]
+pub struct RackRingReport {
+    /// Total time: setup + (p−1) rounds.
+    pub total: SimDuration,
+    /// Circuit-establishment latency (one parallel reconfiguration).
+    pub setup: SimDuration,
+    /// Ring hops within a server (waveguide circuits).
+    pub intra_hops: usize,
+    /// Ring hops across servers (fiber circuits).
+    pub cross_hops: usize,
+    /// Per-hop bandwidth.
+    pub hop_bandwidth: Gbps,
+}
+
+/// The ring member list of `slice` with `failed` replaced by `spare`
+/// (coordinate order — photonic rings need no adjacency).
+pub fn ring_members_with_replacement(
+    slice: &Slice,
+    failed: Coord3,
+    spare: Coord3,
+) -> Vec<Coord3> {
+    slice
+        .coords()
+        .map(|c| if c == failed { spare } else { c })
+        .collect()
+}
+
+/// Establish the ring circuits for `members` on the rack, time a
+/// ReduceScatter of `n_bytes` with per-step overhead `alpha`, and tear the
+/// circuits down. Atomic on establishment failure.
+pub fn run_rack_ring(
+    rack: &mut PhotonicRack,
+    members: &[Coord3],
+    lanes: usize,
+    n_bytes: f64,
+    alpha: SimDuration,
+) -> Result<RackRingReport, CircuitError> {
+    assert!(members.len() >= 2, "a ring needs at least two members");
+    let p = members.len();
+    let mut hops: Vec<Hop> = Vec::with_capacity(p);
+    let mut setup = SimDuration::ZERO;
+    let mut intra = 0;
+    let mut cross = 0;
+
+    let teardown_all = |rack: &mut PhotonicRack, hops: &[Hop]| {
+        for h in hops {
+            match *h {
+                Hop::Intra(w, id) => rack.fabric.wafer_mut(w).teardown(id).expect("live"),
+                Hop::Cross(id) => rack.fabric.teardown_cross(id).expect("live"),
+            }
+        }
+    };
+
+    for (i, &from) in members.iter().enumerate() {
+        let to = members[(i + 1) % p];
+        let (fw, ft) = chip_to_tile(&rack.cluster, from);
+        let (tw, tt) = chip_to_tile(&rack.cluster, to);
+        let result = if fw == tw {
+            rack.fabric
+                .wafer_mut(fw)
+                .establish(CircuitRequest::new(ft, tt, lanes))
+                .map(|rep| {
+                    intra += 1;
+                    setup = setup.max(rep.setup);
+                    Hop::Intra(fw, rep.id)
+                })
+        } else {
+            rack.fabric.establish_cross((fw, ft), (tw, tt), lanes).map(|(id, s)| {
+                cross += 1;
+                setup = setup.max(s);
+                Hop::Cross(id)
+            })
+        };
+        match result {
+            Ok(hop) => hops.push(hop),
+            Err(e) => {
+                teardown_all(rack, &hops);
+                return Err(e);
+            }
+        }
+    }
+
+    let hop_bandwidth = Gbps(lanes as f64 * 224.0);
+    let chunk = n_bytes / p as f64;
+    let round = alpha + SimDuration::from_secs_f64(chunk * 8.0 / (hop_bandwidth.0 * 1e9));
+    let total = setup + round * (p as u64 - 1);
+
+    teardown_all(rack, &hops);
+    Ok(RackRingReport {
+        total,
+        setup,
+        intra_hops: intra,
+        cross_hops: cross,
+        hop_bandwidth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::fig6a;
+    use topo::Shape3;
+
+    #[test]
+    fn replacement_swaps_exactly_one_member() {
+        let s = fig6a();
+        let spare = s.free[0];
+        let members = ring_members_with_replacement(&s.victim, s.failed, spare);
+        assert_eq!(members.len(), 16);
+        assert!(!members.contains(&s.failed));
+        assert!(members.contains(&spare));
+    }
+
+    #[test]
+    fn repaired_slice_ring_runs_on_the_fabric() {
+        let s = fig6a();
+        let mut rack = PhotonicRack::new(1);
+        let members = ring_members_with_replacement(&s.victim, s.failed, s.free[0]);
+        let report = run_rack_ring(
+            &mut rack,
+            &members,
+            4,
+            1e9,
+            SimDuration::from_us(1),
+        )
+        .expect("ring must run after repair");
+        assert_eq!(report.intra_hops + report.cross_hops, 16);
+        assert!(report.cross_hops > 0, "the slice spans multiple servers");
+        assert!((report.setup.as_micros_f64() - 3.7).abs() < 1e-9);
+        assert!((report.hop_bandwidth.0 - 896.0).abs() < 1e-9);
+        // Everything torn down.
+        for w in 0..rack.fabric.wafer_count() {
+            assert_eq!(rack.fabric.wafer(WaferId(w)).circuits().count(), 0);
+        }
+        assert_eq!(rack.fabric.cross_circuits().count(), 0);
+    }
+
+    #[test]
+    fn healthy_slice_ring_also_runs() {
+        let s = fig6a();
+        let mut rack = PhotonicRack::new(1);
+        let members: Vec<Coord3> = s.victim.coords().collect();
+        let report =
+            run_rack_ring(&mut rack, &members, 2, 1e8, SimDuration::from_us(1)).unwrap();
+        // 4×4 layer over 2×2 servers: intra-server hops exist too.
+        assert!(report.intra_hops > 0);
+        assert!(report.total > report.setup);
+    }
+
+    #[test]
+    fn small_two_chip_ring_within_one_server() {
+        let mut rack = PhotonicRack::new(1);
+        let members = [Coord3::new(0, 0, 0), Coord3::new(1, 0, 0)];
+        let report =
+            run_rack_ring(&mut rack, &members, 8, 1e6, SimDuration::from_us(1)).unwrap();
+        assert_eq!(report.intra_hops, 2);
+        assert_eq!(report.cross_hops, 0);
+    }
+
+    #[test]
+    fn lane_overcommit_is_refused_and_rolled_back() {
+        let s = fig6a();
+        let mut rack = PhotonicRack::new(1);
+        let members: Vec<Coord3> = s.victim.coords().collect();
+        let err = run_rack_ring(&mut rack, &members, 17, 1e6, SimDuration::from_us(1))
+            .unwrap_err();
+        assert!(matches!(err, CircuitError::BadLaneCount(17)));
+        for w in 0..rack.fabric.wafer_count() {
+            assert_eq!(rack.fabric.wafer(WaferId(w)).circuits().count(), 0);
+        }
+        let _ = Shape3::rack_4x4x4(); // keep the import used
+    }
+}

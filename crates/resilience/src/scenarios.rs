@@ -1,0 +1,155 @@
+//! Concrete instantiations of the paper's failure scenarios (§4.2,
+//! Figs 6a, 6b, 7).
+//!
+//! The paper's figures fix a particular packing of tenant slices; we
+//! reconstruct equivalent packings explicitly so every analysis and bench
+//! runs on the same geometry:
+//!
+//! * **Fig 6a** (single rack): Slice-1/2 (4×2×1) fill layer z=0, Slice-3
+//!   (4×4×1, the victim) is layer z=1, Slice-4′ (4×4×1) is layer z=2, and
+//!   layer z=3 is free. A chip of Slice-3 fails. Every electrical path from
+//!   the broken rings to a free chip must cross the occupied z=0 or z=2
+//!   layers — foreign chips whose forwarding bandwidth the repair would
+//!   steal.
+//! * **Fig 6b** (two racks): rack 1 is fully occupied (the victim Slice-2
+//!   plus three fillers); rack 2 holds the large Slice-1 (2×4×4), another
+//!   tenant, and exactly four free chips. Reaching rack 2's free chips
+//!   rides the inter-rack Z links into territory Slice-1's rings already
+//!   use.
+
+use topo::{Cluster, Coord3, Occupancy, Shape3, Slice, SliceId};
+
+/// The Fig 6a single-rack scenario.
+#[derive(Debug, Clone)]
+pub struct Fig6a {
+    /// Rack occupancy with all four slices placed and the chip failed.
+    pub occ: Occupancy,
+    /// The victim slice (Slice-3, layer z=1).
+    pub victim: Slice,
+    /// The failed chip.
+    pub failed: Coord3,
+    /// Free chips available for repair (layer z=3).
+    pub free: Vec<Coord3>,
+}
+
+/// Build the Fig 6a scenario.
+pub fn fig6a() -> Fig6a {
+    let mut occ = Occupancy::new(Shape3::rack_4x4x4());
+    let s1 = Slice::new(1, Coord3::new(0, 0, 0), Shape3::new(4, 2, 1));
+    let s2 = Slice::new(2, Coord3::new(0, 2, 0), Shape3::new(4, 2, 1));
+    let victim = Slice::new(3, Coord3::new(0, 0, 1), Shape3::new(4, 4, 1));
+    let s4 = Slice::new(4, Coord3::new(0, 0, 2), Shape3::new(4, 4, 1));
+    for s in [s1, s2, victim, s4] {
+        occ.place(s).expect("the Fig 6a packing is valid");
+    }
+    let failed = Coord3::new(1, 1, 1);
+    occ.fail_chip(failed);
+    let free = occ.healthy_free_chips();
+    debug_assert_eq!(free.len(), 16, "layer z=3 is free");
+    Fig6a {
+        occ,
+        victim,
+        failed,
+        free,
+    }
+}
+
+/// The Fig 6b two-rack scenario.
+#[derive(Debug, Clone)]
+pub struct Fig6b {
+    /// Two racks composed along Z (shape 4×4×8).
+    pub cluster: Cluster,
+    /// The victim slice in rack 1 (Slice-2 of the figure, 8 chips).
+    pub victim: Slice,
+    /// The failed chip (the figure's "TPU 4").
+    pub failed: Coord3,
+    /// The large tenant in rack 2 whose rings occupy the Y lines.
+    pub big_tenant: SliceId,
+    /// Free chips (all in rack 2).
+    pub free: Vec<Coord3>,
+}
+
+/// Build the Fig 6b scenario.
+pub fn fig6b() -> Fig6b {
+    let mut cluster = Cluster::tpu_v4(2);
+    // Rack 1 (z 0..4): fully occupied.
+    let victim = Slice::new(2, Coord3::new(0, 0, 0), Shape3::new(2, 4, 1)); // 8 chips
+    let fill_a = Slice::new(7, Coord3::new(2, 0, 0), Shape3::new(2, 4, 1));
+    let fill_b = Slice::new(8, Coord3::new(0, 0, 1), Shape3::new(4, 4, 1));
+    let fill_c = Slice::new(9, Coord3::new(0, 0, 2), Shape3::new(4, 4, 2));
+    // Rack 2 (z 4..8): Slice-1 (2×4×4, 32 chips), a second tenant
+    // (2×4×3, 24 chips), a small tenant (2×2×1, 4 chips), 4 chips free.
+    let big = Slice::new(1, Coord3::new(0, 0, 4), Shape3::new(2, 4, 4));
+    let mid = Slice::new(5, Coord3::new(2, 0, 4), Shape3::new(2, 4, 3));
+    let small = Slice::new(6, Coord3::new(2, 0, 7), Shape3::new(2, 2, 1));
+    for s in [victim, fill_a, fill_b, fill_c, big, mid, small] {
+        cluster
+            .occupancy_mut()
+            .place(s)
+            .expect("the Fig 6b packing is valid");
+    }
+    let failed = Coord3::new(1, 1, 0);
+    cluster.occupancy_mut().fail_chip(failed);
+    let free = cluster.occupancy().healthy_free_chips();
+    debug_assert_eq!(free.len(), 4, "exactly four free chips in rack 2");
+    Fig6b {
+        cluster,
+        victim,
+        failed,
+        big_tenant: SliceId(1),
+        free,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topo::Dim;
+
+    #[test]
+    fn fig6a_geometry() {
+        let s = fig6a();
+        assert_eq!(s.occ.slices().count(), 4);
+        assert_eq!(s.free.len(), 16);
+        assert!(s.free.iter().all(|c| c.get(Dim::Z) == 3));
+        assert!(s.victim.contains(s.failed));
+        assert!(s.occ.is_failed(s.failed));
+        // The victim can electrically ring in X and Y (full extents).
+        assert_eq!(
+            s.victim.usable_dims_electrical(s.occ.shape()),
+            vec![Dim::X, Dim::Y]
+        );
+    }
+
+    #[test]
+    fn fig6b_geometry() {
+        let s = fig6b();
+        assert_eq!(s.cluster.occupancy().slices().count(), 7);
+        assert_eq!(s.free.len(), 4);
+        // All free chips are in rack 2.
+        assert!(s.free.iter().all(|&c| s.cluster.rack_of(c) == 1));
+        // The failed chip is in rack 1.
+        assert_eq!(s.cluster.rack_of(s.failed), 0);
+        // Rack 1 has no free chips at all.
+        let rack1_free = s
+            .cluster
+            .occupancy()
+            .free_chips()
+            .into_iter()
+            .filter(|&c| s.cluster.rack_of(c) == 0)
+            .count();
+        assert_eq!(rack1_free, 0);
+    }
+
+    #[test]
+    fn fig6b_occupies_all_but_four() {
+        let s = fig6b();
+        let total: usize = s
+            .cluster
+            .occupancy()
+            .slices()
+            .map(|sl| sl.chips())
+            .sum();
+        assert_eq!(total, 128 - 4);
+    }
+}

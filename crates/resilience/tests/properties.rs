@@ -1,0 +1,100 @@
+//! Property-based tests of failure handling: for any failure position and
+//! spare choice in the paper's scenarios, electrical in-place repair stays
+//! infeasible while optical repair succeeds and shrinks the blast radius.
+
+use proptest::prelude::*;
+use resilience::{
+    analyze, blast_radius, fig6a, optical_repair, ring_members_with_replacement,
+    ring_neighbours, run_rack_ring, PhotonicRack, RepairPolicy,
+};
+use topo::{Cluster, Coord3, Dim, Shape3, Slice};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any failure in the Fig 6a victim layer has zero clean electrical
+    /// options, and the optical repair works against any spare.
+    #[test]
+    fn any_interior_failure_behaves_like_the_paper(
+        fx in 0usize..4, fy in 0usize..4, sx in 0usize..4, sy in 0usize..4,
+    ) {
+        let mut scenario = fig6a();
+        // Re-fail a different chip of the victim.
+        scenario.occ.restore_chip(scenario.failed);
+        let failed = Coord3::new(fx, fy, 1);
+        scenario.occ.fail_chip(failed);
+        let a = analyze(&scenario.occ, &scenario.victim, failed);
+        prop_assert_eq!(a.clean_options, 0, "failed {}", failed);
+
+        let spare = Coord3::new(sx, sy, 3);
+        let mut rack = PhotonicRack::new(1);
+        let rep = optical_repair(&mut rack, &scenario.victim, failed, spare)
+            .expect("optical repair always lands");
+        prop_assert_eq!(rep.circuits, 8);
+        prop_assert!((rep.setup.as_micros_f64() - 3.7).abs() < 1e-9);
+    }
+
+    /// Ring neighbours are always inside the slice, distinct from the
+    /// failed chip, and within 2·(active dims) in count.
+    #[test]
+    fn ring_neighbours_are_sane(
+        ox in 0usize..2, oy in 0usize..2,
+        ex in 1usize..=4, ey in 1usize..=4, ez in 1usize..=2,
+        px in 0usize..4, py in 0usize..4, pz in 0usize..2,
+    ) {
+        prop_assume!(ox + ex <= 4 && oy + ey <= 4 && ez <= 4);
+        let slice = Slice::new(1, Coord3::new(ox, oy, 0), Shape3::new(ex, ey, ez));
+        let failed = Coord3::new(
+            ox + px % ex,
+            oy + py % ey,
+            pz % ez,
+        );
+        prop_assume!(slice.contains(failed));
+        let n = ring_neighbours(&slice, failed);
+        let active = slice.active_dims().len();
+        prop_assert!(n.len() <= 2 * active);
+        for nb in &n {
+            prop_assert!(slice.contains(*nb));
+            prop_assert_ne!(*nb, failed);
+            let diffs = Dim::ALL
+                .into_iter()
+                .filter(|&d| nb.get(d) != failed.get(d))
+                .count();
+            prop_assert_eq!(diffs, 1, "neighbour differs in one dimension");
+        }
+    }
+
+    /// The optical blast radius is constant (one server + the spare's) no
+    /// matter where the failure lands; rack migration always costs the
+    /// full rack.
+    #[test]
+    fn blast_radius_gap_is_universal(fx in 0usize..4, fy in 0usize..4, fz in 0usize..4) {
+        let cluster = Cluster::tpu_v4(2);
+        let slice = Slice::new(1, Coord3::new(0, 0, 0), Shape3::rack_4x4x4());
+        let failed = Coord3::new(fx, fy, fz);
+        let m = blast_radius(RepairPolicy::RackMigration, &cluster, &slice, failed, 0);
+        let o = blast_radius(RepairPolicy::OpticalCircuits, &cluster, &slice, failed, 0);
+        prop_assert_eq!(m.chips_disturbed, 64);
+        prop_assert_eq!(o.chips_disturbed, 4);
+        prop_assert!(o.feasible);
+    }
+
+    /// The repaired ring always runs on the fabric, whatever spare is used.
+    #[test]
+    fn repaired_ring_always_runs(sx in 0usize..4, sy in 0usize..4, lanes in 1usize..=4) {
+        let scenario = fig6a();
+        let spare = Coord3::new(sx, sy, 3);
+        let mut rack = PhotonicRack::new(1);
+        let members = ring_members_with_replacement(&scenario.victim, scenario.failed, spare);
+        let report = run_rack_ring(
+            &mut rack,
+            &members,
+            lanes,
+            1e8,
+            desim::SimDuration::from_us(1),
+        )
+        .expect("ring runs");
+        prop_assert_eq!(report.intra_hops + report.cross_hops, 16);
+        prop_assert!((report.hop_bandwidth.0 - lanes as f64 * 224.0).abs() < 1e-9);
+    }
+}

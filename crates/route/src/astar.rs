@@ -1,0 +1,192 @@
+//! Load-aware A* pathfinding on the wafer's waveguide grid.
+//!
+//! Dimension-ordered routes are cheap but inflexible; when buses fill up or
+//! specific edges must be avoided (non-overlapping repair circuits, Fig 7),
+//! the allocator needs real pathfinding. This A* searches the tile grid
+//! with Manhattan distance as the heuristic; edge costs grow with bus
+//! occupancy so search naturally spreads load, and caller-supplied
+//! forbidden edges are simply not expanded.
+
+use lightpath::{EdgeId, Path, TileCoord, Wafer};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Options controlling a search.
+#[derive(Debug, Clone, Default)]
+pub struct SearchOptions {
+    /// Edges the path must not use (e.g. edges already claimed by a batch
+    /// of non-overlapping circuits).
+    pub forbidden: HashSet<EdgeId>,
+    /// Extra cost per unit of fractional occupancy on an edge (0 disables
+    /// load awareness; 1000 makes a fully-loaded edge cost ~1000 hops).
+    pub load_weight: f64,
+}
+
+impl SearchOptions {
+    /// Forbid one more edge (builder style).
+    pub fn forbid(mut self, e: EdgeId) -> Self {
+        self.forbidden.insert(e);
+        self
+    }
+}
+
+/// Find a path from `src` to `dst` on `wafer`'s tile grid.
+///
+/// Returns `None` when no path exists under the constraints (forbidden or
+/// exhausted edges disconnect the endpoints). The result is always a simple
+/// path; with `load_weight == 0` and nothing forbidden it has minimal hops.
+pub fn astar(wafer: &Wafer, src: TileCoord, dst: TileCoord, opts: &SearchOptions) -> Option<Path> {
+    if src == dst {
+        return None;
+    }
+    let cfg = wafer.config();
+    let (rows, cols) = (cfg.rows, cfg.cols);
+    let cap = wafer.edge_capacity() as f64;
+
+    let h = |t: TileCoord| t.manhattan(dst) as f64;
+
+    #[derive(PartialEq)]
+    struct OrdF64(f64);
+    impl Eq for OrdF64 {}
+    impl PartialOrd for OrdF64 {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for OrdF64 {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.partial_cmp(&other.0).expect("costs are finite")
+        }
+    }
+
+    let mut open: BinaryHeap<Reverse<(OrdF64, u64, TileCoord)>> = BinaryHeap::new();
+    let mut g: HashMap<TileCoord, f64> = HashMap::new();
+    let mut came: HashMap<TileCoord, TileCoord> = HashMap::new();
+    let mut seq = 0u64; // tie-breaker keeps expansion deterministic
+    g.insert(src, 0.0);
+    open.push(Reverse((OrdF64(h(src)), seq, src)));
+
+    while let Some(Reverse((_, _, cur))) = open.pop() {
+        if cur == dst {
+            // Reconstruct.
+            let mut tiles = vec![dst];
+            let mut c = dst;
+            while let Some(&p) = came.get(&c) {
+                tiles.push(p);
+                c = p;
+            }
+            tiles.reverse();
+            return Path::from_tiles(tiles);
+        }
+        let g_cur = g[&cur];
+        for d in lightpath::Dir::ALL {
+            let Some(next) = cur.step(d, rows, cols) else {
+                continue;
+            };
+            let edge = EdgeId::between(cur, next);
+            if opts.forbidden.contains(&edge) {
+                continue;
+            }
+            let used = wafer.edge_used(edge) as f64;
+            if used >= cap {
+                continue; // bus exhausted
+            }
+            let cost = 1.0 + opts.load_weight * (used / cap);
+            let tentative = g_cur + cost;
+            if g.get(&next).is_none_or(|&best| tentative < best) {
+                g.insert(next, tentative);
+                came.insert(next, cur);
+                seq += 1;
+                open.push(Reverse((OrdF64(tentative + h(next)), seq, next)));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightpath::WaferConfig;
+
+    fn wafer() -> Wafer {
+        Wafer::new(WaferConfig::default())
+    }
+
+    fn t(r: u8, c: u8) -> TileCoord {
+        TileCoord::new(r, c)
+    }
+
+    #[test]
+    fn finds_minimal_path_unloaded() {
+        let w = wafer();
+        let p = astar(&w, t(0, 0), t(3, 7), &SearchOptions::default()).unwrap();
+        assert_eq!(p.hops(), 10, "Manhattan-optimal");
+        assert_eq!(p.src(), t(0, 0));
+        assert_eq!(p.dst(), t(3, 7));
+    }
+
+    #[test]
+    fn same_tile_is_none() {
+        let w = wafer();
+        assert!(astar(&w, t(1, 1), t(1, 1), &SearchOptions::default()).is_none());
+    }
+
+    #[test]
+    fn forbidden_edges_are_avoided() {
+        let w = wafer();
+        // Forbid the direct edge between adjacent tiles: path must detour.
+        let opts = SearchOptions::default().forbid(EdgeId::between(t(0, 0), t(0, 1)));
+        let p = astar(&w, t(0, 0), t(0, 1), &opts).unwrap();
+        assert_eq!(p.hops(), 3, "detour around the forbidden edge");
+        assert!(p.edges().all(|e| e != EdgeId::between(t(0, 0), t(0, 1))));
+    }
+
+    #[test]
+    fn fully_cut_source_returns_none() {
+        let w = wafer();
+        // Corner (0,0) has exactly two incident edges; forbid both.
+        let opts = SearchOptions::default()
+            .forbid(EdgeId::between(t(0, 0), t(0, 1)))
+            .forbid(EdgeId::between(t(0, 0), t(1, 0)));
+        assert!(astar(&w, t(0, 0), t(3, 3), &opts).is_none());
+    }
+
+    #[test]
+    fn load_awareness_spreads_paths() {
+        let mut w = Wafer::new(WaferConfig {
+            waveguides_per_edge: 4,
+            ..WaferConfig::default()
+        });
+        // Load the straight row-0 corridor.
+        for _ in 0..3 {
+            w.establish(lightpath::CircuitRequest::new(t(0, 0), t(0, 7), 1))
+                .unwrap();
+        }
+        let opts = SearchOptions {
+            load_weight: 10.0,
+            ..Default::default()
+        };
+        let p = astar(&w, t(0, 0), t(0, 7), &opts).unwrap();
+        // The load-aware path dips out of row 0 rather than riding the
+        // loaded corridor the whole way.
+        let off_row = p.tiles().iter().filter(|c| c.row != 0).count();
+        assert!(off_row > 0, "expected a detour, got {p}");
+    }
+
+    #[test]
+    fn exhausted_edges_are_impassable() {
+        let mut w = Wafer::new(WaferConfig {
+            waveguides_per_edge: 1,
+            ..WaferConfig::default()
+        });
+        // Exhaust the only edge on the direct route between two corner
+        // neighbours of a 1-wide channel: block (0,0)-(0,1) by routing a
+        // circuit over it explicitly.
+        let p = Path::from_tiles(vec![t(0, 0), t(0, 1)]).unwrap();
+        w.establish(lightpath::CircuitRequest::new(t(0, 0), t(0, 1), 1).via(p))
+            .unwrap();
+        let found = astar(&w, t(0, 0), t(0, 1), &SearchOptions::default()).unwrap();
+        assert_eq!(found.hops(), 3, "must route around the exhausted bus");
+    }
+}

@@ -1,0 +1,316 @@
+//! Centralized vs decentralized circuit control (paper §5, "Decentralized
+//! algorithms").
+//!
+//! "A naive solution would rely on a centralized controller tracking the
+//! state of every waveguide … this approach does not scale well when
+//! dealing with hundreds of accelerators." This module makes that argument
+//! quantitative with two models over the same request stream:
+//!
+//! * [`central_setup`] — one controller serializes all requests; each
+//!   decision scans global waveguide state, so per-request time grows with
+//!   fabric size and requests queue behind each other.
+//! * [`decentralized_setup`] — a desim simulation where every request walks
+//!   hop-by-hop making local decisions (dimension-ordered with a local
+//!   detour on full buses and backoff when stuck). Requests progress in
+//!   parallel; latency stays near path length.
+
+use desim::{Engine, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// A request to build a circuit between two tiles on an `rows`×`cols` grid.
+pub type Request = ((u8, u8), (u8, u8));
+
+/// Timing constants of the two control planes.
+#[derive(Debug, Clone, Copy)]
+pub struct ControlParams {
+    /// Central: fixed per-request decision overhead.
+    pub decision_base: SimDuration,
+    /// Central: per-edge cost of scanning global waveguide state.
+    pub decision_per_edge: SimDuration,
+    /// Decentralized: per-hop local decision time.
+    pub hop_decision: SimDuration,
+    /// Decentralized: backoff when both candidate edges are full.
+    pub backoff: SimDuration,
+    /// Decentralized: attempts before a request gives up.
+    pub max_retries: u32,
+}
+
+impl Default for ControlParams {
+    fn default() -> Self {
+        ControlParams {
+            decision_base: SimDuration::from_us(5),
+            decision_per_edge: SimDuration::from_ns(20),
+            hop_decision: SimDuration::from_ns(500),
+            backoff: SimDuration::from_us(2),
+            max_retries: 16,
+        }
+    }
+}
+
+/// Outcome of running a control plane over a request batch.
+#[derive(Debug, Clone, Copy)]
+pub struct ControlReport {
+    /// Requests that got a circuit.
+    pub completed: usize,
+    /// Requests that gave up (decentralized only).
+    pub failed: usize,
+    /// Mean circuit-setup latency over completed requests.
+    pub mean_latency: SimDuration,
+    /// Worst-case latency.
+    pub max_latency: SimDuration,
+    /// Total backoff/retry events (decentralized only).
+    pub retries: u64,
+}
+
+/// Number of undirected grid edges on an `rows`×`cols` tile grid.
+fn grid_edges(rows: u8, cols: u8) -> u64 {
+    let (r, c) = (rows as u64, cols as u64);
+    r * (c - 1) + c * (r - 1)
+}
+
+/// Serialized centralized control: request `k` waits for all earlier
+/// decisions; each decision costs `base + per_edge × E`. Closed form — no
+/// contention model is needed because the controller is the bottleneck.
+pub fn central_setup(
+    rows: u8,
+    cols: u8,
+    requests: &[Request],
+    params: &ControlParams,
+) -> ControlReport {
+    let per = params.decision_base
+        + params.decision_per_edge * grid_edges(rows, cols);
+    let n = requests.len();
+    let mut total = SimDuration::ZERO;
+    let mut sum = SimDuration::ZERO;
+    for _ in 0..n {
+        total += per;
+        sum += total;
+    }
+    ControlReport {
+        completed: n,
+        failed: 0,
+        mean_latency: if n == 0 { SimDuration::ZERO } else { sum / n as u64 },
+        max_latency: total,
+        retries: 0,
+    }
+}
+
+/// A tile position on the control-plane grid.
+type Pos = (u8, u8);
+/// A normalized undirected grid edge.
+type GridEdge = (Pos, Pos);
+
+/// State of the decentralized simulation.
+struct Walkers {
+    /// Remaining waveguides per undirected edge, keyed by normalized pair.
+    free: HashMap<GridEdge, u32>,
+    done: Vec<SimDuration>,
+    failed: usize,
+    retries: u64,
+}
+
+fn edge_key(a: Pos, b: Pos) -> GridEdge {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Parallel decentralized control, simulated event-by-event: each request
+/// starts at t = 0 and walks toward its destination claiming one waveguide
+/// per edge. At each hop it prefers the dimension with the larger remaining
+/// distance, falls back to the other, and backs off (bounded retries) when
+/// both candidate buses are full.
+pub fn decentralized_setup(
+    rows: u8,
+    cols: u8,
+    requests: &[Request],
+    capacity_per_edge: u32,
+    params: &ControlParams,
+) -> ControlReport {
+    let mut engine: Engine<Walkers> = Engine::new();
+    let mut model = Walkers {
+        free: HashMap::new(),
+        done: Vec::new(),
+        failed: 0,
+        retries: 0,
+    };
+    // Pre-populate capacities.
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                model
+                    .free
+                    .insert(edge_key((r, c), (r, c + 1)), capacity_per_edge);
+            }
+            if r + 1 < rows {
+                model
+                    .free
+                    .insert(edge_key((r, c), (r + 1, c)), capacity_per_edge);
+            }
+        }
+    }
+
+    fn step(
+        at: (u8, u8),
+        dst: (u8, u8),
+        started: SimTime,
+        retries_left: u32,
+        params: ControlParams,
+        m: &mut Walkers,
+        e: &mut Engine<Walkers>,
+    ) {
+        if at == dst {
+            m.done.push(e.now().saturating_since(started));
+            return;
+        }
+        // Candidate next hops: prefer the axis with larger remaining
+        // distance; the other axis is the fallback.
+        let dr = dst.0 as i16 - at.0 as i16;
+        let dc = dst.1 as i16 - at.1 as i16;
+        let row_hop = (at.0 as i16 + dr.signum(), at.1 as i16);
+        let col_hop = (at.0 as i16, at.1 as i16 + dc.signum());
+        let mut cands = Vec::new();
+        if dr.abs() >= dc.abs() && dr != 0 {
+            cands.push(row_hop);
+            if dc != 0 {
+                cands.push(col_hop);
+            }
+        } else {
+            if dc != 0 {
+                cands.push(col_hop);
+            }
+            if dr != 0 {
+                cands.push(row_hop);
+            }
+        }
+        for cand in cands {
+            let next = (cand.0 as u8, cand.1 as u8);
+            let key = edge_key(at, next);
+            let free = m.free.get_mut(&key).expect("edge exists");
+            if *free > 0 {
+                *free -= 1;
+                e.schedule_in(params.hop_decision, move |m, e| {
+                    step(next, dst, started, retries_left, params, m, e);
+                });
+                return;
+            }
+        }
+        // Both candidates full: back off and retry, or give up.
+        if retries_left == 0 {
+            m.failed += 1;
+            return;
+        }
+        m.retries += 1;
+        e.schedule_in(params.backoff, move |m, e| {
+            step(at, dst, started, retries_left - 1, params, m, e);
+        });
+    }
+
+    let p = *params;
+    for &(src, dst) in requests {
+        let retries = p.max_retries;
+        engine.schedule_at(SimTime::ZERO, move |m: &mut Walkers, e| {
+            step(src, dst, SimTime::ZERO, retries, p, m, e);
+        });
+    }
+    engine.run(&mut model);
+
+    let completed = model.done.len();
+    let sum = model
+        .done
+        .iter()
+        .fold(SimDuration::ZERO, |a, &b| a + b);
+    let max = model.done.iter().copied().max().unwrap_or(SimDuration::ZERO);
+    ControlReport {
+        completed,
+        failed: model.failed,
+        mean_latency: if completed == 0 {
+            SimDuration::ZERO
+        } else {
+            sum / completed as u64
+        },
+        max_latency: max,
+        retries: model.retries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag_requests(n: u8) -> Vec<Request> {
+        (0..n).map(|i| ((0, i), (3, (i + 3) % 8))).collect()
+    }
+
+    #[test]
+    fn central_latency_grows_linearly_with_requests() {
+        let p = ControlParams::default();
+        let small = central_setup(4, 8, &diag_requests(2), &p);
+        let large = central_setup(4, 8, &diag_requests(8), &p);
+        assert_eq!(small.completed, 2);
+        assert_eq!(large.completed, 8);
+        let ratio = large.max_latency.as_secs_f64() / small.max_latency.as_secs_f64();
+        assert!((ratio - 4.0).abs() < 1e-9, "8 vs 2 requests → 4× tail");
+    }
+
+    #[test]
+    fn central_cost_grows_with_fabric_size() {
+        let p = ControlParams::default();
+        let reqs = diag_requests(4);
+        let small = central_setup(4, 8, &reqs, &p);
+        let big = central_setup(16, 16, &reqs, &p);
+        assert!(big.mean_latency > small.mean_latency);
+    }
+
+    #[test]
+    fn decentralized_latency_is_parallel() {
+        let p = ControlParams::default();
+        // Same batch: decentralized tail should be ~path hops × hop cost,
+        // not proportional to the request count.
+        let r2 = decentralized_setup(4, 8, &diag_requests(2), 100, &p);
+        let r8 = decentralized_setup(4, 8, &diag_requests(8), 100, &p);
+        assert_eq!(r2.completed, 2);
+        assert_eq!(r8.completed, 8);
+        // With abundant capacity there are no retries and the tail barely
+        // moves with batch size.
+        assert_eq!(r8.retries, 0);
+        let ratio = r8.max_latency.as_secs_f64() / r2.max_latency.as_secs_f64();
+        assert!(ratio < 1.5, "decentralized tail ~flat, got ratio {ratio}");
+    }
+
+    #[test]
+    fn decentralized_beats_central_at_scale() {
+        let p = ControlParams::default();
+        let reqs = diag_requests(8);
+        let c = central_setup(4, 8, &reqs, &p);
+        let d = decentralized_setup(4, 8, &reqs, 100, &p);
+        assert!(
+            d.mean_latency < c.mean_latency,
+            "parallel local decisions beat the serialized controller"
+        );
+    }
+
+    #[test]
+    fn scarce_capacity_causes_retries_or_failures() {
+        let p = ControlParams::default();
+        // 16 requests hammering the same two endpoints over capacity-1
+        // edges: most must retry, many give up.
+        let reqs: Vec<Request> = (0..16).map(|_| ((0, 0), (3, 7))).collect();
+        let r = decentralized_setup(4, 8, &reqs, 1, &p);
+        assert!(r.retries > 0 || r.failed > 0);
+        assert!(r.completed < 16);
+        assert_eq!(r.completed + r.failed, 16);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let p = ControlParams::default();
+        let c = central_setup(4, 8, &[], &p);
+        assert_eq!(c.completed, 0);
+        assert_eq!(c.mean_latency, SimDuration::ZERO);
+        let d = decentralized_setup(4, 8, &[], 4, &p);
+        assert_eq!(d.completed, 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # route — circuit routing and resource allocation for LIGHTPATH
+//!
+//! The algorithmic layer the paper's §5 calls for:
+//!
+//! * [`mod@astar`] — load-aware pathfinding over the waveguide grid ("exploding
+//!   paths": thousands of candidate routes per circuit).
+//! * [`alloc`] — atomic batches of mutually edge-disjoint circuits, the
+//!   primitive behind Fig 7's non-overlapping repair circuits.
+//! * [`controllers`] — quantitative comparison of a centralized waveguide
+//!   controller (serialized, state-scan-bound) against decentralized
+//!   hop-local decisions ("this approach does not scale well when dealing
+//!   with hundreds of accelerators").
+//! * [`moe`] — dynamic circuit scheduling for Mixture-of-Experts inference
+//!   with a warm-circuit LRU bounded by SerDes lanes.
+//! * [`fault`] — fiber-frugal planning of cross-wafer repair circuits.
+//! * [`protected`] — 1+1 protection: working + edge-disjoint backup
+//!   circuits with a single-reconfiguration failover.
+//! * [`rwa`] — first-fit wavelength assignment with the continuity
+//!   constraint, for the scarce-waveguide regime (and its fragmentation
+//!   pathology).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod astar;
+pub mod controllers;
+pub mod fault;
+pub mod moe;
+pub mod protected;
+pub mod rwa;
+
+pub use alloc::{allocate_non_overlapping, AllocError, Demand};
+pub use astar::{astar, SearchOptions};
+pub use controllers::{central_setup, decentralized_setup, ControlParams, ControlReport};
+pub use fault::{fibers_in_use, plan_pooled, CrossDemand, FiberPlan};
+pub use moe::{run_moe, MoeParams, MoeReport};
+pub use protected::{establish_protected, ProtectError, ProtectedCircuit};
+pub use rwa::{wdm_capacity_multiplier, Assignment, WavelengthPlane};

@@ -1,0 +1,238 @@
+//! Dynamic circuits for Mixture-of-Experts inference (paper §5).
+//!
+//! "MoE inference relies on a runtime gating function, necessitating
+//! dynamic programming of circuits." Every token batch activates a
+//! different top-k subset of experts, so the router's circuits to expert
+//! accelerators must chase the gate. This module quantifies the resulting
+//! reconfiguration overhead and evaluates the obvious mitigation: keeping
+//! circuits to recently used experts warm in the limited SerDes lane
+//! budget (an LRU of live circuits).
+
+use desim::{SimDuration, SimRng};
+
+/// Workload and hardware parameters for an MoE run.
+#[derive(Debug, Clone, Copy)]
+pub struct MoeParams {
+    /// Number of expert accelerators reachable from the router tile.
+    pub experts: usize,
+    /// Experts activated per batch (top-k gating).
+    pub top_k: usize,
+    /// Token batches to process.
+    pub batches: u64,
+    /// Compute + transfer time per batch once circuits are up.
+    pub compute_per_batch: SimDuration,
+    /// MZI reconfiguration latency per circuit change (changes within one
+    /// batch are programmed in parallel → one `r` per batch that changes
+    /// anything).
+    pub reconfig: SimDuration,
+    /// Maximum circuits the router tile can keep established at once
+    /// (bounded by SerDes lanes / wavelengths, §3).
+    pub max_live_circuits: usize,
+    /// Skew of the gating distribution: 0 = uniform; larger values
+    /// concentrate probability on low-index experts (Zipf-like), as real
+    /// gating functions do.
+    pub skew: f64,
+}
+
+impl Default for MoeParams {
+    fn default() -> Self {
+        MoeParams {
+            experts: 16,
+            top_k: 2,
+            batches: 10_000,
+            compute_per_batch: SimDuration::from_us(50),
+            reconfig: SimDuration::from_secs_f64(phy::thermal::RECONFIG_LATENCY_S),
+            max_live_circuits: 8,
+            skew: 1.0,
+        }
+    }
+}
+
+/// Outcome of an MoE circuit-scheduling run.
+#[derive(Debug, Clone, Copy)]
+pub struct MoeReport {
+    /// Total wall-clock time.
+    pub total: SimDuration,
+    /// Time spent waiting on MZI reconfiguration.
+    pub reconfig_time: SimDuration,
+    /// Fraction of total time lost to reconfiguration.
+    pub reconfig_fraction: f64,
+    /// Batches that required at least one circuit change.
+    pub batches_reconfigured: u64,
+    /// Individual circuit establishments performed.
+    pub circuit_changes: u64,
+    /// Cache hit rate of the warm-circuit policy (1.0 when every needed
+    /// expert already had a live circuit).
+    pub hit_rate: f64,
+}
+
+/// Sample a top-k expert subset under a Zipf-like skew.
+fn sample_experts(rng: &mut SimRng, params: &MoeParams) -> Vec<usize> {
+    // Weight expert e by 1/(e+1)^skew, sample without replacement.
+    let mut weights: Vec<f64> = (0..params.experts)
+        .map(|e| 1.0 / ((e + 1) as f64).powf(params.skew))
+        .collect();
+    let mut chosen = Vec::with_capacity(params.top_k);
+    for _ in 0..params.top_k {
+        let total: f64 = weights.iter().sum();
+        let mut x = rng.next_f64() * total;
+        let mut pick = 0;
+        for (i, &w) in weights.iter().enumerate() {
+            if w <= 0.0 {
+                continue;
+            }
+            if x < w {
+                pick = i;
+                break;
+            }
+            x -= w;
+            pick = i;
+        }
+        chosen.push(pick);
+        weights[pick] = 0.0;
+    }
+    chosen
+}
+
+/// Run the MoE workload keeping an LRU cache of live circuits of size
+/// `params.max_live_circuits`. With `max_live_circuits >= experts` this is
+/// the "keep everything warm" upper bound; with `max_live_circuits ==
+/// top_k` it degenerates to reconfigure-every-change.
+pub fn run_moe(params: &MoeParams, seed: u64) -> MoeReport {
+    assert!(params.top_k >= 1 && params.top_k <= params.experts);
+    assert!(
+        params.max_live_circuits >= params.top_k,
+        "must be able to hold one batch's circuits"
+    );
+    let mut rng = SimRng::seed_from_u64(seed);
+    // LRU: front = most recent. Tiny sizes; a Vec is the honest choice.
+    let mut live: Vec<usize> = Vec::new();
+    let mut total = SimDuration::ZERO;
+    let mut reconfig_time = SimDuration::ZERO;
+    let mut batches_reconfigured = 0u64;
+    let mut circuit_changes = 0u64;
+    let mut needed_total = 0u64;
+    let mut hits = 0u64;
+
+    for _ in 0..params.batches {
+        let experts = sample_experts(&mut rng, params);
+        let mut changed = false;
+        for &e in &experts {
+            needed_total += 1;
+            if let Some(pos) = live.iter().position(|&x| x == e) {
+                hits += 1;
+                let v = live.remove(pos);
+                live.insert(0, v); // refresh
+            } else {
+                changed = true;
+                circuit_changes += 1;
+                if live.len() == params.max_live_circuits {
+                    live.pop(); // evict least-recently-used
+                }
+                live.insert(0, e);
+            }
+        }
+        if changed {
+            batches_reconfigured += 1;
+            total += params.reconfig;
+            reconfig_time += params.reconfig;
+        }
+        total += params.compute_per_batch;
+    }
+
+    MoeReport {
+        total,
+        reconfig_time,
+        reconfig_fraction: reconfig_time.as_secs_f64() / total.as_secs_f64().max(f64::MIN_POSITIVE),
+        batches_reconfigured,
+        circuit_changes,
+        hit_rate: hits as f64 / needed_total.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_respects_top_k_and_uniqueness() {
+        let params = MoeParams::default();
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let e = sample_experts(&mut rng, &params);
+            assert_eq!(e.len(), 2);
+            assert_ne!(e[0], e[1]);
+            assert!(e.iter().all(|&x| x < 16));
+        }
+    }
+
+    #[test]
+    fn full_cache_never_reconfigures_after_warmup() {
+        let params = MoeParams {
+            max_live_circuits: 16, // hold every expert
+            batches: 5_000,
+            ..MoeParams::default()
+        };
+        let r = run_moe(&params, 7);
+        // Only the first encounters of each expert change circuits.
+        assert!(r.circuit_changes <= 16);
+        assert!(r.hit_rate > 0.99);
+    }
+
+    #[test]
+    fn tiny_cache_reconfigures_often() {
+        let params = MoeParams {
+            max_live_circuits: 2,
+            skew: 0.0, // uniform gating: worst case for caching
+            batches: 5_000,
+            ..MoeParams::default()
+        };
+        let r = run_moe(&params, 7);
+        assert!(
+            r.batches_reconfigured as f64 > 0.8 * 5_000.0,
+            "uniform gating with k-sized cache thrashes: {}",
+            r.batches_reconfigured
+        );
+        assert!(r.reconfig_fraction > 0.0);
+    }
+
+    #[test]
+    fn skew_improves_hit_rate() {
+        let base = MoeParams {
+            max_live_circuits: 4,
+            batches: 20_000,
+            ..MoeParams::default()
+        };
+        let uniform = run_moe(&MoeParams { skew: 0.0, ..base }, 11);
+        let skewed = run_moe(&MoeParams { skew: 2.0, ..base }, 11);
+        assert!(
+            skewed.hit_rate > uniform.hit_rate + 0.1,
+            "skewed gating caches better: {} vs {}",
+            skewed.hit_rate,
+            uniform.hit_rate
+        );
+        assert!(skewed.total < uniform.total);
+    }
+
+    #[test]
+    fn reconfig_overhead_is_bounded_by_r_per_batch() {
+        let params = MoeParams::default();
+        let r = run_moe(&params, 3);
+        let bound = params.reconfig.as_secs_f64() * params.batches as f64;
+        assert!(r.reconfig_time.as_secs_f64() <= bound + 1e-12);
+        assert_eq!(
+            r.total.as_secs_f64(),
+            r.reconfig_time.as_secs_f64()
+                + params.compute_per_batch.as_secs_f64() * params.batches as f64
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let params = MoeParams::default();
+        let a = run_moe(&params, 42);
+        let b = run_moe(&params, 42);
+        assert_eq!(a.circuit_changes, b.circuit_changes);
+        assert_eq!(a.total, b.total);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests of the routing layer.
+
+use lightpath::{EdgeId, TileCoord, Wafer, WaferConfig};
+use proptest::prelude::*;
+use route::{allocate_non_overlapping, astar, Demand, SearchOptions};
+use std::collections::HashSet;
+
+fn tile() -> impl Strategy<Value = TileCoord> {
+    (0u8..4, 0u8..8).prop_map(|(r, c)| TileCoord::new(r, c))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A* always returns a valid simple path with the right endpoints, and
+    /// it is hop-minimal on an empty wafer.
+    #[test]
+    fn astar_paths_are_valid_and_minimal(src in tile(), dst in tile()) {
+        prop_assume!(src != dst);
+        let w = Wafer::new(WaferConfig::lightpath_32());
+        let p = astar(&w, src, dst, &SearchOptions::default()).expect("connected grid");
+        prop_assert_eq!(p.src(), src);
+        prop_assert_eq!(p.dst(), dst);
+        prop_assert_eq!(p.hops() as u32, src.manhattan(dst));
+    }
+
+    /// Forbidden edges never appear in the result.
+    #[test]
+    fn astar_respects_forbidden(src in tile(), dst in tile(), seed in any::<u64>()) {
+        prop_assume!(src != dst);
+        let w = Wafer::new(WaferConfig::lightpath_32());
+        // Forbid a pseudo-random set of edges (but never isolate src/dst:
+        // if the search fails that is acceptable; if it succeeds the path
+        // must avoid them).
+        let mut rng = desim::SimRng::seed_from_u64(seed);
+        let mut opts = SearchOptions::default();
+        for _ in 0..6 {
+            let r = rng.gen_range_u64(4) as u8;
+            let c = rng.gen_range_u64(7) as u8;
+            opts.forbidden.insert(EdgeId::between(
+                TileCoord::new(r, c),
+                TileCoord::new(r, c + 1),
+            ));
+        }
+        if let Some(p) = astar(&w, src, dst, &opts) {
+            for e in p.edges() {
+                prop_assert!(!opts.forbidden.contains(&e), "used forbidden edge {e}");
+            }
+        }
+    }
+
+    /// Batch allocation either yields fully edge-disjoint circuits or
+    /// leaves the wafer untouched.
+    #[test]
+    fn batch_alloc_all_or_nothing(pairs in prop::collection::vec((tile(), tile()), 1..6)) {
+        let mut w = Wafer::new(WaferConfig::lightpath_32());
+        let demands: Vec<Demand> = pairs
+            .iter()
+            .filter(|(a, b)| a != b)
+            .map(|&(a, b)| Demand::new(a, b, 1))
+            .collect();
+        prop_assume!(!demands.is_empty());
+        match allocate_non_overlapping(&mut w, &demands) {
+            Ok(ids) => {
+                prop_assert_eq!(ids.len(), demands.len());
+                let mut seen: HashSet<EdgeId> = HashSet::new();
+                for id in &ids {
+                    for e in w.circuit(*id).unwrap().path.edges() {
+                        prop_assert!(seen.insert(e), "edge {e} shared");
+                    }
+                }
+            }
+            Err(_) => {
+                prop_assert_eq!(w.circuits().count(), 0, "failed batch left residue");
+                for t in w.coords() {
+                    prop_assert_eq!(w.tile(t).serdes.tx_free(), 16);
+                }
+            }
+        }
+    }
+
+    /// Protected pairs, when they establish, are always fault-independent,
+    /// and teardown restores the wafer.
+    #[test]
+    fn protection_invariants(src in tile(), dst in tile(), lanes in 1usize..=8) {
+        prop_assume!(src != dst);
+        let mut w = Wafer::new(WaferConfig::lightpath_32());
+        match route::establish_protected(&mut w, src, dst, lanes) {
+            Ok(p) => {
+                prop_assert!(p.is_fault_independent(&w));
+                prop_assert_eq!(w.circuits().count(), 2);
+                p.teardown(&mut w).unwrap();
+                prop_assert_eq!(w.circuits().count(), 0);
+            }
+            Err(_) => {
+                prop_assert_eq!(w.circuits().count(), 0);
+            }
+        }
+    }
+}

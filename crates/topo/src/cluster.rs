@@ -1,0 +1,180 @@
+//! Multi-rack composition and server grouping.
+//!
+//! TPUv4 composes 4×4×4 racks ("cubes") into larger 3-D tori by programming
+//! the optical circuit switches attached to each cube face (§4, Fig 5a); a
+//! 4096-chip deployment is 64 cubes. We model a row of racks joined along
+//! the Z dimension: rack `r` occupies the Z slab `[4r, 4r+4)` of one large
+//! torus, and the inter-slab links are the OCS-provided cables. Within a
+//! rack, chips are grouped four to a server (a 2×2×1 footprint), matching
+//! "16 multi-accelerator servers, each with 4 TPU chips".
+
+use crate::coords::{Coord3, Dim, Shape3};
+use crate::occupancy::Occupancy;
+use crate::torus::DirLink;
+
+/// Chips per multi-accelerator server.
+pub const CHIPS_PER_SERVER: usize = 4;
+
+/// A row of TPUv4 racks joined along Z into one torus.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    occ: Occupancy,
+    rack_shape: Shape3,
+    racks: usize,
+}
+
+/// Identifier of a server within a cluster: (rack, index within rack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServerId {
+    /// Rack index.
+    pub rack: usize,
+    /// Server index within the rack (0..16).
+    pub server: usize,
+}
+
+impl Cluster {
+    /// `racks` cubes of `rack_shape` joined along Z.
+    pub fn new(racks: usize, rack_shape: Shape3) -> Self {
+        assert!(racks >= 1, "need at least one rack");
+        let shape = Shape3::new(
+            rack_shape.extent(Dim::X),
+            rack_shape.extent(Dim::Y),
+            rack_shape.extent(Dim::Z) * racks,
+        );
+        Cluster {
+            occ: Occupancy::new(shape),
+            rack_shape,
+            racks,
+        }
+    }
+
+    /// The standard TPUv4 composition: `racks` 4×4×4 cubes.
+    pub fn tpu_v4(racks: usize) -> Self {
+        Cluster::new(racks, Shape3::rack_4x4x4())
+    }
+
+    /// Number of racks.
+    pub fn racks(&self) -> usize {
+        self.racks
+    }
+
+    /// Shape of one rack.
+    pub fn rack_shape(&self) -> Shape3 {
+        self.rack_shape
+    }
+
+    /// Occupancy (slices, failures) over the composed torus.
+    pub fn occupancy(&self) -> &Occupancy {
+        &self.occ
+    }
+
+    /// Mutable occupancy.
+    pub fn occupancy_mut(&mut self) -> &mut Occupancy {
+        &mut self.occ
+    }
+
+    /// Which rack a chip belongs to.
+    pub fn rack_of(&self, c: Coord3) -> usize {
+        c.get(Dim::Z) / self.rack_shape.extent(Dim::Z)
+    }
+
+    /// Which server a chip belongs to: servers are 2×2×1 footprints
+    /// (4 chips) tiled over each rack layer.
+    pub fn server_of(&self, c: Coord3) -> ServerId {
+        let rack = self.rack_of(c);
+        let local_z = c.get(Dim::Z) % self.rack_shape.extent(Dim::Z);
+        let sx = c.get(Dim::X) / 2;
+        let sy = c.get(Dim::Y) / 2;
+        let per_row = self.rack_shape.extent(Dim::X) / 2;
+        let per_layer = per_row * (self.rack_shape.extent(Dim::Y) / 2);
+        ServerId {
+            rack,
+            server: local_z * per_layer + sy * per_row + sx,
+        }
+    }
+
+    /// True when a directed link crosses a rack boundary (an OCS-provided
+    /// inter-rack cable rather than an in-rack electrical trace).
+    pub fn is_inter_rack(&self, l: DirLink) -> bool {
+        if l.dim != Dim::Z {
+            return false;
+        }
+        let dest = self.occ.torus().dest(l);
+        self.rack_of(l.from) != self.rack_of(dest)
+    }
+
+    /// Servers in a rack.
+    pub fn servers_per_rack(&self) -> usize {
+        self.rack_shape.volume() / CHIPS_PER_SERVER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpu_v4_dimensions() {
+        let c = Cluster::tpu_v4(2);
+        assert_eq!(c.occupancy().shape(), Shape3::new(4, 4, 8));
+        assert_eq!(c.racks(), 2);
+        assert_eq!(c.servers_per_rack(), 16);
+    }
+
+    #[test]
+    fn rack_of_partitions_z() {
+        let c = Cluster::tpu_v4(2);
+        assert_eq!(c.rack_of(Coord3::new(0, 0, 3)), 0);
+        assert_eq!(c.rack_of(Coord3::new(0, 0, 4)), 1);
+        assert_eq!(c.rack_of(Coord3::new(3, 3, 7)), 1);
+    }
+
+    #[test]
+    fn server_grouping_is_2x2x1() {
+        let c = Cluster::tpu_v4(1);
+        let s = c.server_of(Coord3::new(0, 0, 0));
+        assert_eq!(s, c.server_of(Coord3::new(1, 1, 0)));
+        assert_ne!(s, c.server_of(Coord3::new(2, 0, 0)));
+        assert_ne!(s, c.server_of(Coord3::new(0, 0, 1)));
+        // 16 distinct servers cover the rack.
+        let mut servers: Vec<ServerId> = c
+            .occupancy()
+            .shape()
+            .coords()
+            .map(|ch| c.server_of(ch))
+            .collect();
+        servers.sort();
+        servers.dedup();
+        assert_eq!(servers.len(), 16);
+    }
+
+    #[test]
+    fn inter_rack_links_are_z_boundary_crossings() {
+        let c = Cluster::tpu_v4(2);
+        let boundary = DirLink {
+            from: Coord3::new(0, 0, 3),
+            dim: Dim::Z,
+            forward: true,
+        };
+        assert!(c.is_inter_rack(boundary));
+        let interior = DirLink {
+            from: Coord3::new(0, 0, 1),
+            dim: Dim::Z,
+            forward: true,
+        };
+        assert!(!c.is_inter_rack(interior));
+        let x_link = DirLink {
+            from: Coord3::new(3, 0, 3),
+            dim: Dim::X,
+            forward: true,
+        };
+        assert!(!c.is_inter_rack(x_link));
+        // The global wraparound z=7 → z=0 crosses racks too.
+        let wrap = DirLink {
+            from: Coord3::new(0, 0, 7),
+            dim: Dim::Z,
+            forward: true,
+        };
+        assert!(c.is_inter_rack(wrap));
+    }
+}

@@ -1,0 +1,210 @@
+//! 3-D torus coordinates and dimensions.
+//!
+//! Google's TPUv4 racks are 4×4×4 3-D tori of chips; optical circuit
+//! switches on the rack faces close the wraparound links and can join racks
+//! into larger tori (paper §4, Fig 5a). Everything in this crate is indexed
+//! by a [`Coord3`] within a [`Shape3`].
+
+use std::fmt;
+
+/// A torus dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dim {
+    /// First dimension.
+    X,
+    /// Second dimension.
+    Y,
+    /// Third dimension.
+    Z,
+}
+
+impl Dim {
+    /// All dimensions in canonical X, Y, Z order (the order the standard
+    /// multi-dimensional bucket algorithm visits them).
+    pub const ALL: [Dim; 3] = [Dim::X, Dim::Y, Dim::Z];
+
+    /// Index in 0..3.
+    pub fn index(self) -> usize {
+        match self {
+            Dim::X => 0,
+            Dim::Y => 1,
+            Dim::Z => 2,
+        }
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dim::X => write!(f, "X"),
+            Dim::Y => write!(f, "Y"),
+            Dim::Z => write!(f, "Z"),
+        }
+    }
+}
+
+/// Extents of a 3-D torus (or of a slice within one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape3 {
+    /// Extents along X, Y, Z.
+    pub dims: [usize; 3],
+}
+
+impl Shape3 {
+    /// Shorthand constructor.
+    pub const fn new(x: usize, y: usize, z: usize) -> Self {
+        Shape3 { dims: [x, y, z] }
+    }
+
+    /// The TPUv4 rack: a 4×4×4 cube of 64 chips.
+    pub const fn rack_4x4x4() -> Self {
+        Shape3::new(4, 4, 4)
+    }
+
+    /// Extent along one dimension.
+    pub fn extent(&self, d: Dim) -> usize {
+        self.dims[d.index()]
+    }
+
+    /// Total number of chips.
+    pub fn volume(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Validate: every extent ≥ 1.
+    pub fn validated(self) -> Self {
+        assert!(
+            self.dims.iter().all(|&e| e >= 1),
+            "shape extents must be >= 1, got {self}"
+        );
+        self
+    }
+
+    /// Iterate all coordinates in row-major (X fastest) order.
+    pub fn coords(&self) -> impl Iterator<Item = Coord3> + '_ {
+        let [sx, sy, sz] = self.dims;
+        (0..sz).flat_map(move |z| {
+            (0..sy).flat_map(move |y| (0..sx).map(move |x| Coord3::new(x, y, z)))
+        })
+    }
+
+    /// Linear index of a coordinate (row-major, X fastest).
+    ///
+    /// Panics if `c` is outside the shape.
+    pub fn index_of(&self, c: Coord3) -> usize {
+        assert!(self.contains(c), "{c} outside {self}");
+        (c.p[2] * self.dims[1] + c.p[1]) * self.dims[0] + c.p[0]
+    }
+
+    /// Membership test.
+    pub fn contains(&self, c: Coord3) -> bool {
+        c.p[0] < self.dims[0] && c.p[1] < self.dims[1] && c.p[2] < self.dims[2]
+    }
+}
+
+impl fmt::Display for Shape3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.dims[0], self.dims[1], self.dims[2])
+    }
+}
+
+/// A chip position within a torus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Coord3 {
+    /// Position along X, Y, Z.
+    pub p: [usize; 3],
+}
+
+impl Coord3 {
+    /// Shorthand constructor.
+    pub const fn new(x: usize, y: usize, z: usize) -> Self {
+        Coord3 { p: [x, y, z] }
+    }
+
+    /// Position along a dimension.
+    pub fn get(&self, d: Dim) -> usize {
+        self.p[d.index()]
+    }
+
+    /// A copy with dimension `d` set to `v`.
+    pub fn with(&self, d: Dim, v: usize) -> Coord3 {
+        let mut p = self.p;
+        p[d.index()] = v;
+        Coord3 { p }
+    }
+
+    /// The neighbour one step in `+d` (wrapping around `shape`).
+    pub fn next_in(&self, d: Dim, shape: Shape3) -> Coord3 {
+        let e = shape.extent(d);
+        self.with(d, (self.get(d) + 1) % e)
+    }
+
+    /// The neighbour one step in `−d` (wrapping around `shape`).
+    pub fn prev_in(&self, d: Dim, shape: Shape3) -> Coord3 {
+        let e = shape.extent(d);
+        self.with(d, (self.get(d) + e - 1) % e)
+    }
+}
+
+impl fmt::Display for Coord3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{},{},{}]", self.p[0], self.p[1], self.p[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_volume_and_extents() {
+        let s = Shape3::rack_4x4x4();
+        assert_eq!(s.volume(), 64);
+        for d in Dim::ALL {
+            assert_eq!(s.extent(d), 4);
+        }
+        assert_eq!(Shape3::new(4, 2, 1).volume(), 8);
+    }
+
+    #[test]
+    fn coords_enumerates_all_once() {
+        let s = Shape3::new(2, 3, 4);
+        let v: Vec<Coord3> = s.coords().collect();
+        assert_eq!(v.len(), 24);
+        let mut sorted = v.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 24);
+        // Row-major indices agree with enumeration order.
+        for (i, c) in v.iter().enumerate() {
+            assert_eq!(s.index_of(*c), i);
+        }
+    }
+
+    #[test]
+    fn wraparound_stepping() {
+        let s = Shape3::rack_4x4x4();
+        let c = Coord3::new(3, 0, 2);
+        assert_eq!(c.next_in(Dim::X, s), Coord3::new(0, 0, 2));
+        assert_eq!(c.prev_in(Dim::X, s), Coord3::new(2, 0, 2));
+        assert_eq!(c.prev_in(Dim::Y, s), Coord3::new(3, 3, 2));
+        assert_eq!(c.next_in(Dim::Z, s), Coord3::new(3, 0, 3));
+        // next ∘ prev = identity.
+        for d in Dim::ALL {
+            assert_eq!(c.next_in(d, s).prev_in(d, s), c);
+        }
+    }
+
+    #[test]
+    fn contains_and_index_bounds() {
+        let s = Shape3::new(2, 2, 2);
+        assert!(s.contains(Coord3::new(1, 1, 1)));
+        assert!(!s.contains(Coord3::new(2, 0, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn index_of_out_of_bounds_panics() {
+        Shape3::new(2, 2, 2).index_of(Coord3::new(0, 0, 5));
+    }
+}

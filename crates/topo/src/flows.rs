@@ -1,0 +1,383 @@
+//! Max-min fair flow allocation and completion simulation on the torus.
+//!
+//! The load-map congestion predicate (yes/no) is what the paper argues
+//! with; this module quantifies the *damage*: concurrent transfers sharing
+//! links receive max-min fair bandwidth shares, so forcing a repair path
+//! through a tenant's links measurably slows that tenant. Rates follow the
+//! classic progressive-filling algorithm; completions are simulated
+//! rate-change by rate-change.
+
+use crate::coords::Coord3;
+use crate::torus::DirLink;
+use desim::SimDuration;
+use std::collections::HashMap;
+
+/// A capacity-constrained resource a flow consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Resource {
+    /// A directed inter-chip link.
+    Link(DirLink),
+    /// A chip's total egress budget — "traffic not destined for a TPU must
+    /// be forwarded, consuming its bandwidth" (§4.2).
+    Egress(Coord3),
+}
+
+/// A flow: a byte count moving along a fixed path of directed links.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// Links crossed, in order. An empty path models a dedicated circuit
+    /// (never contends).
+    pub path: Vec<DirLink>,
+    /// Bytes to move.
+    pub bytes: f64,
+}
+
+/// Max-min fair rates (Gb/s) for `flows` over links of `capacity_gbps`
+/// each, by progressive filling: repeatedly find the bottleneck link (least
+/// remaining capacity per unfrozen flow), freeze its flows at the fair
+/// share, and continue. Pathless flows get the full link rate.
+pub fn max_min_rates(flows: &[Flow], capacity_gbps: f64) -> Vec<f64> {
+    max_min_rates_with_chips(flows, capacity_gbps, f64::INFINITY)
+}
+
+/// Like [`max_min_rates`], with an additional per-chip egress budget: every
+/// hop a flow takes out of chip `c` also consumes `c`'s egress capacity, so
+/// forwarded traffic measurably steals bandwidth from the chips it crosses.
+/// Pass `f64::INFINITY` to disable the chip constraint.
+pub fn max_min_rates_with_chips(
+    flows: &[Flow],
+    link_gbps: f64,
+    chip_egress_gbps: f64,
+) -> Vec<f64> {
+    assert!(link_gbps > 0.0, "capacity must be positive");
+    assert!(chip_egress_gbps > 0.0, "egress budget must be positive");
+    let n = flows.len();
+    let mut rate = vec![0.0f64; n];
+    let mut frozen = vec![false; n];
+
+    // Resources each flow consumes.
+    let resources_of = |f: &Flow| -> Vec<Resource> {
+        let mut out: Vec<Resource> = Vec::with_capacity(f.path.len() * 2);
+        for &l in &f.path {
+            out.push(Resource::Link(l));
+            if chip_egress_gbps.is_finite() {
+                out.push(Resource::Egress(l.from));
+            }
+        }
+        out
+    };
+    let cap_of = |r: &Resource| -> f64 {
+        match r {
+            Resource::Link(_) => link_gbps,
+            Resource::Egress(_) => chip_egress_gbps,
+        }
+    };
+
+    let mut remaining: HashMap<Resource, f64> = HashMap::new();
+    for f in flows {
+        for r in resources_of(f) {
+            let c = cap_of(&r);
+            remaining.entry(r).or_insert(c);
+        }
+    }
+
+    // Pathless flows are unconstrained: full rate immediately.
+    for (i, f) in flows.iter().enumerate() {
+        if f.path.is_empty() {
+            rate[i] = link_gbps;
+            frozen[i] = true;
+        }
+    }
+
+    loop {
+        // Count unfrozen flows per resource. A flow crossing a chip twice
+        // consumes that chip's egress twice; count multiplicity.
+        let mut users: HashMap<Resource, u32> = HashMap::new();
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            for r in resources_of(f) {
+                *users.entry(r).or_insert(0) += 1;
+            }
+        }
+        if users.is_empty() {
+            break;
+        }
+        // Bottleneck: the resource with the smallest fair share.
+        let (&bottleneck, _) = users
+            .iter()
+            .min_by(|(ra, &ua), (rb, &ub)| {
+                let sa = remaining[ra] / ua as f64;
+                let sb = remaining[rb] / ub as f64;
+                sa.partial_cmp(&sb)
+                    .expect("finite")
+                    .then_with(|| ra.cmp(rb)) // deterministic ties
+            })
+            .expect("non-empty");
+        let share = remaining[&bottleneck] / users[&bottleneck] as f64;
+        // Freeze every unfrozen flow using the bottleneck (its rate is the
+        // share divided by how many times it crosses the resource).
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            let crossings = resources_of(f)
+                .into_iter()
+                .filter(|r| *r == bottleneck)
+                .count();
+            if crossings == 0 {
+                continue;
+            }
+            let r = share; // fair share per crossing; one crossing typical
+            let flow_rate = r / crossings as f64;
+            rate[i] = flow_rate;
+            frozen[i] = true;
+            for res in resources_of(f) {
+                if let Some(c) = remaining.get_mut(&res) {
+                    *c = (*c - flow_rate).max(0.0);
+                }
+            }
+        }
+    }
+    rate
+}
+
+/// Outcome of simulating flows to completion.
+#[derive(Debug, Clone)]
+pub struct FlowSimReport {
+    /// Per-flow completion times (same order as the input).
+    pub completion: Vec<SimDuration>,
+    /// When the last flow finished.
+    pub makespan: SimDuration,
+}
+
+/// Simulate `flows` to completion: rates are max-min fair and re-computed
+/// whenever a flow finishes (the remaining flows speed up).
+pub fn simulate_flows(flows: &[Flow], capacity_gbps: f64) -> FlowSimReport {
+    simulate_flows_with_chips(flows, capacity_gbps, f64::INFINITY)
+}
+
+/// [`simulate_flows`] with the per-chip egress budget of
+/// [`max_min_rates_with_chips`].
+pub fn simulate_flows_with_chips(
+    flows: &[Flow],
+    capacity_gbps: f64,
+    chip_egress_gbps: f64,
+) -> FlowSimReport {
+    let n = flows.len();
+    let mut remaining: Vec<f64> = flows.iter().map(|f| f.bytes).collect();
+    let mut done = vec![false; n];
+    let mut completion = vec![SimDuration::ZERO; n];
+    let mut now = 0.0f64;
+
+    loop {
+        let active: Vec<usize> = (0..n).filter(|&i| !done[i]).collect();
+        if active.is_empty() {
+            break;
+        }
+        let live: Vec<Flow> = active.iter().map(|&i| flows[i].clone()).collect();
+        let rates = max_min_rates_with_chips(&live, capacity_gbps, chip_egress_gbps);
+        // Time until the next completion.
+        let mut dt = f64::INFINITY;
+        for (k, &i) in active.iter().enumerate() {
+            let bps = rates[k] * 1e9 / 8.0;
+            if bps > 0.0 {
+                dt = dt.min(remaining[i] / bps);
+            }
+        }
+        assert!(dt.is_finite(), "some flow can never finish (zero rate)");
+        now += dt;
+        for (k, &i) in active.iter().enumerate() {
+            let bps = rates[k] * 1e9 / 8.0;
+            remaining[i] -= bps * dt;
+            if remaining[i] <= 1e-6 {
+                done[i] = true;
+                completion[i] = SimDuration::from_secs_f64(now);
+            }
+        }
+    }
+
+    let makespan = completion.iter().copied().max().unwrap_or(SimDuration::ZERO);
+    FlowSimReport {
+        completion,
+        makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coords::{Coord3, Dim, Shape3};
+    use crate::torus::Torus;
+
+    fn rack() -> Torus {
+        Torus::new(Shape3::rack_4x4x4())
+    }
+
+    fn flow(t: &Torus, a: Coord3, b: Coord3, bytes: f64) -> Flow {
+        Flow {
+            path: t.route(a, b),
+            bytes,
+        }
+    }
+
+    #[test]
+    fn lone_flow_gets_full_rate() {
+        let t = rack();
+        let f = vec![flow(&t, Coord3::new(0, 0, 0), Coord3::new(1, 0, 0), 1e9)];
+        let rates = max_min_rates(&f, 100.0);
+        assert_eq!(rates, vec![100.0]);
+    }
+
+    #[test]
+    fn sharing_flows_split_evenly() {
+        let t = rack();
+        let shared = t.route(Coord3::new(0, 0, 0), Coord3::new(1, 0, 0));
+        let f = vec![
+            Flow { path: shared.clone(), bytes: 1e9 },
+            Flow { path: shared.clone(), bytes: 1e9 },
+            Flow { path: shared, bytes: 1e9 },
+        ];
+        let rates = max_min_rates(&f, 90.0);
+        for r in rates {
+            assert!((r - 30.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn max_min_gives_leftover_to_unbottlenecked() {
+        let t = rack();
+        // Flow A uses links L1+L2; flow B only L1; flow C only L2.
+        let l1 = t.route(Coord3::new(0, 0, 0), Coord3::new(1, 0, 0));
+        let l2 = t.route(Coord3::new(1, 0, 0), Coord3::new(2, 0, 0));
+        let mut a = l1.clone();
+        a.extend(l2.clone());
+        let f = vec![
+            Flow { path: a, bytes: 1e9 },
+            Flow { path: l1, bytes: 1e9 },
+            Flow { path: l2, bytes: 1e9 },
+        ];
+        let rates = max_min_rates(&f, 100.0);
+        // Fair share on both links: A gets 50, B gets 50, C gets 50.
+        assert!((rates[0] - 50.0).abs() < 1e-9);
+        assert!((rates[1] - 50.0).abs() < 1e-9);
+        assert!((rates[2] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asymmetric_bottlenecks() {
+        let t = rack();
+        let l1 = t.route(Coord3::new(0, 0, 0), Coord3::new(1, 0, 0));
+        // Three flows on L1, one of which continues onto L2 alone.
+        let l2 = t.route(Coord3::new(1, 0, 0), Coord3::new(2, 0, 0));
+        let mut through = l1.clone();
+        through.extend(l2);
+        let f = vec![
+            Flow { path: l1.clone(), bytes: 1e9 },
+            Flow { path: l1, bytes: 1e9 },
+            Flow { path: through, bytes: 1e9 },
+        ];
+        let rates = max_min_rates(&f, 90.0);
+        // L1 is the bottleneck for all three: 30 each.
+        for r in &rates {
+            assert!((r - 30.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dedicated_circuit_flows_never_contend() {
+        let f = vec![
+            Flow { path: Vec::new(), bytes: 1e9 },
+            Flow { path: Vec::new(), bytes: 1e9 },
+        ];
+        let rates = max_min_rates(&f, 224.0);
+        assert_eq!(rates, vec![224.0, 224.0]);
+    }
+
+    #[test]
+    fn chip_egress_budget_binds() {
+        let t = rack();
+        // Two flows out of the same chip on different dimensions: no link
+        // is shared, but the chip's egress budget is.
+        let f = vec![
+            flow(&t, Coord3::new(0, 0, 0), Coord3::new(1, 0, 0), 1e9),
+            flow(&t, Coord3::new(0, 0, 0), Coord3::new(0, 1, 0), 1e9),
+        ];
+        // Without the chip constraint: full link rate each.
+        let unconstrained = max_min_rates(&f, 100.0);
+        assert_eq!(unconstrained, vec![100.0, 100.0]);
+        // With a 120 Gb/s egress budget: 60 each.
+        let constrained = max_min_rates_with_chips(&f, 100.0, 120.0);
+        assert!((constrained[0] - 60.0).abs() < 1e-9);
+        assert!((constrained[1] - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forwarding_through_a_chip_steals_its_bandwidth() {
+        let t = rack();
+        // The victim chip (1,0,0) sends its own ring traffic in +X; a
+        // repair flow is forwarded through it along X (entering and
+        // leaving via (1,0,0)'s egress).
+        let victim = flow(&t, Coord3::new(1, 0, 0), Coord3::new(2, 0, 0), 1e9);
+        let repair = flow(&t, Coord3::new(0, 0, 0), Coord3::new(2, 0, 0), 1e9);
+        let rates = max_min_rates_with_chips(
+            &[victim.clone(), repair],
+            100.0,
+            150.0,
+        );
+        // Solo, the victim would get 100 (link-limited).
+        let solo = max_min_rates_with_chips(&[victim], 100.0, 150.0);
+        assert_eq!(solo[0], 100.0);
+        assert!(
+            rates[0] < solo[0],
+            "forwarding must slow the victim: {} vs {}",
+            rates[0],
+            solo[0]
+        );
+    }
+
+    #[test]
+    fn completion_simulation_speeds_up_survivors() {
+        let t = rack();
+        let shared = t.route(Coord3::new(0, 0, 0), Coord3::new(1, 0, 0));
+        // Two flows share a link; the small one finishes, the big one then
+        // doubles its rate.
+        let f = vec![
+            Flow { path: shared.clone(), bytes: 1e9 },
+            Flow { path: shared, bytes: 3e9 },
+        ];
+        let cap = 80.0; // 10 GB/s
+        let r = simulate_flows(&f, cap);
+        // Phase 1: both at 5 GB/s until the 1 GB flow ends at 0.2 s (the
+        // big flow has 2 GB left). Phase 2: big flow alone at 10 GB/s for
+        // the remaining 2 GB → +0.2 s.
+        assert!((r.completion[0].as_secs_f64() - 0.2).abs() < 1e-9);
+        assert!((r.completion[1].as_secs_f64() - 0.4).abs() < 1e-9);
+        assert_eq!(r.makespan, r.completion[1]);
+    }
+
+    #[test]
+    fn slowdown_factor_matches_share_count() {
+        let t = rack();
+        let shared = t.route(Coord3::new(0, 0, 0), Coord3::new(1, 0, 0));
+        let solo = simulate_flows(
+            &[Flow { path: shared.clone(), bytes: 1e9 }],
+            100.0,
+        );
+        let contended = simulate_flows(
+            &[
+                Flow { path: shared.clone(), bytes: 1e9 },
+                Flow { path: shared, bytes: 1e9 },
+            ],
+            100.0,
+        );
+        let slowdown =
+            contended.completion[0].as_secs_f64() / solo.completion[0].as_secs_f64();
+        // Two equal flows on one link: each takes ~1.5× the solo time
+        // under fair sharing with recomputation (both finish together at
+        // 2× — no early finisher to free capacity).
+        assert!((slowdown - 2.0).abs() < 1e-9, "slowdown {slowdown}");
+        let _ = Dim::X;
+    }
+}

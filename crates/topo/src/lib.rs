@@ -1,0 +1,48 @@
+//! # topo — the TPUv4-style direct-connect cluster substrate
+//!
+//! The electrical baseline the paper argues against (§4): 4×4×4 torus racks
+//! of TPU chips, composed into larger tori by optical circuit switches on
+//! the rack faces, carved into axis-aligned tenant [`Slice`]s.
+//!
+//! The crate provides:
+//!
+//! * [`Coord3`]/[`Shape3`]/[`Torus`] — torus geometry, directed links,
+//!   full-dimension ring cycles, dimension-ordered routes.
+//! * [`Slice`] — tenant allocations and the paper's electrical usability
+//!   rule: a congestion-free ring in dimension `d` needs the slice to span
+//!   the rack's full extent in `d`, which is what strands up to 2/3 of chip
+//!   bandwidth for sub-rack slices (Fig 5c).
+//! * [`Occupancy`] — ownership, first-fit placement, failure flags.
+//! * [`LoadMap`] — the paper's congestion predicate (>1 simultaneous
+//!   transfer on a directed link), used by every Fig 5/6 analysis.
+//! * [`flows`] — max-min fair flow rates and completion simulation, turning
+//!   the yes/no congestion predicate into measured slowdowns.
+//! * [`Cluster`] — multi-rack composition along Z with server grouping
+//!   (4 chips per server, 16 servers per rack).
+//! * [`Ocs`] — the rack-face optical circuit switches whose reprogramming
+//!   composes cubes into larger tori (Fig 5a) — the mechanism behind the
+//!   rack-granularity migration baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod congestion;
+pub mod coords;
+pub mod flows;
+pub mod occupancy;
+pub mod ocs;
+pub mod slice;
+pub mod torus;
+
+pub use cluster::{Cluster, ServerId, CHIPS_PER_SERVER};
+pub use congestion::LoadMap;
+pub use coords::{Coord3, Dim, Shape3};
+pub use flows::{
+    max_min_rates, max_min_rates_with_chips, simulate_flows, simulate_flows_with_chips, Flow,
+    FlowSimReport,
+};
+pub use occupancy::{Occupancy, PlaceError};
+pub use ocs::{Ocs, OcsPort};
+pub use slice::{Slice, SliceId};
+pub use torus::{DirLink, Torus};

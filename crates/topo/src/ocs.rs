@@ -1,0 +1,223 @@
+//! Optical circuit switches on the rack faces (paper §4, Fig 5a).
+//!
+//! "TPUs on every face of the cube are connected to OCSes which can be
+//! reconfigured to build larger 3D tori with multiple cubes." An OCS is a
+//! port-to-port crossbar: each chip on a cube face owns one port; the
+//! switch's mapping decides whether a face wraps onto the opposite face of
+//! the *same* cube (standalone 4×4×4 torus) or onto the facing side of
+//! *another* cube (composing a 4×4×8, 4×4×16, … torus). Reconfiguring the
+//! mapping is how TPUv4 migrates jobs between rack sets — the expensive
+//! rack-granularity response whose blast radius §4.2 attacks.
+
+use crate::coords::{Coord3, Dim, Shape3};
+use std::collections::BTreeMap;
+
+/// One port of an OCS: a chip position on some cube's face.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OcsPort {
+    /// Cube (rack) index.
+    pub cube: usize,
+    /// Which face of the cube (the dimension whose boundary it sits on).
+    pub dim: Dim,
+    /// `true` for the high face (coordinate = extent−1), `false` for the
+    /// low face (coordinate = 0).
+    pub high: bool,
+    /// Position within the face (the two perpendicular coordinates,
+    /// flattened row-major).
+    pub index: usize,
+}
+
+/// A circulator-style OCS for one dimension of a row of cubes: maps every
+/// high-face port to some cube's low-face port (same position), closing the
+/// wraparound links.
+#[derive(Debug, Clone)]
+pub struct Ocs {
+    dim: Dim,
+    cubes: usize,
+    face_ports: usize,
+    /// For each cube, which cube its high face feeds (same-face-position
+    /// wiring, as in TPUv4's per-dimension OCS banks).
+    high_to_low: BTreeMap<usize, usize>,
+    reconfigs: u64,
+}
+
+impl Ocs {
+    /// An OCS bank for dimension `d` over `cubes` cubes of shape
+    /// `cube_shape`, initially configured as standalone tori (each cube's
+    /// high face wraps to its own low face).
+    pub fn new(d: Dim, cubes: usize, cube_shape: Shape3) -> Self {
+        assert!(cubes >= 1);
+        let perp: Vec<Dim> = Dim::ALL.into_iter().filter(|&x| x != d).collect();
+        let face_ports = cube_shape.extent(perp[0]) * cube_shape.extent(perp[1]);
+        Ocs {
+            dim: d,
+            cubes,
+            face_ports,
+            high_to_low: (0..cubes).map(|c| (c, c)).collect(),
+            reconfigs: 0,
+        }
+    }
+
+    /// Dimension served.
+    pub fn dim(&self) -> Dim {
+        self.dim
+    }
+
+    /// Ports per face.
+    pub fn face_ports(&self) -> usize {
+        self.face_ports
+    }
+
+    /// Which cube's low face the given cube's high face currently feeds.
+    pub fn destination(&self, cube: usize) -> usize {
+        self.high_to_low[&cube]
+    }
+
+    /// Reconfigurations performed.
+    pub fn reconfigs(&self) -> u64 {
+        self.reconfigs
+    }
+
+    /// Program the bank to chain `group` into one big torus along the
+    /// dimension: `cube[i]` high → `cube[i+1]` low, last wrapping to first.
+    /// Cubes outside the group are left untouched.
+    ///
+    /// Panics if the group has duplicates or out-of-range cubes.
+    pub fn compose(&mut self, group: &[usize]) {
+        assert!(!group.is_empty());
+        let mut sorted = group.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), group.len(), "group has duplicate cubes");
+        assert!(
+            group.iter().all(|&c| c < self.cubes),
+            "cube index out of range"
+        );
+        for (i, &c) in group.iter().enumerate() {
+            let next = group[(i + 1) % group.len()];
+            self.high_to_low.insert(c, next);
+        }
+        self.reconfigs += 1;
+    }
+
+    /// Split every cube in `group` back into a standalone torus.
+    pub fn isolate(&mut self, group: &[usize]) {
+        for &c in group {
+            assert!(c < self.cubes, "cube index out of range");
+            self.high_to_low.insert(c, c);
+        }
+        self.reconfigs += 1;
+    }
+
+    /// The composed torus groups implied by the current mapping: each
+    /// cycle of the high→low permutation.
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        let mut seen = vec![false; self.cubes];
+        let mut out = Vec::new();
+        for start in 0..self.cubes {
+            if seen[start] {
+                continue;
+            }
+            let mut cycle = vec![start];
+            seen[start] = true;
+            let mut cur = self.destination(start);
+            while cur != start {
+                seen[cur] = true;
+                cycle.push(cur);
+                cur = self.destination(cur);
+            }
+            out.push(cycle);
+        }
+        out
+    }
+
+    /// Where the wraparound link from a chip on the high face of `cube`
+    /// lands: the same face position on the destination cube's low face.
+    pub fn wrap_destination(&self, cube: usize, face_pos: usize, cube_shape: Shape3) -> (usize, Coord3) {
+        assert!(face_pos < self.face_ports, "face position out of range");
+        let perp: Vec<Dim> = Dim::ALL.into_iter().filter(|&x| x != self.dim).collect();
+        let w = cube_shape.extent(perp[0]);
+        let a = face_pos % w;
+        let b = face_pos / w;
+        let dest = self.destination(cube);
+        let mut c = Coord3::new(0, 0, 0).with(self.dim, 0);
+        c = c.with(perp[0], a).with(perp[1], b);
+        (dest, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CUBE: Shape3 = Shape3::rack_4x4x4();
+
+    #[test]
+    fn fresh_bank_isolates_every_cube() {
+        let ocs = Ocs::new(Dim::Z, 4, CUBE);
+        assert_eq!(ocs.face_ports(), 16);
+        assert_eq!(ocs.groups().len(), 4);
+        for c in 0..4 {
+            assert_eq!(ocs.destination(c), c);
+        }
+    }
+
+    #[test]
+    fn composing_builds_one_cycle() {
+        let mut ocs = Ocs::new(Dim::Z, 4, CUBE);
+        ocs.compose(&[0, 2, 3]);
+        let groups = ocs.groups();
+        // One 3-cycle plus the untouched cube 1.
+        assert_eq!(groups.len(), 2);
+        let big = groups.iter().find(|g| g.len() == 3).unwrap();
+        assert_eq!(big, &vec![0, 2, 3]);
+        assert_eq!(ocs.destination(0), 2);
+        assert_eq!(ocs.destination(3), 0);
+        assert_eq!(ocs.destination(1), 1);
+        assert_eq!(ocs.reconfigs(), 1);
+    }
+
+    #[test]
+    fn isolate_reverses_compose() {
+        let mut ocs = Ocs::new(Dim::Z, 3, CUBE);
+        ocs.compose(&[0, 1, 2]);
+        assert_eq!(ocs.groups().len(), 1);
+        ocs.isolate(&[0, 1, 2]);
+        assert_eq!(ocs.groups().len(), 3);
+        assert_eq!(ocs.reconfigs(), 2);
+    }
+
+    #[test]
+    fn wrap_destination_preserves_face_position() {
+        let mut ocs = Ocs::new(Dim::Z, 2, CUBE);
+        ocs.compose(&[0, 1]);
+        // Chip at face position (x=3, y=2) → flattened 2·4 + 3 = 11.
+        let (dest, landing) = ocs.wrap_destination(0, 11, CUBE);
+        assert_eq!(dest, 1);
+        assert_eq!(landing.get(Dim::X), 3);
+        assert_eq!(landing.get(Dim::Y), 2);
+        assert_eq!(landing.get(Dim::Z), 0, "lands on the low face");
+        // The far cube's high face wraps back to cube 0.
+        let (back, _) = ocs.wrap_destination(1, 11, CUBE);
+        assert_eq!(back, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_group_rejected() {
+        let mut ocs = Ocs::new(Dim::Z, 3, CUBE);
+        ocs.compose(&[0, 0]);
+    }
+
+    #[test]
+    fn composition_matches_cluster_model() {
+        // Two cubes composed along Z behave like the Cluster's 4×4×8 torus:
+        // the wraparound from (x,y,7) lands at (x,y,0), i.e. cube 1's high
+        // face feeds cube 0's low face.
+        let mut ocs = Ocs::new(Dim::Z, 2, CUBE);
+        ocs.compose(&[0, 1]);
+        let (dest, landing) = ocs.wrap_destination(1, 0, CUBE);
+        assert_eq!(dest, 0);
+        assert_eq!(landing, Coord3::new(0, 0, 0));
+    }
+}

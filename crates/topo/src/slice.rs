@@ -1,0 +1,255 @@
+//! Tenant slices: axis-aligned sub-boxes of a torus allocated to one job.
+//!
+//! "A slice consists of a subset of TPU chips allocated to a single cloud
+//! tenant. Typically, slices can only be allocated in regular shapes,
+//! forming tori of specific dimensions" (§4.1). The key property this module
+//! encodes is the paper's congestion rule for electrical racks: a slice can
+//! run a **congestion-free ring in dimension d only when it spans the
+//! rack's full extent in d** — a partial-extent ring must ride the full
+//! physical cycle of the dimension, crossing chips and links owned by other
+//! tenants (Fig 5b). This is why Slice-1/2 (4×2×1) can use only their X
+//! dimension and reach just 1/3 of chip bandwidth electrically (Fig 5c),
+//! while photonic redirection recovers all of it.
+
+use crate::coords::{Coord3, Dim, Shape3};
+use std::fmt;
+
+/// Identifier of a tenant slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SliceId(pub u32);
+
+impl fmt::Display for SliceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slice-{}", self.0)
+    }
+}
+
+/// An axis-aligned slice within a torus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slice {
+    /// Identifier.
+    pub id: SliceId,
+    /// Minimum corner (inclusive).
+    pub origin: Coord3,
+    /// Extents along each dimension.
+    pub extent: Shape3,
+}
+
+impl Slice {
+    /// Shorthand constructor.
+    pub fn new(id: u32, origin: Coord3, extent: Shape3) -> Self {
+        Slice {
+            id: SliceId(id),
+            origin,
+            extent: extent.validated(),
+        }
+    }
+
+    /// Number of chips.
+    pub fn chips(&self) -> usize {
+        self.extent.volume()
+    }
+
+    /// Absolute coordinates of every chip in the slice.
+    pub fn coords(&self) -> impl Iterator<Item = Coord3> + '_ {
+        self.extent.coords().map(move |off| {
+            Coord3::new(
+                self.origin.p[0] + off.p[0],
+                self.origin.p[1] + off.p[1],
+                self.origin.p[2] + off.p[2],
+            )
+        })
+    }
+
+    /// True when `c` lies inside the slice.
+    pub fn contains(&self, c: Coord3) -> bool {
+        Dim::ALL.into_iter().all(|d| {
+            let o = self.origin.get(d);
+            let e = self.extent.extent(d);
+            (o..o + e).contains(&c.get(d))
+        })
+    }
+
+    /// True when the slice fits inside a torus of shape `within`.
+    pub fn fits(&self, within: Shape3) -> bool {
+        Dim::ALL
+            .into_iter()
+            .all(|d| self.origin.get(d) + self.extent.extent(d) <= within.extent(d))
+    }
+
+    /// True when the slice spans the full extent of dimension `d` in the
+    /// enclosing torus.
+    pub fn spans_full(&self, d: Dim, within: Shape3) -> bool {
+        self.origin.get(d) == 0 && self.extent.extent(d) == within.extent(d)
+    }
+
+    /// Dimensions in which the slice has more than one chip — the
+    /// dimensions its bucket algorithm wants rings in.
+    pub fn active_dims(&self) -> Vec<Dim> {
+        Dim::ALL
+            .into_iter()
+            .filter(|&d| self.extent.extent(d) > 1)
+            .collect()
+    }
+
+    /// Dimensions in which the slice can run a congestion-free ring on the
+    /// *electrical* torus: active dimensions it spans fully (see module
+    /// docs).
+    pub fn usable_dims_electrical(&self, within: Shape3) -> Vec<Dim> {
+        Dim::ALL
+            .into_iter()
+            .filter(|&d| self.extent.extent(d) > 1 && self.spans_full(d, within))
+            .collect()
+    }
+
+    /// Fraction of a chip's I/O bandwidth the slice can use congestion-free
+    /// on the electrical torus: usable dimensions over the torus's
+    /// dimensionality (Fig 5c, "electrical" series). A chip's bandwidth is
+    /// statically split B/3 per dimension; unusable dimensions are stranded.
+    pub fn utilization_electrical(&self, within: Shape3) -> f64 {
+        self.usable_dims_electrical(within).len() as f64 / 3.0
+    }
+
+    /// Same metric with photonic redirection (Fig 5c, "optical" series):
+    /// MZI switches steer every wavelength into whatever rings are active,
+    /// so any slice that communicates at all uses full chip bandwidth.
+    pub fn utilization_optical(&self) -> f64 {
+        if self.active_dims().is_empty() {
+            0.0 // single-chip slice: no communication at all
+        } else {
+            1.0
+        }
+    }
+
+    /// The per-line rings of the slice in dimension `d`: for every position
+    /// of the slice footprint perpendicular to `d`, the ordered chips of
+    /// that line (slice-local ring members).
+    pub fn ring_lines(&self, d: Dim) -> Vec<Vec<Coord3>> {
+        let mut lines = Vec::new();
+        // Fix the two perpendicular dimensions, sweep d.
+        let perp: Vec<Dim> = Dim::ALL.into_iter().filter(|&x| x != d).collect();
+        let (d1, d2) = (perp[0], perp[1]);
+        for i in 0..self.extent.extent(d1) {
+            for j in 0..self.extent.extent(d2) {
+                let line: Vec<Coord3> = (0..self.extent.extent(d))
+                    .map(|k| {
+                        self.origin
+                            .with(d, self.origin.get(d) + k)
+                            .with(d1, self.origin.get(d1) + i)
+                            .with(d2, self.origin.get(d2) + j)
+                    })
+                    .collect();
+                lines.push(line);
+            }
+        }
+        lines
+    }
+}
+
+impl fmt::Display for Slice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} at {})", self.id, self.extent, self.origin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RACK: Shape3 = Shape3::rack_4x4x4();
+
+    /// Fig 5b's Slice-1: 4×2×1 at the bottom of the rack.
+    fn slice1() -> Slice {
+        Slice::new(1, Coord3::new(0, 0, 0), Shape3::new(4, 2, 1))
+    }
+
+    /// Fig 5b's Slice-3: a full 4×4 layer.
+    fn slice3() -> Slice {
+        Slice::new(3, Coord3::new(0, 0, 1), Shape3::new(4, 4, 1))
+    }
+
+    /// Fig 5b's Slice-4: the top two layers.
+    fn slice4() -> Slice {
+        Slice::new(4, Coord3::new(0, 0, 2), Shape3::new(4, 4, 2))
+    }
+
+    #[test]
+    fn chips_and_coords() {
+        let s = slice1();
+        assert_eq!(s.chips(), 8);
+        let cs: Vec<Coord3> = s.coords().collect();
+        assert_eq!(cs.len(), 8);
+        assert!(cs.contains(&Coord3::new(3, 1, 0)));
+        assert!(s.contains(Coord3::new(2, 0, 0)));
+        assert!(!s.contains(Coord3::new(0, 2, 0)));
+        assert!(s.fits(RACK));
+    }
+
+    #[test]
+    fn slice1_uses_only_x_electrically() {
+        let s = slice1();
+        assert_eq!(s.active_dims(), vec![Dim::X, Dim::Y]);
+        assert_eq!(s.usable_dims_electrical(RACK), vec![Dim::X]);
+        assert!((s.utilization_electrical(RACK) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.utilization_optical(), 1.0);
+    }
+
+    #[test]
+    fn slice3_uses_x_and_y() {
+        let s = slice3();
+        assert_eq!(s.usable_dims_electrical(RACK), vec![Dim::X, Dim::Y]);
+        assert!((s.utilization_electrical(RACK) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slice4_cannot_use_partial_z() {
+        let s = slice4();
+        assert_eq!(s.active_dims(), vec![Dim::X, Dim::Y, Dim::Z]);
+        // Z extent 2 < 4: the Z ring would ride the shared full cycle.
+        assert_eq!(s.usable_dims_electrical(RACK), vec![Dim::X, Dim::Y]);
+        assert!((s.utilization_electrical(RACK) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_rack_slice_uses_everything() {
+        let s = Slice::new(9, Coord3::new(0, 0, 0), RACK);
+        assert_eq!(s.usable_dims_electrical(RACK).len(), 3);
+        assert_eq!(s.utilization_electrical(RACK), 1.0);
+    }
+
+    #[test]
+    fn single_chip_slice_has_no_communication() {
+        let s = Slice::new(7, Coord3::new(1, 1, 1), Shape3::new(1, 1, 1));
+        assert!(s.active_dims().is_empty());
+        assert_eq!(s.utilization_optical(), 0.0);
+    }
+
+    #[test]
+    fn ring_lines_cover_the_slice() {
+        let s = slice3();
+        let lines = s.ring_lines(Dim::X);
+        assert_eq!(lines.len(), 4); // 4 Y positions × 1 Z
+        for line in &lines {
+            assert_eq!(line.len(), 4);
+            // All chips of a line share Y and Z.
+            let y = line[0].get(Dim::Y);
+            assert!(line.iter().all(|c| c.get(Dim::Y) == y));
+        }
+        let all: usize = lines.iter().map(|l| l.len()).sum();
+        assert_eq!(all, s.chips());
+    }
+
+    #[test]
+    fn ring_lines_in_y_for_thin_slice() {
+        let s = slice1();
+        let lines = s.ring_lines(Dim::Y);
+        assert_eq!(lines.len(), 4); // 4 X positions
+        assert!(lines.iter().all(|l| l.len() == 2));
+    }
+
+    #[test]
+    fn does_not_fit_when_overhanging() {
+        let s = Slice::new(5, Coord3::new(2, 0, 0), Shape3::new(4, 1, 1));
+        assert!(!s.fits(RACK));
+    }
+}

@@ -1,0 +1,210 @@
+//! Property-based tests of the torus substrate.
+
+use proptest::prelude::*;
+use topo::{Coord3, Dim, LoadMap, Occupancy, Shape3, Slice, Torus};
+
+fn shape() -> impl Strategy<Value = Shape3> {
+    (1usize..=6, 1usize..=6, 1usize..=6).prop_map(|(x, y, z)| Shape3::new(x, y, z))
+}
+
+proptest! {
+    /// Dimension-ordered routes always terminate at the destination and
+    /// never exceed the per-dimension half-extent bound.
+    #[test]
+    fn routes_reach_and_are_short(s in shape(), seed in any::<u64>()) {
+        let torus = Torus::new(s);
+        let mut rng = desim::SimRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let a = Coord3::new(
+                rng.gen_range_usize(s.extent(Dim::X)),
+                rng.gen_range_usize(s.extent(Dim::Y)),
+                rng.gen_range_usize(s.extent(Dim::Z)),
+            );
+            let b = Coord3::new(
+                rng.gen_range_usize(s.extent(Dim::X)),
+                rng.gen_range_usize(s.extent(Dim::Y)),
+                rng.gen_range_usize(s.extent(Dim::Z)),
+            );
+            let route = torus.route(a, b);
+            // Follow the links.
+            let mut cur = a;
+            for l in &route {
+                prop_assert_eq!(l.from, cur);
+                cur = torus.dest(*l);
+            }
+            prop_assert_eq!(cur, b);
+            // Shortest-way bound: Σ min(d, extent − d) hops.
+            let bound: usize = Dim::ALL
+                .into_iter()
+                .map(|d| {
+                    let e = s.extent(d);
+                    let fwd = (b.get(d) + e - a.get(d)) % e;
+                    fwd.min(e - fwd)
+                })
+                .sum();
+            prop_assert_eq!(route.len(), bound);
+        }
+    }
+
+    /// Every full-dimension ring is a cycle covering the extent exactly once.
+    #[test]
+    fn ring_links_form_cycles(s in shape(), d_idx in 0usize..3) {
+        let d = Dim::ALL[d_idx];
+        let torus = Torus::new(s);
+        let through = Coord3::new(0, 0, 0);
+        let links = torus.ring_links(through, d);
+        prop_assert_eq!(links.len(), s.extent(d));
+        let mut cur = through;
+        for _ in 0..s.extent(d) {
+            let l = links.iter().find(|l| l.from == cur).expect("link from cur");
+            cur = torus.dest(*l);
+        }
+        prop_assert_eq!(cur, through, "returns to start");
+    }
+
+    /// A slice's ring lines partition its chips for every dimension.
+    #[test]
+    fn ring_lines_partition(s in shape(), origin_seed in any::<u64>()) {
+        let rack = Shape3::new(8, 8, 8);
+        let mut rng = desim::SimRng::seed_from_u64(origin_seed);
+        let origin = Coord3::new(
+            rng.gen_range_usize(8 - s.extent(Dim::X) + 1),
+            rng.gen_range_usize(8 - s.extent(Dim::Y) + 1),
+            rng.gen_range_usize(8 - s.extent(Dim::Z) + 1),
+        );
+        let slice = Slice::new(1, origin, s);
+        prop_assert!(slice.fits(rack));
+        for d in Dim::ALL {
+            let mut all: Vec<Coord3> = slice.ring_lines(d).into_iter().flatten().collect();
+            prop_assert_eq!(all.len(), slice.chips());
+            all.sort();
+            all.dedup();
+            prop_assert_eq!(all.len(), slice.chips(), "no chip appears twice");
+            for c in &all {
+                prop_assert!(slice.contains(*c));
+            }
+        }
+    }
+
+    /// Placement and removal round-trip for any placeable slice.
+    #[test]
+    fn place_remove_roundtrip(s in shape()) {
+        prop_assume!(s.extent(Dim::X) <= 4 && s.extent(Dim::Y) <= 4 && s.extent(Dim::Z) <= 4);
+        let mut occ = Occupancy::new(Shape3::rack_4x4x4());
+        let slice = Slice::new(1, Coord3::new(0, 0, 0), s);
+        occ.place(slice).unwrap();
+        prop_assert_eq!(occ.free_chips().len(), 64 - s.volume());
+        for c in slice.coords() {
+            prop_assert_eq!(occ.owner(c), Some(slice.id));
+        }
+        occ.remove(slice.id).unwrap();
+        prop_assert_eq!(occ.free_chips().len(), 64);
+    }
+
+    /// Electrical utilization is always a third-multiple in {0, 1/3, 2/3, 1}
+    /// and never exceeds the optical utilization.
+    #[test]
+    fn utilization_bounds(s in shape()) {
+        prop_assume!(s.extent(Dim::X) <= 4 && s.extent(Dim::Y) <= 4 && s.extent(Dim::Z) <= 4);
+        let rack = Shape3::rack_4x4x4();
+        let slice = Slice::new(1, Coord3::new(0, 0, 0), s);
+        let e = slice.utilization_electrical(rack);
+        let o = slice.utilization_optical();
+        let thirds = (e * 3.0).round() / 3.0;
+        prop_assert!((e - thirds).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&e));
+        if !slice.active_dims().is_empty() {
+            prop_assert!(e <= o + 1e-12, "optics never loses");
+        }
+    }
+
+    /// Max-min rates never violate any link capacity, and every flow gets
+    /// a strictly positive rate.
+    #[test]
+    fn max_min_rates_are_feasible(seed in any::<u64>(), n_flows in 1usize..12) {
+        use topo::{max_min_rates, Flow};
+        let torus = Torus::new(Shape3::rack_4x4x4());
+        let mut rng = desim::SimRng::seed_from_u64(seed);
+        let mut flows = Vec::new();
+        for _ in 0..n_flows {
+            let a = Coord3::new(
+                rng.gen_range_usize(4), rng.gen_range_usize(4), rng.gen_range_usize(4));
+            let b = Coord3::new(
+                rng.gen_range_usize(4), rng.gen_range_usize(4), rng.gen_range_usize(4));
+            if a == b { continue; }
+            flows.push(Flow { path: torus.route(a, b), bytes: 1e6 });
+        }
+        prop_assume!(!flows.is_empty());
+        let cap = 100.0;
+        let rates = max_min_rates(&flows, cap);
+        // Positivity.
+        for (i, r) in rates.iter().enumerate() {
+            prop_assert!(*r > 0.0, "flow {i} starved");
+            prop_assert!(*r <= cap + 1e-9);
+        }
+        // Per-link feasibility.
+        let mut per_link: std::collections::HashMap<topo::DirLink, f64> =
+            std::collections::HashMap::new();
+        for (f, r) in flows.iter().zip(&rates) {
+            for &l in &f.path {
+                *per_link.entry(l).or_insert(0.0) += r;
+            }
+        }
+        for (l, total) in per_link {
+            prop_assert!(total <= cap + 1e-6, "link {l} oversubscribed: {total}");
+        }
+    }
+
+    /// Completion simulation conserves flows and is monotone in volume.
+    #[test]
+    fn flow_sim_completions_are_sane(seed in any::<u64>()) {
+        use topo::{simulate_flows, Flow};
+        let torus = Torus::new(Shape3::rack_4x4x4());
+        let mut rng = desim::SimRng::seed_from_u64(seed);
+        let mut flows = Vec::new();
+        for _ in 0..5 {
+            let a = Coord3::new(
+                rng.gen_range_usize(4), rng.gen_range_usize(4), rng.gen_range_usize(4));
+            let b = Coord3::new(
+                rng.gen_range_usize(4), rng.gen_range_usize(4), rng.gen_range_usize(4));
+            if a == b { continue; }
+            flows.push(Flow {
+                path: torus.route(a, b),
+                bytes: 1e6 + rng.next_f64() * 1e8,
+            });
+        }
+        prop_assume!(!flows.is_empty());
+        let r = simulate_flows(&flows, 100.0);
+        prop_assert_eq!(r.completion.len(), flows.len());
+        for c in &r.completion {
+            prop_assert!(*c > desim::SimDuration::ZERO);
+            prop_assert!(*c <= r.makespan);
+        }
+    }
+
+    /// Load maps: merging two maps gives the sum of loads, and the
+    /// congestion predicate is exactly max_load <= 1.
+    #[test]
+    fn loadmap_merge_adds(seed in any::<u64>()) {
+        let torus = Torus::new(Shape3::rack_4x4x4());
+        let mut rng = desim::SimRng::seed_from_u64(seed);
+        let mk = |rng: &mut desim::SimRng| {
+            let mut m = LoadMap::new();
+            for _ in 0..rng.gen_range_usize(5) {
+                let c = Coord3::new(
+                    rng.gen_range_usize(4),
+                    rng.gen_range_usize(4),
+                    rng.gen_range_usize(4),
+                );
+                m.add_ring(&torus, c, Dim::ALL[rng.gen_range_usize(3)]);
+            }
+            m
+        };
+        let a = mk(&mut rng);
+        let b = mk(&mut rng);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        prop_assert!(merged.max_load() >= a.max_load().max(b.max_load()));
+        prop_assert_eq!(merged.is_congestion_free(), merged.max_load() <= 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Multi-tenant job arrivals and slice-shape demand.
+//!
+//! §4.1 observes that "TPU slices allocated to customers or tenants do not
+//! always span multiple racks. Most inference workloads need smaller
+//! slices" — so racks fill with sub-rack slices, exactly the regime where
+//! electrical bandwidth strands. This generator produces deterministic
+//! Poisson arrivals over the standard TPUv4 slice shapes for the Fig 5c
+//! and placement experiments.
+
+use desim::{SimDuration, SimRng, SimTime};
+use topo::Shape3;
+
+/// The regular slice shapes tenants may request (axis-aligned tori, §4.1).
+pub const STANDARD_SHAPES: [Shape3; 6] = [
+    Shape3::new(4, 2, 1),
+    Shape3::new(2, 2, 1),
+    Shape3::new(4, 4, 1),
+    Shape3::new(4, 4, 2),
+    Shape3::new(2, 2, 2),
+    Shape3::new(4, 4, 4),
+];
+
+/// One tenant job request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobRequest {
+    /// Arrival instant.
+    pub arrival: SimTime,
+    /// Requested slice shape.
+    pub shape: Shape3,
+    /// How long the job holds the slice.
+    pub duration: SimDuration,
+}
+
+/// Parameters of the arrival process.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrivalParams {
+    /// Mean inter-arrival time.
+    pub mean_interarrival: SimDuration,
+    /// Mean job duration (exponentially distributed).
+    pub mean_duration: SimDuration,
+    /// Weight toward smaller shapes: probability mass is proportional to
+    /// `1/volume^skew`. 0 = uniform over shapes; 1 ≈ mostly small slices
+    /// (the inference-heavy mix the paper describes).
+    pub small_job_skew: f64,
+}
+
+impl Default for ArrivalParams {
+    fn default() -> Self {
+        ArrivalParams {
+            mean_interarrival: SimDuration::from_secs(60),
+            mean_duration: SimDuration::from_secs(3_600),
+            small_job_skew: 1.0,
+        }
+    }
+}
+
+/// Generate `n` job requests, deterministic in `seed`.
+pub fn generate(n: usize, params: &ArrivalParams, seed: u64) -> Vec<JobRequest> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let weights: Vec<f64> = STANDARD_SHAPES
+        .iter()
+        .map(|s| 1.0 / (s.volume() as f64).powf(params.small_job_skew))
+        .collect();
+    let total_w: f64 = weights.iter().sum();
+
+    let mut t = SimTime::ZERO;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let gap = rng.exponential(1.0 / params.mean_interarrival.as_secs_f64());
+        t += SimDuration::from_secs_f64(gap);
+        let mut x = rng.next_f64() * total_w;
+        let mut shape = STANDARD_SHAPES[0];
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                shape = STANDARD_SHAPES[i];
+                break;
+            }
+            x -= w;
+            shape = STANDARD_SHAPES[i];
+        }
+        let duration =
+            SimDuration::from_secs_f64(rng.exponential(1.0 / params.mean_duration.as_secs_f64()));
+        out.push(JobRequest {
+            arrival: t,
+            shape,
+            duration,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topo::Dim;
+
+    #[test]
+    fn arrivals_are_ordered_and_deterministic() {
+        let p = ArrivalParams::default();
+        let a = generate(200, &p, 5);
+        let b = generate(200, &p, 5);
+        assert_eq!(a, b);
+        for w in a.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+    }
+
+    #[test]
+    fn interarrival_mean_is_respected() {
+        let p = ArrivalParams::default();
+        let jobs = generate(5_000, &p, 11);
+        let span = jobs.last().unwrap().arrival.as_secs_f64();
+        let mean_gap = span / 5_000.0;
+        assert!(
+            (mean_gap - 60.0).abs() < 5.0,
+            "mean inter-arrival ≈ 60 s, got {mean_gap}"
+        );
+    }
+
+    #[test]
+    fn skew_prefers_small_slices() {
+        let small_heavy = generate(
+            5_000,
+            &ArrivalParams {
+                small_job_skew: 1.5,
+                ..ArrivalParams::default()
+            },
+            7,
+        );
+        let uniform = generate(
+            5_000,
+            &ArrivalParams {
+                small_job_skew: 0.0,
+                ..ArrivalParams::default()
+            },
+            7,
+        );
+        let mean_vol = |jobs: &[JobRequest]| {
+            jobs.iter().map(|j| j.shape.volume() as f64).sum::<f64>() / jobs.len() as f64
+        };
+        assert!(mean_vol(&small_heavy) < mean_vol(&uniform) / 2.0);
+    }
+
+    #[test]
+    fn all_shapes_are_valid_sub_rack_tori() {
+        for s in STANDARD_SHAPES {
+            for d in Dim::ALL {
+                assert!(s.extent(d) >= 1 && s.extent(d) <= 4);
+            }
+            assert!(s.volume() <= 64);
+        }
+    }
+}

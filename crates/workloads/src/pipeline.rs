@@ -1,0 +1,173 @@
+//! Pipeline-parallel training traffic.
+//!
+//! Besides data-parallel AllReduce (§2's headline collective), large models
+//! are split into pipeline stages whose activations and gradients flow
+//! point-to-point between consecutive stages. This traffic is where
+//! photonic circuits shine brightest: each stage pair needs exactly one
+//! persistent circuit, established once (`r`) and then ridden for every
+//! microbatch — while electrically the stage chain shares the torus with
+//! everything else.
+
+use collectives::CostParams;
+use desim::SimDuration;
+use topo::{max_min_rates_with_chips, Coord3, Flow, Torus};
+
+/// A pipeline-parallel job: `stages` chips in a chain, each microbatch
+/// moving `activation_bytes` forward (and the same backward).
+#[derive(Debug, Clone)]
+pub struct PipelineJob {
+    /// Stage chips in pipeline order.
+    pub stages: Vec<Coord3>,
+    /// Activation payload per microbatch per stage boundary.
+    pub activation_bytes: u64,
+    /// Microbatches per training step.
+    pub microbatches: u32,
+}
+
+/// Timing of one training step's pipeline traffic.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineTiming {
+    /// Time for all microbatches to traverse all stage boundaries
+    /// (communication only; 1F1B-style full overlap across boundaries).
+    pub comm_total: SimDuration,
+    /// One-time circuit setup (optical only).
+    pub setup: SimDuration,
+    /// Per-boundary bandwidth achieved.
+    pub boundary_gbps: f64,
+}
+
+impl PipelineJob {
+    /// Stage-boundary count.
+    pub fn boundaries(&self) -> usize {
+        self.stages.len().saturating_sub(1)
+    }
+
+    /// Optical timing: one dedicated circuit per boundary (both directions
+    /// presumed symmetric), established once, full `lanes × 224 Gb/s` each.
+    pub fn timing_optical(&self, lanes: usize, params: &CostParams) -> PipelineTiming {
+        assert!(self.boundaries() >= 1, "a pipeline needs two stages");
+        let gbps = lanes as f64 * 224.0;
+        // All boundaries run concurrently on dedicated circuits; the step's
+        // communication time is the per-boundary serial microbatch stream.
+        let per_mb = self.activation_bytes as f64 * 8.0 / (gbps * 1e9);
+        let comm = per_mb * self.microbatches as f64;
+        PipelineTiming {
+            comm_total: params.alpha * self.microbatches as u64
+                + SimDuration::from_secs_f64(comm),
+            setup: params.reconfig,
+            boundary_gbps: gbps,
+        }
+    }
+
+    /// Electrical timing: boundary transfers ride torus routes with
+    /// per-link `B/3` and a full-`B` chip egress budget, sharing links
+    /// max-min fairly. All boundaries stream simultaneously.
+    pub fn timing_electrical(&self, torus: &Torus, params: &CostParams) -> PipelineTiming {
+        assert!(self.boundaries() >= 1, "a pipeline needs two stages");
+        let flows: Vec<Flow> = self
+            .stages
+            .windows(2)
+            .map(|w| Flow {
+                path: torus.route(w[0], w[1]),
+                bytes: self.activation_bytes as f64 * self.microbatches as f64,
+            })
+            .collect();
+        let link_gbps = params.chip_bandwidth.0 / 3.0;
+        let chip_gbps = params.chip_bandwidth.0;
+        let rates = max_min_rates_with_chips(&flows, link_gbps, chip_gbps);
+        let slowest = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        let bytes = self.activation_bytes as f64 * self.microbatches as f64;
+        let comm = bytes * 8.0 / (slowest * 1e9);
+        PipelineTiming {
+            comm_total: params.alpha * self.microbatches as u64
+                + SimDuration::from_secs_f64(comm),
+            setup: SimDuration::ZERO,
+            boundary_gbps: slowest,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topo::Shape3;
+
+    fn chain() -> PipelineJob {
+        // An 8-stage pipeline snaking through a 4×2 footprint.
+        PipelineJob {
+            stages: vec![
+                Coord3::new(0, 0, 0),
+                Coord3::new(1, 0, 0),
+                Coord3::new(2, 0, 0),
+                Coord3::new(3, 0, 0),
+                Coord3::new(3, 1, 0),
+                Coord3::new(2, 1, 0),
+                Coord3::new(1, 1, 0),
+                Coord3::new(0, 1, 0),
+            ],
+            activation_bytes: 100_000_000,
+            microbatches: 8,
+        }
+    }
+
+    #[test]
+    fn optical_pipeline_beats_electrical() {
+        let params = CostParams::default();
+        let torus = Torus::new(Shape3::rack_4x4x4());
+        let job = chain();
+        let o = job.timing_optical(16, &params);
+        let e = job.timing_electrical(&torus, &params);
+        assert!(o.comm_total < e.comm_total);
+        // The electrical chain is link-limited to B/3 per boundary at best.
+        assert!(e.boundary_gbps <= params.chip_bandwidth.0 / 3.0 + 1e-9);
+        assert!((o.boundary_gbps - 16.0 * 224.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn setup_is_one_reconfiguration_optically() {
+        let params = CostParams::default();
+        let o = chain().timing_optical(4, &params);
+        assert!((o.setup.as_micros_f64() - 3.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjacent_stage_chain_is_congestion_free_electrically() {
+        // The snake chain uses distinct links: each boundary gets the full
+        // per-link rate.
+        let params = CostParams::default();
+        let torus = Torus::new(Shape3::rack_4x4x4());
+        let e = chain().timing_electrical(&torus, &params);
+        assert!((e.boundary_gbps - params.chip_bandwidth.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scattered_stages_congest_electrically() {
+        // Non-adjacent stages route multi-hop and share links/chip egress.
+        let params = CostParams::default();
+        let torus = Torus::new(Shape3::rack_4x4x4());
+        let job = PipelineJob {
+            stages: vec![
+                Coord3::new(0, 0, 0),
+                Coord3::new(2, 0, 0), // 2 hops through (1,0,0)
+                Coord3::new(0, 0, 0).with(topo::Dim::X, 0).with(topo::Dim::Y, 2), // multi-hop
+                Coord3::new(2, 2, 0),
+            ],
+            activation_bytes: 100_000_000,
+            microbatches: 4,
+        };
+        let e = job.timing_electrical(&torus, &params);
+        let adj = chain().timing_electrical(&torus, &params);
+        assert!(e.boundary_gbps <= adj.boundary_gbps + 1e-9);
+    }
+
+    #[test]
+    fn more_microbatches_scale_comm_linearly() {
+        let params = CostParams::default();
+        let mut job = chain();
+        let t1 = job.timing_optical(8, &params).comm_total;
+        job.microbatches = 16;
+        let t2 = job.timing_optical(8, &params).comm_total;
+        let ratio = t2.as_secs_f64() / t1.as_secs_f64();
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+}

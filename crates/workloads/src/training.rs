@@ -1,0 +1,140 @@
+//! Synthetic distributed-training jobs.
+//!
+//! A training iteration alternates compute with a gradient AllReduce over
+//! the job's slice; "accelerators remain idle during training for large
+//! fractions of the time waiting for inter-accelerator communication to
+//! complete" (§2) — this module makes that fraction measurable under each
+//! interconnect mode.
+
+use collectives::{
+    bucket_all_reduce, execute, ring_all_reduce, snake_order, CostParams, Mode, Schedule,
+};
+use desim::SimDuration;
+use topo::{Dim, Shape3, Slice, Torus};
+
+use crate::models::ModelSpec;
+
+/// How the job lays its AllReduce onto the slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveStrategy {
+    /// One ring over every chip (snake order) — what a sub-rack slice is
+    /// reduced to electrically (Table 1).
+    SingleRing,
+    /// The multi-dimensional bucket algorithm over the slice's usable
+    /// dimensions (Table 2).
+    Bucket,
+}
+
+/// A data-parallel training job on one slice.
+#[derive(Debug, Clone)]
+pub struct TrainingJob {
+    /// The model being trained.
+    pub model: ModelSpec,
+    /// The slice it runs on.
+    pub slice: Slice,
+    /// Compute time per iteration (forward + backward), excluding
+    /// communication.
+    pub compute: SimDuration,
+    /// Iterations to run.
+    pub iterations: u32,
+    /// Collective layout.
+    pub strategy: CollectiveStrategy,
+}
+
+/// Per-iteration and whole-job timing under one interconnect mode.
+#[derive(Debug, Clone, Copy)]
+pub struct JobTiming {
+    /// Communication time of one iteration's AllReduce.
+    pub comm_per_iter: SimDuration,
+    /// Total job time: iterations × (compute + comm).
+    pub total: SimDuration,
+    /// Fraction of wall-clock spent communicating.
+    pub comm_fraction: f64,
+}
+
+impl TrainingJob {
+    /// The AllReduce schedule of one iteration under `mode`.
+    pub fn schedule(&self, mode: Mode, rack: Shape3, params: &CostParams) -> Schedule {
+        let torus = Torus::new(rack);
+        let n = self.model.gradient_bytes() as f64;
+        match self.strategy {
+            CollectiveStrategy::SingleRing => {
+                ring_all_reduce(&snake_order(&self.slice), n, mode, rack, &torus, params)
+            }
+            CollectiveStrategy::Bucket => {
+                let dims: Vec<Dim> = self.slice.active_dims();
+                bucket_all_reduce(&self.slice, &dims, n, mode, rack, &torus, params)
+            }
+        }
+    }
+
+    /// Execute one iteration's collective and derive whole-job timing.
+    pub fn timing(&self, mode: Mode, rack: Shape3, params: &CostParams) -> JobTiming {
+        let schedule = self.schedule(mode, rack, params);
+        let comm = execute(&schedule, params).total;
+        let per_iter = self.compute + comm;
+        let total = per_iter * self.iterations as u64;
+        JobTiming {
+            comm_per_iter: comm,
+            total,
+            comm_fraction: comm.as_secs_f64() / per_iter.as_secs_f64().max(f64::MIN_POSITIVE),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::by_name;
+    use topo::Coord3;
+
+    const RACK: Shape3 = Shape3::rack_4x4x4();
+
+    fn job() -> TrainingJob {
+        TrainingJob {
+            model: by_name("gpt2-xl").unwrap(),
+            slice: Slice::new(1, Coord3::new(0, 0, 0), Shape3::new(4, 2, 1)),
+            compute: SimDuration::from_ms(20),
+            iterations: 100,
+            strategy: CollectiveStrategy::SingleRing,
+        }
+    }
+
+    #[test]
+    fn optics_cuts_comm_fraction() {
+        let params = CostParams::default();
+        let j = job();
+        let elec = j.timing(Mode::Electrical, RACK, &params);
+        let opt = j.timing(Mode::OpticalFullSteer, RACK, &params);
+        assert!(opt.comm_per_iter < elec.comm_per_iter);
+        assert!(opt.comm_fraction < elec.comm_fraction);
+        assert!(opt.total < elec.total);
+        // β ratio approaches 3× for this 3 GB buffer.
+        let ratio = elec.comm_per_iter.as_secs_f64() / opt.comm_per_iter.as_secs_f64();
+        assert!(ratio > 2.5, "comm speedup {ratio}");
+    }
+
+    #[test]
+    fn bucket_strategy_runs_on_2d_slice() {
+        let params = CostParams::default();
+        let j = TrainingJob {
+            slice: Slice::new(3, Coord3::new(0, 0, 1), Shape3::new(4, 4, 1)),
+            strategy: CollectiveStrategy::Bucket,
+            ..job()
+        };
+        let elec = j.timing(Mode::Electrical, RACK, &params);
+        let opt = j.timing(Mode::OpticalStaticSplit, RACK, &params);
+        let ratio = elec.comm_per_iter.as_secs_f64() / opt.comm_per_iter.as_secs_f64();
+        assert!((ratio - 1.5).abs() < 0.05, "Table 2's 1.5×, got {ratio}");
+    }
+
+    #[test]
+    fn total_accumulates_iterations() {
+        let params = CostParams::default();
+        let j = job();
+        let t = j.timing(Mode::Electrical, RACK, &params);
+        let expect = (j.compute + t.comm_per_iter) * 100;
+        assert_eq!(t.total, expect);
+        assert!(t.comm_fraction > 0.0 && t.comm_fraction < 1.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Shrinking the blast radius (§4.2): reproduce the Fig 6a failure, show
+//! that no electrical in-place repair exists, then splice the spare in
+//! optically (Fig 7) and compare blast radii.
+//!
+//! ```text
+//! cargo run --example failure_repair
+//! ```
+
+use server_photonics::resilience::{
+    analyze, blast_radius, fig6a, optical_repair, PhotonicRack, RepairPolicy,
+};
+use server_photonics::topo::Cluster;
+
+fn main() {
+    let scenario = fig6a();
+    println!(
+        "rack packed with {} slices; chip {} of {} failed; {} free chips remain\n",
+        scenario.occ.slices().count(),
+        scenario.failed,
+        scenario.victim,
+        scenario.free.len()
+    );
+
+    // Electrical in-place repair: evaluate every free chip.
+    let analysis = analyze(&scenario.occ, &scenario.victim, scenario.failed);
+    println!("electrical in-place repair:");
+    for a in analysis.attempts.iter().take(4) {
+        println!(
+            "  spare {}: {} foreign chips on the repair paths, {} self-shared links -> {}",
+            a.free_chip,
+            a.foreign_traversals.len(),
+            a.self_congested_links,
+            if a.clean { "CLEAN" } else { "congested" }
+        );
+    }
+    println!(
+        "  ... {} candidates total, {} congestion-free (the paper's claim: 0)\n",
+        analysis.attempts.len(),
+        analysis.clean_options
+    );
+
+    // Optical repair over the photonic rack (Fig 7).
+    let mut rack = PhotonicRack::new(1);
+    let spare = scenario.free[0];
+    let report = optical_repair(&mut rack, &scenario.victim, scenario.failed, spare)
+        .expect("optical repair");
+    println!(
+        "optical repair: spliced spare {} in with {} dedicated circuits, ready in {}",
+        spare, report.circuits, report.setup
+    );
+    println!(
+        "  reconnected ring neighbours: {:?}",
+        report
+            .neighbours
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+    );
+
+    // Blast radius comparison.
+    let cluster = Cluster::tpu_v4(2);
+    let migration = blast_radius(
+        RepairPolicy::RackMigration,
+        &cluster,
+        &scenario.victim,
+        scenario.failed,
+        0,
+    );
+    let optical = blast_radius(
+        RepairPolicy::OpticalCircuits,
+        &cluster,
+        &scenario.victim,
+        scenario.failed,
+        analysis.clean_options,
+    );
+    println!("\nblast radius of this single chip failure:");
+    println!(
+        "  TPUv4 rack migration : {} chips across {} servers",
+        migration.chips_disturbed, migration.servers_disturbed
+    );
+    println!(
+        "  optical circuits     : {} chips across {} servers  ({}x smaller)",
+        optical.chips_disturbed,
+        optical.servers_disturbed,
+        migration.chips_disturbed / optical.chips_disturbed
+    );
+}

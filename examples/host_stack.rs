@@ -1,0 +1,68 @@
+//! The circuit-switched host stack (§5): how a host should drive its one
+//! optical circuit when the 3.7 µs reconfiguration is the dominant cost.
+//!
+//! ```text
+//! cargo run --example host_stack
+//! ```
+
+use server_photonics::desim::{SimDuration, SimRng, SimTime};
+use server_photonics::hostnet::{simulate, CircuitPolicy, HostParams, Message, PeerId};
+
+fn main() {
+    let params = HostParams::default();
+    println!(
+        "host transmitter: {} circuit, {} re-point latency\n",
+        params.rate, params.reconfig
+    );
+
+    // A scattered RPC-like workload: 2000 messages across 8 peers with
+    // log-uniform sizes.
+    let mut rng = SimRng::seed_from_u64(7);
+    let mut workload: Vec<Message> = (0..2000)
+        .map(|i| Message {
+            dst: PeerId(rng.gen_range_u64(8) as u32),
+            bytes: 10f64.powf(rng.gen_range_f64(2.0, 6.0)) as u64,
+            enqueued: SimTime::ZERO + SimDuration::from_ns(200) * i as u64,
+        })
+        .collect();
+    workload.sort_by_key(|m| m.enqueued);
+
+    println!(
+        "{:<22} {:>14} {:>11} {:>12} {:>12}",
+        "policy", "mean latency", "reconfigs", "goodput", "makespan"
+    );
+    let policies: Vec<(&str, CircuitPolicy)> = vec![
+        ("per-message", CircuitPolicy::PerMessage),
+        ("hold-open", CircuitPolicy::HoldOpen),
+        (
+            "batch 64kB / 20us",
+            CircuitPolicy::Batch {
+                threshold_bytes: 64 * 1024,
+                max_delay: SimDuration::from_us(20),
+            },
+        ),
+        (
+            "batch 1MB / 200us",
+            CircuitPolicy::Batch {
+                threshold_bytes: 1024 * 1024,
+                max_delay: SimDuration::from_us(200),
+            },
+        ),
+    ];
+    for (label, policy) in policies {
+        let r = simulate(policy, params, &workload);
+        println!(
+            "{:<22} {:>11.1} us {:>11} {:>7.1} Gbps {:>12}",
+            label,
+            r.latency.mean() * 1e6,
+            r.reconfigs,
+            r.goodput_gbps,
+            r.makespan.to_string(),
+        );
+    }
+    println!(
+        "\nBatching trades queueing delay for reconfiguration amortization — \
+         \nthe §5 trade-off between the 3.7 µs circuit setup and end-to-end \
+         \nperformance, measured instead of asserted."
+    );
+}

@@ -1,0 +1,69 @@
+//! Dynamic circuits for MoE inference (§5): the gating function picks new
+//! experts every batch, so circuits must chase it. Sweep the warm-circuit
+//! budget and compare control planes for the resulting reconfiguration
+//! storm.
+//!
+//! ```text
+//! cargo run --example moe_inference
+//! ```
+
+use server_photonics::route::{
+    central_setup, decentralized_setup, run_moe, ControlParams, MoeParams,
+};
+
+fn main() {
+    // Mixtral-style gating: 16 experts, top-2, Zipf-skewed popularity.
+    let base = MoeParams {
+        experts: 16,
+        top_k: 2,
+        batches: 50_000,
+        ..MoeParams::default()
+    };
+    println!("MoE inference: {} experts, top-{}, {} batches", base.experts, base.top_k, base.batches);
+    println!(
+        "\n{:<16} {:>12} {:>12} {:>14} {:>10}",
+        "live circuits", "changes", "hit rate", "reconfig time", "overhead"
+    );
+    for cache in [2, 4, 8, 16] {
+        let r = run_moe(
+            &MoeParams {
+                max_live_circuits: cache,
+                ..base
+            },
+            42,
+        );
+        println!(
+            "{:<16} {:>12} {:>11.1}% {:>14} {:>9.2}%",
+            cache,
+            r.circuit_changes,
+            r.hit_rate * 100.0,
+            r.reconfig_time.to_string(),
+            r.reconfig_fraction * 100.0
+        );
+    }
+    println!(
+        "\nKeeping circuits to popular experts warm amortizes the 3.7 µs MZI \
+         \nreconfiguration; with all 16 experts warm the gating never stalls."
+    );
+
+    // Control-plane choice matters at scale (§5's decentralized argument).
+    let params = ControlParams::default();
+    println!(
+        "\ncircuit-setup control plane (4x8 wafer grid):\n{:<10} {:>16} {:>18}",
+        "requests", "central mean", "decentralized mean"
+    );
+    for n in [8usize, 64, 256] {
+        let reqs: Vec<_> = (0..n)
+            .map(|i| ((0u8, (i % 8) as u8), (3u8, ((i + 5) % 8) as u8)))
+            .collect();
+        let c = central_setup(4, 8, &reqs, &params);
+        let d = decentralized_setup(4, 8, &reqs, 1_000, &params);
+        println!(
+            "{:<10} {:>16} {:>18}",
+            n,
+            c.mean_latency.to_string(),
+            d.mean_latency.to_string()
+        );
+    }
+    println!("\nA serialized controller scanning global waveguide state falls behind\nquickly; hop-local decisions keep setup latency flat.");
+}

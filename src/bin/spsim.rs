@@ -1,0 +1,319 @@
+//! `spsim` — drive the server-photonics simulator from the command line.
+//!
+//! ```text
+//! spsim wafer [--rows 4] [--cols 8]
+//! spsim collective [--slice 4x2x1] [--bytes 8e9] [--mode electrical|optical-split|optical-steer] [--algo ring|bucket|alltoall]
+//! spsim repair [--spare 3,3,3] [--bytes 1e9]
+//! spsim placement [--jobs 500] [--seed 7]
+//! spsim hoststack [--messages 2000] [--bytes 4096] [--peers 8]
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use server_photonics::collectives::{
+    all_to_all, bucket_reduce_scatter, execute, ring_reduce_scatter, snake_order, CostParams,
+    Mode,
+};
+use server_photonics::desim::{SimDuration, SimRng, SimTime};
+use server_photonics::hostnet::{self, CircuitPolicy, HostParams, Message, PeerId};
+use server_photonics::lightpath::{CircuitRequest, TileCoord, Wafer, WaferConfig};
+use server_photonics::resilience::{
+    analyze, fig6a, measure_interference, optical_repair, PhotonicRack,
+};
+use server_photonics::topo::{Coord3, Shape3, Slice, Torus};
+use server_photonics::workloads::{generate, simulate as simulate_placement, ArrivalParams};
+
+/// Minimal `--key value` parser: everything after the subcommand.
+struct Args(HashMap<String, String>);
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut map = HashMap::new();
+        let mut it = raw.iter();
+        while let Some(k) = it.next() {
+            let Some(key) = k.strip_prefix("--") else {
+                return Err(format!("expected --flag, got '{k}'"));
+            };
+            let Some(v) = it.next() else {
+                return Err(format!("--{key} needs a value"));
+            };
+            map.insert(key.to_string(), v.clone());
+        }
+        Ok(Args(map))
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.0.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        }
+    }
+
+    fn get_str(&self, key: &str, default: &str) -> String {
+        self.0.get(key).cloned().unwrap_or_else(|| default.into())
+    }
+}
+
+fn parse_shape(s: &str) -> Result<Shape3, String> {
+    let parts: Vec<&str> = s.split('x').collect();
+    if parts.len() != 3 {
+        return Err(format!("shape '{s}' must look like 4x2x1"));
+    }
+    let dims: Result<Vec<usize>, _> = parts.iter().map(|p| p.parse()).collect();
+    let dims = dims.map_err(|_| format!("shape '{s}' has non-numeric extents"))?;
+    Ok(Shape3::new(dims[0], dims[1], dims[2]))
+}
+
+fn parse_coord(s: &str) -> Result<Coord3, String> {
+    let parts: Vec<&str> = s.split(',').collect();
+    if parts.len() != 3 {
+        return Err(format!("coordinate '{s}' must look like 3,3,3"));
+    }
+    let v: Result<Vec<usize>, _> = parts.iter().map(|p| p.parse()).collect();
+    let v = v.map_err(|_| format!("coordinate '{s}' has non-numeric parts"))?;
+    Ok(Coord3::new(v[0], v[1], v[2]))
+}
+
+fn cmd_wafer(args: &Args) -> Result<(), String> {
+    let rows: u8 = args.get("rows", 4)?;
+    let cols: u8 = args.get("cols", 8)?;
+    let mut wafer = Wafer::new(WaferConfig {
+        rows,
+        cols,
+        ..WaferConfig::default()
+    });
+    println!(
+        "fabricated {rows}x{cols} wafer: {} tiles, {} waveguides/bus, 16λ × 224 Gb/s per tile",
+        wafer.config().tiles(),
+        wafer.edge_capacity()
+    );
+    // Light up a demo circuit between opposite corners.
+    let src = TileCoord::new(0, 0);
+    let dst = TileCoord::new(rows - 1, cols - 1);
+    let rep = wafer
+        .establish(CircuitRequest::new(src, dst, 16))
+        .map_err(|e| e.to_string())?;
+    let ckt = wafer.circuit(rep.id).expect("just established");
+    println!("corner circuit {src}->{dst}: {}", ckt.path);
+    println!(
+        "  bandwidth {}  setup {}  margin {}  BER {:.1e}",
+        ckt.bandwidth, rep.setup, rep.link.margin, rep.link.ber
+    );
+    let t = wafer.telemetry();
+    println!(
+        "telemetry: {} circuits, {:.1} Gb/s aggregate, tx lanes {:.1}%, mean bus occupancy {:.3}",
+        t.circuits,
+        t.aggregate_gbps,
+        t.tx_lane_utilization * 100.0,
+        t.mean_edge_occupancy
+    );
+    Ok(())
+}
+
+fn cmd_collective(args: &Args) -> Result<(), String> {
+    let shape = parse_shape(&args.get_str("slice", "4x2x1"))?;
+    let bytes: f64 = args.get("bytes", 8e9)?;
+    let mode = match args.get_str("mode", "optical-steer").as_str() {
+        "electrical" => Mode::Electrical,
+        "optical-split" => Mode::OpticalStaticSplit,
+        "optical-steer" => Mode::OpticalFullSteer,
+        other => return Err(format!("unknown mode '{other}'")),
+    };
+    let algo = args.get_str("algo", "ring");
+    let rack = Shape3::rack_4x4x4();
+    let params = CostParams::default();
+    let torus = Torus::new(rack);
+    let slice = Slice::new(1, Coord3::new(0, 0, 0), shape);
+    if !slice.fits(rack) {
+        return Err(format!("slice {shape} does not fit the 4x4x4 rack"));
+    }
+    let schedule = match algo.as_str() {
+        "ring" => ring_reduce_scatter(&snake_order(&slice), bytes, mode, rack, &torus, &params),
+        "bucket" => {
+            let dims = slice.active_dims();
+            if dims.is_empty() {
+                return Err("slice has no dimension with extent > 1".into());
+            }
+            bucket_reduce_scatter(&slice, &dims, bytes, mode, rack, &torus, &params)
+        }
+        "alltoall" => all_to_all(&snake_order(&slice), bytes, mode, rack, &torus, &params),
+        other => return Err(format!("unknown algo '{other}'")),
+    };
+    let sym = schedule.symbolic_cost(&params);
+    let report = execute(&schedule, &params);
+    println!("{algo} on slice {shape} ({} chips), N = {bytes:.3e} B, {mode:?}", slice.chips());
+    println!("  symbolic : {sym}");
+    println!(
+        "  measured : {}  ({} rounds, {} congested, max link load {})",
+        report.total, report.rounds, report.congested_rounds, report.max_link_load
+    );
+    Ok(())
+}
+
+fn cmd_repair(args: &Args) -> Result<(), String> {
+    let spare = parse_coord(&args.get_str("spare", "3,3,3"))?;
+    let bytes: f64 = args.get("bytes", 1e9)?;
+    let scenario = fig6a();
+    println!(
+        "Fig 6a scenario: {} failed in {}, {} spares free",
+        scenario.failed,
+        scenario.victim,
+        scenario.free.len()
+    );
+    let a = analyze(&scenario.occ, &scenario.victim, scenario.failed);
+    println!(
+        "electrical in-place repair: {} / {} candidates congestion-free",
+        a.clean_options,
+        a.attempts.len()
+    );
+    let i = measure_interference(&scenario, spare, bytes, bytes);
+    println!(
+        "surviving-ring slowdown if forced electrically: {:.2}x (optical: {:.2}x)",
+        i.electrical_slowdown, i.optical_slowdown
+    );
+    let mut rack = PhotonicRack::new(1);
+    let r = optical_repair(&mut rack, &scenario.victim, scenario.failed, spare)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "optical repair: {} circuits to {} neighbours, ready in {}",
+        r.circuits,
+        r.neighbours.len(),
+        r.setup
+    );
+    Ok(())
+}
+
+fn cmd_placement(args: &Args) -> Result<(), String> {
+    let jobs: usize = args.get("jobs", 500)?;
+    let seed: u64 = args.get("seed", 7)?;
+    let stream = generate(jobs, &ArrivalParams::default(), seed);
+    let r = simulate_placement(Shape3::rack_4x4x4(), &stream);
+    println!("placement of {jobs} jobs (seed {seed}) over {}", r.horizon);
+    println!("  accepted {} / rejected {}", r.accepted, r.rejected);
+    println!("  mean occupancy          : {:.0}%", r.mean_occupancy * 100.0);
+    println!(
+        "  electrical utilization  : {:.0}%",
+        r.mean_electrical_utilization * 100.0
+    );
+    println!(
+        "  optical utilization     : {:.0}%",
+        r.mean_optical_utilization * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_hoststack(args: &Args) -> Result<(), String> {
+    let messages: usize = args.get("messages", 2000)?;
+    let bytes: u64 = args.get("bytes", 4096)?;
+    let peers: u32 = args.get("peers", 8)?;
+    let mut rng = SimRng::seed_from_u64(args.get("seed", 7)?);
+    let mut workload: Vec<Message> = (0..messages)
+        .map(|i| Message {
+            dst: PeerId(rng.gen_range_u64(peers as u64) as u32),
+            bytes,
+            enqueued: SimTime::ZERO + SimDuration::from_ns(200) * i as u64,
+        })
+        .collect();
+    workload.sort_by_key(|m| m.enqueued);
+    println!("{messages} x {bytes} B to {peers} peers:");
+    for (label, policy) in [
+        ("per-message", CircuitPolicy::PerMessage),
+        ("hold-open", CircuitPolicy::HoldOpen),
+        (
+            "batch-256k/50us",
+            CircuitPolicy::Batch {
+                threshold_bytes: 256 * 1024,
+                max_delay: SimDuration::from_us(50),
+            },
+        ),
+    ] {
+        let r = hostnet::simulate(policy, HostParams::default(), &workload);
+        println!(
+            "  {label:<16} mean {:>9.1}us  p99 {:>9.1}us  reconfigs {:>6}  goodput {:>8.1} Gbps",
+            r.latency.mean() * 1e6,
+            r.p99_latency_s * 1e6,
+            r.reconfigs,
+            r.goodput_gbps
+        );
+    }
+    Ok(())
+}
+
+const USAGE: &str = "spsim — server-scale photonics simulator
+
+USAGE:
+  spsim wafer      [--rows 4] [--cols 8]
+  spsim collective [--slice 4x2x1] [--bytes 8e9] [--mode electrical|optical-split|optical-steer] [--algo ring|bucket|alltoall]
+  spsim repair     [--spare 3,3,3] [--bytes 1e9]
+  spsim placement  [--jobs 500] [--seed 7]
+  spsim hoststack  [--messages 2000] [--bytes 4096] [--peers 8] [--seed 7]
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    };
+    let rest = &argv[1..];
+    let result = Args::parse(rest).and_then(|args| match cmd.as_str() {
+        "wafer" => cmd_wafer(&args),
+        "collective" => cmd_collective(&args),
+        "repair" => cmd_repair(&args),
+        "placement" => cmd_placement(&args),
+        "hoststack" => cmd_hoststack(&args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_key_values() {
+        let raw: Vec<String> = ["--rows", "4", "--cols", "8"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let a = Args::parse(&raw).unwrap();
+        assert_eq!(a.get::<u8>("rows", 0).unwrap(), 4);
+        assert_eq!(a.get::<u8>("cols", 0).unwrap(), 8);
+        assert_eq!(a.get::<u8>("missing", 7).unwrap(), 7);
+        assert_eq!(a.get_str("mode", "ring"), "ring");
+    }
+
+    #[test]
+    fn args_reject_malformed() {
+        let raw: Vec<String> = ["rows", "4"].iter().map(|s| s.to_string()).collect();
+        assert!(Args::parse(&raw).is_err());
+        let raw: Vec<String> = ["--rows"].iter().map(|s| s.to_string()).collect();
+        assert!(Args::parse(&raw).is_err());
+        let raw: Vec<String> = ["--rows", "x"].iter().map(|s| s.to_string()).collect();
+        let a = Args::parse(&raw).unwrap();
+        assert!(a.get::<u8>("rows", 0).is_err());
+    }
+
+    #[test]
+    fn shapes_and_coords_parse() {
+        assert_eq!(parse_shape("4x2x1").unwrap(), Shape3::new(4, 2, 1));
+        assert!(parse_shape("4x2").is_err());
+        assert!(parse_shape("axbxc").is_err());
+        assert_eq!(parse_coord("3,3,3").unwrap(), Coord3::new(3, 3, 3));
+        assert!(parse_coord("3,3").is_err());
+    }
+}

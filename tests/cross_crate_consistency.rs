@@ -1,0 +1,175 @@
+//! Cross-crate consistency: the same physical quantity must agree wherever
+//! it appears — the executor against the closed forms, the wafer's
+//! reconfiguration latency against the phy-layer switch dynamics, and the
+//! collective schedules against circuits actually establishable on a wafer.
+
+use server_photonics::collectives::{
+    bucket_reduce_scatter, execute, ring_all_reduce, ring_reduce_scatter, snake_order,
+    CostParams, Mode,
+};
+use server_photonics::desim::SimRng;
+use server_photonics::lightpath::{CircuitRequest, TileCoord, Wafer, WaferConfig};
+use server_photonics::phy::thermal::RECONFIG_LATENCY_S;
+use server_photonics::phy::{MziParams, Switch1x3, SwitchPort};
+use server_photonics::topo::{Coord3, Dim, Shape3, Slice, Torus};
+
+use server_photonics::phy as phy;
+
+const RACK: Shape3 = Shape3::rack_4x4x4();
+
+#[test]
+fn executor_matches_closed_form_across_random_cases() {
+    let params = CostParams::default();
+    let torus = Torus::new(RACK);
+    let mut rng = SimRng::seed_from_u64(2024);
+    for _ in 0..50 {
+        // Random slice (even extents keep the snake a Hamiltonian cycle).
+        let ex = [2usize, 4][rng.gen_range_usize(2)];
+        let ey = [1usize, 2, 4][rng.gen_range_usize(3)];
+        let slice = Slice::new(1, Coord3::new(0, 0, 0), Shape3::new(ex, ey, 1));
+        if slice.chips() < 2 {
+            continue;
+        }
+        let n = 10f64.powf(rng.gen_range_f64(3.0, 10.0));
+        let mode = [Mode::Electrical, Mode::OpticalFullSteer, Mode::OpticalStaticSplit]
+            [rng.gen_range_usize(3)];
+        let sched = ring_reduce_scatter(&snake_order(&slice), n, mode, RACK, &torus, &params);
+        let report = execute(&sched, &params);
+        let analytic = sched.analytic_total(&params);
+        assert_eq!(report.total, analytic, "slice {slice} mode {mode:?} N {n}");
+        // Symbolic prediction within per-round rounding.
+        let sym = sched.symbolic_cost(&params).total(&params);
+        assert!(
+            (report.total.as_secs_f64() - sym.as_secs_f64()).abs() < 1e-9,
+            "symbolic vs measured"
+        );
+    }
+}
+
+#[test]
+fn wafer_setup_latency_equals_switch_settling() {
+    // The wafer charges RECONFIG_LATENCY_S per establishment; the phy-layer
+    // switch must settle in exactly that time for a full swing.
+    let mut wafer = Wafer::new(WaferConfig::default());
+    let rep = wafer
+        .establish(CircuitRequest::new(TileCoord::new(0, 0), TileCoord::new(1, 1), 1))
+        .unwrap();
+    let mut sw = Switch1x3::new(MziParams::default(), SwitchPort::Out0);
+    let lat = sw.select(SwitchPort::Out2, 0.0);
+    assert!((rep.setup.as_secs_f64() - lat).abs() < 1e-12);
+    assert!((lat - RECONFIG_LATENCY_S).abs() < 1e-9);
+}
+
+#[test]
+fn optical_ring_schedule_is_realizable_as_wafer_circuits() {
+    // Table 1's optical ring on Slice-1 assumes 8 concurrent full-bandwidth
+    // circuits exist. Check they actually fit on a wafer: map the 4×2 slice
+    // onto a 4×2 region of tiles and establish every ring hop.
+    let mut wafer = Wafer::new(WaferConfig::lightpath_32());
+    let slice = Slice::new(1, Coord3::new(0, 0, 0), Shape3::new(4, 2, 1));
+    let order = snake_order(&slice);
+    let tile_of = |c: Coord3| TileCoord::new(c.get(Dim::Y) as u8, c.get(Dim::X) as u8);
+    for (i, &from) in order.iter().enumerate() {
+        let to = order[(i + 1) % order.len()];
+        let rep = wafer
+            .establish(CircuitRequest::new(tile_of(from), tile_of(to), 16))
+            .expect("ring hop circuit");
+        assert!(rep.link.closes());
+    }
+    // 8 circuits at 16 λ each: each tile spent all tx and rx lanes once.
+    for &c in &order {
+        let t = wafer.tile(tile_of(c));
+        assert_eq!(t.serdes.tx_free(), 0);
+        assert_eq!(t.serdes.rx_free(), 0);
+    }
+    assert!((wafer.aggregate_bandwidth().0 - 8.0 * 3584.0).abs() < 1e-6);
+}
+
+#[test]
+fn bucket_and_ring_agree_on_single_dimension() {
+    // A bucket algorithm with one stage IS a ring over that dimension.
+    let params = CostParams::default();
+    let torus = Torus::new(RACK);
+    let slice = Slice::new(1, Coord3::new(0, 0, 0), Shape3::new(4, 1, 1));
+    let n = 1e9;
+    let bucket = bucket_reduce_scatter(
+        &slice,
+        &[Dim::X],
+        n,
+        Mode::Electrical,
+        RACK,
+        &torus,
+        &params,
+    );
+    let ring = ring_reduce_scatter(
+        &snake_order(&slice),
+        n,
+        Mode::Electrical,
+        RACK,
+        &torus,
+        &params,
+    );
+    let cb = bucket.symbolic_cost(&params);
+    let cr = ring.symbolic_cost(&params);
+    assert_eq!(cb.alpha_steps, cr.alpha_steps);
+    assert!((cb.beta_bytes - cr.beta_bytes).abs() < 1e-3);
+}
+
+#[test]
+fn all_reduce_meets_its_lower_bound_optically() {
+    let params = CostParams::default();
+    let torus = Torus::new(RACK);
+    let slice = Slice::new(1, Coord3::new(0, 0, 0), Shape3::new(4, 2, 1));
+    let n = 4e9;
+    let sched = ring_all_reduce(
+        &snake_order(&slice),
+        n,
+        Mode::OpticalFullSteer,
+        RACK,
+        &torus,
+        &params,
+    );
+    let sym = sched.symbolic_cost(&params);
+    let bound = server_photonics::collectives::all_reduce_beta_lower_bound(n, 8);
+    assert!(
+        (sym.beta_bytes - bound).abs() < 1e-3,
+        "optical AllReduce is β-optimal: {} vs {bound}",
+        sym.beta_bytes
+    );
+}
+
+#[test]
+fn link_budget_gates_long_paths_consistently() {
+    // A wafer configured with lossy propagation rejects long circuits but
+    // accepts short ones, and the rejection margin matches the standalone
+    // phy evaluation.
+    let cfg = WaferConfig {
+        propagation_loss_db_per_cm: 1.0, // lossy process
+        ..WaferConfig::default()
+    };
+    let mut wafer = Wafer::new(cfg);
+    let short = wafer.establish(CircuitRequest::new(
+        TileCoord::new(0, 0),
+        TileCoord::new(0, 1),
+        1,
+    ));
+    assert!(short.is_ok(), "neighbour circuit closes even at 1 dB/cm");
+    let long = wafer.establish(CircuitRequest::new(
+        TileCoord::new(0, 0),
+        TileCoord::new(3, 7),
+        1,
+    ));
+    match long {
+        Err(server_photonics::lightpath::CircuitError::BudgetFailed { margin_db }) => {
+            // Cross-check against the phy-level evaluation of the path.
+            let path = server_photonics::lightpath::Path::xy(
+                TileCoord::new(0, 0),
+                TileCoord::new(3, 7),
+            );
+            let report = wafer.link_budget(&path);
+            assert!((report.margin.0 - margin_db).abs() < 1e-9);
+            assert!(report.ber > phy::DEFAULT_TARGET_BER);
+        }
+        other => panic!("expected BudgetFailed, got {other:?}"),
+    }
+}

@@ -1,0 +1,163 @@
+//! Integration coverage of the extension subsystems (§5 challenges and
+//! beyond): protected circuits, RWA, the host stack, hierarchical
+//! collectives, the photonic runners, OCS composition, telemetry, drift,
+//! and the failure campaign — all exercised through the facade crate.
+
+use server_photonics::collectives::{
+    hierarchical_all_reduce, flat_ring_all_reduce, run_bucket_reduce_scatter_on_wafer,
+    run_ring_reduce_scatter_on_wafer, CostParams, TierParams,
+};
+use server_photonics::desim::{QuantileEstimator, SimDuration, SimRng, SimTime};
+use server_photonics::hostnet::{self, CircuitPolicy, HostParams, Message, PeerId};
+use server_photonics::lightpath::{Path, TileCoord, Wafer, WaferConfig};
+use server_photonics::phy::{recal_tradeoff, DriftModel};
+use server_photonics::resilience::{run_campaign, CampaignParams, RepairPolicy};
+use server_photonics::route::{establish_protected, WavelengthPlane};
+use server_photonics::topo::{Dim, Ocs, Shape3};
+
+#[test]
+fn protected_circuit_survives_a_simulated_bus_fault() {
+    let mut wafer = Wafer::new(WaferConfig::lightpath_32());
+    let mut pair = establish_protected(&mut wafer, TileCoord::new(0, 0), TileCoord::new(3, 6), 4)
+        .expect("protection fits");
+    assert!(pair.is_fault_independent(&wafer));
+    // "Fault" the active path: fail over and verify the standby carries the
+    // same bandwidth with a closing budget.
+    let failover = pair.failover();
+    assert!((failover.as_micros_f64() - 3.7).abs() < 1e-9);
+    let active = wafer.circuit(pair.active).expect("standby is live");
+    assert!(active.link.closes());
+    assert!((active.bandwidth.0 - 4.0 * 224.0).abs() < 1e-9);
+    pair.teardown(&mut wafer).unwrap();
+}
+
+#[test]
+fn rwa_packs_16x_more_circuits_than_dedicated_guides() {
+    // One waveguide per edge: dedicated assignment fits 1 circuit on the
+    // corridor; WDM-shared RWA fits 16 single-λ circuits.
+    let mut plane = WavelengthPlane::new(16);
+    let corridor = Path::xy(TileCoord::new(0, 0), TileCoord::new(0, 5));
+    let mut fitted = 0;
+    while plane.assign(&corridor, 1).is_some() {
+        fitted += 1;
+    }
+    assert_eq!(fitted, 16);
+}
+
+#[test]
+fn host_stack_p99_tracks_the_tail() {
+    let mut rng = SimRng::seed_from_u64(11);
+    let mut w: Vec<Message> = (0..1000)
+        .map(|i| Message {
+            dst: PeerId(rng.gen_range_u64(4) as u32),
+            bytes: 1 + rng.gen_range_u64(100_000),
+            enqueued: SimTime::ZERO + SimDuration::from_ns(300) * i as u64,
+        })
+        .collect();
+    w.sort_by_key(|m| m.enqueued);
+    let r = hostnet::simulate(CircuitPolicy::HoldOpen, HostParams::default(), &w);
+    assert!(r.p99_latency_s >= r.latency.mean());
+    assert!(r.p99_latency_s <= r.latency.max().unwrap() + 1e-12);
+    // Cross-check the estimator on a known stream.
+    let mut q = QuantileEstimator::new(0.5);
+    for i in 0..10_001 {
+        q.push(i as f64);
+    }
+    let est = q.estimate().unwrap();
+    assert!((est - 5000.0).abs() < 100.0, "median {est}");
+}
+
+#[test]
+fn hierarchical_collective_wins_on_the_real_tier_gap() {
+    // The paper's fabric: 16-λ waveguides inside a server, a 4-fiber share
+    // across — the hierarchical layout must beat the flat ring there.
+    let tiers = TierParams::default();
+    let n = 4e9;
+    let h = hierarchical_all_reduce(n, &tiers).total(&tiers);
+    let f = flat_ring_all_reduce(n, &tiers).total(&tiers);
+    assert!(h < f);
+}
+
+#[test]
+fn photonic_runners_agree_with_each_other() {
+    // Ring over 4 tiles vs a degenerate comparison: the same volume at the
+    // same lanes takes the same per-round time structure.
+    let params = CostParams::default();
+    let mut wafer = Wafer::new(WaferConfig::lightpath_32());
+    let members = [
+        TileCoord::new(0, 0),
+        TileCoord::new(0, 1),
+        TileCoord::new(1, 1),
+        TileCoord::new(1, 0),
+    ];
+    let ring = run_ring_reduce_scatter_on_wafer(&mut wafer, &members, 8, 1e9, &params)
+        .expect("ring runs");
+    assert_eq!(wafer.circuits().count(), 0);
+    let bucket = run_bucket_reduce_scatter_on_wafer(&mut wafer, 2, 2, 8, 1e9, &params)
+        .expect("bucket runs");
+    assert_eq!(wafer.circuits().count(), 0);
+    // Same chip count (4): ring does 3 rounds on N/4 chunks; bucket does
+    // 1+1 rounds on N/2 then N/4 — bucket moves less per chip overall? No:
+    // ring moves 3N/4, bucket moves N/2 + N/4 = 3N/4. Equal volume, equal
+    // bandwidth — the bucket pays one extra reconfiguration.
+    let ring_beta = ring.total.as_secs_f64() - ring.setup.as_secs_f64()
+        - 3.0 * params.alpha.as_secs_f64();
+    let bucket_beta = bucket.total.as_secs_f64()
+        - 2.0 * 3.7e-6
+        - 2.0 * params.alpha.as_secs_f64();
+    assert!(
+        (ring_beta - bucket_beta).abs() < 1e-9,
+        "equal β volume: ring {ring_beta} vs bucket {bucket_beta}"
+    );
+}
+
+#[test]
+fn ocs_composition_and_telemetry_roundtrip() {
+    let mut ocs = Ocs::new(Dim::Z, 4, Shape3::rack_4x4x4());
+    ocs.compose(&[0, 1, 2, 3]);
+    assert_eq!(ocs.groups().len(), 1, "one 4-cube torus");
+    ocs.isolate(&[0, 1, 2, 3]);
+    assert_eq!(ocs.groups().len(), 4);
+
+    let mut wafer = Wafer::new(WaferConfig::lightpath_32());
+    wafer
+        .establish(server_photonics::lightpath::CircuitRequest::new(
+            TileCoord::new(0, 0),
+            TileCoord::new(2, 2),
+            4,
+        ))
+        .unwrap();
+    let t = wafer.telemetry();
+    assert_eq!(t.circuits, 1);
+    assert!(t.busiest_edge.is_some());
+}
+
+#[test]
+fn drift_holdover_exceeds_any_collective() {
+    // Even a pessimistic drift model holds calibration far longer than a
+    // multi-second collective: recalibration never interrupts a ring.
+    let drift = DriftModel {
+        sigma_rad_per_sqrt_s: 0.05,
+    };
+    let holdover = drift.holdover_secs(0.1);
+    assert!(holdover > 10.0, "holdover {holdover}s");
+    let pts = recal_tradeoff(&drift, &[SimDuration::from_secs(1)]);
+    assert!(pts[0].downtime_fraction < 1e-5);
+}
+
+#[test]
+fn campaign_and_blast_radius_tell_the_same_story() {
+    let params = CampaignParams {
+        racks: 4,
+        ..CampaignParams::default()
+    };
+    let m = run_campaign(RepairPolicy::RackMigration, &params);
+    let o = run_campaign(RepairPolicy::OpticalCircuits, &params);
+    // Per-failure ratio equals the blast-radius ratio × downtime ratio.
+    let per_failure_m = m.disturbed_chip_seconds / m.failures as f64;
+    let per_failure_o = o.disturbed_chip_seconds / o.failures as f64;
+    let expected_m = 64.0 * 600.0;
+    let expected_o = 4.0 * 3.7e-6;
+    assert!((per_failure_m - expected_m).abs() < 1e-6);
+    assert!((per_failure_o - expected_o).abs() < 1e-12);
+}

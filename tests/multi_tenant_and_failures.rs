@@ -1,0 +1,127 @@
+//! Scenario tests: multi-tenant rack packing driven by the workload
+//! generator, and randomized failure/repair campaigns.
+
+use server_photonics::desim::SimRng;
+use server_photonics::resilience::{
+    analyze, chip_to_tile, optical_repair, ring_neighbours, PhotonicRack,
+};
+use server_photonics::topo::{Coord3, Dim, Occupancy, Shape3, Slice};
+use server_photonics::workloads::{generate, ArrivalParams, STANDARD_SHAPES};
+
+#[test]
+fn arrival_stream_packs_a_rack_first_fit() {
+    let jobs = generate(100, &ArrivalParams::default(), 31);
+    let mut occ = Occupancy::new(Shape3::rack_4x4x4());
+    let mut placed = 0u32;
+    let mut rejected = 0u32;
+    for (i, job) in jobs.iter().enumerate() {
+        match occ.place_first_fit(i as u32, job.shape) {
+            Ok(_) => placed += 1,
+            Err(_) => rejected += 1,
+        }
+        if occ.free_chips().is_empty() {
+            break;
+        }
+    }
+    assert!(placed >= 2, "at least a couple of jobs fit");
+    let used: usize = occ.slices().map(|s| s.chips()).sum();
+    assert!(used <= 64);
+    let _ = rejected;
+    // Ownership is consistent: every owned chip maps back to its slice.
+    for s in occ.slices() {
+        for c in s.coords() {
+            assert_eq!(occ.owner(c), Some(s.id));
+        }
+    }
+}
+
+#[test]
+fn sub_rack_slices_always_strand_electrical_bandwidth() {
+    // Every standard sub-rack shape loses bandwidth electrically; only the
+    // full 4×4×4 reaches 100 %.
+    let rack = Shape3::rack_4x4x4();
+    for shape in STANDARD_SHAPES {
+        let slice = Slice::new(1, Coord3::new(0, 0, 0), shape);
+        let u = slice.utilization_electrical(rack);
+        if shape.volume() == 64 {
+            assert_eq!(u, 1.0);
+        } else {
+            assert!(u < 1.0, "shape {shape} should strand bandwidth, got {u}");
+        }
+        if !slice.active_dims().is_empty() {
+            assert_eq!(slice.utilization_optical(), 1.0);
+        }
+    }
+}
+
+#[test]
+fn random_failures_in_packed_rack_have_no_clean_electrical_repair() {
+    // The Fig 5b packing with the z=3 layer free: any failure in the
+    // z=1/z=2 interior slices is electrically unrepairable.
+    let mut rng = SimRng::seed_from_u64(99);
+    for _ in 0..10 {
+        let mut occ = Occupancy::new(Shape3::rack_4x4x4());
+        let victim = Slice::new(3, Coord3::new(0, 0, 1), Shape3::new(4, 4, 1));
+        occ.place(Slice::new(1, Coord3::new(0, 0, 0), Shape3::new(4, 2, 1)))
+            .unwrap();
+        occ.place(Slice::new(2, Coord3::new(0, 2, 0), Shape3::new(4, 2, 1)))
+            .unwrap();
+        occ.place(victim).unwrap();
+        occ.place(Slice::new(4, Coord3::new(0, 0, 2), Shape3::new(4, 4, 1)))
+            .unwrap();
+        let failed = Coord3::new(rng.gen_range_usize(4), rng.gen_range_usize(4), 1);
+        occ.fail_chip(failed);
+        let a = analyze(&occ, &victim, failed);
+        assert_eq!(a.clean_options, 0, "failed {failed}");
+    }
+}
+
+#[test]
+fn optical_repair_succeeds_for_every_interior_failure() {
+    let mut rng = SimRng::seed_from_u64(123);
+    for trial in 0..10 {
+        let victim = Slice::new(3, Coord3::new(0, 0, 1), Shape3::new(4, 4, 1));
+        let failed = Coord3::new(rng.gen_range_usize(4), rng.gen_range_usize(4), 1);
+        let spare = Coord3::new(rng.gen_range_usize(4), rng.gen_range_usize(4), 3);
+        let mut rack = PhotonicRack::new(1);
+        let report = optical_repair(&mut rack, &victim, failed, spare)
+            .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+        assert_eq!(report.neighbours.len(), 4);
+        assert_eq!(report.circuits, 8);
+        assert!((report.setup.as_micros_f64() - 3.7).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn repair_neighbours_are_exactly_the_broken_ring_edges() {
+    let victim = Slice::new(3, Coord3::new(0, 0, 1), Shape3::new(4, 4, 1));
+    for x in 0..4 {
+        for y in 0..4 {
+            let failed = Coord3::new(x, y, 1);
+            let n = ring_neighbours(&victim, failed);
+            // 4-ring in X and in Y: two distinct neighbours each.
+            assert_eq!(n.len(), 4, "failed {failed}");
+            for nb in &n {
+                assert!(victim.contains(*nb));
+                assert_ne!(*nb, failed);
+                // A ring neighbour differs in exactly one dimension.
+                let diffs = Dim::ALL
+                    .into_iter()
+                    .filter(|&d| nb.get(d) != failed.get(d))
+                    .count();
+                assert_eq!(diffs, 1);
+            }
+        }
+    }
+}
+
+#[test]
+fn chip_to_tile_is_injective_per_rack() {
+    let rack = PhotonicRack::new(2);
+    let mut seen = std::collections::HashSet::new();
+    for c in rack.cluster.occupancy().shape().coords() {
+        let key = chip_to_tile(&rack.cluster, c);
+        assert!(seen.insert(key), "chip {c} collides at {key:?}");
+    }
+    assert_eq!(seen.len(), 128);
+}
