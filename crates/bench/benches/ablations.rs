@@ -111,6 +111,14 @@ fn host_stack(c: &mut Criterion) {
 }
 
 criterion_group!(
-    benches, crossover, controllers, fibers, subdivided, moe, alltoall, placement, host_stack
+    benches,
+    crossover,
+    controllers,
+    fibers,
+    subdivided,
+    moe,
+    alltoall,
+    placement,
+    host_stack
 );
 criterion_main!(benches);

@@ -39,9 +39,14 @@ fn fig7(c: &mut Criterion) {
         b.iter_batched(
             || PhotonicRack::new(1),
             |mut rack| {
-                optical_repair(&mut rack, &scenario.victim, scenario.failed, scenario.free[0])
-                    .expect("repair succeeds")
-                    .circuits
+                optical_repair(
+                    &mut rack,
+                    &scenario.victim,
+                    scenario.failed,
+                    scenario.free[0],
+                )
+                .expect("repair succeeds")
+                .circuits
             },
             BatchSize::SmallInput,
         )

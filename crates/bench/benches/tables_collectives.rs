@@ -14,12 +14,16 @@ const RACK: Shape3 = Shape3::rack_4x4x4();
 fn table1(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1_slice1_reduce_scatter");
     for n in [1e6, 1e9] {
-        g.bench_with_input(BenchmarkId::new("full_experiment", n as u64), &n, |b, &n| {
-            b.iter(|| {
-                let rows = run_table1(n);
-                assert!((rows[0].beta_bytes / rows[1].beta_bytes - 3.0).abs() < 1e-9);
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("full_experiment", n as u64),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let rows = run_table1(n);
+                    assert!((rows[0].beta_bytes / rows[1].beta_bytes - 3.0).abs() < 1e-9);
+                })
+            },
+        );
     }
     let params = CostParams::default();
     let torus = Torus::new(RACK);

@@ -22,8 +22,14 @@ fn main() {
             "Fig 3a: MZI switch time response",
             &["metric", "value"],
             &[
-                vec!["fitted tau".into(), format!("{:.3} us", r.fitted_tau_s * 1e6)],
-                vec!["99% settle (reconfiguration)".into(), format!("{:.2} us", r.t99_s * 1e6)],
+                vec![
+                    "fitted tau".into(),
+                    format!("{:.3} us", r.fitted_tau_s * 1e6),
+                ],
+                vec![
+                    "99% settle (reconfiguration)".into(),
+                    format!("{:.2} us", r.t99_s * 1e6),
+                ],
                 vec!["paper".into(), "3.7 us".into()],
             ],
         );
@@ -52,7 +58,14 @@ fn main() {
         let rows = run_table1(n);
         print_table(
             "Table 1: ReduceScatter cost, Slice-1 (4x2x1, p=8), N = 8 GB",
-            &["interconnect", "alpha", "r", "beta bytes", "beta vs optimal", "measured"],
+            &[
+                "interconnect",
+                "alpha",
+                "r",
+                "beta bytes",
+                "beta vs optimal",
+                "measured",
+            ],
             &rows
                 .iter()
                 .map(|r| {
@@ -76,7 +89,14 @@ fn main() {
         let bound = (n - n / 4.0) + (n / 4.0 - n / 16.0);
         print_table(
             "Table 2: ReduceScatter cost, Slice-3 (4x4x1, D=2), N = 16 GB",
-            &["interconnect", "alpha", "r", "beta bytes", "beta vs optimal", "measured"],
+            &[
+                "interconnect",
+                "alpha",
+                "r",
+                "beta bytes",
+                "beta vs optimal",
+                "measured",
+            ],
             &rows
                 .iter()
                 .map(|r| {
@@ -114,12 +134,9 @@ fn main() {
         println!("  paper: sub-rack slices lose up to 66% electrically; optics reaches 100%");
         for r in &rows {
             let e = (r.electrical * 24.0).round() as usize;
-            println!(
-                "  {:<8} elec {:<24} opt {}",
-                r.name,
-                format!("[{}{}]", "#".repeat(e), " ".repeat(24 - e)),
-                format!("[{}]", "#".repeat(24)),
-            );
+            let elec = format!("[{}{}]", "#".repeat(e), " ".repeat(24 - e));
+            let opt = format!("[{}]", "#".repeat(24));
+            println!("  {:<8} elec {elec:<24} opt {opt}", r.name);
         }
     }
 
@@ -130,8 +147,14 @@ fn main() {
             &["metric", "value"],
             &[
                 vec!["free chips evaluated".into(), r.candidates.to_string()],
-                vec!["congestion-free options".into(), r.clean_options.to_string()],
-                vec!["mean foreign chips per repair".into(), format!("{:.1}", r.mean_foreign)],
+                vec![
+                    "congestion-free options".into(),
+                    r.clean_options.to_string(),
+                ],
+                vec![
+                    "mean foreign chips per repair".into(),
+                    format!("{:.1}", r.mean_foreign),
+                ],
                 vec!["paper".into(), "impossible without congestion".into()],
             ],
         );
@@ -144,9 +167,18 @@ fn main() {
             &["metric", "value"],
             &[
                 vec!["free chips evaluated".into(), r.candidates.to_string()],
-                vec!["congestion-free options".into(), r.clean_options.to_string()],
-                vec!["mean foreign chips per repair".into(), format!("{:.1}", r.mean_foreign)],
-                vec!["paper".into(), "any new traffic will cause congestion".into()],
+                vec![
+                    "congestion-free options".into(),
+                    r.clean_options.to_string(),
+                ],
+                vec![
+                    "mean foreign chips per repair".into(),
+                    format!("{:.1}", r.mean_foreign),
+                ],
+                vec![
+                    "paper".into(),
+                    "any new traffic will cause congestion".into(),
+                ],
             ],
         );
     }
@@ -177,8 +209,14 @@ fn main() {
             &[
                 vec!["repair circuits".into(), r.circuits.to_string()],
                 vec!["setup latency".into(), format!("{}", r.setup)],
-                vec!["blast radius, rack migration".into(), format!("{} chips", r.blast_migration)],
-                vec!["blast radius, optical repair".into(), format!("{} chips", r.blast_optical)],
+                vec![
+                    "blast radius, rack migration".into(),
+                    format!("{} chips", r.blast_migration),
+                ],
+                vec![
+                    "blast radius, optical repair".into(),
+                    format!("{} chips", r.blast_optical),
+                ],
                 vec![
                     "reduction".into(),
                     format!("{}x", r.blast_migration / r.blast_optical),
@@ -193,14 +231,46 @@ fn main() {
             "Section 3 capability summary (validated on a full wafer)",
             &["capability", "model", "paper"],
             &[
-                vec!["accelerators per wafer".into(), c.tiles.to_string(), "32".into()],
-                vec!["lasers per tile".into(), c.lambdas_per_tile.to_string(), "16".into()],
-                vec!["rate per wavelength".into(), format!("{} Gbps", c.gbps_per_lambda), "224 Gbps".into()],
-                vec!["waveguides per tile".into(), c.waveguides_per_edge.to_string(), ">10,000".into()],
-                vec!["reconfiguration".into(), format!("{:.1} us", c.reconfig_us), "3.7 us".into()],
-                vec!["crossing loss".into(), format!("{} dB", c.crossing_db), "0.25 dB".into()],
-                vec!["tile egress".into(), format!("{} Gbps", c.tile_egress_gbps), "-".into()],
-                vec!["worst-path margin".into(), format!("{:.1} dB", c.worst_margin_db), "closes".into()],
+                vec![
+                    "accelerators per wafer".into(),
+                    c.tiles.to_string(),
+                    "32".into(),
+                ],
+                vec![
+                    "lasers per tile".into(),
+                    c.lambdas_per_tile.to_string(),
+                    "16".into(),
+                ],
+                vec![
+                    "rate per wavelength".into(),
+                    format!("{} Gbps", c.gbps_per_lambda),
+                    "224 Gbps".into(),
+                ],
+                vec![
+                    "waveguides per tile".into(),
+                    c.waveguides_per_edge.to_string(),
+                    ">10,000".into(),
+                ],
+                vec![
+                    "reconfiguration".into(),
+                    format!("{:.1} us", c.reconfig_us),
+                    "3.7 us".into(),
+                ],
+                vec![
+                    "crossing loss".into(),
+                    format!("{} dB", c.crossing_db),
+                    "0.25 dB".into(),
+                ],
+                vec![
+                    "tile egress".into(),
+                    format!("{} Gbps", c.tile_egress_gbps),
+                    "-".into(),
+                ],
+                vec![
+                    "worst-path margin".into(),
+                    format!("{:.1} dB", c.worst_margin_db),
+                    "closes".into(),
+                ],
             ],
         );
     }
@@ -217,7 +287,12 @@ fn main() {
                         format!("{:.0e} B", p.n_bytes),
                         format!("{}", p.electrical),
                         format!("{}", p.optical),
-                        if p.optics_wins { "optics" } else { "electrical" }.into(),
+                        if p.optics_wins {
+                            "optics"
+                        } else {
+                            "electrical"
+                        }
+                        .into(),
                     ]
                 })
                 .collect::<Vec<_>>(),
@@ -243,7 +318,12 @@ fn main() {
             "Ablation (c): fibers per bundle vs repairs covered",
             &["fibers/bundle", "repairs covered"],
             &pts.iter()
-                .map(|p| vec![p.fibers_per_bundle.to_string(), p.repairs_covered.to_string()])
+                .map(|p| {
+                    vec![
+                        p.fibers_per_bundle.to_string(),
+                        p.repairs_covered.to_string(),
+                    ]
+                })
                 .collect::<Vec<_>>(),
         );
 
@@ -262,7 +342,13 @@ fn main() {
         let pts = run_all_to_all(&[1e4, 1e6, 1e8, 1e10]);
         print_table(
             "Ablation (f): all-to-all (section 5's hard case), Slice-1",
-            &["buffer", "electrical", "congested rounds", "optical (7r)", "winner"],
+            &[
+                "buffer",
+                "electrical",
+                "congested rounds",
+                "optical (7r)",
+                "winner",
+            ],
             &pts.iter()
                 .map(|p| {
                     vec![
@@ -270,7 +356,12 @@ fn main() {
                         format!("{}", p.electrical),
                         p.congested_rounds.to_string(),
                         format!("{}", p.optical),
-                        if p.optics_wins { "optics" } else { "electrical" }.into(),
+                        if p.optics_wins {
+                            "optics"
+                        } else {
+                            "electrical"
+                        }
+                        .into(),
                     ]
                 })
                 .collect::<Vec<_>>(),
@@ -283,7 +374,10 @@ fn main() {
             &[
                 vec!["jobs accepted".into(), r.accepted.to_string()],
                 vec!["jobs rejected".into(), r.rejected.to_string()],
-                vec!["mean occupancy".into(), format!("{:.0}%", r.mean_occupancy * 100.0)],
+                vec![
+                    "mean occupancy".into(),
+                    format!("{:.0}%", r.mean_occupancy * 100.0),
+                ],
                 vec![
                     "mean electrical utilization".into(),
                     format!("{:.0}%", r.mean_electrical_utilization * 100.0),

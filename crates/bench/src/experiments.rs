@@ -12,9 +12,7 @@ use collectives::{
 use desim::{Histogram, SimDuration, TimeSeries};
 use lightpath::{CircuitRequest, TileCoord, Wafer, WaferConfig};
 use phy::{fit_settling_tau, Mzi, MziParams, MziState, StitchModel};
-use resilience::{
-    analyze, blast_radius, fig6a, fig6b, optical_repair, PhotonicRack, RepairPolicy,
-};
+use resilience::{analyze, blast_radius, fig6a, fig6b, optical_repair, PhotonicRack, RepairPolicy};
 use topo::{Cluster, Coord3, Dim, Shape3, Slice, Torus};
 
 /// The rack shape every experiment runs against.
@@ -41,8 +39,8 @@ pub fn run_fig3a() -> Fig3a {
     let trace = mzi.step_response_trace(MziState::Cross, 25e-9, 10e-6);
     // The trace settles to 1 (normalized): fit the straight region of the
     // semilog settling plot, as the paper's scope-trace fit does.
-    let fitted_tau_s = fit_settling_tau(trace.points(), 1.0, 0.01, 0.5)
-        .expect("the switching trace settles");
+    let fitted_tau_s =
+        fit_settling_tau(trace.points(), 1.0, 0.01, 0.5).expect("the switching trace settles");
     let t99_s = trace.first_crossing(0.99).expect("trace settles");
     Fig3a {
         trace,
@@ -388,12 +386,7 @@ pub fn run_controllers(batch_sizes: &[usize]) -> Vec<ControllerPoint> {
         .iter()
         .map(|&n| {
             let requests: Vec<route::controllers::Request> = (0..n)
-                .map(|i| {
-                    (
-                        (0, (i % 8) as u8),
-                        (3, ((i + 3) % 8) as u8),
-                    )
-                })
+                .map(|i| ((0, (i % 8) as u8), (3, ((i + 3) % 8) as u8)))
                 .collect();
             let c = route::central_setup(4, 8, &requests, &params);
             let d = route::decentralized_setup(4, 8, &requests, 1000, &params);
@@ -689,7 +682,10 @@ pub fn run_campaign_comparison() -> Vec<CampaignRow> {
     let params = resilience::CampaignParams::default();
     [
         ("rack migration", resilience::RepairPolicy::RackMigration),
-        ("optical circuits", resilience::RepairPolicy::OpticalCircuits),
+        (
+            "optical circuits",
+            resilience::RepairPolicy::OpticalCircuits,
+        ),
     ]
     .into_iter()
     .map(|(label, policy)| {
@@ -711,7 +707,11 @@ mod tests {
     #[test]
     fn fig3a_reproduces_3_7us() {
         let r = run_fig3a();
-        assert!((r.t99_s * 1e6 - 3.7).abs() < 0.1, "t99 {} µs", r.t99_s * 1e6);
+        assert!(
+            (r.t99_s * 1e6 - 3.7).abs() < 0.1,
+            "t99 {} µs",
+            r.t99_s * 1e6
+        );
         // Fitted τ within the paper's own (wide) fit band: 1.2 ± 0.94 µs.
         assert!(
             r.fitted_tau_s > 0.26e-6 && r.fitted_tau_s < 2.14e-6,
@@ -806,7 +806,10 @@ mod tests {
         let pts = run_all_to_all(&[1e4, 1e9]);
         assert!(!pts[0].optics_wins, "10 kB: reconfig storm dominates");
         assert!(pts[1].optics_wins, "1 GB: bandwidth + clean matchings win");
-        assert!(pts[1].congested_rounds > 0, "electrical all-to-all congests");
+        assert!(
+            pts[1].congested_rounds > 0,
+            "electrical all-to-all congests"
+        );
     }
 
     #[test]

@@ -37,10 +37,7 @@ mod tests {
         print_table(
             "demo",
             &["a", "bb"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["333".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
     }
 

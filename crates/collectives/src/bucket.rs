@@ -122,9 +122,9 @@ pub fn bucket_all_reduce(
     torus: &Torus,
     params: &CostParams,
 ) -> Schedule {
-    bucket_reduce_scatter(slice, dims, n_bytes, mode, rack, torus, params).then(
-        bucket_all_gather(slice, dims, n_bytes, mode, rack, torus, params),
-    )
+    bucket_reduce_scatter(slice, dims, n_bytes, mode, rack, torus, params).then(bucket_all_gather(
+        slice, dims, n_bytes, mode, rack, torus, params,
+    ))
 }
 
 /// Closed-form Table 2 cost of a bucket ReduceScatter: per stage `i`,
@@ -298,8 +298,24 @@ mod tests {
         let params = CostParams::default();
         let a = Slice::new(1, Coord3::new(0, 0, 0), Shape3::new(4, 4, 2));
         let b = Slice::new(2, Coord3::new(0, 0, 2), Shape3::new(4, 4, 2));
-        let sa = bucket_reduce_scatter(&a, &[Dim::Z], 1e9, Mode::Electrical, RACK, &torus(), &params);
-        let sb = bucket_reduce_scatter(&b, &[Dim::Z], 1e9, Mode::Electrical, RACK, &torus(), &params);
+        let sa = bucket_reduce_scatter(
+            &a,
+            &[Dim::Z],
+            1e9,
+            Mode::Electrical,
+            RACK,
+            &torus(),
+            &params,
+        );
+        let sb = bucket_reduce_scatter(
+            &b,
+            &[Dim::Z],
+            1e9,
+            Mode::Electrical,
+            RACK,
+            &torus(),
+            &params,
+        );
         // Merge round 0 of both: simultaneous tenants.
         let mut merged = sa.rounds[0].clone();
         merged.transfers.extend(sb.rounds[0].transfers.clone());

@@ -98,8 +98,7 @@ mod tests {
         let torus = Torus::new(RACK);
         let slice = Slice::new(1, Coord3::new(0, 0, 0), Shape3::new(4, 2, 1));
         for mode in [Mode::Electrical, Mode::OpticalFullSteer] {
-            let sched =
-                ring_reduce_scatter(&snake_order(&slice), 8e9, mode, RACK, &torus, &params);
+            let sched = ring_reduce_scatter(&snake_order(&slice), 8e9, mode, RACK, &torus, &params);
             let report = execute(&sched, &params);
             let analytic = sched.analytic_total(&params);
             assert_eq!(report.total, analytic, "mode {mode:?}");

@@ -36,7 +36,10 @@ impl Mode {
     ///
     /// Panics if `algo_dims` is 0.
     pub fn beta_multiplier(&self, algo_dims: usize, rack: Shape3) -> f64 {
-        assert!(algo_dims >= 1, "an algorithm must use at least one dimension");
+        assert!(
+            algo_dims >= 1,
+            "an algorithm must use at least one dimension"
+        );
         let rack_dims = rack.dims.iter().filter(|&&e| e > 1).count().max(1);
         match self {
             Mode::Electrical => rack_dims as f64,

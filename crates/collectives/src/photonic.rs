@@ -79,8 +79,8 @@ pub fn run_ring_reduce_scatter_on_wafer(
     let mut engine: Engine<Run> = Engine::new();
     let mut run = Run { rounds_done: 0 };
     let chunk = n_bytes / p as f64;
-    let round_time = params.alpha
-        + SimDuration::from_secs_f64(chunk * 8.0 / (hop_bandwidth.0 * 1e9));
+    let round_time =
+        params.alpha + SimDuration::from_secs_f64(chunk * 8.0 / (hop_bandwidth.0 * 1e9));
     let mut t = SimTime::ZERO + setup;
     for _ in 0..p - 1 {
         t += round_time;
@@ -129,56 +129,52 @@ pub fn run_bucket_reduce_scatter_on_wafer(
 
     // Stage helper: establish rings along one axis, run its rounds, tear
     // down (the re-pointing between stages IS the teardown+establish).
-    let mut run_stage = |wafer: &mut Wafer,
-                         horizontal: bool,
-                         buffer: f64|
-     -> Result<SimDuration, CircuitError> {
-        let (lines, ring_len) = if horizontal {
-            (extent_y, extent_x)
-        } else {
-            (extent_x, extent_y)
-        };
-        let mut ids = Vec::new();
-        let mut setup = SimDuration::ZERO;
-        for line in 0..lines {
-            for i in 0..ring_len {
-                let (from, to) = if horizontal {
-                    (tile(i, line), tile((i + 1) % ring_len, line))
-                } else {
-                    (tile(line, i), tile(line, (i + 1) % ring_len))
-                };
-                match wafer.establish(CircuitRequest::new(from, to, lanes)) {
-                    Ok(rep) => {
-                        setup = setup.max(rep.setup);
-                        worst_margin = worst_margin.min(rep.link.margin.0);
-                        hop_bandwidth = wafer.circuit(rep.id).expect("live").bandwidth;
-                        ids.push(rep.id);
-                        circuits_made += 1;
-                    }
-                    Err(e) => {
-                        for id in ids {
-                            wafer.teardown(id).expect("rollback");
+    let mut run_stage =
+        |wafer: &mut Wafer, horizontal: bool, buffer: f64| -> Result<SimDuration, CircuitError> {
+            let (lines, ring_len) = if horizontal {
+                (extent_y, extent_x)
+            } else {
+                (extent_x, extent_y)
+            };
+            let mut ids = Vec::new();
+            let mut setup = SimDuration::ZERO;
+            for line in 0..lines {
+                for i in 0..ring_len {
+                    let (from, to) = if horizontal {
+                        (tile(i, line), tile((i + 1) % ring_len, line))
+                    } else {
+                        (tile(line, i), tile(line, (i + 1) % ring_len))
+                    };
+                    match wafer.establish(CircuitRequest::new(from, to, lanes)) {
+                        Ok(rep) => {
+                            setup = setup.max(rep.setup);
+                            worst_margin = worst_margin.min(rep.link.margin.0);
+                            hop_bandwidth = wafer.circuit(rep.id).expect("live").bandwidth;
+                            ids.push(rep.id);
+                            circuits_made += 1;
                         }
-                        return Err(e);
+                        Err(e) => {
+                            for id in ids {
+                                wafer.teardown(id).expect("rollback");
+                            }
+                            return Err(e);
+                        }
                     }
                 }
             }
-        }
-        let chunk = buffer / ring_len as f64;
-        let round =
-            params.alpha + SimDuration::from_secs_f64(chunk * 8.0 / (hop_bandwidth.0 * 1e9));
-        let stage_time = setup + round * (ring_len as u64 - 1);
-        rounds_done += ring_len - 1;
-        for id in ids {
-            wafer.teardown(id).expect("live");
-        }
-        Ok(stage_time)
-    };
+            let chunk = buffer / ring_len as f64;
+            let round =
+                params.alpha + SimDuration::from_secs_f64(chunk * 8.0 / (hop_bandwidth.0 * 1e9));
+            let stage_time = setup + round * (ring_len as u64 - 1);
+            rounds_done += ring_len - 1;
+            for id in ids {
+                wafer.teardown(id).expect("live");
+            }
+            Ok(stage_time)
+        };
 
     let s1 = run_stage(wafer, true, n_bytes)?;
-    first_setup = first_setup.max(SimDuration::from_secs_f64(
-        phy::thermal::RECONFIG_LATENCY_S,
-    ));
+    first_setup = first_setup.max(SimDuration::from_secs_f64(phy::thermal::RECONFIG_LATENCY_S));
     total += s1;
     let s2 = run_stage(wafer, false, n_bytes / extent_x as f64)?;
     total += s2;
@@ -220,9 +216,8 @@ mod tests {
         let params = CostParams::default();
         let mut wafer = Wafer::new(WaferConfig::lightpath_32());
         let n = 8e9;
-        let report =
-            run_ring_reduce_scatter_on_wafer(&mut wafer, &ring_members(), 16, n, &params)
-                .expect("ring fits");
+        let report = run_ring_reduce_scatter_on_wafer(&mut wafer, &ring_members(), 16, n, &params)
+            .expect("ring fits");
         assert_eq!(report.circuits, 8);
         assert_eq!(report.rounds, 7);
         assert!((report.hop_bandwidth.0 - 3584.0).abs() < 1e-9);
@@ -246,8 +241,8 @@ mod tests {
         let params = CostParams::default();
         let mut wafer = Wafer::new(WaferConfig::lightpath_32());
         let n = 8e9;
-        let full = run_ring_reduce_scatter_on_wafer(&mut wafer, &ring_members(), 16, n, &params)
-            .unwrap();
+        let full =
+            run_ring_reduce_scatter_on_wafer(&mut wafer, &ring_members(), 16, n, &params).unwrap();
         let quarter =
             run_ring_reduce_scatter_on_wafer(&mut wafer, &ring_members(), 4, n, &params).unwrap();
         assert!((quarter.hop_bandwidth.0 - 896.0).abs() < 1e-9);

@@ -44,7 +44,9 @@ pub fn ring_broadcast(
         // Chunk c occupies hop (round − c) during this round, if 0 ≤ that
         // hop < p−1.
         for c in 0..chunks {
-            let Some(hop) = round.checked_sub(c) else { continue };
+            let Some(hop) = round.checked_sub(c) else {
+                continue;
+            };
             if hop >= p - 1 {
                 continue;
             }

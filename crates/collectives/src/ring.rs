@@ -123,9 +123,8 @@ pub fn ring_all_reduce(
     torus: &Torus,
     params: &CostParams,
 ) -> Schedule {
-    ring_reduce_scatter(members, n_bytes, mode, rack, torus, params).then(ring_all_gather(
-        members, n_bytes, mode, rack, torus, params,
-    ))
+    ring_reduce_scatter(members, n_bytes, mode, rack, torus, params)
+        .then(ring_all_gather(members, n_bytes, mode, rack, torus, params))
 }
 
 /// Closed-form Table 1 cost of a ring ReduceScatter: `(p−1)·α [+ r] +
@@ -143,7 +142,6 @@ pub fn ring_reduce_scatter_cost(p: usize, n_bytes: f64, mode: Mode, rack: Shape3
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     const RACK: Shape3 = Shape3::rack_4x4x4();
 
@@ -196,7 +194,14 @@ mod tests {
     #[test]
     fn electrical_ring_is_congestion_free() {
         let s = slice1();
-        let sched = ring_reduce_scatter(&snake_order(&s), 8e9, Mode::Electrical, RACK, &torus(), &CostParams::default());
+        let sched = ring_reduce_scatter(
+            &snake_order(&s),
+            8e9,
+            Mode::Electrical,
+            RACK,
+            &torus(),
+            &CostParams::default(),
+        );
         assert_eq!(sched.rounds.len(), 7);
         assert!(sched.is_congestion_free(), "ring RS must not congest");
         assert_eq!(sched.reconfig_count(), 0);
@@ -223,7 +228,10 @@ mod tests {
         let co_closed = ring_reduce_scatter_cost(8, n, Mode::OpticalFullSteer, RACK);
         assert!((ce.beta_bytes - ce_closed.beta_bytes).abs() < 1e-3);
         assert!((co.beta_bytes - co_closed.beta_bytes).abs() < 1e-3);
-        assert!((co_closed.beta_bytes - (n - n / 8.0)).abs() < 1e-3, "β-optimal");
+        assert!(
+            (co_closed.beta_bytes - (n - n / 8.0)).abs() < 1e-3,
+            "β-optimal"
+        );
     }
 
     #[test]
@@ -241,7 +249,14 @@ mod tests {
     #[test]
     fn optical_ring_reconfigures_once() {
         let members = snake_order(&slice1());
-        let ar = ring_all_reduce(&members, 8e9, Mode::OpticalFullSteer, RACK, &torus(), &CostParams::default());
+        let ar = ring_all_reduce(
+            &members,
+            8e9,
+            Mode::OpticalFullSteer,
+            RACK,
+            &torus(),
+            &CostParams::default(),
+        );
         assert_eq!(ar.reconfig_count(), 1, "RS sets circuits, AG reuses them");
     }
 

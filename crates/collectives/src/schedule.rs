@@ -144,7 +144,11 @@ impl Schedule {
 
     /// Highest link load across all rounds.
     pub fn max_link_load(&self) -> u32 {
-        self.rounds.iter().map(Round::max_link_load).max().unwrap_or(0)
+        self.rounds
+            .iter()
+            .map(Round::max_link_load)
+            .max()
+            .unwrap_or(0)
     }
 
     /// True when every round satisfies the congestion predicate.

@@ -10,10 +10,10 @@
 //! sub-rack slices it is not even applicable electrically because the
 //! rotated orders need every dimension congestion-free.
 
+use crate::bucket::bucket_reduce_scatter;
 use crate::cost::{CostParams, SymbolicCost};
 use crate::mode::Mode;
 use crate::schedule::{Round, Schedule};
-use crate::bucket::bucket_reduce_scatter;
 use topo::{Dim, Shape3, Slice, Torus};
 
 /// Rotate `dims` left by `k`.
@@ -146,12 +146,8 @@ mod tests {
             &params,
         )
         .symbolic_cost(&params);
-        let redirect = crate::bucket::bucket_reduce_scatter_cost(
-            &[4, 4, 4],
-            n,
-            Mode::OpticalFullSteer,
-            RACK,
-        );
+        let redirect =
+            crate::bucket::bucket_reduce_scatter_cost(&[4, 4, 4], n, Mode::OpticalFullSteer, RACK);
         let ratio = sub.beta_ratio(&redirect);
         assert!(
             (ratio - 1.0).abs() < 1e-9,

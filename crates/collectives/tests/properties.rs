@@ -12,7 +12,10 @@ const RACK: Shape3 = Shape3::rack_4x4x4();
 
 /// Slice shapes with at least 2 chips and an even snake cycle.
 fn slice_shape() -> impl Strategy<Value = Shape3> {
-    (prop_oneof![Just(2usize), Just(4)], prop_oneof![Just(1usize), Just(2), Just(4)])
+    (
+        prop_oneof![Just(2usize), Just(4)],
+        prop_oneof![Just(1usize), Just(2), Just(4)],
+    )
         .prop_map(|(x, y)| Shape3::new(x, y, 1))
 }
 

@@ -146,15 +146,24 @@ impl fmt::Display for CircuitError {
                 tile,
                 free,
                 requested,
-            } => write!(f, "tile {tile}: {requested} tx lanes requested, {free} free"),
+            } => write!(
+                f,
+                "tile {tile}: {requested} tx lanes requested, {free} free"
+            ),
             CircuitError::InsufficientRxLanes {
                 tile,
                 free,
                 requested,
-            } => write!(f, "tile {tile}: {requested} rx lanes requested, {free} free"),
+            } => write!(
+                f,
+                "tile {tile}: {requested} rx lanes requested, {free} free"
+            ),
             CircuitError::EdgeExhausted(e) => write!(f, "waveguide bus {e} exhausted"),
             CircuitError::BudgetFailed { margin_db } => {
-                write!(f, "optical budget fails to close (margin {margin_db:.2} dB)")
+                write!(
+                    f,
+                    "optical budget fails to close (margin {margin_db:.2} dB)"
+                )
             }
             CircuitError::PathMismatch => write!(f, "explicit path does not match endpoints"),
             CircuitError::UnknownCircuit(id) => write!(f, "unknown circuit {id}"),

@@ -193,10 +193,7 @@ impl Fabric {
             if respect_capacity && f.free() == 0 {
                 continue;
             }
-            for (a, b) in [
-                (f.link.a.0, f.link.b.0),
-                (f.link.b.0, f.link.a.0),
-            ] {
+            for (a, b) in [(f.link.a.0, f.link.b.0), (f.link.b.0, f.link.a.0)] {
                 let e = best.entry((a, b)).or_insert(i);
                 if self.fibers[*e].free() < f.free() {
                     *e = i;
@@ -351,13 +348,14 @@ impl Fabric {
                         return Err(CircuitError::TileFailed(at));
                     }
                     let avail = tile.serdes.tx_available();
-                    let set = avail.take_lowest(lanes).ok_or(
-                        CircuitError::InsufficientTxLanes {
-                            tile: at,
-                            free: avail.len(),
-                            requested: lanes,
-                        },
-                    )?;
+                    let set =
+                        avail
+                            .take_lowest(lanes)
+                            .ok_or(CircuitError::InsufficientTxLanes {
+                                tile: at,
+                                free: avail.len(),
+                                requested: lanes,
+                            })?;
                     tile.serdes.claim_tx(set).expect("availability checked");
                     manual_src_claim = Some(set);
                 }
@@ -377,13 +375,13 @@ impl Fabric {
                     return Err(CircuitError::TileFailed(at));
                 }
                 let avail = tile.serdes.rx_available();
-                let set = avail.take_lowest(lanes).ok_or(
-                    CircuitError::InsufficientRxLanes {
+                let set = avail
+                    .take_lowest(lanes)
+                    .ok_or(CircuitError::InsufficientRxLanes {
                         tile: at,
                         free: avail.len(),
                         requested: lanes,
-                    },
-                )?;
+                    })?;
                 tile.serdes.claim_rx(set).expect("availability checked");
                 manual_dst_claim = Some(lanes);
             }
@@ -395,10 +393,7 @@ impl Fabric {
                 self.wafers[w.0].teardown(id).expect("just established");
             }
             if let Some(set) = manual_src_claim {
-                self.wafers[src.0 .0]
-                    .tile_mut(src.1)
-                    .serdes
-                    .release_tx(set);
+                self.wafers[src.0 .0].tile_mut(src.1).serdes.release_tx(set);
             }
             return Err(e);
         }

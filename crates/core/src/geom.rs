@@ -177,11 +177,19 @@ impl Path {
         let mut tiles = vec![src];
         let mut cur = src;
         while cur.col != dst.col {
-            cur.col = if dst.col > cur.col { cur.col + 1 } else { cur.col - 1 };
+            cur.col = if dst.col > cur.col {
+                cur.col + 1
+            } else {
+                cur.col - 1
+            };
             tiles.push(cur);
         }
         while cur.row != dst.row {
-            cur.row = if dst.row > cur.row { cur.row + 1 } else { cur.row - 1 };
+            cur.row = if dst.row > cur.row {
+                cur.row + 1
+            } else {
+                cur.row - 1
+            };
             tiles.push(cur);
         }
         Path { tiles }
@@ -194,11 +202,19 @@ impl Path {
         let mut tiles = vec![src];
         let mut cur = src;
         while cur.row != dst.row {
-            cur.row = if dst.row > cur.row { cur.row + 1 } else { cur.row - 1 };
+            cur.row = if dst.row > cur.row {
+                cur.row + 1
+            } else {
+                cur.row - 1
+            };
             tiles.push(cur);
         }
         while cur.col != dst.col {
-            cur.col = if dst.col > cur.col { cur.col + 1 } else { cur.col - 1 };
+            cur.col = if dst.col > cur.col {
+                cur.col + 1
+            } else {
+                cur.col - 1
+            };
             tiles.push(cur);
         }
         Path { tiles }
@@ -236,11 +252,7 @@ impl Path {
 
     /// Number of 90° turns along the path.
     pub fn turns(&self) -> usize {
-        let dirs: Vec<Dir> = self
-            .tiles
-            .windows(2)
-            .map(|w| w[0].dir_to(w[1]))
-            .collect();
+        let dirs: Vec<Dir> = self.tiles.windows(2).map(|w| w[0].dir_to(w[1])).collect();
         dirs.windows(2).filter(|d| d[0].is_turn(d[1])).count()
     }
 

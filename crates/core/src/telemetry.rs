@@ -99,10 +99,18 @@ mod tests {
     #[test]
     fn telemetry_tracks_circuits() {
         let mut w = Wafer::new(WaferConfig::lightpath_32());
-        w.establish(CircuitRequest::new(TileCoord::new(0, 0), TileCoord::new(0, 3), 16))
-            .unwrap();
-        w.establish(CircuitRequest::new(TileCoord::new(1, 0), TileCoord::new(1, 1), 8))
-            .unwrap();
+        w.establish(CircuitRequest::new(
+            TileCoord::new(0, 0),
+            TileCoord::new(0, 3),
+            16,
+        ))
+        .unwrap();
+        w.establish(CircuitRequest::new(
+            TileCoord::new(1, 0),
+            TileCoord::new(1, 1),
+            8,
+        ))
+        .unwrap();
         let t = w.telemetry();
         assert_eq!(t.circuits, 2);
         assert!((t.aggregate_gbps - (16.0 + 8.0) * 224.0).abs() < 1e-9);
@@ -121,11 +129,8 @@ mod tests {
         let mut w = Wafer::new(WaferConfig::lightpath_32());
         // Three circuits share the (0,0)-(0,1) bus via explicit paths.
         for i in 0..3u8 {
-            let p = crate::geom::Path::from_tiles(vec![
-                TileCoord::new(0, 0),
-                TileCoord::new(0, 1),
-            ])
-            .unwrap();
+            let p = crate::geom::Path::from_tiles(vec![TileCoord::new(0, 0), TileCoord::new(0, 1)])
+                .unwrap();
             let mut req = CircuitRequest::new(TileCoord::new(0, 0), TileCoord::new(0, 1), 1).via(p);
             req.claim_src_serdes = i != 1; // vary lane usage
             w.establish(req).unwrap();

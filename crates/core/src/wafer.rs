@@ -163,9 +163,9 @@ impl Wafer {
                 loss_db: self.stitch_loss_db(e),
             });
         }
-        let through_crossings =
-            path.intermediate_tiles().len() as u32 * self.cfg.crossings_per_through_tile
-                + path.turns() as u32 * self.cfg.crossings_per_turn;
+        let through_crossings = path.intermediate_tiles().len() as u32
+            * self.cfg.crossings_per_through_tile
+            + path.turns() as u32 * self.cfg.crossings_per_turn;
         for _ in 0..through_crossings {
             b.push(LossElement::Crossing);
         }
@@ -456,7 +456,9 @@ mod tests {
     #[test]
     fn teardown_releases_everything() {
         let mut w = wafer();
-        let rep = w.establish(CircuitRequest::new(t(0, 0), t(3, 7), 16)).unwrap();
+        let rep = w
+            .establish(CircuitRequest::new(t(0, 0), t(3, 7), 16))
+            .unwrap();
         let path = w.circuit(rep.id).unwrap().path.clone();
         w.teardown(rep.id).unwrap();
         assert_eq!(w.tile(t(0, 0)).serdes.tx_free(), 16);
@@ -481,17 +483,24 @@ mod tests {
         let err = w
             .establish(CircuitRequest::new(t(0, 0), t(2, 2), 4))
             .unwrap_err();
-        assert!(matches!(err, CircuitError::InsufficientTxLanes { free: 0, .. }));
+        assert!(matches!(
+            err,
+            CircuitError::InsufficientTxLanes { free: 0, .. }
+        ));
     }
 
     #[test]
     fn rx_exhaustion_is_detected() {
         let mut w = wafer();
-        w.establish(CircuitRequest::new(t(0, 0), t(1, 1), 16)).unwrap();
+        w.establish(CircuitRequest::new(t(0, 0), t(1, 1), 16))
+            .unwrap();
         let err = w
             .establish(CircuitRequest::new(t(2, 2), t(1, 1), 1))
             .unwrap_err();
-        assert!(matches!(err, CircuitError::InsufficientRxLanes { free: 0, .. }));
+        assert!(matches!(
+            err,
+            CircuitError::InsufficientRxLanes { free: 0, .. }
+        ));
     }
 
     #[test]
@@ -520,9 +529,12 @@ mod tests {
             ..WaferConfig::default()
         });
         // Saturate the first XY edge out of (0,0).
-        w.establish(CircuitRequest::new(t(0, 0), t(0, 1), 1)).unwrap();
+        w.establish(CircuitRequest::new(t(0, 0), t(0, 1), 1))
+            .unwrap();
         // Next circuit from (0,0) to (1,1): XY would reuse (0,0)-(0,1).
-        let rep = w.establish(CircuitRequest::new(t(0, 0), t(1, 1), 1)).unwrap();
+        let rep = w
+            .establish(CircuitRequest::new(t(0, 0), t(1, 1), 1))
+            .unwrap();
         let path = &w.circuit(rep.id).unwrap().path;
         assert_eq!(path.tiles()[1], t(1, 0), "took the YX route");
     }
@@ -579,7 +591,10 @@ mod tests {
             .items()
             .iter()
             .filter_map(|e| match e {
-                LossElement::Waveguide { length_cm, db_per_cm } => Some(length_cm * db_per_cm),
+                LossElement::Waveguide {
+                    length_cm,
+                    db_per_cm,
+                } => Some(length_cm * db_per_cm),
                 _ => None,
             })
             .sum();
@@ -638,9 +653,14 @@ mod tests {
     #[test]
     fn circuits_at_finds_endpoints() {
         let mut w = wafer();
-        let a = w.establish(CircuitRequest::new(t(0, 0), t(1, 1), 1)).unwrap();
-        let b = w.establish(CircuitRequest::new(t(2, 2), t(0, 0), 1)).unwrap();
-        w.establish(CircuitRequest::new(t(3, 3), t(2, 0), 1)).unwrap();
+        let a = w
+            .establish(CircuitRequest::new(t(0, 0), t(1, 1), 1))
+            .unwrap();
+        let b = w
+            .establish(CircuitRequest::new(t(2, 2), t(0, 0), 1))
+            .unwrap();
+        w.establish(CircuitRequest::new(t(3, 3), t(2, 0), 1))
+            .unwrap();
         let at = w.circuits_at(t(0, 0));
         assert_eq!(at, vec![a.id, b.id]);
     }
@@ -650,7 +670,8 @@ mod tests {
         let mut w = wafer();
         let before_tx = w.tile(t(0, 0)).serdes.tx_free();
         // Fails at rx check (dst saturated) after tx/edges were checked.
-        w.establish(CircuitRequest::new(t(2, 2), t(1, 1), 16)).unwrap();
+        w.establish(CircuitRequest::new(t(2, 2), t(1, 1), 16))
+            .unwrap();
         let _ = w
             .establish(CircuitRequest::new(t(0, 0), t(1, 1), 4))
             .unwrap_err();

@@ -141,10 +141,7 @@ impl<M> Engine<M> {
 
     /// Schedule `f` to run at the current instant, after all events already
     /// queued for this instant.
-    pub fn schedule_now(
-        &mut self,
-        f: impl FnOnce(&mut M, &mut Engine<M>) + 'static,
-    ) -> EventId {
+    pub fn schedule_now(&mut self, f: impl FnOnce(&mut M, &mut Engine<M>) + 'static) -> EventId {
         self.schedule_at(self.now, f)
     }
 

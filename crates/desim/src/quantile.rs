@@ -55,7 +55,8 @@ impl QuantileEstimator {
             self.heights[self.count] = x;
             self.count += 1;
             if self.count == 5 {
-                self.heights.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                self.heights
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
             }
             return;
         }
@@ -94,13 +95,12 @@ impl QuantileEstimator {
             if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
                 let s = d.signum();
                 let candidate = self.parabolic(i, s);
-                self.heights[i] = if self.heights[i - 1] < candidate
-                    && candidate < self.heights[i + 1]
-                {
-                    candidate
-                } else {
-                    self.linear(i, s)
-                };
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, s)
+                    };
                 self.positions[i] += s;
             }
         }
@@ -108,7 +108,11 @@ impl QuantileEstimator {
 
     fn parabolic(&self, i: usize, s: f64) -> f64 {
         let (qm, q0, qp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
-        let (nm, n0, np) = (self.positions[i - 1], self.positions[i], self.positions[i + 1]);
+        let (nm, n0, np) = (
+            self.positions[i - 1],
+            self.positions[i],
+            self.positions[i + 1],
+        );
         q0 + s / (np - nm)
             * ((n0 - nm + s) * (qp - q0) / (np - n0) + (np - n0 - s) * (q0 - qm) / (n0 - nm))
     }

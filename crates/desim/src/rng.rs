@@ -50,10 +50,7 @@ impl SimRng {
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -262,8 +259,7 @@ mod tests {
         let mut r = SimRng::seed_from_u64(23);
         for lambda in [0.5, 3.0, 20.0, 200.0] {
             let n = 20_000;
-            let mean: f64 =
-                (0..n).map(|_| r.poisson(lambda) as f64).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n).map(|_| r.poisson(lambda) as f64).sum::<f64>() / n as f64;
             assert!(
                 (mean - lambda).abs() < 0.05 * lambda.max(1.0),
                 "lambda {lambda} mean {mean}"

@@ -110,7 +110,10 @@ impl SimDuration {
             "duration seconds must be finite and non-negative, got {s}"
         );
         let ps = s * PS_PER_S as f64;
-        assert!(ps <= u64::MAX as f64, "duration {s}s overflows the ps clock");
+        assert!(
+            ps <= u64::MAX as f64,
+            "duration {s}s overflows the ps clock"
+        );
         SimDuration(ps.round() as u64)
     }
 

@@ -163,9 +163,7 @@ fn pump(host: &mut Host, engine: &mut Engine<Host>) {
 
     // What to send: one message, or (Batch) the whole queue.
     let batch = match host.policy {
-        CircuitPolicy::Batch { .. } => {
-            host.queues.get_mut(&peer).expect("peer exists").drain()
-        }
+        CircuitPolicy::Batch { .. } => host.queues.get_mut(&peer).expect("peer exists").drain(),
         _ => vec![host
             .queues
             .get_mut(&peer)
@@ -343,7 +341,10 @@ mod tests {
         assert_eq!(r.delivered, 1);
         let lat = r.latency.mean();
         assert!(lat >= max_delay.as_secs_f64());
-        assert!(lat < max_delay.as_secs_f64() + 5e-6, "age flush fired: {lat}");
+        assert!(
+            lat < max_delay.as_secs_f64() + 5e-6,
+            "age flush fired: {lat}"
+        );
     }
 
     #[test]

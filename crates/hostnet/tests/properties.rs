@@ -6,11 +6,7 @@ use hostnet::{simulate, CircuitPolicy, HostParams, Message, PeerId};
 use proptest::prelude::*;
 
 fn workload_strategy() -> impl Strategy<Value = Vec<Message>> {
-    prop::collection::vec(
-        (0u32..6, 1u64..1_000_000, 0u64..10_000_000),
-        1..80,
-    )
-    .prop_map(|v| {
+    prop::collection::vec((0u32..6, 1u64..1_000_000, 0u64..10_000_000), 1..80).prop_map(|v| {
         let mut msgs: Vec<Message> = v
             .into_iter()
             .map(|(dst, bytes, at_ns)| Message {

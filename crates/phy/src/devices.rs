@@ -109,7 +109,7 @@ impl Photodetector {
         let p_w = p.0 * 1e-3;
         let bw = 0.7 * rate.bits_per_sec();
         let signal = self.responsivity_a_per_w * p_w; // mean photocurrent, A
-        // Gaussian noise on the 1-level (shot) and both levels (thermal).
+                                                      // Gaussian noise on the 1-level (shot) and both levels (thermal).
         let shot = (2.0 * Q_ELECTRON * (signal + self.dark_current_a) * bw).sqrt();
         let thermal = self.thermal_noise_a_per_sqrt_hz * bw.sqrt();
         // Eye amplitude ≈ 2·signal for ideal extinction (1-level = 2·mean).

@@ -148,10 +148,7 @@ mod tests {
     #[test]
     fn recalibrating_every_r_means_always_down() {
         let d = DriftModel::default();
-        let pts = recal_tradeoff(
-            &d,
-            &[SimDuration::from_secs_f64(RECONFIG_LATENCY_S)],
-        );
+        let pts = recal_tradeoff(&d, &[SimDuration::from_secs_f64(RECONFIG_LATENCY_S)]);
         assert!((pts[0].downtime_fraction - 1.0).abs() < 1e-12);
     }
 }

@@ -83,7 +83,9 @@ impl LinkBudget {
     /// close — the figure of merit for "how far can a circuit route".
     pub fn loss_headroom_db(&self) -> f64 {
         let launch = self.laser.power + self.modulator.tx_penalty();
-        let sensitivity = self.detector.sensitivity(self.target_ber, self.modulator.rate);
+        let sensitivity = self
+            .detector
+            .sensitivity(self.target_ber, self.modulator.rate);
         (launch - sensitivity).0
     }
 }
@@ -94,9 +96,7 @@ mod tests {
     use crate::loss::LossElement;
 
     fn budget_with_loss(db: f64) -> LinkBudget {
-        LinkBudget::lightpath_default(
-            LossBudget::new().with(LossElement::Other { loss_db: db }),
-        )
+        LinkBudget::lightpath_default(LossBudget::new().with(LossElement::Other { loss_db: db }))
     }
 
     #[test]
@@ -104,7 +104,10 @@ mod tests {
         // Tile-to-neighbor circuit: ~1 cm waveguide, 2 crossings, 2 MZI
         // stages — the Fig 2c circuit from A to B.
         let path = LossBudget::new()
-            .with(LossElement::Waveguide { length_cm: 1.0, db_per_cm: 0.1 })
+            .with(LossElement::Waveguide {
+                length_cm: 1.0,
+                db_per_cm: 0.1,
+            })
             .with(LossElement::Crossing)
             .with(LossElement::Crossing)
             .with(LossElement::MziStage { loss_db: 0.15 })

@@ -79,7 +79,10 @@ impl LossElement {
     /// The loss of this element as a (negative) [`Db`] ratio.
     pub fn loss(&self) -> Db {
         match *self {
-            LossElement::Waveguide { length_cm, db_per_cm } => {
+            LossElement::Waveguide {
+                length_cm,
+                db_per_cm,
+            } => {
                 assert!(length_cm >= 0.0, "negative waveguide length");
                 assert!(db_per_cm >= 0.0, "negative propagation loss");
                 Db::loss(length_cm * db_per_cm)
@@ -192,7 +195,10 @@ mod tests {
         let b = LossBudget::new()
             .with(LossElement::Crossing)
             .with(LossElement::Crossing)
-            .with(LossElement::Waveguide { length_cm: 2.0, db_per_cm: 1.0 })
+            .with(LossElement::Waveguide {
+                length_cm: 2.0,
+                db_per_cm: 1.0,
+            })
             .with(LossElement::MziStage { loss_db: 0.15 });
         // 0.25*2 + 1.0*2 + 0.15 = 2.65 dB
         assert!((b.total_db() - 2.65).abs() < 1e-12);
@@ -216,8 +222,14 @@ mod tests {
 
     #[test]
     fn crosstalk_scales_with_neighbours() {
-        let quiet = LossElement::Crosstalk { neighbours: 0, per_neighbour_db: 0.002 };
-        let busy = LossElement::Crosstalk { neighbours: 500, per_neighbour_db: 0.002 };
+        let quiet = LossElement::Crosstalk {
+            neighbours: 0,
+            per_neighbour_db: 0.002,
+        };
+        let busy = LossElement::Crosstalk {
+            neighbours: 500,
+            per_neighbour_db: 0.002,
+        };
         assert_eq!(quiet.loss().0, 0.0);
         assert!((busy.loss().0 + 1.0).abs() < 1e-12);
     }

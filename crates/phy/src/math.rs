@@ -18,9 +18,8 @@ pub fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -122,8 +121,11 @@ pub struct ExpFit {
 pub fn fit_exponential_rise(samples: &[(f64, f64)]) -> ExpFit {
     assert!(samples.len() >= 4, "need at least 4 samples to fit");
     let tail_n = (samples.len() / 10).max(1);
-    let tail_mean: f64 =
-        samples[samples.len() - tail_n..].iter().map(|&(_, y)| y).sum::<f64>() / tail_n as f64;
+    let tail_mean: f64 = samples[samples.len() - tail_n..]
+        .iter()
+        .map(|&(_, y)| y)
+        .sum::<f64>()
+        / tail_n as f64;
     let head = samples[0].1;
     let span = (tail_mean - head).abs().max(1e-12);
 

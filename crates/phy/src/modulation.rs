@@ -7,9 +7,9 @@
 //! choice is a real trade: NRZ at the same baud carries half the bits but
 //! tolerates far more path loss.
 
+use crate::devices::Photodetector;
 use crate::math::ber_from_q;
 use crate::units::{Dbm, Gbps, Milliwatts};
-use crate::devices::Photodetector;
 
 /// Line-coding format of a wavelength channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -117,8 +117,14 @@ mod tests {
     #[test]
     fn pam4_needs_more_power_than_nrz_at_same_baud() {
         let pd = Photodetector::default();
-        let nrz = Channel { gbaud: 112.0, format: Format::Nrz };
-        let pam4 = Channel { gbaud: 112.0, format: Format::Pam4 };
+        let nrz = Channel {
+            gbaud: 112.0,
+            format: Format::Nrz,
+        };
+        let pam4 = Channel {
+            gbaud: 112.0,
+            format: Format::Pam4,
+        };
         let s_nrz = nrz.sensitivity(&pd, 1e-12);
         let s_pam4 = pam4.sensitivity(&pd, 1e-12);
         let gap = (s_pam4 - s_nrz).0;
@@ -137,7 +143,10 @@ mod tests {
         let pam4 = Channel::lightpath_default();
         let penalty = pam4.penalty_vs_nrz_same_rate(&pd, 1e-12);
         let equal_baud_gap = {
-            let nrz = Channel { gbaud: 112.0, format: Format::Nrz };
+            let nrz = Channel {
+                gbaud: 112.0,
+                format: Format::Nrz,
+            };
             (pam4.sensitivity(&pd, 1e-12) - nrz.sensitivity(&pd, 1e-12)).0
         };
         assert!(
@@ -150,7 +159,10 @@ mod tests {
     fn ber_is_monotone_in_power_for_both_formats() {
         let pd = Photodetector::default();
         for format in [Format::Nrz, Format::Pam4] {
-            let c = Channel { gbaud: 112.0, format };
+            let c = Channel {
+                gbaud: 112.0,
+                format,
+            };
             let mut prev = 0.5;
             for p_dbm in [-20.0, -15.0, -10.0, -5.0, 0.0] {
                 let ber = c.ber(&pd, Dbm(p_dbm).to_mw());

@@ -61,7 +61,10 @@ impl MziParams {
     pub fn validated(self) -> Self {
         assert!(self.tau_s > 0.0, "tau must be positive");
         assert!(self.insertion_loss_db >= 0.0, "insertion loss must be >= 0");
-        assert!(self.extinction_ratio_db > 0.0, "extinction ratio must be > 0");
+        assert!(
+            self.extinction_ratio_db > 0.0,
+            "extinction ratio must be > 0"
+        );
         self
     }
 }

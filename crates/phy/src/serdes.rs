@@ -39,10 +39,7 @@ impl SerdesPool {
 
     /// Matches a LIGHTPATH tile: 16 lanes at 224 Gb/s.
     pub fn lightpath_default() -> Self {
-        SerdesPool::new(
-            crate::wdm::LAMBDAS_PER_TILE,
-            crate::wdm::RATE_PER_LAMBDA,
-        )
+        SerdesPool::new(crate::wdm::LAMBDAS_PER_TILE, crate::wdm::RATE_PER_LAMBDA)
     }
 
     /// Total lanes.

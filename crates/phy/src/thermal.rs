@@ -38,7 +38,10 @@ impl FirstOrderStep {
     ///
     /// Panics unless `tau > 0`.
     pub fn new(start: f64, target: f64, tau: f64) -> Self {
-        assert!(tau > 0.0 && tau.is_finite(), "tau must be positive, got {tau}");
+        assert!(
+            tau > 0.0 && tau.is_finite(),
+            "tau must be positive, got {tau}"
+        );
         FirstOrderStep { start, target, tau }
     }
 
@@ -66,7 +69,10 @@ impl FirstOrderStep {
     ///
     /// Panics unless `0 < tol < 1`.
     pub fn settle_time(&self, tol: f64) -> f64 {
-        assert!(tol > 0.0 && tol < 1.0, "tolerance must be in (0,1), got {tol}");
+        assert!(
+            tol > 0.0 && tol < 1.0,
+            "tolerance must be in (0,1), got {tol}"
+        );
         if self.start == self.target {
             return 0.0;
         }
@@ -106,11 +112,17 @@ mod tests {
         let s = FirstOrderStep::new(std::f64::consts::PI, 0.0, DEFAULT_TAU_S);
         // Residual phase π·exp(−t/τ) = threshold at t = τ·ln(π/threshold).
         let t = DEFAULT_TAU_S * (std::f64::consts::PI / AMPLITUDE_SETTLE_PHASE_RAD).ln();
-        assert!((t - RECONFIG_LATENCY_S).abs() < 1e-11, "settle {t} != 3.7us");
+        assert!(
+            (t - RECONFIG_LATENCY_S).abs() < 1e-11,
+            "settle {t} != 3.7us"
+        );
         let residual = s.value(t).abs();
         assert!((residual - AMPLITUDE_SETTLE_PHASE_RAD).abs() < 1e-9);
         // And the fitted τ is on the order of Fig 3a's ~1.2 µs.
-        assert!((1.0e-6..1.6e-6).contains(&DEFAULT_TAU_S), "tau {DEFAULT_TAU_S}");
+        assert!(
+            (1.0e-6..1.6e-6).contains(&DEFAULT_TAU_S),
+            "tau {DEFAULT_TAU_S}"
+        );
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! Property-based tests of the physical-layer models.
 
-use phy::{
-    ber_from_q, q_from_ber, Db, Dbm, Lambda, LambdaSet, LossBudget, LossElement, Mzi,
-    MziParams, MziState, Photodetector, SerdesPool,
-};
 use phy::units::Gbps;
+use phy::{
+    ber_from_q, q_from_ber, Db, Dbm, Lambda, LambdaSet, LossBudget, LossElement, Mzi, MziParams,
+    MziState, Photodetector, SerdesPool,
+};
 use proptest::prelude::*;
 
 fn lambda_set() -> impl Strategy<Value = LambdaSet> {

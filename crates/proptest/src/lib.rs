@@ -1,0 +1,164 @@
+//! # proptest (offline shim)
+//!
+//! A deterministic, dependency-free re-implementation of the subset of the
+//! [proptest](https://docs.rs/proptest) API this workspace uses. The build
+//! environment has no registry access, so the real crate cannot be fetched;
+//! this shim keeps every `tests/properties.rs` file source-compatible:
+//!
+//! * `proptest! { ... }` with an optional leading
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`
+//! * strategies: integer/float ranges, `Just`, `any::<T>()`, tuples,
+//!   `prop::collection::vec`, `.prop_map`, `prop_oneof![..]`
+//! * assertions: `prop_assert!`, `prop_assert_eq!`, `prop_assume!`
+//!
+//! Unlike the real proptest there is **no shrinking**: a failing case
+//! reports its case index and the deterministic seed so it can be replayed.
+//! Generation is seeded per test name (FNV-1a of the identifier) XORed with
+//! `PROPTEST_SEED` when set, so runs are reproducible by default and
+//! steerable when debugging.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, Just, Strategy, Union};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// The `proptest::prelude` the test files import wholesale.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Define deterministic property tests.
+///
+/// Mirrors proptest's macro shape: any number of `fn name(pat in strategy,
+/// ...) { body }` items, each optionally attributed (`#[test]`, doc
+/// comments), with an optional leading `#![proptest_config(..)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(cfg = $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(cfg = $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut __rejected: u32 = 0;
+                let mut __case: u32 = 0;
+                while __case < __cfg.cases {
+                    let __outcome = (|__rng: &mut $crate::test_runner::TestRng|
+                        -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)*
+                        $body
+                        Ok(())
+                    })(&mut __rng);
+                    match __outcome {
+                        Ok(()) => __case += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                            __rejected += 1;
+                            if __rejected > __cfg.max_global_rejects {
+                                panic!(
+                                    "proptest {}: too many prop_assume! rejections ({})",
+                                    stringify!($name),
+                                    __rejected
+                                );
+                            }
+                        }
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => panic!(
+                            "proptest {} failed at case {} (seed {:#x}): {}",
+                            stringify!($name),
+                            __case,
+                            __rng.initial_seed(),
+                            msg
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Property-test assertion: fails the current case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Property-test equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{} ({:?} != {:?})", format!($($fmt)*), a, b),
+            ));
+        }
+    }};
+}
+
+/// Property-test inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let arms = ::std::vec::Vec::new();
+        $(let arms = $crate::strategy::__push_arm(arms, $strat);)+
+        $crate::strategy::Union::new(arms)
+    }};
+}

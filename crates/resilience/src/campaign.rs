@@ -67,12 +67,8 @@ pub fn run_campaign(policy: RepairPolicy, params: &CampaignParams) -> CampaignRe
     let chips = params.racks * 64;
     let cluster_rate = chips as f64 / params.chip_mtbf_s;
     let per_failure_downtime = match policy {
-        RepairPolicy::RackMigration => {
-            64.0 * params.migration_downtime.as_secs_f64()
-        }
-        RepairPolicy::OpticalCircuits => {
-            CHIPS_PER_SERVER as f64 * phy::thermal::RECONFIG_LATENCY_S
-        }
+        RepairPolicy::RackMigration => 64.0 * params.migration_downtime.as_secs_f64(),
+        RepairPolicy::OpticalCircuits => CHIPS_PER_SERVER as f64 * phy::thermal::RECONFIG_LATENCY_S,
         RepairPolicy::ElectricalInPlace => {
             // Generally infeasible (Fig 6); when attempted anyway, the
             // splice takes a controller round plus the resynchronization —

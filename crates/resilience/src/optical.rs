@@ -12,9 +12,7 @@
 
 use crate::electrical::ring_neighbours;
 use desim::SimDuration;
-use lightpath::{
-    CircuitError, CircuitRequest, Fabric, FiberLink, TileCoord, WaferConfig, WaferId,
-};
+use lightpath::{CircuitError, CircuitRequest, Fabric, FiberLink, TileCoord, WaferConfig, WaferId};
 use topo::{Cluster, Coord3, Dim, Slice};
 
 /// A rack modelled as a photonic fabric: one 2×2 LIGHTPATH wafer per
@@ -209,9 +207,8 @@ mod tests {
         // electrical.rs); the optical repair succeeds outright.
         let mut rack = PhotonicRack::new(1);
         let replacement = scenario.free[0];
-        let report =
-            optical_repair(&mut rack, &scenario.victim, scenario.failed, replacement)
-                .expect("optical repair must succeed");
+        let report = optical_repair(&mut rack, &scenario.victim, scenario.failed, replacement)
+            .expect("optical repair must succeed");
         // 4 ring neighbours (X and Y rings) × 2 directions.
         assert_eq!(report.circuits, 8);
         assert!((report.setup.as_micros_f64() - 3.7).abs() < 1e-9);
@@ -223,8 +220,13 @@ mod tests {
     fn repair_circuits_are_contention_free_by_construction() {
         let scenario = fig6a();
         let mut rack = PhotonicRack::new(1);
-        optical_repair(&mut rack, &scenario.victim, scenario.failed, scenario.free[0])
-            .unwrap();
+        optical_repair(
+            &mut rack,
+            &scenario.victim,
+            scenario.failed,
+            scenario.free[0],
+        )
+        .unwrap();
         // Every wafer's circuit load respects bus capacity (the wafer
         // admission control guarantees dedicated waveguides).
         for w in 0..rack.fabric.wafer_count() {

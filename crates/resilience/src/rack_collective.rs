@@ -11,8 +11,8 @@
 
 use crate::optical::{chip_to_tile, PhotonicRack};
 use desim::SimDuration;
-use lightpath::{CircuitError, CircuitId, CrossCircuitId, WaferId};
 use lightpath::CircuitRequest;
+use lightpath::{CircuitError, CircuitId, CrossCircuitId, WaferId};
 use phy::units::Gbps;
 use topo::{Coord3, Slice};
 
@@ -42,11 +42,7 @@ pub struct RackRingReport {
 
 /// The ring member list of `slice` with `failed` replaced by `spare`
 /// (coordinate order — photonic rings need no adjacency).
-pub fn ring_members_with_replacement(
-    slice: &Slice,
-    failed: Coord3,
-    spare: Coord3,
-) -> Vec<Coord3> {
+pub fn ring_members_with_replacement(slice: &Slice, failed: Coord3, spare: Coord3) -> Vec<Coord3> {
     slice
         .coords()
         .map(|c| if c == failed { spare } else { c })
@@ -93,11 +89,13 @@ pub fn run_rack_ring(
                     Hop::Intra(fw, rep.id)
                 })
         } else {
-            rack.fabric.establish_cross((fw, ft), (tw, tt), lanes).map(|(id, s)| {
-                cross += 1;
-                setup = setup.max(s);
-                Hop::Cross(id)
-            })
+            rack.fabric
+                .establish_cross((fw, ft), (tw, tt), lanes)
+                .map(|(id, s)| {
+                    cross += 1;
+                    setup = setup.max(s);
+                    Hop::Cross(id)
+                })
         };
         match result {
             Ok(hop) => hops.push(hop),
@@ -144,14 +142,8 @@ mod tests {
         let s = fig6a();
         let mut rack = PhotonicRack::new(1);
         let members = ring_members_with_replacement(&s.victim, s.failed, s.free[0]);
-        let report = run_rack_ring(
-            &mut rack,
-            &members,
-            4,
-            1e9,
-            SimDuration::from_us(1),
-        )
-        .expect("ring must run after repair");
+        let report = run_rack_ring(&mut rack, &members, 4, 1e9, SimDuration::from_us(1))
+            .expect("ring must run after repair");
         assert_eq!(report.intra_hops + report.cross_hops, 16);
         assert!(report.cross_hops > 0, "the slice spans multiple servers");
         assert!((report.setup.as_micros_f64() - 3.7).abs() < 1e-9);
@@ -168,8 +160,7 @@ mod tests {
         let s = fig6a();
         let mut rack = PhotonicRack::new(1);
         let members: Vec<Coord3> = s.victim.coords().collect();
-        let report =
-            run_rack_ring(&mut rack, &members, 2, 1e8, SimDuration::from_us(1)).unwrap();
+        let report = run_rack_ring(&mut rack, &members, 2, 1e8, SimDuration::from_us(1)).unwrap();
         // 4×4 layer over 2×2 servers: intra-server hops exist too.
         assert!(report.intra_hops > 0);
         assert!(report.total > report.setup);
@@ -179,8 +170,7 @@ mod tests {
     fn small_two_chip_ring_within_one_server() {
         let mut rack = PhotonicRack::new(1);
         let members = [Coord3::new(0, 0, 0), Coord3::new(1, 0, 0)];
-        let report =
-            run_rack_ring(&mut rack, &members, 8, 1e6, SimDuration::from_us(1)).unwrap();
+        let report = run_rack_ring(&mut rack, &members, 8, 1e6, SimDuration::from_us(1)).unwrap();
         assert_eq!(report.intra_hops, 2);
         assert_eq!(report.cross_hops, 0);
     }
@@ -190,8 +180,7 @@ mod tests {
         let s = fig6a();
         let mut rack = PhotonicRack::new(1);
         let members: Vec<Coord3> = s.victim.coords().collect();
-        let err = run_rack_ring(&mut rack, &members, 17, 1e6, SimDuration::from_us(1))
-            .unwrap_err();
+        let err = run_rack_ring(&mut rack, &members, 17, 1e6, SimDuration::from_us(1)).unwrap_err();
         assert!(matches!(err, CircuitError::BadLaneCount(17)));
         for w in 0..rack.fabric.wafer_count() {
             assert_eq!(rack.fabric.wafer(WaferId(w)).circuits().count(), 0);

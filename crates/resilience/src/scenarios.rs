@@ -144,12 +144,7 @@ mod tests {
     #[test]
     fn fig6b_occupies_all_but_four() {
         let s = fig6b();
-        let total: usize = s
-            .cluster
-            .occupancy()
-            .slices()
-            .map(|sl| sl.chips())
-            .sum();
+        let total: usize = s.cluster.occupancy().slices().map(|sl| sl.chips()).sum();
         assert_eq!(total, 128 - 4);
     }
 }

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use resilience::{
-    analyze, blast_radius, fig6a, optical_repair, ring_members_with_replacement,
-    ring_neighbours, run_rack_ring, PhotonicRack, RepairPolicy,
+    analyze, blast_radius, fig6a, optical_repair, ring_members_with_replacement, ring_neighbours,
+    run_rack_ring, PhotonicRack, RepairPolicy,
 };
 use topo::{Cluster, Coord3, Dim, Shape3, Slice};
 

@@ -135,7 +135,10 @@ mod tests {
             Demand::new(t(1, 0), t(3, 3), 2), // dst failed → establish error
         ];
         let err = allocate_non_overlapping(&mut w, &demands).unwrap_err();
-        assert!(matches!(err, AllocError::Establish(1, CircuitError::TileFailed(_))));
+        assert!(matches!(
+            err,
+            AllocError::Establish(1, CircuitError::TileFailed(_))
+        ));
         assert_eq!(w.circuits().count(), 0, "first circuit rolled back");
         assert_eq!(w.tile(t(0, 0)).serdes.tx_free(), 16);
     }

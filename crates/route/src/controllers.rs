@@ -77,8 +77,7 @@ pub fn central_setup(
     requests: &[Request],
     params: &ControlParams,
 ) -> ControlReport {
-    let per = params.decision_base
-        + params.decision_per_edge * grid_edges(rows, cols);
+    let per = params.decision_base + params.decision_per_edge * grid_edges(rows, cols);
     let n = requests.len();
     let mut total = SimDuration::ZERO;
     let mut sum = SimDuration::ZERO;
@@ -89,7 +88,11 @@ pub fn central_setup(
     ControlReport {
         completed: n,
         failed: 0,
-        mean_latency: if n == 0 { SimDuration::ZERO } else { sum / n as u64 },
+        mean_latency: if n == 0 {
+            SimDuration::ZERO
+        } else {
+            sum / n as u64
+        },
         max_latency: total,
         retries: 0,
     }
@@ -218,11 +221,13 @@ pub fn decentralized_setup(
     engine.run(&mut model);
 
     let completed = model.done.len();
-    let sum = model
+    let sum = model.done.iter().fold(SimDuration::ZERO, |a, &b| a + b);
+    let max = model
         .done
         .iter()
-        .fold(SimDuration::ZERO, |a, &b| a + b);
-    let max = model.done.iter().copied().max().unwrap_or(SimDuration::ZERO);
+        .copied()
+        .max()
+        .unwrap_or(SimDuration::ZERO);
     ControlReport {
         completed,
         failed: model.failed,

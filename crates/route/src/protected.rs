@@ -103,8 +103,7 @@ impl ProtectedCircuit {
     /// True when a single bus fault on the active path cannot also break
     /// the standby (checked against the wafer's live circuit records).
     pub fn is_fault_independent(&self, wafer: &Wafer) -> bool {
-        let (Some(a), Some(b)) = (wafer.circuit(self.active), wafer.circuit(self.standby))
-        else {
+        let (Some(a), Some(b)) = (wafer.circuit(self.active), wafer.circuit(self.standby)) else {
             return false;
         };
         a.path.edge_disjoint(&b.path)
@@ -186,9 +185,7 @@ mod tests {
         let mut w = Wafer::new(WaferConfig::lightpath_32());
         let mut pairs = Vec::new();
         for r in 0..3u8 {
-            pairs.push(
-                establish_protected(&mut w, t(r, 0), t(r + 1, 6), 2).expect("pair fits"),
-            );
+            pairs.push(establish_protected(&mut w, t(r, 0), t(r + 1, 6), 2).expect("pair fits"));
         }
         for p in &pairs {
             assert!(p.is_fault_independent(&w));

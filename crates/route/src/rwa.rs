@@ -201,7 +201,7 @@ mod tests {
         let r0 = plane.assign(&right, 1).unwrap(); // λ0 on right
         let _r1 = plane.assign(&right, 1).unwrap(); // λ1 on right
         plane.release(&right, r0); // right now has λ0 free, left has λ1 free
-        // Each edge has exactly one free channel, but different ones.
+                                   // Each edge has exactly one free channel, but different ones.
         assert_eq!(plane.free_along(&left).len(), 1);
         assert_eq!(plane.free_along(&right).len(), 1);
         assert!(

@@ -44,11 +44,7 @@ pub fn max_min_rates(flows: &[Flow], capacity_gbps: f64) -> Vec<f64> {
 /// hop a flow takes out of chip `c` also consumes `c`'s egress capacity, so
 /// forwarded traffic measurably steals bandwidth from the chips it crosses.
 /// Pass `f64::INFINITY` to disable the chip constraint.
-pub fn max_min_rates_with_chips(
-    flows: &[Flow],
-    link_gbps: f64,
-    chip_egress_gbps: f64,
-) -> Vec<f64> {
+pub fn max_min_rates_with_chips(flows: &[Flow], link_gbps: f64, chip_egress_gbps: f64) -> Vec<f64> {
     assert!(link_gbps > 0.0, "capacity must be positive");
     assert!(chip_egress_gbps > 0.0, "egress budget must be positive");
     let n = flows.len();
@@ -198,7 +194,11 @@ pub fn simulate_flows_with_chips(
         }
     }
 
-    let makespan = completion.iter().copied().max().unwrap_or(SimDuration::ZERO);
+    let makespan = completion
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(SimDuration::ZERO);
     FlowSimReport {
         completion,
         makespan,
@@ -235,9 +235,18 @@ mod tests {
         let t = rack();
         let shared = t.route(Coord3::new(0, 0, 0), Coord3::new(1, 0, 0));
         let f = vec![
-            Flow { path: shared.clone(), bytes: 1e9 },
-            Flow { path: shared.clone(), bytes: 1e9 },
-            Flow { path: shared, bytes: 1e9 },
+            Flow {
+                path: shared.clone(),
+                bytes: 1e9,
+            },
+            Flow {
+                path: shared.clone(),
+                bytes: 1e9,
+            },
+            Flow {
+                path: shared,
+                bytes: 1e9,
+            },
         ];
         let rates = max_min_rates(&f, 90.0);
         for r in rates {
@@ -254,9 +263,18 @@ mod tests {
         let mut a = l1.clone();
         a.extend(l2.clone());
         let f = vec![
-            Flow { path: a, bytes: 1e9 },
-            Flow { path: l1, bytes: 1e9 },
-            Flow { path: l2, bytes: 1e9 },
+            Flow {
+                path: a,
+                bytes: 1e9,
+            },
+            Flow {
+                path: l1,
+                bytes: 1e9,
+            },
+            Flow {
+                path: l2,
+                bytes: 1e9,
+            },
         ];
         let rates = max_min_rates(&f, 100.0);
         // Fair share on both links: A gets 50, B gets 50, C gets 50.
@@ -274,9 +292,18 @@ mod tests {
         let mut through = l1.clone();
         through.extend(l2);
         let f = vec![
-            Flow { path: l1.clone(), bytes: 1e9 },
-            Flow { path: l1, bytes: 1e9 },
-            Flow { path: through, bytes: 1e9 },
+            Flow {
+                path: l1.clone(),
+                bytes: 1e9,
+            },
+            Flow {
+                path: l1,
+                bytes: 1e9,
+            },
+            Flow {
+                path: through,
+                bytes: 1e9,
+            },
         ];
         let rates = max_min_rates(&f, 90.0);
         // L1 is the bottleneck for all three: 30 each.
@@ -288,8 +315,14 @@ mod tests {
     #[test]
     fn dedicated_circuit_flows_never_contend() {
         let f = vec![
-            Flow { path: Vec::new(), bytes: 1e9 },
-            Flow { path: Vec::new(), bytes: 1e9 },
+            Flow {
+                path: Vec::new(),
+                bytes: 1e9,
+            },
+            Flow {
+                path: Vec::new(),
+                bytes: 1e9,
+            },
         ];
         let rates = max_min_rates(&f, 224.0);
         assert_eq!(rates, vec![224.0, 224.0]);
@@ -321,11 +354,7 @@ mod tests {
         // leaving via (1,0,0)'s egress).
         let victim = flow(&t, Coord3::new(1, 0, 0), Coord3::new(2, 0, 0), 1e9);
         let repair = flow(&t, Coord3::new(0, 0, 0), Coord3::new(2, 0, 0), 1e9);
-        let rates = max_min_rates_with_chips(
-            &[victim.clone(), repair],
-            100.0,
-            150.0,
-        );
+        let rates = max_min_rates_with_chips(&[victim.clone(), repair], 100.0, 150.0);
         // Solo, the victim would get 100 (link-limited).
         let solo = max_min_rates_with_chips(&[victim], 100.0, 150.0);
         assert_eq!(solo[0], 100.0);
@@ -344,8 +373,14 @@ mod tests {
         // Two flows share a link; the small one finishes, the big one then
         // doubles its rate.
         let f = vec![
-            Flow { path: shared.clone(), bytes: 1e9 },
-            Flow { path: shared, bytes: 3e9 },
+            Flow {
+                path: shared.clone(),
+                bytes: 1e9,
+            },
+            Flow {
+                path: shared,
+                bytes: 3e9,
+            },
         ];
         let cap = 80.0; // 10 GB/s
         let r = simulate_flows(&f, cap);
@@ -362,18 +397,26 @@ mod tests {
         let t = rack();
         let shared = t.route(Coord3::new(0, 0, 0), Coord3::new(1, 0, 0));
         let solo = simulate_flows(
-            &[Flow { path: shared.clone(), bytes: 1e9 }],
+            &[Flow {
+                path: shared.clone(),
+                bytes: 1e9,
+            }],
             100.0,
         );
         let contended = simulate_flows(
             &[
-                Flow { path: shared.clone(), bytes: 1e9 },
-                Flow { path: shared, bytes: 1e9 },
+                Flow {
+                    path: shared.clone(),
+                    bytes: 1e9,
+                },
+                Flow {
+                    path: shared,
+                    bytes: 1e9,
+                },
             ],
             100.0,
         );
-        let slowdown =
-            contended.completion[0].as_secs_f64() / solo.completion[0].as_secs_f64();
+        let slowdown = contended.completion[0].as_secs_f64() / solo.completion[0].as_secs_f64();
         // Two equal flows on one link: each takes ~1.5× the solo time
         // under fair sharing with recomputation (both finish together at
         // 2× — no early finisher to free capacity).

@@ -133,7 +133,12 @@ impl Ocs {
 
     /// Where the wraparound link from a chip on the high face of `cube`
     /// lands: the same face position on the destination cube's low face.
-    pub fn wrap_destination(&self, cube: usize, face_pos: usize, cube_shape: Shape3) -> (usize, Coord3) {
+    pub fn wrap_destination(
+        &self,
+        cube: usize,
+        face_pos: usize,
+        cube_shape: Shape3,
+    ) -> (usize, Coord3) {
         assert!(face_pos < self.face_ports, "face position out of range");
         let perp: Vec<Dim> = Dim::ALL.into_iter().filter(|&x| x != self.dim).collect();
         let w = cube_shape.extent(perp[0]);

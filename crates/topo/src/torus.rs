@@ -216,7 +216,9 @@ mod tests {
     #[test]
     fn route_to_self_is_empty() {
         let t = rack();
-        assert!(t.route(Coord3::new(1, 1, 1), Coord3::new(1, 1, 1)).is_empty());
+        assert!(t
+            .route(Coord3::new(1, 1, 1), Coord3::new(1, 1, 1))
+            .is_empty());
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Rule RES301: repair blast radius.
+//!
+//! The paper's §4.2 claim is that optical repair shrinks a failure's blast
+//! radius to the failed chip's server: light passes *through* intermediate
+//! tiles without consuming their accelerators' bandwidth. The static form
+//! of that claim is endpoint-shaped — a repair circuit may traverse any
+//! tile, but it may only *terminate* (claim SerDes lanes) at tiles owned by
+//! the victim slice or at free chips. A termination on a healthy tenant's
+//! tile steals that tenant's transceiver lanes: the blast radius escaped.
+
+use crate::diag::{Diagnostic, Location, Report, RuleId, Severity};
+use lightpath::{Fabric, TileCoord, WaferId};
+use resilience::chip_to_tile;
+use std::collections::HashMap;
+use topo::{Cluster, Occupancy, SliceId};
+
+/// One SerDes-claiming circuit endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndpointClaim {
+    /// Display label of the claiming circuit.
+    pub circuit: String,
+    /// Wafer hosting the endpoint.
+    pub wafer: WaferId,
+    /// Tile whose transceiver is claimed.
+    pub tile: TileCoord,
+    /// `"source"` or `"destination"`.
+    pub role: &'static str,
+}
+
+/// Every SerDes-claiming endpoint in a fabric: each wafer's circuits'
+/// claimed ends, plus the true endpoints of cross-wafer circuits (whose
+/// fiber-side segments carry no claim flags of their own). Duplicates —
+/// a cross circuit's claimed segment end coinciding with its recorded
+/// endpoint — are collapsed.
+pub fn endpoint_claims(fabric: &Fabric) -> Vec<EndpointClaim> {
+    let mut claims: Vec<EndpointClaim> = Vec::new();
+    let mut seen: Vec<(WaferId, TileCoord, &'static str)> = Vec::new();
+    let mut push = |claims: &mut Vec<EndpointClaim>,
+                    circuit: String,
+                    wafer: WaferId,
+                    tile: TileCoord,
+                    role: &'static str| {
+        if !seen.contains(&(wafer, tile, role)) {
+            seen.push((wafer, tile, role));
+            claims.push(EndpointClaim {
+                circuit,
+                wafer,
+                tile,
+                role,
+            });
+        }
+    };
+    for w in 0..fabric.wafer_count() {
+        let id = WaferId(w);
+        for ckt in fabric.wafer(id).circuits() {
+            if ckt.claimed_src {
+                push(
+                    &mut claims,
+                    ckt.id.to_string(),
+                    id,
+                    ckt.path.src(),
+                    "source",
+                );
+            }
+            if ckt.claimed_dst {
+                push(
+                    &mut claims,
+                    ckt.id.to_string(),
+                    id,
+                    ckt.path.dst(),
+                    "destination",
+                );
+            }
+        }
+    }
+    for x in fabric.cross_circuits() {
+        let label = format!("{:?}", x.id);
+        push(&mut claims, label.clone(), x.src.0, x.src.1, "source");
+        push(&mut claims, label, x.dst.0, x.dst.1, "destination");
+    }
+    claims
+}
+
+/// Which slice owns each (wafer, tile) transceiver on the photonic rack.
+#[derive(Debug, Clone, Default)]
+pub struct TileOwnership {
+    owned: HashMap<(WaferId, TileCoord), SliceId>,
+}
+
+impl TileOwnership {
+    /// An empty map (every tile free).
+    pub fn new() -> Self {
+        TileOwnership::default()
+    }
+
+    /// Record that `slice` owns the chip at `(wafer, tile)`.
+    pub fn claim(&mut self, slice: SliceId, wafer: WaferId, tile: TileCoord) {
+        self.owned.insert((wafer, tile), slice);
+    }
+
+    /// Project a rack occupancy onto wafer tiles via the chip → (server
+    /// wafer, tile) mapping the photonic fabric uses.
+    pub fn from_occupancy(cluster: &Cluster, occ: &Occupancy) -> Self {
+        let mut map = TileOwnership::new();
+        for c in occ.shape().coords() {
+            if let Some(sid) = occ.owner(c) {
+                let (wafer, tile) = chip_to_tile(cluster, c);
+                map.claim(sid, wafer, tile);
+            }
+        }
+        map
+    }
+
+    /// The slice owning a tile, if any.
+    pub fn owner(&self, wafer: WaferId, tile: TileCoord) -> Option<SliceId> {
+        self.owned.get(&(wafer, tile)).copied()
+    }
+}
+
+/// RES301 — repair circuits must not terminate on healthy slices.
+///
+/// Every endpoint claim is checked against the ownership map: claims on
+/// unowned tiles (free chips, spares) and on the `victim` slice's own
+/// tiles are legitimate; a claim on any other slice's tile is an error.
+pub fn check_blast_radius(
+    claims: &[EndpointClaim],
+    ownership: &TileOwnership,
+    victim: SliceId,
+) -> Report {
+    let mut report = Report::new();
+    for claim in claims {
+        if let Some(owner) = ownership.owner(claim.wafer, claim.tile) {
+            if owner != victim {
+                report.push(Diagnostic {
+                    rule: RuleId::Res301,
+                    severity: Severity::Error,
+                    location: Location::Tile {
+                        wafer: Some(claim.wafer),
+                        tile: claim.tile,
+                    },
+                    message: format!(
+                        "repair circuit {} claims this tile as {} but it belongs to \
+                         healthy {owner} (victim is {victim})",
+                        claim.circuit, claim.role
+                    ),
+                    hint: Some(
+                        "route the repair through this tile instead of terminating on it".into(),
+                    ),
+                });
+            }
+        }
+    }
+    report
+}
+
+/// Convenience: extract the claims from a repaired fabric and check them.
+pub fn check_repair_fabric(fabric: &Fabric, ownership: &TileOwnership, victim: SliceId) -> Report {
+    check_blast_radius(&endpoint_claims(fabric), ownership, victim)
+}

@@ -1,0 +1,365 @@
+//! Rules CKT101–CKT103 and PHY201: static analysis of circuit allocations.
+//!
+//! Rules run over [`WaferView`] — a pure-data snapshot of a wafer's circuit
+//! table and waveguide ledger — rather than over [`lightpath::Wafer`]
+//! directly. The live wafer's admission control refuses most invalid
+//! states, so analyzing a snapshot is what makes the seeded-violation
+//! tests possible: a test constructs a corrupt view by hand and proves the
+//! rule catches it. [`WaferView::of`] extracts the honest snapshot.
+
+use crate::diag::{Diagnostic, Location, Report, RuleId, Severity};
+use lightpath::{EdgeId, Path, TileCoord, Wafer, WaferId};
+use phy::link_budget::LinkReport;
+use phy::wdm::LambdaSet;
+use std::collections::HashMap;
+
+/// A circuit as the analyzer sees it.
+#[derive(Debug, Clone)]
+pub struct CircuitView {
+    /// Display label (e.g. `ckt#3`).
+    pub id: String,
+    /// Route across the tile grid.
+    pub path: Path,
+    /// Wavelengths launched by the source transceiver.
+    pub lambdas: LambdaSet,
+    /// Whether the source tile's transmit SerDes lanes are claimed.
+    pub claimed_src: bool,
+    /// Whether the destination tile's receive SerDes lanes are claimed.
+    pub claimed_dst: bool,
+    /// Link-budget evaluation at establishment time.
+    pub link: LinkReport,
+}
+
+/// A wafer's circuit allocation as pure data.
+#[derive(Debug, Clone)]
+pub struct WaferView {
+    /// The wafer's id when analyzing a fabric; `None` for a lone wafer.
+    pub wafer: Option<WaferId>,
+    /// Grid rows.
+    pub rows: u8,
+    /// Grid columns.
+    pub cols: u8,
+    /// Waveguide-bus capacity per inter-tile edge.
+    pub edge_capacity: u32,
+    /// SerDes lanes per tile (= WDM channels, 16 by default).
+    pub lanes_per_tile: usize,
+    /// The wafer's recorded per-edge usage ledger.
+    pub ledger: HashMap<EdgeId, u32>,
+    /// Live circuits.
+    pub circuits: Vec<CircuitView>,
+}
+
+impl WaferView {
+    /// Snapshot a live wafer (optionally tagging it with a fabric id).
+    pub fn of(wafer: &Wafer, id: Option<WaferId>) -> Self {
+        let cfg = wafer.config();
+        let (rows, cols) = (cfg.rows, cfg.cols);
+        let mut ledger = HashMap::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let t = TileCoord::new(r, c);
+                for n in [TileCoord::new(r + 1, c), TileCoord::new(r, c + 1)] {
+                    if n.row < rows && n.col < cols {
+                        let e = EdgeId::between(t, n);
+                        let used = wafer.edge_used(e);
+                        if used > 0 {
+                            ledger.insert(e, used);
+                        }
+                    }
+                }
+            }
+        }
+        WaferView {
+            wafer: id,
+            rows,
+            cols,
+            edge_capacity: wafer.edge_capacity(),
+            lanes_per_tile: cfg.wdm.channels,
+            ledger,
+            circuits: wafer
+                .circuits()
+                .map(|c| CircuitView {
+                    id: c.id.to_string(),
+                    path: c.path.clone(),
+                    lambdas: c.lambdas,
+                    claimed_src: c.claimed_src,
+                    claimed_dst: c.claimed_dst,
+                    link: c.link,
+                })
+                .collect(),
+        }
+    }
+
+    fn in_grid(&self, t: TileCoord) -> bool {
+        t.row < self.rows && t.col < self.cols
+    }
+}
+
+/// CKT101 — waveguide-bus conservation.
+///
+/// Recomputes per-edge usage from the live circuits (each circuit occupies
+/// one waveguide bundle on every edge of its path) and demands that
+/// (a) no edge exceeds the wafer's capacity, (b) the wafer's recorded
+/// ledger matches the recomputation exactly, and (c) every circuit's path
+/// stays on the grid.
+pub fn check_waveguide_conservation(view: &WaferView) -> Report {
+    let mut report = Report::new();
+    let mut recomputed: HashMap<EdgeId, u32> = HashMap::new();
+    for ckt in &view.circuits {
+        if let Some(&t) = ckt.path.tiles().iter().find(|&&t| !view.in_grid(t)) {
+            report.push(Diagnostic {
+                rule: RuleId::Ckt101,
+                severity: Severity::Error,
+                location: Location::Circuit {
+                    wafer: view.wafer,
+                    circuit: ckt.id.clone(),
+                },
+                message: format!(
+                    "path visits {t}, outside the {}×{} grid",
+                    view.rows, view.cols
+                ),
+                hint: None,
+            });
+            continue;
+        }
+        for e in ckt.path.edges() {
+            *recomputed.entry(e).or_insert(0) += 1;
+        }
+    }
+    let mut edges: Vec<EdgeId> = recomputed
+        .keys()
+        .chain(view.ledger.keys())
+        .copied()
+        .collect();
+    edges.sort();
+    edges.dedup();
+    for e in edges {
+        let actual = recomputed.get(&e).copied().unwrap_or(0);
+        let recorded = view.ledger.get(&e).copied().unwrap_or(0);
+        let loc = Location::Edge {
+            wafer: view.wafer,
+            edge: e,
+        };
+        if actual > view.edge_capacity {
+            report.push(Diagnostic {
+                rule: RuleId::Ckt101,
+                severity: Severity::Error,
+                location: loc.clone(),
+                message: format!(
+                    "{actual} circuits cross this edge, capacity is {}",
+                    view.edge_capacity
+                ),
+                hint: Some("reroute circuits around the saturated bus".into()),
+            });
+        }
+        if actual != recorded {
+            report.push(Diagnostic {
+                rule: RuleId::Ckt101,
+                severity: Severity::Error,
+                location: loc,
+                message: format!(
+                    "usage ledger records {recorded} but {actual} live circuits cross this edge"
+                ),
+                hint: Some("a teardown or establish skipped its bookkeeping".into()),
+            });
+        }
+    }
+    report
+}
+
+/// CKT102 — per-tile SerDes lane conservation.
+///
+/// A tile's transceiver has [`phy::wdm::LAMBDAS_PER_TILE`] lanes in each
+/// direction. The λ-counts of circuits claiming a tile's transmitter (as
+/// source) must sum to at most the pool, likewise its receiver (as
+/// destination); every circuit must carry at least one λ, and no λ index
+/// may exceed the pool.
+pub fn check_lane_conservation(view: &WaferView) -> Report {
+    let mut report = Report::new();
+    let valid = LambdaSet::first_n(view.lanes_per_tile);
+    let mut tx: HashMap<TileCoord, usize> = HashMap::new();
+    let mut rx: HashMap<TileCoord, usize> = HashMap::new();
+    for ckt in &view.circuits {
+        let loc = Location::Circuit {
+            wafer: view.wafer,
+            circuit: ckt.id.clone(),
+        };
+        if ckt.lambdas.is_empty() {
+            report.push(Diagnostic {
+                rule: RuleId::Ckt102,
+                severity: Severity::Error,
+                location: loc.clone(),
+                message: "circuit carries no wavelengths".into(),
+                hint: None,
+            });
+            continue;
+        }
+        let stray = ckt.lambdas.difference(valid);
+        if !stray.is_empty() {
+            report.push(Diagnostic {
+                rule: RuleId::Ckt102,
+                severity: Severity::Error,
+                location: loc,
+                message: format!(
+                    "{} wavelength(s) beyond the {}-lane WDM plan",
+                    stray.len(),
+                    view.lanes_per_tile
+                ),
+                hint: None,
+            });
+        }
+        if ckt.claimed_src {
+            *tx.entry(ckt.path.src()).or_insert(0) += ckt.lambdas.len();
+        }
+        if ckt.claimed_dst {
+            *rx.entry(ckt.path.dst()).or_insert(0) += ckt.lambdas.len();
+        }
+    }
+    for (dirn, claims) in [("transmit", &tx), ("receive", &rx)] {
+        let mut tiles: Vec<_> = claims.iter().collect();
+        tiles.sort();
+        for (&tile, &claimed) in tiles {
+            if claimed > view.lanes_per_tile {
+                report.push(Diagnostic {
+                    rule: RuleId::Ckt102,
+                    severity: Severity::Error,
+                    location: Location::Tile {
+                        wafer: view.wafer,
+                        tile,
+                    },
+                    message: format!(
+                        "{claimed} {dirn} lanes claimed, pool has {}",
+                        view.lanes_per_tile
+                    ),
+                    hint: Some("tear a circuit down or thin its λ-set".into()),
+                });
+            }
+        }
+    }
+    report
+}
+
+/// CKT103 — λ-disjointness at shared transmitters.
+///
+/// Two circuits launched by the same source tile share its laser bank:
+/// their wavelength sets must be disjoint or the bus would carry two
+/// signals on one carrier. (Receive-side lane identity is interchangeable
+/// in this model — [`phy::serdes::SerdesPool`] re-derives it — so the
+/// check binds where λ identity is physical: the transmitter.)
+pub fn check_lambda_disjointness(view: &WaferView) -> Report {
+    let mut report = Report::new();
+    let mut by_src: HashMap<TileCoord, Vec<&CircuitView>> = HashMap::new();
+    for ckt in &view.circuits {
+        if ckt.claimed_src {
+            by_src.entry(ckt.path.src()).or_default().push(ckt);
+        }
+    }
+    let mut tiles: Vec<_> = by_src.keys().copied().collect();
+    tiles.sort();
+    for tile in tiles {
+        let group = &by_src[&tile];
+        for (i, a) in group.iter().enumerate() {
+            for b in &group[i + 1..] {
+                let shared = a.lambdas.intersection(b.lambdas);
+                if !shared.is_empty() {
+                    report.push(Diagnostic {
+                        rule: RuleId::Ckt103,
+                        severity: Severity::Error,
+                        location: Location::Tile {
+                            wafer: view.wafer,
+                            tile,
+                        },
+                        message: format!(
+                            "circuits {} and {} both launch {} shared wavelength(s) here",
+                            a.id,
+                            b.id,
+                            shared.len()
+                        ),
+                        hint: Some("re-establish one circuit on the free part of the grid".into()),
+                    });
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Lint thresholds for PHY201.
+#[derive(Debug, Clone, Copy)]
+pub struct PhyLintConfig {
+    /// Margins below this many dB draw a warning even when the budget
+    /// closes — one hot reticle boundary away from link flaps.
+    pub min_margin_db: f64,
+    /// Estimated BER above this draws a warning.
+    pub max_ber: f64,
+}
+
+impl Default for PhyLintConfig {
+    fn default() -> Self {
+        PhyLintConfig {
+            min_margin_db: 0.5,
+            max_ber: 1e-12,
+        }
+    }
+}
+
+/// PHY201 — link-budget margin lint.
+///
+/// A circuit whose budget does not close (negative margin) is an error:
+/// the light arriving at the detector cannot sustain the target BER. A
+/// closing budget with thin margin or elevated BER estimate is a warning.
+pub fn check_link_budgets(view: &WaferView, cfg: PhyLintConfig) -> Report {
+    let mut report = Report::new();
+    for ckt in &view.circuits {
+        let loc = Location::Circuit {
+            wafer: view.wafer,
+            circuit: ckt.id.clone(),
+        };
+        let margin = ckt.link.margin.0;
+        if !ckt.link.closes() {
+            report.push(Diagnostic {
+                rule: RuleId::Phy201,
+                severity: Severity::Error,
+                location: loc,
+                message: format!(
+                    "budget does not close: received {:.2} dBm against {:.2} dBm sensitivity \
+                     (margin {margin:.2} dB)",
+                    ckt.link.received.0, ckt.link.sensitivity.0
+                ),
+                hint: Some("shorten the route, drop λ-count, or amplify".into()),
+            });
+        } else if margin < cfg.min_margin_db {
+            report.push(Diagnostic {
+                rule: RuleId::Phy201,
+                severity: Severity::Warning,
+                location: loc,
+                message: format!(
+                    "margin {margin:.2} dB is below the {:.2} dB lint floor",
+                    cfg.min_margin_db
+                ),
+                hint: Some("one hot reticle boundary from link flaps".into()),
+            });
+        } else if ckt.link.ber > cfg.max_ber {
+            report.push(Diagnostic {
+                rule: RuleId::Phy201,
+                severity: Severity::Warning,
+                location: loc,
+                message: format!(
+                    "estimated BER {:.2e} exceeds {:.0e}",
+                    ckt.link.ber, cfg.max_ber
+                ),
+                hint: None,
+            });
+        }
+    }
+    report
+}
+
+/// Run the full circuit rule set (CKT101–CKT103, PHY201) over one view.
+pub fn check_wafer_view(view: &WaferView) -> Report {
+    let mut report = check_waveguide_conservation(view);
+    report.merge(check_lane_conservation(view));
+    report.merge(check_lambda_disjointness(view));
+    report.merge(check_link_budgets(view, PhyLintConfig::default()));
+    report
+}

@@ -1,0 +1,312 @@
+//! Rules SCH001–SCH004: static analysis of compiled [`Schedule`]s.
+//!
+//! A schedule is analyzed against a [`ScheduleContext`] describing the rack
+//! it must run on, its participants, and (optionally) the collective whose
+//! closed form its byte totals must reproduce. Nothing is executed: every
+//! check is a fold over the rounds.
+
+use crate::diag::{Diagnostic, Location, Report, RuleId, Severity};
+use collectives::Schedule;
+use topo::{Coord3, Shape3, Torus};
+
+/// The collective a schedule claims to implement, for byte conservation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CollectiveSpec {
+    /// ReduceScatter of `n_bytes` per chip over `p` chips.
+    ReduceScatter {
+        /// Per-chip buffer size, bytes.
+        n_bytes: f64,
+        /// Participants.
+        p: usize,
+    },
+    /// AllGather of `n_bytes` per chip over `p` chips.
+    AllGather {
+        /// Per-chip buffer size, bytes.
+        n_bytes: f64,
+        /// Participants.
+        p: usize,
+    },
+    /// AllReduce (= ReduceScatter + AllGather).
+    AllReduce {
+        /// Per-chip buffer size, bytes.
+        n_bytes: f64,
+        /// Participants.
+        p: usize,
+    },
+    /// Rotation all-to-all where each chip holds `n_bytes` destined in
+    /// equal blocks to every other chip.
+    AllToAll {
+        /// Per-chip buffer size, bytes.
+        n_bytes: f64,
+        /// Participants.
+        p: usize,
+    },
+}
+
+impl CollectiveSpec {
+    /// Bytes every participant must send in total. Ring and bucket
+    /// formulations agree on these closed forms (the bucket telescopes:
+    /// `N(1−1/p₁) + (N/p₁)(1−1/p₂) + … = N − N/p`).
+    pub fn expected_bytes_per_chip(&self) -> f64 {
+        match *self {
+            CollectiveSpec::ReduceScatter { n_bytes, p }
+            | CollectiveSpec::AllGather { n_bytes, p }
+            | CollectiveSpec::AllToAll { n_bytes, p } => n_bytes - n_bytes / p as f64,
+            CollectiveSpec::AllReduce { n_bytes, p } => 2.0 * (n_bytes - n_bytes / p as f64),
+        }
+    }
+
+    /// Human label for messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CollectiveSpec::ReduceScatter { .. } => "ReduceScatter",
+            CollectiveSpec::AllGather { .. } => "AllGather",
+            CollectiveSpec::AllReduce { .. } => "AllReduce",
+            CollectiveSpec::AllToAll { .. } => "AllToAll",
+        }
+    }
+}
+
+/// What a schedule is checked against.
+#[derive(Debug, Clone)]
+pub struct ScheduleContext {
+    /// The rack the schedule runs on (bounds + wraparound for SCH004).
+    pub rack: Shape3,
+    /// Chips participating in the collective (SCH002 checks each one).
+    pub participants: Vec<Coord3>,
+    /// The collective's closed form, when byte conservation should apply.
+    pub collective: Option<CollectiveSpec>,
+}
+
+impl ScheduleContext {
+    /// A context with no byte-conservation spec.
+    pub fn new(rack: Shape3, participants: Vec<Coord3>) -> Self {
+        ScheduleContext {
+            rack,
+            participants,
+            collective: None,
+        }
+    }
+
+    /// Attach the collective whose closed form SCH002 should enforce.
+    pub fn expecting(mut self, spec: CollectiveSpec) -> Self {
+        self.collective = Some(spec);
+        self
+    }
+}
+
+/// Relative tolerance for SCH002's floating-point byte totals.
+const BYTES_REL_TOL: f64 = 1e-9;
+
+/// SCH001 — per-round electrical link oversubscription.
+///
+/// A directed link carrying more than one simultaneous transfer divides its
+/// bandwidth; the paper's congestion predicate is `max load ≤ 1`. Every
+/// overloaded link gets its own diagnostic.
+pub fn check_oversubscription(schedule: &Schedule) -> Report {
+    let mut report = Report::new();
+    for (ri, round) in schedule.rounds.iter().enumerate() {
+        let mut loads: Vec<_> = round
+            .link_loads()
+            .into_iter()
+            .filter(|&(_, load)| load > 1)
+            .collect();
+        loads.sort_by_key(|&(l, _)| l);
+        for (link, load) in loads {
+            report.push(Diagnostic {
+                rule: RuleId::Sch001,
+                severity: Severity::Error,
+                location: Location::Link { round: ri, link },
+                message: format!("{load} simultaneous transfers share this link (limit 1)"),
+                hint: Some(
+                    "split the round, reroute transfers, or steer optical circuits \
+                     into the congested dimension"
+                        .into(),
+                ),
+            });
+        }
+    }
+    report
+}
+
+/// SCH002 — byte conservation against the collective's closed form.
+///
+/// Every participant must send exactly the collective's per-chip total
+/// (`N − N/p`, doubled for AllReduce); chips outside the participant set
+/// must send nothing.
+pub fn check_byte_conservation(schedule: &Schedule, ctx: &ScheduleContext) -> Report {
+    let mut report = Report::new();
+    let Some(spec) = ctx.collective else {
+        return report;
+    };
+    let expected = spec.expected_bytes_per_chip();
+    let tol = expected.abs().max(1.0) * BYTES_REL_TOL;
+    for &chip in &ctx.participants {
+        let sent = schedule.bytes_sent_by(chip);
+        if (sent - expected).abs() > tol {
+            report.push(Diagnostic {
+                rule: RuleId::Sch002,
+                severity: Severity::Error,
+                location: Location::Chip(chip),
+                message: format!(
+                    "{} requires {expected:.3} bytes sent per chip, schedule sends {sent:.3}",
+                    spec.name()
+                ),
+                hint: Some("a round was dropped, duplicated, or sized wrongly".into()),
+            });
+        }
+    }
+    // Strangers must stay silent: any sender outside the participant set.
+    let mut strangers: Vec<Coord3> = schedule
+        .rounds
+        .iter()
+        .flat_map(|r| &r.transfers)
+        .map(|t| t.from)
+        .filter(|c| !ctx.participants.contains(c))
+        .collect();
+    strangers.sort();
+    strangers.dedup();
+    for chip in strangers {
+        report.push(Diagnostic {
+            rule: RuleId::Sch002,
+            severity: Severity::Error,
+            location: Location::Chip(chip),
+            message: format!(
+                "chip sends {:.3} bytes but is not a participant of the {}",
+                schedule.bytes_sent_by(chip),
+                spec.name()
+            ),
+            hint: Some("the schedule leaks traffic outside its slice".into()),
+        });
+    }
+    report
+}
+
+/// SCH003 — non-physical transfers.
+///
+/// A transfer must move a positive, finite number of bytes between two
+/// distinct chips that exist in the rack, in a round with positive ring
+/// bandwidth.
+pub fn check_physical_transfers(schedule: &Schedule, ctx: &ScheduleContext) -> Report {
+    let mut report = Report::new();
+    for (ri, round) in schedule.rounds.iter().enumerate() {
+        if !(round.ring_gbps > 0.0 && round.ring_gbps.is_finite()) {
+            report.push(Diagnostic {
+                rule: RuleId::Sch003,
+                severity: Severity::Error,
+                location: Location::Round(ri),
+                message: format!("round bandwidth {} Gb/s is not positive", round.ring_gbps),
+                hint: None,
+            });
+        }
+        for (ti, t) in round.transfers.iter().enumerate() {
+            let loc = Location::Transfer {
+                round: ri,
+                index: ti,
+            };
+            if t.from == t.to {
+                report.push(Diagnostic {
+                    rule: RuleId::Sch003,
+                    severity: Severity::Error,
+                    location: loc.clone(),
+                    message: format!("self-loop: {} sends to itself", t.from),
+                    hint: Some("a ring of one chip needs no transfer".into()),
+                });
+            }
+            if !(t.bytes > 0.0 && t.bytes.is_finite()) {
+                report.push(Diagnostic {
+                    rule: RuleId::Sch003,
+                    severity: Severity::Error,
+                    location: loc.clone(),
+                    message: format!("payload of {} bytes is not positive and finite", t.bytes),
+                    hint: None,
+                });
+            }
+            for c in [t.from, t.to] {
+                if !ctx.rack.contains(c) {
+                    report.push(Diagnostic {
+                        rule: RuleId::Sch003,
+                        severity: Severity::Error,
+                        location: loc.clone(),
+                        message: format!("endpoint {c} lies outside the {} rack", ctx.rack),
+                        hint: None,
+                    });
+                }
+            }
+        }
+    }
+    report
+}
+
+/// SCH004 — electrical path continuity.
+///
+/// An electrical transfer's hop list must start at its source, chain
+/// link-to-link through the torus (each link's destination is the next
+/// link's origin), and deliver to its destination. Optical transfers carry
+/// no hops and are exempt by construction.
+pub fn check_path_continuity(schedule: &Schedule, ctx: &ScheduleContext) -> Report {
+    let mut report = Report::new();
+    let torus = Torus::new(ctx.rack);
+    for (ri, round) in schedule.rounds.iter().enumerate() {
+        for (ti, t) in round.transfers.iter().enumerate() {
+            if t.path.is_empty() {
+                continue; // dedicated optical circuit
+            }
+            let loc = Location::Transfer {
+                round: ri,
+                index: ti,
+            };
+            if t.path[0].from != t.from {
+                report.push(Diagnostic {
+                    rule: RuleId::Sch004,
+                    severity: Severity::Error,
+                    location: loc.clone(),
+                    message: format!(
+                        "first hop starts at {} but the transfer sends from {}",
+                        t.path[0].from, t.from
+                    ),
+                    hint: None,
+                });
+                continue;
+            }
+            let mut at = t.from;
+            let mut broken = false;
+            for (hi, &hop) in t.path.iter().enumerate() {
+                if hop.from != at {
+                    report.push(Diagnostic {
+                        rule: RuleId::Sch004,
+                        severity: Severity::Error,
+                        location: loc.clone(),
+                        message: format!(
+                            "hop {hi} ({hop}) departs from {} but the previous hop delivered to {at}",
+                            hop.from
+                        ),
+                        hint: Some("hops must chain: dest(path[i]) == path[i+1].from".into()),
+                    });
+                    broken = true;
+                    break;
+                }
+                at = torus.dest(hop);
+            }
+            if !broken && at != t.to {
+                report.push(Diagnostic {
+                    rule: RuleId::Sch004,
+                    severity: Severity::Error,
+                    location: loc,
+                    message: format!("path delivers to {at} but the transfer addresses {}", t.to),
+                    hint: None,
+                });
+            }
+        }
+    }
+    report
+}
+
+/// Run the full schedule rule set (SCH001–SCH004) under one context.
+pub fn check_schedule(schedule: &Schedule, ctx: &ScheduleContext) -> Report {
+    let mut report = check_physical_transfers(schedule, ctx);
+    report.merge(check_path_continuity(schedule, ctx));
+    report.merge(check_oversubscription(schedule));
+    report.merge(check_byte_conservation(schedule, ctx));
+    report
+}

@@ -22,7 +22,7 @@ pub mod placement;
 pub mod training;
 
 pub use arrivals::{generate, ArrivalParams, JobRequest, STANDARD_SHAPES};
+pub use models::{by_name, catalogue, Dtype, ModelSpec};
 pub use pipeline::{PipelineJob, PipelineTiming};
 pub use placement::{simulate, simulate_with_policy, PlacementPolicy, PlacementReport};
-pub use models::{by_name, catalogue, Dtype, ModelSpec};
 pub use training::{CollectiveStrategy, JobTiming, TrainingJob};

@@ -52,8 +52,7 @@ impl PipelineJob {
         let per_mb = self.activation_bytes as f64 * 8.0 / (gbps * 1e9);
         let comm = per_mb * self.microbatches as f64;
         PipelineTiming {
-            comm_total: params.alpha * self.microbatches as u64
-                + SimDuration::from_secs_f64(comm),
+            comm_total: params.alpha * self.microbatches as u64 + SimDuration::from_secs_f64(comm),
             setup: params.reconfig,
             boundary_gbps: gbps,
         }
@@ -79,8 +78,7 @@ impl PipelineJob {
         let bytes = self.activation_bytes as f64 * self.microbatches as f64;
         let comm = bytes * 8.0 / (slowest * 1e9);
         PipelineTiming {
-            comm_total: params.alpha * self.microbatches as u64
-                + SimDuration::from_secs_f64(comm),
+            comm_total: params.alpha * self.microbatches as u64 + SimDuration::from_secs_f64(comm),
             setup: SimDuration::ZERO,
             boundary_gbps: slowest,
         }
@@ -149,7 +147,9 @@ mod tests {
             stages: vec![
                 Coord3::new(0, 0, 0),
                 Coord3::new(2, 0, 0), // 2 hops through (1,0,0)
-                Coord3::new(0, 0, 0).with(topo::Dim::X, 0).with(topo::Dim::Y, 2), // multi-hop
+                Coord3::new(0, 0, 0)
+                    .with(topo::Dim::X, 0)
+                    .with(topo::Dim::Y, 2), // multi-hop
                 Coord3::new(2, 2, 0),
             ],
             activation_bytes: 100_000_000,

@@ -212,16 +212,8 @@ mod tests {
             },
             21,
         );
-        let ff = simulate_with_policy(
-            Shape3::rack_4x4x4(),
-            &jobs,
-            PlacementPolicy::FirstFit,
-        );
-        let bf = simulate_with_policy(
-            Shape3::rack_4x4x4(),
-            &jobs,
-            PlacementPolicy::BestFit,
-        );
+        let ff = simulate_with_policy(Shape3::rack_4x4x4(), &jobs, PlacementPolicy::FirstFit);
+        let bf = simulate_with_policy(Shape3::rack_4x4x4(), &jobs, PlacementPolicy::BestFit);
         assert_eq!(ff.accepted + ff.rejected, 600);
         assert_eq!(bf.accepted + bf.rejected, 600);
         // Allow a small tolerance: best-fit is a heuristic, not an oracle.

@@ -19,7 +19,10 @@ fn main() {
         batches: 50_000,
         ..MoeParams::default()
     };
-    println!("MoE inference: {} experts, top-{}, {} batches", base.experts, base.top_k, base.batches);
+    println!(
+        "MoE inference: {} experts, top-{}, {} batches",
+        base.experts, base.top_k, base.batches
+    );
     println!(
         "\n{:<16} {:>12} {:>12} {:>14} {:>10}",
         "live circuits", "changes", "hit rate", "reconfig time", "overhead"

@@ -29,11 +29,19 @@ fn main() {
 
     println!("\ncircuit {src} -> {dst}:");
     println!("  path          : {}", ckt.path);
-    println!("  bandwidth     : {} ({} wavelengths)", ckt.bandwidth, ckt.lambdas.len());
+    println!(
+        "  bandwidth     : {} ({} wavelengths)",
+        ckt.bandwidth,
+        ckt.lambdas.len()
+    );
     println!("  setup latency : {} (MZI reconfiguration)", report.setup);
     println!("  rx power      : {}", report.link.received);
     println!("  sensitivity   : {}", report.link.sensitivity);
-    println!("  margin        : {} (budget closes: {})", report.link.margin, report.link.closes());
+    println!(
+        "  margin        : {} (budget closes: {})",
+        report.link.margin,
+        report.link.closes()
+    );
     println!("  BER           : {:.2e}", report.link.ber);
 
     // Dedicated waveguides: every bus along the path carries exactly this

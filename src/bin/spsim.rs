@@ -12,8 +12,7 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use server_photonics::collectives::{
-    all_to_all, bucket_reduce_scatter, execute, ring_reduce_scatter, snake_order, CostParams,
-    Mode,
+    all_to_all, bucket_reduce_scatter, execute, ring_reduce_scatter, snake_order, CostParams, Mode,
 };
 use server_photonics::desim::{SimDuration, SimRng, SimTime};
 use server_photonics::hostnet::{self, CircuitPolicy, HostParams, Message, PeerId};
@@ -144,7 +143,10 @@ fn cmd_collective(args: &Args) -> Result<(), String> {
     };
     let sym = schedule.symbolic_cost(&params);
     let report = execute(&schedule, &params);
-    println!("{algo} on slice {shape} ({} chips), N = {bytes:.3e} B, {mode:?}", slice.chips());
+    println!(
+        "{algo} on slice {shape} ({} chips), N = {bytes:.3e} B, {mode:?}",
+        slice.chips()
+    );
     println!("  symbolic : {sym}");
     println!(
         "  measured : {}  ({} rounds, {} congested, max link load {})",
@@ -193,7 +195,10 @@ fn cmd_placement(args: &Args) -> Result<(), String> {
     let r = simulate_placement(Shape3::rack_4x4x4(), &stream);
     println!("placement of {jobs} jobs (seed {seed}) over {}", r.horizon);
     println!("  accepted {} / rejected {}", r.accepted, r.rejected);
-    println!("  mean occupancy          : {:.0}%", r.mean_occupancy * 100.0);
+    println!(
+        "  mean occupancy          : {:.0}%",
+        r.mean_occupancy * 100.0
+    );
     println!(
         "  electrical utilization  : {:.0}%",
         r.mean_electrical_utilization * 100.0

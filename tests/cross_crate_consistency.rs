@@ -4,8 +4,8 @@
 //! collective schedules against circuits actually establishable on a wafer.
 
 use server_photonics::collectives::{
-    bucket_reduce_scatter, execute, ring_all_reduce, ring_reduce_scatter, snake_order,
-    CostParams, Mode,
+    bucket_reduce_scatter, execute, ring_all_reduce, ring_reduce_scatter, snake_order, CostParams,
+    Mode,
 };
 use server_photonics::desim::SimRng;
 use server_photonics::lightpath::{CircuitRequest, TileCoord, Wafer, WaferConfig};
@@ -13,7 +13,7 @@ use server_photonics::phy::thermal::RECONFIG_LATENCY_S;
 use server_photonics::phy::{MziParams, Switch1x3, SwitchPort};
 use server_photonics::topo::{Coord3, Dim, Shape3, Slice, Torus};
 
-use server_photonics::phy as phy;
+use server_photonics::phy;
 
 const RACK: Shape3 = Shape3::rack_4x4x4();
 
@@ -31,8 +31,11 @@ fn executor_matches_closed_form_across_random_cases() {
             continue;
         }
         let n = 10f64.powf(rng.gen_range_f64(3.0, 10.0));
-        let mode = [Mode::Electrical, Mode::OpticalFullSteer, Mode::OpticalStaticSplit]
-            [rng.gen_range_usize(3)];
+        let mode = [
+            Mode::Electrical,
+            Mode::OpticalFullSteer,
+            Mode::OpticalStaticSplit,
+        ][rng.gen_range_usize(3)];
         let sched = ring_reduce_scatter(&snake_order(&slice), n, mode, RACK, &torus, &params);
         let report = execute(&sched, &params);
         let analytic = sched.analytic_total(&params);
@@ -52,7 +55,11 @@ fn wafer_setup_latency_equals_switch_settling() {
     // switch must settle in exactly that time for a full swing.
     let mut wafer = Wafer::new(WaferConfig::default());
     let rep = wafer
-        .establish(CircuitRequest::new(TileCoord::new(0, 0), TileCoord::new(1, 1), 1))
+        .establish(CircuitRequest::new(
+            TileCoord::new(0, 0),
+            TileCoord::new(1, 1),
+            1,
+        ))
         .unwrap();
     let mut sw = Switch1x3::new(MziParams::default(), SwitchPort::Out0);
     let lat = sw.select(SwitchPort::Out2, 0.0);
@@ -162,10 +169,8 @@ fn link_budget_gates_long_paths_consistently() {
     match long {
         Err(server_photonics::lightpath::CircuitError::BudgetFailed { margin_db }) => {
             // Cross-check against the phy-level evaluation of the path.
-            let path = server_photonics::lightpath::Path::xy(
-                TileCoord::new(0, 0),
-                TileCoord::new(3, 7),
-            );
+            let path =
+                server_photonics::lightpath::Path::xy(TileCoord::new(0, 0), TileCoord::new(3, 7));
             let report = wafer.link_budget(&path);
             assert!((report.margin.0 - margin_db).abs() < 1e-9);
             assert!(report.ber > phy::DEFAULT_TARGET_BER);

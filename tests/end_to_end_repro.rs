@@ -105,7 +105,10 @@ fn crossover_lands_between_100kb_and_10mb() {
     // 3× bandwidth vs one extra reconfiguration sits near N ≈ 1 MB.
     let sizes: Vec<f64> = (2..=9).map(|i| 10f64.powi(i)).collect();
     let pts = run_crossover(&sizes);
-    let first_win = pts.iter().position(|p| p.optics_wins).expect("optics wins eventually");
+    let first_win = pts
+        .iter()
+        .position(|p| p.optics_wins)
+        .expect("optics wins eventually");
     let n = pts[first_win].n_bytes;
     assert!(
         (1e5..=1e7).contains(&n),

@@ -4,7 +4,7 @@
 //! and the failure campaign — all exercised through the facade crate.
 
 use server_photonics::collectives::{
-    hierarchical_all_reduce, flat_ring_all_reduce, run_bucket_reduce_scatter_on_wafer,
+    flat_ring_all_reduce, hierarchical_all_reduce, run_bucket_reduce_scatter_on_wafer,
     run_ring_reduce_scatter_on_wafer, CostParams, TierParams,
 };
 use server_photonics::desim::{QuantileEstimator, SimDuration, SimRng, SimTime};
@@ -90,21 +90,19 @@ fn photonic_runners_agree_with_each_other() {
         TileCoord::new(1, 1),
         TileCoord::new(1, 0),
     ];
-    let ring = run_ring_reduce_scatter_on_wafer(&mut wafer, &members, 8, 1e9, &params)
-        .expect("ring runs");
+    let ring =
+        run_ring_reduce_scatter_on_wafer(&mut wafer, &members, 8, 1e9, &params).expect("ring runs");
     assert_eq!(wafer.circuits().count(), 0);
-    let bucket = run_bucket_reduce_scatter_on_wafer(&mut wafer, 2, 2, 8, 1e9, &params)
-        .expect("bucket runs");
+    let bucket =
+        run_bucket_reduce_scatter_on_wafer(&mut wafer, 2, 2, 8, 1e9, &params).expect("bucket runs");
     assert_eq!(wafer.circuits().count(), 0);
     // Same chip count (4): ring does 3 rounds on N/4 chunks; bucket does
     // 1+1 rounds on N/2 then N/4 — bucket moves less per chip overall? No:
     // ring moves 3N/4, bucket moves N/2 + N/4 = 3N/4. Equal volume, equal
     // bandwidth — the bucket pays one extra reconfiguration.
-    let ring_beta = ring.total.as_secs_f64() - ring.setup.as_secs_f64()
-        - 3.0 * params.alpha.as_secs_f64();
-    let bucket_beta = bucket.total.as_secs_f64()
-        - 2.0 * 3.7e-6
-        - 2.0 * params.alpha.as_secs_f64();
+    let ring_beta =
+        ring.total.as_secs_f64() - ring.setup.as_secs_f64() - 3.0 * params.alpha.as_secs_f64();
+    let bucket_beta = bucket.total.as_secs_f64() - 2.0 * 3.7e-6 - 2.0 * params.alpha.as_secs_f64();
     assert!(
         (ring_beta - bucket_beta).abs() < 1e-9,
         "equal β volume: ring {ring_beta} vs bucket {bucket_beta}"
