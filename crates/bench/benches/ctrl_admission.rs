@@ -1,0 +1,72 @@
+//! Control-plane benches: the admission fast path (place + plan +
+//! program + journal, then evict) on a warm fabric, journal hashing,
+//! and a full seeded scenario with failure injection and replay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use desim::{SimDuration, SimTime};
+use fabricd::{replay, run_scenario, Admission, CtrlConfig, FabricState};
+use topo::Shape3;
+
+fn admission_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ctrl_admission");
+    for (label, shape) in [
+        ("2x2x1", Shape3::new(2, 2, 1)),
+        ("4x2x1", Shape3::new(4, 2, 1)),
+        ("4x4x1", Shape3::new(4, 4, 1)),
+    ] {
+        g.bench_with_input(BenchmarkId::new("admit_evict", label), &shape, |b, &s| {
+            let mut st = FabricState::new(1, 2, 0);
+            let mut job = 0u32;
+            let mut t = SimTime::ZERO;
+            b.iter(|| {
+                match st.admit(t, job, s) {
+                    Admission::Admitted { .. } => {}
+                    other => panic!("warm fabric refused {s}: {other:?}"),
+                }
+                t += SimDuration::from_us(1);
+                st.evict(t, job);
+                t += SimDuration::from_us(1);
+                job += 1;
+                job
+            })
+        });
+    }
+    g.finish();
+}
+
+fn journal_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ctrl_journal");
+    let out = run_scenario(&CtrlConfig::default());
+    let journal = out.state.journal();
+    g.bench_function("fnv1a_hash", |b| b.iter(|| journal.hash()));
+    g.bench_function("json_dump", |b| b.iter(|| journal.to_json().len()));
+    g.finish();
+}
+
+fn scenario_and_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ctrl_scenario");
+    g.sample_size(10);
+    let cfg = CtrlConfig {
+        jobs: 12,
+        failures: 1,
+        ..CtrlConfig::default()
+    };
+    g.bench_function("run_12_jobs_1_failure", |b| {
+        b.iter(|| {
+            let out = run_scenario(&cfg);
+            assert!(out.state.incidents().iter().any(|i| i.repair.is_some()));
+            out.state.journal().hash()
+        })
+    });
+    let out = run_scenario(&cfg);
+    g.bench_function("replay_journal", |b| {
+        b.iter(|| match replay(out.state.journal()) {
+            Ok(st) => st.live_jobs(),
+            Err(e) => panic!("replay diverged: {e}"),
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, admission_cycle, journal_hash, scenario_and_replay);
+criterion_main!(benches);

@@ -86,6 +86,19 @@ impl FiberState {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CrossCircuitId(u64);
 
+/// Handle to a circuit established somewhere in a [`Fabric`]: either wholly
+/// within one wafer or spanning wafers over fibers. Control planes that mix
+/// both kinds (ring segments inside a server, fiber hops between servers)
+/// hold these so teardown does not need to remember which establish path
+/// created each circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FabricCircuit {
+    /// A circuit within a single wafer.
+    Wafer(WaferId, CircuitId),
+    /// A circuit crossing wafers over fibers.
+    Cross(CrossCircuitId),
+}
+
 /// An established cross-wafer circuit.
 #[derive(Debug, Clone)]
 pub struct CrossCircuit {
@@ -448,6 +461,14 @@ impl Fabric {
             self.fibers[fi].used -= 1;
         }
         Ok(())
+    }
+
+    /// Tear down a circuit by its uniform handle (see [`FabricCircuit`]).
+    pub fn teardown_handle(&mut self, handle: FabricCircuit) -> Result<(), CircuitError> {
+        match handle {
+            FabricCircuit::Wafer(w, id) => self.wafer_mut(w).teardown(id),
+            FabricCircuit::Cross(id) => self.teardown_cross(id),
+        }
     }
 
     /// Look up a cross-wafer circuit.

@@ -9,8 +9,17 @@
 use crate::geom::EdgeId;
 use crate::wafer::Wafer;
 
+/// Number of buckets in [`WaferTelemetry::edge_occupancy_hist`]: buckets
+/// `0..=7` count buses carrying exactly that many circuits, the last bucket
+/// counts buses at or above 8 (a fully loaded default bus).
+pub const EDGE_OCCUPANCY_BUCKETS: usize = 9;
+
 /// A point-in-time utilization snapshot of one wafer.
-#[derive(Debug, Clone)]
+///
+/// Derives `PartialEq` so replay harnesses can assert that two wafers ended
+/// in the same observable state (all fields are exact counts or exact
+/// ratios of counts, so float equality is meaningful here).
+#[derive(Debug, Clone, PartialEq)]
 pub struct WaferTelemetry {
     /// Live circuits.
     pub circuits: usize,
@@ -20,10 +29,17 @@ pub struct WaferTelemetry {
     pub busiest_edge: Option<(EdgeId, u32)>,
     /// Mean circuits per bus over all buses.
     pub mean_edge_occupancy: f64,
+    /// Histogram of circuits-per-bus over all buses: index `i` counts buses
+    /// carrying exactly `i` circuits; the last bucket counts `>= 8`.
+    pub edge_occupancy_hist: [u64; EDGE_OCCUPANCY_BUCKETS],
     /// Fraction of all transmit lanes claimed.
     pub tx_lane_utilization: f64,
     /// Fraction of all receive lanes claimed.
     pub rx_lane_utilization: f64,
+    /// Transmit lanes still free, summed over every tile.
+    pub free_tx_lanes: usize,
+    /// Receive lanes still free, summed over every tile.
+    pub free_rx_lanes: usize,
     /// MZI reconfiguration events since fabrication.
     pub reconfigs: u64,
 }
@@ -37,6 +53,7 @@ impl Wafer {
 
         let mut busiest: Option<(EdgeId, u32)> = None;
         let mut total_load = 0u64;
+        let mut hist = [0u64; EDGE_OCCUPANCY_BUCKETS];
         for r in 0..cfg.rows {
             for c in 0..cfg.cols {
                 let here = crate::geom::TileCoord::new(r, c);
@@ -50,6 +67,7 @@ impl Wafer {
                     let e = EdgeId::between(here, next);
                     let used = self.edge_used(e);
                     total_load += used as u64;
+                    hist[(used as usize).min(EDGE_OCCUPANCY_BUCKETS - 1)] += 1;
                     if used > 0 && busiest.is_none_or(|(_, b)| used > b) {
                         busiest = Some((e, used));
                     }
@@ -59,10 +77,13 @@ impl Wafer {
 
         let lanes_total = (cfg.tiles() * cfg.wdm.channels) as f64;
         let (mut tx_used, mut rx_used) = (0usize, 0usize);
+        let (mut tx_free, mut rx_free) = (0usize, 0usize);
         for t in self.coords() {
             let tile = self.tile(t);
             tx_used += cfg.wdm.channels - tile.serdes.tx_free();
             rx_used += cfg.wdm.channels - tile.serdes.rx_free();
+            tx_free += tile.serdes.tx_free();
+            rx_free += tile.serdes.rx_free();
         }
 
         WaferTelemetry {
@@ -70,8 +91,11 @@ impl Wafer {
             aggregate_gbps: self.aggregate_bandwidth().0,
             busiest_edge: busiest,
             mean_edge_occupancy: total_load as f64 / edge_count as f64,
+            edge_occupancy_hist: hist,
             tx_lane_utilization: tx_used as f64 / lanes_total,
             rx_lane_utilization: rx_used as f64 / lanes_total,
+            free_tx_lanes: tx_free,
+            free_rx_lanes: rx_free,
             reconfigs: self.reconfigs(),
         }
     }
@@ -94,6 +118,37 @@ mod tests {
         assert_eq!(t.mean_edge_occupancy, 0.0);
         assert_eq!(t.tx_lane_utilization, 0.0);
         assert_eq!(t.rx_lane_utilization, 0.0);
+        // 52 buses all carry zero circuits; every lane of 32 tiles is free.
+        assert_eq!(t.edge_occupancy_hist[0], 52);
+        assert_eq!(t.edge_occupancy_hist.iter().sum::<u64>(), 52);
+        assert_eq!(t.free_tx_lanes, 32 * 16);
+        assert_eq!(t.free_rx_lanes, 32 * 16);
+    }
+
+    #[test]
+    fn occupancy_histogram_and_free_lanes_track_circuits() {
+        let mut w = Wafer::new(WaferConfig::lightpath_32());
+        // A 3-hop circuit loads three buses with one circuit each.
+        assert!(w
+            .establish(CircuitRequest::new(
+                TileCoord::new(0, 0),
+                TileCoord::new(0, 3),
+                16,
+            ))
+            .is_ok());
+        let t = w.telemetry();
+        assert_eq!(t.edge_occupancy_hist[1], 3);
+        assert_eq!(t.edge_occupancy_hist[0], 52 - 3);
+        assert_eq!(t.edge_occupancy_hist.iter().sum::<u64>(), 52);
+        // 16 λ claimed at the source transmitter and sink receiver.
+        assert_eq!(t.free_tx_lanes, 32 * 16 - 16);
+        assert_eq!(t.free_rx_lanes, 32 * 16 - 16);
+        // Snapshots are comparable: same wafer state ⇒ equal telemetry.
+        assert_eq!(w.telemetry(), w.telemetry());
+        assert_ne!(
+            Wafer::new(WaferConfig::lightpath_32()).telemetry(),
+            w.telemetry()
+        );
     }
 
     #[test]

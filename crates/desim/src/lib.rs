@@ -45,7 +45,7 @@
 mod engine;
 mod quantile;
 mod rng;
-mod stats;
+pub mod stats;
 mod time;
 
 pub use engine::{Engine, EventFn, EventId};

@@ -1,0 +1,520 @@
+//! Append-only command journal.
+//!
+//! Every decision the control plane takes — admit, deny, program,
+//! reconfigure, fail, repair, evict — is recorded here in execution order.
+//! The journal is the system of record for two properties the paper's
+//! control story needs:
+//!
+//! 1. **Determinism**: two runs from the same seed must take byte-identical
+//!    decision sequences, so the journal carries a canonical encoding and a
+//!    64-bit FNV-1a [`Journal::hash`] over it.
+//! 2. **Replayability**: the journal holds enough information (header seed
+//!    and geometry, plus per-entry slice placements and spare choices) to
+//!    rebuild the final fabric state on a fresh wafer — see
+//!    [`crate::state::replay`].
+//!
+//! Entries are never mutated or removed; [`Journal::push`] assigns
+//! monotonic sequence numbers. [`Journal::to_json`] dumps the whole log as
+//! hand-rolled JSON (the workspace is offline and carries no serde).
+
+use desim::SimTime;
+use topo::{Coord3, Shape3};
+
+/// Immutable run parameters recorded at journal creation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// TPUv4 racks in the photonic fabric (16 servers each).
+    pub racks: usize,
+    /// Wavelength lanes per tenant ring circuit.
+    pub lanes: usize,
+    /// Arrival-stream seed.
+    pub seed: u64,
+    /// Chip-grid shape of the cluster the journal's slices live in.
+    pub shape: Shape3,
+}
+
+/// Why an admission was denied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DenyReason {
+    /// The job waited in the admission queue past its deadline without a
+    /// slice ever becoming free.
+    QueueTimeout,
+    /// A slice was free but its ring circuits could not be programmed
+    /// (waveguide, lane, or fiber exhaustion); the slice was released.
+    ProgramFailed,
+}
+
+impl DenyReason {
+    fn canon(self) -> &'static str {
+        match self {
+            DenyReason::QueueTimeout => "timeout",
+            DenyReason::ProgramFailed => "program-failed",
+        }
+    }
+}
+
+/// One journaled control-plane decision.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalEntry {
+    /// A job was granted the slice at `origin` with `extent`.
+    Admit {
+        /// Job id (doubles as the slice id).
+        job: u32,
+        /// Slice origin chip.
+        origin: Coord3,
+        /// Slice extent.
+        extent: Shape3,
+    },
+    /// A job was turned away.
+    Deny {
+        /// Job id.
+        job: u32,
+        /// The shape it asked for (needed to replay failed programming).
+        shape: Shape3,
+        /// Why.
+        reason: DenyReason,
+    },
+    /// The job's ring circuits were programmed atomically.
+    Program {
+        /// Job id.
+        job: u32,
+        /// Circuits established (intra-wafer + cross-wafer).
+        circuits: usize,
+        /// Per-wafer edge-disjoint batches executed.
+        batches: usize,
+        /// Cross-wafer circuits established.
+        cross: usize,
+    },
+    /// The MZI mesh settled after a programming batch.
+    Reconfigure {
+        /// Job whose circuits triggered the reconfiguration.
+        job: u32,
+        /// Settling time, microseconds (3.7 µs per the paper).
+        micros: f64,
+    },
+    /// A chip failed; its terminating circuits were spliced out.
+    Fail {
+        /// Incident id (dense, starting at 0).
+        incident: u64,
+        /// The failed chip.
+        chip: Coord3,
+        /// The tenant owning the chip, if any.
+        victim: Option<u32>,
+        /// Circuits torn down because they terminated on the failed chip.
+        spliced: usize,
+    },
+    /// An incident was repaired by splicing in a spare chip optically.
+    Repair {
+        /// The incident being repaired (must be journaled earlier).
+        incident: u64,
+        /// The spare chip spliced in.
+        replacement: Coord3,
+        /// Repair circuits established.
+        circuits: usize,
+        /// Servers whose wafers terminate repair circuits.
+        servers_touched: usize,
+        /// Servers whose *tenant* chips were disturbed — the paper's blast
+        /// radius (1: only the failed chip's own server).
+        blast_servers: usize,
+    },
+    /// A repair was attempted and rolled back.
+    RepairFailed {
+        /// The incident (must be journaled earlier).
+        incident: u64,
+        /// The spare that could not be spliced in.
+        replacement: Coord3,
+        /// The circuit error, rendered.
+        error: String,
+    },
+    /// A job departed; its circuits and slice were released.
+    Evict {
+        /// Job id.
+        job: u32,
+    },
+}
+
+impl JournalEntry {
+    fn canon(&self) -> String {
+        match self {
+            JournalEntry::Admit {
+                job,
+                origin,
+                extent,
+            } => {
+                format!("admit job={job} origin={origin} extent={extent}")
+            }
+            JournalEntry::Deny { job, shape, reason } => {
+                format!("deny job={job} shape={shape} reason={}", reason.canon())
+            }
+            JournalEntry::Program {
+                job,
+                circuits,
+                batches,
+                cross,
+            } => {
+                format!("program job={job} circuits={circuits} batches={batches} cross={cross}")
+            }
+            JournalEntry::Reconfigure { job, micros } => {
+                format!("reconfigure job={job} micros={micros:.3}")
+            }
+            JournalEntry::Fail {
+                incident,
+                chip,
+                victim,
+                spliced,
+            } => {
+                let v = victim.map_or("-".to_string(), |v| v.to_string());
+                format!("fail incident={incident} chip={chip} victim={v} spliced={spliced}")
+            }
+            JournalEntry::Repair {
+                incident,
+                replacement,
+                circuits,
+                servers_touched,
+                blast_servers,
+            } => format!(
+                "repair incident={incident} replacement={replacement} circuits={circuits} \
+                 servers={servers_touched} blast={blast_servers}"
+            ),
+            JournalEntry::RepairFailed {
+                incident,
+                replacement,
+                error,
+            } => {
+                format!("repair-failed incident={incident} replacement={replacement} error={error}")
+            }
+            JournalEntry::Evict { job } => format!("evict job={job}"),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            JournalEntry::Admit { .. } => "admit",
+            JournalEntry::Deny { .. } => "deny",
+            JournalEntry::Program { .. } => "program",
+            JournalEntry::Reconfigure { .. } => "reconfigure",
+            JournalEntry::Fail { .. } => "fail",
+            JournalEntry::Repair { .. } => "repair",
+            JournalEntry::RepairFailed { .. } => "repair-failed",
+            JournalEntry::Evict { .. } => "evict",
+        }
+    }
+}
+
+/// One record: a sequence number, the simulated instant, and the decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Monotonic sequence number, dense from 0.
+    pub seq: u64,
+    /// When the decision was taken.
+    pub at: SimTime,
+    /// The decision.
+    pub entry: JournalEntry,
+}
+
+impl Record {
+    /// Canonical single-line encoding; hashing and goldens key off this.
+    pub fn canon(&self) -> String {
+        format!(
+            "seq={} t={}ps {}",
+            self.seq,
+            self.at.as_ps(),
+            self.entry.canon()
+        )
+    }
+}
+
+/// The append-only command journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Journal {
+    header: JournalHeader,
+    records: Vec<Record>,
+}
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(hash, |h, &b| (h ^ b as u64).wrapping_mul(FNV_PRIME))
+}
+
+impl Journal {
+    /// An empty journal for a run described by `header`.
+    pub fn new(header: JournalHeader) -> Self {
+        Journal {
+            header,
+            records: Vec::new(),
+        }
+    }
+
+    /// The run parameters.
+    pub fn header(&self) -> &JournalHeader {
+        &self.header
+    }
+
+    /// Append a decision at simulated instant `at`; returns its sequence
+    /// number.
+    pub fn push(&mut self, at: SimTime, entry: JournalEntry) -> u64 {
+        let seq = self.records.len() as u64;
+        self.records.push(Record { seq, at, entry });
+        seq
+    }
+
+    /// All records, in append order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been journaled.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The header's canonical line.
+    fn canon_header(&self) -> String {
+        let h = &self.header;
+        format!(
+            "journal racks={} lanes={} seed={} shape={}",
+            h.racks, h.lanes, h.seed, h.shape
+        )
+    }
+
+    /// 64-bit FNV-1a over the canonical encoding of the header and every
+    /// record. Two runs are decision-identical iff their hashes agree.
+    pub fn hash(&self) -> u64 {
+        let mut h = fnv1a(FNV_OFFSET, self.canon_header().as_bytes());
+        for r in &self.records {
+            h = fnv1a(h, b"\n");
+            h = fnv1a(h, r.canon().as_bytes());
+        }
+        h
+    }
+
+    /// Dump the journal as JSON (hand-rolled; the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        let h = &self.header;
+        let mut out = String::with_capacity(64 + self.records.len() * 96);
+        out.push_str("{\n");
+        out.push_str("  \"version\": 1,\n");
+        out.push_str(&format!("  \"racks\": {},\n", h.racks));
+        out.push_str(&format!("  \"lanes\": {},\n", h.lanes));
+        out.push_str(&format!("  \"seed\": {},\n", h.seed));
+        out.push_str(&format!(
+            "  \"shape\": [{}, {}, {}],\n",
+            h.shape.extent(topo::Dim::X),
+            h.shape.extent(topo::Dim::Y),
+            h.shape.extent(topo::Dim::Z)
+        ));
+        out.push_str(&format!("  \"hash\": \"{:#018x}\",\n", self.hash()));
+        out.push_str("  \"entries\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(&record_json(r));
+            out.push_str(if i + 1 < self.records.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn coord_json(c: Coord3) -> String {
+    format!("[{}, {}, {}]", c.p[0], c.p[1], c.p[2])
+}
+
+fn shape_json(s: Shape3) -> String {
+    format!(
+        "[{}, {}, {}]",
+        s.extent(topo::Dim::X),
+        s.extent(topo::Dim::Y),
+        s.extent(topo::Dim::Z)
+    )
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn record_json(r: &Record) -> String {
+    let common = format!(
+        "\"seq\": {}, \"t_ps\": {}, \"kind\": \"{}\"",
+        r.seq,
+        r.at.as_ps(),
+        r.entry.kind()
+    );
+    let rest = match &r.entry {
+        JournalEntry::Admit {
+            job,
+            origin,
+            extent,
+        } => format!(
+            ", \"job\": {job}, \"origin\": {}, \"extent\": {}",
+            coord_json(*origin),
+            shape_json(*extent)
+        ),
+        JournalEntry::Deny { job, shape, reason } => format!(
+            ", \"job\": {job}, \"shape\": {}, \"reason\": \"{}\"",
+            shape_json(*shape),
+            reason.canon()
+        ),
+        JournalEntry::Program {
+            job,
+            circuits,
+            batches,
+            cross,
+        } => format!(
+            ", \"job\": {job}, \"circuits\": {circuits}, \"batches\": {batches}, \
+             \"cross\": {cross}"
+        ),
+        JournalEntry::Reconfigure { job, micros } => {
+            format!(", \"job\": {job}, \"micros\": {micros:.3}")
+        }
+        JournalEntry::Fail {
+            incident,
+            chip,
+            victim,
+            spliced,
+        } => format!(
+            ", \"incident\": {incident}, \"chip\": {}, \"victim\": {}, \"spliced\": {spliced}",
+            coord_json(*chip),
+            victim.map_or("null".to_string(), |v| v.to_string())
+        ),
+        JournalEntry::Repair {
+            incident,
+            replacement,
+            circuits,
+            servers_touched,
+            blast_servers,
+        } => format!(
+            ", \"incident\": {incident}, \"replacement\": {}, \"circuits\": {circuits}, \
+             \"servers_touched\": {servers_touched}, \"blast_servers\": {blast_servers}",
+            coord_json(*replacement)
+        ),
+        JournalEntry::RepairFailed {
+            incident,
+            replacement,
+            error,
+        } => format!(
+            ", \"incident\": {incident}, \"replacement\": {}, \"error\": \"{}\"",
+            coord_json(*replacement),
+            escape_json(error)
+        ),
+        JournalEntry::Evict { job } => format!(", \"job\": {job}"),
+    };
+    format!("{{{common}{rest}}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            racks: 1,
+            lanes: 2,
+            seed: 7,
+            shape: Shape3::rack_4x4x4(),
+        }
+    }
+
+    #[test]
+    fn sequence_numbers_are_dense_and_ordered() {
+        let mut j = Journal::new(header());
+        assert!(j.is_empty());
+        let s0 = j.push(
+            SimTime::ZERO,
+            JournalEntry::Admit {
+                job: 0,
+                origin: Coord3::new(0, 0, 0),
+                extent: Shape3::new(2, 2, 1),
+            },
+        );
+        let s1 = j.push(SimTime::from_ps(5), JournalEntry::Evict { job: 0 });
+        assert_eq!((s0, s1), (0, 1));
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.records()[1].seq, 1);
+    }
+
+    #[test]
+    fn hash_is_stable_and_sensitive() {
+        let mut a = Journal::new(header());
+        let mut b = Journal::new(header());
+        for j in [&mut a, &mut b] {
+            j.push(
+                SimTime::ZERO,
+                JournalEntry::Admit {
+                    job: 3,
+                    origin: Coord3::new(0, 0, 0),
+                    extent: Shape3::new(4, 2, 1),
+                },
+            );
+        }
+        assert_eq!(a.hash(), b.hash());
+        b.push(SimTime::from_ps(1), JournalEntry::Evict { job: 3 });
+        assert_ne!(a.hash(), b.hash());
+        // Header differences hash differently too.
+        let c = Journal::new(JournalHeader {
+            seed: 8,
+            ..header()
+        });
+        assert_ne!(Journal::new(header()).hash(), c.hash());
+    }
+
+    #[test]
+    fn json_dump_is_well_formed() {
+        let mut j = Journal::new(header());
+        j.push(
+            SimTime::from_ps(42),
+            JournalEntry::Fail {
+                incident: 0,
+                chip: Coord3::new(1, 1, 1),
+                victim: Some(2),
+                spliced: 2,
+            },
+        );
+        j.push(
+            SimTime::from_ps(43),
+            JournalEntry::RepairFailed {
+                incident: 0,
+                replacement: Coord3::new(0, 0, 3),
+                error: "say \"no\"\n".into(),
+            },
+        );
+        let json = j.to_json();
+        assert!(json.contains("\"kind\": \"fail\""), "{json}");
+        assert!(json.contains("\"victim\": 2"), "{json}");
+        assert!(json.contains("\\\"no\\\"\\n"), "{json}");
+        // Balanced braces/brackets (crude well-formedness check).
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "{json}"
+            );
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Control-plane observability: named counters, an admission-wait
+//! histogram, and gauge time-series sampled from [`FabricState`] on a
+//! fixed tick.
+//!
+//! Everything builds on [`desim::stats`] so the numbers carry the same
+//! deterministic semantics as the simulation itself: same seed, same
+//! metrics, bit for bit.
+//!
+//! [`FabricState`]: crate::state::FabricState
+
+use crate::state::{FabricState, Utilization};
+use desim::stats::{Histogram, TimeSeries};
+use desim::SimTime;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Counter names bumped by the control plane, in render order.
+pub const COUNTERS: &[&str] = &[
+    "jobs.arrived",
+    "jobs.admitted",
+    "jobs.queued",
+    "jobs.denied.timeout",
+    "jobs.denied.program",
+    "jobs.departed",
+    "circuits.programmed",
+    "failures.injected",
+    "circuits.spliced",
+    "repairs.ok",
+    "repairs.failed",
+];
+
+/// The control plane's metrics registry.
+#[derive(Debug)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    /// Time a job spent between arrival and admission, in seconds.
+    admission_wait: Histogram,
+    occupancy: TimeSeries,
+    live_circuits: TimeSeries,
+    reconfigs: TimeSeries,
+    aggregate_gbps: TimeSeries,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// An empty registry. The wait histogram spans 0 s – 1 h in 64 bins,
+    /// wide enough for any queue-timeout policy the CLI exposes.
+    pub fn new() -> Self {
+        Metrics {
+            counters: COUNTERS.iter().map(|&n| (n, 0)).collect(),
+            admission_wait: Histogram::new(0.0, 3600.0, 64),
+            occupancy: TimeSeries::new(),
+            live_circuits: TimeSeries::new(),
+            reconfigs: TimeSeries::new(),
+            aggregate_gbps: TimeSeries::new(),
+        }
+    }
+
+    /// Increment `name` by one. Unknown names are created on first bump.
+    pub fn bump(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Increment `name` by `n`.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Current value of a counter (0 if never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record how long a job waited from arrival to admission.
+    pub fn record_wait(&mut self, seconds: f64) {
+        self.admission_wait.record(seconds);
+    }
+
+    /// The admission-wait histogram.
+    pub fn admission_wait(&self) -> &Histogram {
+        &self.admission_wait
+    }
+
+    /// Sample the fabric's gauges at `now` into the time-series.
+    pub fn sample(&mut self, now: SimTime, state: &FabricState) {
+        let t = now.since_origin().as_secs_f64();
+        let u: Utilization = state.utilization();
+        self.occupancy.push(t, u.occupancy);
+        self.live_circuits.push(t, u.circuits as f64);
+        self.reconfigs.push(t, u.reconfigs as f64);
+        self.aggregate_gbps.push(t, u.aggregate_gbps);
+    }
+
+    /// The sampled gauge series, for plotting or assertions:
+    /// `(occupancy, live_circuits, reconfigs, aggregate_gbps)`.
+    pub fn series(&self) -> (&TimeSeries, &TimeSeries, &TimeSeries, &TimeSeries) {
+        (
+            &self.occupancy,
+            &self.live_circuits,
+            &self.reconfigs,
+            &self.aggregate_gbps,
+        )
+    }
+
+    /// Render a human-readable summary block for the CLI.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "counters:");
+        for name in COUNTERS {
+            let _ = writeln!(out, "  {:<22} {}", name, self.counter(name));
+        }
+        for (name, v) in &self.counters {
+            if !COUNTERS.contains(name) {
+                let _ = writeln!(out, "  {name:<22} {v}");
+            }
+        }
+        if self.admission_wait.count() > 0 {
+            let s = self.admission_wait.stats();
+            let _ = writeln!(
+                out,
+                "admission wait: n={} mean={:.3}s p50={:.3}s p99={:.3}s max={:.3}s",
+                self.admission_wait.count(),
+                s.mean(),
+                self.admission_wait.quantile(0.5).unwrap_or(0.0),
+                self.admission_wait.quantile(0.99).unwrap_or(0.0),
+                s.max().unwrap_or(0.0),
+            );
+        } else {
+            let _ = writeln!(out, "admission wait: no queued admissions");
+        }
+        for (label, series, unit) in [
+            ("occupancy", &self.occupancy, ""),
+            ("live circuits", &self.live_circuits, ""),
+            ("reconfigs", &self.reconfigs, ""),
+            ("aggregate bw", &self.aggregate_gbps, " Gb/s"),
+        ] {
+            if series.is_empty() {
+                continue;
+            }
+            let mut peak = f64::MIN;
+            let mut last = 0.0;
+            for &(_, v) in series.points() {
+                if v > peak {
+                    peak = v;
+                }
+                last = v;
+            }
+            let _ = writeln!(
+                out,
+                "{label:<14} samples={} peak={peak:.2}{unit} final={last:.2}{unit}",
+                series.len()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_at_zero_and_accumulate() {
+        let mut m = Metrics::new();
+        assert_eq!(m.counter("jobs.admitted"), 0);
+        m.bump("jobs.admitted");
+        m.add("jobs.admitted", 2);
+        assert_eq!(m.counter("jobs.admitted"), 3);
+        assert_eq!(m.counter("no.such.counter"), 0);
+    }
+
+    #[test]
+    fn summary_mentions_every_counter() {
+        let m = Metrics::new();
+        let text = m.summary();
+        for name in COUNTERS {
+            assert!(text.contains(name), "summary missing {name}");
+        }
+    }
+
+    #[test]
+    fn sampling_tracks_fabric_gauges() {
+        use topo::Shape3;
+        let mut st = FabricState::new(1, 2, 0);
+        let mut m = Metrics::new();
+        m.sample(SimTime::ZERO, &st);
+        st.admit(SimTime::ZERO, 0, Shape3::new(2, 2, 1));
+        m.sample(SimTime::from_ps(1_000), &st);
+        let (occ, circuits, _, _) = m.series();
+        assert_eq!(occ.len(), 2);
+        let pts = circuits.points();
+        assert_eq!(pts[0].1, 0.0);
+        assert!(pts[1].1 > 0.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Circuit planning: from an admitted slice to programmable demands.
+//!
+//! An admitted tenant runs ring collectives over its slice (§4.1), so the
+//! control plane programs one circuit per directed ring hop along the
+//! slice's snake order. Hops whose endpoints share a server become
+//! intra-wafer demands, grouped per wafer and executed through
+//! [`route::allocate_non_overlapping`] — the atomic, mutually
+//! edge-disjoint batch primitive. Hops crossing servers become cross-wafer
+//! circuits over the fiber plant. [`program`] commits the whole plan
+//! atomically: any establishment error rolls back everything this plan
+//! placed, so admission control sees exact all-or-nothing semantics.
+
+use collectives::snake_order;
+use lightpath::{CircuitError, Fabric, FabricCircuit};
+use resilience::chip_to_tile;
+use route::{allocate_non_overlapping, AllocError, Demand};
+use std::collections::BTreeMap;
+use std::fmt;
+use topo::{Cluster, Slice};
+
+/// The circuits a slice's ring needs, split by execution mechanism.
+#[derive(Debug, Clone)]
+pub struct CircuitPlan {
+    /// Intra-wafer demands, grouped per wafer in wafer-id order. Each
+    /// group is established as one atomic edge-disjoint batch.
+    pub batches: Vec<(lightpath::WaferId, Vec<Demand>)>,
+    /// Cross-wafer hops `(src, dst, lanes)`, in ring order.
+    pub cross: Vec<(
+        (lightpath::WaferId, lightpath::TileCoord),
+        (lightpath::WaferId, lightpath::TileCoord),
+        usize,
+    )>,
+}
+
+impl CircuitPlan {
+    /// Total circuits the plan will establish.
+    pub fn circuits(&self) -> usize {
+        self.batches.iter().map(|(_, d)| d.len()).sum::<usize>() + self.cross.len()
+    }
+}
+
+/// Why programming a plan failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgramError {
+    /// A per-wafer batch could not be allocated edge-disjointly.
+    Batch(lightpath::WaferId, AllocError),
+    /// A cross-wafer circuit could not be established.
+    Cross(usize, CircuitError),
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Batch(w, e) => write!(f, "wafer {} batch: {e}", w.0),
+            ProgramError::Cross(i, e) => write!(f, "cross hop #{i}: {e}"),
+        }
+    }
+}
+
+/// Plan the ring circuits for `slice`: one circuit per directed snake-order
+/// hop (including the wraparound), `lanes` wavelengths each. A 1-chip slice
+/// needs no circuits and yields an empty plan.
+pub fn ring_plan(cluster: &Cluster, slice: &Slice, lanes: usize) -> CircuitPlan {
+    let order = snake_order(slice);
+    let mut batches: BTreeMap<lightpath::WaferId, Vec<Demand>> = BTreeMap::new();
+    let mut cross = Vec::new();
+    if order.len() >= 2 {
+        for i in 0..order.len() {
+            let a = order[i];
+            let b = order[(i + 1) % order.len()];
+            let (wa, ta) = chip_to_tile(cluster, a);
+            let (wb, tb) = chip_to_tile(cluster, b);
+            if wa == wb {
+                batches
+                    .entry(wa)
+                    .or_default()
+                    .push(Demand::new(ta, tb, lanes));
+            } else {
+                cross.push(((wa, ta), (wb, tb), lanes));
+            }
+        }
+    }
+    CircuitPlan {
+        batches: batches.into_iter().collect(),
+        cross,
+    }
+}
+
+/// Execute a plan atomically: per-wafer edge-disjoint batches first, then
+/// cross-wafer circuits in ring order. On any error every circuit this call
+/// established is torn down (in reverse) before the error is returned.
+pub fn program(
+    fabric: &mut Fabric,
+    plan: &CircuitPlan,
+) -> Result<Vec<FabricCircuit>, ProgramError> {
+    let mut handles: Vec<FabricCircuit> = Vec::new();
+    let rollback = |fabric: &mut Fabric, handles: Vec<FabricCircuit>| {
+        for h in handles.into_iter().rev() {
+            let _ = fabric.teardown_handle(h);
+        }
+    };
+    for (w, demands) in &plan.batches {
+        match allocate_non_overlapping(fabric.wafer_mut(*w), demands) {
+            Ok(ids) => handles.extend(ids.into_iter().map(|id| FabricCircuit::Wafer(*w, id))),
+            Err(e) => {
+                rollback(fabric, handles);
+                return Err(ProgramError::Batch(*w, e));
+            }
+        }
+    }
+    for (i, &(src, dst, lanes)) in plan.cross.iter().enumerate() {
+        match fabric.establish_cross(src, dst, lanes) {
+            Ok((id, _)) => handles.push(FabricCircuit::Cross(id)),
+            Err(e) => {
+                rollback(fabric, handles);
+                return Err(ProgramError::Cross(i, e));
+            }
+        }
+    }
+    Ok(handles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilience::PhotonicRack;
+    use topo::{Coord3, Shape3};
+
+    #[test]
+    fn one_chip_slice_plans_nothing() {
+        let rack = PhotonicRack::new(1);
+        let slice = Slice::new(1, Coord3::new(0, 0, 0), Shape3::new(1, 1, 1));
+        let plan = ring_plan(&rack.cluster, &slice, 2);
+        assert_eq!(plan.circuits(), 0);
+    }
+
+    #[test]
+    fn ring_plan_covers_every_hop_once() {
+        let rack = PhotonicRack::new(1);
+        // 4×2×1 = 8 chips spanning two servers: 8 directed ring hops.
+        let slice = Slice::new(1, Coord3::new(0, 0, 0), Shape3::new(4, 2, 1));
+        let plan = ring_plan(&rack.cluster, &slice, 2);
+        assert_eq!(plan.circuits(), 8);
+        assert!(!plan.cross.is_empty(), "slice spans servers");
+        assert!(!plan.batches.is_empty(), "servers hold internal hops");
+    }
+
+    #[test]
+    fn program_is_atomic_under_exhaustion() {
+        let mut rack = PhotonicRack::new(1);
+        // Saturate one server's SerDes: a 2-chip ring at 16 λ consumes
+        // every tx and rx lane on both of its tiles.
+        let blocker = Slice::new(1, Coord3::new(2, 0, 0), Shape3::new(2, 1, 1));
+        let plan_blocker = ring_plan(&rack.cluster, &blocker, 16);
+        assert!(program(&mut rack.fabric, &plan_blocker).is_ok());
+        let count = |rack: &PhotonicRack| -> Vec<usize> {
+            (0..rack.fabric.wafer_count())
+                .map(|w| rack.fabric.wafer(lightpath::WaferId(w)).circuits().count())
+                .collect()
+        };
+        let before = count(&rack);
+        let cross_before = rack.fabric.cross_circuits().count();
+        // A wider ring shares the saturated chips: its batch on the fresh
+        // wafer establishes first, then the saturated wafer's batch fails
+        // — everything already placed must be rolled back.
+        let wide = Slice::new(2, Coord3::new(0, 0, 0), Shape3::new(4, 2, 1));
+        let plan_wide = ring_plan(&rack.cluster, &wide, 16);
+        assert!(plan_wide.batches.len() > 1, "spans both wafers");
+        assert!(program(&mut rack.fabric, &plan_wide).is_err());
+        assert_eq!(
+            count(&rack),
+            before,
+            "failed programming left circuits behind"
+        );
+        assert_eq!(rack.fabric.cross_circuits().count(), cross_before);
+    }
+
+    #[test]
+    fn program_establishes_the_planned_count() {
+        let mut rack = PhotonicRack::new(1);
+        let slice = Slice::new(1, Coord3::new(0, 0, 0), Shape3::new(2, 2, 1));
+        let plan = ring_plan(&rack.cluster, &slice, 2);
+        assert_eq!(plan.circuits(), 4);
+        match program(&mut rack.fabric, &plan) {
+            Ok(handles) => assert_eq!(handles.len(), 4),
+            Err(e) => panic!("programming a lone 2x2x1 ring failed: {e}"),
+        }
+    }
+}

@@ -12,7 +12,9 @@
 
 use crate::electrical::ring_neighbours;
 use desim::SimDuration;
-use lightpath::{CircuitError, CircuitRequest, Fabric, FiberLink, TileCoord, WaferConfig, WaferId};
+use lightpath::{
+    CircuitError, CircuitRequest, Fabric, FabricCircuit, FiberLink, TileCoord, WaferConfig, WaferId,
+};
 use topo::{Cluster, Coord3, Dim, Slice};
 
 /// A rack modelled as a photonic fabric: one 2×2 LIGHTPATH wafer per
@@ -102,6 +104,9 @@ impl PhotonicRack {
 pub struct OpticalRepairReport {
     /// Circuits established (two per ring neighbour: both directions).
     pub circuits: usize,
+    /// Handles to the established circuits, in establishment order, so a
+    /// control plane can tear the repair down when the tenant departs.
+    pub handles: Vec<FabricCircuit>,
     /// Time until the repaired rings can run: one parallel MZI
     /// reconfiguration (3.7 µs).
     pub setup: SimDuration,
@@ -115,8 +120,10 @@ pub struct OpticalRepairReport {
 /// dedicated optical circuits to every broken-ring neighbour.
 ///
 /// Returns an error if any circuit cannot be established (lanes, fibers,
-/// budget). Lanes per circuit default to splitting the replacement chip's
-/// 16 lanes across the neighbours.
+/// budget). Atomic: on error, circuits established by this call are torn
+/// down before returning, so a failed repair leaves no partial splice.
+/// Lanes per circuit default to splitting the replacement chip's 16 lanes
+/// across the neighbours.
 pub fn optical_repair(
     rack: &mut PhotonicRack,
     slice: &Slice,
@@ -128,7 +135,24 @@ pub fn optical_repair(
     let lanes = (16 / neighbours.len()).max(1);
     let (rep_wafer, rep_tile) = chip_to_tile(&rack.cluster, replacement);
 
-    let mut circuits = 0;
+    fn establish_one(
+        fabric: &mut Fabric,
+        src: (WaferId, TileCoord),
+        dst: (WaferId, TileCoord),
+        lanes: usize,
+    ) -> Result<(FabricCircuit, SimDuration), CircuitError> {
+        if src.0 == dst.0 {
+            let rep = fabric
+                .wafer_mut(src.0)
+                .establish(CircuitRequest::new(src.1, dst.1, lanes))?;
+            Ok((FabricCircuit::Wafer(src.0, rep.id), rep.setup))
+        } else {
+            let (id, s) = fabric.establish_cross(src, dst, lanes)?;
+            Ok((FabricCircuit::Cross(id), s))
+        }
+    }
+
+    let mut handles: Vec<FabricCircuit> = Vec::new();
     let mut setup = SimDuration::ZERO;
     for &n in &neighbours {
         let (n_wafer, n_tile) = chip_to_tile(&rack.cluster, n);
@@ -137,19 +161,24 @@ pub fn optical_repair(
             ((n_wafer, n_tile), (rep_wafer, rep_tile)),
             ((rep_wafer, rep_tile), (n_wafer, n_tile)),
         ] {
-            if src.0 == dst.0 {
-                let rep = rack
-                    .fabric
-                    .wafer_mut(src.0)
-                    .establish(CircuitRequest::new(src.1, dst.1, lanes))?;
-                setup = setup.max(rep.setup);
-            } else {
-                let (_, s) = rack.fabric.establish_cross(src, dst, lanes)?;
-                setup = setup.max(s);
+            match establish_one(&mut rack.fabric, src, dst, lanes) {
+                Ok((h, s)) => {
+                    handles.push(h);
+                    setup = setup.max(s);
+                }
+                Err(e) => {
+                    // Roll the partial splice back: a failed repair must
+                    // not strand lanes or fibers on the surviving tenants'
+                    // fabric.
+                    for h in handles.into_iter().rev() {
+                        let _ = rack.fabric.teardown_handle(h);
+                    }
+                    return Err(e);
+                }
             }
-            circuits += 1;
         }
     }
+    let circuits = handles.len();
 
     let mut servers: Vec<WaferId> = vec![rep_wafer];
     let failed_server = chip_to_tile(&rack.cluster, failed).0;
@@ -158,6 +187,7 @@ pub fn optical_repair(
     }
     Ok(OpticalRepairReport {
         circuits,
+        handles,
         setup,
         neighbours,
         servers_touched: servers.len(),
@@ -233,6 +263,38 @@ mod tests {
             let wafer = rack.fabric.wafer(WaferId(w));
             for ckt in wafer.circuits() {
                 assert!(ckt.link.closes());
+            }
+        }
+    }
+
+    #[test]
+    fn failed_repair_rolls_back_cleanly() {
+        // Drive the same replacement chip to SerDes exhaustion; the failing
+        // attempt must leave circuit and lane state exactly as it found it.
+        let scenario = fig6a();
+        let mut rack = PhotonicRack::new(1);
+        let replacement = scenario.free[0];
+        let snapshot = |rack: &PhotonicRack| -> Vec<(usize, usize, usize)> {
+            (0..rack.fabric.wafer_count())
+                .map(|w| {
+                    let t = rack.fabric.wafer(WaferId(w)).telemetry();
+                    (t.circuits, t.free_tx_lanes, t.free_rx_lanes)
+                })
+                .collect()
+        };
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            assert!(guard < 16, "repair never exhausted the replacement");
+            let before = snapshot(&rack);
+            let cross_before = rack.fabric.cross_circuits().count();
+            match optical_repair(&mut rack, &scenario.victim, scenario.failed, replacement) {
+                Ok(rep) => assert_eq!(rep.handles.len(), rep.circuits),
+                Err(_) => {
+                    assert_eq!(before, snapshot(&rack), "partial splice left behind");
+                    assert_eq!(cross_before, rack.fabric.cross_circuits().count());
+                    break;
+                }
             }
         }
     }

@@ -1,0 +1,247 @@
+//! Control-plane journal rules (CTL4xx): static audits of a
+//! [`fabricd::Journal`] without touching a wafer.
+//!
+//! The journal is the control plane's system of record, so its internal
+//! consistency is an invariant worth gating on:
+//!
+//! * **CTL401** — admissions must never oversubscribe slice capacity. The
+//!   checker folds `Admit`/`Evict`/`Fail` records through a fresh
+//!   [`topo::Occupancy`] of the header's shape; any placement the
+//!   allocator rejects (overlap, out of bounds, duplicate live job id) or
+//!   any eviction of a job that is not live is an error.
+//! * **CTL402** — every `Repair`/`RepairFailed` record must reference an
+//!   incident introduced by an earlier `Fail` record, and that incident
+//!   must have had a victim tenant to repair.
+
+use crate::diag::{Diagnostic, Location, Report, RuleId, Severity};
+use fabricd::{Journal, JournalEntry};
+use std::collections::BTreeMap;
+use topo::{Occupancy, Slice, SliceId};
+
+/// Audit a control-plane journal (CTL401 + CTL402).
+pub fn check_journal(journal: &Journal) -> Report {
+    let mut report = Report::new();
+    check_admission_capacity(journal, &mut report);
+    check_repair_references(journal, &mut report);
+    report
+}
+
+/// CTL401: replay the slice bookkeeping and flag any admit the allocator
+/// would refuse, or any evict of a job that is not live.
+pub fn check_admission_capacity(journal: &Journal, report: &mut Report) {
+    let mut occ = Occupancy::new(journal.header().shape);
+    for r in journal.records() {
+        match &r.entry {
+            JournalEntry::Admit {
+                job,
+                origin,
+                extent,
+            } => {
+                if let Err(e) = occ.place(Slice::new(*job, *origin, *extent)) {
+                    report.push(Diagnostic {
+                        rule: RuleId::Ctl401,
+                        severity: Severity::Error,
+                        location: Location::JournalEntry(r.seq),
+                        message: format!(
+                            "admit of job {job} at {origin} extent {extent} \
+                             oversubscribes capacity: {e:?}"
+                        ),
+                        hint: Some(
+                            "admission control must re-check the allocator before journaling"
+                                .into(),
+                        ),
+                    });
+                }
+            }
+            JournalEntry::Evict { job } if occ.remove(SliceId(*job)).is_none() => {
+                report.push(Diagnostic {
+                    rule: RuleId::Ctl401,
+                    severity: Severity::Error,
+                    location: Location::JournalEntry(r.seq),
+                    message: format!("evict of job {job}, which holds no slice"),
+                    hint: None,
+                });
+            }
+            JournalEntry::Fail { chip, .. } => occ.fail_chip(*chip),
+            _ => {}
+        }
+    }
+}
+
+/// CTL402: every repair must point at a previously journaled failure with
+/// a victim tenant.
+pub fn check_repair_references(journal: &Journal, report: &mut Report) {
+    // incident id -> had a victim tenant?
+    let mut incidents: BTreeMap<u64, bool> = BTreeMap::new();
+    for r in journal.records() {
+        match &r.entry {
+            JournalEntry::Fail {
+                incident, victim, ..
+            } => {
+                incidents.insert(*incident, victim.is_some());
+            }
+            JournalEntry::Repair { incident, .. } | JournalEntry::RepairFailed { incident, .. } => {
+                match incidents.get(incident) {
+                    None => report.push(Diagnostic {
+                        rule: RuleId::Ctl402,
+                        severity: Severity::Error,
+                        location: Location::JournalEntry(r.seq),
+                        message: format!(
+                            "repair references incident {incident}, but no earlier \
+                         Fail record introduced it"
+                        ),
+                        hint: Some("journal the failure before its repair".into()),
+                    }),
+                    Some(false) => report.push(Diagnostic {
+                        rule: RuleId::Ctl402,
+                        severity: Severity::Error,
+                        location: Location::JournalEntry(r.seq),
+                        message: format!(
+                            "repair of incident {incident}, whose failed chip had no \
+                         victim tenant to splice"
+                        ),
+                        hint: None,
+                    }),
+                    Some(true) => {}
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::SimTime;
+    use fabricd::JournalHeader;
+    use topo::{Coord3, Shape3};
+
+    fn journal() -> Journal {
+        Journal::new(JournalHeader {
+            racks: 1,
+            lanes: 2,
+            seed: 0,
+            shape: Shape3::new(4, 4, 4),
+        })
+    }
+
+    #[test]
+    fn clean_admit_evict_sequence_passes() {
+        let mut j = journal();
+        j.push(
+            SimTime::ZERO,
+            JournalEntry::Admit {
+                job: 0,
+                origin: Coord3::new(0, 0, 0),
+                extent: Shape3::new(2, 2, 1),
+            },
+        );
+        j.push(SimTime::from_ps(1), JournalEntry::Evict { job: 0 });
+        j.push(
+            SimTime::from_ps(2),
+            JournalEntry::Admit {
+                job: 1,
+                origin: Coord3::new(0, 0, 0),
+                extent: Shape3::new(2, 2, 1),
+            },
+        );
+        assert!(check_journal(&j).is_clean());
+    }
+
+    #[test]
+    fn overlapping_admits_trip_ctl401() {
+        let mut j = journal();
+        for job in [0u32, 1] {
+            j.push(
+                SimTime::ZERO,
+                JournalEntry::Admit {
+                    job,
+                    origin: Coord3::new(0, 0, 0),
+                    extent: Shape3::new(2, 2, 1),
+                },
+            );
+        }
+        let report = check_journal(&j);
+        assert!(report.has(RuleId::Ctl401));
+        assert_eq!(report.error_count(), 1);
+    }
+
+    #[test]
+    fn evicting_a_ghost_job_trips_ctl401() {
+        let mut j = journal();
+        j.push(SimTime::ZERO, JournalEntry::Evict { job: 9 });
+        assert!(check_journal(&j).has(RuleId::Ctl401));
+    }
+
+    #[test]
+    fn repair_without_prior_fail_trips_ctl402() {
+        let mut j = journal();
+        j.push(
+            SimTime::ZERO,
+            JournalEntry::Repair {
+                incident: 99,
+                replacement: Coord3::new(0, 0, 3),
+                circuits: 8,
+                servers_touched: 2,
+                blast_servers: 1,
+            },
+        );
+        let report = check_journal(&j);
+        assert!(report.has(RuleId::Ctl402));
+        assert!(!report.has(RuleId::Ctl401));
+    }
+
+    #[test]
+    fn repair_after_fail_is_clean_and_order_matters() {
+        let mut j = journal();
+        j.push(
+            SimTime::ZERO,
+            JournalEntry::Admit {
+                job: 0,
+                origin: Coord3::new(0, 0, 0),
+                extent: Shape3::new(2, 2, 1),
+            },
+        );
+        j.push(
+            SimTime::from_ps(1),
+            JournalEntry::Fail {
+                incident: 0,
+                chip: Coord3::new(0, 0, 0),
+                victim: Some(0),
+                spliced: 2,
+            },
+        );
+        j.push(
+            SimTime::from_ps(2),
+            JournalEntry::Repair {
+                incident: 0,
+                replacement: Coord3::new(3, 3, 3),
+                circuits: 4,
+                servers_touched: 2,
+                blast_servers: 1,
+            },
+        );
+        assert!(check_journal(&j).is_clean());
+        // A repair of a victimless failure is also flagged.
+        let mut k = journal();
+        k.push(
+            SimTime::ZERO,
+            JournalEntry::Fail {
+                incident: 0,
+                chip: Coord3::new(0, 0, 0),
+                victim: None,
+                spliced: 0,
+            },
+        );
+        k.push(
+            SimTime::from_ps(1),
+            JournalEntry::RepairFailed {
+                incident: 0,
+                replacement: Coord3::new(3, 3, 3),
+                error: "spurious".into(),
+            },
+        );
+        assert!(check_journal(&k).has(RuleId::Ctl402));
+    }
+}

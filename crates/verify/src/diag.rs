@@ -44,11 +44,17 @@ pub enum RuleId {
     /// A repair circuit terminates on a tile owned by a healthy slice
     /// (blast radius escapes the failed chip's neighbourhood).
     Res301,
+    /// A journaled admission oversubscribes slice capacity: the slice
+    /// overlaps a live tenant, leaves the cluster, or reuses a live job id.
+    Ctl401,
+    /// A journaled repair (successful or failed) references an incident no
+    /// prior `Fail` record introduced, or one without a victim tenant.
+    Ctl402,
 }
 
 impl RuleId {
     /// Every rule, in catalog order.
-    pub const ALL: [RuleId; 9] = [
+    pub const ALL: [RuleId; 11] = [
         RuleId::Sch001,
         RuleId::Sch002,
         RuleId::Sch003,
@@ -58,6 +64,8 @@ impl RuleId {
         RuleId::Ckt103,
         RuleId::Phy201,
         RuleId::Res301,
+        RuleId::Ctl401,
+        RuleId::Ctl402,
     ];
 
     /// The stable code printed in diagnostics, e.g. `SCH001`.
@@ -72,6 +80,8 @@ impl RuleId {
             RuleId::Ckt103 => "CKT103",
             RuleId::Phy201 => "PHY201",
             RuleId::Res301 => "RES301",
+            RuleId::Ctl401 => "CTL401",
+            RuleId::Ctl402 => "CTL402",
         }
     }
 
@@ -87,6 +97,8 @@ impl RuleId {
             RuleId::Ckt103 => "overlapping wavelengths claimed at a shared transceiver",
             RuleId::Phy201 => "link budget does not close or margin below lint floor",
             RuleId::Res301 => "repair circuit touches a tile owned by a healthy slice",
+            RuleId::Ctl401 => "journaled admission oversubscribes slice capacity",
+            RuleId::Ctl402 => "journaled repair references an unknown incident",
         }
     }
 }
@@ -159,6 +171,8 @@ pub enum Location {
         /// The edge.
         edge: EdgeId,
     },
+    /// A control-plane journal record, by sequence number.
+    JournalEntry(u64),
 }
 
 impl fmt::Display for Location {
@@ -187,6 +201,7 @@ impl fmt::Display for Location {
                 let (a, b) = edge.endpoints();
                 write!(f, "{}edge {}–{}", wafer_prefix(wafer), a, b)
             }
+            Location::JournalEntry(seq) => write!(f, "journal seq {seq}"),
         }
     }
 }

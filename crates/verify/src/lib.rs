@@ -19,6 +19,8 @@
 //! | CKT103 | circuits  | λ-sets disjoint at shared transmitters |
 //! | PHY201 | circuits  | link budgets close, margins above the lint floor |
 //! | RES301 | repair    | repair circuits terminate only on victim/free tiles |
+//! | CTL401 | journal   | journaled admissions never oversubscribe slice capacity |
+//! | CTL402 | journal   | every journaled repair references an earlier Fail record |
 //!
 //! Diagnostics are structured ([`Diagnostic`]: rule id, severity,
 //! location, message, fix hint) so callers — tests, `cargo xtask lint` —
@@ -31,6 +33,7 @@
 
 pub mod blast_rules;
 pub mod circuit_rules;
+pub mod ctrl_rules;
 pub mod diag;
 pub mod schedule_rules;
 
@@ -41,6 +44,7 @@ pub use circuit_rules::{
     check_lambda_disjointness, check_lane_conservation, check_link_budgets, check_wafer_view,
     check_waveguide_conservation, CircuitView, PhyLintConfig, WaferView,
 };
+pub use ctrl_rules::{check_admission_capacity, check_journal, check_repair_references};
 pub use diag::{Diagnostic, Location, Report, RuleId, Severity};
 pub use schedule_rules::{
     check_byte_conservation, check_oversubscription, check_path_continuity,

@@ -1,0 +1,43 @@
+//! CTL401/CTL402 against real control-plane journals: every journal the
+//! live scenario driver produces must audit clean, and seeded corruptions
+//! must trip exactly the intended rule.
+
+use fabricd::{run_scenario, CtrlConfig};
+use verify::{check_journal, RuleId};
+
+#[test]
+fn live_scenario_journals_audit_clean() {
+    for seed in [0u64, 7, 41] {
+        let cfg = CtrlConfig {
+            seed,
+            ..CtrlConfig::default()
+        };
+        let out = run_scenario(&cfg);
+        let report = check_journal(out.state.journal());
+        assert!(
+            report.is_clean(),
+            "seed {seed} journal failed audit:\n{report}"
+        );
+        assert!(!out.state.journal().is_empty());
+    }
+}
+
+#[test]
+fn scenario_with_failures_exercises_repair_records() {
+    let cfg = CtrlConfig {
+        jobs: 10,
+        failures: 2,
+        ..CtrlConfig::default()
+    };
+    let out = run_scenario(&cfg);
+    let journal = out.state.journal();
+    let fails = journal
+        .records()
+        .iter()
+        .filter(|r| matches!(r.entry, fabricd::JournalEntry::Fail { .. }))
+        .count();
+    assert!(fails > 0, "failure injection must journal Fail records");
+    let report = check_journal(journal);
+    assert!(report.is_clean(), "repair journal failed audit:\n{report}");
+    assert!(!report.has(RuleId::Ctl402));
+}

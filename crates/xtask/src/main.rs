@@ -45,6 +45,7 @@ const UNWRAP_BASELINE: &[(&str, usize)] = &[
     ("core", 57),
     ("criterion", 0),
     ("desim", 17),
+    ("fabricd", 0),
     ("hostnet", 8),
     ("phy", 7),
     ("proptest", 0),
@@ -322,6 +323,88 @@ fn verify_golden() -> Vec<String> {
             );
         }
         Err(e) => failures.push(format!("fig7 optical repair failed: {e:?}")),
+    }
+
+    // fabricd golden journal: a seeded multi-tenant scenario with one
+    // injected failure must journal a repair and audit clean under
+    // CTL401/CTL402, and its replay must reproduce the live telemetry.
+    let cfg = fabricd::CtrlConfig {
+        jobs: 6,
+        seed: 7,
+        failures: 1,
+        ..fabricd::CtrlConfig::default()
+    };
+    let out = fabricd::run_scenario(&cfg);
+    let journal = out.state.journal();
+    let repairs = journal
+        .records()
+        .iter()
+        .filter(|r| matches!(r.entry, fabricd::JournalEntry::Repair { .. }))
+        .count();
+    if repairs == 0 {
+        failures.push("golden journal: scenario produced no Repair record".into());
+        println!("  FAIL golden journal: no Repair record");
+    } else {
+        println!(
+            "  ok   golden journal: {} records, {} repair(s), hash {:#018x}",
+            journal.len(),
+            repairs,
+            journal.hash()
+        );
+    }
+    expect_clean(
+        &mut failures,
+        "golden journal (CTL401/CTL402)",
+        &verify::check_journal(journal),
+    );
+    match fabricd::replay(journal) {
+        Ok(replayed) if replayed.telemetry() == out.state.telemetry() => {
+            println!("  ok   golden journal replay reproduces live telemetry");
+        }
+        Ok(_) => {
+            failures.push("golden journal replay diverged from live telemetry".into());
+            println!("  FAIL golden journal replay diverged from live telemetry");
+        }
+        Err(e) => {
+            failures.push(format!("golden journal replay error: {e}"));
+            println!("  FAIL golden journal replay: {e}");
+        }
+    }
+
+    // Negative controls: the CTL rules must have teeth. A repair with no
+    // prior Fail must trip CTL402; overlapping admits must trip CTL401.
+    let mut forged = fabricd::Journal::new(*journal.header());
+    forged.push(
+        desim::SimTime::ZERO,
+        fabricd::JournalEntry::Repair {
+            incident: 99,
+            replacement: Coord3::new(0, 0, 3),
+            circuits: 8,
+            servers_touched: 2,
+            blast_servers: 1,
+        },
+    );
+    for job in [0u32, 1] {
+        forged.push(
+            desim::SimTime::from_ps(1),
+            fabricd::JournalEntry::Admit {
+                job,
+                origin: Coord3::new(0, 0, 0),
+                extent: Shape3::new(2, 2, 1),
+            },
+        );
+    }
+    let report = verify::check_journal(&forged);
+    for (rule, what) in [
+        (RuleId::Ctl402, "orphan repair"),
+        (RuleId::Ctl401, "overlapping admits"),
+    ] {
+        if report.has(rule) {
+            println!("  ok   forged journal trips {rule} as designed ({what})");
+        } else {
+            failures.push(format!("negative control: {what} did not trip {rule}"));
+            println!("  FAIL negative control: {what} did not trip {rule}");
+        }
     }
 
     failures

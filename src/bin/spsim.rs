@@ -15,6 +15,7 @@ use server_photonics::collectives::{
     all_to_all, bucket_reduce_scatter, execute, ring_reduce_scatter, snake_order, CostParams, Mode,
 };
 use server_photonics::desim::{SimDuration, SimRng, SimTime};
+use server_photonics::fabricd::{self, CtrlConfig};
 use server_photonics::hostnet::{self, CircuitPolicy, HostParams, Message, PeerId};
 use server_photonics::lightpath::{CircuitRequest, TileCoord, Wafer, WaferConfig};
 use server_photonics::resilience::{
@@ -210,6 +211,74 @@ fn cmd_placement(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_ctrl(args: &Args) -> Result<(), String> {
+    let cfg = CtrlConfig {
+        racks: args.get("racks", 1)?,
+        lanes: args.get("lanes", 2)?,
+        jobs: args.get("jobs", 12)?,
+        seed: args.get("seed", 7)?,
+        failures: args.get("failures", 1)?,
+        queue_timeout: SimDuration::from_secs(args.get("timeout-s", 1_800)?),
+        ..CtrlConfig::default()
+    };
+    let out = fabricd::run_scenario(&cfg);
+    let journal = out.state.journal();
+    println!(
+        "fabricd: {} jobs (seed {}) on {} rack(s), {} lanes/circuit, {} failure(s) injected",
+        cfg.jobs, cfg.seed, cfg.racks, cfg.lanes, cfg.failures
+    );
+    println!(
+        "journal: {} records, hash {:#018x}, horizon {}",
+        journal.len(),
+        journal.hash(),
+        out.horizon
+    );
+    for inc in out.state.incidents() {
+        match (&inc.repair, &inc.repair_error) {
+            (Some(rep), _) => println!(
+                "incident {}: chip {} failed (tenant {:?}, {} circuits spliced) — repaired \
+                 optically with {} circuits in {}, blast radius {} server(s)",
+                inc.incident,
+                inc.chip,
+                inc.victim,
+                inc.spliced,
+                rep.circuits,
+                rep.setup,
+                rep.blast_servers
+            ),
+            (None, Some(e)) => println!(
+                "incident {}: chip {} failed — repair FAILED: {e}",
+                inc.incident, inc.chip
+            ),
+            (None, None) => println!(
+                "incident {}: chip {} failed — no repair attempted (no victim or no spare)",
+                inc.incident, inc.chip
+            ),
+        }
+    }
+    print!("{}", out.metrics.summary());
+    // Replay the journal against a fresh rack and prove determinism.
+    let replayed = fabricd::replay(journal).map_err(|e| e.to_string())?;
+    let identical = replayed.telemetry() == out.state.telemetry();
+    println!(
+        "replay: {} records -> telemetry {}",
+        journal.len(),
+        if identical {
+            "IDENTICAL (bit-for-bit)"
+        } else {
+            "DIVERGED"
+        }
+    );
+    if !identical {
+        return Err("replay diverged from live telemetry".into());
+    }
+    if let Some(path) = args.0.get("dump-journal") {
+        std::fs::write(path, journal.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("journal dumped to {path}");
+    }
+    Ok(())
+}
+
 fn cmd_hoststack(args: &Args) -> Result<(), String> {
     let messages: usize = args.get("messages", 2000)?;
     let bytes: u64 = args.get("bytes", 4096)?;
@@ -255,6 +324,7 @@ USAGE:
   spsim repair     [--spare 3,3,3] [--bytes 1e9]
   spsim placement  [--jobs 500] [--seed 7]
   spsim hoststack  [--messages 2000] [--bytes 4096] [--peers 8] [--seed 7]
+  spsim ctrl       [--jobs 12] [--seed 7] [--racks 1] [--lanes 2] [--failures 1] [--timeout-s 1800] [--dump-journal out.json]
 ";
 
 fn main() -> ExitCode {
@@ -270,6 +340,7 @@ fn main() -> ExitCode {
         "repair" => cmd_repair(&args),
         "placement" => cmd_placement(&args),
         "hoststack" => cmd_hoststack(&args),
+        "ctrl" => cmd_ctrl(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
