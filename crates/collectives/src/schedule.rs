@@ -11,7 +11,7 @@
 
 use crate::cost::{CostParams, SymbolicCost};
 use desim::SimDuration;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use topo::{Coord3, DirLink};
 
 /// One point-to-point data movement within a round.
@@ -41,9 +41,11 @@ pub struct Round {
 }
 
 impl Round {
-    /// Per-link load of this round's electrical transfers.
-    pub fn link_loads(&self) -> HashMap<DirLink, u32> {
-        let mut loads = HashMap::new();
+    /// Per-link load of this round's electrical transfers. Ordered so that
+    /// iteration (and anything derived from it, e.g. fingerprints) is
+    /// deterministic.
+    pub fn link_loads(&self) -> BTreeMap<DirLink, u32> {
+        let mut loads = BTreeMap::new();
         for t in &self.transfers {
             for &l in &t.path {
                 *loads.entry(l).or_insert(0) += 1;
@@ -54,7 +56,7 @@ impl Round {
 
     /// The worst sharing factor experienced by a transfer: the maximum load
     /// among the links on its path (1 for an optical transfer).
-    pub fn transfer_load(&self, t: &Transfer, loads: &HashMap<DirLink, u32>) -> u32 {
+    pub fn transfer_load(&self, t: &Transfer, loads: &BTreeMap<DirLink, u32>) -> u32 {
         t.path
             .iter()
             .map(|l| loads.get(l).copied().unwrap_or(1))

@@ -55,6 +55,10 @@ pub struct Wafer {
     circuits: BTreeMap<CircuitId, Circuit>,
     next_id: u64,
     reconfigs: u64,
+    /// Monotonic counter bumped on every mutation that can change routing
+    /// state (establish, teardown, tile failure/restore). Route-layer
+    /// caches key on this: equal epochs guarantee identical search results.
+    occupancy_epoch: u64,
 }
 
 impl Wafer {
@@ -89,6 +93,7 @@ impl Wafer {
             circuits: BTreeMap::new(),
             next_id: 0,
             reconfigs: 0,
+            occupancy_epoch: 0,
         }
     }
 
@@ -149,6 +154,17 @@ impl Wafer {
     /// Total MZI reconfiguration events charged so far.
     pub fn reconfigs(&self) -> u64 {
         self.reconfigs
+    }
+
+    /// The wafer's occupancy epoch: advances on every establish, teardown,
+    /// and tile failure/restore. Two calls returning the same epoch bracket
+    /// a window in which routing inputs (bus loads, tile health) were
+    /// unchanged, so a path computed inside the window is still valid —
+    /// the contract [`route`]'s path cache relies on.
+    ///
+    /// [`route`]: https://docs.rs/route
+    pub fn occupancy_epoch(&self) -> u64 {
+        self.occupancy_epoch
     }
 
     /// The itemized optical loss budget a circuit on `path` would incur.
@@ -298,6 +314,7 @@ impl Wafer {
         let id = CircuitId(self.next_id);
         self.next_id += 1;
         self.reconfigs += 1;
+        self.occupancy_epoch += 1;
         let bandwidth = Gbps(self.cfg.wdm.rate.0 * req.lanes as f64);
         self.circuits.insert(
             id,
@@ -346,6 +363,7 @@ impl Wafer {
                 self.edge_used.remove(&e);
             }
         }
+        self.occupancy_epoch += 1;
         Ok(())
     }
 
@@ -377,11 +395,13 @@ impl Wafer {
     /// the resilience layer decides what to tear down.
     pub fn fail_tile(&mut self, t: TileCoord) {
         self.tile_mut(t).fail();
+        self.occupancy_epoch += 1;
     }
 
     /// Restore a tile's accelerator.
     pub fn restore_tile(&mut self, t: TileCoord) {
         self.tile_mut(t).restore();
+        self.occupancy_epoch += 1;
     }
 }
 
@@ -648,6 +668,30 @@ mod tests {
             w.establish(CircuitRequest::new(t(0, 0), t(2, 2), 1).via(wrong)),
             Err(CircuitError::PathMismatch)
         ));
+    }
+
+    #[test]
+    fn occupancy_epoch_tracks_every_mutation() {
+        let mut w = wafer();
+        assert_eq!(w.occupancy_epoch(), 0);
+        let Ok(rep) = w.establish(CircuitRequest::new(t(0, 0), t(1, 1), 1)) else {
+            panic!("establish failed");
+        };
+        assert_eq!(w.occupancy_epoch(), 1);
+        // A failed establish commits nothing and must not advance the epoch.
+        assert!(w
+            .establish(CircuitRequest::new(t(0, 0), t(0, 0), 1))
+            .is_err());
+        assert_eq!(w.occupancy_epoch(), 1);
+        w.fail_tile(t(2, 2));
+        assert_eq!(w.occupancy_epoch(), 2);
+        w.restore_tile(t(2, 2));
+        assert_eq!(w.occupancy_epoch(), 3);
+        assert!(w.teardown(rep.id).is_ok());
+        assert_eq!(w.occupancy_epoch(), 4);
+        // A failed teardown also leaves the epoch alone.
+        assert!(w.teardown(rep.id).is_err());
+        assert_eq!(w.occupancy_epoch(), 4);
     }
 
     #[test]

@@ -186,6 +186,30 @@ impl Histogram {
         &self.stats
     }
 
+    /// Merge another histogram into this one (bin-wise, for parallel
+    /// workers collecting into per-thread registries).
+    ///
+    /// Panics unless both histograms share the same range and bin count —
+    /// merging differently-shaped histograms is a logic error, not data.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "histogram merge requires identical ranges: [{}, {})x{} vs [{}, {})x{}",
+            self.lo,
+            self.hi,
+            self.bins.len(),
+            other.lo,
+            other.hi,
+            other.bins.len()
+        );
+        for (b, o) in self.bins.iter_mut().zip(&other.bins) {
+            *b += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.stats.merge(&other.stats);
+    }
+
     /// Approximate quantile from binned data (in-range values only).
     /// Returns `None` if no in-range observations exist.
     pub fn quantile(&self, q: f64) -> Option<f64> {
@@ -368,6 +392,36 @@ mod tests {
         assert_eq!(h.counts()[0], 2);
         assert_eq!(h.counts()[9], 1);
         assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn histogram_merge_equals_sequential_recording() {
+        let mut whole = Histogram::new(0.0, 10.0, 20);
+        let mut a = Histogram::new(0.0, 10.0, 20);
+        let mut b = Histogram::new(0.0, 10.0, 20);
+        for i in 0..500 {
+            let x = (i as f64 * 0.817) % 12.0 - 0.5; // exercises under/overflow
+            whole.record(x);
+            if i < 200 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.counts(), whole.counts());
+        assert_eq!(a.underflow(), whole.underflow());
+        assert_eq!(a.overflow(), whole.overflow());
+        assert_eq!(a.count(), whole.count());
+        assert!((a.stats().mean() - whole.stats().mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical ranges")]
+    fn histogram_merge_rejects_shape_mismatch() {
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        let b = Histogram::new(0.0, 1.0, 8);
+        a.merge(&b);
     }
 
     #[test]

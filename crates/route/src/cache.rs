@@ -1,0 +1,160 @@
+//! Epoch-keyed memoisation of A* searches.
+//!
+//! A sweep that plans many circuits against the *same* wafer state — batch
+//! planning, what-if probes, candidate enumeration — repeats identical A*
+//! searches. [`PathCache`] memoises them, keyed on the wafer's
+//! [occupancy epoch](lightpath::Wafer::occupancy_epoch) plus the endpoint
+//! pair: while the epoch is unchanged, bus loads are unchanged, so the
+//! cached result is *exactly* what a fresh search would return (A* is
+//! deterministic for fixed inputs). The moment a circuit is established or
+//! torn down the epoch advances and every stale entry is dropped — cache
+//! invalidation is structural, not heuristic, which is what makes the
+//! cache/no-cache equality property provable (see `route/tests`).
+
+use crate::astar::{astar, SearchOptions};
+use lightpath::{Path, TileCoord, Wafer};
+use std::collections::HashMap;
+
+/// Hit/miss/invalidations counters of a [`PathCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran a fresh A* search.
+    pub misses: u64,
+    /// Times the whole cache was dropped because the epoch advanced.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in [0, 1]; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A memo table for [`astar`] searches with fixed [`SearchOptions`].
+///
+/// The options are bound at construction so the cache key stays small (the
+/// endpoints); use one cache per distinct option set.
+#[derive(Debug)]
+pub struct PathCache {
+    opts: SearchOptions,
+    /// Epoch the memo table is valid for.
+    epoch: u64,
+    memo: HashMap<(TileCoord, TileCoord), Option<Path>>,
+    stats: CacheStats,
+}
+
+impl PathCache {
+    /// An empty cache that will search with `opts`.
+    pub fn new(opts: SearchOptions) -> Self {
+        PathCache {
+            opts,
+            epoch: 0,
+            memo: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The search options every lookup uses.
+    pub fn options(&self) -> &SearchOptions {
+        &self.opts
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Entries currently memoised (for the valid epoch only).
+    pub fn len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// True when nothing is memoised.
+    pub fn is_empty(&self) -> bool {
+        self.memo.is_empty()
+    }
+
+    /// Find a path from `src` to `dst`, reusing a memoised result when the
+    /// wafer's occupancy epoch has not moved since it was computed.
+    ///
+    /// Returns exactly what [`astar`] with this cache's options would: the
+    /// equality is a tested property, not an approximation.
+    pub fn find_path(&mut self, wafer: &Wafer, src: TileCoord, dst: TileCoord) -> Option<Path> {
+        let epoch = wafer.occupancy_epoch();
+        if epoch != self.epoch {
+            if !self.memo.is_empty() {
+                self.stats.invalidations += 1;
+                self.memo.clear();
+            }
+            self.epoch = epoch;
+        }
+        if let Some(memoised) = self.memo.get(&(src, dst)) {
+            self.stats.hits += 1;
+            return memoised.clone();
+        }
+        let fresh = astar(wafer, src, dst, &self.opts);
+        self.stats.misses += 1;
+        self.memo.insert((src, dst), fresh.clone());
+        fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightpath::{CircuitRequest, WaferConfig};
+
+    fn t(r: u8, c: u8) -> TileCoord {
+        TileCoord::new(r, c)
+    }
+
+    #[test]
+    fn second_lookup_hits_and_matches_fresh_search() {
+        let wafer = Wafer::new(WaferConfig::default());
+        let mut cache = PathCache::new(SearchOptions::default());
+        let a = cache.find_path(&wafer, t(0, 0), t(3, 7));
+        let b = cache.find_path(&wafer, t(0, 0), t(3, 7));
+        assert_eq!(a, b);
+        assert_eq!(a, astar(&wafer, t(0, 0), t(3, 7), cache.options()));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn establish_invalidates_the_memo() {
+        let mut wafer = Wafer::new(WaferConfig::default());
+        let mut cache = PathCache::new(SearchOptions {
+            load_weight: 10.0,
+            ..SearchOptions::default()
+        });
+        let before = cache.find_path(&wafer, t(0, 0), t(0, 7));
+        assert!(wafer
+            .establish(CircuitRequest::new(t(1, 0), t(1, 7), 1))
+            .is_ok());
+        // Epoch moved: the next lookup re-searches instead of reusing.
+        let after = cache.find_path(&wafer, t(0, 0), t(0, 7));
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(after, astar(&wafer, t(0, 0), t(0, 7), cache.options()));
+        let _ = before;
+    }
+
+    #[test]
+    fn unreachable_pairs_are_memoised_too() {
+        let wafer = Wafer::new(WaferConfig::default());
+        let mut cache = PathCache::new(SearchOptions::default());
+        // src == dst has no path by definition; the None is cached.
+        assert!(cache.find_path(&wafer, t(1, 1), t(1, 1)).is_none());
+        assert!(cache.find_path(&wafer, t(1, 1), t(1, 1)).is_none());
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+}

@@ -4,6 +4,8 @@
 //!
 //! * [`mod@astar`] — load-aware pathfinding over the waveguide grid ("exploding
 //!   paths": thousands of candidate routes per circuit).
+//! * [`cache`] — epoch-keyed memoisation of A* searches, so repeated
+//!   circuit plans against an unchanged wafer skip redundant work.
 //! * [`alloc`] — atomic batches of mutually edge-disjoint circuits, the
 //!   primitive behind Fig 7's non-overlapping repair circuits.
 //! * [`controllers`] — quantitative comparison of a centralized waveguide
@@ -24,6 +26,7 @@
 
 pub mod alloc;
 pub mod astar;
+pub mod cache;
 pub mod controllers;
 pub mod fault;
 pub mod moe;
@@ -32,6 +35,7 @@ pub mod rwa;
 
 pub use alloc::{allocate_non_overlapping, AllocError, Demand};
 pub use astar::{astar, SearchOptions};
+pub use cache::{CacheStats, PathCache};
 pub use controllers::{central_setup, decentralized_setup, ControlParams, ControlReport};
 pub use fault::{fibers_in_use, plan_pooled, CrossDemand, FiberPlan};
 pub use moe::{run_moe, MoeParams, MoeReport};

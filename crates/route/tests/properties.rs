@@ -1,8 +1,8 @@
 //! Property-based tests of the routing layer.
 
-use lightpath::{EdgeId, TileCoord, Wafer, WaferConfig};
+use lightpath::{CircuitRequest, EdgeId, TileCoord, Wafer, WaferConfig};
 use proptest::prelude::*;
-use route::{allocate_non_overlapping, astar, Demand, SearchOptions};
+use route::{allocate_non_overlapping, astar, Demand, PathCache, SearchOptions};
 use std::collections::HashSet;
 
 fn tile() -> impl Strategy<Value = TileCoord> {
@@ -77,6 +77,58 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// The path cache returns byte-identical paths *and* loss budgets to an
+    /// uncached A* across randomized occupancy sequences: interleaved
+    /// establishes (which load buses) and teardowns (which must invalidate
+    /// the cache via the occupancy epoch) never let a stale answer leak.
+    #[test]
+    fn cache_equals_uncached_astar_under_churn(seed in any::<u64>()) {
+        let mut rng = desim::SimRng::seed_from_u64(seed);
+        let mut w = Wafer::new(WaferConfig::lightpath_32());
+        let opts = SearchOptions { load_weight: 8.0, ..SearchOptions::default() };
+        let mut cache = PathCache::new(opts.clone());
+        let mut live: Vec<lightpath::CircuitId> = Vec::new();
+        for _ in 0..40 {
+            // Mutate the wafer ~every third step so lookups repeat within
+            // an epoch (exercising hits) and across epochs (invalidation).
+            match rng.gen_range_u64(3) {
+                0 => {
+                    let src = TileCoord::new(rng.gen_range_u64(4) as u8, rng.gen_range_u64(8) as u8);
+                    let dst = TileCoord::new(rng.gen_range_u64(4) as u8, rng.gen_range_u64(8) as u8);
+                    if src != dst {
+                        if let Ok(rep) = w.establish(CircuitRequest::new(src, dst, 1)) {
+                            live.push(rep.id);
+                        }
+                    }
+                }
+                1 if !live.is_empty() => {
+                    let id = live.swap_remove(rng.gen_range_usize(live.len()));
+                    prop_assert!(w.teardown(id).is_ok());
+                }
+                _ => {}
+            }
+            // Probe a few pairs (drawn from a small pool so repeats occur).
+            for _ in 0..3 {
+                let src = TileCoord::new(rng.gen_range_u64(2) as u8, rng.gen_range_u64(3) as u8);
+                let dst = TileCoord::new(2 + rng.gen_range_u64(2) as u8, 5 + rng.gen_range_u64(3) as u8);
+                let cached = cache.find_path(&w, src, dst);
+                let fresh = astar(&w, src, dst, &opts);
+                prop_assert_eq!(&cached, &fresh, "path divergence {} -> {}", src, dst);
+                if let (Some(c), Some(f)) = (cached, fresh) {
+                    // Same tiles byte for byte implies the same loss budget,
+                    // but assert the budget independently: it also covers
+                    // crosstalk terms that depend on *current* bus loads.
+                    let cb = w.path_loss_budget(&c).total_db();
+                    let fb = w.path_loss_budget(&f).total_db();
+                    prop_assert_eq!(cb.to_bits(), fb.to_bits(), "loss budget divergence");
+                }
+            }
+        }
+        let s = cache.stats();
+        prop_assert!(s.hits > 0, "churn workload should produce cache hits");
+        prop_assert!(s.misses > 0);
     }
 
     /// Protected pairs, when they establish, are always fault-independent,

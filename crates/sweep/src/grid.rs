@@ -1,0 +1,311 @@
+//! Scenario grids: what a sweep runs.
+//!
+//! A [`GridSpec`] is an ordered list of [`Scenario`]s spanning the
+//! workspace's layers — phy Monte-Carlo, fabricd admission/failure
+//! campaigns, slice-shape × collective matrices, and route-cache churn.
+//! Randomized scenarios get their RNG seed partitioned up front by
+//! [`derive_seed`](crate::fingerprint::derive_seed)`(base, index)`, so the
+//! stream a scenario consumes is a pure function of the grid — independent
+//! of worker count, scheduling, or which thread picks it up.
+
+use crate::fingerprint::derive_seed;
+use collectives::Mode;
+use topo::Shape3;
+use workloads::STANDARD_SHAPES;
+
+/// Which collective a [`Scenario::Collective`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveAlgo {
+    /// Ring AllReduce over the slice's snake order (Table 1's algorithm).
+    RingAllReduce,
+    /// Multi-dimensional bucket ReduceScatter (Table 2's algorithm).
+    BucketReduceScatter,
+}
+
+impl CollectiveAlgo {
+    /// Short name for labels and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CollectiveAlgo::RingAllReduce => "ring",
+            CollectiveAlgo::BucketReduceScatter => "bucket",
+        }
+    }
+}
+
+/// One independent unit of sweep work.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scenario {
+    /// Reticle-stitch loss Monte-Carlo (Fig 3b's distribution).
+    PhyMonteCarlo {
+        /// Stitches sampled.
+        samples: usize,
+        /// RNG seed (already partitioned per scenario).
+        seed: u64,
+    },
+    /// A fabricd admission + failure campaign; the journal hash is the
+    /// scenario's natural fingerprint.
+    CtrlCampaign {
+        /// TPUv4 racks in the fabric.
+        racks: usize,
+        /// Wavelength lanes per ring circuit.
+        lanes: usize,
+        /// Jobs drawn from the arrival process.
+        jobs: usize,
+        /// Chip failures injected mid-trace.
+        failures: usize,
+        /// RNG seed (already partitioned per scenario).
+        seed: u64,
+    },
+    /// One cell of the slice-shape × mode × algorithm matrix, executed
+    /// event-driven and cross-checked against the closed form.
+    Collective {
+        /// Slice shape (must fit the 4×4×4 rack).
+        shape: Shape3,
+        /// Interconnect mode.
+        mode: Mode,
+        /// Algorithm.
+        algo: CollectiveAlgo,
+        /// Collective buffer size, bytes.
+        n_bytes: f64,
+    },
+    /// Wafer establish/teardown churn probed through the route-layer
+    /// [`PathCache`](route::PathCache), fingerprinting paths and loss
+    /// budgets.
+    RouteChurn {
+        /// Establish/teardown/probe iterations.
+        ops: usize,
+        /// RNG seed (already partitioned per scenario).
+        seed: u64,
+    },
+}
+
+impl Scenario {
+    /// Human-readable label (stable; used in reports and JSON).
+    pub fn label(&self) -> String {
+        match self {
+            Scenario::PhyMonteCarlo { samples, seed } => {
+                format!("phy/stitch-mc/n{samples}/s{seed:x}")
+            }
+            Scenario::CtrlCampaign {
+                racks,
+                lanes,
+                jobs,
+                failures,
+                seed,
+            } => format!("ctrl/r{racks}l{lanes}j{jobs}f{failures}/s{seed:x}"),
+            Scenario::Collective {
+                shape,
+                mode,
+                algo,
+                n_bytes,
+            } => {
+                let m = match mode {
+                    Mode::Electrical => "elec",
+                    Mode::OpticalStaticSplit => "osplit",
+                    Mode::OpticalFullSteer => "osteer",
+                };
+                format!(
+                    "coll/{}/{shape}/{m}/{:.0}MiB",
+                    algo.name(),
+                    n_bytes / (1u64 << 20) as f64
+                )
+            }
+            Scenario::RouteChurn { ops, seed } => format!("route/churn/n{ops}/s{seed:x}"),
+        }
+    }
+}
+
+/// A named, ordered scenario list.
+#[derive(Debug, Clone)]
+pub struct GridSpec {
+    /// Grid name ("smoke", "full") recorded in reports and baselines.
+    pub name: String,
+    /// Scenarios in index order. Index is identity: fingerprints combine in
+    /// this order.
+    pub scenarios: Vec<Scenario>,
+}
+
+/// 64 MiB — the workspace's standard collective buffer (Fig 5b scale).
+pub const N_BYTES: f64 = (64u64 << 20) as f64;
+
+impl GridSpec {
+    /// Resolve a grid by name.
+    pub fn by_name(name: &str, base_seed: u64) -> Option<GridSpec> {
+        match name {
+            "smoke" => Some(GridSpec::smoke(base_seed)),
+            "full" => Some(GridSpec::full(base_seed)),
+            _ => None,
+        }
+    }
+
+    /// The CI grid: every scenario kind, sized to finish in seconds.
+    pub fn smoke(base_seed: u64) -> GridSpec {
+        let mut g = GridBuilder::new("smoke", base_seed);
+        g.phy_monte_carlo(2_000);
+        g.ctrl_campaign(1, 2, 8, 1);
+        for shape in [Shape3::new(4, 2, 1), Shape3::new(4, 4, 1)] {
+            for mode in [Mode::Electrical, Mode::OpticalFullSteer] {
+                g.collective(shape, mode, CollectiveAlgo::RingAllReduce);
+            }
+        }
+        g.collective(
+            Shape3::new(4, 4, 1),
+            Mode::OpticalStaticSplit,
+            CollectiveAlgo::BucketReduceScatter,
+        );
+        g.route_churn(60);
+        g.finish()
+    }
+
+    /// The benchmark grid: the full slice-shape × mode matrix, several
+    /// Monte-Carlo and control-plane campaigns, heavier churn.
+    pub fn full(base_seed: u64) -> GridSpec {
+        let mut g = GridBuilder::new("full", base_seed);
+        for _ in 0..4 {
+            g.phy_monte_carlo(20_000);
+        }
+        g.ctrl_campaign(1, 2, 12, 1);
+        g.ctrl_campaign(1, 2, 16, 2);
+        g.ctrl_campaign(2, 2, 24, 2);
+        g.ctrl_campaign(1, 4, 12, 1);
+        for shape in STANDARD_SHAPES {
+            for mode in [
+                Mode::Electrical,
+                Mode::OpticalStaticSplit,
+                Mode::OpticalFullSteer,
+            ] {
+                g.collective(shape, mode, CollectiveAlgo::RingAllReduce);
+                g.collective(shape, mode, CollectiveAlgo::BucketReduceScatter);
+            }
+        }
+        for _ in 0..4 {
+            g.route_churn(200);
+        }
+        g.finish()
+    }
+
+    /// Number of scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// True when the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+}
+
+/// Builder that stamps each randomized scenario with its partitioned seed.
+struct GridBuilder {
+    name: &'static str,
+    base_seed: u64,
+    scenarios: Vec<Scenario>,
+}
+
+impl GridBuilder {
+    fn new(name: &'static str, base_seed: u64) -> Self {
+        GridBuilder {
+            name,
+            base_seed,
+            scenarios: Vec::new(),
+        }
+    }
+
+    /// The seed for the scenario about to be pushed.
+    fn next_seed(&self) -> u64 {
+        derive_seed(self.base_seed, self.scenarios.len() as u64)
+    }
+
+    fn phy_monte_carlo(&mut self, samples: usize) {
+        let seed = self.next_seed();
+        self.scenarios
+            .push(Scenario::PhyMonteCarlo { samples, seed });
+    }
+
+    fn ctrl_campaign(&mut self, racks: usize, lanes: usize, jobs: usize, failures: usize) {
+        let seed = self.next_seed();
+        self.scenarios.push(Scenario::CtrlCampaign {
+            racks,
+            lanes,
+            jobs,
+            failures,
+            seed,
+        });
+    }
+
+    fn collective(&mut self, shape: Shape3, mode: Mode, algo: CollectiveAlgo) {
+        self.scenarios.push(Scenario::Collective {
+            shape,
+            mode,
+            algo,
+            n_bytes: N_BYTES,
+        });
+    }
+
+    fn route_churn(&mut self, ops: usize) {
+        let seed = self.next_seed();
+        self.scenarios.push(Scenario::RouteChurn { ops, seed });
+    }
+
+    fn finish(self) -> GridSpec {
+        GridSpec {
+            name: self.name.to_string(),
+            scenarios: self.scenarios,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_are_stable_for_a_seed() {
+        let a = GridSpec::smoke(42);
+        let b = GridSpec::smoke(42);
+        assert_eq!(a.scenarios, b.scenarios);
+        let c = GridSpec::smoke(43);
+        assert_ne!(a.scenarios, c.scenarios, "base seed must matter");
+    }
+
+    #[test]
+    fn full_covers_every_kind_and_every_shape() {
+        let g = GridSpec::full(1);
+        assert!(g.len() > 20);
+        for shape in STANDARD_SHAPES {
+            assert!(g
+                .scenarios
+                .iter()
+                .any(|s| matches!(s, Scenario::Collective { shape: sh, .. } if *sh == shape)));
+        }
+        assert!(g
+            .scenarios
+            .iter()
+            .any(|s| matches!(s, Scenario::PhyMonteCarlo { .. })));
+        assert!(g
+            .scenarios
+            .iter()
+            .any(|s| matches!(s, Scenario::CtrlCampaign { .. })));
+        assert!(g
+            .scenarios
+            .iter()
+            .any(|s| matches!(s, Scenario::RouteChurn { .. })));
+    }
+
+    #[test]
+    fn labels_are_unique_within_a_grid() {
+        for grid in [GridSpec::smoke(7), GridSpec::full(7)] {
+            let mut seen = std::collections::HashSet::new();
+            for s in &grid.scenarios {
+                assert!(seen.insert(s.label()), "duplicate label {}", s.label());
+            }
+        }
+    }
+
+    #[test]
+    fn by_name_resolves() {
+        assert!(GridSpec::by_name("smoke", 1).is_some());
+        assert!(GridSpec::by_name("full", 1).is_some());
+        assert!(GridSpec::by_name("nope", 1).is_none());
+    }
+}

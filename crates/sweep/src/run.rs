@@ -1,0 +1,390 @@
+//! Scenario execution and the parallel sweep driver.
+//!
+//! Determinism contract: a scenario's [fingerprint](ScenarioResult) is a
+//! pure function of the scenario itself — it never reads the clock, another
+//! scenario's output, or anything thread-dependent. Worker `w` of `W` runs
+//! the **stripe** of scenarios at indices `w, w+W, w+2W, …` (round-robin,
+//! which load-balances grids whose heavy scenarios cluster), results are
+//! re-sorted by grid index after the join, per-scenario fingerprints
+//! combine in index order, and per-worker stats merge in worker order. The
+//! first three make the sweep fingerprint bit-identical for *any* worker
+//! count; the last makes merged statistics reproducible for a *given*
+//! worker count (parallel Welford merges are not bit-identical to
+//! sequential pushes, which is exactly why merged stats stay out of the
+//! fingerprint — see `DESIGN.md`).
+
+use crate::fingerprint::Fnv;
+use crate::grid::{CollectiveAlgo, GridSpec, Scenario};
+use collectives::{bucket_reduce_scatter, execute, ring_all_reduce, snake_order, CostParams, Mode};
+use desim::stats::{Histogram, OnlineStats};
+use desim::SimRng;
+use fabricd::{metrics::COUNTERS, CtrlConfig};
+use lightpath::{CircuitRequest, TileCoord, Wafer, WaferConfig};
+use phy::StitchModel;
+use route::{astar, PathCache, SearchOptions};
+use topo::{Coord3, Shape3, Slice, Torus};
+
+/// Histogram range for stitch-loss Monte-Carlo (matches Fig 3b).
+const STITCH_HI_DB: f64 = 0.8;
+/// Histogram bins for stitch-loss Monte-Carlo.
+const STITCH_BINS: usize = 40;
+
+/// What one scenario produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioResult {
+    /// Position in the grid (identity; fingerprints combine in this order).
+    pub index: usize,
+    /// The scenario's stable label.
+    pub label: String,
+    /// FNV-1a digest of the scenario's observable outcome.
+    pub fingerprint: u64,
+    /// Discrete events the scenario processed (samples, journal records,
+    /// transfers, churn ops) — the numerator of events/sec.
+    pub events: u64,
+}
+
+/// Cross-scenario statistics, merged from per-worker registries.
+#[derive(Debug, Clone)]
+pub struct MergedStats {
+    /// Stitch-loss samples from every `PhyMonteCarlo` scenario.
+    pub stitch_loss_db: Histogram,
+    /// Admission waits from every `CtrlCampaign` scenario, seconds.
+    pub admission_wait_s: Histogram,
+    /// Measured collective completion times, microseconds.
+    pub collective_us: OnlineStats,
+    /// Hop counts of every successful churn probe.
+    pub churn_hops: OnlineStats,
+}
+
+impl Default for MergedStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MergedStats {
+    /// Empty registries with the workspace-standard histogram shapes (the
+    /// shapes must agree across workers for [`Histogram::merge`]).
+    pub fn new() -> Self {
+        MergedStats {
+            stitch_loss_db: Histogram::new(0.0, STITCH_HI_DB, STITCH_BINS),
+            admission_wait_s: Histogram::new(0.0, 3600.0, 64),
+            collective_us: OnlineStats::new(),
+            churn_hops: OnlineStats::new(),
+        }
+    }
+
+    /// Fold another worker's registries into this one.
+    pub fn merge(&mut self, other: &MergedStats) {
+        self.stitch_loss_db.merge(&other.stitch_loss_db);
+        self.admission_wait_s.merge(&other.admission_wait_s);
+        self.collective_us.merge(&other.collective_us);
+        self.churn_hops.merge(&other.churn_hops);
+    }
+}
+
+/// Everything a sweep returns.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Grid name the sweep ran.
+    pub grid: String,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Per-scenario results in index order.
+    pub results: Vec<ScenarioResult>,
+    /// Order-combined sweep fingerprint (worker-count invariant).
+    pub fingerprint: u64,
+    /// Total events across scenarios.
+    pub events: u64,
+    /// Merged statistics (reporting only; not fingerprinted).
+    pub merged: MergedStats,
+    /// Wall-clock time of the scenario work.
+    pub wall: std::time::Duration,
+}
+
+impl SweepOutcome {
+    /// Events per wall-clock second (0 when the wall clock reads zero).
+    pub fn events_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s > 0.0 {
+            self.events as f64 / s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Run one scenario, folding its samples into `merged` and returning
+/// `(fingerprint, events)`.
+pub fn run_scenario(scenario: &Scenario, merged: &mut MergedStats) -> (u64, u64) {
+    match scenario {
+        Scenario::PhyMonteCarlo { samples, seed } => {
+            let h = StitchModel::default().loss_distribution(
+                *samples,
+                STITCH_HI_DB,
+                STITCH_BINS,
+                *seed,
+            );
+            let mut f = Fnv::new();
+            f.write_str("phy-mc").write_u64(*seed);
+            for &c in h.counts() {
+                f.write_u64(c);
+            }
+            f.write_u64(h.underflow()).write_u64(h.overflow());
+            f.write_f64(h.stats().mean())
+                .write_f64(h.stats().min().unwrap_or(0.0))
+                .write_f64(h.stats().max().unwrap_or(0.0));
+            merged.stitch_loss_db.merge(&h);
+            (f.finish(), *samples as u64)
+        }
+        Scenario::CtrlCampaign {
+            racks,
+            lanes,
+            jobs,
+            failures,
+            seed,
+        } => {
+            let cfg = CtrlConfig {
+                racks: *racks,
+                lanes: *lanes,
+                jobs: *jobs,
+                failures: *failures,
+                seed: *seed,
+                ..CtrlConfig::default()
+            };
+            let out = fabricd::run_scenario(&cfg);
+            let journal = out.state.journal();
+            let mut f = Fnv::new();
+            f.write_str("ctrl").write_u64(*seed);
+            f.write_u64(journal.hash());
+            f.write_u64(journal.len() as u64);
+            f.write_u64(out.horizon.since_origin().as_ps());
+            for name in COUNTERS {
+                f.write_u64(out.metrics.counter(name));
+            }
+            for t in out.state.telemetry() {
+                f.write_u64(t.circuits as u64).write_f64(t.aggregate_gbps);
+            }
+            merged.admission_wait_s.merge(out.metrics.admission_wait());
+            (f.finish(), journal.len() as u64)
+        }
+        Scenario::Collective {
+            shape,
+            mode,
+            algo,
+            n_bytes,
+        } => run_collective(*shape, *mode, *algo, *n_bytes, merged),
+        Scenario::RouteChurn { ops, seed } => run_route_churn(*ops, *seed, merged),
+    }
+}
+
+fn run_collective(
+    shape: Shape3,
+    mode: Mode,
+    algo: CollectiveAlgo,
+    n_bytes: f64,
+    merged: &mut MergedStats,
+) -> (u64, u64) {
+    let rack = Shape3::rack_4x4x4();
+    let params = CostParams::default();
+    let torus = Torus::new(rack);
+    let slice = Slice::new(0, Coord3::new(0, 0, 0), shape);
+    let schedule = match algo {
+        CollectiveAlgo::RingAllReduce => {
+            ring_all_reduce(&snake_order(&slice), n_bytes, mode, rack, &torus, &params)
+        }
+        CollectiveAlgo::BucketReduceScatter => {
+            let dims = slice.active_dims();
+            bucket_reduce_scatter(&slice, &dims, n_bytes, mode, rack, &torus, &params)
+        }
+    };
+    let report = execute(&schedule, &params);
+    // The executor and the closed form must agree to the picosecond; a
+    // divergence is a bug, not data.
+    let analytic = schedule.analytic_total(&params);
+    assert!(
+        report.total == analytic,
+        "executor ({}) diverged from closed form ({}) on {shape} {mode:?}",
+        report.total,
+        analytic
+    );
+    let sym = schedule.symbolic_cost(&params);
+    let mut f = Fnv::new();
+    f.write_str("coll").write_str(algo.name());
+    f.write_u64(report.total.as_ps());
+    f.write_u64(report.rounds as u64)
+        .write_u64(report.congested_rounds as u64)
+        .write_u64(report.max_link_load as u64)
+        .write_u64(report.transfers)
+        .write_u64(report.reconfigs as u64);
+    f.write_u64(sym.alpha_steps as u64)
+        .write_u64(sym.reconfigs as u64)
+        .write_f64(sym.beta_bytes);
+    merged.collective_us.push(report.total.as_micros_f64());
+    (f.finish(), report.transfers)
+}
+
+fn run_route_churn(ops: usize, seed: u64, merged: &mut MergedStats) -> (u64, u64) {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut wafer = Wafer::new(WaferConfig::lightpath_32());
+    let opts = SearchOptions {
+        load_weight: 8.0,
+        ..SearchOptions::default()
+    };
+    let mut cache = PathCache::new(opts.clone());
+    let mut live = Vec::new();
+    let mut f = Fnv::new();
+    f.write_str("churn").write_u64(seed);
+    for _ in 0..ops {
+        match rng.gen_range_u64(3) {
+            0 => {
+                let src = TileCoord::new(rng.gen_range_u64(4) as u8, rng.gen_range_u64(8) as u8);
+                let dst = TileCoord::new(rng.gen_range_u64(4) as u8, rng.gen_range_u64(8) as u8);
+                if src != dst {
+                    if let Ok(rep) = wafer.establish(CircuitRequest::new(src, dst, 1)) {
+                        live.push(rep.id);
+                        f.write_u64(1);
+                    }
+                }
+            }
+            1 if !live.is_empty() => {
+                let id = live.swap_remove(rng.gen_range_usize(live.len()));
+                if wafer.teardown(id).is_ok() {
+                    f.write_u64(2);
+                }
+            }
+            _ => {}
+        }
+        let src = TileCoord::new(rng.gen_range_u64(2) as u8, rng.gen_range_u64(3) as u8);
+        let dst = TileCoord::new(
+            2 + rng.gen_range_u64(2) as u8,
+            5 + rng.gen_range_u64(3) as u8,
+        );
+        let cached = cache.find_path(&wafer, src, dst);
+        // The cache must be transparent mid-sweep, not just in tests.
+        assert!(
+            cached == astar(&wafer, src, dst, &opts),
+            "path cache diverged from fresh A* at {src}->{dst}"
+        );
+        match &cached {
+            Some(p) => {
+                f.write_u64(p.hops() as u64);
+                f.write_f64(wafer.path_loss_budget(p).total_db());
+                merged.churn_hops.push(p.hops() as f64);
+            }
+            None => {
+                f.write_u64(u64::MAX);
+            }
+        }
+    }
+    let s = cache.stats();
+    f.write_u64(s.hits)
+        .write_u64(s.misses)
+        .write_u64(s.invalidations);
+    f.write_u64(wafer.occupancy_epoch());
+    (f.finish(), ops as u64)
+}
+
+/// Run `grid` across `workers` threads (clamped to ≥ 1) and return the
+/// order-combined outcome.
+///
+/// Worker `w` runs the round-robin stripe `w, w+W, w+2W, …` sequentially
+/// into a private stats registry; striping spreads clustered heavy
+/// scenarios (the full grid opens with four Monte-Carlo runs) across
+/// workers. Results are re-sorted by grid index after the join and stats
+/// merge in worker order, so the whole outcome is reproducible: the
+/// fingerprint for any worker count, the merged stats per worker count.
+pub fn run_sweep(grid: &GridSpec, workers: usize) -> SweepOutcome {
+    let workers = workers.clamp(1, grid.len().max(1));
+    let started = std::time::Instant::now();
+    let n = grid.len();
+    let mut results: Vec<ScenarioResult> = Vec::with_capacity(n);
+    let mut merged = MergedStats::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let scenarios = &grid.scenarios;
+            handles.push(scope.spawn(move || {
+                let mut local = MergedStats::new();
+                let mut out = Vec::with_capacity(scenarios.len() / workers + 1);
+                for (index, scenario) in scenarios.iter().enumerate().skip(w).step_by(workers) {
+                    let (fingerprint, events) = run_scenario(scenario, &mut local);
+                    out.push(ScenarioResult {
+                        index,
+                        label: scenario.label(),
+                        fingerprint,
+                        events,
+                    });
+                }
+                (out, local)
+            }));
+        }
+        // Join in worker order so stats merge deterministically.
+        for h in handles {
+            let Ok((part, local)) = h.join() else {
+                panic!("sweep worker panicked");
+            };
+            results.extend(part);
+            merged.merge(&local);
+        }
+    });
+    // Stripes interleave; identity is the grid index, so restore it.
+    results.sort_by_key(|r| r.index);
+    let wall = started.elapsed();
+    let fingerprint =
+        crate::fingerprint::combine(&results.iter().map(|r| r.fingerprint).collect::<Vec<u64>>());
+    let events = results.iter().map(|r| r.events).sum();
+    SweepOutcome {
+        grid: grid.name.clone(),
+        workers,
+        results,
+        fingerprint,
+        events,
+        merged,
+        wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_runs_are_pure() {
+        // Same scenario, fresh registries: identical fingerprint and events.
+        let s = Scenario::RouteChurn { ops: 20, seed: 9 };
+        let mut m1 = MergedStats::new();
+        let mut m2 = MergedStats::new();
+        assert_eq!(run_scenario(&s, &mut m1), run_scenario(&s, &mut m2));
+        assert_eq!(m1.churn_hops.count(), m2.churn_hops.count());
+    }
+
+    #[test]
+    fn different_seeds_give_different_fingerprints() {
+        let mut m = MergedStats::new();
+        let a = run_scenario(
+            &Scenario::PhyMonteCarlo {
+                samples: 500,
+                seed: 1,
+            },
+            &mut m,
+        );
+        let b = run_scenario(
+            &Scenario::PhyMonteCarlo {
+                samples: 500,
+                seed: 2,
+            },
+            &mut m,
+        );
+        assert_ne!(a.0, b.0);
+        assert_eq!(a.1, b.1, "same sample count, same event count");
+    }
+
+    #[test]
+    fn oversubscribed_worker_counts_clamp() {
+        let grid = GridSpec::smoke(3);
+        let out = run_sweep(&grid, 10_000);
+        assert!(out.workers <= grid.len());
+        assert_eq!(out.results.len(), grid.len());
+    }
+}

@@ -12,9 +12,13 @@
 //!    and no `unsafe` block/fn/impl/trait appears anywhere in the tree.
 //! 3. **unwrap ratchet** — per-crate counts of panicking unwrap/expect
 //!    call sites must not grow beyond the recorded baseline.
-//! 4. **fmt** — `cargo fmt --check` (skipped gracefully when rustfmt is
+//! 4. **perf baseline** — re-runs the committed `BENCH_sweep.json` grid
+//!    via `spsim sweep` (release build) and gates: fingerprint, scenario
+//!    count, and event count must match the baseline exactly, and
+//!    throughput may not regress below the tolerance floor.
+//! 5. **fmt** — `cargo fmt --check` (skipped gracefully when rustfmt is
 //!    not installed).
-//! 5. **clippy** — `cargo clippy --workspace --all-targets` with
+//! 6. **clippy** — `cargo clippy --workspace --all-targets` with
 //!    `-D warnings` and a curated allow-list (skipped gracefully when
 //!    clippy is not installed).
 //!
@@ -51,6 +55,7 @@ const UNWRAP_BASELINE: &[(&str, usize)] = &[
     ("proptest", 0),
     ("resilience", 12),
     ("route", 35),
+    ("sweep", 0),
     ("topo", 19),
     ("verify", 0),
     ("workloads", 8),
@@ -76,7 +81,8 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "unknown xtask `{other}`; available: lint [--skip-fmt --skip-clippy], catalog"
+                "unknown xtask `{other}`; available: lint [--skip-fmt --skip-clippy \
+                 --skip-bench], catalog"
             );
             ExitCode::FAILURE
         }
@@ -93,6 +99,7 @@ fn catalog() {
 fn lint(flags: &[String]) -> ExitCode {
     let skip_fmt = flags.iter().any(|f| f == "--skip-fmt");
     let skip_clippy = flags.iter().any(|f| f == "--skip-clippy");
+    let skip_bench = flags.iter().any(|f| f == "--skip-bench");
     let root = workspace_root();
     let mut failures: Vec<String> = Vec::new();
 
@@ -104,6 +111,13 @@ fn lint(flags: &[String]) -> ExitCode {
 
     section("unwrap/expect ratchet");
     failures.extend(unwrap_ratchet(&root));
+
+    section("perf baseline: BENCH_sweep.json");
+    if skip_bench {
+        println!("  skipped (--skip-bench)");
+    } else {
+        failures.extend(perf_baseline(&root));
+    }
 
     section("cargo fmt --check");
     if skip_fmt {
@@ -407,6 +421,92 @@ fn verify_golden() -> Vec<String> {
         }
     }
 
+    failures
+}
+
+// --------------------------------------------------------- perf baseline --
+
+/// Re-run the committed benchmark grid through `spsim sweep` (release, so
+/// throughput is comparable to the committed numbers) and gate on the
+/// baseline: exact fingerprint/scenario/event equality, tolerant
+/// throughput floor (see [`sweep::MIN_PERF_RATIO`]).
+fn perf_baseline(root: &Path) -> Vec<String> {
+    let baseline_path = root.join("BENCH_sweep.json");
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            println!("  FAIL cannot read {}: {e}", baseline_path.display());
+            return vec![format!(
+                "missing perf baseline {} — generate with `spsim sweep --grid smoke \
+                 --workers 2 --write-baseline BENCH_sweep.json`",
+                baseline_path.display()
+            )];
+        }
+    };
+    let baseline = match sweep::BenchReport::parse(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => {
+            println!("  FAIL unparseable baseline: {e}");
+            return vec![format!("unparseable {}: {e}", baseline_path.display())];
+        }
+    };
+    let current_path = root.join("target").join("BENCH_sweep.current.json");
+    let status = cargo()
+        .current_dir(root)
+        .args([
+            "run",
+            "--release",
+            "--quiet",
+            "--bin",
+            "spsim",
+            "--",
+            "sweep",
+            "--grid",
+            &baseline.grid,
+            "--workers",
+            &baseline.workers.to_string(),
+            "--write-baseline",
+        ])
+        .arg(&current_path)
+        .stdout(std::process::Stdio::null())
+        .status();
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(_) => {
+            println!("  FAIL spsim sweep exited non-zero");
+            return vec!["spsim sweep failed (determinism violation or bad grid)".into()];
+        }
+        Err(e) => {
+            println!("  FAIL could not spawn cargo run ({e})");
+            return vec![format!("could not run spsim sweep: {e}")];
+        }
+    }
+    let current = match std::fs::read_to_string(&current_path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| sweep::BenchReport::parse(&t))
+    {
+        Ok(c) => c,
+        Err(e) => {
+            println!("  FAIL unreadable sweep output: {e}");
+            return vec![format!("unreadable {}: {e}", current_path.display())];
+        }
+    };
+    let failures = sweep::compare_baseline(&current, &baseline);
+    if failures.is_empty() {
+        println!(
+            "  ok   grid '{}' fingerprint {} reproduced; {:.0} events/s (baseline {:.0}, \
+             floor {:.2}x)",
+            current.grid,
+            current.fingerprint,
+            current.events_per_sec,
+            baseline.events_per_sec,
+            sweep::MIN_PERF_RATIO
+        );
+    } else {
+        for f in &failures {
+            println!("  FAIL {f}");
+        }
+    }
     failures
 }
 

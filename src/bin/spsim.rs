@@ -21,6 +21,7 @@ use server_photonics::lightpath::{CircuitRequest, TileCoord, Wafer, WaferConfig}
 use server_photonics::resilience::{
     analyze, fig6a, measure_interference, optical_repair, PhotonicRack,
 };
+use server_photonics::sweep::{outcome_to_json, run_sweep, BenchReport, GridSpec};
 use server_photonics::topo::{Coord3, Shape3, Slice, Torus};
 use server_photonics::workloads::{generate, simulate as simulate_placement, ArrivalParams};
 
@@ -316,6 +317,67 @@ fn cmd_hoststack(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let grid_name = args.get_str("grid", "smoke");
+    let workers: usize = args.get("workers", 4)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let grid = GridSpec::by_name(&grid_name, seed)
+        .ok_or_else(|| format!("unknown grid '{grid_name}' (try smoke or full)"))?;
+    println!(
+        "sweep: grid '{grid_name}' ({} scenarios, base seed {seed}), {workers} worker(s)",
+        grid.len()
+    );
+
+    // Sequential reference first, then the parallel run under test.
+    let sequential = run_sweep(&grid, 1);
+    let parallel = run_sweep(&grid, workers);
+    println!(
+        "  sequential: {:#018x} in {:.3}s ({:.0} events/s)",
+        sequential.fingerprint,
+        sequential.wall.as_secs_f64(),
+        sequential.events_per_sec()
+    );
+    println!(
+        "  parallel  : {:#018x} in {:.3}s ({:.0} events/s, {} workers)",
+        parallel.fingerprint,
+        parallel.wall.as_secs_f64(),
+        parallel.events_per_sec(),
+        parallel.workers
+    );
+    if parallel.fingerprint != sequential.fingerprint {
+        return Err(format!(
+            "DETERMINISM VIOLATION: {}-worker fingerprint {:#018x} != sequential {:#018x}",
+            parallel.workers, parallel.fingerprint, sequential.fingerprint
+        ));
+    }
+    println!("  fingerprints IDENTICAL (parallel == sequential, bit for bit)");
+    let m = &parallel.merged;
+    println!(
+        "  merged: {} stitch samples (mean {:.3} dB), {} admission waits, \
+         {} collectives (mean {:.1} us), {} churn probes (mean {:.2} hops)",
+        m.stitch_loss_db.count(),
+        m.stitch_loss_db.stats().mean(),
+        m.admission_wait_s.count(),
+        m.collective_us.count(),
+        m.collective_us.mean(),
+        m.churn_hops.count(),
+        m.churn_hops.mean()
+    );
+    let seq_wall = sequential.wall.as_secs_f64();
+    let bench = BenchReport::from_runs(&parallel, seq_wall);
+    println!("  speedup vs 1 worker: {:.2}x", bench.speedup_vs_1);
+    if let Some(path) = args.0.get("json") {
+        let artifact = outcome_to_json(&parallel, seq_wall);
+        std::fs::write(path, artifact).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("  report written to {path}");
+    }
+    if let Some(path) = args.0.get("write-baseline") {
+        std::fs::write(path, bench.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("  baseline written to {path}");
+    }
+    Ok(())
+}
+
 const USAGE: &str = "spsim — server-scale photonics simulator
 
 USAGE:
@@ -325,6 +387,8 @@ USAGE:
   spsim placement  [--jobs 500] [--seed 7]
   spsim hoststack  [--messages 2000] [--bytes 4096] [--peers 8] [--seed 7]
   spsim ctrl       [--jobs 12] [--seed 7] [--racks 1] [--lanes 2] [--failures 1] [--timeout-s 1800] [--dump-journal out.json]
+  spsim sweep      [--grid smoke|full] [--workers 4] [--seed 42] [--json out.json] [--write-baseline BENCH_sweep.json]
+                   (--smoke expands to --grid smoke --workers 2)
 ";
 
 fn main() -> ExitCode {
@@ -333,14 +397,31 @@ fn main() -> ExitCode {
         print!("{USAGE}");
         return ExitCode::SUCCESS;
     };
-    let rest = &argv[1..];
-    let result = Args::parse(rest).and_then(|args| match cmd.as_str() {
+    // `sweep --smoke` is CI sugar for the small-grid 2-worker run; expand
+    // it before the generic --key value parser sees it.
+    let rest: Vec<String> = argv[1..]
+        .iter()
+        .flat_map(|a| {
+            if cmd == "sweep" && a == "--smoke" {
+                vec![
+                    "--grid".to_string(),
+                    "smoke".to_string(),
+                    "--workers".to_string(),
+                    "2".to_string(),
+                ]
+            } else {
+                vec![a.clone()]
+            }
+        })
+        .collect();
+    let result = Args::parse(&rest).and_then(|args| match cmd.as_str() {
         "wafer" => cmd_wafer(&args),
         "collective" => cmd_collective(&args),
         "repair" => cmd_repair(&args),
         "placement" => cmd_placement(&args),
         "hoststack" => cmd_hoststack(&args),
         "ctrl" => cmd_ctrl(&args),
+        "sweep" => cmd_sweep(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

@@ -18,5 +18,6 @@ pub use lightpath;
 pub use phy;
 pub use resilience;
 pub use route;
+pub use sweep;
 pub use topo;
 pub use workloads;
