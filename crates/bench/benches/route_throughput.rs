@@ -1,0 +1,101 @@
+//! Routing hot-path benches: steady-state flat A* searches with a reused
+//! [`route::Searcher`] scratch against the allocating convenience wrapper,
+//! plus full ring-plan programming cycles through the shared scratch.
+//!
+//! `spsim routebench` owns the committed `BENCH_route.json` baseline that
+//! `cargo xtask lint` gates on; these benches expose the same hot path to
+//! `cargo bench` for profiling and A/B comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use desim::SimRng;
+use fabricd::{program_with, ring_plan};
+use lightpath::{CircuitRequest, TileCoord, Wafer, WaferConfig};
+use resilience::PhotonicRack;
+use route::{astar, SearchOptions, Searcher};
+use topo::{Coord3, Shape3, Slice};
+
+/// Seed fixing the preload circuits and the endpoint pool (mirrors the
+/// `spsim routebench` workload so profiles line up with the baseline).
+const SEED: u64 = 0x5eed_0042;
+
+/// A deterministically loaded 4×8 wafer with mixed bus occupancy.
+fn loaded_wafer() -> Wafer {
+    let mut rng = SimRng::seed_from_u64(SEED);
+    let mut wafer = Wafer::new(WaferConfig::lightpath_32());
+    for _ in 0..48 {
+        let src = TileCoord::new(rng.gen_range_u64(4) as u8, rng.gen_range_u64(8) as u8);
+        let dst = TileCoord::new(rng.gen_range_u64(4) as u8, rng.gen_range_u64(8) as u8);
+        if src != dst {
+            let _ = wafer.establish(CircuitRequest::new(src, dst, 1));
+        }
+    }
+    wafer
+}
+
+/// The fixed endpoint pool the search benches cycle through.
+fn endpoint_pool() -> Vec<(TileCoord, TileCoord)> {
+    let mut rng = SimRng::seed_from_u64(SEED ^ 0xffff);
+    let mut pool = Vec::with_capacity(64);
+    while pool.len() < 64 {
+        let src = TileCoord::new(rng.gen_range_u64(4) as u8, rng.gen_range_u64(8) as u8);
+        let dst = TileCoord::new(rng.gen_range_u64(4) as u8, rng.gen_range_u64(8) as u8);
+        if src != dst {
+            pool.push((src, dst));
+        }
+    }
+    pool
+}
+
+fn search_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("route_throughput");
+    let wafer = loaded_wafer();
+    let pool = endpoint_pool();
+    let opts = SearchOptions {
+        load_weight: 8.0,
+        ..SearchOptions::default()
+    };
+    g.bench_function("warm_searcher", |b| {
+        let mut searcher = Searcher::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            let (src, dst) = pool[i % pool.len()];
+            i += 1;
+            searcher.find(&wafer, src, dst, &opts)
+        })
+    });
+    g.bench_function("cold_searcher", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (src, dst) = pool[i % pool.len()];
+            i += 1;
+            astar(&wafer, src, dst, &opts)
+        })
+    });
+    g.finish();
+}
+
+fn batch_programming(c: &mut Criterion) {
+    let mut g = c.benchmark_group("route_batch");
+    let mut rack = PhotonicRack::new(1);
+    let slice = Slice::new(0, Coord3::new(0, 0, 0), Shape3::new(4, 2, 1));
+    let plan = ring_plan(&rack.cluster, &slice, 2);
+    let mut searcher = Searcher::new();
+    g.bench_function("ring_program_teardown", |b| {
+        b.iter(
+            || match program_with(&mut rack.fabric, &plan, &mut searcher) {
+                Ok(handles) => {
+                    let n = handles.len();
+                    for h in handles.into_iter().rev() {
+                        let _ = rack.fabric.teardown_handle(h);
+                    }
+                    n
+                }
+                Err(e) => panic!("ring programming failed: {e}"),
+            },
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, search_throughput, batch_programming);
+criterion_main!(benches);

@@ -139,6 +139,183 @@ impl fmt::Display for EdgeId {
     }
 }
 
+/// Dense, stable `EdgeId -> usize` index for every bus of a `rows`×`cols`
+/// wafer grid.
+///
+/// Horizontal edges come first in row-major order, then vertical edges in
+/// row-major order:
+///
+/// * `(r,c)-(r,c+1)` → `r·(cols-1) + c`
+/// * `(r,c)-(r+1,c)` → `rows·(cols-1) + r·cols + c`
+///
+/// The index is a pure function of the grid shape, so every structure keyed
+/// by it (`Vec` occupancy in [`Wafer`](crate::Wafer), routing scratch
+/// arrays, forbidden-edge bitsets) agrees on edge positions without any
+/// shared state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeIndex {
+    rows: u8,
+    cols: u8,
+}
+
+impl EdgeIndex {
+    /// Index for a `rows`×`cols` grid.
+    pub const fn new(rows: u8, cols: u8) -> EdgeIndex {
+        EdgeIndex { rows, cols }
+    }
+
+    /// Grid rows.
+    pub const fn rows(self) -> u8 {
+        self.rows
+    }
+
+    /// Grid columns.
+    pub const fn cols(self) -> u8 {
+        self.cols
+    }
+
+    /// Number of horizontal (east-west) buses; vertical indices start here.
+    pub const fn horizontal_count(self) -> usize {
+        let (r, c) = (self.rows as usize, self.cols as usize);
+        r * (c.saturating_sub(1))
+    }
+
+    /// Total buses on the grid.
+    pub const fn len(self) -> usize {
+        let (r, c) = (self.rows as usize, self.cols as usize);
+        r * (c.saturating_sub(1)) + r.saturating_sub(1) * c
+    }
+
+    /// True for degenerate grids with no buses at all.
+    pub const fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of tiles on the grid.
+    pub const fn tiles(self) -> usize {
+        self.rows as usize * self.cols as usize
+    }
+
+    /// Dense position of a tile (row-major).
+    pub const fn tile_index(self, t: TileCoord) -> usize {
+        t.row as usize * self.cols as usize + t.col as usize
+    }
+
+    /// Dense position of `e`, or `None` when `e` is not a bus of this grid.
+    pub fn try_index(self, e: EdgeId) -> Option<usize> {
+        // Endpoints are normalized smaller-first, so the second one has the
+        // larger row (vertical) or column (horizontal); bounds-checking it
+        // covers both.
+        let (a, b) = e.endpoints();
+        if b.row >= self.rows || b.col >= self.cols {
+            return None;
+        }
+        let (r, c) = (a.row as usize, a.col as usize);
+        Some(if e.is_horizontal() {
+            r * (self.cols as usize - 1) + c
+        } else {
+            self.horizontal_count() + r * self.cols as usize + c
+        })
+    }
+
+    /// Dense position of `e`.
+    ///
+    /// Panics when `e` is not a bus of this grid.
+    pub fn index(self, e: EdgeId) -> usize {
+        match self.try_index(e) {
+            Some(i) => i,
+            None => panic!("edge {e} is not on a {}x{} grid", self.rows, self.cols),
+        }
+    }
+
+    /// Dense position of the bus leaving tile `t` in direction `d`,
+    /// computed arithmetically — the hot-path form of
+    /// [`index`](Self::index) that skips `EdgeId` construction entirely.
+    ///
+    /// The caller must have verified the step stays on the grid (e.g. via
+    /// [`TileCoord::step`]); out-of-grid steps yield a meaningless index.
+    #[inline]
+    pub fn step_index(self, t: TileCoord, d: Dir) -> usize {
+        let (r, c) = (t.row as usize, t.col as usize);
+        let cols = self.cols as usize;
+        match d {
+            Dir::East => r * (cols - 1) + c,
+            Dir::West => r * (cols - 1) + c - 1,
+            Dir::South => self.horizontal_count() + r * cols + c,
+            Dir::North => self.horizontal_count() + (r - 1) * cols + c,
+        }
+    }
+
+    /// The edge at dense position `i` (inverse of [`index`](Self::index)).
+    ///
+    /// Panics when `i >= len()`.
+    pub fn edge_at(self, i: usize) -> EdgeId {
+        let h = self.horizontal_count();
+        let cols = self.cols as usize;
+        if i < h {
+            let (r, c) = ((i / (cols - 1)) as u8, (i % (cols - 1)) as u8);
+            EdgeId::between(TileCoord::new(r, c), TileCoord::new(r, c + 1))
+        } else {
+            let v = i - h;
+            assert!(
+                v < (self.rows as usize - 1) * cols,
+                "edge index {i} out of range for a {}x{} grid",
+                self.rows,
+                self.cols
+            );
+            let (r, c) = ((v / cols) as u8, (v % cols) as u8);
+            EdgeId::between(TileCoord::new(r, c), TileCoord::new(r + 1, c))
+        }
+    }
+}
+
+/// A fixed-size set of dense edge indices, stored as a bitset.
+///
+/// This is the zero-allocation form of `HashSet<EdgeId>` for hot routing
+/// loops: membership is one shift-and-mask, clearing is a `memset`, and the
+/// whole 4×8 grid (52 buses) fits in one cache line.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdgeSet {
+    words: Vec<u64>,
+}
+
+impl EdgeSet {
+    /// An empty set sized for `len` edges.
+    pub fn new(len: usize) -> EdgeSet {
+        EdgeSet {
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Re-size for `len` edges and clear every bit.
+    pub fn reset(&mut self, len: usize) {
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+    }
+
+    /// Clear every bit, keeping the size.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Insert edge index `i`.
+    ///
+    /// Panics when `i` is beyond the size given at construction.
+    pub fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// True when edge index `i` is in the set.
+    pub fn contains(&self, i: usize) -> bool {
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// True when no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
 /// A simple path of adjacent tiles on the wafer grid.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Path {
@@ -380,6 +557,82 @@ mod tests {
             TileCoord::new(0, 0),
         ])
         .is_none());
+    }
+
+    #[test]
+    fn edge_index_is_a_bijection() {
+        let ix = EdgeIndex::new(R, C);
+        // 4×8: 4·7 horizontal + 3·8 vertical = 52 buses.
+        assert_eq!(ix.len(), 52);
+        assert_eq!(ix.horizontal_count(), 28);
+        let mut seen = vec![false; ix.len()];
+        for r in 0..R {
+            for c in 0..C {
+                let t = TileCoord::new(r, c);
+                for d in [Dir::East, Dir::South] {
+                    if let Some(n) = t.step(d, R, C) {
+                        let e = EdgeId::between(t, n);
+                        let i = ix.index(e);
+                        assert!(!seen[i], "index {i} assigned twice");
+                        seen[i] = true;
+                        assert_eq!(ix.edge_at(i), e, "edge_at inverts index");
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every index assigned");
+    }
+
+    #[test]
+    fn step_index_agrees_with_index() {
+        let ix = EdgeIndex::new(R, C);
+        for r in 0..R {
+            for c in 0..C {
+                let t = TileCoord::new(r, c);
+                for d in Dir::ALL {
+                    if let Some(n) = t.step(d, R, C) {
+                        assert_eq!(
+                            ix.step_index(t, d),
+                            ix.index(EdgeId::between(t, n)),
+                            "step_index mismatch at {t} {d:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_index_rejects_foreign_edges() {
+        let ix = EdgeIndex::new(2, 4);
+        let inside = EdgeId::between(TileCoord::new(0, 0), TileCoord::new(0, 1));
+        assert!(ix.try_index(inside).is_some());
+        // Edges of a larger grid fall outside this one.
+        let below = EdgeId::between(TileCoord::new(2, 0), TileCoord::new(3, 0));
+        let right = EdgeId::between(TileCoord::new(0, 4), TileCoord::new(0, 5));
+        assert_eq!(ix.try_index(below), None);
+        assert_eq!(ix.try_index(right), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not on a")]
+    fn edge_index_panics_on_foreign_edge() {
+        EdgeIndex::new(2, 2).index(EdgeId::between(TileCoord::new(5, 5), TileCoord::new(5, 6)));
+    }
+
+    #[test]
+    fn edge_set_membership() {
+        let ix = EdgeIndex::new(R, C);
+        let mut s = EdgeSet::new(ix.len());
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(51);
+        assert!(s.contains(0) && s.contains(51) && !s.contains(1));
+        s.clear();
+        assert!(s.is_empty());
+        s.reset(4);
+        s.insert(3);
+        assert!(s.contains(3));
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod wafer;
 pub use circuit::{Circuit, CircuitError, CircuitId, CircuitRequest};
 pub use config::WaferConfig;
 pub use fabric::{CrossCircuit, CrossCircuitId, Fabric, FabricCircuit, FiberLink, WaferId};
-pub use geom::{Dir, EdgeId, Path, TileCoord};
+pub use geom::{Dir, EdgeId, EdgeIndex, EdgeSet, Path, TileCoord};
 pub use telemetry::{WaferTelemetry, EDGE_OCCUPANCY_BUCKETS};
 pub use tile::Tile;
 pub use wafer::{EstablishReport, Wafer};

@@ -17,7 +17,7 @@
 //! collective/resilience layers can account the `r` term of the paper's
 //! α–β–r cost model).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use desim::{SimDuration, SimRng};
 use phy::link_budget::LinkBudget;
@@ -28,7 +28,7 @@ use phy::wdm::LambdaSet;
 
 use crate::circuit::{Circuit, CircuitError, CircuitId, CircuitRequest};
 use crate::config::WaferConfig;
-use crate::geom::{EdgeId, Path, TileCoord};
+use crate::geom::{EdgeId, EdgeIndex, Path, TileCoord};
 use crate::tile::Tile;
 
 /// Result of establishing a circuit.
@@ -48,10 +48,14 @@ pub struct EstablishReport {
 pub struct Wafer {
     cfg: WaferConfig,
     tiles: Vec<Tile>,
-    /// Waveguides in use per inter-tile bus.
-    edge_used: HashMap<EdgeId, u32>,
-    /// Fabricated stitch loss of each inter-tile boundary (sampled once).
-    stitch_loss_db: HashMap<EdgeId, f64>,
+    /// Dense `EdgeId -> usize` index for this grid; keys the two `Vec`s
+    /// below and every routing scratch structure built against this wafer.
+    edge_index: EdgeIndex,
+    /// Waveguides in use per inter-tile bus, by dense edge index.
+    edge_used: Vec<u32>,
+    /// Fabricated stitch loss of each boundary (sampled once), by dense
+    /// edge index.
+    stitch_loss_db: Vec<f64>,
     circuits: BTreeMap<CircuitId, Circuit>,
     next_id: u64,
     reconfigs: u64,
@@ -71,24 +75,29 @@ impl Wafer {
             .map(|_| Tile::new(&cfg.wdm, cfg.mzi))
             .collect();
         let mut rng = SimRng::seed_from_u64(cfg.fab_seed);
-        let mut stitch_loss_db = HashMap::new();
+        let edge_index = EdgeIndex::new(cfg.rows, cfg.cols);
+        let mut stitch_loss_db = vec![0.0; edge_index.len()];
+        // Sampling order (per tile: east bus, then south bus) is part of
+        // the fabrication model: it fixes how the seed's RNG stream maps to
+        // boundaries, so it must not change when the storage layout does.
         for r in 0..cfg.rows {
             for c in 0..cfg.cols {
                 let here = TileCoord::new(r, c);
                 if c + 1 < cfg.cols {
                     let e = EdgeId::between(here, TileCoord::new(r, c + 1));
-                    stitch_loss_db.insert(e, cfg.stitch.sample(&mut rng));
+                    stitch_loss_db[edge_index.index(e)] = cfg.stitch.sample(&mut rng);
                 }
                 if r + 1 < cfg.rows {
                     let e = EdgeId::between(here, TileCoord::new(r + 1, c));
-                    stitch_loss_db.insert(e, cfg.stitch.sample(&mut rng));
+                    stitch_loss_db[edge_index.index(e)] = cfg.stitch.sample(&mut rng);
                 }
             }
         }
         Wafer {
             cfg,
             tiles,
-            edge_used: HashMap::new(),
+            edge_index,
+            edge_used: vec![0; edge_index.len()],
             stitch_loss_db,
             circuits: BTreeMap::new(),
             next_id: 0,
@@ -135,15 +144,30 @@ impl Wafer {
     ///
     /// Panics if `e` is not a boundary of this wafer.
     pub fn stitch_loss_db(&self, e: EdgeId) -> f64 {
-        *self
-            .stitch_loss_db
-            .get(&e)
-            .expect("edge is not a boundary of this wafer")
+        match self.edge_index.try_index(e) {
+            Some(i) => self.stitch_loss_db[i],
+            None => panic!("edge is not a boundary of this wafer"),
+        }
     }
 
     /// Waveguides currently reserved on a bus.
     pub fn edge_used(&self, e: EdgeId) -> u32 {
-        self.edge_used.get(&e).copied().unwrap_or(0)
+        self.edge_index
+            .try_index(e)
+            .map_or(0, |i| self.edge_used[i])
+    }
+
+    /// The dense edge index keying [`edge_loads`](Self::edge_loads) (and
+    /// any routing scratch built for this wafer).
+    pub fn edge_index(&self) -> EdgeIndex {
+        self.edge_index
+    }
+
+    /// Waveguides in use on every bus, by dense edge index — the
+    /// zero-overhead view the routing hot path reads instead of hashing
+    /// `EdgeId`s.
+    pub fn edge_loads(&self) -> &[u32] {
+        &self.edge_used
     }
 
     /// Bus capacity (same for every edge).
@@ -309,7 +333,7 @@ impl Wafer {
                 .expect("checked rx availability above");
         }
         for e in path.edges() {
-            *self.edge_used.entry(e).or_insert(0) += 1;
+            self.edge_used[self.edge_index.index(e)] += 1;
         }
         let id = CircuitId(self.next_id);
         self.next_id += 1;
@@ -354,14 +378,7 @@ impl Wafer {
             self.tiles[dst_idx].serdes.release_rx(rx);
         }
         for e in ckt.path.edges() {
-            let used = self
-                .edge_used
-                .get_mut(&e)
-                .expect("edges of a live circuit are tracked");
-            *used -= 1;
-            if *used == 0 {
-                self.edge_used.remove(&e);
-            }
+            self.edge_used[self.edge_index.index(e)] -= 1;
         }
         self.occupancy_epoch += 1;
         Ok(())
@@ -436,7 +453,8 @@ mod tests {
         let w = wafer();
         // 4×8 grid: horizontal edges 4×7 = 28, vertical 3×8 = 24 → 52.
         assert_eq!(w.stitch_loss_db.len(), 52);
-        for &l in w.stitch_loss_db.values() {
+        assert_eq!(w.edge_index().len(), 52);
+        for &l in &w.stitch_loss_db {
             assert!((0.0..3.0).contains(&l), "stitch loss {l} dB implausible");
         }
     }

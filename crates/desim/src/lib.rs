@@ -43,12 +43,14 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod ord;
 mod quantile;
 mod rng;
 pub mod stats;
 mod time;
 
 pub use engine::{Engine, EventFn, EventId};
+pub use ord::OrdF64;
 pub use quantile::QuantileEstimator;
 pub use rng::SimRng;
 pub use stats::{Histogram, OnlineStats, TimeSeries};

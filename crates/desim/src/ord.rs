@@ -1,0 +1,52 @@
+//! Total ordering for finite `f64` keys.
+//!
+//! `f64` is only `PartialOrd` because of NaN, so every sort or heap keyed
+//! on a float needs an ordering shim. This is the workspace's single copy:
+//! simulation quantities (costs, losses, fair shares) are finite by
+//! construction, so [`OrdF64`] simply panics on NaN instead of inventing a
+//! NaN ordering that would mask a modelling bug.
+
+use std::cmp::Ordering;
+
+/// An `f64` with a total order, for use as a sort or heap key.
+///
+/// Comparison panics when either value is NaN — simulation keys are finite
+/// by construction, and a NaN reaching an ordering is a bug upstream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("ordered f64 keys must be finite")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_value() {
+        let mut v = [OrdF64(3.5), OrdF64(-1.0), OrdF64(0.0), OrdF64(3.4)];
+        v.sort();
+        assert_eq!(v.map(|x| x.0), [-1.0, 0.0, 3.4, 3.5]);
+        assert_eq!(OrdF64(2.0).max(OrdF64(1.0)).0, 2.0);
+        assert_eq!(OrdF64(0.0), OrdF64(-0.0), "zero signs compare equal");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_keys_panic() {
+        let _ = OrdF64(f64::NAN) < OrdF64(0.0);
+    }
+}

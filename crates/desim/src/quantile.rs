@@ -55,8 +55,7 @@ impl QuantileEstimator {
             self.heights[self.count] = x;
             self.count += 1;
             if self.count == 5 {
-                self.heights
-                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                self.heights.sort_by_key(|&h| crate::OrdF64(h));
             }
             return;
         }

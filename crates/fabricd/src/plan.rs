@@ -13,7 +13,7 @@
 use collectives::snake_order;
 use lightpath::{CircuitError, Fabric, FabricCircuit};
 use resilience::chip_to_tile;
-use route::{allocate_non_overlapping, AllocError, Demand};
+use route::{allocate_non_overlapping_with, AllocError, Demand, Searcher};
 use std::collections::BTreeMap;
 use std::fmt;
 use topo::{Cluster, Slice};
@@ -93,6 +93,17 @@ pub fn program(
     fabric: &mut Fabric,
     plan: &CircuitPlan,
 ) -> Result<Vec<FabricCircuit>, ProgramError> {
+    program_with(fabric, plan, &mut Searcher::new())
+}
+
+/// [`program`] with a caller-provided routing scratch: the daemon holds one
+/// [`Searcher`] across every plan it commits, so steady-state programming
+/// allocates nothing per search.
+pub fn program_with(
+    fabric: &mut Fabric,
+    plan: &CircuitPlan,
+    searcher: &mut Searcher,
+) -> Result<Vec<FabricCircuit>, ProgramError> {
     let mut handles: Vec<FabricCircuit> = Vec::new();
     let rollback = |fabric: &mut Fabric, handles: Vec<FabricCircuit>| {
         for h in handles.into_iter().rev() {
@@ -100,7 +111,7 @@ pub fn program(
         }
     };
     for (w, demands) in &plan.batches {
-        match allocate_non_overlapping(fabric.wafer_mut(*w), demands) {
+        match allocate_non_overlapping_with(fabric.wafer_mut(*w), demands, searcher) {
             Ok(ids) => handles.extend(ids.into_iter().map(|id| FabricCircuit::Wafer(*w, id))),
             Err(e) => {
                 rollback(fabric, handles);

@@ -13,11 +13,12 @@
 //! (`BTreeMap`/`BTreeSet`/coordinate order), never hash-ordered.
 
 use crate::journal::{DenyReason, Journal, JournalEntry, JournalHeader, Record};
-use crate::plan::{program, ring_plan};
+use crate::plan::{program_with, ring_plan};
 use desim::{SimDuration, SimTime};
 use lightpath::{FabricCircuit, WaferId, WaferTelemetry};
 use phy::thermal::RECONFIG_LATENCY_S;
 use resilience::{chip_to_tile, optical_repair, PhotonicRack};
+use route::Searcher;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use topo::{Coord3, Shape3, Slice, SliceId};
@@ -107,6 +108,8 @@ pub struct FabricState {
     /// choice until their tenant departs.
     reserved: BTreeSet<Coord3>,
     journal: Journal,
+    /// Routing scratch shared by every plan this daemon programs.
+    searcher: Searcher,
 }
 
 impl FabricState {
@@ -126,6 +129,7 @@ impl FabricState {
                 seed,
                 shape,
             }),
+            searcher: Searcher::new(),
         }
     }
 
@@ -190,7 +194,7 @@ impl FabricState {
             Err(_) => return Admission::NoSpace,
         };
         let plan = ring_plan(&self.rack.cluster, &slice, self.lanes);
-        match program(&mut self.rack.fabric, &plan) {
+        match program_with(&mut self.rack.fabric, &plan, &mut self.searcher) {
             Ok(handles) => {
                 self.journal.push(
                     now,
@@ -439,7 +443,7 @@ impl FabricState {
                 what: format!("denied job placed differently: {e:?}"),
             })?;
         let plan = ring_plan(&self.rack.cluster, &slice, self.lanes);
-        let outcome = program(&mut self.rack.fabric, &plan);
+        let outcome = program_with(&mut self.rack.fabric, &plan, &mut self.searcher);
         self.rack.cluster.occupancy_mut().remove(SliceId(job));
         match outcome {
             Err(_) => Ok(()),
@@ -485,7 +489,7 @@ impl FabricState {
                     None => return Err(diverged(format!("program for unknown job {job}"))),
                 };
                 let plan = ring_plan(&self.rack.cluster, &slice, self.lanes);
-                match program(&mut self.rack.fabric, &plan) {
+                match program_with(&mut self.rack.fabric, &plan, &mut self.searcher) {
                     Ok(handles) if handles.len() == *circuits => {
                         if let Some(rec) = self.jobs.get_mut(job) {
                             rec.handles = handles;

@@ -139,7 +139,7 @@ mod tests {
         let best = pts
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.combined_cost.partial_cmp(&b.1.combined_cost).unwrap())
+            .min_by_key(|a| desim::OrdF64(a.1.combined_cost))
             .unwrap()
             .0;
         assert!(best > 0 && best < pts.len() - 1, "optimum at index {best}");

@@ -7,9 +7,8 @@
 //! wafer's capacity check — even the buses are distinct) and establishes
 //! them atomically: if any demand cannot be routed, nothing is committed.
 
-use crate::astar::{astar, SearchOptions};
-use lightpath::{CircuitError, CircuitId, CircuitRequest, EdgeId, TileCoord, Wafer};
-use std::collections::HashSet;
+use crate::astar::Searcher;
+use lightpath::{CircuitError, CircuitId, CircuitRequest, TileCoord, Wafer};
 use std::fmt;
 
 /// One circuit demand in a batch.
@@ -56,26 +55,38 @@ impl std::error::Error for AllocError {}
 /// bus edge. Demands are routed in the order given (longer/more-constrained
 /// demands first is the caller's prerogative). Atomic: on error, circuits
 /// established so far are torn down.
+///
+/// Convenience form that builds a fresh [`Searcher`] per call; batch-heavy
+/// callers should hold one and use
+/// [`allocate_non_overlapping_with`] instead.
 pub fn allocate_non_overlapping(
     wafer: &mut Wafer,
     demands: &[Demand],
 ) -> Result<Vec<CircuitId>, AllocError> {
-    let mut claimed: HashSet<EdgeId> = HashSet::new();
+    allocate_non_overlapping_with(wafer, demands, &mut Searcher::new())
+}
+
+/// [`allocate_non_overlapping`] with a caller-provided scratch: one
+/// forbidden-edge bitset grows incrementally as each demand's path is
+/// claimed, instead of a `HashSet` clone per demand.
+pub fn allocate_non_overlapping_with(
+    wafer: &mut Wafer,
+    demands: &[Demand],
+    searcher: &mut Searcher,
+) -> Result<Vec<CircuitId>, AllocError> {
+    searcher.begin_batch(wafer);
     let mut established: Vec<CircuitId> = Vec::new();
 
     for (i, d) in demands.iter().enumerate() {
-        let opts = SearchOptions {
-            forbidden: claimed.clone(),
-            load_weight: 1.0,
-        };
-        let Some(path) = astar(wafer, d.src, d.dst, &opts) else {
+        let Some(path) = searcher.find_incremental(wafer, d.src, d.dst, 1.0) else {
             rollback(wafer, &established);
             return Err(AllocError::NoDisjointPath(i));
         };
-        let edges: Vec<EdgeId> = path.edges().collect();
+        // Claim before the establish consumes the path; on error the whole
+        // batch aborts, so over-claiming is moot.
+        searcher.forbid_path(&path);
         match wafer.establish(CircuitRequest::new(d.src, d.dst, d.lanes).via(path)) {
             Ok(rep) => {
-                claimed.extend(edges);
                 established.push(rep.id);
             }
             Err(e) => {
@@ -98,7 +109,8 @@ fn rollback(wafer: &mut Wafer, ids: &[CircuitId]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lightpath::WaferConfig;
+    use lightpath::{EdgeId, WaferConfig};
+    use std::collections::HashSet;
 
     fn t(r: u8, c: u8) -> TileCoord {
         TileCoord::new(r, c)

@@ -6,10 +6,35 @@
 //! with Manhattan distance as the heuristic; edge costs grow with bus
 //! occupancy so search naturally spreads load, and caller-supplied
 //! forbidden edges are simply not expanded.
+//!
+//! ## The flat hot path
+//!
+//! The wafer grid is tiny (≤ 256 tiles, ≤ 480 buses), which makes hashing
+//! pure overhead. [`Searcher`] is a reusable scratch that keeps the whole
+//! search state in flat arrays indexed by dense tile/edge position:
+//!
+//! * `g` / `came` are plain vectors, validity-tracked by a generation
+//!   stamp so starting a search is O(1), not O(tiles);
+//! * the open list is one reused [`BinaryHeap`] keyed on
+//!   `(f64::to_bits(f), seq)` — for the non-negative finite costs this
+//!   search produces, IEEE-754 bit patterns order exactly like the floats,
+//!   so the integer-keyed heap pops in *bit-identical* order to a float
+//!   heap while comparisons are single u64 compares;
+//! * forbidden edges live in a fixed-size [`EdgeSet`] bitset, rebuilt from
+//!   [`SearchOptions`] per call or updated incrementally in batch flows;
+//! * bus loads come from [`Wafer::edge_loads`], the dense occupancy slice,
+//!   addressed arithmetically via [`EdgeIndex::step_index`].
+//!
+//! Steady-state searches therefore allocate nothing but the returned
+//! [`Path`]. Determinism is preserved exactly: the float arithmetic (`g`
+//! accumulation, heuristic addition) is unchanged, the insertion-order
+//! tie-breaker is unchanged, and the heap key ordering is isomorphic — the
+//! equivalence property test below checks byte-identical paths against the
+//! retained legacy implementation.
 
-use lightpath::{EdgeId, Path, TileCoord, Wafer};
+use lightpath::{EdgeId, EdgeIndex, EdgeSet, Path, TileCoord, Wafer};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BinaryHeap, HashSet};
 
 /// Options controlling a search.
 #[derive(Debug, Clone, Default)]
@@ -19,6 +44,7 @@ pub struct SearchOptions {
     pub forbidden: HashSet<EdgeId>,
     /// Extra cost per unit of fractional occupancy on an edge (0 disables
     /// load awareness; 1000 makes a fully-loaded edge cost ~1000 hops).
+    /// Must be non-negative.
     pub load_weight: f64,
 }
 
@@ -30,84 +56,303 @@ impl SearchOptions {
     }
 }
 
+/// Reusable A* scratch: flat `g`/`came` arrays, a generation stamp, one
+/// open-list heap, and a forbidden-edge bitset, all sized to the wafer grid
+/// on first use and reused across searches so the steady state allocates
+/// nothing (see the module docs for the layout).
+///
+/// One `Searcher` serves any number of wafers; the scratch re-sizes
+/// whenever it meets a different grid shape.
+#[derive(Debug, Clone)]
+pub struct Searcher {
+    ix: EdgeIndex,
+    /// Best-known cost per tile, valid when `stamp` matches `generation`.
+    g: Vec<f64>,
+    /// Predecessor tile index per tile (`u32::MAX` for the source).
+    came: Vec<u32>,
+    /// Which generation last wrote each tile's `g`/`came`.
+    stamp: Vec<u32>,
+    generation: u32,
+    /// Open list: `(f-cost bits, insertion seq, tile index)` min-heap.
+    open: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    /// Forbidden edges by dense index.
+    forbidden: EdgeSet,
+}
+
+impl Default for Searcher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Searcher {
+    /// An empty scratch; arrays are sized on first use.
+    pub fn new() -> Searcher {
+        Searcher {
+            ix: EdgeIndex::new(0, 0),
+            g: Vec::new(),
+            came: Vec::new(),
+            stamp: Vec::new(),
+            generation: 0,
+            open: BinaryHeap::new(),
+            forbidden: EdgeSet::default(),
+        }
+    }
+
+    /// Size the scratch for `wafer`'s grid (no-op when already sized).
+    fn ensure(&mut self, wafer: &Wafer) {
+        let ix = wafer.edge_index();
+        if self.ix != ix {
+            self.ix = ix;
+            let tiles = ix.tiles();
+            self.g.clear();
+            self.g.resize(tiles, 0.0);
+            self.came.clear();
+            self.came.resize(tiles, 0);
+            self.stamp.clear();
+            self.stamp.resize(tiles, 0);
+            self.generation = 0;
+            self.forbidden.reset(ix.len());
+        }
+    }
+
+    /// Find a path from `src` to `dst`, forbidding exactly `opts.forbidden`
+    /// (the bitset is rebuilt from the options on every call). Result and
+    /// tie-breaking are identical to the free [`astar`] function.
+    pub fn find(
+        &mut self,
+        wafer: &Wafer,
+        src: TileCoord,
+        dst: TileCoord,
+        opts: &SearchOptions,
+    ) -> Option<Path> {
+        self.ensure(wafer);
+        self.forbidden.clear();
+        for &e in &opts.forbidden {
+            // Edges of some other grid can never be expanded anyway.
+            if let Some(i) = self.ix.try_index(e) {
+                self.forbidden.insert(i);
+            }
+        }
+        self.search(wafer, src, dst, opts.load_weight)
+    }
+
+    /// Start an incremental batch: size for `wafer` and clear the
+    /// forbidden set. Follow with [`forbid_edge`](Self::forbid_edge) /
+    /// [`forbid_path`](Self::forbid_path) and
+    /// [`find_incremental`](Self::find_incremental).
+    pub fn begin_batch(&mut self, wafer: &Wafer) {
+        self.ensure(wafer);
+        self.forbidden.clear();
+    }
+
+    /// Add one edge to the accumulated forbidden set (edges outside the
+    /// current grid are ignored, matching [`SearchOptions`] semantics).
+    pub fn forbid_edge(&mut self, e: EdgeId) {
+        if let Some(i) = self.ix.try_index(e) {
+            self.forbidden.insert(i);
+        }
+    }
+
+    /// Forbid every edge of `path` — how a batch claims a placed circuit's
+    /// buses without rebuilding the set.
+    pub fn forbid_path(&mut self, path: &Path) {
+        for e in path.edges() {
+            self.forbid_edge(e);
+        }
+    }
+
+    /// Search against the forbidden set accumulated since
+    /// [`begin_batch`](Self::begin_batch).
+    pub fn find_incremental(
+        &mut self,
+        wafer: &Wafer,
+        src: TileCoord,
+        dst: TileCoord,
+        load_weight: f64,
+    ) -> Option<Path> {
+        self.ensure(wafer);
+        self.search(wafer, src, dst, load_weight)
+    }
+
+    /// The flat search core. Replicates the legacy algorithm exactly: same
+    /// float arithmetic, same expansion order (`Dir::ALL`), same
+    /// insertion-sequence tie-breaking, no closed set (stale heap entries
+    /// re-expand against the current best `g`, which only re-pushes when a
+    /// strictly better cost is found).
+    fn search(
+        &mut self,
+        wafer: &Wafer,
+        src: TileCoord,
+        dst: TileCoord,
+        load_weight: f64,
+    ) -> Option<Path> {
+        // Non-negative costs keep f64::to_bits order-isomorphic to the
+        // float ordering the legacy heap used.
+        debug_assert!(load_weight >= 0.0, "load_weight must be non-negative");
+        if src == dst {
+            return None;
+        }
+        let cfg = wafer.config();
+        let (rows, cols) = (cfg.rows, cfg.cols);
+        let colsz = cols as usize;
+        let cap = wafer.edge_capacity() as f64;
+        let loads = wafer.edge_loads();
+        let ix = self.ix;
+
+        // A fresh generation invalidates every stamp in O(1); on the rare
+        // u32 wrap, reset the stamps once instead.
+        self.generation = match self.generation.checked_add(1) {
+            Some(g) => g,
+            None => {
+                self.stamp.fill(0);
+                1
+            }
+        };
+        let generation = self.generation;
+        self.open.clear();
+
+        let src_i = ix.tile_index(src);
+        let dst_i = ix.tile_index(dst);
+        self.g[src_i] = 0.0;
+        self.came[src_i] = u32::MAX;
+        self.stamp[src_i] = generation;
+        let mut seq = 0u64; // tie-breaker keeps expansion deterministic
+        self.open.push(Reverse((
+            (src.manhattan(dst) as f64).to_bits(),
+            seq,
+            src_i as u32,
+        )));
+
+        while let Some(Reverse((_, _, cur))) = self.open.pop() {
+            let cur = cur as usize;
+            if cur == dst_i {
+                return self.reconstruct(src_i, dst_i, colsz);
+            }
+            let here = TileCoord::new((cur / colsz) as u8, (cur % colsz) as u8);
+            let g_cur = self.g[cur];
+            for d in lightpath::Dir::ALL {
+                let Some(next) = here.step(d, rows, cols) else {
+                    continue;
+                };
+                let edge = ix.step_index(here, d);
+                if self.forbidden.contains(edge) {
+                    continue;
+                }
+                let used = loads[edge] as f64;
+                if used >= cap {
+                    continue; // bus exhausted
+                }
+                let cost = 1.0 + load_weight * (used / cap);
+                let tentative = g_cur + cost;
+                let next_i = ix.tile_index(next);
+                if self.stamp[next_i] != generation || tentative < self.g[next_i] {
+                    self.g[next_i] = tentative;
+                    self.came[next_i] = cur as u32;
+                    self.stamp[next_i] = generation;
+                    seq += 1;
+                    let f = tentative + next.manhattan(dst) as f64;
+                    self.open.push(Reverse((f.to_bits(), seq, next_i as u32)));
+                }
+            }
+        }
+        None
+    }
+
+    /// Walk `came` from the destination back to the source.
+    fn reconstruct(&self, src_i: usize, dst_i: usize, colsz: usize) -> Option<Path> {
+        let mut tiles = Vec::new();
+        let mut cur = dst_i;
+        loop {
+            tiles.push(TileCoord::new((cur / colsz) as u8, (cur % colsz) as u8));
+            if cur == src_i {
+                break;
+            }
+            cur = self.came[cur] as usize;
+        }
+        tiles.reverse();
+        Path::from_tiles(tiles)
+    }
+}
+
 /// Find a path from `src` to `dst` on `wafer`'s tile grid.
 ///
 /// Returns `None` when no path exists under the constraints (forbidden or
 /// exhausted edges disconnect the endpoints). The result is always a simple
 /// path; with `load_weight == 0` and nothing forbidden it has minimal hops.
+///
+/// This convenience form builds a fresh [`Searcher`] per call; hot paths
+/// should hold a `Searcher` and call [`Searcher::find`] to reuse the
+/// scratch.
 pub fn astar(wafer: &Wafer, src: TileCoord, dst: TileCoord, opts: &SearchOptions) -> Option<Path> {
-    if src == dst {
-        return None;
-    }
-    let cfg = wafer.config();
-    let (rows, cols) = (cfg.rows, cfg.cols);
-    let cap = wafer.edge_capacity() as f64;
-
-    let h = |t: TileCoord| t.manhattan(dst) as f64;
-
-    #[derive(PartialEq)]
-    struct OrdF64(f64);
-    impl Eq for OrdF64 {}
-    impl PartialOrd for OrdF64 {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for OrdF64 {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.0.partial_cmp(&other.0).expect("costs are finite")
-        }
-    }
-
-    let mut open: BinaryHeap<Reverse<(OrdF64, u64, TileCoord)>> = BinaryHeap::new();
-    let mut g: HashMap<TileCoord, f64> = HashMap::new();
-    let mut came: HashMap<TileCoord, TileCoord> = HashMap::new();
-    let mut seq = 0u64; // tie-breaker keeps expansion deterministic
-    g.insert(src, 0.0);
-    open.push(Reverse((OrdF64(h(src)), seq, src)));
-
-    while let Some(Reverse((_, _, cur))) = open.pop() {
-        if cur == dst {
-            // Reconstruct.
-            let mut tiles = vec![dst];
-            let mut c = dst;
-            while let Some(&p) = came.get(&c) {
-                tiles.push(p);
-                c = p;
-            }
-            tiles.reverse();
-            return Path::from_tiles(tiles);
-        }
-        let g_cur = g[&cur];
-        for d in lightpath::Dir::ALL {
-            let Some(next) = cur.step(d, rows, cols) else {
-                continue;
-            };
-            let edge = EdgeId::between(cur, next);
-            if opts.forbidden.contains(&edge) {
-                continue;
-            }
-            let used = wafer.edge_used(edge) as f64;
-            if used >= cap {
-                continue; // bus exhausted
-            }
-            let cost = 1.0 + opts.load_weight * (used / cap);
-            let tentative = g_cur + cost;
-            if g.get(&next).is_none_or(|&best| tentative < best) {
-                g.insert(next, tentative);
-                came.insert(next, cur);
-                seq += 1;
-                open.push(Reverse((OrdF64(tentative + h(next)), seq, next)));
-            }
-        }
-    }
-    None
+    Searcher::new().find(wafer, src, dst, opts)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use lightpath::WaferConfig;
+    use proptest::prelude::*;
+
+    /// The pre-flattening implementation, retained verbatim as the
+    /// determinism oracle: `Searcher` must return byte-identical paths.
+    fn legacy_astar(
+        wafer: &Wafer,
+        src: TileCoord,
+        dst: TileCoord,
+        opts: &SearchOptions,
+    ) -> Option<Path> {
+        use desim::OrdF64;
+        use std::collections::HashMap;
+        if src == dst {
+            return None;
+        }
+        let cfg = wafer.config();
+        let (rows, cols) = (cfg.rows, cfg.cols);
+        let cap = wafer.edge_capacity() as f64;
+        let h = |t: TileCoord| t.manhattan(dst) as f64;
+        let mut open: BinaryHeap<Reverse<(OrdF64, u64, TileCoord)>> = BinaryHeap::new();
+        let mut g: HashMap<TileCoord, f64> = HashMap::new();
+        let mut came: HashMap<TileCoord, TileCoord> = HashMap::new();
+        let mut seq = 0u64;
+        g.insert(src, 0.0);
+        open.push(Reverse((OrdF64(h(src)), seq, src)));
+        while let Some(Reverse((_, _, cur))) = open.pop() {
+            if cur == dst {
+                let mut tiles = vec![dst];
+                let mut c = dst;
+                while let Some(&p) = came.get(&c) {
+                    tiles.push(p);
+                    c = p;
+                }
+                tiles.reverse();
+                return Path::from_tiles(tiles);
+            }
+            let g_cur = g[&cur];
+            for d in lightpath::Dir::ALL {
+                let Some(next) = cur.step(d, rows, cols) else {
+                    continue;
+                };
+                let edge = EdgeId::between(cur, next);
+                if opts.forbidden.contains(&edge) {
+                    continue;
+                }
+                let used = wafer.edge_used(edge) as f64;
+                if used >= cap {
+                    continue;
+                }
+                let cost = 1.0 + opts.load_weight * (used / cap);
+                let tentative = g_cur + cost;
+                if g.get(&next).is_none_or(|&best| tentative < best) {
+                    g.insert(next, tentative);
+                    came.insert(next, cur);
+                    seq += 1;
+                    open.push(Reverse((OrdF64(tentative + h(next)), seq, next)));
+                }
+            }
+        }
+        None
+    }
 
     fn wafer() -> Wafer {
         Wafer::new(WaferConfig::default())
@@ -120,7 +365,9 @@ mod tests {
     #[test]
     fn finds_minimal_path_unloaded() {
         let w = wafer();
-        let p = astar(&w, t(0, 0), t(3, 7), &SearchOptions::default()).unwrap();
+        let Some(p) = astar(&w, t(0, 0), t(3, 7), &SearchOptions::default()) else {
+            panic!("corner-to-corner path exists");
+        };
         assert_eq!(p.hops(), 10, "Manhattan-optimal");
         assert_eq!(p.src(), t(0, 0));
         assert_eq!(p.dst(), t(3, 7));
@@ -188,5 +435,123 @@ mod tests {
             .unwrap();
         let found = astar(&w, t(0, 0), t(0, 1), &SearchOptions::default()).unwrap();
         assert_eq!(found.hops(), 3, "must route around the exhausted bus");
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_searches() {
+        let mut w = wafer();
+        for i in 0..6u8 {
+            w.establish(lightpath::CircuitRequest::new(t(0, i), t(3, 7 - i), 1))
+                .unwrap();
+        }
+        let opts = SearchOptions {
+            load_weight: 8.0,
+            ..Default::default()
+        };
+        let mut s = Searcher::new();
+        for r in 0..4u8 {
+            for c in 0..8u8 {
+                let (src, dst) = (t(r, c), t(3 - r, 7 - c));
+                assert_eq!(s.find(&w, src, dst, &opts), astar(&w, src, dst, &opts));
+            }
+        }
+    }
+
+    #[test]
+    fn searcher_adapts_to_grid_shape() {
+        let small = Wafer::new(WaferConfig::fig2c_2x4());
+        let big = wafer();
+        let mut s = Searcher::new();
+        let o = SearchOptions::default();
+        assert_eq!(
+            s.find(&big, t(0, 0), t(3, 7), &o),
+            astar(&big, t(0, 0), t(3, 7), &o)
+        );
+        assert_eq!(
+            s.find(&small, t(0, 0), t(1, 3), &o),
+            astar(&small, t(0, 0), t(1, 3), &o)
+        );
+        assert_eq!(
+            s.find(&big, t(3, 7), t(0, 0), &o),
+            astar(&big, t(3, 7), t(0, 0), &o)
+        );
+    }
+
+    #[test]
+    fn incremental_forbidding_matches_options_forbidding() {
+        let w = wafer();
+        let first = astar(&w, t(0, 0), t(2, 3), &SearchOptions::default()).unwrap();
+        let opts = first
+            .edges()
+            .fold(SearchOptions::default(), |o, e| o.forbid(e));
+        let via_opts = astar(&w, t(0, 0), t(2, 3), &opts);
+        let mut s = Searcher::new();
+        s.begin_batch(&w);
+        s.forbid_path(&first);
+        let via_incremental = s.find_incremental(&w, t(0, 0), t(2, 3), 0.0);
+        assert_eq!(via_incremental, via_opts);
+        assert!(via_incremental.is_some(), "a disjoint detour exists");
+    }
+
+    /// Random loads, forbidden sets, and load weights for the
+    /// flat-vs-legacy equivalence property below.
+    fn equivalence_case() -> impl Strategy<
+        Value = (
+            Vec<(u8, u8, u8, u8)>, // establishes (src r,c, dst r,c)
+            Vec<(u8, u8)>,         // forbidden edge anchors
+            f64,                   // load_weight
+            (u8, u8, u8, u8),      // query endpoints
+        ),
+    > {
+        (
+            prop::collection::vec((0..4u8, 0..8u8, 0..4u8, 0..8u8), 0..24),
+            prop::collection::vec((0..4u8, 0..8u8), 0..10),
+            prop_oneof![Just(0.0), Just(1.0), Just(8.0), Just(10.0), 0.0..64.0f64],
+            (0..4u8, 0..8u8, 0..4u8, 0..8u8),
+        )
+    }
+
+    proptest! {
+        /// Tentpole acceptance: the flat `Searcher` returns **byte-identical**
+        /// results to the legacy hash-based A* — same path tiles, same hop
+        /// counts, same `None`s — across randomized occupancy, forbidden
+        /// sets, and load weights.
+        #[test]
+        fn flat_searcher_equals_legacy_astar(
+            (loads, anchors, load_weight, q) in equivalence_case()
+        ) {
+            let mut w = Wafer::new(WaferConfig {
+                waveguides_per_edge: 3, // low capacity so exhaustion paths trigger
+                ..WaferConfig::default()
+            });
+            for (sr, sc, dr, dc) in loads {
+                // Establishment failures (SerDes exhaustion etc.) are fine:
+                // any prefix of successes still yields a valid occupancy.
+                let _ = w.establish(lightpath::CircuitRequest::new(t(sr, sc), t(dr, dc), 1));
+            }
+            let mut opts = SearchOptions { load_weight, ..Default::default() };
+            for (r, c) in anchors {
+                // Anchor each forbidden edge eastward, wrapping at the rim.
+                let a = t(r, c);
+                if let Some(b) = a.step(lightpath::Dir::East, 4, 8) {
+                    opts = opts.forbid(EdgeId::between(a, b));
+                } else if let Some(b) = a.step(lightpath::Dir::South, 4, 8) {
+                    opts = opts.forbid(EdgeId::between(a, b));
+                }
+            }
+            let (sr, sc, dr, dc) = q;
+            let (src, dst) = (t(sr, sc), t(dr, dc));
+            let legacy = legacy_astar(&w, src, dst, &opts);
+            let mut s = Searcher::new();
+            let flat = s.find(&w, src, dst, &opts);
+            prop_assert_eq!(&flat, &legacy, "flat != legacy at {} -> {}", src, dst);
+            // And reuse of the warm scratch stays identical.
+            let warm = s.find(&w, src, dst, &opts);
+            prop_assert_eq!(&warm, &legacy, "warm scratch diverged at {} -> {}", src, dst);
+            if let (Some(a), Some(b)) = (&flat, &legacy) {
+                prop_assert_eq!(a.hops(), b.hops());
+                prop_assert_eq!(a.tiles(), b.tiles());
+            }
+        }
     }
 }

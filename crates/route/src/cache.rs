@@ -11,7 +11,7 @@
 //! invalidation is structural, not heuristic, which is what makes the
 //! cache/no-cache equality property provable (see `route/tests`).
 
-use crate::astar::{astar, SearchOptions};
+use crate::astar::{SearchOptions, Searcher};
 use lightpath::{Path, TileCoord, Wafer};
 use std::collections::HashMap;
 
@@ -49,6 +49,8 @@ pub struct PathCache {
     epoch: u64,
     memo: HashMap<(TileCoord, TileCoord), Option<Path>>,
     stats: CacheStats,
+    /// Reused search scratch — misses run zero-allocation flat searches.
+    searcher: Searcher,
 }
 
 impl PathCache {
@@ -59,6 +61,7 @@ impl PathCache {
             epoch: 0,
             memo: HashMap::new(),
             stats: CacheStats::default(),
+            searcher: Searcher::new(),
         }
     }
 
@@ -100,7 +103,7 @@ impl PathCache {
             self.stats.hits += 1;
             return memoised.clone();
         }
-        let fresh = astar(wafer, src, dst, &self.opts);
+        let fresh = self.searcher.find(wafer, src, dst, &self.opts);
         self.stats.misses += 1;
         self.memo.insert((src, dst), fresh.clone());
         fresh
@@ -110,6 +113,7 @@ impl PathCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::astar::astar;
     use lightpath::{CircuitRequest, WaferConfig};
 
     fn t(r: u8, c: u8) -> TileCoord {
@@ -145,6 +149,80 @@ mod tests {
         assert_eq!(cache.stats().invalidations, 1);
         assert_eq!(after, astar(&wafer, t(0, 0), t(0, 7), cache.options()));
         let _ = before;
+    }
+
+    #[test]
+    fn counters_track_establish_teardown_epoch_churn() {
+        let mut wafer = Wafer::new(WaferConfig::default());
+        let mut cache = PathCache::new(SearchOptions {
+            load_weight: 8.0,
+            ..SearchOptions::default()
+        });
+        let pairs = [(t(0, 0), t(2, 5)), (t(1, 1), t(3, 3)), (t(0, 7), t(3, 0))];
+
+        // Cold epoch: each pair misses once, then hits repeatedly.
+        for (s, d) in pairs {
+            assert!(cache.find_path(&wafer, s, d).is_some());
+        }
+        for _ in 0..2 {
+            for (s, d) in pairs {
+                assert!(cache.find_path(&wafer, s, d).is_some());
+            }
+        }
+        assert_eq!(cache.stats().misses, 3);
+        assert_eq!(cache.stats().hits, 6);
+        assert_eq!(cache.stats().invalidations, 0);
+        assert_eq!(cache.len(), 3);
+
+        // An establish bumps the epoch: one invalidation, everything
+        // re-misses, nothing hits until the epoch settles.
+        let rep = match wafer.establish(CircuitRequest::new(t(2, 0), t(2, 7), 1)) {
+            Ok(rep) => rep,
+            Err(e) => panic!("establish failed: {e}"),
+        };
+        for (s, d) in pairs {
+            assert!(cache.find_path(&wafer, s, d).is_some());
+        }
+        assert_eq!(cache.stats().misses, 6);
+        assert_eq!(cache.stats().hits, 6);
+        assert_eq!(cache.stats().invalidations, 1);
+
+        // A teardown bumps it again.
+        assert!(wafer.teardown(rep.id).is_ok());
+        assert!(cache.find_path(&wafer, pairs[0].0, pairs[0].1).is_some());
+        assert_eq!(cache.stats().misses, 7);
+        assert_eq!(cache.stats().invalidations, 2);
+        assert_eq!(cache.len(), 1, "only the re-queried pair is memoised");
+
+        // Several epoch bumps between lookups collapse into ONE
+        // invalidation: invalidation counts cache drops, not epochs.
+        let a = match wafer.establish(CircuitRequest::new(t(0, 0), t(1, 0), 1)) {
+            Ok(rep) => rep,
+            Err(e) => panic!("establish failed: {e}"),
+        };
+        assert!(wafer.teardown(a.id).is_ok());
+        wafer.fail_tile(t(3, 7));
+        wafer.restore_tile(t(3, 7));
+        assert!(cache.find_path(&wafer, pairs[0].0, pairs[0].1).is_some());
+        assert_eq!(cache.stats().invalidations, 3);
+        assert_eq!(cache.stats().misses, 8);
+        let expected_rate = 6.0 / (6.0 + 8.0);
+        assert!((cache.stats().hit_rate() - expected_rate).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epoch_bump_with_empty_memo_is_not_an_invalidation() {
+        let mut wafer = Wafer::new(WaferConfig::default());
+        let mut cache = PathCache::new(SearchOptions::default());
+        // The epoch moves before the cache ever memoises anything: there
+        // is nothing to drop, so no invalidation is recorded.
+        assert!(wafer
+            .establish(CircuitRequest::new(t(0, 0), t(1, 0), 1))
+            .is_ok());
+        assert!(cache.find_path(&wafer, t(0, 0), t(3, 7)).is_some());
+        assert_eq!(cache.stats().invalidations, 0);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 0);
     }
 
     #[test]

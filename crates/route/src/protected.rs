@@ -7,11 +7,10 @@
 //! bus/segment fault leaves the backup intact, and fail over in one MZI
 //! reconfiguration (3.7 µs) instead of a full route recomputation.
 
-use crate::astar::{astar, SearchOptions};
+use crate::astar::Searcher;
 use desim::SimDuration;
-use lightpath::{CircuitError, CircuitId, CircuitRequest, EdgeId, TileCoord, Wafer};
+use lightpath::{CircuitError, CircuitId, CircuitRequest, TileCoord, Wafer};
 use phy::thermal::RECONFIG_LATENCY_S;
-use std::collections::HashSet;
 
 /// A working/backup circuit pair between two tiles.
 #[derive(Debug, Clone)]
@@ -58,19 +57,27 @@ pub fn establish_protected(
     dst: TileCoord,
     lanes: usize,
 ) -> Result<ProtectedCircuit, ProtectError> {
-    let work_path =
-        astar(wafer, src, dst, &SearchOptions::default()).ok_or(ProtectError::NoDisjointBackup)?;
-    let forbidden: HashSet<EdgeId> = work_path.edges().collect();
-    let backup_path = astar(
-        wafer,
-        src,
-        dst,
-        &SearchOptions {
-            forbidden,
-            load_weight: 1.0,
-        },
-    )
-    .ok_or(ProtectError::NoDisjointBackup)?;
+    establish_protected_with(wafer, src, dst, lanes, &mut Searcher::new())
+}
+
+/// [`establish_protected`] with a caller-provided scratch: the working
+/// path's edges become the backup search's forbidden bitset without an
+/// intermediate `HashSet`.
+pub fn establish_protected_with(
+    wafer: &mut Wafer,
+    src: TileCoord,
+    dst: TileCoord,
+    lanes: usize,
+    searcher: &mut Searcher,
+) -> Result<ProtectedCircuit, ProtectError> {
+    searcher.begin_batch(wafer);
+    let work_path = searcher
+        .find_incremental(wafer, src, dst, 0.0)
+        .ok_or(ProtectError::NoDisjointBackup)?;
+    searcher.forbid_path(&work_path);
+    let backup_path = searcher
+        .find_incremental(wafer, src, dst, 1.0)
+        .ok_or(ProtectError::NoDisjointBackup)?;
 
     let active = wafer
         .establish(CircuitRequest::new(src, dst, lanes).via(work_path))

@@ -10,7 +10,8 @@
 //! the two regimes can be compared — and the classic fragmentation
 //! pathology demonstrated.
 
-use lightpath::{EdgeId, Path};
+use crate::astar::Searcher;
+use lightpath::{EdgeId, Path, TileCoord, Wafer};
 use phy::wdm::LambdaSet;
 use std::collections::HashMap;
 
@@ -99,6 +100,36 @@ impl WavelengthPlane {
         let used: usize = self.used.values().map(|s| s.len()).sum();
         used as f64 / (self.used.len() * self.channels) as f64
     }
+}
+
+/// Joint routing and wavelength assignment: find a path from `src` to
+/// `dst` that avoids every edge with fewer than `k` free wavelengths, then
+/// first-fit assign `k` λ along it.
+///
+/// The starved edges go straight into the searcher's forbidden bitset via
+/// [`Searcher::begin_batch`] — no per-call `HashSet` — so a scheduler
+/// re-running RWA under churn reuses one scratch across calls. Per-edge
+/// feasibility does not imply a *common* free set (wavelength continuity),
+/// so the assignment can still fail on fragmentation; in that case nothing
+/// is claimed and `None` is returned.
+pub fn route_and_assign(
+    plane: &mut WavelengthPlane,
+    wafer: &Wafer,
+    searcher: &mut Searcher,
+    src: TileCoord,
+    dst: TileCoord,
+    k: usize,
+) -> Option<(Path, Assignment)> {
+    assert!(k >= 1, "need at least one wavelength");
+    searcher.begin_batch(wafer);
+    for (&e, used) in &plane.used {
+        if plane.channels.saturating_sub(used.len()) < k {
+            searcher.forbid_edge(e);
+        }
+    }
+    let path = searcher.find_incremental(wafer, src, dst, 1.0)?;
+    let assignment = plane.assign(&path, k)?;
+    Some((path, assignment))
 }
 
 /// How many single-λ circuits fit between the same endpoints: dedicated
@@ -208,6 +239,57 @@ mod tests {
             plane.assign(&through, 1).is_none(),
             "continuity blocks despite per-edge capacity"
         );
+    }
+
+    #[test]
+    fn route_and_assign_detours_around_wavelength_starved_edges() {
+        use lightpath::{Wafer, WaferConfig};
+        let wafer = Wafer::new(WaferConfig::default());
+        let mut plane = WavelengthPlane::new(2);
+        let mut searcher = Searcher::new();
+        // Exhaust the straight row-0 corridor.
+        let straight = Path::xy(t(0, 0), t(0, 7));
+        assert!(plane.assign(&straight, 2).is_some());
+        // The next circuit between the same endpoints must route around it.
+        let Some((path, a)) =
+            route_and_assign(&mut plane, &wafer, &mut searcher, t(0, 0), t(0, 7), 1)
+        else {
+            panic!("a detour exists on the full grid");
+        };
+        assert_eq!(a.lambdas.len(), 1);
+        assert!(path.hops() > straight.hops(), "detoured, not reused");
+        for e in path.edges() {
+            assert!(
+                straight.edges().all(|s| s != e),
+                "edge {e} of the detour is on the saturated corridor"
+            );
+        }
+    }
+
+    #[test]
+    fn route_and_assign_claims_nothing_on_fragmentation() {
+        use lightpath::{Wafer, WaferConfig};
+        // A 1×3 strip: the only path is the two-edge corridor.
+        let wafer = Wafer::new(WaferConfig {
+            rows: 1,
+            cols: 3,
+            ..WaferConfig::default()
+        });
+        let mut plane = WavelengthPlane::new(2);
+        let mut searcher = Searcher::new();
+        let left = Path::xy(t(0, 0), t(0, 1));
+        let right = Path::xy(t(0, 1), t(0, 2));
+        assert!(plane.assign(&left, 1).is_some()); // λ0 on the left edge
+        let Some(r0) = plane.assign(&right, 1) else {
+            panic!("λ0 fits on the right edge");
+        };
+        assert!(plane.assign(&right, 1).is_some()); // λ1 on the right edge
+        plane.release(&right, r0); // free λ0 right: each edge has one free λ
+        let util_before = plane.utilization();
+        // One free channel per edge, but different ones: the route is
+        // found, the assignment fails, and no wavelengths are claimed.
+        assert!(route_and_assign(&mut plane, &wafer, &mut searcher, t(0, 0), t(0, 2), 1).is_none());
+        assert!((plane.utilization() - util_before).abs() < 1e-12);
     }
 
     #[test]

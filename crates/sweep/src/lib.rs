@@ -28,9 +28,11 @@
 pub mod fingerprint;
 pub mod grid;
 pub mod report;
+pub mod route_bench;
 pub mod run;
 
 pub use fingerprint::{combine, derive_seed, Fnv};
 pub use grid::{CollectiveAlgo, GridSpec, Scenario};
 pub use report::{compare_baseline, outcome_to_json, BenchReport, MIN_PERF_RATIO};
+pub use route_bench::{compare_route_baseline, run_route_bench, RouteBenchReport};
 pub use run::{run_scenario, run_sweep, MergedStats, ScenarioResult, SweepOutcome};

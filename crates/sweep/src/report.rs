@@ -146,7 +146,7 @@ fn json_raw<'a>(text: &'a str, key: &str) -> Result<&'a str, String> {
     Ok(rest[..end].trim())
 }
 
-fn json_str(text: &str, key: &str) -> Result<String, String> {
+pub(crate) fn json_str(text: &str, key: &str) -> Result<String, String> {
     let raw = json_raw(text, key)?;
     raw.strip_prefix('"')
         .and_then(|s| s.strip_suffix('"'))
@@ -154,13 +154,13 @@ fn json_str(text: &str, key: &str) -> Result<String, String> {
         .ok_or_else(|| format!("\"{key}\" is not a string: {raw}"))
 }
 
-fn json_u64(text: &str, key: &str) -> Result<u64, String> {
+pub(crate) fn json_u64(text: &str, key: &str) -> Result<u64, String> {
     let raw = json_raw(text, key)?;
     raw.parse()
         .map_err(|_| format!("\"{key}\" is not a u64: {raw}"))
 }
 
-fn json_f64(text: &str, key: &str) -> Result<f64, String> {
+pub(crate) fn json_f64(text: &str, key: &str) -> Result<f64, String> {
     let raw = json_raw(text, key)?;
     raw.parse()
         .map_err(|_| format!("\"{key}\" is not an f64: {raw}"))

@@ -1,0 +1,264 @@
+//! Route-throughput micro-benchmark with a committed baseline.
+//!
+//! The routing hot path — A* over the wafer's waveguide grid — sits under
+//! every circuit the control plane programs: ring redirection (§4.1),
+//! non-overlapping repair splices (Fig 7), and the sweep grids' churn
+//! scenarios. This harness measures two steady-state rates on a loaded
+//! 4×8 wafer:
+//!
+//! * **paths/sec** — load-aware searches over a fixed endpoint pool with a
+//!   reusable [`route::Searcher`] scratch (the zero-allocation hot path);
+//! * **batches/sec** — full ring-plan programming cycles
+//!   (plan → atomic edge-disjoint batch → teardown) through
+//!   [`fabricd::plan`].
+//!
+//! Like the sweep baseline, the *outcome* is deterministic and the *rate*
+//! is tolerant: `BENCH_route.json` commits an FNV-1a fingerprint of every
+//! path found (exact-match gated — a routing change that moves a single
+//! hop trips it) plus the measured rates (floor-gated at
+//! [`MIN_PERF_RATIO`](crate::report::MIN_PERF_RATIO)).
+
+use crate::fingerprint::Fnv;
+use crate::report::{json_f64, json_str, json_u64, MIN_PERF_RATIO};
+use desim::SimRng;
+use fabricd::{program_with, ring_plan};
+use lightpath::{CircuitRequest, TileCoord, Wafer, WaferConfig};
+use resilience::PhotonicRack;
+use route::{SearchOptions, Searcher};
+use topo::{Coord3, Shape3, Slice};
+
+/// Searches the default report performs (sized to finish in ~a second).
+pub const DEFAULT_SEARCHES: u64 = 200_000;
+/// Ring-programming cycles the default report performs.
+pub const DEFAULT_BATCHES: u64 = 2_000;
+/// Load weight of the benchmark searches (matches the churn scenarios).
+const LOAD_WEIGHT: f64 = 8.0;
+/// Distinct endpoint pairs probed round-robin.
+const PAIR_POOL: usize = 64;
+/// Establish attempts that pre-load the wafer's buses.
+const PRELOAD_ATTEMPTS: usize = 48;
+/// Seed fixing the preload circuits and the endpoint pool.
+const SEED: u64 = 0x5eed_0042;
+
+/// The measured summary that is serialized, committed, and gated on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteBenchReport {
+    /// A* searches timed.
+    pub searches: u64,
+    /// Ring-programming cycles timed.
+    pub batches: u64,
+    /// FNV-1a digest of every path found and every batch programmed.
+    pub fingerprint: String,
+    /// Wall-clock seconds of both timed loops.
+    pub wall_s: f64,
+    /// Searches per second on the loaded wafer.
+    pub paths_per_sec: f64,
+    /// Ring plan → program → teardown cycles per second.
+    pub batches_per_sec: f64,
+}
+
+impl RouteBenchReport {
+    /// Serialize to the committed JSON form (stable key order).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"searches\": {},\n  \"batches\": {},\n  \"fingerprint\": \"{}\",\n  \
+             \"wall_s\": {},\n  \"paths_per_sec\": {},\n  \"batches_per_sec\": {}\n}}\n",
+            self.searches,
+            self.batches,
+            self.fingerprint,
+            self.wall_s,
+            self.paths_per_sec,
+            self.batches_per_sec,
+        )
+    }
+
+    /// Parse the JSON form produced by [`to_json`](Self::to_json).
+    pub fn parse(text: &str) -> Result<RouteBenchReport, String> {
+        Ok(RouteBenchReport {
+            searches: json_u64(text, "searches")?,
+            batches: json_u64(text, "batches")?,
+            fingerprint: json_str(text, "fingerprint")?,
+            wall_s: json_f64(text, "wall_s")?,
+            paths_per_sec: json_f64(text, "paths_per_sec")?,
+            batches_per_sec: json_f64(text, "batches_per_sec")?,
+        })
+    }
+}
+
+/// A deterministically loaded 4×8 wafer: `PRELOAD_ATTEMPTS` seeded
+/// establish attempts (some fail on SerDes exhaustion, deterministically)
+/// leave a mixed bus occupancy for the load-aware searches to react to.
+fn loaded_wafer() -> Wafer {
+    let mut rng = SimRng::seed_from_u64(SEED);
+    let mut wafer = Wafer::new(WaferConfig::lightpath_32());
+    for _ in 0..PRELOAD_ATTEMPTS {
+        let src = TileCoord::new(rng.gen_range_u64(4) as u8, rng.gen_range_u64(8) as u8);
+        let dst = TileCoord::new(rng.gen_range_u64(4) as u8, rng.gen_range_u64(8) as u8);
+        if src != dst {
+            let _ = wafer.establish(CircuitRequest::new(src, dst, 1));
+        }
+    }
+    wafer
+}
+
+/// The fixed endpoint pool the search loop cycles through.
+fn endpoint_pool() -> Vec<(TileCoord, TileCoord)> {
+    let mut rng = SimRng::seed_from_u64(SEED ^ 0xffff);
+    let mut pool = Vec::with_capacity(PAIR_POOL);
+    while pool.len() < PAIR_POOL {
+        let src = TileCoord::new(rng.gen_range_u64(4) as u8, rng.gen_range_u64(8) as u8);
+        let dst = TileCoord::new(rng.gen_range_u64(4) as u8, rng.gen_range_u64(8) as u8);
+        if src != dst {
+            pool.push((src, dst));
+        }
+    }
+    pool
+}
+
+/// Run the benchmark: `searches` A* probes over the loaded wafer, then
+/// `batches` ring-programming cycles. The fingerprint covers every path
+/// and every programmed batch, so it is a pure function of the routing
+/// code — independent of clock speed or how long the loops take.
+pub fn run_route_bench(searches: u64, batches: u64) -> RouteBenchReport {
+    let mut f = Fnv::new();
+    f.write_str("route-bench").write_u64(SEED);
+
+    // --- paths/sec: steady-state searches with one reused scratch --------
+    let wafer = loaded_wafer();
+    let pool = endpoint_pool();
+    let opts = SearchOptions {
+        load_weight: LOAD_WEIGHT,
+        ..SearchOptions::default()
+    };
+    let mut searcher = Searcher::new();
+    let t0 = std::time::Instant::now();
+    for i in 0..searches {
+        let (src, dst) = pool[(i % PAIR_POOL as u64) as usize];
+        match searcher.find(&wafer, src, dst, &opts) {
+            Some(p) => {
+                f.write_u64(p.hops() as u64);
+            }
+            None => {
+                f.write_u64(u64::MAX);
+            }
+        }
+    }
+    let search_wall = t0.elapsed().as_secs_f64();
+
+    // --- batches/sec: ring plan → program → teardown ---------------------
+    let mut rack = PhotonicRack::new(1);
+    let slice = Slice::new(0, Coord3::new(0, 0, 0), Shape3::new(4, 2, 1));
+    let plan = ring_plan(&rack.cluster, &slice, 2);
+    let t1 = std::time::Instant::now();
+    for _ in 0..batches {
+        match program_with(&mut rack.fabric, &plan, &mut searcher) {
+            Ok(handles) => {
+                f.write_u64(handles.len() as u64);
+                for h in handles.into_iter().rev() {
+                    let _ = rack.fabric.teardown_handle(h);
+                }
+            }
+            Err(_) => {
+                f.write_u64(u64::MAX);
+            }
+        }
+    }
+    let batch_wall = t1.elapsed().as_secs_f64();
+
+    RouteBenchReport {
+        searches,
+        batches,
+        fingerprint: format!("{:#018x}", f.finish()),
+        wall_s: search_wall + batch_wall,
+        paths_per_sec: if search_wall > 0.0 {
+            searches as f64 / search_wall
+        } else {
+            0.0
+        },
+        batches_per_sec: if batch_wall > 0.0 {
+            batches as f64 / batch_wall
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Compare a fresh run against the committed baseline. Returns one message
+/// per violated gate; empty means the baseline holds. Fingerprint and
+/// workload sizes are exact gates; both rates are floor-gated.
+pub fn compare_route_baseline(
+    current: &RouteBenchReport,
+    baseline: &RouteBenchReport,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    if current.searches != baseline.searches || current.batches != baseline.batches {
+        failures.push(format!(
+            "workload mismatch: ran {}x{}, baseline is {}x{}",
+            current.searches, current.batches, baseline.searches, baseline.batches
+        ));
+    }
+    if current.fingerprint != baseline.fingerprint {
+        failures.push(format!(
+            "fingerprint {} != baseline {} — a routing result changed; if intended, \
+             regenerate with `spsim routebench --write-baseline BENCH_route.json`",
+            current.fingerprint, baseline.fingerprint
+        ));
+    }
+    for (what, cur, base) in [
+        ("paths/sec", current.paths_per_sec, baseline.paths_per_sec),
+        (
+            "batches/sec",
+            current.batches_per_sec,
+            baseline.batches_per_sec,
+        ),
+    ] {
+        let floor = base * MIN_PERF_RATIO;
+        if cur < floor {
+            failures.push(format!(
+                "{what} {cur:.0} is below {floor:.0} ({MIN_PERF_RATIO}x of baseline {base:.0})"
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_deterministic_and_rate_independent() {
+        let a = run_route_bench(200, 5);
+        let b = run_route_bench(200, 5);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.searches, 200);
+        assert_eq!(a.batches, 5);
+        assert!(a.paths_per_sec > 0.0);
+        assert!(a.batches_per_sec > 0.0);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = run_route_bench(50, 2);
+        let parsed = match RouteBenchReport::parse(&r.to_json()) {
+            Ok(p) => p,
+            Err(e) => panic!("parse own json: {e}"),
+        };
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn baseline_gates_have_teeth() {
+        let r = run_route_bench(50, 2);
+        assert!(compare_route_baseline(&r, &r).is_empty());
+        let mut slow = r.clone();
+        slow.paths_per_sec = r.paths_per_sec * MIN_PERF_RATIO * 0.5;
+        assert_eq!(compare_route_baseline(&slow, &r).len(), 1);
+        let mut moved = r.clone();
+        moved.fingerprint = "0xdeadbeefdeadbeef".into();
+        assert_eq!(compare_route_baseline(&moved, &r).len(), 1);
+        let mut resized = r.clone();
+        resized.searches += 1;
+        assert_eq!(compare_route_baseline(&resized, &r).len(), 1);
+    }
+}

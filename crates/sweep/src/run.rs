@@ -2,16 +2,15 @@
 //!
 //! Determinism contract: a scenario's [fingerprint](ScenarioResult) is a
 //! pure function of the scenario itself — it never reads the clock, another
-//! scenario's output, or anything thread-dependent. Worker `w` of `W` runs
-//! the **stripe** of scenarios at indices `w, w+W, w+2W, …` (round-robin,
-//! which load-balances grids whose heavy scenarios cluster), results are
-//! re-sorted by grid index after the join, per-scenario fingerprints
-//! combine in index order, and per-worker stats merge in worker order. The
-//! first three make the sweep fingerprint bit-identical for *any* worker
-//! count; the last makes merged statistics reproducible for a *given*
-//! worker count (parallel Welford merges are not bit-identical to
-//! sequential pushes, which is exactly why merged stats stay out of the
-//! fingerprint — see `DESIGN.md`).
+//! scenario's output, or anything thread-dependent. Workers pull scenario
+//! indices from a shared counter (dynamic load balancing — a static stripe
+//! idles behind one heavy scenario), each scenario fills a **private**
+//! stats registry, results are re-sorted by grid index after the join, and
+//! both the per-scenario fingerprints and the per-scenario registries
+//! combine in index order. The sweep fingerprint *and* the merged
+//! statistics are therefore bit-identical for any worker count and any
+//! pull interleaving; stats still stay out of the fingerprint so the
+//! fingerprint remains a pure routing/simulation digest — see `DESIGN.md`.
 
 use crate::fingerprint::Fnv;
 use crate::grid::{CollectiveAlgo, GridSpec, Scenario};
@@ -285,51 +284,79 @@ fn run_route_churn(ops: usize, seed: u64, merged: &mut MergedStats) -> (u64, u64
     (f.finish(), ops as u64)
 }
 
+/// A worker must have at least this many scenarios before another thread
+/// is worth spawning: a short queue of cheap scenarios drains faster than
+/// a thread spawns, so oversplitting a small grid *loses* wall-clock.
+pub const MIN_SCENARIOS_PER_WORKER: usize = 4;
+
 /// Run `grid` across `workers` threads (clamped to ≥ 1) and return the
 /// order-combined outcome.
 ///
-/// Worker `w` runs the round-robin stripe `w, w+W, w+2W, …` sequentially
-/// into a private stats registry; striping spreads clustered heavy
-/// scenarios (the full grid opens with four Monte-Carlo runs) across
-/// workers. Results are re-sorted by grid index after the join and stats
-/// merge in worker order, so the whole outcome is reproducible: the
-/// fingerprint for any worker count, the merged stats per worker count.
+/// The requested worker count is capped so every worker averages at least
+/// [`MIN_SCENARIOS_PER_WORKER`] scenarios, and never exceeds the
+/// machine's available parallelism. Workers pull the next scenario
+/// index from a shared atomic counter, so a single heavy scenario (the
+/// smoke grid's control campaign dwarfs its neighbours) occupies one
+/// worker while the rest drain the queue — a static stripe would idle
+/// behind it. Worker 0 runs inline on the calling thread: a 1-worker
+/// sweep spawns no threads at all, and a `W`-worker sweep pays `W − 1`
+/// spawns. Each scenario fills a *private* stats registry; after the
+/// join, results are re-sorted by grid index and the registries merge in
+/// index order, so both the fingerprint and the merged statistics are
+/// bit-identical for **any** worker count, no matter which thread ran
+/// which scenario.
 pub fn run_sweep(grid: &GridSpec, workers: usize) -> SweepOutcome {
-    let workers = workers.clamp(1, grid.len().max(1));
-    let started = std::time::Instant::now();
     let n = grid.len();
-    let mut results: Vec<ScenarioResult> = Vec::with_capacity(n);
-    let mut merged = MergedStats::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
-            let scenarios = &grid.scenarios;
-            handles.push(scope.spawn(move || {
-                let mut local = MergedStats::new();
-                let mut out = Vec::with_capacity(scenarios.len() / workers + 1);
-                for (index, scenario) in scenarios.iter().enumerate().skip(w).step_by(workers) {
-                    let (fingerprint, events) = run_scenario(scenario, &mut local);
-                    out.push(ScenarioResult {
-                        index,
-                        label: scenario.label(),
-                        fingerprint,
-                        events,
-                    });
-                }
-                (out, local)
-            }));
+    // More threads than cores is pure loss on this workload: scenarios
+    // never block, so an oversubscribed host just context-switches.
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let workers = workers
+        .clamp(1, n.max(1))
+        .min((n / MIN_SCENARIOS_PER_WORKER).max(1))
+        .min(cores);
+    let started = std::time::Instant::now();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let run_worker = || {
+        let mut out = Vec::new();
+        loop {
+            let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let Some(scenario) = grid.scenarios.get(index) else {
+                return out;
+            };
+            let mut local = MergedStats::new();
+            let (fingerprint, events) = run_scenario(scenario, &mut local);
+            out.push((
+                ScenarioResult {
+                    index,
+                    label: scenario.label(),
+                    fingerprint,
+                    events,
+                },
+                local,
+            ));
         }
-        // Join in worker order so stats merge deterministically.
+    };
+    let mut parts: Vec<(ScenarioResult, MergedStats)> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let run_worker = &run_worker;
+        let handles: Vec<_> = (1..workers).map(|_| scope.spawn(run_worker)).collect();
+        parts.extend(run_worker());
         for h in handles {
-            let Ok((part, local)) = h.join() else {
+            let Ok(part) = h.join() else {
                 panic!("sweep worker panicked");
             };
-            results.extend(part);
-            merged.merge(&local);
+            parts.extend(part);
         }
     });
-    // Stripes interleave; identity is the grid index, so restore it.
-    results.sort_by_key(|r| r.index);
+    // Queue pulls interleave; identity is the grid index, so restore it
+    // and fold the per-scenario registries in that order.
+    parts.sort_by_key(|(r, _)| r.index);
+    let mut results: Vec<ScenarioResult> = Vec::with_capacity(n);
+    let mut merged = MergedStats::new();
+    for (r, local) in parts {
+        merged.merge(&local);
+        results.push(r);
+    }
     let wall = started.elapsed();
     let fingerprint =
         crate::fingerprint::combine(&results.iter().map(|r| r.fingerprint).collect::<Vec<u64>>());
@@ -386,5 +413,44 @@ mod tests {
         let out = run_sweep(&grid, 10_000);
         assert!(out.workers <= grid.len());
         assert_eq!(out.results.len(), grid.len());
+    }
+
+    #[test]
+    fn small_grids_cap_workers_by_queue_share() {
+        let grid = GridSpec::smoke(3);
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let max = (grid.len() / MIN_SCENARIOS_PER_WORKER).max(1).min(cores);
+        let out = run_sweep(&grid, grid.len());
+        assert_eq!(out.workers, max, "every worker averages a full share");
+        // The cap never changes the outcome, only the thread count.
+        let seq = run_sweep(&grid, 1);
+        assert_eq!(out.fingerprint, seq.fingerprint);
+        assert_eq!(out.events, seq.events);
+    }
+
+    #[test]
+    fn merged_stats_are_worker_count_invariant() {
+        // Per-scenario registries merge in index order, so the merged
+        // statistics — not just the fingerprint — are bit-identical no
+        // matter how many threads ran the grid or which thread ran what.
+        let grid = GridSpec::smoke(7);
+        let seq = run_sweep(&grid, 1);
+        let par = run_sweep(&grid, 2);
+        assert_eq!(
+            seq.merged.churn_hops.mean().to_bits(),
+            par.merged.churn_hops.mean().to_bits()
+        );
+        assert_eq!(
+            seq.merged.collective_us.mean().to_bits(),
+            par.merged.collective_us.mean().to_bits()
+        );
+        assert_eq!(
+            seq.merged.stitch_loss_db.counts(),
+            par.merged.stitch_loss_db.counts()
+        );
+        assert_eq!(
+            seq.merged.admission_wait_s.count(),
+            par.merged.admission_wait_s.count()
+        );
     }
 }

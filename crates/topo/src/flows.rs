@@ -104,11 +104,9 @@ pub fn max_min_rates_with_chips(flows: &[Flow], link_gbps: f64, chip_egress_gbps
         let (&bottleneck, _) = users
             .iter()
             .min_by(|(ra, &ua), (rb, &ub)| {
-                let sa = remaining[ra] / ua as f64;
-                let sb = remaining[rb] / ub as f64;
-                sa.partial_cmp(&sb)
-                    .expect("finite")
-                    .then_with(|| ra.cmp(rb)) // deterministic ties
+                let sa = desim::OrdF64(remaining[ra] / ua as f64);
+                let sb = desim::OrdF64(remaining[rb] / ub as f64);
+                sa.cmp(&sb).then_with(|| ra.cmp(rb)) // deterministic ties
             })
             .expect("non-empty");
         let share = remaining[&bottleneck] / users[&bottleneck] as f64;

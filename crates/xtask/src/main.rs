@@ -12,10 +12,11 @@
 //!    and no `unsafe` block/fn/impl/trait appears anywhere in the tree.
 //! 3. **unwrap ratchet** — per-crate counts of panicking unwrap/expect
 //!    call sites must not grow beyond the recorded baseline.
-//! 4. **perf baseline** — re-runs the committed `BENCH_sweep.json` grid
-//!    via `spsim sweep` (release build) and gates: fingerprint, scenario
-//!    count, and event count must match the baseline exactly, and
-//!    throughput may not regress below the tolerance floor.
+//! 4. **perf baselines** — re-runs the committed `BENCH_sweep.json` grid
+//!    via `spsim sweep` and the committed `BENCH_route.json` workload via
+//!    `spsim routebench` (release builds) and gates both: fingerprints,
+//!    scenario/workload counts, and event counts must match the baselines
+//!    exactly, and throughput may not regress below the tolerance floor.
 //! 5. **fmt** — `cargo fmt --check` (skipped gracefully when rustfmt is
 //!    not installed).
 //! 6. **clippy** — `cargo clippy --workspace --all-targets` with
@@ -46,17 +47,17 @@ use verify::{
 const UNWRAP_BASELINE: &[(&str, usize)] = &[
     ("bench", 8),
     ("collectives", 11),
-    ("core", 57),
+    ("core", 55),
     ("criterion", 0),
     ("desim", 17),
     ("fabricd", 0),
     ("hostnet", 8),
-    ("phy", 7),
+    ("phy", 6),
     ("proptest", 0),
     ("resilience", 12),
     ("route", 35),
     ("sweep", 0),
-    ("topo", 19),
+    ("topo", 18),
     ("verify", 0),
     ("workloads", 8),
     ("xtask", 0),
@@ -117,6 +118,13 @@ fn lint(flags: &[String]) -> ExitCode {
         println!("  skipped (--skip-bench)");
     } else {
         failures.extend(perf_baseline(&root));
+    }
+
+    section("perf baseline: BENCH_route.json");
+    if skip_bench {
+        println!("  skipped (--skip-bench)");
+    } else {
+        failures.extend(route_baseline(&root));
     }
 
     section("cargo fmt --check");
@@ -500,6 +508,90 @@ fn perf_baseline(root: &Path) -> Vec<String> {
             current.fingerprint,
             current.events_per_sec,
             baseline.events_per_sec,
+            sweep::MIN_PERF_RATIO
+        );
+    } else {
+        for f in &failures {
+            println!("  FAIL {f}");
+        }
+    }
+    failures
+}
+
+/// Re-run the committed routing benchmark through `spsim routebench` and
+/// gate on `BENCH_route.json`: exact workload and path-fingerprint
+/// equality, tolerant throughput floors for both rates.
+fn route_baseline(root: &Path) -> Vec<String> {
+    let baseline_path = root.join("BENCH_route.json");
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            println!("  FAIL cannot read {}: {e}", baseline_path.display());
+            return vec![format!(
+                "missing perf baseline {} — generate with `spsim routebench \
+                 --write-baseline BENCH_route.json`",
+                baseline_path.display()
+            )];
+        }
+    };
+    let baseline = match sweep::RouteBenchReport::parse(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => {
+            println!("  FAIL unparseable baseline: {e}");
+            return vec![format!("unparseable {}: {e}", baseline_path.display())];
+        }
+    };
+    let current_path = root.join("target").join("BENCH_route.current.json");
+    let status = cargo()
+        .current_dir(root)
+        .args([
+            "run",
+            "--release",
+            "--quiet",
+            "--bin",
+            "spsim",
+            "--",
+            "routebench",
+            "--searches",
+            &baseline.searches.to_string(),
+            "--batches",
+            &baseline.batches.to_string(),
+            "--write-baseline",
+        ])
+        .arg(&current_path)
+        .stdout(std::process::Stdio::null())
+        .status();
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(_) => {
+            println!("  FAIL spsim routebench exited non-zero");
+            return vec!["spsim routebench failed".into()];
+        }
+        Err(e) => {
+            println!("  FAIL could not spawn cargo run ({e})");
+            return vec![format!("could not run spsim routebench: {e}")];
+        }
+    }
+    let current = match std::fs::read_to_string(&current_path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| sweep::RouteBenchReport::parse(&t))
+    {
+        Ok(c) => c,
+        Err(e) => {
+            println!("  FAIL unreadable routebench output: {e}");
+            return vec![format!("unreadable {}: {e}", current_path.display())];
+        }
+    };
+    let failures = sweep::compare_route_baseline(&current, &baseline);
+    if failures.is_empty() {
+        println!(
+            "  ok   fingerprint {} reproduced; {:.0} paths/s, {:.0} batches/s \
+             (baseline {:.0}/{:.0}, floor {:.2}x)",
+            current.fingerprint,
+            current.paths_per_sec,
+            current.batches_per_sec,
+            baseline.paths_per_sec,
+            baseline.batches_per_sec,
             sweep::MIN_PERF_RATIO
         );
     } else {

@@ -21,7 +21,9 @@ use server_photonics::lightpath::{CircuitRequest, TileCoord, Wafer, WaferConfig}
 use server_photonics::resilience::{
     analyze, fig6a, measure_interference, optical_repair, PhotonicRack,
 };
-use server_photonics::sweep::{outcome_to_json, run_sweep, BenchReport, GridSpec};
+use server_photonics::sweep::{
+    outcome_to_json, route_bench, run_route_bench, run_sweep, BenchReport, GridSpec,
+};
 use server_photonics::topo::{Coord3, Shape3, Slice, Torus};
 use server_photonics::workloads::{generate, simulate as simulate_placement, ArrivalParams};
 
@@ -378,6 +380,26 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_routebench(args: &Args) -> Result<(), String> {
+    let searches: u64 = args.get("searches", route_bench::DEFAULT_SEARCHES)?;
+    let batches: u64 = args.get("batches", route_bench::DEFAULT_BATCHES)?;
+    let report = run_route_bench(searches, batches);
+    println!(
+        "routebench: {} searches + {} ring batches on a loaded 4x8 wafer",
+        report.searches, report.batches
+    );
+    println!("  fingerprint : {}", report.fingerprint);
+    println!(
+        "  paths/sec   : {:.0}   batches/sec: {:.0}   ({:.3}s wall)",
+        report.paths_per_sec, report.batches_per_sec, report.wall_s
+    );
+    if let Some(path) = args.0.get("write-baseline") {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("  baseline written to {path}");
+    }
+    Ok(())
+}
+
 const USAGE: &str = "spsim — server-scale photonics simulator
 
 USAGE:
@@ -389,6 +411,7 @@ USAGE:
   spsim ctrl       [--jobs 12] [--seed 7] [--racks 1] [--lanes 2] [--failures 1] [--timeout-s 1800] [--dump-journal out.json]
   spsim sweep      [--grid smoke|full] [--workers 4] [--seed 42] [--json out.json] [--write-baseline BENCH_sweep.json]
                    (--smoke expands to --grid smoke --workers 2)
+  spsim routebench [--searches 200000] [--batches 2000] [--write-baseline BENCH_route.json]
 ";
 
 fn main() -> ExitCode {
@@ -422,6 +445,7 @@ fn main() -> ExitCode {
         "hoststack" => cmd_hoststack(&args),
         "ctrl" => cmd_ctrl(&args),
         "sweep" => cmd_sweep(&args),
+        "routebench" => cmd_routebench(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
