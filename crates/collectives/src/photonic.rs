@@ -11,7 +11,7 @@
 
 use crate::cost::CostParams;
 use desim::{Engine, SimDuration, SimTime};
-use lightpath::{CircuitError, CircuitId, CircuitRequest, TileCoord, Wafer};
+use lightpath::{CircuitId, CircuitRequest, CollectiveFault, FabricError, TileCoord, Wafer};
 use phy::units::Gbps;
 
 /// Result of running a ring collective on wafer circuits.
@@ -35,16 +35,21 @@ pub struct PhotonicRunReport {
 /// Establish the ring circuits for `members` (each to its successor) with
 /// `lanes` wavelengths, run a ReduceScatter of `n_bytes`, and tear down.
 ///
-/// Returns the error unchanged if any circuit is refused — the admission
-/// control of the wafer is the point of this API.
+/// Returns a typed [`FabricError`] (collective hop wrapping the circuit
+/// refusal) if any circuit is refused — the admission control of the wafer
+/// is the point of this API.
 pub fn run_ring_reduce_scatter_on_wafer(
     wafer: &mut Wafer,
     members: &[TileCoord],
     lanes: usize,
     n_bytes: f64,
     params: &CostParams,
-) -> Result<PhotonicRunReport, CircuitError> {
-    assert!(members.len() >= 2, "a ring needs at least two members");
+) -> Result<PhotonicRunReport, FabricError> {
+    if members.len() < 2 {
+        return Err(FabricError::new(CollectiveFault::TooFewMembers {
+            members: members.len(),
+        }));
+    }
     let p = members.len();
 
     // Establish every hop; on failure roll back what we built.
@@ -58,15 +63,22 @@ pub fn run_ring_reduce_scatter_on_wafer(
             Ok(rep) => {
                 setup = setup.max(rep.setup);
                 worst_margin = worst_margin.min(rep.link.margin.0);
-                let ckt = wafer.circuit(rep.id).expect("just established");
-                hop_bandwidth = ckt.bandwidth;
+                hop_bandwidth = wafer
+                    .circuit(rep.id)
+                    .map(|c| c.bandwidth)
+                    .unwrap_or(hop_bandwidth);
                 circuits.push(rep.id);
             }
             Err(e) => {
+                // Roll back the partial ring; just-established circuits
+                // cannot fail to tear down, and the path stays panic-free.
                 for id in circuits {
-                    wafer.teardown(id).expect("rollback");
+                    let _ = wafer.teardown(id);
                 }
-                return Err(e);
+                return Err(FabricError::caused_by(
+                    CollectiveFault::Establish { hop: i },
+                    e.into(),
+                ));
             }
         }
     }
@@ -90,7 +102,7 @@ pub fn run_ring_reduce_scatter_on_wafer(
     let total = engine.now().since_origin();
 
     for id in circuits.iter() {
-        wafer.teardown(*id).expect("circuits are live");
+        let _ = wafer.teardown(*id);
     }
 
     Ok(PhotonicRunReport {
@@ -117,8 +129,13 @@ pub fn run_bucket_reduce_scatter_on_wafer(
     lanes: usize,
     n_bytes: f64,
     params: &CostParams,
-) -> Result<PhotonicRunReport, CircuitError> {
-    assert!(extent_x >= 2 && extent_y >= 2, "need rings in both stages");
+) -> Result<PhotonicRunReport, FabricError> {
+    if extent_x < 2 || extent_y < 2 {
+        return Err(FabricError::new(CollectiveFault::DegenerateExtent {
+            extent_x,
+            extent_y,
+        }));
+    }
     let tile = |x: usize, y: usize| TileCoord::new(y as u8, x as u8);
     let mut total = SimDuration::ZERO;
     let mut worst_margin = f64::INFINITY;
@@ -130,7 +147,7 @@ pub fn run_bucket_reduce_scatter_on_wafer(
     // Stage helper: establish rings along one axis, run its rounds, tear
     // down (the re-pointing between stages IS the teardown+establish).
     let mut run_stage =
-        |wafer: &mut Wafer, horizontal: bool, buffer: f64| -> Result<SimDuration, CircuitError> {
+        |wafer: &mut Wafer, horizontal: bool, buffer: f64| -> Result<SimDuration, FabricError> {
             let (lines, ring_len) = if horizontal {
                 (extent_y, extent_x)
             } else {
@@ -149,15 +166,21 @@ pub fn run_bucket_reduce_scatter_on_wafer(
                         Ok(rep) => {
                             setup = setup.max(rep.setup);
                             worst_margin = worst_margin.min(rep.link.margin.0);
-                            hop_bandwidth = wafer.circuit(rep.id).expect("live").bandwidth;
+                            hop_bandwidth = wafer
+                                .circuit(rep.id)
+                                .map(|c| c.bandwidth)
+                                .unwrap_or(hop_bandwidth);
                             ids.push(rep.id);
                             circuits_made += 1;
                         }
                         Err(e) => {
                             for id in ids {
-                                wafer.teardown(id).expect("rollback");
+                                let _ = wafer.teardown(id);
                             }
-                            return Err(e);
+                            return Err(FabricError::caused_by(
+                                CollectiveFault::Establish { hop: circuits_made },
+                                e.into(),
+                            ));
                         }
                     }
                 }
@@ -168,7 +191,7 @@ pub fn run_bucket_reduce_scatter_on_wafer(
             let stage_time = setup + round * (ring_len as u64 - 1);
             rounds_done += ring_len - 1;
             for id in ids {
-                wafer.teardown(id).expect("live");
+                let _ = wafer.teardown(id);
             }
             Ok(stage_time)
         };
@@ -261,7 +284,11 @@ mod tests {
         // claiming 17 lanes is refused.
         let err = run_ring_reduce_scatter_on_wafer(&mut wafer, &ring_members(), 17, 1e6, &params)
             .unwrap_err();
-        assert!(matches!(err, CircuitError::BadLaneCount(17)));
+        assert!(matches!(
+            err.root_cause().kind,
+            lightpath::FaultKind::Circuit(lightpath::CircuitError::BadLaneCount(17))
+        ));
+        assert_eq!(err.root_code(), "circuit/bad-lane-count");
         assert_eq!(wafer.circuits().count(), 0, "rollback left nothing");
     }
 
@@ -290,6 +317,20 @@ mod tests {
             "photonic bucket {} vs cost model {predicted}",
             report.total
         );
+        assert_eq!(wafer.circuits().count(), 0);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_typed_faults_not_panics() {
+        let params = CostParams::default();
+        let mut wafer = Wafer::new(WaferConfig::lightpath_32());
+        let err =
+            run_ring_reduce_scatter_on_wafer(&mut wafer, &[TileCoord::new(0, 0)], 4, 1e6, &params)
+                .unwrap_err();
+        assert_eq!(err.code(), "collective/too-few-members");
+        let err =
+            run_bucket_reduce_scatter_on_wafer(&mut wafer, 1, 4, 4, 1e6, &params).unwrap_err();
+        assert_eq!(err.code(), "collective/degenerate-extent");
         assert_eq!(wafer.circuits().count(), 0);
     }
 

@@ -9,7 +9,7 @@
 //! dimension, and failure repair (§4.2) builds non-overlapping circuits
 //! around a dead chip.
 
-use crate::geom::{EdgeId, Path, TileCoord};
+use crate::geom::{Path, TileCoord};
 use phy::link_budget::LinkReport;
 use phy::units::Gbps;
 use phy::wdm::LambdaSet;
@@ -86,100 +86,16 @@ pub struct Circuit {
 }
 
 /// Why a circuit could not be established.
-#[derive(Debug, Clone, PartialEq)]
-pub enum CircuitError {
-    /// Source and destination are the same tile.
-    SameEndpoints(TileCoord),
-    /// A referenced tile is outside the wafer grid.
-    OutOfBounds(TileCoord),
-    /// An endpoint tile's accelerator has failed (pass-through still works,
-    /// but it cannot source or sink traffic).
-    TileFailed(TileCoord),
-    /// Zero lanes requested, or more than the tile's SerDes pool has.
-    BadLaneCount(usize),
-    /// The source tile has too few free transmit lanes.
-    InsufficientTxLanes {
-        /// Tile that was out of lanes.
-        tile: TileCoord,
-        /// Lanes free at request time.
-        free: usize,
-        /// Lanes requested.
-        requested: usize,
-    },
-    /// The destination tile has too few free receive lanes.
-    InsufficientRxLanes {
-        /// Tile that was out of lanes.
-        tile: TileCoord,
-        /// Lanes free at request time.
-        free: usize,
-        /// Lanes requested.
-        requested: usize,
-    },
-    /// A waveguide bus along the route is fully occupied.
-    EdgeExhausted(EdgeId),
-    /// The end-to-end optical budget does not close at the target BER.
-    BudgetFailed {
-        /// Shortfall (negative margin), dB.
-        margin_db: f64,
-    },
-    /// A provided path does not start/end at the requested endpoints.
-    PathMismatch,
-    /// No such circuit (teardown/lookup of a stale id).
-    UnknownCircuit(CircuitId),
-    /// A fiber link needed by a cross-wafer circuit is exhausted.
-    FiberExhausted {
-        /// Fibers available on the link.
-        capacity: u32,
-    },
-    /// Cross-wafer request between wafers with no fiber link.
-    NoFiberLink,
-}
-
-impl fmt::Display for CircuitError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CircuitError::SameEndpoints(t) => write!(f, "endpoints are the same tile {t}"),
-            CircuitError::OutOfBounds(t) => write!(f, "tile {t} outside the wafer grid"),
-            CircuitError::TileFailed(t) => write!(f, "tile {t} has a failed accelerator"),
-            CircuitError::BadLaneCount(n) => write!(f, "invalid lane count {n}"),
-            CircuitError::InsufficientTxLanes {
-                tile,
-                free,
-                requested,
-            } => write!(
-                f,
-                "tile {tile}: {requested} tx lanes requested, {free} free"
-            ),
-            CircuitError::InsufficientRxLanes {
-                tile,
-                free,
-                requested,
-            } => write!(
-                f,
-                "tile {tile}: {requested} rx lanes requested, {free} free"
-            ),
-            CircuitError::EdgeExhausted(e) => write!(f, "waveguide bus {e} exhausted"),
-            CircuitError::BudgetFailed { margin_db } => {
-                write!(
-                    f,
-                    "optical budget fails to close (margin {margin_db:.2} dB)"
-                )
-            }
-            CircuitError::PathMismatch => write!(f, "explicit path does not match endpoints"),
-            CircuitError::UnknownCircuit(id) => write!(f, "unknown circuit {id}"),
-            CircuitError::FiberExhausted { capacity } => {
-                write!(f, "fiber link exhausted ({capacity} fibers)")
-            }
-            CircuitError::NoFiberLink => write!(f, "no fiber link between the wafers"),
-        }
-    }
-}
-
-impl std::error::Error for CircuitError {}
+///
+/// The enum itself lives in the workspace fault taxonomy as
+/// [`crate::fault::CircuitFault`]; this alias keeps the long-standing name
+/// at the existing match sites.
+pub use crate::fault::CircuitFault as CircuitError;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::geom::EdgeId;
 
     #[test]
     fn request_builder_defaults() {

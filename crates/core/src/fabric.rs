@@ -369,7 +369,13 @@ impl Fabric {
                                 free: avail.len(),
                                 requested: lanes,
                             })?;
-                    tile.serdes.claim_tx(set).expect("availability checked");
+                    if tile.serdes.claim_tx(set).is_none() {
+                        return Err(CircuitError::InsufficientTxLanes {
+                            tile: at,
+                            free: tile.serdes.tx_available().len(),
+                            requested: lanes,
+                        });
+                    }
                     manual_src_claim = Some(set);
                 }
                 wafer = this.fibers[fi].other_end(wafer);
@@ -395,7 +401,13 @@ impl Fabric {
                         free: avail.len(),
                         requested: lanes,
                     })?;
-                tile.serdes.claim_rx(set).expect("availability checked");
+                if tile.serdes.claim_rx(set).is_none() {
+                    return Err(CircuitError::InsufficientRxLanes {
+                        tile: at,
+                        free: tile.serdes.rx_available().len(),
+                        requested: lanes,
+                    });
+                }
                 manual_dst_claim = Some(lanes);
             }
             Ok(())
@@ -403,7 +415,9 @@ impl Fabric {
 
         if let Err(e) = result {
             for (w, id) in segments.into_iter().rev() {
-                self.wafers[w.0].teardown(id).expect("just established");
+                // Just-established segments cannot fail to tear down; keep
+                // the rollback panic-free regardless.
+                let _ = self.wafers[w.0].teardown(id);
             }
             if let Some(set) = manual_src_claim {
                 self.wafers[src.0 .0].tile_mut(src.1).serdes.release_tx(set);
@@ -454,7 +468,9 @@ impl Fabric {
             let tile = self.wafers[ckt.dst.0 .0].tile_mut(ckt.dst.1);
             let all = LambdaSet::first_n(tile.serdes.lanes());
             let in_use = all.difference(tile.serdes.rx_available());
-            let set = in_use.take_lowest(lanes).expect("claimed lanes present");
+            // The claim is recorded on the circuit, so the lanes are in
+            // use; release whatever is held if bookkeeping ever disagreed.
+            let set = in_use.take_lowest(lanes).unwrap_or(in_use);
             tile.serdes.release_rx(set);
         }
         for &fi in &ckt.fibers {

@@ -35,6 +35,7 @@
 pub mod circuit;
 pub mod config;
 pub mod fabric;
+pub mod fault;
 pub mod geom;
 pub mod telemetry;
 pub mod tile;
@@ -43,6 +44,10 @@ pub mod wafer;
 pub use circuit::{Circuit, CircuitError, CircuitId, CircuitRequest};
 pub use config::WaferConfig;
 pub use fabric::{CrossCircuit, CrossCircuitId, Fabric, FabricCircuit, FiberLink, WaferId};
+pub use fault::{
+    CircuitFault, CollectiveFault, CtrlFault, EntityRef, FabricError, FaultKind, Layer, PhyFault,
+    RouteFault, TopoFault,
+};
 pub use geom::{Dir, EdgeId, EdgeIndex, EdgeSet, Path, TileCoord};
 pub use telemetry::{WaferTelemetry, EDGE_OCCUPANCY_BUCKETS};
 pub use tile::Tile;

@@ -313,24 +313,31 @@ impl Wafer {
             LambdaSet::EMPTY
         };
         let link = self.link_budget(&path);
-        if !link.closes() {
+        if let Err(infeasible) = link.require_closure(phy::DEFAULT_TARGET_BER) {
             return Err(CircuitError::BudgetFailed {
-                margin_db: link.margin.0,
+                margin_db: infeasible.margin_db,
             });
         }
 
         // --- commit --------------------------------------------------------------
-        if req.claim_src_serdes {
-            self.tiles[src_idx]
-                .serdes
-                .claim_tx(lambdas)
-                .expect("checked tx availability above");
+        // Availability was checked above, so the claims cannot fail; handle
+        // them fallibly anyway (with rollback) to keep this path panic-free.
+        if req.claim_src_serdes && self.tiles[src_idx].serdes.claim_tx(lambdas).is_none() {
+            return Err(CircuitError::InsufficientTxLanes {
+                tile: req.src,
+                free: self.tiles[src_idx].serdes.tx_available().len(),
+                requested: req.lanes,
+            });
         }
-        if req.claim_dst_serdes {
-            self.tiles[dst_idx]
-                .serdes
-                .claim_rx(rx_lambdas)
-                .expect("checked rx availability above");
+        if req.claim_dst_serdes && self.tiles[dst_idx].serdes.claim_rx(rx_lambdas).is_none() {
+            if req.claim_src_serdes {
+                self.tiles[src_idx].serdes.release_tx(lambdas);
+            }
+            return Err(CircuitError::InsufficientRxLanes {
+                tile: req.dst,
+                free: self.tiles[dst_idx].serdes.rx_available().len(),
+                requested: req.lanes,
+            });
         }
         for e in path.edges() {
             self.edge_used[self.edge_index.index(e)] += 1;
@@ -361,12 +368,19 @@ impl Wafer {
 
     /// Tear a circuit down, releasing its waveguides and SerDes lanes.
     pub fn teardown(&mut self, id: CircuitId) -> Result<(), CircuitError> {
+        // Resolve indices before removing so an (impossible) stale path
+        // leaves the wafer untouched instead of panicking mid-teardown.
+        let (src_idx, dst_idx) = {
+            let ckt = self
+                .circuits
+                .get(&id)
+                .ok_or(CircuitError::UnknownCircuit(id))?;
+            (self.index(ckt.path.src())?, self.index(ckt.path.dst())?)
+        };
         let ckt = self
             .circuits
             .remove(&id)
             .ok_or(CircuitError::UnknownCircuit(id))?;
-        let src_idx = self.index(ckt.path.src()).expect("stored path is valid");
-        let dst_idx = self.index(ckt.path.dst()).expect("stored path is valid");
         if ckt.claimed_src {
             self.tiles[src_idx].serdes.release_tx(ckt.lambdas);
         }
@@ -431,9 +445,9 @@ fn rx_release_set(tile: &Tile, k: usize) -> LambdaSet {
     let all = LambdaSet::first_n(tile.serdes.lanes());
     let free = tile.serdes.rx_available();
     let in_use = all.difference(free);
-    in_use
-        .take_lowest(k)
-        .expect("a live circuit holds at least k rx lanes")
+    // A live circuit holds at least k rx lanes; if bookkeeping ever
+    // disagreed, releasing everything in use beats aborting the process.
+    in_use.take_lowest(k).unwrap_or(in_use)
 }
 
 #[cfg(test)]

@@ -111,6 +111,27 @@ proptest! {
         }
     }
 
+    /// Arbitrary requests — out-of-grid endpoints, self-loops, zero or
+    /// oversized lane counts — never panic, and every failed establish
+    /// leaves the wafer's accounting bit-identical (typed fault, no
+    /// partial state).
+    #[test]
+    fn infeasible_requests_fail_cleanly(
+        reqs in prop::collection::vec((0u8..12, 0u8..12, 0u8..12, 0u8..12, 0usize..40), 1..40),
+    ) {
+        let mut wafer = Wafer::new(WaferConfig::lightpath_32());
+        for (r1, c1, r2, c2, lanes) in reqs {
+            let src = TileCoord::new(r1, c1);
+            let dst = TileCoord::new(r2, c2);
+            let circuits_before = wafer.circuits().count();
+            let telemetry_before = wafer.telemetry();
+            if wafer.establish(CircuitRequest::new(src, dst, lanes)).is_err() {
+                prop_assert_eq!(wafer.circuits().count(), circuits_before);
+                prop_assert_eq!(wafer.telemetry(), telemetry_before);
+            }
+        }
+    }
+
     /// Paths produced by the default router are always simple and minimal
     /// on an empty wafer.
     #[test]

@@ -34,6 +34,15 @@ pub struct CtrlConfig {
     pub failures: usize,
     /// Gauge samples to spread across the horizon.
     pub samples: usize,
+    /// Extra programming attempts after a rejected plan (0 preserves the
+    /// legacy deny-on-first-failure behavior and journal byte-for-byte).
+    pub program_retries: u32,
+    /// Base backoff before a rejected plan is retried; attempt `k` waits
+    /// `retry_backoff × 2^min(k, 6)`.
+    pub retry_backoff: SimDuration,
+    /// Every Nth arrival requests an infeasible slice shape (wider than
+    /// the torus itself) to exercise graceful rejection; 0 disables.
+    pub infeasible_every: usize,
 }
 
 impl Default for CtrlConfig {
@@ -47,6 +56,9 @@ impl Default for CtrlConfig {
             queue_timeout: SimDuration::from_secs(1_800),
             failures: 1,
             samples: 64,
+            program_retries: 0,
+            retry_backoff: SimDuration::from_ms(100),
+            infeasible_every: 0,
         }
     }
 }
@@ -69,6 +81,8 @@ struct Queued {
     shape: Shape3,
     duration: SimDuration,
     arrival: SimTime,
+    /// Zero-based programming attempt; bumped on each `Reject`.
+    attempt: u32,
 }
 
 /// The event-loop model: state + metrics + the admission queue.
@@ -77,14 +91,23 @@ struct ControlPlane {
     metrics: Metrics,
     queue: VecDeque<Queued>,
     timeout: SimDuration,
+    /// Extra programming attempts after a rejection.
+    retries: u32,
+    /// Base retry backoff (doubles per attempt, capped at 2⁶×).
+    backoff: SimDuration,
 }
 
 impl ControlPlane {
     /// Admit now if a slice fits and programs; true when the job started
-    /// (or was consumed by a programming denial, which also resolves it).
+    /// (or was consumed by a programming denial or a scheduled retry,
+    /// which also resolve it from the queue's point of view).
     fn try_start(&mut self, eng: &mut Engine<ControlPlane>, q: Queued) -> bool {
         let now = eng.now();
-        match self.st.admit(now, q.job, q.shape) {
+        let last = q.attempt >= self.retries;
+        match self
+            .st
+            .admit_retryable(now, q.job, q.shape, q.attempt, last)
+        {
             Admission::Admitted { setup } => {
                 self.metrics.bump("jobs.admitted");
                 self.metrics
@@ -109,10 +132,48 @@ impl ControlPlane {
                 true
             }
             Admission::NoSpace => false,
-            Admission::ProgramDenied => {
+            Admission::ProgramDenied { error } => {
                 self.metrics.bump("jobs.denied.program");
+                self.metrics.bump_rejection(error.root_code());
                 true
             }
+            Admission::Infeasible { error } => {
+                // The shape can never fit: journaled as an immediate
+                // Reject + zero-circuit Rollback, never queued or retried.
+                self.metrics.bump("jobs.rejected.infeasible");
+                self.metrics.bump_rejection(error.root_code());
+                true
+            }
+            Admission::ProgramRejected { error } => {
+                // The slice was rolled back and a Reject + Rollback pair
+                // journaled; re-attempt after bounded exponential backoff.
+                self.metrics.bump("jobs.rejected.program");
+                self.metrics.bump_rejection(error.root_code());
+                let delay = self.backoff * (1u64 << q.attempt.min(6));
+                let retry = Queued {
+                    attempt: q.attempt + 1,
+                    ..q
+                };
+                eng.schedule_at(now + delay, move |m: &mut ControlPlane, e| {
+                    m.on_retry(e, retry);
+                });
+                true
+            }
+        }
+    }
+
+    /// A rejected job's backoff expired: try again, or queue (with a fresh
+    /// timeout) if the fabric has no space now.
+    fn on_retry(&mut self, eng: &mut Engine<ControlPlane>, q: Queued) {
+        self.metrics.bump("jobs.retried");
+        if !self.try_start(eng, q) {
+            self.metrics.bump("jobs.queued");
+            self.queue.push_back(q);
+            let job = q.job;
+            let deadline = eng.now() + self.timeout;
+            eng.schedule_at(deadline, move |m: &mut ControlPlane, e| {
+                m.on_timeout(e, job);
+            });
         }
     }
 
@@ -176,15 +237,28 @@ pub fn run_scenario(cfg: &CtrlConfig) -> CtrlOutcome {
         metrics: Metrics::new(),
         queue: VecDeque::new(),
         timeout: cfg.queue_timeout,
+        retries: cfg.program_retries,
+        backoff: cfg.retry_backoff,
     };
+    // An infeasible probe shape: one chip wider than the torus itself in X,
+    // so placement is structurally impossible (typed NoSpace, never a
+    // panic). Used by the fault campaign (`infeasible_every > 0`).
+    let torus = model.st.rack().cluster.occupancy().shape();
+    let infeasible = Shape3::new(torus.dims[0] + 1, torus.dims[1], torus.dims[2]);
     let mut eng: Engine<ControlPlane> = Engine::new();
 
     for (i, req) in trace.iter().enumerate() {
+        let shape = if cfg.infeasible_every > 0 && (i + 1) % cfg.infeasible_every == 0 {
+            infeasible
+        } else {
+            req.shape
+        };
         let q = Queued {
             job: i as u32,
-            shape: req.shape,
+            shape,
             duration: req.duration,
             arrival: req.arrival,
+            attempt: 0,
         };
         eng.schedule_at(req.arrival, move |m: &mut ControlPlane, e| {
             m.on_arrival(e, q);

@@ -126,6 +126,32 @@ pub enum JournalEntry {
         /// The circuit error, rendered.
         error: String,
     },
+    /// A non-final programming attempt was rejected: the plan was
+    /// infeasible or conflicted with live circuits, the slice was released,
+    /// and the job re-enters the retry queue with bounded backoff. `code`
+    /// is the machine-readable root-cause reason (see
+    /// `lightpath::fault::CODES`; audited by verify CTL403).
+    Reject {
+        /// Job id.
+        job: u32,
+        /// The shape it asked for (needed to replay the failed attempt).
+        shape: Shape3,
+        /// Zero-based attempt number (0 = first try).
+        attempt: u32,
+        /// Machine-readable reason code of the root cause.
+        code: &'static str,
+    },
+    /// The partial circuits of a rejected attempt were rolled back
+    /// atomically. Always paired with the immediately preceding `Reject`
+    /// for the same job and attempt (audited by verify CTL404).
+    Rollback {
+        /// Job id.
+        job: u32,
+        /// Attempt number, matching the originating `Reject`.
+        attempt: u32,
+        /// Circuits that had been established and were torn down.
+        circuits: usize,
+    },
     /// A job departed; its circuits and slice were released.
     Evict {
         /// Job id.
@@ -183,6 +209,21 @@ impl JournalEntry {
             } => {
                 format!("repair-failed incident={incident} replacement={replacement} error={error}")
             }
+            JournalEntry::Reject {
+                job,
+                shape,
+                attempt,
+                code,
+            } => {
+                format!("reject job={job} shape={shape} attempt={attempt} code={code}")
+            }
+            JournalEntry::Rollback {
+                job,
+                attempt,
+                circuits,
+            } => {
+                format!("rollback job={job} attempt={attempt} circuits={circuits}")
+            }
             JournalEntry::Evict { job } => format!("evict job={job}"),
         }
     }
@@ -196,6 +237,8 @@ impl JournalEntry {
             JournalEntry::Fail { .. } => "fail",
             JournalEntry::Repair { .. } => "repair",
             JournalEntry::RepairFailed { .. } => "repair-failed",
+            JournalEntry::Reject { .. } => "reject",
+            JournalEntry::Rollback { .. } => "rollback",
             JournalEntry::Evict { .. } => "evict",
         }
     }
@@ -423,6 +466,20 @@ fn record_json(r: &Record) -> String {
             coord_json(*replacement),
             escape_json(error)
         ),
+        JournalEntry::Reject {
+            job,
+            shape,
+            attempt,
+            code,
+        } => format!(
+            ", \"job\": {job}, \"shape\": {}, \"attempt\": {attempt}, \"code\": \"{code}\"",
+            shape_json(*shape)
+        ),
+        JournalEntry::Rollback {
+            job,
+            attempt,
+            circuits,
+        } => format!(", \"job\": {job}, \"attempt\": {attempt}, \"circuits\": {circuits}"),
         JournalEntry::Evict { job } => format!(", \"job\": {job}"),
     };
     format!("{{{common}{rest}}}")
@@ -482,6 +539,45 @@ mod tests {
             ..header()
         });
         assert_ne!(Journal::new(header()).hash(), c.hash());
+    }
+
+    #[test]
+    fn reject_and_rollback_canon_and_json_are_stable() {
+        let mut j = Journal::new(header());
+        j.push(
+            SimTime::from_ps(10),
+            JournalEntry::Reject {
+                job: 4,
+                shape: Shape3::new(4, 2, 1),
+                attempt: 1,
+                code: "circuit/insufficient-tx-lanes",
+            },
+        );
+        j.push(
+            SimTime::from_ps(10),
+            JournalEntry::Rollback {
+                job: 4,
+                attempt: 1,
+                circuits: 3,
+            },
+        );
+        let canons: Vec<String> = j.records().iter().map(|r| r.canon()).collect();
+        assert_eq!(
+            canons[0],
+            "seq=0 t=10ps reject job=4 shape=4x2x1 attempt=1 code=circuit/insufficient-tx-lanes"
+        );
+        assert_eq!(
+            canons[1],
+            "seq=1 t=10ps rollback job=4 attempt=1 circuits=3"
+        );
+        let json = j.to_json();
+        assert!(json.contains("\"kind\": \"reject\""), "{json}");
+        assert!(
+            json.contains("\"code\": \"circuit/insufficient-tx-lanes\""),
+            "{json}"
+        );
+        assert!(json.contains("\"kind\": \"rollback\""), "{json}");
+        assert!(json.contains("\"circuits\": 3"), "{json}");
     }
 
     #[test]

@@ -37,8 +37,7 @@ pub mod state;
 pub use ctrl::{run_scenario, CtrlConfig, CtrlOutcome};
 pub use journal::{DenyReason, Journal, JournalEntry, JournalHeader, Record};
 pub use metrics::Metrics;
-pub use plan::{program, program_with, ring_plan, CircuitPlan, ProgramError};
+pub use plan::{program, program_counted, program_with, ring_plan, CircuitPlan, ProgramFailure};
 pub use state::{
-    replay, Admission, FabricState, IncidentRecord, JobRecord, RepairOutcome, ReplayError,
-    Utilization,
+    replay, Admission, FabricState, IncidentRecord, JobRecord, RepairOutcome, Utilization,
 };

@@ -33,6 +33,9 @@ pub const COUNTERS: &[&str] = &[
 #[derive(Debug)]
 pub struct Metrics {
     counters: BTreeMap<&'static str, u64>,
+    /// Rejections and denials by machine-readable fault code (the
+    /// [`lightpath::FabricError::root_code`] of the failing plan commit).
+    rejections: BTreeMap<&'static str, u64>,
     /// Time a job spent between arrival and admission, in seconds.
     admission_wait: Histogram,
     occupancy: TimeSeries,
@@ -53,6 +56,7 @@ impl Metrics {
     pub fn new() -> Self {
         Metrics {
             counters: COUNTERS.iter().map(|&n| (n, 0)).collect(),
+            rejections: BTreeMap::new(),
             admission_wait: Histogram::new(0.0, 3600.0, 64),
             occupancy: TimeSeries::new(),
             live_circuits: TimeSeries::new(),
@@ -74,6 +78,33 @@ impl Metrics {
     /// Current value of a counter (0 if never bumped).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Count one rejection/denial under its machine-readable fault code.
+    pub fn bump_rejection(&mut self, code: &'static str) {
+        *self.rejections.entry(code).or_insert(0) += 1;
+    }
+
+    /// Rejection counts by fault code, in code order.
+    pub fn rejections(&self) -> &BTreeMap<&'static str, u64> {
+        &self.rejections
+    }
+
+    /// The per-reason rejection report as a small JSON object — the CI
+    /// fault-smoke artifact. Keys are fault codes, values are counts;
+    /// `total` sums them.
+    pub fn rejection_report_json(&self) -> String {
+        let mut out = String::from("{\n  \"rejections\": {");
+        for (i, (code, n)) in self.rejections.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{code}\": {n}");
+        }
+        if !self.rejections.is_empty() {
+            out.push_str("\n  ");
+        }
+        let total: u64 = self.rejections.values().sum();
+        let _ = write!(out, "}},\n  \"total\": {total}\n}}\n");
+        out
     }
 
     /// Record how long a job waited from arrival to admission.
@@ -117,6 +148,12 @@ impl Metrics {
         for (name, v) in &self.counters {
             if !COUNTERS.contains(name) {
                 let _ = writeln!(out, "  {name:<22} {v}");
+            }
+        }
+        if !self.rejections.is_empty() {
+            let _ = writeln!(out, "rejections by reason:");
+            for (code, n) in &self.rejections {
+                let _ = writeln!(out, "  {code:<38} {n}");
             }
         }
         if self.admission_wait.count() > 0 {

@@ -11,11 +11,10 @@
 //! placed, so admission control sees exact all-or-nothing semantics.
 
 use collectives::snake_order;
-use lightpath::{CircuitError, Fabric, FabricCircuit};
+use lightpath::{CtrlFault, Fabric, FabricCircuit, FabricError};
 use resilience::chip_to_tile;
-use route::{allocate_non_overlapping_with, AllocError, Demand, Searcher};
+use route::{allocate_non_overlapping_with, Demand, Searcher};
 use std::collections::BTreeMap;
-use std::fmt;
 use topo::{Cluster, Slice};
 
 /// The circuits a slice's ring needs, split by execution mechanism.
@@ -39,22 +38,17 @@ impl CircuitPlan {
     }
 }
 
-/// Why programming a plan failed.
+/// A failed plan commit: the structured fault plus how many circuits this
+/// call had already placed (and rolled back) before hitting it. The count
+/// lets the control plane journal an honest `Rollback` record.
 #[derive(Debug, Clone, PartialEq)]
-pub enum ProgramError {
-    /// A per-wafer batch could not be allocated edge-disjointly.
-    Batch(lightpath::WaferId, AllocError),
-    /// A cross-wafer circuit could not be established.
-    Cross(usize, CircuitError),
-}
-
-impl fmt::Display for ProgramError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ProgramError::Batch(w, e) => write!(f, "wafer {} batch: {e}", w.0),
-            ProgramError::Cross(i, e) => write!(f, "cross hop #{i}: {e}"),
-        }
-    }
+pub struct ProgramFailure {
+    /// What went wrong, as a workspace fault chain — the outer frame is
+    /// [`CtrlFault::ProgramBatch`] or [`CtrlFault::ProgramCross`] and the
+    /// source is the underlying route or circuit fault.
+    pub error: FabricError,
+    /// Circuits established by this plan and torn down again.
+    pub rolled_back: usize,
 }
 
 /// Plan the ring circuits for `slice`: one circuit per directed snake-order
@@ -89,10 +83,7 @@ pub fn ring_plan(cluster: &Cluster, slice: &Slice, lanes: usize) -> CircuitPlan 
 /// Execute a plan atomically: per-wafer edge-disjoint batches first, then
 /// cross-wafer circuits in ring order. On any error every circuit this call
 /// established is torn down (in reverse) before the error is returned.
-pub fn program(
-    fabric: &mut Fabric,
-    plan: &CircuitPlan,
-) -> Result<Vec<FabricCircuit>, ProgramError> {
+pub fn program(fabric: &mut Fabric, plan: &CircuitPlan) -> Result<Vec<FabricCircuit>, FabricError> {
     program_with(fabric, plan, &mut Searcher::new())
 }
 
@@ -103,19 +94,35 @@ pub fn program_with(
     fabric: &mut Fabric,
     plan: &CircuitPlan,
     searcher: &mut Searcher,
-) -> Result<Vec<FabricCircuit>, ProgramError> {
+) -> Result<Vec<FabricCircuit>, FabricError> {
+    program_counted(fabric, plan, searcher).map_err(|f| f.error)
+}
+
+/// [`program_with`], but a failure also reports how many circuits were
+/// placed and rolled back before the faulting step — the admission path
+/// journals that count in its `Rollback` record.
+pub fn program_counted(
+    fabric: &mut Fabric,
+    plan: &CircuitPlan,
+    searcher: &mut Searcher,
+) -> Result<Vec<FabricCircuit>, ProgramFailure> {
     let mut handles: Vec<FabricCircuit> = Vec::new();
-    let rollback = |fabric: &mut Fabric, handles: Vec<FabricCircuit>| {
+    let rollback = |fabric: &mut Fabric, handles: Vec<FabricCircuit>| -> usize {
+        let n = handles.len();
         for h in handles.into_iter().rev() {
             let _ = fabric.teardown_handle(h);
         }
+        n
     };
     for (w, demands) in &plan.batches {
         match allocate_non_overlapping_with(fabric.wafer_mut(*w), demands, searcher) {
             Ok(ids) => handles.extend(ids.into_iter().map(|id| FabricCircuit::Wafer(*w, id))),
             Err(e) => {
-                rollback(fabric, handles);
-                return Err(ProgramError::Batch(*w, e));
+                let rolled_back = rollback(fabric, handles);
+                return Err(ProgramFailure {
+                    error: FabricError::caused_by(CtrlFault::ProgramBatch { wafer: w.0 }, e),
+                    rolled_back,
+                });
             }
         }
     }
@@ -123,8 +130,11 @@ pub fn program_with(
         match fabric.establish_cross(src, dst, lanes) {
             Ok((id, _)) => handles.push(FabricCircuit::Cross(id)),
             Err(e) => {
-                rollback(fabric, handles);
-                return Err(ProgramError::Cross(i, e));
+                let rolled_back = rollback(fabric, handles);
+                return Err(ProgramFailure {
+                    error: FabricError::caused_by(CtrlFault::ProgramCross { index: i }, e.into()),
+                    rolled_back,
+                });
             }
         }
     }

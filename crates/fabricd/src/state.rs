@@ -13,15 +13,17 @@
 //! (`BTreeMap`/`BTreeSet`/coordinate order), never hash-ordered.
 
 use crate::journal::{DenyReason, Journal, JournalEntry, JournalHeader, Record};
-use crate::plan::{program_with, ring_plan};
+use crate::plan::{program_counted, program_with, ring_plan};
 use desim::{SimDuration, SimTime};
-use lightpath::{FabricCircuit, WaferId, WaferTelemetry};
+use lightpath::{CtrlFault, FabricCircuit, FabricError, TopoFault, WaferId, WaferTelemetry};
 use phy::thermal::RECONFIG_LATENCY_S;
 use resilience::{chip_to_tile, optical_repair, PhotonicRack};
 use route::Searcher;
 use std::collections::{BTreeMap, BTreeSet};
-use std::fmt;
 use topo::{Coord3, Shape3, Slice, SliceId};
+
+/// Reason code journaled when a requested shape can never fit the torus.
+const INFEASIBLE_CODE: &str = "topo/out-of-bounds";
 
 /// A tenant holding a slice and the circuits programmed for it.
 #[derive(Debug)]
@@ -66,7 +68,7 @@ pub struct IncidentRecord {
 }
 
 /// Outcome of an admission attempt.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Admission {
     /// Slice granted and circuits programmed; ready after `setup`.
     Admitted {
@@ -75,27 +77,27 @@ pub enum Admission {
     },
     /// No slice of the requested shape is free; the caller may queue.
     NoSpace,
-    /// A slice was free but programming its circuits failed; the slice was
-    /// released and the job denied (journaled).
-    ProgramDenied,
+    /// A slice was free but programming its circuits failed on the final
+    /// attempt; the slice was released and the job denied (journaled).
+    ProgramDenied {
+        /// The fault chain the failing plan commit produced.
+        error: FabricError,
+    },
+    /// A non-final attempt failed: the slice was released, a `Reject` +
+    /// `Rollback` pair was journaled, and the caller may retry after
+    /// backoff.
+    ProgramRejected {
+        /// The fault chain the failing plan commit produced.
+        error: FabricError,
+    },
+    /// The requested shape can never fit this torus, no matter how empty
+    /// it is. Journaled as a `Reject` (code `topo/out-of-bounds`) with a
+    /// zero-circuit `Rollback`; queueing or retrying cannot help.
+    Infeasible {
+        /// The topology fault describing the impossible extent.
+        error: FabricError,
+    },
 }
-
-/// Replay hit a record the fresh fabric could not reproduce.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ReplayError {
-    /// Sequence number of the offending record.
-    pub seq: u64,
-    /// What diverged.
-    pub what: String,
-}
-
-impl fmt::Display for ReplayError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "replay diverged at seq {}: {}", self.seq, self.what)
-    }
-}
-
-impl std::error::Error for ReplayError {}
 
 /// The control plane's entire mutable world.
 #[derive(Debug)]
@@ -110,6 +112,9 @@ pub struct FabricState {
     journal: Journal,
     /// Routing scratch shared by every plan this daemon programs.
     searcher: Searcher,
+    /// Replay bookkeeping: a `Reject` record awaiting its paired
+    /// `Rollback` — `(job, attempt, circuits rolled back)`.
+    pending_rollback: Option<(u32, u32, usize)>,
 }
 
 impl FabricState {
@@ -130,6 +135,7 @@ impl FabricState {
                 shape,
             }),
             searcher: Searcher::new(),
+            pending_rollback: None,
         }
     }
 
@@ -185,16 +191,68 @@ impl FabricState {
 
     // ------------------------------------------------------- live ops ----
 
+    /// True when `shape` exceeds the torus in some dimension (or is
+    /// empty): no eviction schedule can ever make it placeable, so
+    /// admission rejects it outright instead of queueing it.
+    fn shape_infeasible(&self, shape: Shape3) -> bool {
+        let torus = self.rack.cluster.occupancy().shape();
+        (0..3).any(|d| shape.dims[d] == 0 || shape.dims[d] > torus.dims[d])
+    }
+
     /// Try to admit `job`: place a best-fit slice, program its ring. On
     /// success journals `Admit` + `Program` + `Reconfigure`; a programming
     /// failure releases the slice and journals a `Deny`.
     pub fn admit(&mut self, now: SimTime, job: u32, shape: Shape3) -> Admission {
+        self.admit_retryable(now, job, shape, 0, true)
+    }
+
+    /// [`FabricState::admit`] with retry semantics: `attempt` is the
+    /// zero-based attempt index and `last` marks the final try. A
+    /// programming failure on the final attempt journals the legacy
+    /// `Deny { ProgramFailed }`; a non-final failure journals a
+    /// machine-readable `Reject` (carrying the root fault code) plus its
+    /// paired `Rollback`, and the caller re-queues the job. Both paths
+    /// release the slice before returning, so a rejected plan leaves the
+    /// occupancy untouched.
+    pub fn admit_retryable(
+        &mut self,
+        now: SimTime,
+        job: u32,
+        shape: Shape3,
+        attempt: u32,
+        last: bool,
+    ) -> Admission {
+        if self.shape_infeasible(shape) {
+            // An impossible extent is a plan error, not congestion: reject
+            // it immediately with a machine-readable code instead of
+            // parking it in the queue until timeout.
+            self.journal.push(
+                now,
+                JournalEntry::Reject {
+                    job,
+                    shape,
+                    attempt,
+                    code: INFEASIBLE_CODE,
+                },
+            );
+            self.journal.push(
+                now,
+                JournalEntry::Rollback {
+                    job,
+                    attempt,
+                    circuits: 0,
+                },
+            );
+            return Admission::Infeasible {
+                error: FabricError::new(TopoFault::OutOfBounds),
+            };
+        }
         let slice = match self.rack.cluster.occupancy_mut().place_best_fit(job, shape) {
             Ok(s) => s,
             Err(_) => return Admission::NoSpace,
         };
         let plan = ring_plan(&self.rack.cluster, &slice, self.lanes);
-        match program_with(&mut self.rack.fabric, &plan, &mut self.searcher) {
+        match program_counted(&mut self.rack.fabric, &plan, &mut self.searcher) {
             Ok(handles) => {
                 self.journal.push(
                     now,
@@ -232,17 +290,42 @@ impl FabricState {
                     setup: SimDuration::from_secs_f64(RECONFIG_LATENCY_S),
                 }
             }
-            Err(_) => {
+            Err(failure) => {
                 self.rack.cluster.occupancy_mut().remove(SliceId(job));
-                self.journal.push(
-                    now,
-                    JournalEntry::Deny {
-                        job,
-                        shape,
-                        reason: DenyReason::ProgramFailed,
-                    },
-                );
-                Admission::ProgramDenied
+                if last {
+                    self.journal.push(
+                        now,
+                        JournalEntry::Deny {
+                            job,
+                            shape,
+                            reason: DenyReason::ProgramFailed,
+                        },
+                    );
+                    Admission::ProgramDenied {
+                        error: failure.error,
+                    }
+                } else {
+                    self.journal.push(
+                        now,
+                        JournalEntry::Reject {
+                            job,
+                            shape,
+                            attempt,
+                            code: failure.error.root_code(),
+                        },
+                    );
+                    self.journal.push(
+                        now,
+                        JournalEntry::Rollback {
+                            job,
+                            attempt,
+                            circuits: failure.rolled_back,
+                        },
+                    );
+                    Admission::ProgramRejected {
+                        error: failure.error,
+                    }
+                }
             }
         }
     }
@@ -432,16 +515,13 @@ impl FabricState {
     /// Replay a `Deny { ProgramFailed }`: re-run the failed attempt so the
     /// wafer's reconfiguration and circuit-id counters advance exactly as
     /// they did live, then release the slice again.
-    fn apply_deny_program(&mut self, seq: u64, job: u32, shape: Shape3) -> Result<(), ReplayError> {
+    fn apply_deny_program(&mut self, seq: u64, job: u32, shape: Shape3) -> Result<(), FabricError> {
         let slice = self
             .rack
             .cluster
             .occupancy_mut()
             .place_best_fit(job, shape)
-            .map_err(|e| ReplayError {
-                seq,
-                what: format!("denied job placed differently: {e:?}"),
-            })?;
+            .map_err(|e| replay_diverged(seq, format!("denied job placed differently: {e:?}")))?;
         let plan = ring_plan(&self.rack.cluster, &slice, self.lanes);
         let outcome = program_with(&mut self.rack.fabric, &plan, &mut self.searcher);
         self.rack.cluster.occupancy_mut().remove(SliceId(job));
@@ -451,17 +531,82 @@ impl FabricState {
                 for h in handles.into_iter().rev() {
                     let _ = self.rack.fabric.teardown_handle(h);
                 }
-                Err(ReplayError {
+                Err(replay_diverged(
                     seq,
-                    what: "programming succeeded on replay but was denied live".into(),
-                })
+                    "programming succeeded on replay but was denied live".into(),
+                ))
+            }
+        }
+    }
+
+    /// Replay a `Reject`: re-run the failed non-final attempt so wafer
+    /// counters advance as they did live, verify the failure reproduces the
+    /// journaled reason code, and stage the pairing check for the record's
+    /// `Rollback`.
+    fn apply_reject(
+        &mut self,
+        seq: u64,
+        job: u32,
+        shape: Shape3,
+        attempt: u32,
+        code: &str,
+    ) -> Result<(), FabricError> {
+        if let Some((j, a, _)) = self.pending_rollback {
+            return Err(replay_diverged(
+                seq,
+                format!("reject while rollback of job {j} attempt {a} still pending"),
+            ));
+        }
+        if self.shape_infeasible(shape) {
+            // Live admission rejected this shape before touching the
+            // fabric; replay does the same, so there is nothing to re-run.
+            if code != INFEASIBLE_CODE {
+                return Err(replay_diverged(
+                    seq,
+                    format!(
+                        "infeasible shape journaled with code {code}, expected {INFEASIBLE_CODE}"
+                    ),
+                ));
+            }
+            self.pending_rollback = Some((job, attempt, 0));
+            return Ok(());
+        }
+        let slice = self
+            .rack
+            .cluster
+            .occupancy_mut()
+            .place_best_fit(job, shape)
+            .map_err(|e| replay_diverged(seq, format!("rejected job placed differently: {e:?}")))?;
+        let plan = ring_plan(&self.rack.cluster, &slice, self.lanes);
+        let outcome = program_counted(&mut self.rack.fabric, &plan, &mut self.searcher);
+        self.rack.cluster.occupancy_mut().remove(SliceId(job));
+        match outcome {
+            Err(failure) => {
+                let live = failure.error.root_code();
+                if live != code {
+                    return Err(replay_diverged(
+                        seq,
+                        format!("reject reason diverged: replay {live}, journal {code}"),
+                    ));
+                }
+                self.pending_rollback = Some((job, attempt, failure.rolled_back));
+                Ok(())
+            }
+            Ok(handles) => {
+                for h in handles.into_iter().rev() {
+                    let _ = self.rack.fabric.teardown_handle(h);
+                }
+                Err(replay_diverged(
+                    seq,
+                    "programming succeeded on replay but was rejected live".into(),
+                ))
             }
         }
     }
 
     /// Apply one journal record to this state (replay path).
-    fn apply_record(&mut self, r: &Record) -> Result<(), ReplayError> {
-        let diverged = |what: String| ReplayError { seq: r.seq, what };
+    fn apply_record(&mut self, r: &Record) -> Result<(), FabricError> {
+        let diverged = |what: String| replay_diverged(r.seq, what);
         match &r.entry {
             JournalEntry::Admit {
                 job,
@@ -507,6 +652,24 @@ impl FabricState {
             JournalEntry::Deny { job, shape, reason } => match reason {
                 DenyReason::QueueTimeout => Ok(()),
                 DenyReason::ProgramFailed => self.apply_deny_program(r.seq, *job, *shape),
+            },
+            JournalEntry::Reject {
+                job,
+                shape,
+                attempt,
+                code,
+            } => self.apply_reject(r.seq, *job, *shape, *attempt, code),
+            JournalEntry::Rollback {
+                job,
+                attempt,
+                circuits,
+            } => match self.pending_rollback.take() {
+                Some((j, a, c)) if j == *job && a == *attempt && c == *circuits => Ok(()),
+                Some((j, a, c)) => Err(diverged(format!(
+                    "rollback mismatch: journal job {job} attempt {attempt} \
+                     circuits {circuits}, replay job {j} attempt {a} circuits {c}"
+                ))),
+                None => Err(diverged("rollback without a preceding reject".to_string())),
             },
             JournalEntry::Fail {
                 incident,
@@ -616,15 +779,27 @@ pub struct Utilization {
     pub aggregate_gbps: f64,
 }
 
+/// A replay-divergence fault anchored at journal sequence `seq`.
+fn replay_diverged(seq: u64, what: String) -> FabricError {
+    FabricError::new(CtrlFault::ReplayDiverged { seq, what })
+}
+
 /// Rebuild the final fabric state by replaying `journal` against a fresh
 /// rack. The replayed state's own journal stays empty; determinism is
 /// asserted by comparing [`FabricState::telemetry`] snapshots (and tested
-/// property-style in `tests/properties.rs`).
-pub fn replay(journal: &Journal) -> Result<FabricState, ReplayError> {
+/// property-style in `tests/properties.rs`). A record the fresh fabric
+/// cannot reproduce yields a [`CtrlFault::ReplayDiverged`] fault.
+pub fn replay(journal: &Journal) -> Result<FabricState, FabricError> {
     let h = *journal.header();
     let mut st = FabricState::new(h.racks, h.lanes, h.seed);
     for r in journal.records() {
         st.apply_record(r)?;
+    }
+    if let Some((j, a, _)) = st.pending_rollback {
+        return Err(replay_diverged(
+            journal.len() as u64,
+            format!("journal ended with rollback of job {j} attempt {a} pending"),
+        ));
     }
     Ok(st)
 }

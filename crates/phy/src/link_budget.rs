@@ -44,10 +44,49 @@ pub struct LinkReport {
     pub rate: Gbps,
 }
 
+/// A link budget that fails to close: the physical-layer infeasibility
+/// carried up the stack (the circuit layer wraps this into its fault
+/// taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkInfeasible {
+    /// Margin shortfall (negative), dB.
+    pub margin_db: f64,
+    /// Estimated BER at the received power.
+    pub ber: f64,
+    /// Target BER the budget was evaluated against.
+    pub target_ber: f64,
+}
+
+impl std::fmt::Display for LinkInfeasible {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "link budget does not close: margin {:.2} dB, BER {:.2e} vs target {:.2e}",
+            self.margin_db, self.ber, self.target_ber
+        )
+    }
+}
+
+impl std::error::Error for LinkInfeasible {}
+
 impl LinkReport {
     /// True when the budget closes (non-negative margin).
     pub fn closes(&self) -> bool {
         self.margin.0 >= 0.0
+    }
+
+    /// `Ok(())` when the budget closes, otherwise the structured
+    /// infeasibility (margin shortfall + BER vs target).
+    pub fn require_closure(&self, target_ber: f64) -> Result<(), LinkInfeasible> {
+        if self.closes() {
+            Ok(())
+        } else {
+            Err(LinkInfeasible {
+                margin_db: self.margin.0,
+                ber: self.ber,
+                target_ber,
+            })
+        }
     }
 }
 
@@ -61,6 +100,14 @@ impl LinkBudget {
             path,
             target_ber: DEFAULT_TARGET_BER,
         }
+    }
+
+    /// Evaluate the budget, returning `Ok(report)` only when it closes at
+    /// the target BER — the `Result`-shaped entry point for admission paths.
+    pub fn evaluate_feasible(&self) -> Result<LinkReport, LinkInfeasible> {
+        let report = self.evaluate();
+        report.require_closure(self.target_ber)?;
+        Ok(report)
     }
 
     /// Evaluate the budget at the modulator's line rate.
@@ -146,6 +193,15 @@ mod tests {
         // 1 dB under closes; 1 dB over fails.
         assert!(budget_with_loss(headroom - 1.0).evaluate().closes());
         assert!(!budget_with_loss(headroom + 1.0).evaluate().closes());
+    }
+
+    #[test]
+    fn evaluate_feasible_is_result_shaped() {
+        assert!(budget_with_loss(1.0).evaluate_feasible().is_ok());
+        let err = budget_with_loss(60.0).evaluate_feasible().unwrap_err();
+        assert!(err.margin_db < 0.0);
+        assert!(err.ber > err.target_ber);
+        assert!(err.to_string().contains("does not close"));
     }
 
     #[test]

@@ -8,8 +8,7 @@
 //! them atomically: if any demand cannot be routed, nothing is committed.
 
 use crate::astar::Searcher;
-use lightpath::{CircuitError, CircuitId, CircuitRequest, TileCoord, Wafer};
-use std::fmt;
+use lightpath::{CircuitId, CircuitRequest, FabricError, RouteFault, TileCoord, Wafer};
 
 /// One circuit demand in a batch.
 #[derive(Debug, Clone, Copy)]
@@ -29,28 +28,6 @@ impl Demand {
     }
 }
 
-/// Why a batch allocation failed.
-#[derive(Debug, Clone, PartialEq)]
-pub enum AllocError {
-    /// No edge-disjoint path exists for a demand (index into the batch).
-    NoDisjointPath(usize),
-    /// Establishing a routed demand failed (SerDes, budget, …).
-    Establish(usize, CircuitError),
-}
-
-impl fmt::Display for AllocError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            AllocError::NoDisjointPath(i) => {
-                write!(f, "demand #{i}: no edge-disjoint path available")
-            }
-            AllocError::Establish(i, e) => write!(f, "demand #{i}: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for AllocError {}
-
 /// Route and establish a batch of circuits whose paths share no waveguide
 /// bus edge. Demands are routed in the order given (longer/more-constrained
 /// demands first is the caller's prerogative). Atomic: on error, circuits
@@ -62,7 +39,7 @@ impl std::error::Error for AllocError {}
 pub fn allocate_non_overlapping(
     wafer: &mut Wafer,
     demands: &[Demand],
-) -> Result<Vec<CircuitId>, AllocError> {
+) -> Result<Vec<CircuitId>, FabricError> {
     allocate_non_overlapping_with(wafer, demands, &mut Searcher::new())
 }
 
@@ -73,14 +50,14 @@ pub fn allocate_non_overlapping_with(
     wafer: &mut Wafer,
     demands: &[Demand],
     searcher: &mut Searcher,
-) -> Result<Vec<CircuitId>, AllocError> {
+) -> Result<Vec<CircuitId>, FabricError> {
     searcher.begin_batch(wafer);
     let mut established: Vec<CircuitId> = Vec::new();
 
     for (i, d) in demands.iter().enumerate() {
         let Some(path) = searcher.find_incremental(wafer, d.src, d.dst, 1.0) else {
             rollback(wafer, &established);
-            return Err(AllocError::NoDisjointPath(i));
+            return Err(FabricError::new(RouteFault::NoDisjointPath { demand: i }));
         };
         // Claim before the establish consumes the path; on error the whole
         // batch aborts, so over-claiming is moot.
@@ -91,7 +68,10 @@ pub fn allocate_non_overlapping_with(
             }
             Err(e) => {
                 rollback(wafer, &established);
-                return Err(AllocError::Establish(i, e));
+                return Err(FabricError::caused_by(
+                    RouteFault::Establish { demand: i },
+                    e.into(),
+                ));
             }
         }
     }
@@ -100,16 +80,16 @@ pub fn allocate_non_overlapping_with(
 
 fn rollback(wafer: &mut Wafer, ids: &[CircuitId]) {
     for &id in ids {
-        wafer
-            .teardown(id)
-            .expect("circuits established by this batch exist");
+        // This batch just established these ids, so teardown cannot fail;
+        // ignore the result to keep the rollback path panic-free.
+        let _ = wafer.teardown(id);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lightpath::{EdgeId, WaferConfig};
+    use lightpath::{CircuitError, EdgeId, FaultKind, WaferConfig};
     use std::collections::HashSet;
 
     fn t(r: u8, c: u8) -> TileCoord {
@@ -148,9 +128,14 @@ mod tests {
         ];
         let err = allocate_non_overlapping(&mut w, &demands).unwrap_err();
         assert!(matches!(
-            err,
-            AllocError::Establish(1, CircuitError::TileFailed(_))
+            err.kind,
+            FaultKind::Route(RouteFault::Establish { demand: 1 })
         ));
+        assert!(matches!(
+            err.root_cause().kind,
+            FaultKind::Circuit(CircuitError::TileFailed(_))
+        ));
+        assert_eq!(err.root_code(), "circuit/tile-failed");
         assert_eq!(w.circuits().count(), 0, "first circuit rolled back");
         assert_eq!(w.tile(t(0, 0)).serdes.tx_free(), 16);
     }
@@ -169,7 +154,10 @@ mod tests {
             Demand::new(t(0, 1), t(0, 2), 1),
         ];
         let err = allocate_non_overlapping(&mut w, &demands).unwrap_err();
-        assert_eq!(err, AllocError::NoDisjointPath(1));
+        assert_eq!(
+            err,
+            FabricError::new(RouteFault::NoDisjointPath { demand: 1 })
+        );
         assert_eq!(w.circuits().count(), 0);
     }
 

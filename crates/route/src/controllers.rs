@@ -191,7 +191,11 @@ pub fn decentralized_setup(
         for cand in cands {
             let next = (cand.0 as u8, cand.1 as u8);
             let key = edge_key(at, next);
-            let free = m.free.get_mut(&key).expect("edge exists");
+            // Candidates are grid-adjacent so the edge exists; skip rather
+            // than panic if a candidate ever fell off the grid.
+            let Some(free) = m.free.get_mut(&key) else {
+                continue;
+            };
             if *free > 0 {
                 *free -= 1;
                 e.schedule_in(params.hop_decision, move |m, e| {

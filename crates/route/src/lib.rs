@@ -33,13 +33,12 @@ pub mod moe;
 pub mod protected;
 pub mod rwa;
 
-pub use alloc::{allocate_non_overlapping, allocate_non_overlapping_with, AllocError, Demand};
+pub use alloc::{allocate_non_overlapping, allocate_non_overlapping_with, Demand};
 pub use astar::{astar, SearchOptions, Searcher};
 pub use cache::{CacheStats, PathCache};
 pub use controllers::{central_setup, decentralized_setup, ControlParams, ControlReport};
 pub use fault::{fibers_in_use, plan_pooled, CrossDemand, FiberPlan};
+pub use lightpath::{FabricError, FaultKind, RouteFault};
 pub use moe::{run_moe, MoeParams, MoeReport};
-pub use protected::{
-    establish_protected, establish_protected_with, ProtectError, ProtectedCircuit,
-};
+pub use protected::{establish_protected, establish_protected_with, ProtectedCircuit};
 pub use rwa::{route_and_assign, wdm_capacity_multiplier, Assignment, WavelengthPlane};

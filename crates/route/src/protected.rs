@@ -9,7 +9,9 @@
 
 use crate::astar::Searcher;
 use desim::SimDuration;
-use lightpath::{CircuitError, CircuitId, CircuitRequest, TileCoord, Wafer};
+use lightpath::{
+    CircuitError, CircuitId, CircuitRequest, FabricError, RouteFault, TileCoord, Wafer,
+};
 use phy::thermal::RECONFIG_LATENCY_S;
 
 /// A working/backup circuit pair between two tiles.
@@ -27,26 +29,6 @@ pub struct ProtectedCircuit {
     pub failed_over: bool,
 }
 
-/// Why protection could not be established.
-#[derive(Debug, Clone, PartialEq)]
-pub enum ProtectError {
-    /// No edge-disjoint second path exists.
-    NoDisjointBackup,
-    /// Establishing one of the pair failed.
-    Establish(CircuitError),
-}
-
-impl std::fmt::Display for ProtectError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ProtectError::NoDisjointBackup => write!(f, "no edge-disjoint backup path"),
-            ProtectError::Establish(e) => write!(f, "establish failed: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for ProtectError {}
-
 /// Establish a 1+1 protected pair: the working circuit on a shortest path
 /// and a backup on an edge-disjoint path. Each claims its own SerDes lanes
 /// (the receiver selects whichever carries light), so `lanes` must fit
@@ -56,7 +38,7 @@ pub fn establish_protected(
     src: TileCoord,
     dst: TileCoord,
     lanes: usize,
-) -> Result<ProtectedCircuit, ProtectError> {
+) -> Result<ProtectedCircuit, FabricError> {
     establish_protected_with(wafer, src, dst, lanes, &mut Searcher::new())
 }
 
@@ -69,24 +51,29 @@ pub fn establish_protected_with(
     dst: TileCoord,
     lanes: usize,
     searcher: &mut Searcher,
-) -> Result<ProtectedCircuit, ProtectError> {
+) -> Result<ProtectedCircuit, FabricError> {
     searcher.begin_batch(wafer);
     let work_path = searcher
         .find_incremental(wafer, src, dst, 0.0)
-        .ok_or(ProtectError::NoDisjointBackup)?;
+        .ok_or(FabricError::new(RouteFault::NoDisjointBackup))?;
     searcher.forbid_path(&work_path);
     let backup_path = searcher
         .find_incremental(wafer, src, dst, 1.0)
-        .ok_or(ProtectError::NoDisjointBackup)?;
+        .ok_or(FabricError::new(RouteFault::NoDisjointBackup))?;
 
     let active = wafer
         .establish(CircuitRequest::new(src, dst, lanes).via(work_path))
-        .map_err(ProtectError::Establish)?;
+        .map_err(|e| FabricError::caused_by(RouteFault::Establish { demand: 0 }, e.into()))?;
     let standby = match wafer.establish(CircuitRequest::new(src, dst, lanes).via(backup_path)) {
         Ok(rep) => rep,
         Err(e) => {
-            wafer.teardown(active.id).expect("just established");
-            return Err(ProtectError::Establish(e));
+            // The working circuit was just established; teardown cannot
+            // fail, and the rollback path must stay panic-free.
+            let _ = wafer.teardown(active.id);
+            return Err(FabricError::caused_by(
+                RouteFault::Establish { demand: 1 },
+                e.into(),
+            ));
         }
     };
     Ok(ProtectedCircuit {
@@ -173,7 +160,8 @@ mod tests {
             ..WaferConfig::default()
         });
         let err = establish_protected(&mut w, t(0, 0), t(0, 3), 1).unwrap_err();
-        assert_eq!(err, ProtectError::NoDisjointBackup);
+        assert_eq!(err, FabricError::new(RouteFault::NoDisjointBackup));
+        assert_eq!(err.code(), "route/no-disjoint-backup");
         assert_eq!(w.circuits().count(), 0, "nothing leaked");
     }
 
@@ -182,7 +170,10 @@ mod tests {
         let mut w = Wafer::new(WaferConfig::lightpath_32());
         // 9 lanes twice cannot fit in 16.
         let err = establish_protected(&mut w, t(0, 0), t(3, 3), 9).unwrap_err();
-        assert!(matches!(err, ProtectError::Establish(_)));
+        assert!(matches!(
+            err.kind,
+            lightpath::FaultKind::Route(RouteFault::Establish { .. })
+        ));
         assert_eq!(w.circuits().count(), 0);
         assert_eq!(w.tile(t(0, 0)).serdes.tx_free(), 16);
     }

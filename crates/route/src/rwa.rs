@@ -11,7 +11,7 @@
 //! pathology demonstrated.
 
 use crate::astar::Searcher;
-use lightpath::{EdgeId, Path, TileCoord, Wafer};
+use lightpath::{EdgeId, FabricError, Path, RouteFault, TileCoord, Wafer};
 use phy::wdm::LambdaSet;
 use std::collections::HashMap;
 
@@ -70,25 +70,25 @@ impl WavelengthPlane {
         Some(Assignment { lambdas: set })
     }
 
-    /// Release an assignment along its path.
-    ///
-    /// Panics if any λ of the set was not in use on some edge (double
-    /// release or wrong path).
-    pub fn release(&mut self, path: &Path, a: Assignment) {
+    /// Release an assignment along its path. All-or-nothing: if any λ of
+    /// the set is not in use on some edge (double release or wrong path)
+    /// the plane is left untouched and the offending edge is reported — a
+    /// misbehaving caller is an outcome, not a reason to abort.
+    pub fn release(&mut self, path: &Path, a: Assignment) -> Result<(), FabricError> {
         for e in path.edges() {
-            let cur = self.used_on(e);
-            assert_eq!(
-                cur.intersection(a.lambdas),
-                a.lambdas,
-                "releasing unheld wavelengths on {e}"
-            );
-            let next = cur.difference(a.lambdas);
+            if self.used_on(e).intersection(a.lambdas) != a.lambdas {
+                return Err(FabricError::new(RouteFault::ReleaseUnheld { edge: e }));
+            }
+        }
+        for e in path.edges() {
+            let next = self.used_on(e).difference(a.lambdas);
             if next.is_empty() {
                 self.used.remove(&e);
             } else {
                 self.used.insert(e, next);
             }
         }
+        Ok(())
     }
 
     /// Fraction of λ-edge capacity in use over the edges that carry
@@ -175,7 +175,7 @@ mod tests {
         assert!(plane.assign(&p, 1).is_none(), "the 17th is blocked");
         assert!((plane.utilization() - 1.0).abs() < 1e-12);
         for a in held {
-            plane.release(&p, a);
+            plane.release(&p, a).unwrap();
         }
         assert_eq!(plane.utilization(), 0.0);
         assert_eq!(wdm_capacity_multiplier(16), 16);
@@ -218,7 +218,7 @@ mod tests {
         let a = plane.assign(&left, 1).unwrap();
         assert!(a.lambdas.contains(Lambda(0)));
         let b = plane.assign(&right, 1).unwrap(); // takes λ0 on the right
-        plane.release(&right, b);
+        plane.release(&right, b).unwrap();
         // Occupy λ1 on the right instead.
         plane.assign(&right, 1).unwrap(); // λ0 again (first fit)…
         let c = plane.assign(&right, 1).unwrap(); // …and λ1
@@ -231,8 +231,8 @@ mod tests {
         plane.assign(&left, 1).unwrap(); // λ0 on left
         let r0 = plane.assign(&right, 1).unwrap(); // λ0 on right
         let _r1 = plane.assign(&right, 1).unwrap(); // λ1 on right
-        plane.release(&right, r0); // right now has λ0 free, left has λ1 free
-                                   // Each edge has exactly one free channel, but different ones.
+        plane.release(&right, r0).unwrap(); // right now has λ0 free, left has λ1 free
+                                            // Each edge has exactly one free channel, but different ones.
         assert_eq!(plane.free_along(&left).len(), 1);
         assert_eq!(plane.free_along(&right).len(), 1);
         assert!(
@@ -284,7 +284,7 @@ mod tests {
             panic!("λ0 fits on the right edge");
         };
         assert!(plane.assign(&right, 1).is_some()); // λ1 on the right edge
-        plane.release(&right, r0); // free λ0 right: each edge has one free λ
+        plane.release(&right, r0).unwrap(); // free λ0 right: each edge has one free λ
         let util_before = plane.utilization();
         // One free channel per edge, but different ones: the route is
         // found, the assignment fails, and no wavelengths are claimed.
@@ -293,12 +293,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "releasing unheld")]
-    fn double_release_panics() {
+    fn double_release_is_a_typed_fault_not_a_panic() {
         let mut plane = WavelengthPlane::new(4);
         let p = corridor();
         let a = plane.assign(&p, 2).unwrap();
-        plane.release(&p, a);
-        plane.release(&p, a);
+        plane.release(&p, a).unwrap();
+        let err = plane.release(&p, a).unwrap_err();
+        assert_eq!(err.code(), "route/release-unheld");
+        assert!(matches!(
+            err.kind,
+            lightpath::FaultKind::Route(RouteFault::ReleaseUnheld { .. })
+        ));
+        // The failed release left the (empty) plane untouched.
+        assert_eq!(plane.utilization(), 0.0);
+    }
+
+    #[test]
+    fn partial_release_leaves_plane_untouched() {
+        let mut plane = WavelengthPlane::new(4);
+        let p = corridor();
+        let a = plane.assign(&p, 2).unwrap();
+        // A path that detours off the corridor: its vertical edge never
+        // held the assignment, so nothing is released anywhere.
+        let detour = Path::from_tiles(vec![t(0, 0), t(0, 1), t(1, 1)]).unwrap();
+        let util = plane.utilization();
+        assert!(plane.release(&detour, a).is_err());
+        assert!((plane.utilization() - util).abs() < 1e-12);
+        plane.release(&p, a).unwrap();
     }
 }

@@ -101,9 +101,23 @@ impl Occupancy {
         Ok(())
     }
 
+    /// True when a box of `extent` can never be carved from this torus:
+    /// empty in some dimension, or larger than the torus in some dimension.
+    /// Guarding on this keeps the free-scan from probing out-of-bounds
+    /// coordinates — an infeasible request is an outcome, not a panic.
+    fn extent_infeasible(&self, extent: Shape3) -> bool {
+        let shape = self.torus.shape;
+        Dim::ALL
+            .iter()
+            .any(|&d| extent.extent(d) == 0 || extent.extent(d) > shape.extent(d))
+    }
+
     /// First-fit placement: find the lowest (Z, then Y, then X) origin where
     /// a box of `extent` is free, place it there with id `id`.
     pub fn place_first_fit(&mut self, id: u32, extent: Shape3) -> Result<Slice, PlaceError> {
+        if self.extent_infeasible(extent) {
+            return Err(PlaceError::NoSpace);
+        }
         let shape = self.torus.shape;
         for z in 0..=(shape.extent(Dim::Z).saturating_sub(extent.extent(Dim::Z))) {
             for y in 0..=(shape.extent(Dim::Y).saturating_sub(extent.extent(Dim::Y))) {
@@ -125,6 +139,9 @@ impl Occupancy {
     /// (Z, Y, X) origin, so best-fit degenerates to first-fit on an empty
     /// torus.
     pub fn place_best_fit(&mut self, id: u32, extent: Shape3) -> Result<Slice, PlaceError> {
+        if self.extent_infeasible(extent) {
+            return Err(PlaceError::NoSpace);
+        }
         let shape = self.torus.shape;
         let mut best: Option<(usize, Coord3)> = None;
         for z in 0..=(shape.extent(Dim::Z).saturating_sub(extent.extent(Dim::Z))) {
@@ -326,6 +343,20 @@ mod tests {
             occ.place_best_fit(2, Shape3::new(1, 1, 1)).unwrap_err(),
             PlaceError::NoSpace
         );
+    }
+
+    #[test]
+    fn oversized_and_empty_extents_are_no_space_not_panics() {
+        let mut occ = rack();
+        // Larger than the torus in one dimension: can never fit.
+        let err = occ.place_first_fit(1, Shape3::new(5, 1, 1)).unwrap_err();
+        assert_eq!(err, PlaceError::NoSpace);
+        let err = occ.place_best_fit(1, Shape3::new(4, 4, 9)).unwrap_err();
+        assert_eq!(err, PlaceError::NoSpace);
+        // Degenerate zero-volume extents are rejected too.
+        let err = occ.place_first_fit(1, Shape3::new(0, 2, 2)).unwrap_err();
+        assert_eq!(err, PlaceError::NoSpace);
+        assert!(occ.slices().next().is_none());
     }
 
     #[test]

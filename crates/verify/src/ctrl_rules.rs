@@ -12,17 +12,27 @@
 //! * **CTL402** — every `Repair`/`RepairFailed` record must reference an
 //!   incident introduced by an earlier `Fail` record, and that incident
 //!   must have had a victim tenant to repair.
+//! * **CTL403** — every `Reject` record must carry a reason code from the
+//!   workspace fault-code registry ([`lightpath::FabricError::is_valid_code`]),
+//!   so rejections stay machine-readable across releases.
+//! * **CTL404** — every `Reject` must be followed immediately by its
+//!   paired `Rollback` (same job, same attempt), and every `Rollback` must
+//!   have such an originating `Reject` — partial programming is rolled
+//!   back atomically or not at all.
 
 use crate::diag::{Diagnostic, Location, Report, RuleId, Severity};
 use fabricd::{Journal, JournalEntry};
+use lightpath::FabricError;
 use std::collections::BTreeMap;
 use topo::{Occupancy, Slice, SliceId};
 
-/// Audit a control-plane journal (CTL401 + CTL402).
+/// Audit a control-plane journal (CTL401–CTL404).
 pub fn check_journal(journal: &Journal) -> Report {
     let mut report = Report::new();
     check_admission_capacity(journal, &mut report);
     check_repair_references(journal, &mut report);
+    check_rejection_codes(journal, &mut report);
+    check_rollback_pairing(journal, &mut report);
     report
 }
 
@@ -107,6 +117,95 @@ pub fn check_repair_references(journal: &Journal, report: &mut Report) {
             }
             _ => {}
         }
+    }
+}
+
+/// CTL403: a `Reject`'s reason code must come from the workspace fault-code
+/// registry, never free text.
+pub fn check_rejection_codes(journal: &Journal, report: &mut Report) {
+    for r in journal.records() {
+        if let JournalEntry::Reject { job, code, .. } = &r.entry {
+            if !FabricError::is_valid_code(code) {
+                report.push(Diagnostic {
+                    rule: RuleId::Ctl403,
+                    severity: Severity::Error,
+                    location: Location::JournalEntry(r.seq),
+                    message: format!(
+                        "rejection of job {job} carries unregistered reason code {code:?}"
+                    ),
+                    hint: Some(
+                        "reason codes must be FabricError::root_code() values \
+                         from lightpath::fault::CODES"
+                            .into(),
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// CTL404: `Reject` and `Rollback` records form adjacent pairs keyed by
+/// `(job, attempt)` — a reject with no immediate rollback means partial
+/// circuits may have leaked; a rollback with no originating reject means
+/// state was mutated without a journaled cause.
+pub fn check_rollback_pairing(journal: &Journal, report: &mut Report) {
+    // The pending reject awaiting its paired rollback: (job, attempt, seq).
+    let mut pending: Option<(u32, u32, u64)> = None;
+    for r in journal.records() {
+        if let Some((job, attempt, seq)) = pending {
+            match &r.entry {
+                JournalEntry::Rollback {
+                    job: rj,
+                    attempt: ra,
+                    ..
+                } if *rj == job && *ra == attempt => {
+                    pending = None;
+                    continue;
+                }
+                _ => {
+                    report.push(Diagnostic {
+                        rule: RuleId::Ctl404,
+                        severity: Severity::Error,
+                        location: Location::JournalEntry(seq),
+                        message: format!(
+                            "reject of job {job} attempt {attempt} is not followed by \
+                             its rollback"
+                        ),
+                        hint: Some("journal Reject and Rollback as an adjacent pair".into()),
+                    });
+                    pending = None;
+                }
+            }
+        }
+        match &r.entry {
+            JournalEntry::Reject { job, attempt, .. } => {
+                pending = Some((*job, *attempt, r.seq));
+            }
+            JournalEntry::Rollback { job, attempt, .. } => {
+                report.push(Diagnostic {
+                    rule: RuleId::Ctl404,
+                    severity: Severity::Error,
+                    location: Location::JournalEntry(r.seq),
+                    message: format!(
+                        "rollback of job {job} attempt {attempt} has no originating \
+                         reject record"
+                    ),
+                    hint: None,
+                });
+            }
+            _ => {}
+        }
+    }
+    if let Some((job, attempt, seq)) = pending {
+        report.push(Diagnostic {
+            rule: RuleId::Ctl404,
+            severity: Severity::Error,
+            location: Location::JournalEntry(seq),
+            message: format!(
+                "journal ends with reject of job {job} attempt {attempt} never rolled back"
+            ),
+            hint: None,
+        });
     }
 }
 
@@ -243,5 +342,116 @@ mod tests {
             },
         );
         assert!(check_journal(&k).has(RuleId::Ctl402));
+    }
+
+    #[test]
+    fn registered_reject_with_paired_rollback_is_clean() {
+        let mut j = journal();
+        j.push(
+            SimTime::ZERO,
+            JournalEntry::Reject {
+                job: 4,
+                shape: Shape3::new(2, 2, 1),
+                attempt: 0,
+                code: "circuit/insufficient-tx-lanes",
+            },
+        );
+        j.push(
+            SimTime::ZERO,
+            JournalEntry::Rollback {
+                job: 4,
+                attempt: 0,
+                circuits: 3,
+            },
+        );
+        let report = check_journal(&j);
+        assert!(!report.has(RuleId::Ctl403), "{report}");
+        assert!(!report.has(RuleId::Ctl404), "{report}");
+    }
+
+    #[test]
+    fn forged_reason_code_trips_ctl403() {
+        let mut j = journal();
+        j.push(
+            SimTime::ZERO,
+            JournalEntry::Reject {
+                job: 1,
+                shape: Shape3::new(2, 2, 1),
+                attempt: 0,
+                code: "bogus/not-a-code",
+            },
+        );
+        j.push(
+            SimTime::ZERO,
+            JournalEntry::Rollback {
+                job: 1,
+                attempt: 0,
+                circuits: 0,
+            },
+        );
+        assert!(check_journal(&j).has(RuleId::Ctl403));
+    }
+
+    #[test]
+    fn orphan_rollback_and_unrolled_reject_trip_ctl404() {
+        // Rollback with no reject before it.
+        let mut j = journal();
+        j.push(
+            SimTime::ZERO,
+            JournalEntry::Rollback {
+                job: 2,
+                attempt: 0,
+                circuits: 1,
+            },
+        );
+        assert!(check_journal(&j).has(RuleId::Ctl404));
+
+        // Reject followed by an unrelated record instead of its rollback.
+        let mut k = journal();
+        k.push(
+            SimTime::ZERO,
+            JournalEntry::Reject {
+                job: 3,
+                shape: Shape3::new(2, 2, 1),
+                attempt: 1,
+                code: "route/no-disjoint-path",
+            },
+        );
+        k.push(SimTime::from_ps(1), JournalEntry::Evict { job: 9 });
+        assert!(check_journal(&k).has(RuleId::Ctl404));
+
+        // Reject as the final record, never rolled back.
+        let mut m = journal();
+        m.push(
+            SimTime::ZERO,
+            JournalEntry::Reject {
+                job: 5,
+                shape: Shape3::new(2, 2, 1),
+                attempt: 0,
+                code: "route/no-disjoint-path",
+            },
+        );
+        assert!(check_journal(&m).has(RuleId::Ctl404));
+
+        // Mismatched attempt number between the pair.
+        let mut n = journal();
+        n.push(
+            SimTime::ZERO,
+            JournalEntry::Reject {
+                job: 6,
+                shape: Shape3::new(2, 2, 1),
+                attempt: 0,
+                code: "route/no-disjoint-path",
+            },
+        );
+        n.push(
+            SimTime::ZERO,
+            JournalEntry::Rollback {
+                job: 6,
+                attempt: 1,
+                circuits: 0,
+            },
+        );
+        assert!(check_journal(&n).has(RuleId::Ctl404));
     }
 }

@@ -50,11 +50,18 @@ pub enum RuleId {
     /// A journaled repair (successful or failed) references an incident no
     /// prior `Fail` record introduced, or one without a victim tenant.
     Ctl402,
+    /// A journaled `Reject` carries a reason code outside the workspace
+    /// fault-code registry (`lightpath::fault::CODES`).
+    Ctl403,
+    /// A journaled `Rollback` has no originating `Reject` for the same job
+    /// and attempt immediately pending, or a `Reject` was never rolled
+    /// back.
+    Ctl404,
 }
 
 impl RuleId {
     /// Every rule, in catalog order.
-    pub const ALL: [RuleId; 11] = [
+    pub const ALL: [RuleId; 13] = [
         RuleId::Sch001,
         RuleId::Sch002,
         RuleId::Sch003,
@@ -66,6 +73,8 @@ impl RuleId {
         RuleId::Res301,
         RuleId::Ctl401,
         RuleId::Ctl402,
+        RuleId::Ctl403,
+        RuleId::Ctl404,
     ];
 
     /// The stable code printed in diagnostics, e.g. `SCH001`.
@@ -82,6 +91,8 @@ impl RuleId {
             RuleId::Res301 => "RES301",
             RuleId::Ctl401 => "CTL401",
             RuleId::Ctl402 => "CTL402",
+            RuleId::Ctl403 => "CTL403",
+            RuleId::Ctl404 => "CTL404",
         }
     }
 
@@ -99,6 +110,8 @@ impl RuleId {
             RuleId::Res301 => "repair circuit touches a tile owned by a healthy slice",
             RuleId::Ctl401 => "journaled admission oversubscribes slice capacity",
             RuleId::Ctl402 => "journaled repair references an unknown incident",
+            RuleId::Ctl403 => "journaled rejection carries an unregistered reason code",
+            RuleId::Ctl404 => "journaled rollback unpaired with its originating reject",
         }
     }
 }

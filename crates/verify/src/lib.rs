@@ -21,6 +21,8 @@
 //! | RES301 | repair    | repair circuits terminate only on victim/free tiles |
 //! | CTL401 | journal   | journaled admissions never oversubscribe slice capacity |
 //! | CTL402 | journal   | every journaled repair references an earlier Fail record |
+//! | CTL403 | journal   | journaled rejections carry registered fault-taxonomy codes |
+//! | CTL404 | journal   | every Rollback pairs adjacently with its originating Reject |
 //!
 //! Diagnostics are structured ([`Diagnostic`]: rule id, severity,
 //! location, message, fix hint) so callers — tests, `cargo xtask lint` —
@@ -44,7 +46,10 @@ pub use circuit_rules::{
     check_lambda_disjointness, check_lane_conservation, check_link_budgets, check_wafer_view,
     check_waveguide_conservation, CircuitView, PhyLintConfig, WaferView,
 };
-pub use ctrl_rules::{check_admission_capacity, check_journal, check_repair_references};
+pub use ctrl_rules::{
+    check_admission_capacity, check_journal, check_rejection_codes, check_repair_references,
+    check_rollback_pairing,
+};
 pub use diag::{Diagnostic, Location, Report, RuleId, Severity};
 pub use schedule_rules::{
     check_byte_conservation, check_oversubscription, check_path_continuity,

@@ -17,7 +17,7 @@ use server_photonics::collectives::{
 use server_photonics::desim::{SimDuration, SimRng, SimTime};
 use server_photonics::fabricd::{self, CtrlConfig};
 use server_photonics::hostnet::{self, CircuitPolicy, HostParams, Message, PeerId};
-use server_photonics::lightpath::{CircuitRequest, TileCoord, Wafer, WaferConfig};
+use server_photonics::lightpath::{CircuitRequest, FabricError, TileCoord, Wafer, WaferConfig};
 use server_photonics::resilience::{
     analyze, fig6a, measure_interference, optical_repair, PhotonicRack,
 };
@@ -214,6 +214,34 @@ fn cmd_placement(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Render a [`FabricError`] chain for operators: one line per layer hop
+/// with the registered reason code and the entities that hop touches, so
+/// a nonzero exit carries a machine-greppable fault trace, not prose.
+fn render_fault(e: &FabricError) -> String {
+    let mut out = String::from("fault chain (outermost first):");
+    let mut cur = Some(e);
+    while let Some(err) = cur {
+        let hop = FabricError {
+            kind: err.kind.clone(),
+            source: None,
+        };
+        out.push_str(&format!(
+            "\n  [{:?}] {}: {}",
+            hop.layer(),
+            hop.code(),
+            hop.kind
+        ));
+        let entities = hop.entities();
+        if !entities.is_empty() {
+            let list: Vec<String> = entities.iter().map(|en| en.to_string()).collect();
+            out.push_str(&format!("\n        entities: {}", list.join(", ")));
+        }
+        cur = err.source.as_deref();
+    }
+    out.push_str(&format!("\n  root code: {}", e.root_code()));
+    out
+}
+
 fn cmd_ctrl(args: &Args) -> Result<(), String> {
     let cfg = CtrlConfig {
         racks: args.get("racks", 1)?,
@@ -222,6 +250,9 @@ fn cmd_ctrl(args: &Args) -> Result<(), String> {
         seed: args.get("seed", 7)?,
         failures: args.get("failures", 1)?,
         queue_timeout: SimDuration::from_secs(args.get("timeout-s", 1_800)?),
+        program_retries: args.get("retries", 0)?,
+        retry_backoff: SimDuration::from_us(args.get("backoff-us", 100_000)?),
+        infeasible_every: args.get("infeasible-every", 0)?,
         ..CtrlConfig::default()
     };
     let out = fabricd::run_scenario(&cfg);
@@ -260,8 +291,14 @@ fn cmd_ctrl(args: &Args) -> Result<(), String> {
         }
     }
     print!("{}", out.metrics.summary());
-    // Replay the journal against a fresh rack and prove determinism.
-    let replayed = fabricd::replay(journal).map_err(|e| e.to_string())?;
+    if let Some(path) = args.0.get("report") {
+        std::fs::write(path, out.metrics.rejection_report_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("rejection report written to {path}");
+    }
+    // Replay the journal against a fresh rack and prove determinism. A
+    // divergence exits nonzero with the structured fault chain rendered.
+    let replayed = fabricd::replay(journal).map_err(|e| render_fault(&e))?;
     let identical = replayed.telemetry() == out.state.telemetry();
     println!(
         "replay: {} records -> telemetry {}",
@@ -408,7 +445,9 @@ USAGE:
   spsim repair     [--spare 3,3,3] [--bytes 1e9]
   spsim placement  [--jobs 500] [--seed 7]
   spsim hoststack  [--messages 2000] [--bytes 4096] [--peers 8] [--seed 7]
-  spsim ctrl       [--jobs 12] [--seed 7] [--racks 1] [--lanes 2] [--failures 1] [--timeout-s 1800] [--dump-journal out.json]
+  spsim ctrl       [--jobs 12] [--seed 7] [--racks 1] [--lanes 2] [--failures 1] [--timeout-s 1800]
+                   [--retries 0] [--backoff-us 100000] [--infeasible-every 0] [--report rejections.json]
+                   [--dump-journal out.json]
   spsim sweep      [--grid smoke|full] [--workers 4] [--seed 42] [--json out.json] [--write-baseline BENCH_sweep.json]
                    (--smoke expands to --grid smoke --workers 2)
   spsim routebench [--searches 200000] [--batches 2000] [--write-baseline BENCH_route.json]
@@ -487,6 +526,22 @@ mod tests {
         let raw: Vec<String> = ["--rows", "x"].iter().map(|s| s.to_string()).collect();
         let a = Args::parse(&raw).unwrap();
         assert!(a.get::<u8>("rows", 0).is_err());
+    }
+
+    #[test]
+    fn render_fault_shows_codes_and_entities() {
+        use server_photonics::lightpath::{CircuitFault, CtrlFault};
+        let root = FabricError::new(CircuitFault::InsufficientTxLanes {
+            tile: TileCoord::new(1, 2),
+            requested: 8,
+            free: 3,
+        });
+        let top = FabricError::caused_by(CtrlFault::ProgramBatch { wafer: 0 }, root);
+        let text = render_fault(&top);
+        assert!(text.contains("ctrl/program-batch"));
+        assert!(text.contains("circuit/insufficient-tx-lanes"));
+        assert!(text.contains("tile (1,2)") || text.contains("tile "));
+        assert!(text.ends_with("root code: circuit/insufficient-tx-lanes"));
     }
 
     #[test]
