@@ -12,7 +12,7 @@
 //! ring with a free chip in another server without touching any electrical
 //! switch.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use desim::SimDuration;
 use phy::link_budget::{LinkBudget, LinkReport};
@@ -201,7 +201,7 @@ impl Fabric {
         respect_capacity: bool,
     ) -> Option<Vec<usize>> {
         // Best link per ordered wafer pair.
-        let mut best: HashMap<(WaferId, WaferId), usize> = HashMap::new();
+        let mut best: BTreeMap<(WaferId, WaferId), usize> = BTreeMap::new();
         for (i, f) in self.fibers.iter().enumerate() {
             if respect_capacity && f.free() == 0 {
                 continue;
@@ -213,7 +213,7 @@ impl Fabric {
                 }
             }
         }
-        let mut prev: HashMap<WaferId, (WaferId, usize)> = HashMap::new();
+        let mut prev: BTreeMap<WaferId, (WaferId, usize)> = BTreeMap::new();
         let mut q = VecDeque::new();
         q.push_back(from);
         while let Some(w) = q.pop_front() {

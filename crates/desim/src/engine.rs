@@ -6,7 +6,7 @@
 //! Ties in time are broken by insertion order, so execution is deterministic.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 use crate::time::{SimDuration, SimTime};
 
@@ -65,9 +65,9 @@ pub struct Engine<M> {
     queue: BinaryHeap<Scheduled<M>>,
     next_seq: u64,
     /// Ids currently in the heap and not cancelled.
-    live: HashSet<EventId>,
+    live: BTreeSet<EventId>,
     /// Ids cancelled but not yet physically removed from the heap.
-    cancelled: HashSet<EventId>,
+    cancelled: BTreeSet<EventId>,
     executed: u64,
 }
 
@@ -84,8 +84,8 @@ impl<M> Engine<M> {
             now: SimTime::ZERO,
             queue: BinaryHeap::new(),
             next_seq: 0,
-            live: HashSet::new(),
-            cancelled: HashSet::new(),
+            live: BTreeSet::new(),
+            cancelled: BTreeSet::new(),
             executed: 0,
         }
     }

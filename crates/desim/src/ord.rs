@@ -24,10 +24,14 @@ impl PartialOrd for OrdF64 {
 }
 
 impl Ord for OrdF64 {
+    // Kept on one line so the suppression below covers both the
+    // `partial_cmp` (DET004) and the `expect` (PAN001) tokens.
+    #[rustfmt::skip]
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .expect("ordered f64 keys must be finite")
+        // detlint: allow(DET004, PAN001) — OrdF64 is the sanctioned wrapper
+        // DET004 points at; `new` rejects non-finite keys, so the expect is
+        // unreachable by construction.
+        self.0.partial_cmp(&other.0).expect("ordered f64 keys must be finite")
     }
 }
 

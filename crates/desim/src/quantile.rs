@@ -129,7 +129,7 @@ impl QuantileEstimator {
             0 => None,
             n if n < 5 => {
                 let mut v: Vec<f64> = self.heights[..n].to_vec();
-                v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                v.sort_by(f64::total_cmp);
                 let idx = ((self.q * n as f64).ceil() as usize).clamp(1, n) - 1;
                 Some(v[idx])
             }

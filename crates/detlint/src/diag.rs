@@ -1,0 +1,239 @@
+//! Structured lint findings, in the same style as `crates/verify`:
+//! stable rule codes, severity, an entity/location chain (crate → file →
+//! line:col), a message with the evidence, and a fix hint — renderable as
+//! compiler-style text or machine-readable JSON.
+
+use crate::rules::{Rule, Severity};
+use std::fmt;
+
+/// What happened to a finding after config, suppressions, and baselines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Status {
+    /// Counts against the build: an unsuppressed, unbaselined violation.
+    Active,
+    /// Silenced by an inline `// detlint: allow(...)` with a reason.
+    Suppressed {
+        /// The justification given in the suppression comment.
+        reason: String,
+    },
+    /// Absorbed by the crate's `detlint.toml` baseline ceiling.
+    Baselined,
+}
+
+impl Status {
+    /// Short tag used in text and JSON output.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Status::Active => "active",
+            Status::Suppressed { .. } => "suppressed",
+            Status::Baselined => "baselined",
+        }
+    }
+}
+
+/// One finding: rule, severity, location chain, message, hint, status.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Severity after config resolution.
+    pub severity: Severity,
+    /// Crate the file belongs to (`route`, `desim`, …).
+    pub krate: String,
+    /// Workspace-relative path (`crates/route/src/rwa.rs`).
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based byte column of the offending token.
+    pub col: u32,
+    /// What is wrong, with the offending lexeme quoted.
+    pub message: String,
+    /// Disposition after suppressions and baselines.
+    pub status: Status,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}:{}:{}: {}",
+            self.severity,
+            self.rule.code(),
+            self.file,
+            self.line,
+            self.col,
+            self.message
+        )?;
+        if let Status::Suppressed { reason } = &self.status {
+            write!(f, " (suppressed: {reason})")?;
+        }
+        Ok(())
+    }
+}
+
+/// One (crate, rule) ratchet entry after a run.
+#[derive(Debug, Clone)]
+pub struct BaselineStatus {
+    /// Crate the ceiling applies to.
+    pub krate: String,
+    /// The ratcheted rule.
+    pub rule: Rule,
+    /// Active findings counted this run.
+    pub count: usize,
+    /// Committed ceiling from `detlint.toml`.
+    pub ceiling: usize,
+}
+
+/// Outcome of linting a file set: every finding (including suppressed and
+/// baselined ones, for the JSON artifact), the ratchet table, and the
+/// failures that should break the build.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Every finding, in (file, line, col) order.
+    pub findings: Vec<Finding>,
+    /// Ratchet entries for every configured (crate, rule) baseline.
+    pub baselines: Vec<BaselineStatus>,
+    /// Human-readable failure lines; empty means the tree is clean.
+    pub failures: Vec<String>,
+    /// Crates scanned.
+    pub crates: usize,
+    /// Files lexed.
+    pub files: usize,
+}
+
+impl LintReport {
+    /// True when nothing should break the build.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Findings that count against the build (active, error severity).
+    pub fn active_errors(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.status == Status::Active && f.severity == Severity::Error)
+    }
+
+    /// True when at least one finding (any status) carries `rule`.
+    pub fn has(&self, rule: Rule) -> bool {
+        self.findings.iter().any(|f| f.rule == rule)
+    }
+
+    /// Machine-readable artifact: findings, ratchet table, failures.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"tool\": \"detlint\",\n  \"version\": 1,\n");
+        out.push_str(&format!("  \"crates\": {},\n", self.crates));
+        out.push_str(&format!("  \"files\": {},\n", self.files));
+        out.push_str(&format!("  \"clean\": {},\n", self.is_clean()));
+        out.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            let comma = if i + 1 < self.findings.len() { "," } else { "" };
+            let reason = match &f.status {
+                Status::Suppressed { reason } => {
+                    format!(", \"reason\": {}", json_str(reason))
+                }
+                _ => String::new(),
+            };
+            out.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"severity\": \"{}\", \"crate\": {}, \
+                 \"file\": {}, \"line\": {}, \"col\": {}, \"status\": \"{}\", \
+                 \"message\": {}{}}}{}\n",
+                f.rule.code(),
+                f.severity,
+                json_str(&f.krate),
+                json_str(&f.file),
+                f.line,
+                f.col,
+                f.status.tag(),
+                json_str(&f.message),
+                reason,
+                comma
+            ));
+        }
+        out.push_str("  ],\n  \"baselines\": [\n");
+        for (i, b) in self.baselines.iter().enumerate() {
+            let comma = if i + 1 < self.baselines.len() {
+                ","
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "    {{\"crate\": {}, \"rule\": \"{}\", \"count\": {}, \"ceiling\": {}}}{}\n",
+                json_str(&b.krate),
+                b.rule.code(),
+                b.count,
+                b.ceiling,
+                comma
+            ));
+        }
+        out.push_str("  ],\n  \"failures\": [\n");
+        for (i, f) in self.failures.iter().enumerate() {
+            let comma = if i + 1 < self.failures.len() { "," } else { "" };
+            out.push_str(&format!("    {}{}\n", json_str(f), comma));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// JSON-escape a string (quotes, backslashes, control bytes).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_includes_rule_file_and_position() {
+        let f = Finding {
+            rule: Rule::Det001,
+            severity: Severity::Error,
+            krate: "route".into(),
+            file: "crates/route/src/rwa.rs".into(),
+            line: 22,
+            col: 11,
+            message: "`HashMap` on a fingerprint path".into(),
+            status: Status::Active,
+        };
+        let s = f.to_string();
+        assert!(s.contains("error[DET001]"), "{s}");
+        assert!(s.contains("crates/route/src/rwa.rs:22:11"), "{s}");
+    }
+
+    #[test]
+    fn json_escapes_and_structure() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        let mut r = LintReport::default();
+        r.findings.push(Finding {
+            rule: Rule::Pan001,
+            severity: Severity::Error,
+            krate: "core".into(),
+            file: "crates/core/src/lib.rs".into(),
+            line: 1,
+            col: 1,
+            message: "`.unwrap()` call".into(),
+            status: Status::Baselined,
+        });
+        r.failures.push("boom".into());
+        let j = r.to_json();
+        assert!(j.contains("\"rule\": \"PAN001\""), "{j}");
+        assert!(j.contains("\"status\": \"baselined\""), "{j}");
+        assert!(j.contains("\"clean\": false"), "{j}");
+    }
+}

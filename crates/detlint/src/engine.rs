@@ -1,0 +1,552 @@
+//! The lint engine: walks workspace crates, applies per-crate config,
+//! inline suppressions, and baseline ceilings, and assembles a
+//! [`LintReport`].
+//!
+//! Region discipline mirrors the unwrap ratchet this engine replaces:
+//! files under `src/` are production code up to the first `#[cfg(test)]`
+//! attribute; everything after it, and everything under `tests/`,
+//! `benches/`, and `examples/`, is test region where only
+//! [`Rule::applies_in_tests`] rules (the unsafe audit) fire.
+//!
+//! Suppression grammar — the reason is mandatory:
+//!
+//! ```text
+//! // detlint: allow(DET001) — keyed lookups only, never iterated
+//! // detlint: allow(DET002, CONC001) — wall-clock throughput reporting
+//! ```
+//!
+//! A trailing suppression applies to its own line; a suppression alone on
+//! a line applies to the next line with code. A suppression that is
+//! malformed, names an unknown rule, omits the reason, or suppresses
+//! nothing is itself a finding (SUP001) — stale allowances rot.
+
+use crate::config::Config;
+use crate::diag::{BaselineStatus, Finding, LintReport, Status};
+use crate::lexer::{lex, Token, TokenKind};
+use crate::rules::{cfg_test_offset, has_forbid_unsafe, scan, Rule, Severity};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// One parsed `// detlint: allow(...)` comment.
+#[derive(Debug)]
+struct Suppression {
+    rules: Vec<Rule>,
+    reason: String,
+    /// Line the suppression applies to.
+    target_line: u32,
+    /// Line of the comment itself (for SUP001 findings).
+    comment_line: u32,
+    /// Unused suppressions are findings only outside test regions.
+    require_use: bool,
+    used: bool,
+}
+
+/// Lint one source text as `krate`/`file`. Severities and suppressions are
+/// applied; baselines are not (they are crate-level, see
+/// [`lint_workspace`]). `force_test_region` marks the whole file as test
+/// code (for `tests/` and `benches/` files).
+pub fn lint_source(
+    krate: &str,
+    file: &str,
+    src: &str,
+    cfg: &Config,
+    force_test_region: bool,
+) -> Vec<Finding> {
+    let tokens = lex(src);
+    let test_off = if force_test_region {
+        Some(0)
+    } else {
+        cfg_test_offset(&tokens, src)
+    };
+    let in_test = |offset: usize| test_off.is_some_and(|o| offset >= o);
+
+    let mut suppressions = parse_suppressions(&tokens, src, &in_test);
+    let mut findings = Vec::new();
+
+    for hit in scan(&tokens, src) {
+        if in_test(hit.offset) && !hit.rule.applies_in_tests() {
+            continue;
+        }
+        let severity = cfg.severity(krate, hit.rule);
+        if severity == Severity::Allow {
+            continue;
+        }
+        let suppressed = suppressions
+            .iter_mut()
+            .find(|s| s.target_line == hit.line && s.rules.contains(&hit.rule));
+        let status = match suppressed {
+            Some(s) => {
+                s.used = true;
+                Status::Suppressed {
+                    reason: s.reason.clone(),
+                }
+            }
+            None => Status::Active,
+        };
+        findings.push(Finding {
+            rule: hit.rule,
+            severity,
+            krate: krate.to_string(),
+            file: file.to_string(),
+            line: hit.line,
+            col: hit.col,
+            message: hit.message,
+            status,
+        });
+    }
+
+    // Malformed suppressions were turned into findings during parsing;
+    // here the stale ones join them.
+    for s in &suppressions {
+        if s.require_use && !s.used {
+            let codes: Vec<&str> = s.rules.iter().map(|r| r.code()).collect();
+            findings.push(Finding {
+                rule: Rule::Sup001,
+                severity: cfg.severity(krate, Rule::Sup001),
+                krate: krate.to_string(),
+                file: file.to_string(),
+                line: s.comment_line,
+                col: 1,
+                message: format!(
+                    "suppression for {} suppresses nothing — delete it",
+                    codes.join(", ")
+                ),
+                status: Status::Active,
+            });
+        }
+    }
+    findings.extend(malformed_suppressions(
+        krate, file, &tokens, src, cfg, &in_test,
+    ));
+    findings.sort_by_key(|a| (a.line, a.col, a.rule));
+    findings
+}
+
+/// Extract well-formed suppressions from comment tokens.
+fn parse_suppressions(
+    tokens: &[Token],
+    src: &str,
+    in_test: &dyn Fn(usize) -> bool,
+) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::LineComment {
+            continue;
+        }
+        let Some((codes, reason)) = parse_allow_comment(t.text(src)) else {
+            continue;
+        };
+        let rules: Vec<Rule> = codes.iter().filter_map(|c| Rule::from_code(c)).collect();
+        if rules.len() != codes.len() || rules.is_empty() || reason.is_empty() {
+            continue; // malformed — reported separately
+        }
+        out.push(Suppression {
+            rules,
+            reason,
+            target_line: suppression_target(tokens, i, src),
+            comment_line: t.line,
+            require_use: !in_test(t.start),
+            used: false,
+        });
+    }
+    out
+}
+
+/// Findings for `detlint:` comments that do not parse, name unknown
+/// rules, or omit the mandatory reason.
+fn malformed_suppressions(
+    krate: &str,
+    file: &str,
+    tokens: &[Token],
+    src: &str,
+    cfg: &Config,
+    in_test: &dyn Fn(usize) -> bool,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if t.kind != TokenKind::LineComment || in_test(t.start) {
+            continue;
+        }
+        let body = comment_body(t.text(src));
+        if !body.starts_with("detlint:") {
+            continue;
+        }
+        let problem = match parse_allow_comment(t.text(src)) {
+            None => Some("expected `detlint: allow(CODE, ...) — reason`".to_string()),
+            Some((codes, reason)) => {
+                let unknown: Vec<&String> = codes
+                    .iter()
+                    .filter(|c| Rule::from_code(c).is_none())
+                    .collect();
+                if !unknown.is_empty() {
+                    Some(format!(
+                        "unknown rule code(s) {}",
+                        unknown
+                            .iter()
+                            .map(|c| format!("`{c}`"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ))
+                } else if codes.is_empty() {
+                    Some("allow() names no rules".to_string())
+                } else if reason.is_empty() {
+                    Some("the reason after the rule list is mandatory".to_string())
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(problem) = problem {
+            out.push(Finding {
+                rule: Rule::Sup001,
+                severity: cfg.severity(krate, Rule::Sup001),
+                krate: krate.to_string(),
+                file: file.to_string(),
+                line: t.line,
+                col: t.col,
+                message: format!("malformed suppression: {problem}"),
+                status: Status::Active,
+            });
+        }
+    }
+    out
+}
+
+/// Strip comment sigils: `//`, `///`, `//!` plus surrounding whitespace.
+fn comment_body(text: &str) -> &str {
+    text.trim_start_matches('/').trim_start_matches('!').trim()
+}
+
+/// Parse `detlint: allow(A, B) — reason` from a comment's full text.
+/// Returns `(codes, reason)`; `None` when the comment is `detlint:`-tagged
+/// but the `allow(...)` shape is absent.
+fn parse_allow_comment(text: &str) -> Option<(Vec<String>, String)> {
+    let body = comment_body(text);
+    let rest = body.strip_prefix("detlint:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let (list, tail) = rest.split_once(')')?;
+    let codes: Vec<String> = list
+        .split(',')
+        .map(|c| c.trim().to_string())
+        .filter(|c| !c.is_empty())
+        .collect();
+    let reason = tail
+        .trim_start_matches([' ', '\t', '—', '–', '-', ':'])
+        .trim()
+        .to_string();
+    Some((codes, reason))
+}
+
+/// The line a suppression comment at token index `i` governs: its own
+/// line when code precedes it there, otherwise the next line with a
+/// significant token.
+fn suppression_target(tokens: &[Token], i: usize, _src: &str) -> u32 {
+    let Some(comment) = tokens.get(i) else {
+        return 0;
+    };
+    let trailing = tokens
+        .iter()
+        .take(i)
+        .any(|t| t.line == comment.line && !t.is_comment());
+    if trailing {
+        return comment.line;
+    }
+    tokens
+        .iter()
+        .skip(i + 1)
+        .find(|t| !t.is_comment())
+        .map_or(comment.line, |t| t.line)
+}
+
+// ------------------------------------------------------- workspace walk --
+
+/// A crate to lint: name, directory, and whether its entry point must
+/// carry `#![forbid(unsafe_code)]`.
+#[derive(Debug, Clone)]
+pub struct CrateSpec {
+    /// Crate name (directory name under `crates/`, or the root package).
+    pub name: String,
+    /// Crate root directory.
+    pub dir: PathBuf,
+}
+
+/// Enumerate workspace crates: every `crates/*` with a `Cargo.toml`, plus
+/// the root package.
+pub fn workspace_crates(root: &Path) -> Vec<CrateSpec> {
+    let mut out = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            let dir = entry.path();
+            if dir.join("Cargo.toml").is_file() {
+                out.push(CrateSpec {
+                    name: entry.file_name().to_string_lossy().into_owned(),
+                    dir,
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    // The root `server-photonics` package (src/bin/spsim.rs lives there).
+    if root.join("Cargo.toml").is_file() && root.join("src").is_dir() {
+        out.push(CrateSpec {
+            name: "server-photonics".to_string(),
+            dir: root.to_path_buf(),
+        });
+    }
+    out
+}
+
+fn rs_files_under(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            rs_files_under(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lint the whole workspace under `root` with `cfg`. `filters` restricts
+/// analysis to files whose workspace-relative path contains any of the
+/// given substrings (empty = everything). Baseline ceilings and the
+/// `#![forbid(unsafe_code)]` entry check apply only on unfiltered runs —
+/// a path-filtered run is a developer loop, not a gate.
+pub fn lint_workspace(root: &Path, cfg: &Config, filters: &[String]) -> LintReport {
+    let mut report = LintReport::default();
+    let crates = workspace_crates(root);
+    report.crates = crates.len();
+    let unfiltered = filters.is_empty();
+
+    for spec in &crates {
+        // src/ is production; tests/, benches/, examples/ are test region.
+        let regions: [(&str, bool); 4] = [
+            ("src", false),
+            ("tests", true),
+            ("benches", true),
+            ("examples", true),
+        ];
+        // The root package owns the workspace-level tests/ and examples/;
+        // member crates own their local ones. A missing subdirectory is
+        // simply an empty file list.
+        for (sub, forced) in regions {
+            let dir = spec.dir.join(sub);
+            let mut files = Vec::new();
+            rs_files_under(&dir, &mut files);
+            for path in files {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                if !unfiltered && !filters.iter().any(|f| rel.contains(f.as_str())) {
+                    continue;
+                }
+                let Ok(text) = std::fs::read_to_string(&path) else {
+                    report.failures.push(format!("cannot read {rel}"));
+                    continue;
+                };
+                report.files += 1;
+                report
+                    .findings
+                    .extend(lint_source(&spec.name, &rel, &text, cfg, forced));
+            }
+        }
+
+        // Entry-point forbid attribute (the other half of the unsafe audit).
+        if unfiltered {
+            let entry = ["src/lib.rs", "src/main.rs"]
+                .iter()
+                .map(|p| spec.dir.join(p))
+                .find(|p| p.is_file());
+            let rel_entry = |p: &Path| {
+                p.strip_prefix(root)
+                    .unwrap_or(p)
+                    .to_string_lossy()
+                    .replace('\\', "/")
+            };
+            match entry.as_deref().map(std::fs::read_to_string) {
+                Some(Ok(text)) => {
+                    let tokens = lex(&text);
+                    if !has_forbid_unsafe(&tokens, &text) {
+                        report.findings.push(Finding {
+                            rule: Rule::Uns001,
+                            severity: cfg.severity(&spec.name, Rule::Uns001),
+                            krate: spec.name.clone(),
+                            file: entry.as_deref().map(rel_entry).unwrap_or_default(),
+                            line: 1,
+                            col: 1,
+                            message: "crate entry point lacks #![forbid(unsafe_code)]".into(),
+                            status: Status::Active,
+                        });
+                    }
+                }
+                _ => report
+                    .failures
+                    .push(format!("crate `{}` has no readable entry point", spec.name)),
+            }
+        }
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    apply_baselines(&mut report, cfg, unfiltered);
+    report
+}
+
+/// Fold baseline ceilings into the report and derive the failure list.
+fn apply_baselines(report: &mut LintReport, cfg: &Config, unfiltered: bool) {
+    // Count active error findings per (crate, rule).
+    let mut counts: BTreeMap<(String, Rule), usize> = BTreeMap::new();
+    for f in &report.findings {
+        if f.status == Status::Active && f.severity == Severity::Error {
+            *counts.entry((f.krate.clone(), f.rule)).or_insert(0) += 1;
+        }
+    }
+
+    // Ratchet table rows exist for every configured ceiling, even when the
+    // crate is currently clean (so `count < ceiling` is visible to tighten).
+    if unfiltered {
+        for (krate, per) in &cfg.baselines {
+            for (&rule, &ceiling) in per {
+                let count = counts.get(&(krate.clone(), rule)).copied().unwrap_or(0);
+                report.baselines.push(BaselineStatus {
+                    krate: krate.clone(),
+                    rule,
+                    count,
+                    ceiling,
+                });
+            }
+        }
+    }
+
+    let mut failures = Vec::new();
+    for ((krate, rule), count) in &counts {
+        match cfg.baseline(krate, *rule).filter(|_| unfiltered) {
+            Some(ceiling) if *count <= ceiling => {
+                // Absorbed: flip those findings to Baselined.
+                for f in report.findings.iter_mut().filter(|f| {
+                    f.status == Status::Active
+                        && f.severity == Severity::Error
+                        && f.krate == *krate
+                        && f.rule == *rule
+                }) {
+                    f.status = Status::Baselined;
+                }
+            }
+            Some(ceiling) => {
+                failures.push(format!(
+                    "crate `{krate}` has {count} {rule} site(s), ceiling is {ceiling} \
+                     — fix the new sites, never raise the ceiling"
+                ));
+            }
+            None => {
+                for f in report.findings.iter().filter(|f| {
+                    f.status == Status::Active
+                        && f.severity == Severity::Error
+                        && f.krate == *krate
+                        && f.rule == *rule
+                }) {
+                    failures.push(f.to_string());
+                }
+            }
+        }
+    }
+    report.failures.extend(failures);
+}
+
+/// Read and parse `<root>/detlint.toml`.
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let path = root.join("detlint.toml");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Config::parse(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config::default()
+    }
+
+    #[test]
+    fn trailing_and_preceding_suppressions_silence_their_line() {
+        let src = "\
+use std::collections::HashMap; // detlint: allow(DET001) — import for keyed lookups
+// detlint: allow(DET001) — keyed lookups only, never iterated
+fn f(m: HashMap<u32, u32>) {}
+";
+        let fs = lint_source("k", "f.rs", src, &cfg(), false);
+        assert!(fs
+            .iter()
+            .all(|f| !matches!(f.status, Status::Active) || f.rule != Rule::Det001));
+        assert_eq!(
+            fs.iter()
+                .filter(|f| matches!(f.status, Status::Suppressed { .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn reasonless_suppression_is_sup001_and_does_not_silence() {
+        let src = "// detlint: allow(DET001)\nfn f(m: std::collections::HashMap<u32, u32>) {}\n";
+        let fs = lint_source("k", "f.rs", src, &cfg(), false);
+        assert!(fs
+            .iter()
+            .any(|f| f.rule == Rule::Sup001 && f.message.contains("mandatory")));
+        assert!(fs
+            .iter()
+            .any(|f| f.rule == Rule::Det001 && f.status == Status::Active));
+    }
+
+    #[test]
+    fn stale_suppression_is_sup001() {
+        let src = "// detlint: allow(DET001) — this never fires\nfn f() {}\n";
+        let fs = lint_source("k", "f.rs", src, &cfg(), false);
+        assert!(fs
+            .iter()
+            .any(|f| f.rule == Rule::Sup001 && f.message.contains("suppresses nothing")));
+    }
+
+    #[test]
+    fn unknown_code_in_suppression_is_sup001() {
+        let src = "// detlint: allow(DET999) — no such rule\nfn f() {}\n";
+        let fs = lint_source("k", "f.rs", src, &cfg(), false);
+        assert!(fs
+            .iter()
+            .any(|f| f.rule == Rule::Sup001 && f.message.contains("unknown rule")));
+    }
+
+    #[test]
+    fn test_region_findings_are_dropped_except_unsafe() {
+        let src = "\
+fn prod() {}
+#[cfg(test)]
+mod tests {
+    fn t() {
+        let m = std::collections::HashMap::<u32, u32>::new();
+        let x: Option<u32> = None;
+        x.unwrap();
+    }
+}
+";
+        let fs = lint_source("k", "f.rs", src, &cfg(), false);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn forced_test_region_behaves_like_tests_dir() {
+        let src = "fn t() { x.unwrap(); }";
+        assert!(lint_source("k", "tests/t.rs", src, &cfg(), true).is_empty());
+        assert!(!lint_source("k", "src/t.rs", src, &cfg(), false).is_empty());
+    }
+}

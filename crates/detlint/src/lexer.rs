@@ -1,0 +1,443 @@
+//! A hand-rolled Rust lexer, sufficient for token-level lint rules.
+//!
+//! The goal is *not* a full grammar: rules only need to see identifiers,
+//! punctuation, and literal/comment boundaries, so that an occurrence of
+//! `HashMap` inside a string or a `.unwrap()` inside a doc comment never
+//! counts as a violation — the failure mode of the substring scans this
+//! engine replaces. The tricky corners that are handled:
+//!
+//! * nested block comments (`/* /* */ */`),
+//! * raw strings with arbitrary hash fences (`r##"…"##`) and byte/raw-byte
+//!   strings (`b"…"`, `br#"…"#`, `c"…"`),
+//! * char literals vs lifetimes (`'a'` vs `'a`), including escapes,
+//! * raw identifiers (`r#unsafe` is an identifier, not the keyword),
+//! * float literals followed by method calls (`1.0.partial_cmp(..)`) and
+//!   ranges (`0..n`) without mis-lexing the dots.
+//!
+//! The lexer is lenient: an unterminated literal or comment consumes to end
+//! of input instead of failing, so a half-edited file still produces
+//! findings for everything before the breakage.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`foo`, `unsafe`, `self`).
+    Ident,
+    /// A raw identifier (`r#unsafe`): never matches keyword-based rules.
+    RawIdent,
+    /// A lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// Any string-ish literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`, `'x'`.
+    Literal,
+    /// A numeric literal (`42`, `1.5e-3`, `0xFF_u64`).
+    Number,
+    /// A single punctuation byte (`.`, `[`, `!`, …).
+    Punct(u8),
+    /// A `//…` line comment, including doc comments (`///`, `//!`).
+    LineComment,
+    /// A `/* … */` block comment, including doc block comments.
+    BlockComment,
+}
+
+/// One lexeme with its source span and position.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Kind of lexeme.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte in the source.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (empty if the span is out of range).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+
+    /// True for comments (never significant to rules).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Cursor over the source bytes, tracking line/column.
+struct Cursor<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advance one byte, updating line/column.
+    fn bump(&mut self) {
+        if let Some(b) = self.peek() {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+    }
+
+    fn bump_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while let Some(b) = self.peek() {
+            if pred(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src` into tokens, comments included. Whitespace is dropped.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let mut c = Cursor::new(src);
+    while let Some(b) = c.peek() {
+        let (start, line, col) = (c.pos, c.line, c.col);
+        let kind = match b {
+            _ if b.is_ascii_whitespace() => {
+                c.bump();
+                continue;
+            }
+            b'/' => match c.peek_at(1) {
+                Some(b'/') => {
+                    c.bump_while(|b| b != b'\n');
+                    TokenKind::LineComment
+                }
+                Some(b'*') => {
+                    lex_block_comment(&mut c);
+                    TokenKind::BlockComment
+                }
+                _ => {
+                    c.bump();
+                    TokenKind::Punct(b'/')
+                }
+            },
+            b'"' => {
+                lex_string(&mut c);
+                TokenKind::Literal
+            }
+            b'\'' => lex_quote(&mut c),
+            _ if b.is_ascii_digit() => {
+                lex_number(&mut c);
+                TokenKind::Number
+            }
+            _ if is_ident_start(b) => lex_word(&mut c),
+            _ => {
+                c.bump();
+                TokenKind::Punct(b)
+            }
+        };
+        out.push(Token {
+            kind,
+            start,
+            end: c.pos,
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// Consume `/* … */`, honouring nesting. Lenient on unterminated input.
+fn lex_block_comment(c: &mut Cursor<'_>) {
+    c.bump(); // '/'
+    c.bump(); // '*'
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (c.peek(), c.peek_at(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                c.bump();
+                c.bump();
+                depth += 1;
+            }
+            (Some(b'*'), Some(b'/')) => {
+                c.bump();
+                c.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => c.bump(),
+            (None, _) => break,
+        }
+    }
+}
+
+/// Consume a `"…"` string with escapes. The opening quote is at the cursor.
+fn lex_string(c: &mut Cursor<'_>) {
+    c.bump(); // opening '"'
+    while let Some(b) = c.peek() {
+        match b {
+            b'\\' => {
+                c.bump();
+                c.bump(); // the escaped byte (lenient at EOF)
+            }
+            b'"' => {
+                c.bump();
+                return;
+            }
+            _ => c.bump(),
+        }
+    }
+}
+
+/// Consume `r"…"` / `r#…#"…"#…#` raw string bodies. The cursor sits on the
+/// first `#` or `"` after the prefix word.
+fn lex_raw_string(c: &mut Cursor<'_>) {
+    let mut hashes = 0usize;
+    while c.peek() == Some(b'#') {
+        hashes += 1;
+        c.bump();
+    }
+    if c.peek() != Some(b'"') {
+        return; // not actually a raw string; leave the cursor be (lenient)
+    }
+    c.bump(); // opening '"'
+    loop {
+        match c.peek() {
+            None => return,
+            Some(b'"') => {
+                c.bump();
+                let mut seen = 0usize;
+                while seen < hashes && c.peek() == Some(b'#') {
+                    seen += 1;
+                    c.bump();
+                }
+                if seen == hashes {
+                    return;
+                }
+            }
+            Some(_) => c.bump(),
+        }
+    }
+}
+
+/// Disambiguate `'a'` (char literal) from `'a` (lifetime/label). The
+/// opening quote is at the cursor.
+fn lex_quote(c: &mut Cursor<'_>) -> TokenKind {
+    c.bump(); // the quote
+    match c.peek() {
+        // Escape: definitely a char literal ('\n', '\u{1F600}', '\'').
+        Some(b'\\') => {
+            c.bump();
+            c.bump();
+            // Consume the rest of the escape ('u{…}') and the close quote.
+            c.bump_while(|b| b != b'\'' && b != b'\n');
+            if c.peek() == Some(b'\'') {
+                c.bump();
+            }
+            TokenKind::Literal
+        }
+        // 'x…: lifetime unless the very next byte closes the quote.
+        Some(b) if is_ident_start(b) => {
+            if c.peek_at(1) == Some(b'\'') {
+                c.bump(); // the char
+                c.bump(); // closing quote
+                TokenKind::Literal
+            } else {
+                c.bump_while(is_ident_continue);
+                TokenKind::Lifetime
+            }
+        }
+        // Anything else ('0', '.', …) is a one-byte char literal.
+        Some(_) => {
+            c.bump();
+            if c.peek() == Some(b'\'') {
+                c.bump();
+            }
+            TokenKind::Literal
+        }
+        None => TokenKind::Literal,
+    }
+}
+
+/// Consume a numeric literal: integers, floats, exponents, suffixes.
+fn lex_number(c: &mut Cursor<'_>) {
+    c.bump_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    // Fractional part: only if '.' is followed by a digit ('0..n' and
+    // '1.max(2)' must NOT swallow the dot).
+    if c.peek() == Some(b'.') && c.peek_at(1).is_some_and(|b| b.is_ascii_digit()) {
+        c.bump();
+        c.bump_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    }
+    // Exponent sign: '1e-3' stops the alnum run at '-'; resume over it.
+    if matches!(c.peek(), Some(b'+') | Some(b'-')) {
+        let prev = c.bytes.get(c.pos.wrapping_sub(1)).copied();
+        if matches!(prev, Some(b'e') | Some(b'E'))
+            && c.peek_at(1).is_some_and(|b| b.is_ascii_digit())
+        {
+            c.bump();
+            c.bump_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+        }
+    }
+}
+
+/// Consume an identifier-led lexeme: plain idents, raw idents, and the
+/// string-literal prefixes (`r""`, `br#""#`, `b''`, `c""`).
+fn lex_word(c: &mut Cursor<'_>) -> TokenKind {
+    let start = c.pos;
+    c.bump_while(is_ident_continue);
+    let word = c.src.get(start..c.pos).unwrap_or("");
+    match (word, c.peek()) {
+        // r"…" / br##"…"## / c"…" raw and cooked string prefixes.
+        ("r" | "br" | "cr", Some(b'#')) => {
+            // r#ident (raw identifier) vs r#"…" (raw string).
+            if word == "r" && c.peek_at(1).is_some_and(is_ident_start) {
+                c.bump(); // '#'
+                c.bump_while(is_ident_continue);
+                TokenKind::RawIdent
+            } else {
+                lex_raw_string(c);
+                TokenKind::Literal
+            }
+        }
+        ("r" | "br" | "cr", Some(b'"')) => {
+            lex_raw_string(c);
+            TokenKind::Literal
+        }
+        ("b" | "c", Some(b'"')) => {
+            lex_string(c);
+            TokenKind::Literal
+        }
+        ("b", Some(b'\'')) => {
+            lex_quote(c);
+            TokenKind::Literal
+        }
+        _ => TokenKind::Ident,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(src).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        assert_eq!(idents(r#"let s = "HashMap::new()";"#), ["let", "s"]);
+        assert_eq!(idents(r##"let s = r#"Instant"#;"##), ["let", "s"]);
+        assert_eq!(idents(r#"let b = b"SystemTime";"#), ["let", "b"]);
+    }
+
+    #[test]
+    fn comments_hide_identifiers() {
+        assert_eq!(idents("// HashMap\nfoo"), ["foo"]);
+        assert_eq!(idents("/* outer /* HashMap */ still */ bar"), ["bar"]);
+        assert_eq!(idents("/// doc .unwrap()\nbaz"), ["baz"]);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Literal)
+            .collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_keyword() {
+        let toks = kinds("let r#unsafe = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::RawIdent && s == "r#unsafe"));
+        assert!(!toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Ident && s == "unsafe"));
+    }
+
+    #[test]
+    fn float_method_call_keeps_the_second_dot() {
+        let toks = kinds("1.0.partial_cmp(&x); 0..n; 1e-3; 0xFF_u64");
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Number && s == "1.0"));
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Ident && s == "partial_cmp"));
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Number && s == "1e-3"));
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Number && s == "0xFF_u64"));
+    }
+
+    #[test]
+    fn lines_and_columns_are_tracked() {
+        let toks = lex("a\n  bb\n");
+        assert_eq!(toks.len(), 2);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn lenient_on_unterminated_input() {
+        assert!(!lex("let s = \"unterminated").is_empty());
+        assert!(!lex("/* unterminated").is_empty());
+        assert!(!lex("r#\"unterminated").is_empty());
+    }
+
+    #[test]
+    fn nested_generics_stay_idents() {
+        let ids = idents("Vec<BTreeMap<K, Vec<V>>>");
+        assert_eq!(ids, ["Vec", "BTreeMap", "K", "Vec", "V"]);
+    }
+}

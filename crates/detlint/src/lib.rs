@@ -1,0 +1,51 @@
+//! detlint — a dependency-free determinism & panic-freedom lint engine.
+//!
+//! The workspace's correctness story leans on two invariants that the Rust
+//! compiler cannot check for us:
+//!
+//! 1. **Determinism** — scenario fingerprints, routing journals, and bench
+//!    baselines are only comparable across runs if nothing on those paths
+//!    iterates a `HashMap`, reads a wall clock, or draws unseeded
+//!    randomness (see the `Round::link_loads` incident fixed in the sweep
+//!    PR: a `HashMap` iteration silently reordered link loads between
+//!    runs).
+//! 2. **Panic-freedom** — the control plane (`route`, `fabricd`,
+//!    `collectives`, `verify`, `phy`) is pinned at zero `unwrap`/`expect`
+//!    sites and must stay there.
+//!
+//! Historically these were enforced by ad-hoc substring scans inside
+//! `cargo xtask lint`. Substring scanning cannot tell a `HashMap` in code
+//! from one in a doc comment or a string literal, cannot express
+//! justified exceptions, and cannot ratchet. detlint replaces those scans
+//! with a real token-level analyzer:
+//!
+//! - [`lexer`] tokenizes Rust source (nested block comments, raw strings,
+//!   char-vs-lifetime, raw identifiers) so rules only ever see code.
+//! - [`rules`] holds the rule catalog (`DET*`, `PAN*`, `CONC*`, `UNS*`,
+//!   `SUP*`) and the token-pattern matcher.
+//! - [`config`] parses `detlint.toml`: per-crate severity overrides and
+//!   downward-ratcheting baseline ceilings.
+//! - [`engine`] walks every workspace crate, applies inline
+//!   `// detlint: allow(CODE) — reason` suppressions (reason mandatory,
+//!   stale suppressions are themselves findings), and folds baselines
+//!   into a [`LintReport`].
+//! - [`diag`] renders findings in the `crates/verify` diagnostic style:
+//!   stable rule codes, `file:line:col` locations, and machine-readable
+//!   JSON for CI artifacts.
+//!
+//! The crate has no dependencies (the build environment has no registry
+//! access) and is written to its own standard: no `unwrap`, no indexing,
+//! `BTreeMap` only — so it lints itself clean with an empty baseline.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use config::Config;
+pub use diag::{BaselineStatus, Finding, LintReport, Status};
+pub use engine::{lint_source, lint_workspace, load_config, workspace_crates, CrateSpec};
+pub use rules::{Rule, Severity};

@@ -1,0 +1,136 @@
+//! End-to-end gates on the real repository: the committed tree must lint
+//! clean against the committed `detlint.toml`, and the baseline machinery
+//! is exercised on a synthetic workspace to prove ceilings both absorb
+//! and ratchet.
+
+use detlint::{lint_workspace, load_config, Config, Rule, Status};
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    // This file lives at <root>/crates/detlint/tests/clean_tree.rs.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+#[test]
+fn committed_tree_is_clean_under_committed_baseline() {
+    let root = repo_root();
+    let cfg = load_config(&root).expect("detlint.toml parses");
+    let report = lint_workspace(&root, &cfg, &[]);
+    assert!(
+        report.is_clean(),
+        "workspace must lint clean:\n{}",
+        report.failures.join("\n")
+    );
+    assert!(
+        report.crates >= 17,
+        "walks every crate, got {}",
+        report.crates
+    );
+    assert!(
+        report.files >= 100,
+        "walks every file, got {}",
+        report.files
+    );
+    // The tree genuinely exercises the machinery: at least one inline
+    // suppression and one baselined finding exist.
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| matches!(f.status, Status::Suppressed { .. })));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.status == Status::Baselined));
+    // Determinism rules are pinned at zero active everywhere.
+    if let Some(f) = report.active_errors().next() {
+        panic!("active finding in committed tree: {f}");
+    };
+}
+
+#[test]
+fn detlint_report_is_deterministic() {
+    let root = repo_root();
+    let cfg = load_config(&root).expect("detlint.toml parses");
+    let a = lint_workspace(&root, &cfg, &[]).to_json();
+    let b = lint_workspace(&root, &cfg, &[]).to_json();
+    assert_eq!(a, b, "two runs over the same tree must emit identical JSON");
+}
+
+// ------------------------------------------------- synthetic workspace ----
+
+/// Build a throwaway one-crate workspace on disk and lint it.
+fn synthetic(src: &str, toml: &str) -> detlint::LintReport {
+    let dir = std::env::temp_dir().join(format!(
+        "detlint-it-{}-{src_len}-{toml_len}",
+        std::process::id(),
+        src_len = src.len(),
+        toml_len = toml.len()
+    ));
+    let crate_dir = dir.join("crates").join("alpha").join("src");
+    std::fs::create_dir_all(&crate_dir).expect("mkdir");
+    std::fs::write(
+        dir.join("crates/alpha/Cargo.toml"),
+        "[package]\nname = \"alpha\"\n",
+    )
+    .expect("write manifest");
+    std::fs::write(crate_dir.join("lib.rs"), src).expect("write lib.rs");
+    let cfg = Config::parse(toml).expect("config parses");
+    let report = lint_workspace(&dir, &cfg, &[]);
+    std::fs::remove_dir_all(&dir).ok();
+    report
+}
+
+const TWO_UNWRAPS: &str = "#![forbid(unsafe_code)]\nfn a(x: Option<u32>) -> u32 { x.unwrap() }\nfn b(x: Option<u32>) -> u32 { x.unwrap() }\n";
+
+#[test]
+fn baseline_ceiling_absorbs_exact_count() {
+    let report = synthetic(TWO_UNWRAPS, "[baseline.alpha]\nPAN001 = 2\n");
+    assert!(report.is_clean(), "{:?}", report.failures);
+    assert_eq!(
+        report
+            .findings
+            .iter()
+            .filter(|f| f.status == Status::Baselined)
+            .count(),
+        2
+    );
+    let b = report.baselines.first().expect("ratchet entry");
+    assert_eq!((b.count, b.ceiling), (2, 2));
+}
+
+#[test]
+fn over_ceiling_fails_and_names_the_ratchet() {
+    let report = synthetic(TWO_UNWRAPS, "[baseline.alpha]\nPAN001 = 1\n");
+    assert!(!report.is_clean());
+    let msg = report.failures.join("\n");
+    assert!(msg.contains("alpha") && msg.contains("PAN001"), "{msg}");
+    assert!(msg.contains("never raise the ceiling"), "{msg}");
+}
+
+#[test]
+fn absent_baseline_means_zero_tolerance() {
+    let report = synthetic(TWO_UNWRAPS, "");
+    assert!(!report.is_clean());
+    assert_eq!(
+        report
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::Pan001 && f.status == Status::Active)
+            .count(),
+        2
+    );
+}
+
+#[test]
+fn missing_forbid_unsafe_attr_is_uns001() {
+    let report = synthetic("fn a() {}\n", "");
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.rule == Rule::Uns001 && f.message.contains("forbid(unsafe_code)")));
+}

@@ -1,0 +1,21 @@
+//! Fixture: trigger words live only in comments — line, doc, block, and
+//! nested block comments. Nothing here may produce a finding.
+//!
+//! HashMap, Instant, thread_rng, partial_cmp, unwrap, panic!, unsafe.
+
+// x.unwrap() in a line comment
+/// Doc comment describing `HashSet` iteration order and `Instant::now()`.
+fn documented() {}
+
+/* block comment: std::thread::spawn(|| xs[0].unwrap()) */
+/* nested /* HashMap inside a nested /* deeper unsafe */ block */ comment */
+fn after_nested_blocks() {}
+
+/** outer doc block with todo!() and unreachable!() */
+fn doc_block() {}
+
+pub fn exercise() {
+    documented();
+    after_nested_blocks();
+    doc_block();
+}

@@ -1,0 +1,32 @@
+//! Fixture: bracket- and angle-heavy shapes that stress the PAN003 index
+//! heuristic — generics, shifts, ranges, float method calls, attribute
+//! brackets, array types, slice patterns. None of these are indexing.
+
+use std::collections::BTreeMap;
+
+#[derive(Default)]
+pub struct Table {
+    pub cells: BTreeMap<u32, Vec<(u64, f64)>>,
+}
+
+pub fn shifts_and_ranges(n: u32) -> u32 {
+    let mut acc = 0u32;
+    for i in 0..n {
+        acc = acc.wrapping_add(1 << (i % 8)) >> 1;
+    }
+    acc
+}
+
+pub fn float_then_method(x: f64) -> f64 {
+    1.0f64.max(2.0).min(x) + 0.5.mul_add(2.0, 1.)
+}
+
+pub fn array_types(flags: [bool; 3]) -> Option<bool> {
+    let [a, b, c] = flags;
+    let lookup: [bool; 2] = [a && b, c];
+    lookup.first().copied()
+}
+
+pub fn turbofish() -> Vec<BTreeMap<u32, [u8; 4]>> {
+    Vec::<BTreeMap<u32, [u8; 4]>>::new()
+}

@@ -1,0 +1,20 @@
+//! Fixture: raw identifiers and lifetime/char disambiguation. `r#`-
+//! prefixed names that spell keywords or trigger words are ordinary
+//! identifiers, and lifetimes must not be read as unterminated chars.
+
+pub struct r#unsafe {
+    pub r#type: u32,
+}
+
+pub fn r#match(v: &r#unsafe) -> u32 {
+    v.r#type
+}
+
+pub struct Holder<'a> {
+    pub name: &'a str,
+}
+
+pub fn lifetimes_vs_chars<'short>(h: &Holder<'short>) -> (char, usize) {
+    let marker: char = 'h';
+    (marker, h.name.len())
+}

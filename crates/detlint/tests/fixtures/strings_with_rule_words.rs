@@ -1,0 +1,38 @@
+//! Fixture: every rule's trigger word appears ONLY inside string
+//! literals. A token-level analyzer must report nothing here; a substring
+//! scanner would light up on every line.
+
+fn names() -> Vec<&'static str> {
+    vec![
+        "HashMap",
+        "HashSet::new()",
+        "std::time::Instant::now()",
+        "thread_rng",
+        "rand::random",
+        "a.partial_cmp(b)",
+        "x.unwrap()",
+        "y.expect(\"inner quotes\")",
+        "panic!(\"boom\")",
+        "unreachable!()",
+        "todo!()",
+        "std::thread::spawn",
+        "unsafe { *p }",
+    ]
+}
+
+fn raw_strings() -> (&'static str, &'static str, &'static [u8]) {
+    let a = r"HashMap in a raw string";
+    let b = r##"nested "quote" and x.unwrap() with # fences"##;
+    let c = b"HashSet as bytes";
+    (a, b, c)
+}
+
+fn chars_are_not_lifetimes() -> (char, char, char) {
+    ('u', '\n', '\'')
+}
+
+pub fn exercise() {
+    let _ = names();
+    let _ = raw_strings();
+    let _ = chars_are_not_lifetimes();
+}

@@ -1,0 +1,147 @@
+//! Lexer edge-case corpus: each fixture under `tests/fixtures/` is a
+//! small valid Rust file whose shape historically defeats substring
+//! scanners — rule words in strings and comments, nested block comments,
+//! bracket-heavy generics, raw identifiers. Every fixture is linted **as
+//! production code** and must come back with zero findings; the second
+//! half of the file asserts the token stream itself where the
+//! disambiguation matters.
+
+use detlint::lexer::{lex, TokenKind};
+use detlint::{lint_source, Config};
+
+const STRINGS: &str = include_str!("fixtures/strings_with_rule_words.rs");
+const COMMENTS: &str = include_str!("fixtures/comments.rs");
+const GENERICS: &str = include_str!("fixtures/nested_generics.rs");
+const RAW_IDENTS: &str = include_str!("fixtures/raw_identifiers.rs");
+
+#[track_caller]
+fn assert_no_findings(name: &str, src: &str) {
+    let fs = lint_source("fixture", name, src, &Config::default(), false);
+    assert!(
+        fs.is_empty(),
+        "{name} must lint clean as production code, got: {fs:#?}"
+    );
+}
+
+#[test]
+fn rule_words_in_strings_are_invisible() {
+    assert_no_findings("strings_with_rule_words.rs", STRINGS);
+}
+
+#[test]
+fn rule_words_in_comments_are_invisible() {
+    assert_no_findings("comments.rs", COMMENTS);
+}
+
+#[test]
+fn bracket_heavy_generics_do_not_trip_pan003() {
+    assert_no_findings("nested_generics.rs", GENERICS);
+}
+
+#[test]
+fn raw_identifiers_are_ordinary_names() {
+    assert_no_findings("raw_identifiers.rs", RAW_IDENTS);
+}
+
+// ------------------------------------------------------------ token level --
+
+fn idents(src: &str) -> Vec<&str> {
+    lex(src)
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text(src))
+        .collect()
+}
+
+#[test]
+fn strings_produce_no_trigger_idents() {
+    for word in ["HashMap", "HashSet", "Instant", "unwrap", "unsafe"] {
+        assert!(
+            !idents(STRINGS).contains(&word),
+            "`{word}` leaked out of a string literal as an identifier"
+        );
+    }
+}
+
+#[test]
+fn nested_block_comments_swallow_their_contents() {
+    let src = "/* a /* b /* c */ d */ e */ fn after() {}";
+    let toks = lex(src);
+    let mut kinds = toks.iter().map(|t| (t.kind, t.text(src)));
+    assert!(
+        matches!(kinds.next(), Some((TokenKind::BlockComment, _))),
+        "one comment token: {toks:#?}"
+    );
+    assert_eq!(kinds.next().map(|(_, s)| s), Some("fn"));
+    assert_eq!(kinds.next().map(|(_, s)| s), Some("after"));
+}
+
+#[test]
+fn raw_strings_with_fences_terminate_correctly() {
+    let src = "let a = r##\"has \"# inside\"## ; let b = 1;";
+    let toks = lex(src);
+    let lit = toks
+        .iter()
+        .find(|t| t.kind == TokenKind::Literal)
+        .map(|t| t.text(src));
+    assert_eq!(lit, Some("r##\"has \"# inside\"##"));
+    assert!(
+        idents(src).contains(&"b"),
+        "lexing continues after the literal"
+    );
+}
+
+#[test]
+fn lifetimes_and_chars_are_distinguished() {
+    let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+    let toks = lex(src);
+    let lifetimes: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .map(|t| t.text(src))
+        .collect();
+    assert_eq!(lifetimes, vec!["'a", "'a"]);
+    assert!(
+        toks.iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text(src) == "'x'"),
+        "{toks:#?}"
+    );
+}
+
+#[test]
+fn raw_identifiers_keep_their_prefix() {
+    let src = "fn r#match(r#unsafe: u32) -> u32 { r#unsafe }";
+    let raw: Vec<&str> = lex(src)
+        .iter()
+        .filter(|t| t.kind == TokenKind::RawIdent)
+        .map(|t| t.text(src))
+        .collect();
+    assert_eq!(raw, vec!["r#match", "r#unsafe", "r#unsafe"]);
+}
+
+#[test]
+fn float_then_method_call_lexes_as_one_number() {
+    let src = "let x = 1.0.max(2.0); let r = 0..n;";
+    let nums: Vec<&str> = lex(src)
+        .iter()
+        .filter(|t| t.kind == TokenKind::Number)
+        .map(|t| t.text(src))
+        .collect();
+    assert_eq!(nums, vec!["1.0", "2.0", "0"]);
+}
+
+#[test]
+fn fixtures_compile_shapes_hold_line_numbers() {
+    // Spot-check that token positions are 1-based and stable: the first
+    // `fn` in the comments fixture sits on the line after its doc comment.
+    let toks = lex(COMMENTS);
+    let first_fn = toks
+        .iter()
+        .find(|t| t.kind == TokenKind::Ident && t.text(COMMENTS) == "fn")
+        .map(|t| t.line);
+    let expected = COMMENTS
+        .lines()
+        .position(|l| l.starts_with("fn documented"))
+        .map(|i| i as u32 + 1);
+    assert_eq!(first_fn, expected, "token line numbers are 1-based");
+}

@@ -1,0 +1,343 @@
+//! Seeded-violation tests: every rule in the detlint catalog is proven to
+//! fire on a minimal planted snippet, and a clean twin of the same shape
+//! is proven NOT to fire — so a passing rule is attributable to the
+//! planted defect, not to matcher noise.
+//!
+//! All snippets live in string literals. detlint lexes before matching,
+//! so these literals can never trip the analyzer when it walks this file.
+
+use detlint::{lint_source, Config, Rule, Status};
+
+fn findings(src: &str) -> Vec<detlint::Finding> {
+    lint_source("testcrate", "planted.rs", src, &Config::default(), false)
+}
+
+fn fires(src: &str, rule: Rule) -> bool {
+    findings(src)
+        .iter()
+        .any(|f| f.rule == rule && f.status == Status::Active)
+}
+
+#[track_caller]
+fn assert_fires(src: &str, rule: Rule) {
+    assert!(
+        fires(src, rule),
+        "{} must fire on:\n{src}\ngot: {:#?}",
+        rule.code(),
+        findings(src)
+    );
+}
+
+#[track_caller]
+fn assert_clean(src: &str, rule: Rule) {
+    assert!(
+        !fires(src, rule),
+        "{} must NOT fire on:\n{src}\ngot: {:#?}",
+        rule.code(),
+        findings(src)
+    );
+}
+
+// ---------------------------------------------------------------- DET001 --
+
+#[test]
+fn det001_fires_on_hash_collections() {
+    assert_fires("use std::collections::HashMap;\n", Rule::Det001);
+    assert_fires(
+        "fn f() { let s = std::collections::HashSet::<u32>::new(); }\n",
+        Rule::Det001,
+    );
+}
+
+#[test]
+fn det001_clean_on_btree_and_strings() {
+    assert_clean("use std::collections::BTreeMap;\n", Rule::Det001);
+    assert_clean("fn f() -> &'static str { \"HashMap\" }\n", Rule::Det001);
+    assert_clean(
+        "// a doc mention of HashMap is fine\nfn f() {}\n",
+        Rule::Det001,
+    );
+}
+
+// ---------------------------------------------------------------- DET002 --
+
+#[test]
+fn det002_fires_on_wall_clocks() {
+    assert_fires(
+        "fn f() { let t = std::time::Instant::now(); }\n",
+        Rule::Det002,
+    );
+    assert_fires(
+        "fn f() { let t = std::time::SystemTime::now(); }\n",
+        Rule::Det002,
+    );
+}
+
+#[test]
+fn det002_clean_on_duration_and_prose() {
+    assert_clean(
+        "fn f() { let d = std::time::Duration::from_secs(1); }\n",
+        Rule::Det002,
+    );
+    // "Instantaneous" in a doc comment must not match (the old substring
+    // scanner's classic false positive).
+    assert_clean("/// Instantaneous power draw.\nfn f() {}\n", Rule::Det002);
+}
+
+// ---------------------------------------------------------------- DET003 --
+
+#[test]
+fn det003_fires_on_unseeded_randomness() {
+    assert_fires("fn f() { let mut rng = thread_rng(); }\n", Rule::Det003);
+    assert_fires("fn f() { let x: u64 = rand::random(); }\n", Rule::Det003);
+    assert_fires(
+        "fn f() { let s = std::collections::hash_map::RandomState::new(); }\n",
+        Rule::Det003,
+    );
+}
+
+#[test]
+fn det003_clean_on_seeded_rng() {
+    assert_clean(
+        "fn f() { let mut rng = SimRng::seeded(42); }\n",
+        Rule::Det003,
+    );
+    // `random` as a field or plain ident is not `rand::random`.
+    assert_clean("fn f(cfg: &Cfg) -> bool { cfg.random }\n", Rule::Det003);
+}
+
+// ---------------------------------------------------------------- DET004 --
+
+#[test]
+fn det004_fires_on_raw_float_ordering() {
+    assert_fires(
+        "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n",
+        Rule::Det004,
+    );
+}
+
+#[test]
+fn det004_clean_on_total_cmp_and_trait_impls() {
+    assert_clean(
+        "fn f(v: &mut Vec<f64>) { v.sort_by(f64::total_cmp); }\n",
+        Rule::Det004,
+    );
+    // Defining `partial_cmp` in a PartialOrd impl is not a call site.
+    assert_clean(
+        "impl PartialOrd for T {\n    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {\n        Some(self.cmp(o))\n    }\n}\n",
+        Rule::Det004,
+    );
+}
+
+// ---------------------------------------------------------------- PAN001 --
+
+#[test]
+fn pan001_fires_on_unwrap_expect_panic() {
+    assert_fires("fn f(x: Option<u32>) -> u32 { x.unwrap() }\n", Rule::Pan001);
+    assert_fires(
+        "fn f(x: Option<u32>) -> u32 { x.expect(\"set\") }\n",
+        Rule::Pan001,
+    );
+    assert_fires("fn f() { panic!(\"boom\"); }\n", Rule::Pan001);
+}
+
+#[test]
+fn pan001_clean_on_total_alternatives() {
+    assert_clean(
+        "fn f(x: Option<u32>) -> u32 { x.unwrap_or_default() }\n",
+        Rule::Pan001,
+    );
+    assert_clean(
+        "fn f(x: Option<u32>) -> Result<u32, E> { x.ok_or(E::Missing) }\n",
+        Rule::Pan001,
+    );
+}
+
+// ---------------------------------------------------------------- PAN002 --
+
+#[test]
+fn pan002_fires_on_marker_macros() {
+    assert_fires("fn f() { unreachable!() }\n", Rule::Pan002);
+    assert_fires("fn f() { todo!() }\n", Rule::Pan002);
+    assert_fires("fn f() { unimplemented!(\"later\") }\n", Rule::Pan002);
+}
+
+#[test]
+fn pan002_clean_on_plain_idents() {
+    // An identifier that merely spells a marker name is not the macro.
+    assert_clean("fn f(todo: u32) -> u32 { todo }\n", Rule::Pan002);
+}
+
+// ---------------------------------------------------------------- PAN003 --
+
+#[test]
+fn pan003_fires_on_slice_and_map_indexing() {
+    assert_fires("fn f(xs: &[u32]) -> u32 { xs[0] }\n", Rule::Pan003);
+    assert_fires(
+        "fn f(m: &BTreeMap<u32, u32>, k: u32) -> u32 { m[&k] }\n",
+        Rule::Pan003,
+    );
+    assert_fires("fn f(xs: &[u32]) -> &[u32] { &xs[1..] }\n", Rule::Pan003);
+    // Chained: the result of a call can be indexed.
+    assert_fires("fn f() -> u32 { g()[0] }\n", Rule::Pan003);
+}
+
+#[test]
+fn pan003_clean_on_non_index_brackets() {
+    assert_clean("#[derive(Debug)]\nstruct S;\n", Rule::Pan003);
+    assert_clean("fn f() -> Vec<u32> { vec![1, 2, 3] }\n", Rule::Pan003);
+    assert_clean("fn f() -> [u8; 4] { [0u8; 4] }\n", Rule::Pan003);
+    assert_clean(
+        "fn f(xs: [u32; 2]) { let [a, b] = xs; let _ = (a, b); }\n",
+        Rule::Pan003,
+    );
+    assert_clean(
+        "fn f(xs: &[u32]) -> Option<&u32> { xs.get(0) }\n",
+        Rule::Pan003,
+    );
+}
+
+// --------------------------------------------------------------- CONC001 --
+
+#[test]
+fn conc001_fires_on_bare_thread_primitives() {
+    assert_fires("fn f() { std::thread::spawn(|| {}); }\n", Rule::Conc001);
+    assert_fires(
+        "fn f() { thread::scope(|s| { let _ = s; }); }\n",
+        Rule::Conc001,
+    );
+    assert_fires(
+        "fn f() { let b = std::thread::Builder::new(); }\n",
+        Rule::Conc001,
+    );
+}
+
+#[test]
+fn conc001_clean_on_scope_handles() {
+    // `scope.spawn(..)` on a handle is inside a sanctioned pool, not a
+    // bare `thread::spawn`.
+    assert_clean(
+        "fn f(scope: &Scope) { scope.spawn(|| {}); }\n",
+        Rule::Conc001,
+    );
+    assert_clean(
+        "fn f() -> usize { std::thread::available_parallelism().map_or(1, |p| p.get()) }\n",
+        Rule::Conc001,
+    );
+}
+
+// ---------------------------------------------------------------- UNS001 --
+
+#[test]
+fn uns001_fires_on_unsafe_keyword_even_in_tests() {
+    let src = "fn f(p: *const u32) -> u32 { unsafe { *p } }\n";
+    assert_fires(src, Rule::Uns001);
+    // UNS001 is the one rule that also applies in the test region.
+    let in_tests = lint_source("testcrate", "tests/x.rs", src, &Config::default(), true);
+    assert!(
+        in_tests.iter().any(|f| f.rule == Rule::Uns001),
+        "UNS001 must apply in test regions: {in_tests:#?}"
+    );
+}
+
+#[test]
+fn uns001_clean_on_the_word_in_strings() {
+    assert_clean("fn f() -> &'static str { \"unsafe\" }\n", Rule::Uns001);
+}
+
+// ---------------------------------------------------------------- SUP001 --
+
+#[test]
+fn suppression_with_reason_silences_and_records() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n    // detlint: allow(PAN001) — fixture value is always present\n    x.unwrap()\n}\n";
+    let fs = findings(src);
+    let hit = fs.iter().find(|f| f.rule == Rule::Pan001);
+    match hit.map(|f| &f.status) {
+        Some(Status::Suppressed { reason }) => {
+            assert!(reason.contains("always present"), "{reason}");
+        }
+        other => panic!("expected suppressed PAN001, got {other:?}\n{fs:#?}"),
+    }
+    assert!(!fs.iter().any(|f| f.rule == Rule::Sup001), "{fs:#?}");
+}
+
+#[test]
+fn trailing_suppression_targets_its_own_line() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // detlint: allow(PAN001) — checked by caller\n}\n";
+    let fs = findings(src);
+    assert!(
+        fs.iter()
+            .any(|f| f.rule == Rule::Pan001 && matches!(f.status, Status::Suppressed { .. })),
+        "{fs:#?}"
+    );
+}
+
+#[test]
+fn sup001_fires_on_missing_reason() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n    // detlint: allow(PAN001)\n    x.unwrap()\n}\n";
+    let fs = findings(src);
+    assert!(fs.iter().any(|f| f.rule == Rule::Sup001), "{fs:#?}");
+    // And the reasonless comment does NOT silence the finding.
+    assert!(
+        fs.iter()
+            .any(|f| f.rule == Rule::Pan001 && f.status == Status::Active),
+        "{fs:#?}"
+    );
+}
+
+#[test]
+fn sup001_fires_on_unknown_rule_code() {
+    let src = "// detlint: allow(XYZ999) — no such rule\nfn f() {}\n";
+    assert_fires(src, Rule::Sup001);
+}
+
+#[test]
+fn sup001_fires_on_stale_suppression() {
+    let src = "fn f() -> u32 {\n    // detlint: allow(PAN001) — nothing here actually unwraps\n    0\n}\n";
+    assert_fires(src, Rule::Sup001);
+}
+
+#[test]
+fn multi_code_suppression_covers_both_rules() {
+    let src = "fn f(v: &mut Vec<f64>) {\n    // detlint: allow(DET004, PAN001) — keys are finite by construction\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+    let fs = findings(src);
+    for rule in [Rule::Det004, Rule::Pan001] {
+        assert!(
+            fs.iter()
+                .any(|f| f.rule == rule && matches!(f.status, Status::Suppressed { .. })),
+            "{} should be suppressed: {fs:#?}",
+            rule.code()
+        );
+    }
+}
+
+// ------------------------------------------------------------ test region --
+
+#[test]
+fn rules_stop_at_cfg_test_boundary() {
+    let src = "fn prod(x: Option<u32>) -> Option<u32> { x }\n#[cfg(test)]\nmod tests {\n    fn t(x: Option<u32>) -> u32 { x.unwrap() }\n}\n";
+    assert_clean(src, Rule::Pan001);
+    // The same unwrap before the boundary fires.
+    let src2 = "fn prod(x: Option<u32>) -> u32 { x.unwrap() }\n#[cfg(test)]\nmod tests {}\n";
+    assert_fires(src2, Rule::Pan001);
+}
+
+#[test]
+fn forced_test_region_exempts_everything_but_unsafe() {
+    let src = "fn t(x: Option<u32>) -> u32 { let m = HashMap::new(); let _ = m; x.unwrap() }\n";
+    let fs = lint_source("testcrate", "tests/t.rs", src, &Config::default(), true);
+    assert!(fs.is_empty(), "test-region code is exempt: {fs:#?}");
+}
+
+// ------------------------------------------------------------- severities --
+
+#[test]
+fn crate_severity_allow_drops_findings() {
+    let cfg = Config::parse("[crate.shim]\nDET002 = \"allow\"\n").expect("parses");
+    let src = "fn f() { let t = std::time::Instant::now(); }\n";
+    let fs = lint_source("shim", "lib.rs", src, &cfg, false);
+    assert!(fs.is_empty(), "{fs:#?}");
+    // Other crates still see the finding at the default severity.
+    let other = lint_source("sim", "lib.rs", src, &cfg, false);
+    assert!(other.iter().any(|f| f.rule == Rule::Det002), "{other:#?}");
+}

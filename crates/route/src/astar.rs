@@ -34,14 +34,14 @@
 
 use lightpath::{EdgeId, EdgeIndex, EdgeSet, Path, TileCoord, Wafer};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// Options controlling a search.
 #[derive(Debug, Clone, Default)]
 pub struct SearchOptions {
     /// Edges the path must not use (e.g. edges already claimed by a batch
     /// of non-overlapping circuits).
-    pub forbidden: HashSet<EdgeId>,
+    pub forbidden: BTreeSet<EdgeId>,
     /// Extra cost per unit of fractional occupancy on an edge (0 disables
     /// load awareness; 1000 makes a fully-loaded edge cost ~1000 hops).
     /// Must be non-negative.

@@ -13,7 +13,7 @@
 
 use crate::astar::{SearchOptions, Searcher};
 use lightpath::{Path, TileCoord, Wafer};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Hit/miss/invalidations counters of a [`PathCache`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -47,7 +47,7 @@ pub struct PathCache {
     opts: SearchOptions,
     /// Epoch the memo table is valid for.
     epoch: u64,
-    memo: HashMap<(TileCoord, TileCoord), Option<Path>>,
+    memo: BTreeMap<(TileCoord, TileCoord), Option<Path>>,
     stats: CacheStats,
     /// Reused search scratch — misses run zero-allocation flat searches.
     searcher: Searcher,
@@ -59,7 +59,7 @@ impl PathCache {
         PathCache {
             opts,
             epoch: 0,
-            memo: HashMap::new(),
+            memo: BTreeMap::new(),
             stats: CacheStats::default(),
             searcher: Searcher::new(),
         }

@@ -15,7 +15,7 @@
 //!   parallel; latency stays near path length.
 
 use desim::{Engine, SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A request to build a circuit between two tiles on an `rows`×`cols` grid.
 pub type Request = ((u8, u8), (u8, u8));
@@ -106,7 +106,7 @@ type GridEdge = (Pos, Pos);
 /// State of the decentralized simulation.
 struct Walkers {
     /// Remaining waveguides per undirected edge, keyed by normalized pair.
-    free: HashMap<GridEdge, u32>,
+    free: BTreeMap<GridEdge, u32>,
     done: Vec<SimDuration>,
     failed: usize,
     retries: u64,
@@ -134,7 +134,7 @@ pub fn decentralized_setup(
 ) -> ControlReport {
     let mut engine: Engine<Walkers> = Engine::new();
     let mut model = Walkers {
-        free: HashMap::new(),
+        free: BTreeMap::new(),
         done: Vec::new(),
         failed: 0,
         retries: 0,

@@ -13,13 +13,13 @@
 use crate::astar::Searcher;
 use lightpath::{EdgeId, FabricError, Path, RouteFault, TileCoord, Wafer};
 use phy::wdm::LambdaSet;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Wavelength occupancy of a one-waveguide-per-edge plane.
 #[derive(Debug, Clone, Default)]
 pub struct WavelengthPlane {
     /// λ in use per edge.
-    used: HashMap<EdgeId, LambdaSet>,
+    used: BTreeMap<EdgeId, LambdaSet>,
     /// Channels per waveguide.
     channels: usize,
 }
@@ -36,7 +36,7 @@ impl WavelengthPlane {
     pub fn new(channels: usize) -> Self {
         assert!((1..=64).contains(&channels), "1..=64 channels");
         WavelengthPlane {
-            used: HashMap::new(),
+            used: BTreeMap::new(),
             channels,
         }
     }

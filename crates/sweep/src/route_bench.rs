@@ -131,6 +131,8 @@ pub fn run_route_bench(searches: u64, batches: u64) -> RouteBenchReport {
         ..SearchOptions::default()
     };
     let mut searcher = Searcher::new();
+    // detlint: allow(DET002) — wall-clock feeds paths/sec telemetry only;
+    // the path fingerprint is a pure function of the workload.
     let t0 = std::time::Instant::now();
     for i in 0..searches {
         let (src, dst) = pool[(i % PAIR_POOL as u64) as usize];
@@ -149,6 +151,7 @@ pub fn run_route_bench(searches: u64, batches: u64) -> RouteBenchReport {
     let mut rack = PhotonicRack::new(1);
     let slice = Slice::new(0, Coord3::new(0, 0, 0), Shape3::new(4, 2, 1));
     let plan = ring_plan(&rack.cluster, &slice, 2);
+    // detlint: allow(DET002) — wall-clock feeds batches/sec telemetry only.
     let t1 = std::time::Instant::now();
     for _ in 0..batches {
         match program_with(&mut rack.fabric, &plan, &mut searcher) {

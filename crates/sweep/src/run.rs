@@ -314,6 +314,8 @@ pub fn run_sweep(grid: &GridSpec, workers: usize) -> SweepOutcome {
         .clamp(1, n.max(1))
         .min((n / MIN_SCENARIOS_PER_WORKER).max(1))
         .min(cores);
+    // detlint: allow(DET002) — wall-clock measures events/sec telemetry
+    // only; results and fingerprints are pure functions of the grid.
     let started = std::time::Instant::now();
     let next = std::sync::atomic::AtomicUsize::new(0);
     let run_worker = || {
@@ -337,6 +339,8 @@ pub fn run_sweep(grid: &GridSpec, workers: usize) -> SweepOutcome {
         }
     };
     let mut parts: Vec<(ScenarioResult, MergedStats)> = Vec::with_capacity(n);
+    // detlint: allow(CONC001) — this IS the sanctioned sweep worker pool:
+    // scoped, deterministic merge order, atomic work-stealing index.
     std::thread::scope(|scope| {
         let run_worker = &run_worker;
         let handles: Vec<_> = (1..workers).map(|_| scope.spawn(run_worker)).collect();

@@ -10,7 +10,7 @@
 use crate::coords::Coord3;
 use crate::torus::DirLink;
 use desim::SimDuration;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A capacity-constrained resource a flow consumes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -69,7 +69,7 @@ pub fn max_min_rates_with_chips(flows: &[Flow], link_gbps: f64, chip_egress_gbps
         }
     };
 
-    let mut remaining: HashMap<Resource, f64> = HashMap::new();
+    let mut remaining: BTreeMap<Resource, f64> = BTreeMap::new();
     for f in flows {
         for r in resources_of(f) {
             let c = cap_of(&r);
@@ -88,7 +88,7 @@ pub fn max_min_rates_with_chips(flows: &[Flow], link_gbps: f64, chip_egress_gbps
     loop {
         // Count unfrozen flows per resource. A flow crossing a chip twice
         // consumes that chip's egress twice; count multiplicity.
-        let mut users: HashMap<Resource, u32> = HashMap::new();
+        let mut users: BTreeMap<Resource, u32> = BTreeMap::new();
         for (i, f) in flows.iter().enumerate() {
             if frozen[i] {
                 continue;

@@ -11,7 +11,7 @@
 use crate::diag::{Diagnostic, Location, Report, RuleId, Severity};
 use lightpath::{Fabric, TileCoord, WaferId};
 use resilience::chip_to_tile;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use topo::{Cluster, Occupancy, SliceId};
 
 /// One SerDes-claiming circuit endpoint.
@@ -84,7 +84,7 @@ pub fn endpoint_claims(fabric: &Fabric) -> Vec<EndpointClaim> {
 /// Which slice owns each (wafer, tile) transceiver on the photonic rack.
 #[derive(Debug, Clone, Default)]
 pub struct TileOwnership {
-    owned: HashMap<(WaferId, TileCoord), SliceId>,
+    owned: BTreeMap<(WaferId, TileCoord), SliceId>,
 }
 
 impl TileOwnership {

@@ -11,7 +11,7 @@ use crate::diag::{Diagnostic, Location, Report, RuleId, Severity};
 use lightpath::{EdgeId, Path, TileCoord, Wafer, WaferId};
 use phy::link_budget::LinkReport;
 use phy::wdm::LambdaSet;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A circuit as the analyzer sees it.
 #[derive(Debug, Clone)]
@@ -44,7 +44,7 @@ pub struct WaferView {
     /// SerDes lanes per tile (= WDM channels, 16 by default).
     pub lanes_per_tile: usize,
     /// The wafer's recorded per-edge usage ledger.
-    pub ledger: HashMap<EdgeId, u32>,
+    pub ledger: BTreeMap<EdgeId, u32>,
     /// Live circuits.
     pub circuits: Vec<CircuitView>,
 }
@@ -54,7 +54,7 @@ impl WaferView {
     pub fn of(wafer: &Wafer, id: Option<WaferId>) -> Self {
         let cfg = wafer.config();
         let (rows, cols) = (cfg.rows, cfg.cols);
-        let mut ledger = HashMap::new();
+        let mut ledger = BTreeMap::new();
         for r in 0..rows {
             for c in 0..cols {
                 let t = TileCoord::new(r, c);
@@ -104,7 +104,7 @@ impl WaferView {
 /// stays on the grid.
 pub fn check_waveguide_conservation(view: &WaferView) -> Report {
     let mut report = Report::new();
-    let mut recomputed: HashMap<EdgeId, u32> = HashMap::new();
+    let mut recomputed: BTreeMap<EdgeId, u32> = BTreeMap::new();
     for ckt in &view.circuits {
         if let Some(&t) = ckt.path.tiles().iter().find(|&&t| !view.in_grid(t)) {
             report.push(Diagnostic {
@@ -177,8 +177,8 @@ pub fn check_waveguide_conservation(view: &WaferView) -> Report {
 pub fn check_lane_conservation(view: &WaferView) -> Report {
     let mut report = Report::new();
     let valid = LambdaSet::first_n(view.lanes_per_tile);
-    let mut tx: HashMap<TileCoord, usize> = HashMap::new();
-    let mut rx: HashMap<TileCoord, usize> = HashMap::new();
+    let mut tx: BTreeMap<TileCoord, usize> = BTreeMap::new();
+    let mut rx: BTreeMap<TileCoord, usize> = BTreeMap::new();
     for ckt in &view.circuits {
         let loc = Location::Circuit {
             wafer: view.wafer,
@@ -248,7 +248,7 @@ pub fn check_lane_conservation(view: &WaferView) -> Report {
 /// check binds where λ identity is physical: the transmitter.)
 pub fn check_lambda_disjointness(view: &WaferView) -> Report {
     let mut report = Report::new();
-    let mut by_src: HashMap<TileCoord, Vec<&CircuitView>> = HashMap::new();
+    let mut by_src: BTreeMap<TileCoord, Vec<&CircuitView>> = BTreeMap::new();
     for ckt in &view.circuits {
         if ckt.claimed_src {
             by_src.entry(ckt.path.src()).or_default().push(ckt);

@@ -14,7 +14,7 @@ use phy::link_budget::LinkReport;
 use phy::units::{Db, Dbm, Gbps};
 use phy::wdm::LambdaSet;
 use resilience::{chip_to_tile, fig6a, optical_repair, PhotonicRack};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use topo::{Coord3, Dim, Shape3, Slice, Torus};
 use verify::{
     check_blast_radius, check_repair_fabric, check_schedule, check_wafer, check_wafer_view,
@@ -231,7 +231,7 @@ fn ckt(id: &str, tiles: &[(u8, u8)], lambdas: LambdaSet) -> CircuitView {
 
 /// A view whose ledger is recomputed from its circuits (self-consistent).
 fn view_of(circuits: Vec<CircuitView>) -> WaferView {
-    let mut ledger = HashMap::new();
+    let mut ledger = BTreeMap::new();
     for c in &circuits {
         for e in c.path.edges() {
             *ledger.entry(e).or_insert(0) += 1;

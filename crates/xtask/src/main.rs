@@ -8,23 +8,27 @@
 //!    schedules, the rotation all-to-all (whose electrical build must trip
 //!    SCH001 — a negative control proving the verifier has teeth), the §3
 //!    capability wafer, and the Fig 7 optical repair (RES301).
-//! 2. **unsafe audit** — every crate carries `#![forbid(unsafe_code)]`
-//!    and no `unsafe` block/fn/impl/trait appears anywhere in the tree.
-//! 3. **unwrap ratchet** — per-crate counts of panic-capable call sites
-//!    (`unwrap`/`expect`/`panic!`) in non-test code must not grow beyond
-//!    the recorded baseline; the control-plane crates are pinned at zero.
-//! 4. **perf baselines** — re-runs the committed `BENCH_sweep.json` grid
+//! 2. **detlint** — the token-level determinism & panic-freedom analyzer
+//!    in [`detlint`] walks every workspace crate: `HashMap` iteration on
+//!    fingerprint paths, wall clocks in simulation crates, unseeded
+//!    randomness, raw `f64` ordering, unwrap/expect/panic/indexing in
+//!    non-test code, bare thread spawns, and `unsafe` anywhere. Inline
+//!    suppressions require a reason; `detlint.toml` baselines only
+//!    ratchet down. A planted-violation negative control proves the
+//!    analyzer has teeth on every run.
+//! 3. **perf baselines** — re-runs the committed `BENCH_sweep.json` grid
 //!    via `spsim sweep` and the committed `BENCH_route.json` workload via
 //!    `spsim routebench` (release builds) and gates both: fingerprints,
 //!    scenario/workload counts, and event counts must match the baselines
 //!    exactly, and throughput may not regress below the tolerance floor.
-//! 5. **fmt** — `cargo fmt --check` (skipped gracefully when rustfmt is
+//! 4. **fmt** — `cargo fmt --check` (skipped gracefully when rustfmt is
 //!    not installed).
-//! 6. **clippy** — `cargo clippy --workspace --all-targets` with
+//! 5. **clippy** — `cargo clippy --workspace --all-targets` with
 //!    `-D warnings` and a curated allow-list (skipped gracefully when
 //!    clippy is not installed).
 //!
-//! `cargo xtask catalog` prints the verifier's rule catalog.
+//! `cargo xtask catalog` prints both rule catalogs (verify + detlint).
+//! `cargo xtask detlint [--json] [paths…]` runs the analyzer standalone.
 
 #![forbid(unsafe_code)]
 
@@ -42,34 +46,6 @@ use verify::{
     ScheduleContext, Severity, TileOwnership,
 };
 
-/// Per-crate ceilings for the unwrap ratchet: panic-capable call sites
-/// (`.unwrap()`, `.expect(`, `panic!(`) in the **non-test** region of each
-/// file under `src/` — everything before the first `#[cfg(test)]`, with
-/// comment and doc-comment lines excluded. Inline test modules are free to
-/// unwrap; production paths are not. Lower ceilings as call sites are
-/// cleaned up; never raise them. The control-plane crates (route,
-/// collectives, fabricd, and the analysis/driver crates) are pinned at
-/// zero: the admission → route → program → journal path is panic-free by
-/// construction.
-const UNWRAP_BASELINE: &[(&str, usize)] = &[
-    ("bench", 5),
-    ("collectives", 0),
-    ("core", 6),
-    ("criterion", 0),
-    ("desim", 9),
-    ("fabricd", 0),
-    ("hostnet", 3),
-    ("phy", 0),
-    ("proptest", 2),
-    ("resilience", 5),
-    ("route", 0),
-    ("sweep", 1),
-    ("topo", 1),
-    ("verify", 0),
-    ("workloads", 1),
-    ("xtask", 0),
-];
-
 /// Clippy lints allowed on top of `-D warnings` (style calls this
 /// workspace makes deliberately; everything else stays denied).
 const CLIPPY_ALLOW: &[&str] = &[
@@ -81,8 +57,10 @@ const CLIPPY_ALLOW: &[&str] = &[
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("lint");
+    let rest = args.get(1..).unwrap_or_default();
     match cmd {
-        "lint" => lint(&args[1..]),
+        "lint" => lint(rest),
+        "detlint" => detlint_cmd(rest),
         "catalog" => {
             catalog();
             ExitCode::SUCCESS
@@ -90,7 +68,7 @@ fn main() -> ExitCode {
         other => {
             eprintln!(
                 "unknown xtask `{other}`; available: lint [--skip-fmt --skip-clippy \
-                 --skip-bench], catalog"
+                 --skip-bench], detlint [--json] [paths…], catalog"
             );
             ExitCode::FAILURE
         }
@@ -101,6 +79,11 @@ fn catalog() {
     println!("verify rule catalog:");
     for rule in RuleId::ALL {
         println!("  {:<7} {}", rule.code(), rule.summary());
+    }
+    println!();
+    println!("detlint rule catalog:");
+    for rule in detlint::Rule::ALL {
+        println!("  {:<8} {}", rule.code(), rule.summary());
     }
 }
 
@@ -114,11 +97,8 @@ fn lint(flags: &[String]) -> ExitCode {
     section("verify: golden schedules & circuits");
     failures.extend(verify_golden());
 
-    section("unsafe audit");
-    failures.extend(unsafe_audit(&root));
-
-    section("unwrap/expect ratchet");
-    failures.extend(unwrap_ratchet(&root));
+    section("detlint: determinism & panic-freedom");
+    failures.extend(detlint_run(&root, false, &[]));
 
     section("perf baseline: BENCH_sweep.json");
     if skip_bench {
@@ -327,12 +307,11 @@ fn verify_golden() -> Vec<String> {
     // Fig 7: optical repair of the Fig 6a failure; blast radius must hold.
     let scenario = fig6a();
     let mut prack = PhotonicRack::new(1);
-    match optical_repair(
-        &mut prack,
-        &scenario.victim,
-        scenario.failed,
-        scenario.free[0],
-    ) {
+    let Some(&free_wafer) = scenario.free.first() else {
+        failures.push("fig6a scenario has no free wafer".into());
+        return failures;
+    };
+    match optical_repair(&mut prack, &scenario.victim, scenario.failed, free_wafer) {
         Ok(rep) => {
             println!(
                 "  ok   fig7 repair established {} circuits in {:.1} µs",
@@ -710,136 +689,129 @@ fn workspace_root() -> PathBuf {
         .unwrap_or(manifest)
 }
 
-fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
+/// A snippet that must trip DET001 and PAN001: linted on every run as a
+/// negative control proving the analyzer still has teeth. Assembled from
+/// a planted source string, never from the tree.
+const PLANTED_VIOLATION: &str = "fn planted() -> u32 {\n    let m = \
+    std::collections::HashMap::new();\n    m.get(&1).copied().unwrap()\n}\n";
+
+/// Run detlint over the workspace (or a path-filtered subset), print the
+/// report, optionally emit the JSON artifact, and return failure lines.
+fn detlint_run(root: &Path, json: bool, filters: &[String]) -> Vec<String> {
+    let cfg = match detlint::load_config(root) {
+        Ok(c) => c,
+        Err(e) => {
+            println!("  FAIL {e}");
+            return vec![format!("detlint config: {e}")];
+        }
     };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            if path.file_name().is_some_and(|n| n == "target") {
-                continue;
-            }
-            rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
+    let report = detlint::lint_workspace(root, &cfg, filters);
+
+    // Negative control: a planted HashMap + unwrap must fire. If it does
+    // not, the lexer or matcher has silently broken.
+    let planted = detlint::lint_source("planted", "planted.rs", PLANTED_VIOLATION, &cfg, false);
+    let mut failures = report.failures.clone();
+    for rule in [detlint::Rule::Det001, detlint::Rule::Pan001] {
+        if !planted.iter().any(|f| f.rule == rule) {
+            failures.push(format!(
+                "negative control: planted violation did not trip {}",
+                rule.code()
+            ));
         }
     }
-}
 
-fn crate_dirs(root: &Path) -> Vec<(String, PathBuf)> {
-    let mut dirs = Vec::new();
-    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if path.join("Cargo.toml").is_file() {
-                let name = entry.file_name().to_string_lossy().into_owned();
-                dirs.push((name, path));
-            }
-        }
-    }
-    dirs.sort();
-    dirs
-}
-
-fn unsafe_audit(root: &Path) -> Vec<String> {
-    let mut failures = Vec::new();
-    // Patterns assembled at runtime so this file does not match itself.
-    let forbid = format!("#![{}(unsafe_code)]", "forbid");
-    let unsafe_uses: Vec<String> = ["fn", "{", "impl", "trait"]
+    let suppressed = report
+        .findings
         .iter()
-        .map(|tail| format!("{} {}", "unsafe", tail))
-        .collect();
-    let mut crates_checked = 0usize;
-    for (name, dir) in crate_dirs(root) {
-        crates_checked += 1;
-        let entry = ["src/lib.rs", "src/main.rs"]
-            .iter()
-            .map(|p| dir.join(p))
-            .find(|p| p.is_file());
-        match entry.and_then(|p| std::fs::read_to_string(&p).ok()) {
-            Some(text) if text.contains(&forbid) => {}
-            Some(_) => failures.push(format!("crate `{name}` does not {forbid}")),
-            None => failures.push(format!("crate `{name}` has no readable src entry point")),
-        }
-        let mut files = Vec::new();
-        rs_files(&dir, &mut files);
-        for file in files {
-            let Ok(text) = std::fs::read_to_string(&file) else {
-                continue;
-            };
-            for pat in &unsafe_uses {
-                if text.contains(pat.as_str()) {
-                    failures.push(format!("`{pat}` found in {}", file.display()));
-                }
-            }
-        }
+        .filter(|f| matches!(f.status, detlint::Status::Suppressed { .. }))
+        .count();
+    let baselined = report
+        .findings
+        .iter()
+        .filter(|f| f.status == detlint::Status::Baselined)
+        .count();
+    for b in &report.baselines {
+        let note = if b.count < b.ceiling {
+            " (ceiling can be tightened)"
+        } else {
+            ""
+        };
+        println!(
+            "  ok   {}: {} {} site(s), ceiling {}{note}",
+            b.krate,
+            b.count,
+            b.rule.code(),
+            b.ceiling
+        );
     }
     if failures.is_empty() {
-        println!("  ok   {crates_checked} crates forbid unsafe_code; no unsafe usage anywhere");
+        println!(
+            "  ok   {} crates, {} files: 0 active findings ({suppressed} suppressed, \
+             {baselined} baselined); negative control fired",
+            report.crates, report.files
+        );
     } else {
         for f in &failures {
             println!("  FAIL {f}");
         }
     }
-    failures
-}
-
-/// Count panic-capable call sites in the non-test region of one source
-/// file: `.unwrap()`, `.expect(`, and `panic!(` occurrences before the
-/// first `#[cfg(test)]`, skipping comment and doc-comment lines (which
-/// only illustrate API usage, not execute it).
-fn panic_sites(text: &str) -> usize {
-    // Needles assembled at runtime so this file does not match itself.
-    let needles = [
-        format!(".{}()", "unwrap"),
-        format!(".{}(", "expect"),
-        format!("{}!(", "panic"),
-    ];
-    let test_marker = format!("#[{}(test)]", "cfg");
-    let non_test = match text.find(&test_marker) {
-        Some(i) => &text[..i],
-        None => text,
-    };
-    non_test
-        .lines()
-        .filter(|l| !l.trim_start().starts_with("//"))
-        .map(|l| {
-            needles
-                .iter()
-                .map(|n| l.matches(n.as_str()).count())
-                .sum::<usize>()
-        })
-        .sum()
-}
-
-fn unwrap_ratchet(root: &Path) -> Vec<String> {
-    let mut failures = Vec::new();
-    for (name, dir) in crate_dirs(root) {
-        let baseline = UNWRAP_BASELINE
-            .iter()
-            .find(|(n, _)| *n == name)
-            .map(|&(_, b)| b)
-            .unwrap_or(0);
-        let mut files = Vec::new();
-        rs_files(&dir.join("src"), &mut files);
-        let count: usize = files
-            .iter()
-            .filter_map(|f| std::fs::read_to_string(f).ok())
-            .map(|t| panic_sites(&t))
-            .sum();
-        if count > baseline {
-            failures.push(format!(
-                "crate `{name}` has {count} unwrap/expect sites, baseline is {baseline}"
-            ));
-            println!("  FAIL {name}: {count} > baseline {baseline}");
-        } else if count < baseline {
-            println!("  ok   {name}: {count} (baseline {baseline} can be tightened)");
-        } else {
-            println!("  ok   {name}: {count}");
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        let artifact = root.join("target").join("detlint.json");
+        if let Err(e) = std::fs::create_dir_all(root.join("target"))
+            .and_then(|()| std::fs::write(&artifact, report.to_json()))
+        {
+            println!("  warn could not write {}: {e}", artifact.display());
         }
     }
     failures
+}
+
+/// `cargo xtask detlint [--json] [--check-file <path>] [paths…]` — run the
+/// analyzer standalone. Bare arguments are substring path filters
+/// (`crates/route`, `rwa.rs`). `--check-file` lints one file as
+/// production code and prints every finding, for editor integration.
+fn detlint_cmd(flags: &[String]) -> ExitCode {
+    let root = workspace_root();
+    let json = flags.iter().any(|f| f == "--json");
+    if let Some(i) = flags.iter().position(|f| f == "--check-file") {
+        let Some(path) = flags.get(i + 1) else {
+            eprintln!("--check-file needs a path");
+            return ExitCode::FAILURE;
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let cfg = detlint::load_config(&root).unwrap_or_default();
+        let findings = detlint::lint_source("adhoc", path, &text, &cfg, false);
+        for f in &findings {
+            println!("{f}");
+        }
+        return if findings.iter().any(|f| f.status == detlint::Status::Active) {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    let filters: Vec<String> = flags
+        .iter()
+        .filter(|f| !f.starts_with("--"))
+        .cloned()
+        .collect();
+    if !json {
+        section("detlint: determinism & panic-freedom");
+    }
+    let failures = detlint_run(&root, json, &filters);
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 // ------------------------------------------------------- external tools --

@@ -8,7 +8,7 @@
 //! spsim hoststack [--messages 2000] [--bytes 4096] [--peers 8]
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use server_photonics::collectives::{
@@ -28,11 +28,11 @@ use server_photonics::topo::{Coord3, Shape3, Slice, Torus};
 use server_photonics::workloads::{generate, simulate as simulate_placement, ArrivalParams};
 
 /// Minimal `--key value` parser: everything after the subcommand.
-struct Args(HashMap<String, String>);
+struct Args(BTreeMap<String, String>);
 
 impl Args {
     fn parse(raw: &[String]) -> Result<Args, String> {
-        let mut map = HashMap::new();
+        let mut map = BTreeMap::new();
         let mut it = raw.iter();
         while let Some(k) = it.next() {
             let Some(key) = k.strip_prefix("--") else {
@@ -67,7 +67,10 @@ fn parse_shape(s: &str) -> Result<Shape3, String> {
     }
     let dims: Result<Vec<usize>, _> = parts.iter().map(|p| p.parse()).collect();
     let dims = dims.map_err(|_| format!("shape '{s}' has non-numeric extents"))?;
-    Ok(Shape3::new(dims[0], dims[1], dims[2]))
+    match dims.as_slice() {
+        [x, y, z] => Ok(Shape3::new(*x, *y, *z)),
+        _ => Err(format!("shape '{s}' must look like 4x2x1")),
+    }
 }
 
 fn parse_coord(s: &str) -> Result<Coord3, String> {
@@ -77,7 +80,10 @@ fn parse_coord(s: &str) -> Result<Coord3, String> {
     }
     let v: Result<Vec<usize>, _> = parts.iter().map(|p| p.parse()).collect();
     let v = v.map_err(|_| format!("coordinate '{s}' has non-numeric parts"))?;
-    Ok(Coord3::new(v[0], v[1], v[2]))
+    match v.as_slice() {
+        [x, y, z] => Ok(Coord3::new(*x, *y, *z)),
+        _ => Err(format!("coordinate '{s}' must look like 3,3,3")),
+    }
 }
 
 fn cmd_wafer(args: &Args) -> Result<(), String> {
@@ -99,7 +105,9 @@ fn cmd_wafer(args: &Args) -> Result<(), String> {
     let rep = wafer
         .establish(CircuitRequest::new(src, dst, 16))
         .map_err(|e| e.to_string())?;
-    let ckt = wafer.circuit(rep.id).expect("just established");
+    let ckt = wafer
+        .circuit(rep.id)
+        .ok_or_else(|| "circuit vanished right after establish".to_string())?;
     println!("corner circuit {src}->{dst}: {}", ckt.path);
     println!(
         "  bandwidth {}  setup {}  margin {}  BER {:.1e}",
@@ -437,6 +445,70 @@ fn cmd_routebench(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `spsim detlint` — run the workspace determinism/panic-freedom analyzer
+/// from the main binary (same engine as `cargo xtask detlint`). `--paths`
+/// takes comma-separated substring filters; `--check-file` lints a single
+/// file as production code; `--json true` prints the machine-readable
+/// report instead of text.
+fn cmd_detlint(args: &Args) -> Result<(), String> {
+    let root = std::path::PathBuf::from(args.get_str("root", "."));
+    let json = args.get_str("json", "false") == "true";
+    let cfg = detlint::load_config(&root)?;
+    if let Some(file) = args.0.get("check-file") {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+        let findings = detlint::lint_source("adhoc", file, &text, &cfg, false);
+        for f in &findings {
+            println!("{f}");
+        }
+        let active = findings
+            .iter()
+            .filter(|f| f.status == detlint::Status::Active)
+            .count();
+        if active > 0 {
+            return Err(format!("detlint: {active} active finding(s) in {file}"));
+        }
+        return Ok(());
+    }
+    let filters: Vec<String> = args
+        .0
+        .get("paths")
+        .map(|p| p.split(',').map(str::to_string).collect())
+        .unwrap_or_default();
+    let report = detlint::lint_workspace(&root, &cfg, &filters);
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        println!(
+            "detlint: {} crates, {} files, {} finding(s)",
+            report.crates,
+            report.files,
+            report.findings.len()
+        );
+        for f in &report.findings {
+            println!("  {f}");
+        }
+        for b in &report.baselines {
+            println!(
+                "  baseline {}: {} {} site(s), ceiling {}",
+                b.krate,
+                b.count,
+                b.rule.code(),
+                b.ceiling
+            );
+        }
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        if !json {
+            for f in &report.failures {
+                eprintln!("  FAIL {f}");
+            }
+        }
+        Err(format!("detlint: {} failure(s)", report.failures.len()))
+    }
+}
+
 const USAGE: &str = "spsim — server-scale photonics simulator
 
 USAGE:
@@ -451,6 +523,7 @@ USAGE:
   spsim sweep      [--grid smoke|full] [--workers 4] [--seed 42] [--json out.json] [--write-baseline BENCH_sweep.json]
                    (--smoke expands to --grid smoke --workers 2)
   spsim routebench [--searches 200000] [--batches 2000] [--write-baseline BENCH_route.json]
+  spsim detlint    [--paths crates/route,rwa.rs] [--check-file some.rs] [--json true] [--root .]
 ";
 
 fn main() -> ExitCode {
@@ -461,7 +534,9 @@ fn main() -> ExitCode {
     };
     // `sweep --smoke` is CI sugar for the small-grid 2-worker run; expand
     // it before the generic --key value parser sees it.
-    let rest: Vec<String> = argv[1..]
+    let rest: Vec<String> = argv
+        .get(1..)
+        .unwrap_or_default()
         .iter()
         .flat_map(|a| {
             if cmd == "sweep" && a == "--smoke" {
@@ -485,6 +560,7 @@ fn main() -> ExitCode {
         "ctrl" => cmd_ctrl(&args),
         "sweep" => cmd_sweep(&args),
         "routebench" => cmd_routebench(&args),
+        "detlint" => cmd_detlint(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

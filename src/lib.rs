@@ -12,6 +12,7 @@
 
 pub use collectives;
 pub use desim;
+pub use detlint;
 pub use fabricd;
 pub use hostnet;
 pub use lightpath;
