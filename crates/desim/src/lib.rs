@@ -43,6 +43,8 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod epoch;
+pub mod fnv;
 mod ord;
 mod quantile;
 mod rng;

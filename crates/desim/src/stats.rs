@@ -271,6 +271,17 @@ impl TimeSeries {
         &self.points
     }
 
+    /// Fold `other`'s samples into this series, keeping the combined
+    /// series sorted by time (ties break by value bit pattern, then by
+    /// this-before-other). The result is a pure function of the two
+    /// sample sets — merge order cannot perturb it — which is what lets
+    /// sharded runs aggregate gauge series deterministically.
+    pub fn merge_by_time(&mut self, other: &TimeSeries) {
+        self.points.extend_from_slice(&other.points);
+        self.points
+            .sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    }
+
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.points.len()

@@ -107,6 +107,26 @@ impl Metrics {
         out
     }
 
+    /// Fold another registry into this one — the pod-level aggregation
+    /// path. Counters and per-reason rejection counts merge through their
+    /// `BTreeMap`s (so [`Metrics::rejection_report_json`] on the merged
+    /// registry is byte-stable no matter how many shards or worker
+    /// threads produced the inputs), the admission-wait histograms merge
+    /// bin-wise, and gauge series merge in time order.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (code, n) in &other.rejections {
+            *self.rejections.entry(code).or_insert(0) += n;
+        }
+        self.admission_wait.merge(&other.admission_wait);
+        self.occupancy.merge_by_time(&other.occupancy);
+        self.live_circuits.merge_by_time(&other.live_circuits);
+        self.reconfigs.merge_by_time(&other.reconfigs);
+        self.aggregate_gbps.merge_by_time(&other.aggregate_gbps);
+    }
+
     /// Record how long a job waited from arrival to admission.
     pub fn record_wait(&mut self, seconds: f64) {
         self.admission_wait.record(seconds);
@@ -218,6 +238,43 @@ mod tests {
         for name in COUNTERS {
             assert!(text.contains(name), "summary missing {name}");
         }
+    }
+
+    #[test]
+    fn merged_rejection_report_is_byte_stable_across_merge_order() {
+        let shard = |codes: &[&'static str], waits: &[f64]| {
+            let mut m = Metrics::new();
+            for c in codes {
+                m.bump_rejection(c);
+                m.bump("jobs.rejected.program");
+            }
+            for &w in waits {
+                m.record_wait(w);
+            }
+            m
+        };
+        let a = shard(&["route/no-disjoint-path"], &[1.5]);
+        let b = shard(
+            &["circuit/insufficient-tx-lanes", "route/no-disjoint-path"],
+            &[7.25, 0.5],
+        );
+        let c = shard(&["topo/out-of-bounds"], &[]);
+        let mut fwd = Metrics::new();
+        for m in [&a, &b, &c] {
+            fwd.merge(m);
+        }
+        let mut rev = Metrics::new();
+        for m in [&c, &b, &a] {
+            rev.merge(m);
+        }
+        assert_eq!(
+            fwd.rejection_report_json(),
+            rev.rejection_report_json(),
+            "per-shard counter aggregation must be merge-order invariant"
+        );
+        assert_eq!(fwd.counter("jobs.rejected.program"), 4);
+        assert_eq!(fwd.rejections().get("route/no-disjoint-path"), Some(&2));
+        assert_eq!(fwd.admission_wait().count(), 3);
     }
 
     #[test]

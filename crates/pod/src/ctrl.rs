@@ -1,0 +1,523 @@
+//! `PodCtrl`: the pod-level control plane.
+//!
+//! One run admits a deterministic job trace against the whole 4096-chip
+//! torus, delegates every admission to exactly one rack-group shard
+//! domain, executes the domains in sim-time epoch windows on a
+//! work-stealing thread pool, and folds the per-shard journals into one
+//! pod-level append-only FNV journal through the canonical
+//! `(time, shard, seq)` exchange of [`desim::epoch`]. Everything the run
+//! reports — fingerprint, journal hash, merged metrics — is a pure
+//! function of `(PodConfig, seed)`; the worker-thread count (`shards`)
+//! only changes which OS thread executes which domain window.
+//!
+//! The worker-count-invariance argument, end to end:
+//!
+//! 1. the shard *partition* is fixed geometry ([`PodLayout`]);
+//! 2. delegation runs single-threaded at the epoch barrier, against the
+//!    capacity view of the previous barrier, in trace order;
+//! 3. each domain's window is sequential and self-contained
+//!    ([`ShardDomain`]);
+//! 4. barrier folding sorts deltas by `(time, shard, seq)` — a pure
+//!    function of the deltas, not of completion order;
+//! 5. metrics and fingerprints fold in group-index order.
+
+use crate::layout::{PodLayout, POD_CHIPS};
+use crate::shard::{PodEvent, ShardDomain};
+use desim::epoch::{exchange, EpochConfig, Stamped};
+use desim::fnv::{combine, derive_seed, Fnv};
+use desim::{SimDuration, SimTime};
+use fabricd::{Journal, JournalEntry, JournalHeader, Metrics};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use topo::RackGroupPartition;
+use workloads::{generate, ArrivalParams, JobRequest};
+
+/// Parameters of one pod run. Worker count is deliberately *not* here —
+/// it is a property of the execution, not of the simulated system, and
+/// must not affect any output.
+#[derive(Debug, Clone, Copy)]
+pub struct PodConfig {
+    /// Total chips (positive multiple of one 64-chip rack).
+    pub chips: usize,
+    /// Wavelength lanes per tenant ring circuit.
+    pub lanes: usize,
+    /// Pod seed; per-domain streams derive as `derive_seed(seed, group)`.
+    pub seed: u64,
+    /// Jobs in the arrival trace.
+    pub jobs: usize,
+    /// Chip failures to inject, round-robin across domains.
+    pub failures: usize,
+    /// Epoch window length (barrier cadence).
+    pub epoch: SimDuration,
+    /// Stop after this many epochs; 0 = run to quiescence.
+    pub max_epochs: u64,
+    /// How long a job may wait in a domain's admission queue.
+    pub queue_timeout: SimDuration,
+    /// Arrival process parameters.
+    pub arrivals: ArrivalParams,
+}
+
+impl Default for PodConfig {
+    fn default() -> Self {
+        PodConfig {
+            chips: POD_CHIPS,
+            lanes: 2,
+            seed: 7,
+            jobs: 256,
+            failures: 8,
+            epoch: SimDuration::from_secs(600),
+            max_epochs: 0,
+            queue_timeout: SimDuration::from_secs(1_800),
+            arrivals: ArrivalParams::default(),
+        }
+    }
+}
+
+/// Everything a finished pod run reports.
+#[derive(Debug)]
+pub struct PodOutcome {
+    /// The run fingerprint: per-domain fingerprints (group order), the
+    /// pod journal hash, the delegation digest, and the event count,
+    /// folded through FNV-1a. Equal fingerprints ⇔ identical runs.
+    pub fingerprint: u64,
+    /// The pod-level journal: every domain's records, coordinates
+    /// remapped into the pod torus, in canonical exchange order.
+    pub journal: Journal,
+    /// All domains' metrics, folded in group-index order.
+    pub metrics: Metrics,
+    /// Local events executed across all domains.
+    pub events: u64,
+    /// Epoch windows executed.
+    pub epochs: u64,
+    /// Worker threads used (echo of the request, clamped to the domain
+    /// count; does not affect any other field).
+    pub shards: usize,
+    /// Shard domains in the partition.
+    pub groups: usize,
+    /// Commands delegated across the shard boundary.
+    pub delegations: u64,
+    /// Simulated horizon reached (end of the last epoch window).
+    pub horizon: SimTime,
+    /// Wall-clock seconds (telemetry only; never part of the fingerprint).
+    pub wall_s: f64,
+    /// Events per wall-clock second — the `BENCH_pod.json` throughput.
+    pub events_per_sec: f64,
+}
+
+/// What one domain reports at an epoch barrier.
+struct BarrierReport {
+    group: usize,
+    delta: Vec<fabricd::Record>,
+    free: usize,
+    pending: usize,
+}
+
+/// Greedy delegation: the fittest domain that can hold `need` chips
+/// (most free capacity, ties to the lowest group index); if none can,
+/// the domain with the most free capacity anyway — it will queue or
+/// deny deterministically.
+fn pick_group(free: &[usize], need: usize) -> usize {
+    let mut best_any = (0usize, 0usize);
+    let mut best_fit: Option<(usize, usize)> = None;
+    for (g, &f) in free.iter().enumerate() {
+        if f > best_any.1 {
+            best_any = (g, f);
+        }
+        if f >= need && best_fit.is_none_or(|(_, bf)| f > bf) {
+            best_fit = Some((g, f));
+        }
+    }
+    best_fit.unwrap_or(best_any).0
+}
+
+/// Remap a domain-local journal entry into pod coordinates: slice
+/// origins and chip coordinates shift by the group's Z offset, incident
+/// ids are namespaced by group so they stay unique pod-wide.
+fn remap_entry(p: &RackGroupPartition, group: usize, entry: JournalEntry) -> JournalEntry {
+    let incident_id = |local: u64| ((group as u64) << 32) | (local & 0xffff_ffff);
+    match entry {
+        JournalEntry::Admit {
+            job,
+            origin,
+            extent,
+        } => JournalEntry::Admit {
+            job,
+            origin: p.to_pod(group, origin),
+            extent,
+        },
+        JournalEntry::Fail {
+            incident,
+            chip,
+            victim,
+            spliced,
+        } => JournalEntry::Fail {
+            incident: incident_id(incident),
+            chip: p.to_pod(group, chip),
+            victim,
+            spliced,
+        },
+        JournalEntry::Repair {
+            incident,
+            replacement,
+            circuits,
+            servers_touched,
+            blast_servers,
+        } => JournalEntry::Repair {
+            incident: incident_id(incident),
+            replacement: p.to_pod(group, replacement),
+            circuits,
+            servers_touched,
+            blast_servers,
+        },
+        JournalEntry::RepairFailed {
+            incident,
+            replacement,
+            error,
+        } => JournalEntry::RepairFailed {
+            incident: incident_id(incident),
+            replacement: p.to_pod(group, replacement),
+            error,
+        },
+        other => other,
+    }
+}
+
+/// Run one pod simulation with `shards` worker threads.
+///
+/// The returned [`PodOutcome`] is bit-identical for every `shards` value:
+/// `spsim pod` asserts this at runtime and `cargo xtask lint` pins the
+/// fingerprint in `BENCH_pod.json`.
+pub fn run_pod(cfg: &PodConfig, shards: usize) -> Result<PodOutcome, String> {
+    let layout = PodLayout::new(cfg.chips)?;
+    let partition = *layout.partition();
+    let groups = layout.groups();
+    let workers = shards.clamp(1, groups);
+    let epochs_cfg =
+        EpochConfig::new(cfg.epoch).ok_or_else(|| "epoch length must be positive".to_string())?;
+
+    // Fixed logical domains, one per rack group, each with its own
+    // seed-partitioned RNG stream.
+    let mut domains: Vec<Mutex<ShardDomain>> = (0..groups)
+        .map(|g| {
+            Mutex::new(ShardDomain::new(
+                g as u32,
+                layout.group_racks(),
+                cfg.lanes,
+                derive_seed(cfg.seed, g as u64),
+                cfg.queue_timeout,
+            ))
+        })
+        .collect();
+
+    // The deterministic demand: a pod-wide arrival trace (job id = trace
+    // index) and a failure schedule anchored at the median arrival.
+    let trace: Vec<JobRequest> = generate(cfg.jobs, &cfg.arrivals, cfg.seed);
+    let anchor = trace
+        .get(trace.len() / 2)
+        .map_or(SimTime::ZERO, |j| j.arrival);
+    let failures: Vec<(SimTime, usize)> = (0..cfg.failures)
+        .map(|f| (anchor + SimDuration::from_secs(30) * (f as u64), f % groups))
+        .collect();
+
+    let mut journal = Journal::new(JournalHeader {
+        racks: layout.racks(),
+        lanes: cfg.lanes,
+        seed: cfg.seed,
+        shape: layout.pod_shape(),
+    });
+
+    // Capacity view for delegation: refreshed from actual domain reports
+    // at every barrier, optimistically decremented between barriers.
+    let mut free_est: Vec<usize> = vec![layout.group_chips(); groups];
+    let mut deleg = Fnv::new();
+    let mut delegations: u64 = 0;
+    let mut next_job = 0usize;
+    let mut next_fail = 0usize;
+    let mut epoch = 0u64;
+
+    // detlint: allow(DET002) — wall-clock feeds events/sec telemetry
+    // only; every simulated output is a pure function of (config, seed).
+    let started = std::time::Instant::now();
+
+    let horizon = loop {
+        let end = epochs_cfg.end_of(epoch);
+
+        // --- barrier, part 1 (single-threaded): delegate this window's
+        // demand in trace order against the previous barrier's view.
+        while let Some(job) = trace.get(next_job) {
+            if job.arrival >= end {
+                break;
+            }
+            let need = job.shape.volume();
+            let g = pick_group(&free_est, need);
+            if let Some(f) = free_est.get_mut(g) {
+                *f = f.saturating_sub(need);
+            }
+            deleg.write_u64(next_job as u64);
+            deleg.write_u64(g as u64);
+            delegations += 1;
+            let ev = PodEvent::Arrival {
+                job: next_job as u32,
+                shape: job.shape,
+                duration: job.duration,
+            };
+            let arrival = job.arrival;
+            deliver(&mut domains, g, arrival, ev)?;
+            next_job += 1;
+        }
+        while let Some(&(at, g)) = failures.get(next_fail) {
+            if at >= end {
+                break;
+            }
+            deleg.write_u64(u64::MAX);
+            deleg.write_u64(g as u64);
+            delegations += 1;
+            deliver(&mut domains, g, at, PodEvent::InjectFailure)?;
+            next_fail += 1;
+        }
+
+        // --- window (parallel): every domain runs to the deadline. The
+        // pull queue balances load; which thread runs which domain is
+        // unobservable because domains are sequential and self-contained.
+        let next = AtomicUsize::new(0);
+        let run_worker = || -> Result<Vec<BarrierReport>, String> {
+            let mut out = Vec::new();
+            loop {
+                let g = next.fetch_add(1, Ordering::Relaxed);
+                let Some(slot) = domains.get(g) else {
+                    return Ok(out);
+                };
+                let mut dom = slot
+                    .lock()
+                    .map_err(|_| "pod shard mutex poisoned".to_string())?;
+                dom.run_until(end);
+                dom.sample(end);
+                out.push(BarrierReport {
+                    group: g,
+                    delta: dom.take_delta(),
+                    free: dom.free_chips(),
+                    pending: dom.pending(),
+                });
+            }
+        };
+        let mut parts: Vec<BarrierReport> = Vec::with_capacity(groups);
+        if workers == 1 {
+            parts.extend(run_worker()?);
+        } else {
+            let mut worker_err: Option<String> = None;
+            // detlint: allow(CONC001) — this IS the sanctioned pod shard
+            // worker pool: scoped, atomic pull queue, barrier-ordered fold.
+            std::thread::scope(|scope| {
+                let run_worker = &run_worker;
+                let handles: Vec<_> = (1..workers).map(|_| scope.spawn(run_worker)).collect();
+                let mut results: Vec<Result<Vec<BarrierReport>, String>> = vec![run_worker()];
+                for h in handles {
+                    results.push(
+                        h.join()
+                            .unwrap_or_else(|_| Err("pod shard worker panicked".to_string())),
+                    );
+                }
+                for res in results {
+                    match res {
+                        Ok(part) => parts.extend(part),
+                        Err(e) => worker_err = Some(e),
+                    }
+                }
+            });
+            if let Some(e) = worker_err {
+                return Err(e);
+            }
+        }
+
+        // --- barrier, part 2 (single-threaded): canonical fold. Pull
+        // order interleaves arbitrarily; group index restores identity.
+        parts.sort_by_key(|r| r.group);
+        let mut pending_total = 0usize;
+        let mut outboxes: Vec<Vec<Stamped<JournalEntry>>> = Vec::with_capacity(parts.len());
+        for rep in parts {
+            pending_total += rep.pending;
+            if let Some(f) = free_est.get_mut(rep.group) {
+                *f = rep.free;
+            }
+            let g32 = rep.group as u32;
+            outboxes.push(
+                rep.delta
+                    .into_iter()
+                    .map(|rec| Stamped {
+                        at: rec.at,
+                        shard: g32,
+                        seq: rec.seq,
+                        payload: remap_entry(&partition, rep.group, rec.entry),
+                    })
+                    .collect(),
+            );
+        }
+        for m in exchange(outboxes) {
+            journal.push(m.at, m.payload);
+        }
+
+        epoch += 1;
+        let drained = next_job == trace.len() && next_fail == failures.len() && pending_total == 0;
+        if drained || (cfg.max_epochs > 0 && epoch >= cfg.max_epochs) {
+            break end;
+        }
+        if epoch >= 1_000_000 {
+            return Err(format!(
+                "pod run did not quiesce within {epoch} epochs (pending={pending_total})"
+            ));
+        }
+    };
+
+    // Final fold, in group-index order: metrics, fingerprints, events.
+    let mut metrics = Metrics::new();
+    let mut fps: Vec<u64> = Vec::with_capacity(groups);
+    let mut events: u64 = 0;
+    for slot in &mut domains {
+        let dom = slot
+            .get_mut()
+            .map_err(|_| "pod shard mutex poisoned".to_string())?;
+        metrics.merge(dom.metrics());
+        fps.push(dom.fingerprint());
+        events += dom.events_executed();
+    }
+
+    let mut h = Fnv::new();
+    h.write_u64(combine(&fps));
+    h.write_u64(journal.hash());
+    h.write_u64(deleg.finish());
+    h.write_u64(events);
+    h.write_u64(epoch);
+    let fingerprint = h.finish();
+
+    let wall_s = started.elapsed().as_secs_f64();
+    let events_per_sec = if wall_s > 0.0 {
+        events as f64 / wall_s
+    } else {
+        0.0
+    };
+
+    Ok(PodOutcome {
+        fingerprint,
+        journal,
+        metrics,
+        events,
+        epochs: epoch,
+        shards: workers,
+        groups,
+        delegations,
+        horizon,
+        wall_s,
+        events_per_sec,
+    })
+}
+
+/// Deliver one command to a domain at the single-threaded barrier.
+fn deliver(
+    domains: &mut [Mutex<ShardDomain>],
+    group: usize,
+    at: SimTime,
+    ev: PodEvent,
+) -> Result<(), String> {
+    let slot = domains
+        .get_mut(group)
+        .ok_or_else(|| format!("delegation to unknown group {group}"))?;
+    let dom = slot
+        .get_mut()
+        .map_err(|_| "pod shard mutex poisoned".to_string())?;
+    dom.deliver(at, ev);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> PodConfig {
+        PodConfig {
+            chips: 256,
+            jobs: 40,
+            failures: 3,
+            ..PodConfig::default()
+        }
+    }
+
+    #[test]
+    fn worker_count_cannot_be_observed() {
+        let cfg = small();
+        let one = run_pod(&cfg, 1).expect("1 worker");
+        let four = run_pod(&cfg, 4).expect("4 workers");
+        assert_eq!(one.fingerprint, four.fingerprint);
+        assert_eq!(one.journal.hash(), four.journal.hash());
+        assert_eq!(one.events, four.events);
+        assert_eq!(
+            one.metrics.rejection_report_json(),
+            four.metrics.rejection_report_json()
+        );
+    }
+
+    #[test]
+    fn run_guiesces_and_journals_all_demand() {
+        let cfg = small();
+        let out = run_pod(&cfg, 2).expect("runs");
+        assert_eq!(out.delegations, (cfg.jobs + cfg.failures) as u64);
+        assert_eq!(out.metrics.counter("jobs.arrived"), cfg.jobs as u64);
+        assert_eq!(
+            out.metrics.counter("failures.injected"),
+            cfg.failures as u64
+        );
+        // Every arrival resolves: admitted+departed, denied, or rejected.
+        let resolved = out.metrics.counter("jobs.admitted")
+            + out.metrics.counter("jobs.denied.timeout")
+            + out.metrics.counter("jobs.denied.program")
+            + out.metrics.counter("jobs.rejected.infeasible");
+        assert_eq!(resolved, cfg.jobs as u64, "all jobs resolved");
+        assert_eq!(
+            out.metrics.counter("jobs.admitted"),
+            out.metrics.counter("jobs.departed"),
+            "quiescence: every admitted job departed"
+        );
+        assert!(!out.journal.is_empty());
+    }
+
+    #[test]
+    fn bounded_epochs_stop_early() {
+        let mut cfg = small();
+        cfg.max_epochs = 2;
+        let out = run_pod(&cfg, 2).expect("runs");
+        assert_eq!(out.epochs, 2);
+        assert_eq!(out.horizon, SimTime::from_ps(2 * 600 * desim::PS_PER_S));
+    }
+
+    #[test]
+    fn journal_coordinates_are_pod_global() {
+        let cfg = small();
+        let out = run_pod(&cfg, 2).expect("runs");
+        let layout = PodLayout::new(cfg.chips).expect("layout");
+        let pod_z = layout.pod_shape().extent(topo::Dim::Z);
+        let group_z = layout.partition().group_z();
+        let mut beyond_first_group = 0usize;
+        for r in out.journal.records() {
+            if let JournalEntry::Admit { origin, .. } = &r.entry {
+                assert!(origin.p[2] < pod_z, "origin within the pod torus");
+                if origin.p[2] >= group_z {
+                    beyond_first_group += 1;
+                }
+            }
+        }
+        assert!(
+            beyond_first_group > 0,
+            "delegation spreads admissions beyond group 0"
+        );
+    }
+
+    #[test]
+    fn pod_journal_times_are_globally_ordered() {
+        let out = run_pod(&small(), 3).expect("runs");
+        let recs = out.journal.records();
+        for w in recs.windows(2) {
+            if let [a, b] = w {
+                assert!(a.at <= b.at, "exchange order is globally time-sorted");
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Pod geometry: how many racks, how they group into shard domains.
+//!
+//! The shard partition is a pure function of the chip count. `--shards`
+//! (worker threads) never changes it, which is the first half of the
+//! worker-count-invariance argument: 1 thread and N threads execute the
+//! *same* logical domains, in the same epoch windows, with the same
+//! per-domain RNG streams.
+
+use topo::{Dim, RackGroupPartition, Shape3};
+
+/// Chips in one TPUv4 rack (4×4×4 cube).
+pub const CHIPS_PER_RACK: usize = 64;
+
+/// The paper's baseline pod: 64 racks.
+pub const POD_RACKS: usize = 64;
+
+/// The paper's baseline pod: 4096 chips.
+pub const POD_CHIPS: usize = POD_RACKS * CHIPS_PER_RACK;
+
+/// Racks per shard domain at full pod scale.
+const GROUP_RACKS: usize = 4;
+
+/// Geometry of one pod run: total chips and the rack-group partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PodLayout {
+    chips: usize,
+    partition: RackGroupPartition,
+}
+
+impl PodLayout {
+    /// Lay out a pod of `chips` chips (must be a positive multiple of one
+    /// rack). Pods of ≥16 racks shard into groups of 4 racks (the 4096-chip
+    /// pod → 16 domains); smaller pods shard one rack per group so tests
+    /// still exercise multiple domains.
+    pub fn new(chips: usize) -> Result<PodLayout, String> {
+        if chips == 0 || !chips.is_multiple_of(CHIPS_PER_RACK) {
+            return Err(format!(
+                "pod size must be a positive multiple of {CHIPS_PER_RACK} chips, got {chips}"
+            ));
+        }
+        let racks = chips / CHIPS_PER_RACK;
+        let group_racks = if racks >= 16 && racks.is_multiple_of(GROUP_RACKS) {
+            GROUP_RACKS
+        } else {
+            1
+        };
+        let partition = RackGroupPartition::new(racks, group_racks, Shape3::rack_4x4x4())
+            .ok_or_else(|| format!("cannot group {racks} racks by {group_racks}"))?;
+        Ok(PodLayout { chips, partition })
+    }
+
+    /// Total chips.
+    pub fn chips(&self) -> usize {
+        self.chips
+    }
+
+    /// Total racks.
+    pub fn racks(&self) -> usize {
+        self.partition.racks()
+    }
+
+    /// Shard domains.
+    pub fn groups(&self) -> usize {
+        self.partition.groups()
+    }
+
+    /// Racks per shard domain.
+    pub fn group_racks(&self) -> usize {
+        self.partition.group_racks()
+    }
+
+    /// Chips per shard domain.
+    pub fn group_chips(&self) -> usize {
+        self.partition.group_shape().volume()
+    }
+
+    /// The rack-group partition (coordinate mapping, containment).
+    pub fn partition(&self) -> &RackGroupPartition {
+        &self.partition
+    }
+
+    /// Shape of the composed pod torus (racks joined along Z).
+    pub fn pod_shape(&self) -> Shape3 {
+        let g = self.partition.group_shape();
+        Shape3::new(
+            g.extent(Dim::X),
+            g.extent(Dim::Y),
+            self.partition.group_z() * self.groups(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_pod_is_16_domains_of_4_racks() {
+        let l = PodLayout::new(POD_CHIPS).expect("4096 chips lay out");
+        assert_eq!(l.racks(), 64);
+        assert_eq!(l.groups(), 16);
+        assert_eq!(l.group_racks(), 4);
+        assert_eq!(l.group_chips(), 256);
+        assert_eq!(l.pod_shape(), Shape3::new(4, 4, 256));
+    }
+
+    #[test]
+    fn small_pods_shard_per_rack() {
+        let l = PodLayout::new(512).expect("8 racks lay out");
+        assert_eq!(l.groups(), 8);
+        assert_eq!(l.group_racks(), 1);
+        assert_eq!(l.group_chips(), 64);
+    }
+
+    #[test]
+    fn invalid_sizes_are_rejected() {
+        assert!(PodLayout::new(0).is_err());
+        assert!(PodLayout::new(100).is_err());
+    }
+}

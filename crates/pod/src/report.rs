@@ -1,0 +1,249 @@
+//! `BENCH_pod.json`: the committed pod benchmark baseline.
+//!
+//! Same contract as the sweep baseline: the workspace has no serde, so
+//! the report is a flat hand-rolled JSON object plus a tolerant extractor
+//! that reads back exactly what [`PodBenchReport::to_json`] writes.
+//! `cargo xtask lint` re-runs the pod smoke configuration and gates on
+//! it — **fingerprint, journal hash, and every count match exactly**
+//! (determinism), and **events/sec may not regress below
+//! [`MIN_PERF_RATIO`] × baseline**.
+
+use crate::ctrl::PodOutcome;
+
+/// Throughput may not drop below this fraction of the baseline.
+pub const MIN_PERF_RATIO: f64 = 0.1;
+
+/// The pod benchmark summary that is serialized, committed, and gated on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PodBenchReport {
+    /// Total chips simulated.
+    pub chips: u64,
+    /// Shard domains in the partition.
+    pub groups: u64,
+    /// Worker threads of the recorded run (informational).
+    pub shards: u64,
+    /// Epoch windows executed.
+    pub epochs: u64,
+    /// Jobs in the arrival trace.
+    pub jobs: u64,
+    /// Run fingerprint, hex with 0x prefix (worker-count invariant).
+    pub fingerprint: String,
+    /// Pod journal hash, hex with 0x prefix.
+    pub journal_hash: String,
+    /// Pod journal records.
+    pub journal_records: u64,
+    /// Local events executed across all domains.
+    pub events: u64,
+    /// Wall-clock seconds of the recorded run.
+    pub wall_s: f64,
+    /// Events per wall-clock second — the gated throughput.
+    pub events_per_sec: f64,
+}
+
+impl PodBenchReport {
+    /// Summarize a finished run.
+    pub fn from_outcome(out: &PodOutcome, jobs: usize) -> PodBenchReport {
+        PodBenchReport {
+            chips: out.journal.header().shape.volume() as u64,
+            groups: out.groups as u64,
+            shards: out.shards as u64,
+            epochs: out.epochs,
+            jobs: jobs as u64,
+            fingerprint: format!("{:#018x}", out.fingerprint),
+            journal_hash: format!("{:#018x}", out.journal.hash()),
+            journal_records: out.journal.len() as u64,
+            events: out.events,
+            wall_s: out.wall_s,
+            events_per_sec: out.events_per_sec,
+        }
+    }
+
+    /// Serialize to the committed JSON form (stable key order). Floats use
+    /// Rust's shortest round-trip form so `parse(to_json(r)) == r`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"chips\": {},\n  \"groups\": {},\n  \"shards\": {},\n  \
+             \"epochs\": {},\n  \"jobs\": {},\n  \"fingerprint\": \"{}\",\n  \
+             \"journal_hash\": \"{}\",\n  \"journal_records\": {},\n  \
+             \"events\": {},\n  \"wall_s\": {},\n  \"events_per_sec\": {}\n}}\n",
+            self.chips,
+            self.groups,
+            self.shards,
+            self.epochs,
+            self.jobs,
+            self.fingerprint,
+            self.journal_hash,
+            self.journal_records,
+            self.events,
+            self.wall_s,
+            self.events_per_sec,
+        )
+    }
+
+    /// Parse the JSON form produced by [`to_json`](Self::to_json).
+    pub fn parse(text: &str) -> Result<PodBenchReport, String> {
+        Ok(PodBenchReport {
+            chips: json_u64(text, "chips")?,
+            groups: json_u64(text, "groups")?,
+            shards: json_u64(text, "shards")?,
+            epochs: json_u64(text, "epochs")?,
+            jobs: json_u64(text, "jobs")?,
+            fingerprint: json_str(text, "fingerprint")?,
+            journal_hash: json_str(text, "journal_hash")?,
+            journal_records: json_u64(text, "journal_records")?,
+            events: json_u64(text, "events")?,
+            wall_s: json_f64(text, "wall_s")?,
+            events_per_sec: json_f64(text, "events_per_sec")?,
+        })
+    }
+}
+
+/// Compare a fresh run against the committed baseline. Returns one
+/// message per violated gate; empty means the baseline holds. `shards`
+/// and `wall_s` are informational and not compared.
+pub fn compare_baseline(current: &PodBenchReport, baseline: &PodBenchReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (name, cur, base) in [
+        ("chips", current.chips, baseline.chips),
+        ("groups", current.groups, baseline.groups),
+        ("epochs", current.epochs, baseline.epochs),
+        ("jobs", current.jobs, baseline.jobs),
+        (
+            "journal_records",
+            current.journal_records,
+            baseline.journal_records,
+        ),
+        ("events", current.events, baseline.events),
+    ] {
+        if cur != base {
+            failures.push(format!("{name} {cur} != baseline {base}"));
+        }
+    }
+    if current.fingerprint != baseline.fingerprint {
+        failures.push(format!(
+            "fingerprint {} != baseline {} — a pod simulation output changed; if intended, \
+             regenerate with `spsim pod --smoke --write-baseline BENCH_pod.json`",
+            current.fingerprint, baseline.fingerprint
+        ));
+    }
+    if current.journal_hash != baseline.journal_hash {
+        failures.push(format!(
+            "journal hash {} != baseline {}",
+            current.journal_hash, baseline.journal_hash
+        ));
+    }
+    let floor = baseline.events_per_sec * MIN_PERF_RATIO;
+    if current.events_per_sec < floor {
+        failures.push(format!(
+            "throughput {:.0} events/s is below {:.0} ({}x of baseline {:.0})",
+            current.events_per_sec, floor, MIN_PERF_RATIO, baseline.events_per_sec
+        ));
+    }
+    failures
+}
+
+// ------------------------------------------------- tiny JSON extraction --
+// Index-free (slice-by-get) variant of the sweep extractor: this crate is
+// pinned at zero detlint findings, including PAN003.
+
+/// The raw text after `"key":`, up to the value's end (`,`, `}` or EOL).
+fn json_raw<'a>(text: &'a str, key: &str) -> Result<&'a str, String> {
+    let needle = format!("\"{key}\"");
+    let at = text
+        .find(&needle)
+        .ok_or_else(|| format!("missing key \"{key}\""))?;
+    let rest = text.get(at + needle.len()..).unwrap_or_default();
+    let rest = rest
+        .trim_start()
+        .strip_prefix(':')
+        .ok_or_else(|| format!("no ':' after \"{key}\""))?
+        .trim_start();
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    Ok(rest.get(..end).unwrap_or(rest).trim())
+}
+
+fn json_str(text: &str, key: &str) -> Result<String, String> {
+    let raw = json_raw(text, key)?;
+    raw.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("\"{key}\" is not a string: {raw}"))
+}
+
+fn json_u64(text: &str, key: &str) -> Result<u64, String> {
+    let raw = json_raw(text, key)?;
+    raw.parse()
+        .map_err(|_| format!("\"{key}\" is not a u64: {raw}"))
+}
+
+fn json_f64(text: &str, key: &str) -> Result<f64, String> {
+    let raw = json_raw(text, key)?;
+    raw.parse()
+        .map_err(|_| format!("\"{key}\" is not an f64: {raw}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> PodBenchReport {
+        PodBenchReport {
+            chips: 4096,
+            groups: 16,
+            shards: 4,
+            epochs: 2,
+            jobs: 256,
+            fingerprint: "0x00000000deadbeef".into(),
+            journal_hash: "0x00000000cafef00d".into(),
+            journal_records: 321,
+            events: 12345,
+            wall_s: 0.25,
+            events_per_sec: 49380.0,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = report();
+        let parsed = match PodBenchReport::parse(&r.to_json()) {
+            Ok(p) => p,
+            Err(e) => panic!("parse failed: {e}"),
+        };
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn parse_rejects_missing_keys() {
+        assert!(PodBenchReport::parse("{}").is_err());
+        assert!(PodBenchReport::parse("{\"chips\": 4096}").is_err());
+    }
+
+    #[test]
+    fn identical_reports_pass_the_gate() {
+        let r = report();
+        assert!(compare_baseline(&r, &r).is_empty());
+    }
+
+    #[test]
+    fn fingerprint_and_journal_drift_fail_the_gate() {
+        let baseline = report();
+        let mut current = report();
+        current.fingerprint = "0x0000000000000001".into();
+        current.journal_hash = "0x0000000000000002".into();
+        let failures = compare_baseline(&current, &baseline);
+        assert_eq!(failures.len(), 2);
+    }
+
+    #[test]
+    fn slowdown_fails_but_noise_and_shard_count_pass() {
+        let baseline = report();
+        let mut slow = report();
+        slow.events_per_sec = baseline.events_per_sec * 0.05;
+        assert_eq!(compare_baseline(&slow, &baseline).len(), 1);
+        let mut noisy = report();
+        noisy.events_per_sec = baseline.events_per_sec * 0.5;
+        noisy.shards = 1;
+        noisy.wall_s = baseline.wall_s * 2.0;
+        assert!(compare_baseline(&noisy, &baseline).is_empty());
+    }
+}

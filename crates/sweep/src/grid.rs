@@ -77,6 +77,21 @@ pub enum Scenario {
         /// RNG seed (already partitioned per scenario).
         seed: u64,
     },
+    /// A sharded pod-scale campaign ([`pod::run_pod`]): rack-group shard
+    /// domains under the pod-level control plane. The pod's own
+    /// worker-count-invariant fingerprint is the scenario fingerprint.
+    PodCampaign {
+        /// Total chips (multiple of one 64-chip rack).
+        chips: usize,
+        /// Jobs in the pod arrival trace.
+        jobs: usize,
+        /// Chip failures injected across domains.
+        failures: usize,
+        /// Epoch cap (0 = run to quiescence).
+        epochs: u64,
+        /// RNG seed (already partitioned per scenario).
+        seed: u64,
+    },
 }
 
 impl Scenario {
@@ -111,6 +126,13 @@ impl Scenario {
                 )
             }
             Scenario::RouteChurn { ops, seed } => format!("route/churn/n{ops}/s{seed:x}"),
+            Scenario::PodCampaign {
+                chips,
+                jobs,
+                failures,
+                epochs,
+                seed,
+            } => format!("pod/c{chips}j{jobs}f{failures}e{epochs}/s{seed:x}"),
         }
     }
 }
@@ -134,6 +156,7 @@ impl GridSpec {
         match name {
             "smoke" => Some(GridSpec::smoke(base_seed)),
             "full" => Some(GridSpec::full(base_seed)),
+            "pod" => Some(GridSpec::pod(base_seed)),
             _ => None,
         }
     }
@@ -181,6 +204,19 @@ impl GridSpec {
         for _ in 0..4 {
             g.route_churn(200);
         }
+        g.finish()
+    }
+
+    /// The pod scenario grid: sharded pod campaigns from sub-pod scale up
+    /// to the paper's 4096-chip baseline (epoch-capped so the big pod
+    /// stays CI-sized). The existing smoke/full grids are untouched —
+    /// their committed fingerprints must not move.
+    pub fn pod(base_seed: u64) -> GridSpec {
+        let mut g = GridBuilder::new("pod", base_seed);
+        g.pod_campaign(512, 48, 4, 0);
+        g.pod_campaign(1024, 64, 4, 0);
+        g.pod_campaign(2048, 64, 8, 6);
+        g.pod_campaign(4096, 96, 8, 4);
         g.finish()
     }
 
@@ -247,6 +283,17 @@ impl GridBuilder {
         self.scenarios.push(Scenario::RouteChurn { ops, seed });
     }
 
+    fn pod_campaign(&mut self, chips: usize, jobs: usize, failures: usize, epochs: u64) {
+        let seed = self.next_seed();
+        self.scenarios.push(Scenario::PodCampaign {
+            chips,
+            jobs,
+            failures,
+            epochs,
+            seed,
+        });
+    }
+
     fn finish(self) -> GridSpec {
         GridSpec {
             name: self.name.to_string(),
@@ -306,6 +353,30 @@ mod tests {
     fn by_name_resolves() {
         assert!(GridSpec::by_name("smoke", 1).is_some());
         assert!(GridSpec::by_name("full", 1).is_some());
+        assert!(GridSpec::by_name("pod", 1).is_some());
         assert!(GridSpec::by_name("nope", 1).is_none());
+    }
+
+    #[test]
+    fn pod_grid_scales_to_the_paper_baseline() {
+        let g = GridSpec::pod(1);
+        assert!(g
+            .scenarios
+            .iter()
+            .any(|s| matches!(s, Scenario::PodCampaign { chips: 4096, .. })));
+        // Seeds are partitioned per scenario, like every other grid.
+        let seeds: Vec<u64> = g
+            .scenarios
+            .iter()
+            .filter_map(|s| match s {
+                Scenario::PodCampaign { seed, .. } => Some(*seed),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seeds.len(), g.len());
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "per-scenario seeds are distinct");
     }
 }

@@ -174,6 +174,48 @@ pub fn run_scenario(scenario: &Scenario, merged: &mut MergedStats) -> (u64, u64)
             n_bytes,
         } => run_collective(*shape, *mode, *algo, *n_bytes, merged),
         Scenario::RouteChurn { ops, seed } => run_route_churn(*ops, *seed, merged),
+        Scenario::PodCampaign {
+            chips,
+            jobs,
+            failures,
+            epochs,
+            seed,
+        } => {
+            let cfg = pod::PodConfig {
+                chips: *chips,
+                jobs: *jobs,
+                failures: *failures,
+                max_epochs: *epochs,
+                seed: *seed,
+                ..pod::PodConfig::default()
+            };
+            // Scenario-level workers already saturate the machine: the pod
+            // executes its shard domains on this worker's thread. Its
+            // outputs are shard-count invariant, so this changes nothing
+            // but scheduling.
+            match pod::run_pod(&cfg, 1) {
+                Ok(out) => {
+                    let mut f = Fnv::new();
+                    f.write_str("pod").write_u64(*seed);
+                    f.write_u64(out.fingerprint);
+                    f.write_u64(out.journal.hash());
+                    f.write_u64(out.journal.len() as u64);
+                    f.write_u64(out.epochs).write_u64(out.delegations);
+                    for name in COUNTERS {
+                        f.write_u64(out.metrics.counter(name));
+                    }
+                    merged.admission_wait_s.merge(out.metrics.admission_wait());
+                    (f.finish(), out.events)
+                }
+                Err(e) => {
+                    // A malformed campaign is itself a deterministic
+                    // outcome: fingerprint the error, report zero events.
+                    let mut f = Fnv::new();
+                    f.write_str("pod-error").write_str(&e);
+                    (f.finish(), 0)
+                }
+            }
+        }
     }
 }
 

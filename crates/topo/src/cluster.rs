@@ -109,6 +109,115 @@ impl Cluster {
     }
 }
 
+/// A partition of a multi-rack torus into contiguous rack groups along Z.
+///
+/// Rack groups are the pod simulator's shard domains: group `g` owns racks
+/// `[g·group_racks, (g+1)·group_racks)`, i.e. the Z slab
+/// `[g·group_racks·rack_z, (g+1)·group_racks·rack_z)` of the composed
+/// torus. The partition is a pure function of the cluster geometry — never
+/// of worker count — so a sharded run's logical decomposition is identical
+/// no matter how many OS threads execute it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RackGroupPartition {
+    racks: usize,
+    group_racks: usize,
+    rack_shape: Shape3,
+}
+
+impl RackGroupPartition {
+    /// Partition `racks` racks of `rack_shape` into groups of
+    /// `group_racks`. `None` unless `group_racks` divides `racks` evenly
+    /// (ragged groups would make group geometry index-dependent).
+    pub fn new(racks: usize, group_racks: usize, rack_shape: Shape3) -> Option<Self> {
+        if racks == 0 || group_racks == 0 || !racks.is_multiple_of(group_racks) {
+            return None;
+        }
+        Some(RackGroupPartition {
+            racks,
+            group_racks,
+            rack_shape,
+        })
+    }
+
+    /// Number of groups.
+    pub fn groups(&self) -> usize {
+        self.racks / self.group_racks
+    }
+
+    /// Racks per group.
+    pub fn group_racks(&self) -> usize {
+        self.group_racks
+    }
+
+    /// Total racks.
+    pub fn racks(&self) -> usize {
+        self.racks
+    }
+
+    /// The torus shape of one group, viewed as a standalone cluster.
+    pub fn group_shape(&self) -> Shape3 {
+        Shape3::new(
+            self.rack_shape.extent(Dim::X),
+            self.rack_shape.extent(Dim::Y),
+            self.rack_shape.extent(Dim::Z) * self.group_racks,
+        )
+    }
+
+    /// Z extent of one group's slab.
+    pub fn group_z(&self) -> usize {
+        self.rack_shape.extent(Dim::Z) * self.group_racks
+    }
+
+    /// Which group a rack belongs to.
+    pub fn group_of_rack(&self, rack: usize) -> usize {
+        rack / self.group_racks
+    }
+
+    /// Which group a pod-global chip coordinate belongs to.
+    pub fn group_of(&self, c: Coord3) -> usize {
+        c.get(Dim::Z) / self.group_z()
+    }
+
+    /// Z offset of a group's slab in the pod torus.
+    pub fn z_offset(&self, group: usize) -> usize {
+        group * self.group_z()
+    }
+
+    /// Map a group-local coordinate to the pod-global torus.
+    pub fn to_pod(&self, group: usize, local: Coord3) -> Coord3 {
+        Coord3::new(
+            local.get(Dim::X),
+            local.get(Dim::Y),
+            local.get(Dim::Z) + self.z_offset(group),
+        )
+    }
+
+    /// Map a pod-global coordinate to `(group, group-local coordinate)`.
+    pub fn to_local(&self, c: Coord3) -> (usize, Coord3) {
+        let group = self.group_of(c);
+        (
+            group,
+            Coord3::new(
+                c.get(Dim::X),
+                c.get(Dim::Y),
+                c.get(Dim::Z) - self.z_offset(group),
+            ),
+        )
+    }
+
+    /// True when the axis-aligned box `[origin, origin+extent)` lies
+    /// entirely inside one group's slab — the containment invariant every
+    /// delegated admission must satisfy (verify CTL405).
+    pub fn contains(&self, origin: Coord3, extent: Shape3) -> bool {
+        let z0 = origin.get(Dim::Z);
+        let ez = extent.extent(Dim::Z);
+        if ez == 0 {
+            return false;
+        }
+        z0 / self.group_z() == (z0 + ez - 1) / self.group_z()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +255,30 @@ mod tests {
         servers.sort();
         servers.dedup();
         assert_eq!(servers.len(), 16);
+    }
+
+    #[test]
+    fn rack_groups_partition_the_pod_torus() {
+        // The paper's pod: 64 racks in groups of 4 → 16 shard domains.
+        let p = RackGroupPartition::new(64, 4, Shape3::rack_4x4x4()).expect("64 % 4 == 0");
+        assert_eq!(p.groups(), 16);
+        assert_eq!(p.group_shape(), Shape3::new(4, 4, 16));
+        assert_eq!(p.group_z(), 16);
+        assert_eq!(p.group_of_rack(3), 0);
+        assert_eq!(p.group_of_rack(4), 1);
+        assert_eq!(p.group_of(Coord3::new(0, 0, 15)), 0);
+        assert_eq!(p.group_of(Coord3::new(0, 0, 16)), 1);
+        // Round-trip local ↔ pod coordinates.
+        let pod = p.to_pod(3, Coord3::new(1, 2, 5));
+        assert_eq!(pod, Coord3::new(1, 2, 53));
+        assert_eq!(p.to_local(pod), (3, Coord3::new(1, 2, 5)));
+        // Containment: a 4×4×4 slice at the slab edge stays inside; one
+        // straddling the boundary does not.
+        assert!(p.contains(Coord3::new(0, 0, 12), Shape3::new(4, 4, 4)));
+        assert!(!p.contains(Coord3::new(0, 0, 14), Shape3::new(4, 4, 4)));
+        // Ragged partitions are refused.
+        assert!(RackGroupPartition::new(6, 4, Shape3::rack_4x4x4()).is_none());
+        assert!(RackGroupPartition::new(0, 4, Shape3::rack_4x4x4()).is_none());
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod ocs;
 pub mod slice;
 pub mod torus;
 
-pub use cluster::{Cluster, ServerId, CHIPS_PER_SERVER};
+pub use cluster::{Cluster, RackGroupPartition, ServerId, CHIPS_PER_SERVER};
 pub use congestion::LoadMap;
 pub use coords::{Coord3, Dim, Shape3};
 pub use flows::{

@@ -57,11 +57,15 @@ pub enum RuleId {
     /// and attempt immediately pending, or a `Reject` was never rolled
     /// back.
     Ctl404,
+    /// A journaled admission straddles a shard-domain boundary: the slice
+    /// leaves the rack group its programming was delegated to, so no
+    /// single per-shard fabricd could have programmed it.
+    Ctl405,
 }
 
 impl RuleId {
     /// Every rule, in catalog order.
-    pub const ALL: [RuleId; 13] = [
+    pub const ALL: [RuleId; 14] = [
         RuleId::Sch001,
         RuleId::Sch002,
         RuleId::Sch003,
@@ -75,6 +79,7 @@ impl RuleId {
         RuleId::Ctl402,
         RuleId::Ctl403,
         RuleId::Ctl404,
+        RuleId::Ctl405,
     ];
 
     /// The stable code printed in diagnostics, e.g. `SCH001`.
@@ -93,6 +98,7 @@ impl RuleId {
             RuleId::Ctl402 => "CTL402",
             RuleId::Ctl403 => "CTL403",
             RuleId::Ctl404 => "CTL404",
+            RuleId::Ctl405 => "CTL405",
         }
     }
 
@@ -112,6 +118,7 @@ impl RuleId {
             RuleId::Ctl402 => "journaled repair references an unknown incident",
             RuleId::Ctl403 => "journaled rejection carries an unregistered reason code",
             RuleId::Ctl404 => "journaled rollback unpaired with its originating reject",
+            RuleId::Ctl405 => "journaled admission straddles a shard-domain boundary",
         }
     }
 }

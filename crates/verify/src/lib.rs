@@ -23,6 +23,7 @@
 //! | CTL402 | journal   | every journaled repair references an earlier Fail record |
 //! | CTL403 | journal   | journaled rejections carry registered fault-taxonomy codes |
 //! | CTL404 | journal   | every Rollback pairs adjacently with its originating Reject |
+//! | CTL405 | journal   | pod admissions stay inside one shard domain's rack group |
 //!
 //! Diagnostics are structured ([`Diagnostic`]: rule id, severity,
 //! location, message, fix hint) so callers — tests, `cargo xtask lint` —
@@ -48,7 +49,7 @@ pub use circuit_rules::{
 };
 pub use ctrl_rules::{
     check_admission_capacity, check_journal, check_rejection_codes, check_repair_references,
-    check_rollback_pairing,
+    check_rollback_pairing, check_shard_containment,
 };
 pub use diag::{Diagnostic, Location, Report, RuleId, Severity};
 pub use schedule_rules::{

@@ -17,10 +17,13 @@
 //!    ratchet down. A planted-violation negative control proves the
 //!    analyzer has teeth on every run.
 //! 3. **perf baselines** — re-runs the committed `BENCH_sweep.json` grid
-//!    via `spsim sweep` and the committed `BENCH_route.json` workload via
-//!    `spsim routebench` (release builds) and gates both: fingerprints,
-//!    scenario/workload counts, and event counts must match the baselines
-//!    exactly, and throughput may not regress below the tolerance floor.
+//!    via `spsim sweep`, the committed `BENCH_route.json` workload via
+//!    `spsim routebench`, and the committed `BENCH_pod.json` pod smoke
+//!    (4096 chips, two epoch windows, sharded vs sequential) via
+//!    `spsim pod --smoke` (release builds) and gates all three:
+//!    fingerprints, journal hashes, scenario/workload/record counts, and
+//!    event counts must match the baselines exactly, and throughput may
+//!    not regress below the tolerance floor.
 //! 4. **fmt** — `cargo fmt --check` (skipped gracefully when rustfmt is
 //!    not installed).
 //! 5. **clippy** — `cargo clippy --workspace --all-targets` with
@@ -112,6 +115,13 @@ fn lint(flags: &[String]) -> ExitCode {
         println!("  skipped (--skip-bench)");
     } else {
         failures.extend(route_baseline(&root));
+    }
+
+    section("perf baseline: BENCH_pod.json");
+    if skip_bench {
+        println!("  skipped (--skip-bench)");
+    } else {
+        failures.extend(pod_baseline(&root));
     }
 
     section("cargo fmt --check");
@@ -668,6 +678,92 @@ fn route_baseline(root: &Path) -> Vec<String> {
             baseline.paths_per_sec,
             baseline.batches_per_sec,
             sweep::MIN_PERF_RATIO
+        );
+    } else {
+        for f in &failures {
+            println!("  FAIL {f}");
+        }
+    }
+    failures
+}
+
+/// Re-run the committed pod smoke — the full 4096-chip pod over two epoch
+/// windows, shards=1 vs shards=4 (`spsim pod --smoke` refuses to report at
+/// all unless the sharded and sequential fingerprints agree bit for bit) —
+/// and gate on `BENCH_pod.json`: exact fingerprint, journal hash, record
+/// and event counts, tolerant events/sec floor (see
+/// [`pod::MIN_PERF_RATIO`]).
+fn pod_baseline(root: &Path) -> Vec<String> {
+    let baseline_path = root.join("BENCH_pod.json");
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            println!("  FAIL cannot read {}: {e}", baseline_path.display());
+            return vec![format!(
+                "missing perf baseline {} — generate with `spsim pod --smoke \
+                 --write-baseline BENCH_pod.json`",
+                baseline_path.display()
+            )];
+        }
+    };
+    let baseline = match pod::PodBenchReport::parse(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => {
+            println!("  FAIL unparseable baseline: {e}");
+            return vec![format!("unparseable {}: {e}", baseline_path.display())];
+        }
+    };
+    let current_path = root.join("target").join("BENCH_pod.current.json");
+    let status = cargo()
+        .current_dir(root)
+        .args([
+            "run",
+            "--release",
+            "--quiet",
+            "--bin",
+            "spsim",
+            "--",
+            "pod",
+            "--smoke",
+            "--write-baseline",
+        ])
+        .arg(&current_path)
+        .stdout(std::process::Stdio::null())
+        .status();
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(_) => {
+            println!("  FAIL spsim pod --smoke exited non-zero");
+            return vec!["spsim pod --smoke failed (shard-count determinism violation)".into()];
+        }
+        Err(e) => {
+            println!("  FAIL could not spawn cargo run ({e})");
+            return vec![format!("could not run spsim pod: {e}")];
+        }
+    }
+    let current = match std::fs::read_to_string(&current_path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| pod::PodBenchReport::parse(&t))
+    {
+        Ok(c) => c,
+        Err(e) => {
+            println!("  FAIL unreadable pod output: {e}");
+            return vec![format!("unreadable {}: {e}", current_path.display())];
+        }
+    };
+    let failures = pod::compare_baseline(&current, &baseline);
+    if failures.is_empty() {
+        println!(
+            "  ok   {} chips / {} groups / {} epochs: fingerprint {} and journal {} \
+             reproduced; {:.0} events/s (baseline {:.0}, floor {:.2}x)",
+            current.chips,
+            current.groups,
+            current.epochs,
+            current.fingerprint,
+            current.journal_hash,
+            current.events_per_sec,
+            baseline.events_per_sec,
+            pod::MIN_PERF_RATIO
         );
     } else {
         for f in &failures {

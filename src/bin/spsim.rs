@@ -18,6 +18,7 @@ use server_photonics::desim::{SimDuration, SimRng, SimTime};
 use server_photonics::fabricd::{self, CtrlConfig};
 use server_photonics::hostnet::{self, CircuitPolicy, HostParams, Message, PeerId};
 use server_photonics::lightpath::{CircuitRequest, FabricError, TileCoord, Wafer, WaferConfig};
+use server_photonics::pod::{self, PodBenchReport, PodConfig};
 use server_photonics::resilience::{
     analyze, fig6a, measure_interference, optical_repair, PhotonicRack,
 };
@@ -425,6 +426,77 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `spsim pod` — the sharded 4096-chip pod simulation. Always runs the
+/// 1-shard reference first, then the requested shard count, and exits
+/// nonzero if their fingerprints or journals differ: the worker-count
+/// invariance the pod crate promises is asserted on every invocation,
+/// not just in tests.
+fn cmd_pod(args: &Args) -> Result<(), String> {
+    let cfg = PodConfig {
+        chips: args.get("chips", pod::POD_CHIPS)?,
+        lanes: args.get("lanes", 2)?,
+        seed: args.get("seed", 7)?,
+        jobs: args.get("jobs", 256)?,
+        failures: args.get("failures", 8)?,
+        epoch: SimDuration::from_secs(args.get("epoch-s", 600)?),
+        max_epochs: args.get("epochs", 0)?,
+        queue_timeout: SimDuration::from_secs(args.get("timeout-s", 1_800)?),
+        ..PodConfig::default()
+    };
+    let shards: usize = args.get("shards", 4)?;
+
+    let reference = pod::run_pod(&cfg, 1)?;
+    let run = pod::run_pod(&cfg, shards)?;
+    println!(
+        "pod: {} chips in {} rack-group domain(s), {} jobs, {} failure(s), seed {}",
+        cfg.chips, run.groups, cfg.jobs, cfg.failures, cfg.seed
+    );
+    println!(
+        "  1 shard  : {:#018x} in {:.3}s ({:.0} events/s)",
+        reference.fingerprint, reference.wall_s, reference.events_per_sec
+    );
+    println!(
+        "  {} shards : {:#018x} in {:.3}s ({:.0} events/s)",
+        run.shards, run.fingerprint, run.wall_s, run.events_per_sec
+    );
+    if run.fingerprint != reference.fingerprint || run.journal.hash() != reference.journal.hash() {
+        return Err(format!(
+            "DETERMINISM VIOLATION: {}-shard run (fingerprint {:#018x}, journal {:#018x}) \
+             != 1-shard reference (fingerprint {:#018x}, journal {:#018x})",
+            run.shards,
+            run.fingerprint,
+            run.journal.hash(),
+            reference.fingerprint,
+            reference.journal.hash()
+        ));
+    }
+    println!("  fingerprints IDENTICAL (sharded == sequential, bit for bit)");
+    println!(
+        "  journal: {} records, hash {:#018x}, {} epochs to {}, {} delegations",
+        run.journal.len(),
+        run.journal.hash(),
+        run.epochs,
+        run.horizon,
+        run.delegations
+    );
+    print!("{}", run.metrics.summary());
+    let bench = PodBenchReport::from_outcome(&run, cfg.jobs);
+    if let Some(path) = args.0.get("json") {
+        std::fs::write(path, bench.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("  report written to {path}");
+    }
+    if let Some(path) = args.0.get("write-baseline") {
+        std::fs::write(path, bench.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("  baseline written to {path}");
+    }
+    if let Some(path) = args.0.get("dump-journal") {
+        std::fs::write(path, run.journal.to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("  journal dumped to {path}");
+    }
+    Ok(())
+}
+
 fn cmd_routebench(args: &Args) -> Result<(), String> {
     let searches: u64 = args.get("searches", route_bench::DEFAULT_SEARCHES)?;
     let batches: u64 = args.get("batches", route_bench::DEFAULT_BATCHES)?;
@@ -522,6 +594,10 @@ USAGE:
                    [--dump-journal out.json]
   spsim sweep      [--grid smoke|full] [--workers 4] [--seed 42] [--json out.json] [--write-baseline BENCH_sweep.json]
                    (--smoke expands to --grid smoke --workers 2)
+  spsim pod        [--chips 4096] [--shards 4] [--seed 7] [--jobs 256] [--failures 8] [--epochs 0]
+                   [--epoch-s 600] [--lanes 2] [--timeout-s 1800] [--json out.json]
+                   [--write-baseline BENCH_pod.json] [--dump-journal out.json]
+                   (--smoke expands to --chips 4096 --epochs 2 --shards 4)
   spsim routebench [--searches 200000] [--batches 2000] [--write-baseline BENCH_route.json]
   spsim detlint    [--paths crates/route,rwa.rs] [--check-file some.rs] [--json true] [--root .]
 ";
@@ -546,6 +622,17 @@ fn main() -> ExitCode {
                     "--workers".to_string(),
                     "2".to_string(),
                 ]
+            } else if cmd == "pod" && a == "--smoke" {
+                // The CI gate: the full 4096-chip pod, two epoch windows,
+                // shards=1 vs shards=4 fingerprint equality.
+                vec![
+                    "--chips".to_string(),
+                    "4096".to_string(),
+                    "--epochs".to_string(),
+                    "2".to_string(),
+                    "--shards".to_string(),
+                    "4".to_string(),
+                ]
             } else {
                 vec![a.clone()]
             }
@@ -559,6 +646,7 @@ fn main() -> ExitCode {
         "hoststack" => cmd_hoststack(&args),
         "ctrl" => cmd_ctrl(&args),
         "sweep" => cmd_sweep(&args),
+        "pod" => cmd_pod(&args),
         "routebench" => cmd_routebench(&args),
         "detlint" => cmd_detlint(&args),
         "help" | "--help" | "-h" => {

@@ -17,6 +17,7 @@ pub use fabricd;
 pub use hostnet;
 pub use lightpath;
 pub use phy;
+pub use pod;
 pub use resilience;
 pub use route;
 pub use sweep;
