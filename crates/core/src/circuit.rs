@@ -19,6 +19,21 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CircuitId(pub(crate) u64);
 
+impl CircuitId {
+    /// The raw handle value, for canonical snapshot serialization.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild a handle from [`raw`](Self::raw) output.
+    ///
+    /// Only meaningful against the wafer state the value was captured
+    /// from; a fabricated id simply dangles (lookups return `None`).
+    pub const fn from_raw(v: u64) -> Self {
+        CircuitId(v)
+    }
+}
+
 impl fmt::Display for CircuitId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "ckt#{}", self.0)

@@ -86,6 +86,19 @@ impl FiberState {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CrossCircuitId(u64);
 
+impl CrossCircuitId {
+    /// The raw handle value, for canonical snapshot serialization.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild a handle from [`raw`](Self::raw) output. Only meaningful
+    /// against the fabric state the value was captured from.
+    pub const fn from_raw(v: u64) -> Self {
+        CrossCircuitId(v)
+    }
+}
+
 /// Handle to a circuit established somewhere in a [`Fabric`]: either wholly
 /// within one wafer or spanning wafers over fibers. Control planes that mix
 /// both kinds (ring segments inside a server, fiber hops between servers)
@@ -496,6 +509,177 @@ impl Fabric {
     pub fn cross_circuits(&self) -> impl Iterator<Item = &CrossCircuit> {
         self.cross.values()
     }
+
+    /// Serialize all mutable fabric state into a canonical snapshot: every
+    /// wafer's state, per-fiber-bundle usage counts, the cross-circuit
+    /// table (including manual SerDes claims at degenerate attach-tile
+    /// endpoints), and the id counter. The fiber *plant* (links, lengths,
+    /// capacities) is template state rebuilt by the caller's constructor
+    /// and is not written.
+    pub fn write_snap(&self, w: &mut desim::SnapWriter) {
+        w.section("fabric");
+        w.u64("next_id", self.next_id);
+        w.u64("wafers", self.wafers.len() as u64);
+        for wafer in &self.wafers {
+            wafer.write_snap(w);
+        }
+        w.u64("fibers", self.fibers.len() as u64);
+        for f in &self.fibers {
+            w.u64("used", f.used as u64);
+        }
+        w.u64("cross", self.cross.len() as u64);
+        for c in self.cross.values() {
+            w.u64("id", c.id.0);
+            w.u64("src_wafer", c.src.0 .0 as u64);
+            w.u64("src_row", c.src.1.row as u64);
+            w.u64("src_col", c.src.1.col as u64);
+            w.u64("dst_wafer", c.dst.0 .0 as u64);
+            w.u64("dst_row", c.dst.1.row as u64);
+            w.u64("dst_col", c.dst.1.col as u64);
+            w.u64("fiber_hops", c.fibers.len() as u64);
+            for &fi in &c.fibers {
+                w.u64("fiber", fi as u64);
+            }
+            w.u64("segments", c.segments.len() as u64);
+            for (wid, cid) in &c.segments {
+                w.u64("seg_wafer", wid.0 as u64);
+                w.u64("seg_ckt", cid.0);
+            }
+            w.u64("lanes", c.lanes as u64);
+            w.f64("bandwidth", c.bandwidth.0);
+            w.f64("received", c.link.received.0);
+            w.f64("sensitivity", c.link.sensitivity.0);
+            w.f64("margin", c.link.margin.0);
+            w.f64("ber", c.link.ber);
+            w.f64("rate", c.link.rate.0);
+            match c.manual_src_claim {
+                Some(set) => {
+                    w.bool("has_src_claim", true);
+                    w.u64("src_claim", set.bits());
+                }
+                None => w.bool("has_src_claim", false),
+            }
+            match c.manual_dst_claim {
+                Some(n) => {
+                    w.bool("has_dst_claim", true);
+                    w.u64("dst_claim", n as u64);
+                }
+                None => w.bool("has_dst_claim", false),
+            }
+        }
+    }
+
+    /// Apply a [`write_snap`](Self::write_snap) snapshot onto a freshly
+    /// constructed fabric with the identical wafer configs and fiber plant.
+    pub fn read_snap(&mut self, r: &mut desim::SnapReader<'_>) -> Result<(), String> {
+        r.section("fabric")?;
+        self.next_id = r.u64("next_id")?;
+        let wafers = r.u64("wafers")? as usize;
+        if wafers != self.wafers.len() {
+            return Err(format!(
+                "fabric restore: {wafers} wafers in snapshot, {} constructed",
+                self.wafers.len()
+            ));
+        }
+        for wafer in self.wafers.iter_mut() {
+            wafer.read_snap(r)?;
+        }
+        let fibers = r.u64("fibers")? as usize;
+        if fibers != self.fibers.len() {
+            return Err(format!(
+                "fabric restore: {fibers} fiber links in snapshot, {} attached",
+                self.fibers.len()
+            ));
+        }
+        for f in self.fibers.iter_mut() {
+            let used = u32::try_from(r.u64("used")?)
+                .map_err(|_| "fabric restore: fiber usage exceeds u32".to_string())?;
+            if used > f.link.capacity {
+                return Err(format!(
+                    "fabric restore: fiber usage {used} exceeds capacity {}",
+                    f.link.capacity
+                ));
+            }
+            f.used = used;
+        }
+        let cross = r.u64("cross")? as usize;
+        for _ in 0..cross {
+            let id = CrossCircuitId(r.u64("id")?);
+            let coord = |r: &mut desim::SnapReader<'_>,
+                         wk: &str,
+                         rk: &str,
+                         ck: &str|
+             -> Result<(WaferId, TileCoord), String> {
+                let wid = r.u64(wk)? as usize;
+                let row = u8::try_from(r.u64(rk)?)
+                    .map_err(|_| "fabric restore: tile row exceeds u8".to_string())?;
+                let col = u8::try_from(r.u64(ck)?)
+                    .map_err(|_| "fabric restore: tile col exceeds u8".to_string())?;
+                Ok((WaferId(wid), TileCoord::new(row, col)))
+            };
+            let src = coord(r, "src_wafer", "src_row", "src_col")?;
+            let dst = coord(r, "dst_wafer", "dst_row", "dst_col")?;
+            let hops = r.u64("fiber_hops")? as usize;
+            let mut fibers = Vec::with_capacity(hops);
+            for _ in 0..hops {
+                let fi = r.u64("fiber")? as usize;
+                if fi >= self.fibers.len() {
+                    return Err(format!("fabric restore: fiber index {fi} out of range"));
+                }
+                fibers.push(fi);
+            }
+            let nseg = r.u64("segments")? as usize;
+            let mut segments = Vec::with_capacity(nseg);
+            for _ in 0..nseg {
+                let wid = r.u64("seg_wafer")? as usize;
+                if wid >= self.wafers.len() {
+                    return Err(format!("fabric restore: segment wafer {wid} out of range"));
+                }
+                segments.push((WaferId(wid), CircuitId::from_raw(r.u64("seg_ckt")?)));
+            }
+            let lanes = r.u64("lanes")? as usize;
+            let bandwidth = Gbps(r.f64("bandwidth")?);
+            let link = LinkReport {
+                received: phy::units::Dbm(r.f64("received")?),
+                sensitivity: phy::units::Dbm(r.f64("sensitivity")?),
+                margin: phy::units::Db(r.f64("margin")?),
+                ber: r.f64("ber")?,
+                rate: Gbps(r.f64("rate")?),
+            };
+            let manual_src_claim = if r.bool("has_src_claim")? {
+                Some(LambdaSet::from_bits(r.u64("src_claim")?))
+            } else {
+                None
+            };
+            let manual_dst_claim = if r.bool("has_dst_claim")? {
+                Some(r.u64("dst_claim")? as usize)
+            } else {
+                None
+            };
+            if self
+                .cross
+                .insert(
+                    id,
+                    CrossCircuit {
+                        id,
+                        src,
+                        dst,
+                        fibers,
+                        segments,
+                        lanes,
+                        bandwidth,
+                        link,
+                        manual_src_claim,
+                        manual_dst_claim,
+                    },
+                )
+                .is_some()
+            {
+                return Err(format!("fabric restore: duplicate cross circuit {}", id.0));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -681,6 +865,46 @@ mod tests {
         // l1 had more free fibers; it should have been used.
         assert_eq!(f.fiber_free(l0), 1);
         assert_eq!(f.fiber_free(l1), 1);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        let (mut f, _) = two_wafer_fabric();
+        // One normal cross circuit, one degenerate (attach-to-attach, which
+        // exercises the manual claim fields), one intra-wafer circuit.
+        f.establish_cross((WaferId(0), t(2, 1)), (WaferId(1), t(3, 5)), 4)
+            .unwrap();
+        f.establish_cross((WaferId(0), t(0, 7)), (WaferId(1), t(0, 0)), 2)
+            .unwrap();
+        f.wafer_mut(WaferId(0))
+            .establish(CircuitRequest::new(t(1, 1), t(2, 2), 3))
+            .unwrap();
+
+        let mut sw = desim::SnapWriter::new();
+        f.write_snap(&mut sw);
+        let text = sw.finish();
+
+        let (mut g, _) = two_wafer_fabric();
+        let mut r = desim::SnapReader::new(&text);
+        g.read_snap(&mut r).expect("restore");
+        r.done().expect("consumed fully");
+
+        let mut sw2 = desim::SnapWriter::new();
+        g.write_snap(&mut sw2);
+        assert_eq!(
+            sw2.finish(),
+            text,
+            "restored fabric re-serializes identically"
+        );
+
+        // Teardown through the restored fabric releases everything.
+        let ids: Vec<CrossCircuitId> = g.cross_circuits().map(|c| c.id).collect();
+        for id in ids {
+            g.teardown_cross(id).unwrap();
+        }
+        assert_eq!(g.fiber_free(0), 4);
+        assert_eq!(g.wafer(WaferId(0)).tile(t(0, 7)).serdes.tx_free(), 16);
+        assert_eq!(g.wafer(WaferId(1)).tile(t(3, 5)).serdes.rx_free(), 16);
     }
 
     #[test]

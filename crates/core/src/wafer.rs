@@ -434,6 +434,139 @@ impl Wafer {
         self.tile_mut(t).restore();
         self.occupancy_epoch += 1;
     }
+
+    /// Serialize all mutable wafer state into a canonical snapshot.
+    ///
+    /// The fabricated substrate (stitch losses, edge index, config) is NOT
+    /// written: it is a pure function of `WaferConfig` and re-fabricated by
+    /// [`new`](Self::new) on restore, so the snapshot carries only what a
+    /// running campaign has changed — SerDes claims, tile health, bus
+    /// loads, live circuits, and the monotonic counters.
+    pub fn write_snap(&self, w: &mut desim::SnapWriter) {
+        w.section("wafer");
+        w.u64("next_id", self.next_id);
+        w.u64("reconfigs", self.reconfigs);
+        w.u64("occupancy_epoch", self.occupancy_epoch);
+        w.u64("tiles", self.tiles.len() as u64);
+        for t in &self.tiles {
+            let all = LambdaSet::first_n(t.serdes.lanes());
+            w.u64("tx", all.difference(t.serdes.tx_available()).bits());
+            w.u64("rx", all.difference(t.serdes.rx_available()).bits());
+            w.bool("failed", t.is_failed());
+        }
+        w.u64("edges", self.edge_used.len() as u64);
+        for &used in &self.edge_used {
+            w.u64("used", used as u64);
+        }
+        w.u64("circuits", self.circuits.len() as u64);
+        for c in self.circuits.values() {
+            w.u64("id", c.id.0);
+            w.u64("hops", c.path.tiles().len() as u64);
+            for t in c.path.tiles() {
+                w.u64("row", t.row as u64);
+                w.u64("col", t.col as u64);
+            }
+            w.u64("lambdas", c.lambdas.bits());
+            w.bool("claimed_src", c.claimed_src);
+            w.bool("claimed_dst", c.claimed_dst);
+            w.f64("bandwidth", c.bandwidth.0);
+            w.f64("received", c.link.received.0);
+            w.f64("sensitivity", c.link.sensitivity.0);
+            w.f64("margin", c.link.margin.0);
+            w.f64("ber", c.link.ber);
+            w.f64("rate", c.link.rate.0);
+        }
+    }
+
+    /// Apply a [`write_snap`](Self::write_snap) snapshot onto a freshly
+    /// fabricated wafer (same `WaferConfig`, no circuits established).
+    ///
+    /// Restoration goes through the SerDes pools' own claim API so their
+    /// internal state is bit-identical to the original's, and errors out
+    /// (leaving `self` possibly partially restored — callers discard it)
+    /// on any inconsistency instead of panicking.
+    pub fn read_snap(&mut self, r: &mut desim::SnapReader<'_>) -> Result<(), String> {
+        r.section("wafer")?;
+        self.next_id = r.u64("next_id")?;
+        self.reconfigs = r.u64("reconfigs")?;
+        self.occupancy_epoch = r.u64("occupancy_epoch")?;
+        let tiles = r.u64("tiles")? as usize;
+        if tiles != self.tiles.len() {
+            return Err(format!(
+                "wafer restore: {tiles} tiles in snapshot, {} fabricated",
+                self.tiles.len()
+            ));
+        }
+        for (i, t) in self.tiles.iter_mut().enumerate() {
+            let tx = LambdaSet::from_bits(r.u64("tx")?);
+            let rx = LambdaSet::from_bits(r.u64("rx")?);
+            if !tx.is_empty() && t.serdes.claim_tx(tx).is_none() {
+                return Err(format!("wafer restore: tile {i}: tx claim conflict"));
+            }
+            if !rx.is_empty() && t.serdes.claim_rx(rx).is_none() {
+                return Err(format!("wafer restore: tile {i}: rx claim conflict"));
+            }
+            if r.bool("failed")? {
+                t.fail();
+            }
+        }
+        let edges = r.u64("edges")? as usize;
+        if edges != self.edge_used.len() {
+            return Err(format!(
+                "wafer restore: {edges} edges in snapshot, {} fabricated",
+                self.edge_used.len()
+            ));
+        }
+        for used in self.edge_used.iter_mut() {
+            *used = u32::try_from(r.u64("used")?)
+                .map_err(|_| "wafer restore: edge load exceeds u32".to_string())?;
+        }
+        let circuits = r.u64("circuits")? as usize;
+        for _ in 0..circuits {
+            let id = CircuitId(r.u64("id")?);
+            let hops = r.u64("hops")? as usize;
+            let mut pts = Vec::with_capacity(hops);
+            for _ in 0..hops {
+                let row = u8::try_from(r.u64("row")?)
+                    .map_err(|_| "wafer restore: tile row exceeds u8".to_string())?;
+                let col = u8::try_from(r.u64("col")?)
+                    .map_err(|_| "wafer restore: tile col exceeds u8".to_string())?;
+                pts.push(TileCoord::new(row, col));
+            }
+            let path = Path::from_tiles(pts)
+                .ok_or_else(|| format!("wafer restore: circuit {id}: invalid path"))?;
+            let lambdas = LambdaSet::from_bits(r.u64("lambdas")?);
+            let claimed_src = r.bool("claimed_src")?;
+            let claimed_dst = r.bool("claimed_dst")?;
+            let bandwidth = Gbps(r.f64("bandwidth")?);
+            let link = phy::link_budget::LinkReport {
+                received: phy::units::Dbm(r.f64("received")?),
+                sensitivity: phy::units::Dbm(r.f64("sensitivity")?),
+                margin: phy::units::Db(r.f64("margin")?),
+                ber: r.f64("ber")?,
+                rate: Gbps(r.f64("rate")?),
+            };
+            if self
+                .circuits
+                .insert(
+                    id,
+                    Circuit {
+                        id,
+                        path,
+                        lambdas,
+                        claimed_src,
+                        claimed_dst,
+                        bandwidth,
+                        link,
+                    },
+                )
+                .is_some()
+            {
+                return Err(format!("wafer restore: duplicate circuit {id}"));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The set of rx lanes a teardown should release: the *highest* `k` lanes
@@ -739,6 +872,51 @@ mod tests {
             .unwrap();
         let at = w.circuits_at(t(0, 0));
         assert_eq!(at, vec![a.id, b.id]);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        let mut w = wafer();
+        let a = w
+            .establish(CircuitRequest::new(t(0, 0), t(1, 2), 4))
+            .unwrap();
+        let _b = w
+            .establish(CircuitRequest::new(t(2, 2), t(0, 0), 2))
+            .unwrap();
+        w.teardown(a.id).unwrap();
+        w.fail_tile(t(3, 3));
+        let mut fiber_fed = CircuitRequest::new(t(0, 5), t(0, 7), 3);
+        fiber_fed.claim_src_serdes = false;
+        w.establish(fiber_fed).unwrap();
+
+        let mut sw = desim::SnapWriter::new();
+        w.write_snap(&mut sw);
+        let text = sw.finish();
+
+        let mut restored = wafer();
+        let mut r = desim::SnapReader::new(&text);
+        restored.read_snap(&mut r).expect("restore");
+        r.done().expect("consumed fully");
+
+        // The restored wafer must re-serialize to the identical bytes…
+        let mut sw2 = desim::SnapWriter::new();
+        restored.write_snap(&mut sw2);
+        assert_eq!(sw2.finish(), text);
+        // …and behave identically: next establish gets the same id, lanes,
+        // and loads on both.
+        let r1 = w
+            .establish(CircuitRequest::new(t(1, 0), t(2, 1), 1))
+            .unwrap();
+        let r2 = restored
+            .establish(CircuitRequest::new(t(1, 0), t(2, 1), 1))
+            .unwrap();
+        assert_eq!(r1.id, r2.id);
+        assert_eq!(w.occupancy_epoch(), restored.occupancy_epoch());
+        assert_eq!(
+            w.tile(t(0, 0)).serdes.rx_free(),
+            restored.tile(t(0, 0)).serdes.rx_free()
+        );
+        assert!(restored.tile(t(3, 3)).is_failed());
     }
 
     #[test]

@@ -60,6 +60,21 @@ impl Fnv {
     pub fn finish(&self) -> u64 {
         self.0
     }
+
+    /// The raw internal state (identical to [`finish`](Self::finish); named
+    /// for symmetry with [`from_state`](Self::from_state) at snapshot sites).
+    pub fn state(&self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild a hasher from a previously captured [`state`](Self::state).
+    ///
+    /// This is the snapshot/restore primitive: a running digest captured at
+    /// a snapshot boundary can be resumed bit-identically after a restart,
+    /// so a resumed journal chains to the same hash as an uninterrupted one.
+    pub fn from_state(state: u64) -> Self {
+        Fnv(state)
+    }
 }
 
 /// Combine per-unit fingerprints into one run fingerprint.

@@ -48,6 +48,7 @@ pub mod fnv;
 mod ord;
 mod quantile;
 mod rng;
+pub mod snap;
 pub mod stats;
 mod time;
 
@@ -55,5 +56,6 @@ pub use engine::{Engine, EventFn, EventId};
 pub use ord::OrdF64;
 pub use quantile::QuantileEstimator;
 pub use rng::SimRng;
+pub use snap::{SnapReader, SnapWriter};
 pub use stats::{Histogram, OnlineStats, TimeSeries};
 pub use time::{SimDuration, SimTime, PS_PER_MS, PS_PER_NS, PS_PER_S, PS_PER_US};

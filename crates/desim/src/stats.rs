@@ -74,6 +74,28 @@ impl OnlineStats {
         (self.n > 0).then_some(self.max)
     }
 
+    /// The raw Welford state `(n, mean, m2, min, max)` for canonical
+    /// snapshot serialization. Floats must travel as exact bit patterns;
+    /// paired with [`from_raw`](Self::from_raw), restore is bit-identical.
+    pub fn to_raw(&self) -> (u64, f64, f64, f64, f64) {
+        (self.n, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuild an accumulator from [`to_raw`](Self::to_raw) output.
+    ///
+    /// No validation beyond shape: the snapshot fingerprint is the
+    /// integrity check, and re-deriving Welford state from samples is
+    /// impossible anyway (the samples are gone).
+    pub fn from_raw(n: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        OnlineStats {
+            n,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Merge another accumulator into this one (parallel Welford).
     pub fn merge(&mut self, other: &OnlineStats) {
         if other.n == 0 {
@@ -186,6 +208,43 @@ impl Histogram {
         &self.stats
     }
 
+    /// Bottom of the binned range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Top of the binned range (exclusive).
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Rebuild a histogram from snapshot-serialized raw parts. Errors
+    /// (rather than panicking) on a shape [`new`](Self::new) would reject,
+    /// so a corrupted snapshot surfaces as a restore error.
+    pub fn from_raw(
+        lo: f64,
+        hi: f64,
+        bins: Vec<u64>,
+        underflow: u64,
+        overflow: u64,
+        stats: OnlineStats,
+    ) -> Result<Self, String> {
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(format!("histogram restore: bad range [{lo}, {hi})"));
+        }
+        if bins.is_empty() {
+            return Err("histogram restore: zero bins".to_string());
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            bins,
+            underflow,
+            overflow,
+            stats,
+        })
+    }
+
     /// Merge another histogram into this one (bin-wise, for parallel
     /// workers collecting into per-thread registries).
     ///
@@ -269,6 +328,22 @@ impl TimeSeries {
     /// All samples.
     pub fn points(&self) -> &[(f64, f64)] {
         &self.points
+    }
+
+    /// Rebuild a series from snapshot-serialized samples. Errors on
+    /// out-of-order times instead of panicking like [`push`](Self::push).
+    pub fn from_points(points: Vec<(f64, f64)>) -> Result<Self, String> {
+        for w in points.windows(2) {
+            if let (Some(a), Some(b)) = (w.first(), w.get(1)) {
+                if b.0 < a.0 {
+                    return Err(format!(
+                        "time series restore: out of order at t={} after t={}",
+                        b.0, a.0
+                    ));
+                }
+            }
+        }
+        Ok(TimeSeries { points })
     }
 
     /// Fold `other`'s samples into this series, keeping the combined

@@ -157,6 +157,17 @@ pub enum JournalEntry {
         /// Job id.
         job: u32,
     },
+    /// A canonical state snapshot was captured. The fingerprint commits to
+    /// the full control-plane state *after* applying every record with a
+    /// smaller sequence number; delta replay restores the serialized state
+    /// stored alongside the journal and folds only records above this
+    /// record's `seq`. Replay verifies the fingerprint at every snapshot
+    /// record it crosses (audited by verify CTL406), and compaction may
+    /// truncate strictly below it (audited by CTL407).
+    Snapshot {
+        /// FNV-1a fingerprint of the canonical state serialization.
+        fingerprint: u64,
+    },
 }
 
 impl JournalEntry {
@@ -225,10 +236,14 @@ impl JournalEntry {
                 format!("rollback job={job} attempt={attempt} circuits={circuits}")
             }
             JournalEntry::Evict { job } => format!("evict job={job}"),
+            JournalEntry::Snapshot { fingerprint } => {
+                format!("snapshot fingerprint={fingerprint:#018x}")
+            }
         }
     }
 
-    fn kind(&self) -> &'static str {
+    /// The record kind's canonical name (the first token of its canon line).
+    pub fn kind(&self) -> &'static str {
         match self {
             JournalEntry::Admit { .. } => "admit",
             JournalEntry::Deny { .. } => "deny",
@@ -240,6 +255,7 @@ impl JournalEntry {
             JournalEntry::Reject { .. } => "reject",
             JournalEntry::Rollback { .. } => "rollback",
             JournalEntry::Evict { .. } => "evict",
+            JournalEntry::Snapshot { .. } => "snapshot",
         }
     }
 }
@@ -268,10 +284,26 @@ impl Record {
 }
 
 /// The append-only command journal.
+///
+/// A journal is logically the full record stream from sequence 0; after
+/// [`compact_to`](Journal::compact_to) (or when resumed from a snapshot via
+/// [`with_base`](Journal::with_base)) only the tail above the snapshot
+/// watermark is *retained*, with the hash contribution of the truncated
+/// prefix folded into `base_fnv`. [`hash`](Journal::hash) and
+/// [`len`](Journal::len) therefore report identical values before and
+/// after compaction — truncation is a storage optimization, never an
+/// observable history rewrite.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Journal {
     header: JournalHeader,
     records: Vec<Record>,
+    /// Sequence number of the first retained record (0 = nothing
+    /// compacted; the full history is present).
+    base_seq: u64,
+    /// Running FNV-1a state over the canonical header plus every
+    /// compacted-away record, i.e. the hash fold up to (but excluding)
+    /// record `base_seq`.
+    base_fnv: u64,
 }
 
 /// FNV-1a offset basis (64-bit).
@@ -285,12 +317,38 @@ fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
         .fold(hash, |h, &b| (h ^ b as u64).wrapping_mul(FNV_PRIME))
 }
 
+/// The header's canonical line (the first hash-fold contribution).
+fn canon_header(h: &JournalHeader) -> String {
+    format!(
+        "journal racks={} lanes={} seed={} shape={}",
+        h.racks, h.lanes, h.seed, h.shape
+    )
+}
+
 impl Journal {
     /// An empty journal for a run described by `header`.
     pub fn new(header: JournalHeader) -> Self {
+        let base_fnv = fnv1a(FNV_OFFSET, canon_header(&header).as_bytes());
         Journal {
             header,
             records: Vec::new(),
+            base_seq: 0,
+            base_fnv,
+        }
+    }
+
+    /// A journal resuming at sequence `base_seq` with the hash fold of the
+    /// (absent) prefix already at `base_fnv` — the crash-restart
+    /// constructor. A run resumed this way appends records at exactly the
+    /// sequence numbers and hash-chain positions the uninterrupted run
+    /// would have used, so its final [`hash`](Self::hash) is bit-identical
+    /// to an uninterrupted run's.
+    pub fn with_base(header: JournalHeader, base_seq: u64, base_fnv: u64) -> Self {
+        Journal {
+            header,
+            records: Vec::new(),
+            base_seq,
+            base_fnv,
         }
     }
 
@@ -299,42 +357,95 @@ impl Journal {
         &self.header
     }
 
+    /// Sequence number of the first retained record; 0 when the full
+    /// history is present.
+    pub fn base_seq(&self) -> u64 {
+        self.base_seq
+    }
+
+    /// The hash fold over the canonical header and all records below
+    /// [`base_seq`](Self::base_seq).
+    pub fn base_fnv(&self) -> u64 {
+        self.base_fnv
+    }
+
+    /// Sequence number the next [`push`](Self::push) will assign.
+    pub fn next_seq(&self) -> u64 {
+        self.base_seq + self.records.len() as u64
+    }
+
     /// Append a decision at simulated instant `at`; returns its sequence
     /// number.
     pub fn push(&mut self, at: SimTime, entry: JournalEntry) -> u64 {
-        let seq = self.records.len() as u64;
+        let seq = self.next_seq();
         self.records.push(Record { seq, at, entry });
         seq
     }
 
-    /// All records, in append order.
+    /// Retained records, in append order. After compaction this is the
+    /// tail from [`base_seq`](Self::base_seq) on.
     pub fn records(&self) -> &[Record] {
         &self.records
     }
 
-    /// Number of records.
+    /// *Logical* number of records, counting compacted-away ones — the
+    /// value is invariant under [`compact_to`](Self::compact_to), so
+    /// fingerprints built over `len()` survive compaction.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.base_seq as usize + self.records.len()
     }
 
-    /// True when nothing has been journaled.
+    /// True when nothing has been journaled (including before the base).
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.len() == 0
     }
 
-    /// The header's canonical line.
-    fn canon_header(&self) -> String {
-        let h = &self.header;
-        format!(
-            "journal racks={} lanes={} seed={} shape={}",
-            h.racks, h.lanes, h.seed, h.shape
-        )
+    /// Drop every retained record with `seq < watermark`, folding its hash
+    /// contribution into the base so [`hash`](Self::hash) and
+    /// [`len`](Self::len) are unchanged. Downward-only and audited: the
+    /// watermark must land exactly on a retained [`JournalEntry::Snapshot`]
+    /// record (which becomes the first retained record), because records
+    /// above a snapshot are still needed for delta replay and must never be
+    /// eaten. Returns the number of records dropped.
+    pub fn compact_to(&mut self, watermark: u64) -> Result<usize, String> {
+        if watermark < self.base_seq {
+            return Err(format!(
+                "compact_to: watermark {watermark} below base_seq {} (compaction is downward-only)",
+                self.base_seq
+            ));
+        }
+        let keep_from = (watermark - self.base_seq) as usize;
+        if keep_from > self.records.len() {
+            return Err(format!(
+                "compact_to: watermark {watermark} beyond next_seq {}",
+                self.next_seq()
+            ));
+        }
+        match self.records.get(keep_from) {
+            Some(Record {
+                entry: JournalEntry::Snapshot { .. },
+                ..
+            }) => {}
+            _ => {
+                return Err(format!(
+                    "compact_to: watermark {watermark} is not a snapshot record"
+                ));
+            }
+        }
+        for r in self.records.iter().take(keep_from) {
+            self.base_fnv = fnv1a(self.base_fnv, b"\n");
+            self.base_fnv = fnv1a(self.base_fnv, r.canon().as_bytes());
+        }
+        self.records.drain(..keep_from);
+        self.base_seq = watermark;
+        Ok(keep_from)
     }
 
     /// 64-bit FNV-1a over the canonical encoding of the header and every
-    /// record. Two runs are decision-identical iff their hashes agree.
+    /// record (compacted-away ones included, via the folded base state).
+    /// Two runs are decision-identical iff their hashes agree.
     pub fn hash(&self) -> u64 {
-        let mut h = fnv1a(FNV_OFFSET, self.canon_header().as_bytes());
+        let mut h = self.base_fnv;
         for r in &self.records {
             h = fnv1a(h, b"\n");
             h = fnv1a(h, r.canon().as_bytes());
@@ -358,6 +469,13 @@ impl Journal {
             h.shape.extent(topo::Dim::Z)
         ));
         out.push_str(&format!("  \"hash\": \"{:#018x}\",\n", self.hash()));
+        if self.base_seq > 0 {
+            // Only compacted journals carry base fields, so uncompacted
+            // dumps stay byte-identical to the pre-snapshot format (and to
+            // the committed goldens).
+            out.push_str(&format!("  \"base_seq\": {},\n", self.base_seq));
+            out.push_str(&format!("  \"base_fnv\": \"{:#018x}\",\n", self.base_fnv));
+        }
         out.push_str("  \"entries\": [\n");
         for (i, r) in self.records.iter().enumerate() {
             out.push_str("    ");
@@ -374,7 +492,8 @@ impl Journal {
 }
 
 fn coord_json(c: Coord3) -> String {
-    format!("[{}, {}, {}]", c.p[0], c.p[1], c.p[2])
+    let [x, y, z] = c.p;
+    format!("[{}, {}, {}]", x, y, z)
 }
 
 fn shape_json(s: Shape3) -> String {
@@ -481,6 +600,9 @@ fn record_json(r: &Record) -> String {
             circuits,
         } => format!(", \"job\": {job}, \"attempt\": {attempt}, \"circuits\": {circuits}"),
         JournalEntry::Evict { job } => format!(", \"job\": {job}"),
+        JournalEntry::Snapshot { fingerprint } => {
+            format!(", \"fingerprint\": \"{fingerprint:#018x}\"")
+        }
     };
     format!("{{{common}{rest}}}")
 }
@@ -578,6 +700,64 @@ mod tests {
         );
         assert!(json.contains("\"kind\": \"rollback\""), "{json}");
         assert!(json.contains("\"circuits\": 3"), "{json}");
+    }
+
+    #[test]
+    fn compaction_preserves_hash_and_logical_len() {
+        let mut j = Journal::new(header());
+        for job in 0..4 {
+            j.push(
+                SimTime::from_ps(job as u64 * 10),
+                JournalEntry::Admit {
+                    job,
+                    origin: Coord3::new(0, 0, 0),
+                    extent: Shape3::new(2, 2, 1),
+                },
+            );
+        }
+        let snap_seq = j.push(
+            SimTime::from_ps(50),
+            JournalEntry::Snapshot {
+                fingerprint: 0xdead_beef,
+            },
+        );
+        j.push(SimTime::from_ps(60), JournalEntry::Evict { job: 0 });
+        let full_hash = j.hash();
+        let full_len = j.len();
+
+        let dropped = j.compact_to(snap_seq).expect("compact at snapshot");
+        assert_eq!(dropped, 4);
+        assert_eq!(j.hash(), full_hash, "hash survives compaction");
+        assert_eq!(j.len(), full_len, "logical length survives compaction");
+        assert_eq!(j.base_seq(), snap_seq);
+        assert_eq!(j.records().len(), 2, "snapshot + evict retained");
+        assert!(matches!(
+            j.records().first().map(|r| &r.entry),
+            Some(JournalEntry::Snapshot { .. })
+        ));
+        // Appending after compaction continues the chain identically.
+        j.push(SimTime::from_ps(70), JournalEntry::Evict { job: 1 });
+        assert_eq!(j.records().last().map(|r| r.seq), Some(snap_seq + 2));
+
+        // Downward-only: re-compacting below base is rejected.
+        assert!(j.compact_to(snap_seq - 1).is_err());
+        // Watermarks must land on snapshot records.
+        assert!(j.compact_to(snap_seq + 1).is_err());
+    }
+
+    #[test]
+    fn with_base_resumes_the_hash_chain() {
+        let mut full = Journal::new(header());
+        full.push(SimTime::from_ps(1), JournalEntry::Evict { job: 0 });
+        let mid_fnv = full.hash();
+        let mid_seq = full.next_seq();
+        full.push(SimTime::from_ps(2), JournalEntry::Evict { job: 1 });
+
+        let mut resumed = Journal::with_base(header(), mid_seq, mid_fnv);
+        let seq = resumed.push(SimTime::from_ps(2), JournalEntry::Evict { job: 1 });
+        assert_eq!(seq, mid_seq);
+        assert_eq!(resumed.hash(), full.hash());
+        assert_eq!(resumed.len(), full.len());
     }
 
     #[test]

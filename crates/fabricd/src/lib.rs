@@ -32,12 +32,22 @@ pub mod ctrl;
 pub mod journal;
 pub mod metrics;
 pub mod plan;
+pub mod report;
+pub mod snapshot;
 pub mod state;
 
-pub use ctrl::{run_scenario, CtrlConfig, CtrlOutcome};
+pub use ctrl::{
+    resume_campaign, run_campaign, run_scenario, CampaignOptions, CampaignOutcome, CtrlConfig,
+    CtrlOutcome, CtrlSnapshot,
+};
 pub use journal::{DenyReason, Journal, JournalEntry, JournalHeader, Record};
 pub use metrics::Metrics;
 pub use plan::{program, program_counted, program_with, ring_plan, CircuitPlan, ProgramFailure};
+pub use report::{
+    bench_config, compare_ctrl_baseline, run_ctrl_bench, CtrlBenchReport, MIN_CTRL_PERF_RATIO,
+};
+pub use snapshot::FabricSnapshot;
 pub use state::{
-    replay, Admission, FabricState, IncidentRecord, JobRecord, RepairOutcome, Utilization,
+    replay, replay_from, Admission, FabricState, IncidentRecord, JobRecord, RepairOutcome,
+    Utilization,
 };

@@ -9,8 +9,8 @@
 //! [`FabricState`]: crate::state::FabricState
 
 use crate::state::{FabricState, Utilization};
-use desim::stats::{Histogram, TimeSeries};
-use desim::SimTime;
+use desim::stats::{Histogram, OnlineStats, TimeSeries};
+use desim::{SimTime, SnapReader, SnapWriter};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -28,6 +28,37 @@ pub const COUNTERS: &[&str] = &[
     "repairs.ok",
     "repairs.failed",
 ];
+
+/// Counter names bumped outside the render-order list (fault-campaign and
+/// retry-path counters created on first bump). Snapshot restore resolves
+/// serialized names back to `'static` strings through this registry and
+/// [`COUNTERS`]; a name in neither is a corrupt snapshot.
+pub const EXTRA_COUNTERS: &[&str] = &[
+    "jobs.rejected.infeasible",
+    "jobs.rejected.program",
+    "jobs.retried",
+];
+
+/// Resolve a snapshot-serialized counter name to its `'static` identity.
+fn static_counter(name: &str) -> Result<&'static str, String> {
+    COUNTERS
+        .iter()
+        .chain(EXTRA_COUNTERS)
+        .find(|&&n| n == name)
+        .copied()
+        .ok_or_else(|| format!("metrics restore: unknown counter {name:?}"))
+}
+
+/// Resolve a snapshot-serialized fault code against the workspace fault
+/// registry (`lightpath::fault::CODES`, the same registry verify CTL403
+/// audits journals against).
+fn static_code(code: &str) -> Result<&'static str, String> {
+    lightpath::fault::CODES
+        .iter()
+        .find(|&&c| c == code)
+        .copied()
+        .ok_or_else(|| format!("metrics restore: unknown fault code {code:?}"))
+}
 
 /// The control plane's metrics registry.
 #[derive(Debug)]
@@ -158,6 +189,105 @@ impl Metrics {
         )
     }
 
+    /// Canonical snapshot encoding of the whole registry. Floats travel as
+    /// exact bit patterns, so [`read_snap`](Self::read_snap) is
+    /// bit-identical — a resumed campaign's metrics keep accumulating from
+    /// exactly where the crashed run's left off.
+    pub fn write_snap(&self, w: &mut SnapWriter) {
+        w.section("metrics");
+        w.u64("counters", self.counters.len() as u64);
+        for (name, v) in &self.counters {
+            w.str("name", name);
+            w.u64("value", *v);
+        }
+        w.u64("rejections", self.rejections.len() as u64);
+        for (code, n) in &self.rejections {
+            w.str("code", code);
+            w.u64("count", *n);
+        }
+        w.f64("wait_lo", self.admission_wait.lo());
+        w.f64("wait_hi", self.admission_wait.hi());
+        w.u64("wait_bins", self.admission_wait.counts().len() as u64);
+        for &c in self.admission_wait.counts() {
+            w.u64("bin", c);
+        }
+        w.u64("wait_under", self.admission_wait.underflow());
+        w.u64("wait_over", self.admission_wait.overflow());
+        let (n, mean, m2, min, max) = self.admission_wait.stats().to_raw();
+        w.u64("wait_n", n);
+        w.f64("wait_mean", mean);
+        w.f64("wait_m2", m2);
+        w.f64("wait_min", min);
+        w.f64("wait_max", max);
+        for (key, series) in [
+            ("occupancy", &self.occupancy),
+            ("live_circuits", &self.live_circuits),
+            ("reconfigs", &self.reconfigs),
+            ("aggregate_gbps", &self.aggregate_gbps),
+        ] {
+            w.u64(key, series.len() as u64);
+            for &(t, v) in series.points() {
+                w.f64("t", t);
+                w.f64("v", v);
+            }
+        }
+    }
+
+    /// Decode a [`write_snap`](Self::write_snap) section. Counter names and
+    /// fault codes are resolved against their compile-time registries;
+    /// anything unknown is a corrupt snapshot, reported as `Err`.
+    pub fn read_snap(r: &mut SnapReader<'_>) -> Result<Metrics, String> {
+        r.section("metrics")?;
+        let mut counters = BTreeMap::new();
+        for _ in 0..r.u64("counters")? {
+            let name = static_counter(&r.str("name")?)?;
+            counters.insert(name, r.u64("value")?);
+        }
+        let mut rejections = BTreeMap::new();
+        for _ in 0..r.u64("rejections")? {
+            let code = static_code(&r.str("code")?)?;
+            rejections.insert(code, r.u64("count")?);
+        }
+        let lo = r.f64("wait_lo")?;
+        let hi = r.f64("wait_hi")?;
+        let nbins = r.u64("wait_bins")? as usize;
+        let mut bins = Vec::with_capacity(nbins);
+        for _ in 0..nbins {
+            bins.push(r.u64("bin")?);
+        }
+        let underflow = r.u64("wait_under")?;
+        let overflow = r.u64("wait_over")?;
+        let stats = OnlineStats::from_raw(
+            r.u64("wait_n")?,
+            r.f64("wait_mean")?,
+            r.f64("wait_m2")?,
+            r.f64("wait_min")?,
+            r.f64("wait_max")?,
+        );
+        let admission_wait = Histogram::from_raw(lo, hi, bins, underflow, overflow, stats)?;
+        let mut read_series = |key: &str| -> Result<TimeSeries, String> {
+            let n = r.u64(key)? as usize;
+            let mut points = Vec::with_capacity(n);
+            for _ in 0..n {
+                points.push((r.f64("t")?, r.f64("v")?));
+            }
+            TimeSeries::from_points(points)
+        };
+        let occupancy = read_series("occupancy")?;
+        let live_circuits = read_series("live_circuits")?;
+        let reconfigs = read_series("reconfigs")?;
+        let aggregate_gbps = read_series("aggregate_gbps")?;
+        Ok(Metrics {
+            counters,
+            rejections,
+            admission_wait,
+            occupancy,
+            live_circuits,
+            reconfigs,
+            aggregate_gbps,
+        })
+    }
+
     /// Render a human-readable summary block for the CLI.
     pub fn summary(&self) -> String {
         let mut out = String::new();
@@ -275,6 +405,39 @@ mod tests {
         assert_eq!(fwd.counter("jobs.rejected.program"), 4);
         assert_eq!(fwd.rejections().get("route/no-disjoint-path"), Some(&2));
         assert_eq!(fwd.admission_wait().count(), 3);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        use topo::Shape3;
+        let mut st = FabricState::new(1, 2, 0);
+        let mut m = Metrics::new();
+        m.sample(SimTime::ZERO, &st);
+        st.admit(SimTime::ZERO, 0, Shape3::new(2, 2, 1));
+        m.sample(SimTime::from_ps(1_000), &st);
+        m.bump("jobs.admitted");
+        m.bump("jobs.retried");
+        m.bump_rejection("route/no-disjoint-path");
+        m.record_wait(12.5);
+        m.record_wait(0.125);
+
+        let mut w = SnapWriter::new();
+        m.write_snap(&mut w);
+        let text = w.finish();
+        let mut r = SnapReader::new(&text);
+        let back = Metrics::read_snap(&mut r).expect("read_snap");
+        r.done().expect("consumed");
+
+        let mut w2 = SnapWriter::new();
+        back.write_snap(&mut w2);
+        assert_eq!(w2.finish(), text, "round trip must be byte-identical");
+        assert_eq!(back.counter("jobs.retried"), 1);
+        assert_eq!(back.admission_wait().count(), 2);
+
+        // A counter name outside the registries is corrupt, not creatable.
+        let forged = text.replacen("jobs.retried", "jobs.invented", 1);
+        let mut r = SnapReader::new(&forged);
+        assert!(Metrics::read_snap(&mut r).is_err());
     }
 
     #[test]

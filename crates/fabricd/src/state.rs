@@ -14,7 +14,8 @@
 
 use crate::journal::{DenyReason, Journal, JournalEntry, JournalHeader, Record};
 use crate::plan::{program_counted, program_with, ring_plan};
-use desim::{SimDuration, SimTime};
+use crate::snapshot::FabricSnapshot;
+use desim::{SimDuration, SimTime, SnapReader, SnapWriter};
 use lightpath::{CtrlFault, FabricCircuit, FabricError, TopoFault, WaferId, WaferTelemetry};
 use phy::thermal::RECONFIG_LATENCY_S;
 use resilience::{chip_to_tile, optical_repair, PhotonicRack};
@@ -189,6 +190,346 @@ impl FabricState {
         }
     }
 
+    // ------------------------------------------------- snapshot layer ----
+
+    /// FNV-1a fingerprint of the canonical serialization of all replayed
+    /// state: config binding (racks/lanes/seed), occupancy, the full
+    /// photonic fabric, tenant table, incidents, reserved spares, and
+    /// replay bookkeeping. The journal itself is *excluded* — a replayed
+    /// state carries an empty journal yet must fingerprint identically to
+    /// the live state it reproduces — and so is the routing scratch
+    /// (semantically stateless).
+    pub fn fingerprint(&self) -> u64 {
+        let mut w = SnapWriter::new();
+        self.write_state(&mut w);
+        w.fingerprint()
+    }
+
+    /// Capture a canonical snapshot at instant `at` and journal the
+    /// [`JournalEntry::Snapshot`] record committing to its fingerprint.
+    ///
+    /// Protocol: the snapshot's `seq` is the Snapshot record's own
+    /// sequence number and its `base_fnv` is the journal hash fold *before*
+    /// that record, so [`FabricSnapshot::restore`]'s resumed journal — base
+    /// at `seq`, the identical Snapshot record re-pushed first — chains to
+    /// byte-identical hashes with the uninterrupted run.
+    pub fn capture_snapshot(&mut self, at: SimTime) -> FabricSnapshot {
+        let seq = self.journal.next_seq();
+        let base_fnv = self.journal.hash();
+        let mut w = SnapWriter::new();
+        self.write_state(&mut w);
+        let fingerprint = w.fingerprint();
+        let state = w.finish();
+        self.journal
+            .push(at, JournalEntry::Snapshot { fingerprint });
+        FabricSnapshot {
+            at,
+            seq,
+            base_fnv,
+            fingerprint,
+            header: *self.journal.header(),
+            state,
+        }
+    }
+
+    /// Truncate journal records below `watermark`, which must be the
+    /// sequence number of a captured snapshot's `Snapshot` record (see
+    /// [`Journal::compact_to`]). Downward-only; the journal hash and
+    /// logical length are invariant.
+    pub fn compact_journal(&mut self, watermark: u64) -> Result<usize, String> {
+        self.journal.compact_to(watermark)
+    }
+
+    /// Canonical encoding of all replayed state (see
+    /// [`fingerprint`](Self::fingerprint) for what is covered and why the
+    /// journal is not).
+    fn write_state(&self, w: &mut SnapWriter) {
+        let h = self.journal.header();
+        w.section("state");
+        w.u64("racks", h.racks as u64);
+        w.u64("lanes", h.lanes as u64);
+        w.u64("seed", h.seed);
+
+        w.section("occupancy");
+        let occ = self.rack.cluster.occupancy();
+        let slices: Vec<_> = occ.slices().collect();
+        w.u64("slices", slices.len() as u64);
+        for s in slices {
+            w.u64("id", s.id.0 as u64);
+            let [ox, oy, oz] = s.origin.p;
+            for (k, v) in [("ox", ox), ("oy", oy), ("oz", oz)] {
+                w.u64(k, v as u64);
+            }
+            let [ex, ey, ez] = s.extent.dims;
+            for (k, v) in [("ex", ex), ("ey", ey), ("ez", ez)] {
+                w.u64(k, v as u64);
+            }
+        }
+        let failed: Vec<Coord3> = occ.shape().coords().filter(|&c| occ.is_failed(c)).collect();
+        w.u64("failed", failed.len() as u64);
+        for c in failed {
+            let [x, y, z] = c.p;
+            w.u64("x", x as u64);
+            w.u64("y", y as u64);
+            w.u64("z", z as u64);
+        }
+
+        self.rack.fabric.write_snap(w);
+
+        w.section("jobs");
+        w.u64("count", self.jobs.len() as u64);
+        for (job, rec) in &self.jobs {
+            w.u64("job", *job as u64);
+            let [ox, oy, oz] = rec.slice.origin.p;
+            let [ex, ey, ez] = rec.slice.extent.dims;
+            w.u64("ox", ox as u64);
+            w.u64("oy", oy as u64);
+            w.u64("oz", oz as u64);
+            w.u64("ex", ex as u64);
+            w.u64("ey", ey as u64);
+            w.u64("ez", ez as u64);
+            w.u64("handles", rec.handles.len() as u64);
+            for h in &rec.handles {
+                match h {
+                    FabricCircuit::Wafer(wid, cid) => {
+                        w.u64("kind", 0);
+                        w.u64("wafer", wid.0 as u64);
+                        w.u64("ckt", cid.raw());
+                    }
+                    FabricCircuit::Cross(cid) => {
+                        w.u64("kind", 1);
+                        w.u64("cross", cid.raw());
+                    }
+                }
+            }
+            w.u64("spares", rec.spares.len() as u64);
+            for s in &rec.spares {
+                let [x, y, z] = s.p;
+                w.u64("x", x as u64);
+                w.u64("y", y as u64);
+                w.u64("z", z as u64);
+            }
+        }
+
+        w.section("incidents");
+        w.u64("count", self.incidents.len() as u64);
+        for i in &self.incidents {
+            w.u64("incident", i.incident);
+            let [x, y, z] = i.chip.p;
+            w.u64("x", x as u64);
+            w.u64("y", y as u64);
+            w.u64("z", z as u64);
+            match i.victim {
+                Some(v) => {
+                    w.bool("has_victim", true);
+                    w.u64("victim", v as u64);
+                }
+                None => w.bool("has_victim", false),
+            }
+            w.u64("spliced", i.spliced as u64);
+            match &i.repair {
+                Some(rep) => {
+                    w.bool("has_repair", true);
+                    w.u64("circuits", rep.circuits as u64);
+                    w.u64("servers_touched", rep.servers_touched as u64);
+                    w.u64("blast_servers", rep.blast_servers as u64);
+                    w.u64("setup_ps", rep.setup.as_ps());
+                }
+                None => w.bool("has_repair", false),
+            }
+            match &i.repair_error {
+                Some(e) => {
+                    w.bool("has_repair_error", true);
+                    w.str("repair_error", e);
+                }
+                None => w.bool("has_repair_error", false),
+            }
+        }
+
+        w.section("reserved");
+        w.u64("count", self.reserved.len() as u64);
+        for c in &self.reserved {
+            let [x, y, z] = c.p;
+            w.u64("x", x as u64);
+            w.u64("y", y as u64);
+            w.u64("z", z as u64);
+        }
+
+        w.section("pending");
+        match self.pending_rollback {
+            Some((job, attempt, circuits)) => {
+                w.bool("has", true);
+                w.u64("job", job as u64);
+                w.u64("attempt", attempt as u64);
+                w.u64("circuits", circuits as u64);
+            }
+            None => w.bool("has", false),
+        }
+    }
+
+    /// Rebuild a state from a [`write_state`](Self::write_state) body,
+    /// adopting `journal` as the (resumed or empty) journal. The fabric is
+    /// re-fabricated from the header template and the recorded mutable
+    /// state applied on top.
+    pub(crate) fn restore_body(
+        journal: Journal,
+        r: &mut SnapReader<'_>,
+    ) -> Result<FabricState, String> {
+        r.section("state")?;
+        let racks = r.u64("racks")? as usize;
+        let lanes = r.u64("lanes")? as usize;
+        let seed = r.u64("seed")?;
+        let h = *journal.header();
+        if racks != h.racks || lanes != h.lanes || seed != h.seed {
+            return Err(format!(
+                "state restore: snapshot config ({racks}, {lanes}, {seed}) does not match \
+                 journal header ({}, {}, {})",
+                h.racks, h.lanes, h.seed
+            ));
+        }
+        let mut st = FabricState::new(racks, lanes, seed);
+        st.journal = journal;
+
+        r.section("occupancy")?;
+        let slices = r.u64("slices")? as usize;
+        for _ in 0..slices {
+            let id = u32::try_from(r.u64("id")?)
+                .map_err(|_| "state restore: slice id exceeds u32".to_string())?;
+            let ox = r.u64("ox")? as usize;
+            let oy = r.u64("oy")? as usize;
+            let oz = r.u64("oz")? as usize;
+            let ex = r.u64("ex")? as usize;
+            let ey = r.u64("ey")? as usize;
+            let ez = r.u64("ez")? as usize;
+            st.rack
+                .cluster
+                .occupancy_mut()
+                .place(Slice::new(
+                    id,
+                    Coord3::new(ox, oy, oz),
+                    Shape3::new(ex, ey, ez),
+                ))
+                .map_err(|e| format!("state restore: slice {id} placement rejected: {e:?}"))?;
+        }
+        let failed = r.u64("failed")? as usize;
+        for _ in 0..failed {
+            let x = r.u64("x")? as usize;
+            let y = r.u64("y")? as usize;
+            let z = r.u64("z")? as usize;
+            st.rack
+                .cluster
+                .occupancy_mut()
+                .fail_chip(Coord3::new(x, y, z));
+        }
+
+        st.rack.fabric.read_snap(r)?;
+
+        r.section("jobs")?;
+        let jobs = r.u64("count")? as usize;
+        for _ in 0..jobs {
+            let job = u32::try_from(r.u64("job")?)
+                .map_err(|_| "state restore: job id exceeds u32".to_string())?;
+            let ox = r.u64("ox")? as usize;
+            let oy = r.u64("oy")? as usize;
+            let oz = r.u64("oz")? as usize;
+            let ex = r.u64("ex")? as usize;
+            let ey = r.u64("ey")? as usize;
+            let ez = r.u64("ez")? as usize;
+            let nh = r.u64("handles")? as usize;
+            let mut handles = Vec::with_capacity(nh);
+            for _ in 0..nh {
+                match r.u64("kind")? {
+                    0 => handles.push(FabricCircuit::Wafer(
+                        WaferId(r.u64("wafer")? as usize),
+                        lightpath::CircuitId::from_raw(r.u64("ckt")?),
+                    )),
+                    1 => handles.push(FabricCircuit::Cross(lightpath::CrossCircuitId::from_raw(
+                        r.u64("cross")?,
+                    ))),
+                    k => return Err(format!("state restore: bad handle kind {k}")),
+                }
+            }
+            let ns = r.u64("spares")? as usize;
+            let mut spares = Vec::with_capacity(ns);
+            for _ in 0..ns {
+                let x = r.u64("x")? as usize;
+                let y = r.u64("y")? as usize;
+                let z = r.u64("z")? as usize;
+                spares.push(Coord3::new(x, y, z));
+            }
+            st.jobs.insert(
+                job,
+                JobRecord {
+                    slice: Slice::new(job, Coord3::new(ox, oy, oz), Shape3::new(ex, ey, ez)),
+                    handles,
+                    spares,
+                },
+            );
+        }
+
+        r.section("incidents")?;
+        let incidents = r.u64("count")? as usize;
+        for _ in 0..incidents {
+            let incident = r.u64("incident")?;
+            let x = r.u64("x")? as usize;
+            let y = r.u64("y")? as usize;
+            let z = r.u64("z")? as usize;
+            let victim = if r.bool("has_victim")? {
+                Some(
+                    u32::try_from(r.u64("victim")?)
+                        .map_err(|_| "state restore: victim exceeds u32".to_string())?,
+                )
+            } else {
+                None
+            };
+            let spliced = r.u64("spliced")? as usize;
+            let repair = if r.bool("has_repair")? {
+                Some(RepairOutcome {
+                    circuits: r.u64("circuits")? as usize,
+                    servers_touched: r.u64("servers_touched")? as usize,
+                    blast_servers: r.u64("blast_servers")? as usize,
+                    setup: SimDuration::from_ps(r.u64("setup_ps")?),
+                })
+            } else {
+                None
+            };
+            let repair_error = if r.bool("has_repair_error")? {
+                Some(r.str("repair_error")?)
+            } else {
+                None
+            };
+            st.incidents.push(IncidentRecord {
+                incident,
+                chip: Coord3::new(x, y, z),
+                victim,
+                spliced,
+                repair,
+                repair_error,
+            });
+        }
+
+        r.section("reserved")?;
+        let reserved = r.u64("count")? as usize;
+        for _ in 0..reserved {
+            let x = r.u64("x")? as usize;
+            let y = r.u64("y")? as usize;
+            let z = r.u64("z")? as usize;
+            st.reserved.insert(Coord3::new(x, y, z));
+        }
+
+        r.section("pending")?;
+        if r.bool("has")? {
+            let job = u32::try_from(r.u64("job")?)
+                .map_err(|_| "state restore: pending job exceeds u32".to_string())?;
+            let attempt = u32::try_from(r.u64("attempt")?)
+                .map_err(|_| "state restore: pending attempt exceeds u32".to_string())?;
+            let circuits = r.u64("circuits")? as usize;
+            st.pending_rollback = Some((job, attempt, circuits));
+        }
+
+        Ok(st)
+    }
+
     // ------------------------------------------------------- live ops ----
 
     /// True when `shape` exceeds the torus in some dimension (or is
@@ -196,7 +537,11 @@ impl FabricState {
     /// admission rejects it outright instead of queueing it.
     fn shape_infeasible(&self, shape: Shape3) -> bool {
         let torus = self.rack.cluster.occupancy().shape();
-        (0..3).any(|d| shape.dims[d] == 0 || shape.dims[d] > torus.dims[d])
+        shape
+            .dims
+            .iter()
+            .zip(torus.dims.iter())
+            .any(|(&s, &t)| s == 0 || s > t)
     }
 
     /// Try to admit `job`: place a best-fit slice, program its ring. On
@@ -762,6 +1107,20 @@ impl FabricState {
                     Err(diverged(format!("evict of unknown job {job}")))
                 }
             }
+            JournalEntry::Snapshot { fingerprint } => {
+                // The record commits to the state after every earlier
+                // record; replay must have reproduced it bit-exactly here.
+                // This is the invariant verify CTL406 audits end-to-end.
+                let fp = self.fingerprint();
+                if fp == *fingerprint {
+                    Ok(())
+                } else {
+                    Err(diverged(format!(
+                        "snapshot fingerprint diverged: replayed state {fp:#018x}, \
+                         journal committed {fingerprint:#018x}"
+                    )))
+                }
+            }
         }
     }
 }
@@ -790,9 +1149,65 @@ fn replay_diverged(seq: u64, what: String) -> FabricError {
 /// property-style in `tests/properties.rs`). A record the fresh fabric
 /// cannot reproduce yields a [`CtrlFault::ReplayDiverged`] fault.
 pub fn replay(journal: &Journal) -> Result<FabricState, FabricError> {
+    if journal.base_seq() != 0 {
+        return Err(replay_diverged(
+            journal.base_seq(),
+            format!(
+                "journal was compacted to seq {}; replay from scratch needs the \
+                 full record stream — use replay_from with the matching snapshot",
+                journal.base_seq()
+            ),
+        ));
+    }
     let h = *journal.header();
     let mut st = FabricState::new(h.racks, h.lanes, h.seed);
     for r in journal.records() {
+        st.apply_record(r)?;
+    }
+    if let Some((j, a, _)) = st.pending_rollback {
+        return Err(replay_diverged(
+            journal.len() as u64,
+            format!("journal ended with rollback of job {j} attempt {a} pending"),
+        ));
+    }
+    Ok(st)
+}
+
+/// Delta replay: restore `snap` and fold only the journal tail above the
+/// snapshot watermark. Cost is O(tail), not O(journal) — this is what makes
+/// crash-restart of long campaigns cheap.
+///
+/// `journal` may be the uninterrupted original or a compacted journal whose
+/// base is at (or below) the snapshot's sequence number; records at or below
+/// `snap.seq` are skipped (the snapshot already embodies them). The restored
+/// state re-verifies the snapshot fingerprint, and any later `Snapshot`
+/// record in the tail re-checks state equality (CTL406 semantics).
+pub fn replay_from(snap: &FabricSnapshot, journal: &Journal) -> Result<FabricState, FabricError> {
+    let mut st = snap.restore()?;
+    if *journal.header() != snap.header {
+        return Err(replay_diverged(
+            snap.seq,
+            "journal header does not match the snapshot's campaign binding".to_string(),
+        ));
+    }
+    let base = journal.base_seq();
+    if base > snap.seq {
+        return Err(replay_diverged(
+            base,
+            format!(
+                "journal compacted past the snapshot: base seq {base} > snapshot seq {}",
+                snap.seq
+            ),
+        ));
+    }
+    // `records()` yields the retained tail starting at `base`; skip the
+    // prefix the snapshot already covers (including the Snapshot record
+    // itself, which restore() has re-pushed onto the resumed journal).
+    for (i, r) in journal.records().iter().enumerate() {
+        let seq = base + i as u64;
+        if seq <= snap.seq {
+            continue;
+        }
         st.apply_record(r)?;
     }
     if let Some((j, a, _)) = st.pending_rollback {

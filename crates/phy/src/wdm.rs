@@ -77,6 +77,18 @@ impl LambdaSet {
     /// The empty set.
     pub const EMPTY: LambdaSet = LambdaSet(0);
 
+    /// The raw channel bitmask (bit `i` ⇔ λᵢ), for canonical snapshot
+    /// serialization. Round-trips exactly through
+    /// [`from_bits`](Self::from_bits).
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild a set from a [`bits`](Self::bits) mask.
+    pub const fn from_bits(bits: u64) -> Self {
+        LambdaSet(bits)
+    }
+
     /// The set {λ}.
     pub fn single(l: Lambda) -> Self {
         assert!((l.0 as usize) < 64, "lambda index {} too large", l.0);

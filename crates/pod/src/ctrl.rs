@@ -20,12 +20,25 @@
 //! 4. barrier folding sorts deltas by `(time, shard, seq)` — a pure
 //!    function of the deltas, not of completion order;
 //! 5. metrics and fingerprints fold in group-index order.
+//!
+//! **Snapshots & crash restart.** With [`PodOptions::snapshot_every`] set,
+//! the run captures a [`PodSnapshot`] at every N-th epoch barrier: each
+//! domain journals a `Snapshot` record (folded to the pod journal like any
+//! other record, so the hash chain commits to the capture), and the pod
+//! level records its delegation cursors, capacity view, digest state, and
+//! journal watermark. [`resume_pod`] rebuilds the run from a snapshot and
+//! drives it to completion; the resumed outcome is bit-identical to the
+//! uninterrupted run's — same fingerprint, journal hash, logical length,
+//! and metrics — because every fingerprint input is restored. With
+//! [`PodOptions::compact`], shard and pod journals are truncated below
+//! each snapshot watermark; [`Journal::compact_to`] folds the dropped
+//! records into the base hash, so compaction is invisible to the chain.
 
 use crate::layout::{PodLayout, POD_CHIPS};
-use crate::shard::{PodEvent, ShardDomain};
+use crate::shard::{PodEvent, ShardDomain, ShardSnapshot};
 use desim::epoch::{exchange, EpochConfig, Stamped};
 use desim::fnv::{combine, derive_seed, Fnv};
-use desim::{SimDuration, SimTime};
+use desim::{SimDuration, SimTime, SnapReader, SnapWriter};
 use fabricd::{Journal, JournalEntry, JournalHeader, Metrics};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -35,7 +48,7 @@ use workloads::{generate, ArrivalParams, JobRequest};
 /// Parameters of one pod run. Worker count is deliberately *not* here —
 /// it is a property of the execution, not of the simulated system, and
 /// must not affect any output.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PodConfig {
     /// Total chips (positive multiple of one 64-chip rack).
     pub chips: usize,
@@ -73,6 +86,22 @@ impl Default for PodConfig {
     }
 }
 
+/// Execution options orthogonal to the simulated system. Snapshot cadence
+/// is part of the decision record (captures journal `Snapshot` records),
+/// so two runs compare bit-for-bit only under the same `snapshot_every`;
+/// `compact` and `crash_after_epochs` never change any output hash.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PodOptions {
+    /// Capture a [`PodSnapshot`] every N epoch barriers (0 = never).
+    pub snapshot_every: u64,
+    /// Truncate shard and pod journals below each snapshot watermark.
+    pub compact: bool,
+    /// Simulate a crash: abandon the run after this many epochs. The
+    /// outcome reports `crashed = true` and carries the snapshots taken
+    /// so far, from which [`resume_pod`] can restart.
+    pub crash_after_epochs: Option<u64>,
+}
+
 /// Everything a finished pod run reports.
 #[derive(Debug)]
 pub struct PodOutcome {
@@ -102,6 +131,12 @@ pub struct PodOutcome {
     pub wall_s: f64,
     /// Events per wall-clock second — the `BENCH_pod.json` throughput.
     pub events_per_sec: f64,
+    /// Snapshots captured, oldest first (empty unless
+    /// [`PodOptions::snapshot_every`] is set).
+    pub snapshots: Vec<PodSnapshot>,
+    /// True when the run stopped at [`PodOptions::crash_after_epochs`]
+    /// instead of quiescing.
+    pub crashed: bool,
 }
 
 /// What one domain reports at an epoch barrier.
@@ -182,233 +217,606 @@ fn remap_entry(p: &RackGroupPartition, group: usize, entry: JournalEntry) -> Jou
     }
 }
 
+/// The live pod run: domains plus the pod-level control state that a
+/// [`PodSnapshot`] must capture to make crash restart exact.
+struct PodRun {
+    cfg: PodConfig,
+    layout: PodLayout,
+    domains: Vec<Mutex<ShardDomain>>,
+    trace: Vec<JobRequest>,
+    failures: Vec<(SimTime, usize)>,
+    journal: Journal,
+    free_est: Vec<usize>,
+    deleg: Fnv,
+    delegations: u64,
+    next_job: usize,
+    next_fail: usize,
+    epoch: u64,
+}
+
+impl PodRun {
+    /// A fresh run at epoch 0: pristine domains, empty journal, trace and
+    /// failure schedule regenerated from the config (both are pure
+    /// functions of it, so a snapshot need not carry them).
+    fn fresh(cfg: &PodConfig) -> Result<PodRun, String> {
+        let layout = PodLayout::new(cfg.chips)?;
+        let groups = layout.groups();
+        let domains: Vec<Mutex<ShardDomain>> = (0..groups)
+            .map(|g| {
+                Mutex::new(ShardDomain::new(
+                    g as u32,
+                    layout.group_racks(),
+                    cfg.lanes,
+                    derive_seed(cfg.seed, g as u64),
+                    cfg.queue_timeout,
+                ))
+            })
+            .collect();
+        let (trace, failures) = demand(cfg, groups);
+        let journal = Journal::new(JournalHeader {
+            racks: layout.racks(),
+            lanes: cfg.lanes,
+            seed: cfg.seed,
+            shape: layout.pod_shape(),
+        });
+        let free_est = vec![layout.group_chips(); groups];
+        Ok(PodRun {
+            cfg: *cfg,
+            layout,
+            domains,
+            trace,
+            failures,
+            journal,
+            free_est,
+            deleg: Fnv::new(),
+            delegations: 0,
+            next_job: 0,
+            next_fail: 0,
+            epoch: 0,
+        })
+    }
+
+    /// Rebuild the run a [`PodSnapshot`] captured: restored domains, a
+    /// pod journal resuming mid-chain at the recorded watermark, and the
+    /// delegation cursors/digest exactly where the capture left them.
+    fn from_snapshot(snap: &PodSnapshot) -> Result<PodRun, String> {
+        let cfg = snap.config;
+        let layout = PodLayout::new(cfg.chips)?;
+        let groups = layout.groups();
+        let header = JournalHeader {
+            racks: layout.racks(),
+            lanes: cfg.lanes,
+            seed: cfg.seed,
+            shape: layout.pod_shape(),
+        };
+        if header != snap.header {
+            return Err("pod snapshot: header does not match its config".to_string());
+        }
+        if snap.domains.len() != groups {
+            return Err(format!(
+                "pod snapshot: {} domain captures for a {groups}-group layout",
+                snap.domains.len()
+            ));
+        }
+        if snap.free_est.len() != groups {
+            return Err(format!(
+                "pod snapshot: capacity view has {} entries for {groups} groups",
+                snap.free_est.len()
+            ));
+        }
+        let mut domains = Vec::with_capacity(groups);
+        for (g, ds) in snap.domains.iter().enumerate() {
+            if ds.group as usize != g {
+                return Err(format!(
+                    "pod snapshot: domain capture {g} claims group {}",
+                    ds.group
+                ));
+            }
+            domains.push(Mutex::new(ShardDomain::restore(ds)?));
+        }
+        let (trace, failures) = demand(&cfg, groups);
+        if snap.next_job > trace.len() || snap.next_fail > failures.len() {
+            return Err("pod snapshot: delegation cursor beyond the demand schedule".to_string());
+        }
+        Ok(PodRun {
+            cfg,
+            layout,
+            domains,
+            trace,
+            failures,
+            journal: Journal::with_base(snap.header, snap.journal_next_seq, snap.journal_fnv),
+            free_est: snap.free_est.clone(),
+            deleg: Fnv::from_state(snap.deleg_state),
+            delegations: snap.delegations,
+            next_job: snap.next_job,
+            next_fail: snap.next_fail,
+            epoch: snap.epoch,
+        })
+    }
+
+    /// Capture the run at an epoch barrier (every delta already folded).
+    /// Each domain journals a `Snapshot` record; folding those records to
+    /// the pod journal *before* recording the watermark makes the pod
+    /// hash chain commit to the capture. With `compact`, both journal
+    /// levels are then truncated below their watermarks.
+    fn capture(&mut self, at: SimTime, compact: bool) -> Result<PodSnapshot, String> {
+        let partition = *self.layout.partition();
+        let groups = self.domains.len();
+        let mut doms = Vec::with_capacity(groups);
+        for (g, slot) in self.domains.iter_mut().enumerate() {
+            let dom = slot
+                .get_mut()
+                .map_err(|_| "pod shard mutex poisoned".to_string())?;
+            let ds = dom.capture(at);
+            for rec in dom.take_delta() {
+                self.journal
+                    .push(rec.at, remap_entry(&partition, g, rec.entry));
+            }
+            if compact {
+                dom.compact(ds.fabric.seq)?;
+            }
+            doms.push(ds);
+        }
+        let snap = PodSnapshot {
+            epoch: self.epoch,
+            at,
+            config: self.cfg,
+            header: *self.journal.header(),
+            journal_next_seq: self.journal.next_seq(),
+            journal_fnv: self.journal.hash(),
+            deleg_state: self.deleg.state(),
+            delegations: self.delegations,
+            next_job: self.next_job,
+            next_fail: self.next_fail,
+            free_est: self.free_est.clone(),
+            domains: doms,
+        };
+        if compact {
+            // The last `groups` records are the per-domain Snapshot
+            // records in group order; group 0's is the legal watermark.
+            let watermark = self.journal.next_seq() - groups as u64;
+            self.journal.compact_to(watermark)?;
+        }
+        Ok(snap)
+    }
+
+    /// Drive the run to quiescence (or a configured stop) with `shards`
+    /// worker threads, capturing snapshots on the configured cadence.
+    fn drive(mut self, shards: usize, opts: &PodOptions) -> Result<PodOutcome, String> {
+        let cfg = self.cfg;
+        let groups = self.layout.groups();
+        let partition = *self.layout.partition();
+        let workers = shards.clamp(1, groups);
+        let epochs_cfg = EpochConfig::new(cfg.epoch)
+            .ok_or_else(|| "epoch length must be positive".to_string())?;
+
+        let mut snapshots: Vec<PodSnapshot> = Vec::new();
+        let mut crashed = false;
+
+        // detlint: allow(DET002) — wall-clock feeds events/sec telemetry
+        // only; every simulated output is a pure function of (config, seed).
+        let started = std::time::Instant::now();
+
+        let horizon = loop {
+            let end = epochs_cfg.end_of(self.epoch);
+
+            // --- barrier, part 1 (single-threaded): delegate this window's
+            // demand in trace order against the previous barrier's view.
+            while let Some(job) = self.trace.get(self.next_job) {
+                if job.arrival >= end {
+                    break;
+                }
+                let need = job.shape.volume();
+                let g = pick_group(&self.free_est, need);
+                if let Some(f) = self.free_est.get_mut(g) {
+                    *f = f.saturating_sub(need);
+                }
+                self.deleg.write_u64(self.next_job as u64);
+                self.deleg.write_u64(g as u64);
+                self.delegations += 1;
+                let ev = PodEvent::Arrival {
+                    job: self.next_job as u32,
+                    shape: job.shape,
+                    duration: job.duration,
+                };
+                let arrival = job.arrival;
+                deliver(&mut self.domains, g, arrival, ev)?;
+                self.next_job += 1;
+            }
+            while let Some(&(at, g)) = self.failures.get(self.next_fail) {
+                if at >= end {
+                    break;
+                }
+                self.deleg.write_u64(u64::MAX);
+                self.deleg.write_u64(g as u64);
+                self.delegations += 1;
+                deliver(&mut self.domains, g, at, PodEvent::InjectFailure)?;
+                self.next_fail += 1;
+            }
+
+            // --- window (parallel): every domain runs to the deadline. The
+            // pull queue balances load; which thread runs which domain is
+            // unobservable because domains are sequential and self-contained.
+            let domains = &self.domains;
+            let next = AtomicUsize::new(0);
+            let run_worker = || -> Result<Vec<BarrierReport>, String> {
+                let mut out = Vec::new();
+                loop {
+                    let g = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(slot) = domains.get(g) else {
+                        return Ok(out);
+                    };
+                    let mut dom = slot
+                        .lock()
+                        .map_err(|_| "pod shard mutex poisoned".to_string())?;
+                    dom.run_until(end);
+                    dom.sample(end);
+                    out.push(BarrierReport {
+                        group: g,
+                        delta: dom.take_delta(),
+                        free: dom.free_chips(),
+                        pending: dom.pending(),
+                    });
+                }
+            };
+            let mut parts: Vec<BarrierReport> = Vec::with_capacity(groups);
+            if workers == 1 {
+                parts.extend(run_worker()?);
+            } else {
+                let mut worker_err: Option<String> = None;
+                // detlint: allow(CONC001) — this IS the sanctioned pod shard
+                // worker pool: scoped, atomic pull queue, barrier-ordered fold.
+                std::thread::scope(|scope| {
+                    let run_worker = &run_worker;
+                    let handles: Vec<_> = (1..workers).map(|_| scope.spawn(run_worker)).collect();
+                    let mut results: Vec<Result<Vec<BarrierReport>, String>> = vec![run_worker()];
+                    for h in handles {
+                        results.push(
+                            h.join()
+                                .unwrap_or_else(|_| Err("pod shard worker panicked".to_string())),
+                        );
+                    }
+                    for res in results {
+                        match res {
+                            Ok(part) => parts.extend(part),
+                            Err(e) => worker_err = Some(e),
+                        }
+                    }
+                });
+                if let Some(e) = worker_err {
+                    return Err(e);
+                }
+            }
+
+            // --- barrier, part 2 (single-threaded): canonical fold. Pull
+            // order interleaves arbitrarily; group index restores identity.
+            parts.sort_by_key(|r| r.group);
+            let mut pending_total = 0usize;
+            let mut outboxes: Vec<Vec<Stamped<JournalEntry>>> = Vec::with_capacity(parts.len());
+            for rep in parts {
+                pending_total += rep.pending;
+                if let Some(f) = self.free_est.get_mut(rep.group) {
+                    *f = rep.free;
+                }
+                let g32 = rep.group as u32;
+                outboxes.push(
+                    rep.delta
+                        .into_iter()
+                        .map(|rec| Stamped {
+                            at: rec.at,
+                            shard: g32,
+                            seq: rec.seq,
+                            payload: remap_entry(&partition, rep.group, rec.entry),
+                        })
+                        .collect(),
+                );
+            }
+            for m in exchange(outboxes) {
+                self.journal.push(m.at, m.payload);
+            }
+
+            self.epoch += 1;
+
+            // Snapshot cadence is a pure function of the epoch counter, so
+            // interrupted and uninterrupted runs capture (and journal the
+            // Snapshot records) at identical instants.
+            if opts.snapshot_every > 0 && self.epoch.is_multiple_of(opts.snapshot_every) {
+                snapshots.push(self.capture(end, opts.compact)?);
+            }
+
+            let drained = self.next_job == self.trace.len()
+                && self.next_fail == self.failures.len()
+                && pending_total == 0;
+            if drained || (cfg.max_epochs > 0 && self.epoch >= cfg.max_epochs) {
+                break end;
+            }
+            if let Some(limit) = opts.crash_after_epochs {
+                if self.epoch >= limit {
+                    crashed = true;
+                    break end;
+                }
+            }
+            if self.epoch >= 1_000_000 {
+                return Err(format!(
+                    "pod run did not quiesce within {} epochs (pending={pending_total})",
+                    self.epoch
+                ));
+            }
+        };
+
+        // Final fold, in group-index order: metrics, fingerprints, events.
+        let mut metrics = Metrics::new();
+        let mut fps: Vec<u64> = Vec::with_capacity(groups);
+        let mut events: u64 = 0;
+        for slot in &mut self.domains {
+            let dom = slot
+                .get_mut()
+                .map_err(|_| "pod shard mutex poisoned".to_string())?;
+            metrics.merge(dom.metrics());
+            fps.push(dom.fingerprint());
+            events += dom.events_executed();
+        }
+
+        let mut h = Fnv::new();
+        h.write_u64(combine(&fps));
+        h.write_u64(self.journal.hash());
+        h.write_u64(self.deleg.finish());
+        h.write_u64(events);
+        h.write_u64(self.epoch);
+        let fingerprint = h.finish();
+
+        let wall_s = started.elapsed().as_secs_f64();
+        let events_per_sec = if wall_s > 0.0 {
+            events as f64 / wall_s
+        } else {
+            0.0
+        };
+
+        Ok(PodOutcome {
+            fingerprint,
+            journal: self.journal,
+            metrics,
+            events,
+            epochs: self.epoch,
+            shards: workers,
+            groups,
+            delegations: self.delegations,
+            horizon,
+            wall_s,
+            events_per_sec,
+            snapshots,
+            crashed,
+        })
+    }
+}
+
+/// The deterministic demand: a pod-wide arrival trace (job id = trace
+/// index) and a failure schedule anchored at the median arrival.
+fn demand(cfg: &PodConfig, groups: usize) -> (Vec<JobRequest>, Vec<(SimTime, usize)>) {
+    let trace: Vec<JobRequest> = generate(cfg.jobs, &cfg.arrivals, cfg.seed);
+    let anchor = trace
+        .get(trace.len() / 2)
+        .map_or(SimTime::ZERO, |j| j.arrival);
+    let failures: Vec<(SimTime, usize)> = (0..cfg.failures)
+        .map(|f| {
+            (
+                anchor + SimDuration::from_secs(30) * (f as u64),
+                f % groups.max(1),
+            )
+        })
+        .collect();
+    (trace, failures)
+}
+
 /// Run one pod simulation with `shards` worker threads.
 ///
 /// The returned [`PodOutcome`] is bit-identical for every `shards` value:
 /// `spsim pod` asserts this at runtime and `cargo xtask lint` pins the
 /// fingerprint in `BENCH_pod.json`.
 pub fn run_pod(cfg: &PodConfig, shards: usize) -> Result<PodOutcome, String> {
-    let layout = PodLayout::new(cfg.chips)?;
-    let partition = *layout.partition();
-    let groups = layout.groups();
-    let workers = shards.clamp(1, groups);
-    let epochs_cfg =
-        EpochConfig::new(cfg.epoch).ok_or_else(|| "epoch length must be positive".to_string())?;
+    run_pod_with(cfg, shards, &PodOptions::default())
+}
 
-    // Fixed logical domains, one per rack group, each with its own
-    // seed-partitioned RNG stream.
-    let mut domains: Vec<Mutex<ShardDomain>> = (0..groups)
-        .map(|g| {
-            Mutex::new(ShardDomain::new(
-                g as u32,
-                layout.group_racks(),
-                cfg.lanes,
-                derive_seed(cfg.seed, g as u64),
-                cfg.queue_timeout,
-            ))
-        })
-        .collect();
+/// Run one pod simulation with explicit [`PodOptions`] (snapshot cadence,
+/// compaction, simulated crash).
+pub fn run_pod_with(
+    cfg: &PodConfig,
+    shards: usize,
+    opts: &PodOptions,
+) -> Result<PodOutcome, String> {
+    PodRun::fresh(cfg)?.drive(shards, opts)
+}
 
-    // The deterministic demand: a pod-wide arrival trace (job id = trace
-    // index) and a failure schedule anchored at the median arrival.
-    let trace: Vec<JobRequest> = generate(cfg.jobs, &cfg.arrivals, cfg.seed);
-    let anchor = trace
-        .get(trace.len() / 2)
-        .map_or(SimTime::ZERO, |j| j.arrival);
-    let failures: Vec<(SimTime, usize)> = (0..cfg.failures)
-        .map(|f| (anchor + SimDuration::from_secs(30) * (f as u64), f % groups))
-        .collect();
+/// Resume a pod run from a [`PodSnapshot`] and drive it to completion.
+///
+/// Under the same [`PodOptions::snapshot_every`] cadence as the original
+/// run, the resumed outcome is bit-identical to the uninterrupted one:
+/// fingerprint, journal hash, logical journal length, event count, and
+/// metrics all match, and the worker count remains unobservable.
+pub fn resume_pod(
+    snap: &PodSnapshot,
+    shards: usize,
+    opts: &PodOptions,
+) -> Result<PodOutcome, String> {
+    PodRun::from_snapshot(snap)?.drive(shards, opts)
+}
 
-    let mut journal = Journal::new(JournalHeader {
-        racks: layout.racks(),
-        lanes: cfg.lanes,
-        seed: cfg.seed,
-        shape: layout.pod_shape(),
-    });
+/// First line of the pod snapshot artifact.
+const POD_SNAP_MAGIC: &str = "spsim-pod-snapshot v1";
 
-    // Capacity view for delegation: refreshed from actual domain reports
-    // at every barrier, optimistically decremented between barriers.
-    let mut free_est: Vec<usize> = vec![layout.group_chips(); groups];
-    let mut deleg = Fnv::new();
-    let mut delegations: u64 = 0;
-    let mut next_job = 0usize;
-    let mut next_fail = 0usize;
-    let mut epoch = 0u64;
+/// A consistent capture of a whole pod run at an epoch barrier: one
+/// [`ShardSnapshot`] per rack-group domain plus the pod-level control
+/// state (delegation cursors and digest, capacity view, journal
+/// watermark). Serializable with [`to_text`](Self::to_text) /
+/// [`parse`](Self::parse); the artifact is integrity-checked by an FNV
+/// fingerprint on its first line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PodSnapshot {
+    /// Epochs completed when the capture was taken.
+    pub epoch: u64,
+    /// Capture instant (end of the last executed epoch window).
+    pub at: SimTime,
+    /// The run's configuration; demand schedules are regenerated from it
+    /// on restore (they are pure functions of the config).
+    pub config: PodConfig,
+    /// Pod journal header (validated against `config` on restore).
+    pub header: JournalHeader,
+    /// Pod journal watermark: sequence the next record will take.
+    pub journal_next_seq: u64,
+    /// Pod journal hash at the watermark (resumes the chain).
+    pub journal_fnv: u64,
+    /// Delegation digest state at the capture.
+    pub deleg_state: u64,
+    /// Commands delegated before the capture.
+    pub delegations: u64,
+    /// Next trace index to delegate.
+    pub next_job: usize,
+    /// Next failure-schedule index to delegate.
+    pub next_fail: usize,
+    /// Per-group capacity view at the capture.
+    pub free_est: Vec<usize>,
+    /// Per-domain captures, in group-index order.
+    pub domains: Vec<ShardSnapshot>,
+}
 
-    // detlint: allow(DET002) — wall-clock feeds events/sec telemetry
-    // only; every simulated output is a pure function of (config, seed).
-    let started = std::time::Instant::now();
-
-    let horizon = loop {
-        let end = epochs_cfg.end_of(epoch);
-
-        // --- barrier, part 1 (single-threaded): delegate this window's
-        // demand in trace order against the previous barrier's view.
-        while let Some(job) = trace.get(next_job) {
-            if job.arrival >= end {
-                break;
-            }
-            let need = job.shape.volume();
-            let g = pick_group(&free_est, need);
-            if let Some(f) = free_est.get_mut(g) {
-                *f = f.saturating_sub(need);
-            }
-            deleg.write_u64(next_job as u64);
-            deleg.write_u64(g as u64);
-            delegations += 1;
-            let ev = PodEvent::Arrival {
-                job: next_job as u32,
-                shape: job.shape,
-                duration: job.duration,
-            };
-            let arrival = job.arrival;
-            deliver(&mut domains, g, arrival, ev)?;
-            next_job += 1;
+impl PodSnapshot {
+    fn body(&self) -> String {
+        let mut w = SnapWriter::new();
+        w.section("pod");
+        w.u64("epoch", self.epoch);
+        w.u64("at_ps", self.at.as_ps());
+        w.u64("journal_next_seq", self.journal_next_seq);
+        w.u64("journal_fnv", self.journal_fnv);
+        w.u64("racks", self.header.racks as u64);
+        w.u64("hdr_lanes", self.header.lanes as u64);
+        w.u64("hdr_seed", self.header.seed);
+        let [sx, sy, sz] = self.header.shape.dims;
+        w.u64("sx", sx as u64);
+        w.u64("sy", sy as u64);
+        w.u64("sz", sz as u64);
+        w.u64("deleg_state", self.deleg_state);
+        w.u64("delegations", self.delegations);
+        w.u64("next_job", self.next_job as u64);
+        w.u64("next_fail", self.next_fail as u64);
+        w.u64("groups", self.free_est.len() as u64);
+        for &f in &self.free_est {
+            w.u64("free", f as u64);
         }
-        while let Some(&(at, g)) = failures.get(next_fail) {
-            if at >= end {
-                break;
-            }
-            deleg.write_u64(u64::MAX);
-            deleg.write_u64(g as u64);
-            delegations += 1;
-            deliver(&mut domains, g, at, PodEvent::InjectFailure)?;
-            next_fail += 1;
+        w.section("config");
+        w.u64("chips", self.config.chips as u64);
+        w.u64("lanes", self.config.lanes as u64);
+        w.u64("seed", self.config.seed);
+        w.u64("jobs", self.config.jobs as u64);
+        w.u64("failures", self.config.failures as u64);
+        w.u64("epoch_ps", self.config.epoch.as_ps());
+        w.u64("max_epochs", self.config.max_epochs);
+        w.u64("queue_timeout_ps", self.config.queue_timeout.as_ps());
+        w.u64(
+            "mean_interarrival_ps",
+            self.config.arrivals.mean_interarrival.as_ps(),
+        );
+        w.u64(
+            "mean_duration_ps",
+            self.config.arrivals.mean_duration.as_ps(),
+        );
+        w.f64("small_job_skew", self.config.arrivals.small_job_skew);
+        for d in &self.domains {
+            d.write_snap(&mut w);
         }
-
-        // --- window (parallel): every domain runs to the deadline. The
-        // pull queue balances load; which thread runs which domain is
-        // unobservable because domains are sequential and self-contained.
-        let next = AtomicUsize::new(0);
-        let run_worker = || -> Result<Vec<BarrierReport>, String> {
-            let mut out = Vec::new();
-            loop {
-                let g = next.fetch_add(1, Ordering::Relaxed);
-                let Some(slot) = domains.get(g) else {
-                    return Ok(out);
-                };
-                let mut dom = slot
-                    .lock()
-                    .map_err(|_| "pod shard mutex poisoned".to_string())?;
-                dom.run_until(end);
-                dom.sample(end);
-                out.push(BarrierReport {
-                    group: g,
-                    delta: dom.take_delta(),
-                    free: dom.free_chips(),
-                    pending: dom.pending(),
-                });
-            }
-        };
-        let mut parts: Vec<BarrierReport> = Vec::with_capacity(groups);
-        if workers == 1 {
-            parts.extend(run_worker()?);
-        } else {
-            let mut worker_err: Option<String> = None;
-            // detlint: allow(CONC001) — this IS the sanctioned pod shard
-            // worker pool: scoped, atomic pull queue, barrier-ordered fold.
-            std::thread::scope(|scope| {
-                let run_worker = &run_worker;
-                let handles: Vec<_> = (1..workers).map(|_| scope.spawn(run_worker)).collect();
-                let mut results: Vec<Result<Vec<BarrierReport>, String>> = vec![run_worker()];
-                for h in handles {
-                    results.push(
-                        h.join()
-                            .unwrap_or_else(|_| Err("pod shard worker panicked".to_string())),
-                    );
-                }
-                for res in results {
-                    match res {
-                        Ok(part) => parts.extend(part),
-                        Err(e) => worker_err = Some(e),
-                    }
-                }
-            });
-            if let Some(e) = worker_err {
-                return Err(e);
-            }
-        }
-
-        // --- barrier, part 2 (single-threaded): canonical fold. Pull
-        // order interleaves arbitrarily; group index restores identity.
-        parts.sort_by_key(|r| r.group);
-        let mut pending_total = 0usize;
-        let mut outboxes: Vec<Vec<Stamped<JournalEntry>>> = Vec::with_capacity(parts.len());
-        for rep in parts {
-            pending_total += rep.pending;
-            if let Some(f) = free_est.get_mut(rep.group) {
-                *f = rep.free;
-            }
-            let g32 = rep.group as u32;
-            outboxes.push(
-                rep.delta
-                    .into_iter()
-                    .map(|rec| Stamped {
-                        at: rec.at,
-                        shard: g32,
-                        seq: rec.seq,
-                        payload: remap_entry(&partition, rep.group, rec.entry),
-                    })
-                    .collect(),
-            );
-        }
-        for m in exchange(outboxes) {
-            journal.push(m.at, m.payload);
-        }
-
-        epoch += 1;
-        let drained = next_job == trace.len() && next_fail == failures.len() && pending_total == 0;
-        if drained || (cfg.max_epochs > 0 && epoch >= cfg.max_epochs) {
-            break end;
-        }
-        if epoch >= 1_000_000 {
-            return Err(format!(
-                "pod run did not quiesce within {epoch} epochs (pending={pending_total})"
-            ));
-        }
-    };
-
-    // Final fold, in group-index order: metrics, fingerprints, events.
-    let mut metrics = Metrics::new();
-    let mut fps: Vec<u64> = Vec::with_capacity(groups);
-    let mut events: u64 = 0;
-    for slot in &mut domains {
-        let dom = slot
-            .get_mut()
-            .map_err(|_| "pod shard mutex poisoned".to_string())?;
-        metrics.merge(dom.metrics());
-        fps.push(dom.fingerprint());
-        events += dom.events_executed();
+        w.finish()
     }
 
-    let mut h = Fnv::new();
-    h.write_u64(combine(&fps));
-    h.write_u64(journal.hash());
-    h.write_u64(deleg.finish());
-    h.write_u64(events);
-    h.write_u64(epoch);
-    let fingerprint = h.finish();
+    /// Serialize to the integrity-checked artifact format.
+    pub fn to_text(&self) -> String {
+        let body = self.body();
+        let fnv = desim::snap::fingerprint(&body);
+        format!("{POD_SNAP_MAGIC} fnv={fnv:016x}\n{body}")
+    }
 
-    let wall_s = started.elapsed().as_secs_f64();
-    let events_per_sec = if wall_s > 0.0 {
-        events as f64 / wall_s
-    } else {
-        0.0
-    };
-
-    Ok(PodOutcome {
-        fingerprint,
-        journal,
-        metrics,
-        events,
-        epochs: epoch,
-        shards: workers,
-        groups,
-        delegations,
-        horizon,
-        wall_s,
-        events_per_sec,
-    })
+    /// Parse a [`to_text`](Self::to_text) artifact, verifying the FNV
+    /// fingerprint and every structural invariant.
+    pub fn parse(text: &str) -> Result<PodSnapshot, String> {
+        let (first, body) = text
+            .split_once('\n')
+            .ok_or_else(|| "pod snapshot: missing artifact body".to_string())?;
+        let tag = format!("{POD_SNAP_MAGIC} fnv=");
+        let fnv_hex = first
+            .strip_prefix(tag.as_str())
+            .ok_or_else(|| format!("pod snapshot: expected `{POD_SNAP_MAGIC}` artifact"))?;
+        let fnv = u64::from_str_radix(fnv_hex, 16)
+            .map_err(|_| "pod snapshot: malformed fingerprint".to_string())?;
+        if desim::snap::fingerprint(body) != fnv {
+            return Err("pod snapshot: artifact fingerprint mismatch (corrupt body)".to_string());
+        }
+        let mut r = SnapReader::new(body);
+        r.section("pod")?;
+        let epoch = r.u64("epoch")?;
+        let at = SimTime::from_ps(r.u64("at_ps")?);
+        let journal_next_seq = r.u64("journal_next_seq")?;
+        let journal_fnv = r.u64("journal_fnv")?;
+        let racks = r.u64("racks")? as usize;
+        let hdr_lanes = r.u64("hdr_lanes")? as usize;
+        let hdr_seed = r.u64("hdr_seed")?;
+        let sx = r.u64("sx")? as usize;
+        let sy = r.u64("sy")? as usize;
+        let sz = r.u64("sz")? as usize;
+        let deleg_state = r.u64("deleg_state")?;
+        let delegations = r.u64("delegations")?;
+        let next_job = r.u64("next_job")? as usize;
+        let next_fail = r.u64("next_fail")? as usize;
+        let groups = r.u64("groups")? as usize;
+        let mut free_est = Vec::with_capacity(groups);
+        for _ in 0..groups {
+            free_est.push(r.u64("free")? as usize);
+        }
+        r.section("config")?;
+        let config = PodConfig {
+            chips: r.u64("chips")? as usize,
+            lanes: r.u64("lanes")? as usize,
+            seed: r.u64("seed")?,
+            jobs: r.u64("jobs")? as usize,
+            failures: r.u64("failures")? as usize,
+            epoch: SimDuration::from_ps(r.u64("epoch_ps")?),
+            max_epochs: r.u64("max_epochs")?,
+            queue_timeout: SimDuration::from_ps(r.u64("queue_timeout_ps")?),
+            arrivals: ArrivalParams {
+                mean_interarrival: SimDuration::from_ps(r.u64("mean_interarrival_ps")?),
+                mean_duration: SimDuration::from_ps(r.u64("mean_duration_ps")?),
+                small_job_skew: r.f64("small_job_skew")?,
+            },
+        };
+        let mut domains = Vec::with_capacity(groups);
+        for g in 0..groups {
+            let d = ShardSnapshot::read_snap(&mut r)?;
+            if d.group as usize != g {
+                return Err(format!(
+                    "pod snapshot: domain capture {g} claims group {}",
+                    d.group
+                ));
+            }
+            domains.push(d);
+        }
+        r.done()?;
+        Ok(PodSnapshot {
+            epoch,
+            at,
+            config,
+            header: JournalHeader {
+                racks,
+                lanes: hdr_lanes,
+                seed: hdr_seed,
+                shape: topo::Shape3::new(sx, sy, sz),
+            },
+            journal_next_seq,
+            journal_fnv,
+            deleg_state,
+            delegations,
+            next_job,
+            next_fail,
+            free_est,
+            domains,
+        })
+    }
 }
 
 /// Deliver one command to a domain at the single-threaded barrier.
@@ -477,6 +885,8 @@ mod tests {
             "quiescence: every admitted job departed"
         );
         assert!(!out.journal.is_empty());
+        assert!(out.snapshots.is_empty(), "no snapshots unless requested");
+        assert!(!out.crashed);
     }
 
     #[test]
@@ -519,5 +929,131 @@ mod tests {
                 assert!(a.at <= b.at, "exchange order is globally time-sorted");
             }
         }
+    }
+
+    #[test]
+    fn snapshots_are_worker_count_invariant() {
+        let cfg = small();
+        let opts = PodOptions {
+            snapshot_every: 2,
+            ..PodOptions::default()
+        };
+        let one = run_pod_with(&cfg, 1, &opts).expect("1 worker");
+        let four = run_pod_with(&cfg, 4, &opts).expect("4 workers");
+        assert!(!one.snapshots.is_empty(), "cadence produced snapshots");
+        assert_eq!(one.snapshots, four.snapshots);
+        assert_eq!(one.fingerprint, four.fingerprint);
+        let two = run_pod_with(&cfg, 2, &opts).expect("2 workers");
+        assert_eq!(one.snapshots, two.snapshots);
+    }
+
+    #[test]
+    fn crash_restart_resumes_bit_identically() {
+        let cfg = small();
+        let opts = PodOptions {
+            snapshot_every: 1,
+            ..PodOptions::default()
+        };
+        let full = run_pod_with(&cfg, 2, &opts).expect("uninterrupted");
+        assert!(full.epochs >= 2, "need room to crash mid-run");
+        assert!(!full.crashed);
+
+        // Crash mid-run — with compaction on, so the restart also proves
+        // truncated journals lose nothing.
+        let crashed = run_pod_with(
+            &cfg,
+            2,
+            &PodOptions {
+                snapshot_every: 1,
+                compact: true,
+                crash_after_epochs: Some(full.epochs / 2),
+            },
+        )
+        .expect("crashed run");
+        assert!(crashed.crashed);
+        assert!(crashed.epochs < full.epochs);
+
+        let snap = crashed.snapshots.last().expect("snapshot before crash");
+        let resumed = resume_pod(
+            snap,
+            3,
+            &PodOptions {
+                snapshot_every: 1,
+                compact: true,
+                crash_after_epochs: None,
+            },
+        )
+        .expect("resumed run");
+        assert!(!resumed.crashed);
+        assert_eq!(resumed.epochs, full.epochs);
+        assert_eq!(resumed.fingerprint, full.fingerprint, "fingerprint");
+        assert_eq!(resumed.journal.hash(), full.journal.hash(), "journal hash");
+        assert_eq!(resumed.journal.len(), full.journal.len(), "logical length");
+        assert_eq!(resumed.events, full.events);
+        assert_eq!(resumed.delegations, full.delegations);
+        assert_eq!(resumed.horizon, full.horizon);
+        assert_eq!(
+            resumed.metrics.rejection_report_json(),
+            full.metrics.rejection_report_json()
+        );
+    }
+
+    #[test]
+    fn compaction_is_invisible_to_the_pod_hash_chain() {
+        let cfg = small();
+        let plain = run_pod_with(
+            &cfg,
+            2,
+            &PodOptions {
+                snapshot_every: 2,
+                ..PodOptions::default()
+            },
+        )
+        .expect("plain");
+        let compacted = run_pod_with(
+            &cfg,
+            2,
+            &PodOptions {
+                snapshot_every: 2,
+                compact: true,
+                ..PodOptions::default()
+            },
+        )
+        .expect("compacted");
+        assert!(compacted.journal.base_seq() > 0, "compaction happened");
+        assert!(
+            compacted.journal.records().len() < plain.journal.records().len(),
+            "compaction retained fewer records"
+        );
+        assert_eq!(plain.journal.hash(), compacted.journal.hash());
+        assert_eq!(plain.journal.len(), compacted.journal.len());
+        assert_eq!(plain.fingerprint, compacted.fingerprint);
+        assert_eq!(plain.snapshots, compacted.snapshots);
+    }
+
+    #[test]
+    fn pod_snapshot_artifact_round_trips() {
+        let cfg = small();
+        let out = run_pod_with(
+            &cfg,
+            2,
+            &PodOptions {
+                snapshot_every: 2,
+                ..PodOptions::default()
+            },
+        )
+        .expect("runs");
+        let snap = out.snapshots.first().expect("snapshot");
+        let text = snap.to_text();
+        let back = PodSnapshot::parse(&text).expect("parses");
+        assert_eq!(&back, snap);
+
+        let tampered = text.replacen("next_job", "next_jxb", 1);
+        assert!(PodSnapshot::parse(&tampered).is_err(), "tamper detected");
+        let truncated = &text[..text.len() - 2];
+        assert!(
+            PodSnapshot::parse(truncated).is_err(),
+            "truncation detected"
+        );
     }
 }

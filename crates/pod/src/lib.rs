@@ -35,7 +35,7 @@ pub mod layout;
 pub mod report;
 pub mod shard;
 
-pub use ctrl::{run_pod, PodConfig, PodOutcome};
+pub use ctrl::{resume_pod, run_pod, run_pod_with, PodConfig, PodOptions, PodOutcome, PodSnapshot};
 pub use layout::{PodLayout, CHIPS_PER_RACK, POD_CHIPS, POD_RACKS};
 pub use report::{compare_baseline, PodBenchReport, MIN_PERF_RATIO};
-pub use shard::{PodEvent, ShardDomain};
+pub use shard::{PodEvent, ShardDomain, ShardSnapshot};

@@ -11,8 +11,8 @@
 //! function of the delivered commands.
 
 use desim::fnv::Fnv;
-use desim::{SimDuration, SimTime};
-use fabricd::{Admission, FabricState, Journal, JournalEntry, Metrics, Record};
+use desim::{SimDuration, SimTime, SnapReader, SnapWriter};
+use fabricd::{Admission, FabricSnapshot, FabricState, Journal, JournalEntry, Metrics, Record};
 use std::collections::{BTreeMap, VecDeque};
 use topo::Shape3;
 
@@ -33,7 +33,7 @@ pub enum PodEvent {
 }
 
 /// A job waiting for capacity on this domain.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Queued {
     job: u32,
     shape: Shape3,
@@ -42,12 +42,143 @@ struct Queued {
 }
 
 /// A future local event, keyed in the queue by `(time, seq)`.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 enum LocalEvent {
     Arrive(Queued),
     Timeout(u32),
     Depart(u32),
     Fail,
+}
+
+/// A shard domain captured at an epoch barrier: the fabric snapshot (with
+/// its journal resume point), the admission queue, every pending local
+/// event, and the domain's metrics. Content is a pure function of the
+/// delegated command stream, so snapshots are worker-count invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSnapshot {
+    /// The domain's fabric-state snapshot.
+    pub fabric: FabricSnapshot,
+    /// The domain's group index.
+    pub group: u32,
+    /// Local events executed before the capture.
+    pub events_executed: u64,
+    /// The local event-key insertion counter at capture.
+    pub next_seq: u64,
+    /// The domain's queue-timeout policy.
+    pub queue_timeout: SimDuration,
+    queue: Vec<Queued>,
+    events: Vec<(SimTime, u64, LocalEvent)>,
+    metrics: String,
+}
+
+/// Encode a queue entry's fields.
+fn write_queued(w: &mut SnapWriter, q: &Queued) {
+    w.u64("job", q.job as u64);
+    let [qx, qy, qz] = q.shape.dims;
+    w.u64("qx", qx as u64);
+    w.u64("qy", qy as u64);
+    w.u64("qz", qz as u64);
+    w.u64("duration_ps", q.duration.as_ps());
+    w.u64("arrival_ps", q.arrival.as_ps());
+}
+
+/// Decode a queue entry's fields.
+fn read_queued(r: &mut SnapReader<'_>) -> Result<Queued, String> {
+    let job = u32::try_from(r.u64("job")?)
+        .map_err(|_| "shard snapshot: job id exceeds u32".to_string())?;
+    let qx = r.u64("qx")? as usize;
+    let qy = r.u64("qy")? as usize;
+    let qz = r.u64("qz")? as usize;
+    let duration = SimDuration::from_ps(r.u64("duration_ps")?);
+    let arrival = SimTime::from_ps(r.u64("arrival_ps")?);
+    Ok(Queued {
+        job,
+        shape: Shape3::new(qx, qy, qz),
+        duration,
+        arrival,
+    })
+}
+
+impl ShardSnapshot {
+    /// Encode into a pod-snapshot section stream.
+    pub fn write_snap(&self, w: &mut SnapWriter) {
+        w.section("shard");
+        w.u64("group", self.group as u64);
+        w.u64("events_executed", self.events_executed);
+        w.u64("event_seq", self.next_seq);
+        w.u64("timeout_ps", self.queue_timeout.as_ps());
+        w.u64("queue", self.queue.len() as u64);
+        for q in &self.queue {
+            write_queued(w, q);
+        }
+        w.u64("events", self.events.len() as u64);
+        for (t, s, ev) in &self.events {
+            w.u64("at", t.as_ps());
+            w.u64("seq", *s);
+            match ev {
+                LocalEvent::Arrive(q) => {
+                    w.u64("kind", 0);
+                    write_queued(w, q);
+                }
+                LocalEvent::Timeout(job) => {
+                    w.u64("kind", 1);
+                    w.u64("job", *job as u64);
+                }
+                LocalEvent::Depart(job) => {
+                    w.u64("kind", 2);
+                    w.u64("job", *job as u64);
+                }
+                LocalEvent::Fail => w.u64("kind", 3),
+            }
+        }
+        w.str("metrics", &self.metrics);
+        w.str("fabric", &self.fabric.to_text());
+    }
+
+    /// Decode one [`write_snap`](Self::write_snap) section.
+    pub fn read_snap(r: &mut SnapReader<'_>) -> Result<ShardSnapshot, String> {
+        r.section("shard")?;
+        let group = u32::try_from(r.u64("group")?)
+            .map_err(|_| "shard snapshot: group exceeds u32".to_string())?;
+        let events_executed = r.u64("events_executed")?;
+        let next_seq = r.u64("event_seq")?;
+        let queue_timeout = SimDuration::from_ps(r.u64("timeout_ps")?);
+        let nq = r.u64("queue")? as usize;
+        let mut queue = Vec::with_capacity(nq);
+        for _ in 0..nq {
+            queue.push(read_queued(r)?);
+        }
+        let ne = r.u64("events")? as usize;
+        let mut events = Vec::with_capacity(ne);
+        for _ in 0..ne {
+            let at = SimTime::from_ps(r.u64("at")?);
+            let seq = r.u64("seq")?;
+            let job = |r: &mut SnapReader<'_>| -> Result<u32, String> {
+                u32::try_from(r.u64("job")?)
+                    .map_err(|_| "shard snapshot: job id exceeds u32".to_string())
+            };
+            let ev = match r.u64("kind")? {
+                0 => LocalEvent::Arrive(read_queued(r)?),
+                1 => LocalEvent::Timeout(job(r)?),
+                2 => LocalEvent::Depart(job(r)?),
+                3 => LocalEvent::Fail,
+                k => return Err(format!("shard snapshot: unknown event kind {k}")),
+            };
+            events.push((at, seq, ev));
+        }
+        let metrics = r.str("metrics")?;
+        let fabric = FabricSnapshot::parse(&r.str("fabric")?)?;
+        Ok(ShardSnapshot {
+            fabric,
+            group,
+            events_executed,
+            next_seq,
+            queue_timeout,
+            queue,
+            events,
+            metrics,
+        })
+    }
 }
 
 /// One rack group's control domain.
@@ -205,6 +336,84 @@ impl ShardDomain {
         h.write_u64(u.reconfigs);
         h.write_f64(u.aggregate_gbps);
         h.finish()
+    }
+
+    /// Capture this domain at an epoch barrier (after
+    /// [`take_delta`](Self::take_delta)). Journals a `Snapshot` record in
+    /// the domain journal; the caller folds it to the pod level with a
+    /// follow-up `take_delta` so the pod journal commits to the capture.
+    pub fn capture(&mut self, at: SimTime) -> ShardSnapshot {
+        let fabric = self.st.capture_snapshot(at);
+        let mut w = SnapWriter::new();
+        self.metrics.write_snap(&mut w);
+        ShardSnapshot {
+            fabric,
+            group: self.group,
+            events_executed: self.events_executed,
+            next_seq: self.next_seq,
+            queue_timeout: self.queue_timeout,
+            queue: self.queue.iter().copied().collect(),
+            events: self
+                .events
+                .iter()
+                .map(|(&(t, s), ev)| (t, s, ev.clone()))
+                .collect(),
+            metrics: w.finish(),
+        }
+    }
+
+    /// Rebuild the domain a [`ShardSnapshot`] captured. The restored
+    /// journal resumes mid-chain (hash and logical length unchanged), and
+    /// its single retained `Snapshot` record counts as already folded —
+    /// the pod journal committed to it at the capture barrier.
+    pub fn restore(snap: &ShardSnapshot) -> Result<ShardDomain, String> {
+        let st = snap.fabric.restore().map_err(|e| e.to_string())?;
+        let mut r = SnapReader::new(&snap.metrics);
+        let metrics = Metrics::read_snap(&mut r)?;
+        r.done()?;
+        let mut events = BTreeMap::new();
+        for (t, s, ev) in &snap.events {
+            if *s >= snap.next_seq {
+                return Err(format!(
+                    "shard snapshot: event seq {s} is not below the insertion counter {}",
+                    snap.next_seq
+                ));
+            }
+            if events.insert((*t, *s), ev.clone()).is_some() {
+                return Err(format!(
+                    "shard snapshot: duplicate event key ({}, {s})",
+                    t.as_ps()
+                ));
+            }
+        }
+        let folded = st.journal().records().len();
+        Ok(ShardDomain {
+            group: snap.group,
+            st,
+            metrics,
+            queue: snap.queue.iter().copied().collect(),
+            events,
+            next_seq: snap.next_seq,
+            queue_timeout: snap.queue_timeout,
+            folded,
+            events_executed: snap.events_executed,
+        })
+    }
+
+    /// Compact the domain journal to a snapshot watermark. Only legal at a
+    /// barrier with every record already folded to the pod level — the pod
+    /// journal is the system of record for the truncated prefix.
+    pub fn compact(&mut self, watermark: u64) -> Result<usize, String> {
+        let before = self.st.journal().records().len();
+        if self.folded != before {
+            return Err(format!(
+                "shard compaction before barrier fold: {} of {before} records folded",
+                self.folded
+            ));
+        }
+        let dropped = self.st.compact_journal(watermark)?;
+        self.folded = self.st.journal().records().len();
+        Ok(dropped)
     }
 
     // ------------------------------------------------------ event loop ----

@@ -8,7 +8,7 @@
 //!    violation (a forged straddling admit) is caught.
 
 use desim::SimDuration;
-use pod::{run_pod, PodBenchReport, PodConfig, PodLayout};
+use pod::{resume_pod, run_pod, run_pod_with, PodBenchReport, PodConfig, PodLayout, PodOptions};
 use proptest::prelude::*;
 use verify::{check_journal, check_shard_containment, Report, RuleId};
 use workloads::ArrivalParams;
@@ -161,5 +161,69 @@ proptest! {
         let mut report = check_journal(&out.journal);
         check_shard_containment(&out.journal, layout.partition().group_z(), &mut report);
         prop_assert!(report.is_clean(), "audit failed:\n{}", report.render());
+    }
+
+    /// Satellite 1 (pod half): the snapshot stream — every captured
+    /// `PodSnapshot`, the final fingerprint, and the journal hash — is
+    /// bit-identical across shards ∈ {1, 2, 4} for random seeds, loads,
+    /// and snapshot cadences, compacted or not.
+    #[test]
+    fn pod_snapshot_stream_is_invariant_across_shards(
+        seed in 0u64..1_000,
+        jobs in 4usize..24,
+        every in 1u64..6,
+        compact in any::<bool>(),
+    ) {
+        let cfg = fast(256, seed, jobs, 2);
+        let opts = PodOptions { snapshot_every: every, compact, crash_after_epochs: None };
+        let reference = run_pod_with(&cfg, 1, &opts).expect("sequential");
+        for shards in [2usize, 4] {
+            let run = run_pod_with(&cfg, shards, &opts).expect("parallel");
+            prop_assert_eq!(&run.snapshots, &reference.snapshots);
+            prop_assert_eq!(run.fingerprint, reference.fingerprint);
+            prop_assert_eq!(run.journal.hash(), reference.journal.hash());
+            prop_assert_eq!(run.journal.len(), reference.journal.len());
+        }
+    }
+
+    /// Satellite 2 (pod half): crash the pod campaign at a random epoch,
+    /// restart from the latest snapshot (with a different worker count),
+    /// and the resumed run's final fingerprint, journal hash, and logical
+    /// record count equal the uninterrupted run's.
+    #[test]
+    fn pod_crash_restart_matches_uninterrupted_run(
+        seed in 0u64..1_000,
+        jobs in 4usize..24,
+        every in 1u64..4,
+        crash_frac in 0.2f64..0.9,
+        compact in any::<bool>(),
+    ) {
+        let cfg = fast(256, seed, jobs, 2);
+        let opts = PodOptions { snapshot_every: every, compact, crash_after_epochs: None };
+        let full = run_pod_with(&cfg, 2, &opts).expect("uninterrupted");
+        prop_assume!(full.epochs >= 2);
+
+        let crash_at = ((full.epochs as f64 * crash_frac) as u64).max(1);
+        let crashed = run_pod_with(&cfg, 3, &PodOptions {
+            crash_after_epochs: Some(crash_at),
+            ..opts
+        }).expect("crashed run");
+
+        if crashed.crashed {
+            // Restartable only if a snapshot landed before the crash;
+            // otherwise a fresh run IS the restart, which `full` covers.
+            if let Some(snap) = crashed.snapshots.last() {
+                let resumed = resume_pod(snap, 4, &opts).expect("resumed run");
+                prop_assert!(!resumed.crashed);
+                prop_assert_eq!(resumed.epochs, full.epochs);
+                prop_assert_eq!(resumed.fingerprint, full.fingerprint);
+                prop_assert_eq!(resumed.journal.hash(), full.journal.hash());
+                prop_assert_eq!(resumed.journal.len(), full.journal.len());
+                prop_assert_eq!(resumed.events, full.events);
+                prop_assert_eq!(resumed.horizon, full.horizon);
+            }
+        } else {
+            prop_assert_eq!(crashed.fingerprint, full.fingerprint);
+        }
     }
 }

@@ -77,6 +77,24 @@ pub enum Scenario {
         /// RNG seed (already partitioned per scenario).
         seed: u64,
     },
+    /// A long-horizon snapshotted control-plane campaign under Poisson
+    /// churn: jobs arrive and chips fail while [`fabricd::run_campaign`]
+    /// captures a [`fabricd::CtrlSnapshot`] every `every_s` simulated
+    /// seconds and compacts the journal down to each watermark. The
+    /// scenario delta-replays from the last snapshot in-sweep and folds
+    /// the equivalence verdict into its fingerprint, so a broken restart
+    /// path shows up as a sweep fingerprint change, not just a test
+    /// failure.
+    SnapshotChurn {
+        /// Jobs drawn from the arrival process (the horizon driver).
+        jobs: usize,
+        /// Chip failures injected mid-trace.
+        failures: usize,
+        /// Snapshot cadence, simulated seconds.
+        every_s: u64,
+        /// RNG seed (already partitioned per scenario).
+        seed: u64,
+    },
     /// A sharded pod-scale campaign ([`pod::run_pod`]): rack-group shard
     /// domains under the pod-level control plane. The pod's own
     /// worker-count-invariant fingerprint is the scenario fingerprint.
@@ -126,6 +144,12 @@ impl Scenario {
                 )
             }
             Scenario::RouteChurn { ops, seed } => format!("route/churn/n{ops}/s{seed:x}"),
+            Scenario::SnapshotChurn {
+                jobs,
+                failures,
+                every_s,
+                seed,
+            } => format!("ctrl/snap-churn/j{jobs}f{failures}e{every_s}/s{seed:x}"),
             Scenario::PodCampaign {
                 chips,
                 jobs,
@@ -157,6 +181,8 @@ impl GridSpec {
             "smoke" => Some(GridSpec::smoke(base_seed)),
             "full" => Some(GridSpec::full(base_seed)),
             "pod" => Some(GridSpec::pod(base_seed)),
+            "churn" => Some(GridSpec::churn(base_seed)),
+            "churn-smoke" => Some(GridSpec::churn_smoke(base_seed)),
             _ => None,
         }
     }
@@ -217,6 +243,30 @@ impl GridSpec {
         g.pod_campaign(1024, 64, 4, 0);
         g.pod_campaign(2048, 64, 8, 6);
         g.pod_campaign(4096, 96, 8, 4);
+        g.finish()
+    }
+
+    /// The snapshot-churn grid: long-horizon control-plane campaigns
+    /// (hundreds of Poisson arrivals, repeated chip failures) with
+    /// snapshot cadences from tight to sparse, every journal compacted
+    /// to its watermark, every restart delta-replayed in-sweep. The
+    /// existing smoke/full/pod grids are untouched — their committed
+    /// fingerprints must not move.
+    pub fn churn(base_seed: u64) -> GridSpec {
+        let mut g = GridBuilder::new("churn", base_seed);
+        g.snapshot_churn(96, 4, 600);
+        g.snapshot_churn(128, 6, 1_800);
+        g.snapshot_churn(192, 8, 3_600);
+        g.snapshot_churn(256, 8, 1_200);
+        g.finish()
+    }
+
+    /// CI-sized variant of [`churn`](Self::churn): same scenario kind and
+    /// shape, an order of magnitude fewer arrivals.
+    pub fn churn_smoke(base_seed: u64) -> GridSpec {
+        let mut g = GridBuilder::new("churn-smoke", base_seed);
+        g.snapshot_churn(16, 2, 600);
+        g.snapshot_churn(24, 2, 1_800);
         g.finish()
     }
 
@@ -281,6 +331,16 @@ impl GridBuilder {
     fn route_churn(&mut self, ops: usize) {
         let seed = self.next_seed();
         self.scenarios.push(Scenario::RouteChurn { ops, seed });
+    }
+
+    fn snapshot_churn(&mut self, jobs: usize, failures: usize, every_s: u64) {
+        let seed = self.next_seed();
+        self.scenarios.push(Scenario::SnapshotChurn {
+            jobs,
+            failures,
+            every_s,
+            seed,
+        });
     }
 
     fn pod_campaign(&mut self, chips: usize, jobs: usize, failures: usize, epochs: u64) {
@@ -354,7 +414,39 @@ mod tests {
         assert!(GridSpec::by_name("smoke", 1).is_some());
         assert!(GridSpec::by_name("full", 1).is_some());
         assert!(GridSpec::by_name("pod", 1).is_some());
+        assert!(GridSpec::by_name("churn", 1).is_some());
+        assert!(GridSpec::by_name("churn-smoke", 1).is_some());
         assert!(GridSpec::by_name("nope", 1).is_none());
+    }
+
+    #[test]
+    fn churn_grids_are_snapshot_campaigns_with_distinct_seeds() {
+        for grid in [GridSpec::churn(9), GridSpec::churn_smoke(9)] {
+            assert!(!grid.is_empty());
+            let seeds: Vec<u64> = grid
+                .scenarios
+                .iter()
+                .map(|s| match s {
+                    Scenario::SnapshotChurn { seed, .. } => *seed,
+                    other => panic!("non-churn scenario in {}: {other:?}", grid.name),
+                })
+                .collect();
+            let mut dedup = seeds.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), seeds.len(), "per-scenario seeds are distinct");
+        }
+        // The smoke variant is strictly lighter than the benchmark grid.
+        let load = |g: &GridSpec| -> usize {
+            g.scenarios
+                .iter()
+                .map(|s| match s {
+                    Scenario::SnapshotChurn { jobs, .. } => *jobs,
+                    _ => 0,
+                })
+                .sum()
+        };
+        assert!(load(&GridSpec::churn_smoke(9)) < load(&GridSpec::churn(9)) / 4);
     }
 
     #[test]

@@ -174,6 +174,58 @@ pub fn run_scenario(scenario: &Scenario, merged: &mut MergedStats) -> (u64, u64)
             n_bytes,
         } => run_collective(*shape, *mode, *algo, *n_bytes, merged),
         Scenario::RouteChurn { ops, seed } => run_route_churn(*ops, *seed, merged),
+        Scenario::SnapshotChurn {
+            jobs,
+            failures,
+            every_s,
+            seed,
+        } => {
+            let cfg = CtrlConfig {
+                jobs: *jobs,
+                failures: *failures,
+                seed: *seed,
+                ..CtrlConfig::default()
+            };
+            let opts = fabricd::CampaignOptions {
+                snapshot_every: Some(desim::SimDuration::from_secs(*every_s)),
+                compact: true,
+                crash_after_events: None,
+            };
+            match fabricd::run_campaign(&cfg, &opts) {
+                Ok(out) => {
+                    let journal = out.state.journal();
+                    let mut f = Fnv::new();
+                    f.write_str("snap-churn").write_u64(*seed);
+                    f.write_u64(out.state.fingerprint());
+                    f.write_u64(journal.hash());
+                    f.write_u64(journal.len() as u64);
+                    f.write_u64(journal.base_seq());
+                    f.write_u64(journal.records().len() as u64);
+                    f.write_u64(out.snapshots.len() as u64);
+                    // The restart path, exercised in-sweep: delta replay
+                    // from the last snapshot must land on the live
+                    // fingerprint. The verdict is part of the scenario
+                    // fingerprint, so a broken restore moves the sweep
+                    // digest.
+                    let replay_ok = out.snapshots.last().is_some_and(|snap| {
+                        fabricd::replay_from(&snap.fabric, journal)
+                            .map(|st| st.fingerprint() == out.state.fingerprint())
+                            .unwrap_or(false)
+                    });
+                    f.write_u64(replay_ok as u64);
+                    for name in COUNTERS {
+                        f.write_u64(out.metrics.counter(name));
+                    }
+                    merged.admission_wait_s.merge(out.metrics.admission_wait());
+                    (f.finish(), out.events_executed)
+                }
+                Err(e) => {
+                    let mut f = Fnv::new();
+                    f.write_str("snap-churn-error").write_str(&e);
+                    (f.finish(), 0)
+                }
+            }
+        }
         Scenario::PodCampaign {
             chips,
             jobs,

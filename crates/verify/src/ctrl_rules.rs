@@ -19,6 +19,12 @@
 //!   paired `Rollback` (same job, same attempt), and every `Rollback` must
 //!   have such an originating `Reject` — partial programming is rolled
 //!   back atomically or not at all.
+//! * **CTL406** — every `Snapshot` record's committed fingerprint must
+//!   equal the fingerprint of the state replayed from the records before
+//!   it; a forged snapshot would silently poison every later delta replay.
+//! * **CTL407** — a compacted journal's first retained record must be the
+//!   `Snapshot` record sitting exactly at the base watermark, with dense
+//!   sequence numbers above it — compaction must never eat a live record.
 
 use crate::diag::{Diagnostic, Location, Report, RuleId, Severity};
 use fabricd::{Journal, JournalEntry};
@@ -26,13 +32,15 @@ use lightpath::FabricError;
 use std::collections::BTreeMap;
 use topo::{Occupancy, Slice, SliceId};
 
-/// Audit a control-plane journal (CTL401–CTL404).
+/// Audit a control-plane journal (CTL401–CTL404, CTL406–CTL407).
 pub fn check_journal(journal: &Journal) -> Report {
     let mut report = Report::new();
     check_admission_capacity(journal, &mut report);
     check_repair_references(journal, &mut report);
     check_rejection_codes(journal, &mut report);
     check_rollback_pairing(journal, &mut report);
+    check_snapshot_fingerprints(journal, &mut report);
+    check_compaction_watermark(journal, &mut report);
     report
 }
 
@@ -206,6 +214,120 @@ pub fn check_rollback_pairing(journal: &Journal, report: &mut Report) {
             ),
             hint: None,
         });
+    }
+}
+
+/// CTL406: every `Snapshot` record's committed fingerprint must equal the
+/// fingerprint of the state obtained by replaying all records before it.
+/// The checker rebuilds each snapshot's prefix journal and replays it from
+/// scratch with the production replay path, so a forged fingerprint — or a
+/// capture taken from a state the journal cannot explain — is caught even
+/// though the live control plane would happily keep appending after it.
+///
+/// Skipped for compacted journals (`base_seq > 0`): their truncated prefix
+/// cannot be replayed from scratch; audit before compaction, or audit the
+/// pod-level journal that retains the folded history.
+pub fn check_snapshot_fingerprints(journal: &Journal, report: &mut Report) {
+    if journal.base_seq() != 0 {
+        return;
+    }
+    let mut prefix = Journal::new(*journal.header());
+    for r in journal.records() {
+        if let JournalEntry::Snapshot { fingerprint } = &r.entry {
+            match fabricd::replay(&prefix) {
+                Ok(st) => {
+                    let fp = st.fingerprint();
+                    if fp != *fingerprint {
+                        report.push(Diagnostic {
+                            rule: RuleId::Ctl406,
+                            severity: Severity::Error,
+                            location: Location::JournalEntry(r.seq),
+                            message: format!(
+                                "snapshot commits fingerprint {fingerprint:#018x}, but \
+                                 replaying the {} records before it yields {fp:#018x}",
+                                r.seq
+                            ),
+                            hint: Some(
+                                "capture snapshots from the journaled state only, never \
+                                 from an out-of-band copy"
+                                    .into(),
+                            ),
+                        });
+                    }
+                    // Seed the prefix with the *replayed* fingerprint so one
+                    // forged snapshot is reported once, not once per
+                    // snapshot after it.
+                    prefix.push(r.at, JournalEntry::Snapshot { fingerprint: fp });
+                    continue;
+                }
+                Err(e) => report.push(Diagnostic {
+                    rule: RuleId::Ctl406,
+                    severity: Severity::Error,
+                    location: Location::JournalEntry(r.seq),
+                    message: format!(
+                        "snapshot fingerprint cannot be audited: prefix replay failed ({e})"
+                    ),
+                    hint: None,
+                }),
+            }
+        }
+        prefix.push(r.at, r.entry.clone());
+    }
+}
+
+/// CTL407: compaction must be exact. In a compacted journal
+/// (`base_seq > 0`) the first retained record must be the `Snapshot`
+/// record sitting at the watermark itself — anything else means a record
+/// above the watermark was eaten, or garbage below it survived — and
+/// retained sequence numbers must be dense from the base in every journal.
+pub fn check_compaction_watermark(journal: &Journal, report: &mut Report) {
+    let base = journal.base_seq();
+    for (i, r) in journal.records().iter().enumerate() {
+        let expect = base + i as u64;
+        if r.seq != expect {
+            report.push(Diagnostic {
+                rule: RuleId::Ctl407,
+                severity: Severity::Error,
+                location: Location::JournalEntry(r.seq),
+                message: format!(
+                    "retained record carries seq {}, expected {expect}: the sequence \
+                     is not dense above the watermark",
+                    r.seq
+                ),
+                hint: Some("compaction may only drop records below a snapshot".into()),
+            });
+            return;
+        }
+    }
+    if base == 0 {
+        return;
+    }
+    match journal.records().first() {
+        Some(r) if matches!(r.entry, JournalEntry::Snapshot { .. }) => {}
+        Some(r) => report.push(Diagnostic {
+            rule: RuleId::Ctl407,
+            severity: Severity::Error,
+            location: Location::JournalEntry(r.seq),
+            message: format!(
+                "journal compacted to seq {base}, but the first retained record is a \
+                 {} record, not the watermark snapshot",
+                r.entry.kind()
+            ),
+            hint: Some(
+                "truncate strictly below the snapshot record so delta replay can anchor on it"
+                    .into(),
+            ),
+        }),
+        None => report.push(Diagnostic {
+            rule: RuleId::Ctl407,
+            severity: Severity::Error,
+            location: Location::JournalEntry(base),
+            message: format!(
+                "journal compacted to seq {base} retains no records at all — the \
+                 watermark snapshot itself was eaten"
+            ),
+            hint: None,
+        }),
     }
 }
 
@@ -484,6 +606,123 @@ mod tests {
             report.by_rule(RuleId::Ctl405).first().map(|d| &d.location),
             Some(Location::JournalEntry(2))
         ));
+    }
+
+    /// A real campaign journal with snapshot records, produced by the
+    /// production control plane.
+    fn snapshotted_journal() -> Journal {
+        let cfg = fabricd::CtrlConfig {
+            jobs: 8,
+            ..fabricd::CtrlConfig::default()
+        };
+        let opts = fabricd::CampaignOptions {
+            snapshot_every: Some(desim::SimDuration::from_secs(300)),
+            ..fabricd::CampaignOptions::default()
+        };
+        let out = fabricd::run_campaign(&cfg, &opts).expect("campaign runs");
+        assert!(!out.snapshots.is_empty(), "campaign produced snapshots");
+        out.state.journal().clone()
+    }
+
+    #[test]
+    fn genuine_snapshots_pass_ctl406() {
+        let j = snapshotted_journal();
+        assert!(
+            j.records()
+                .iter()
+                .any(|r| matches!(r.entry, JournalEntry::Snapshot { .. })),
+            "journal carries snapshot records"
+        );
+        let report = check_journal(&j);
+        assert!(!report.has(RuleId::Ctl406), "{report}");
+        assert!(!report.has(RuleId::Ctl407), "{report}");
+    }
+
+    #[test]
+    fn forged_snapshot_fingerprint_trips_ctl406() {
+        // Seeded violation: rebuild the journal with one snapshot's
+        // committed fingerprint flipped — CTL406 must localize it.
+        let j = snapshotted_journal();
+        let mut forged = Journal::new(*j.header());
+        let mut forged_seq = None;
+        for r in j.records() {
+            let entry = match &r.entry {
+                JournalEntry::Snapshot { fingerprint } if forged_seq.is_none() => {
+                    forged_seq = Some(r.seq);
+                    JournalEntry::Snapshot {
+                        fingerprint: fingerprint ^ 1,
+                    }
+                }
+                e => e.clone(),
+            };
+            forged.push(r.at, entry);
+        }
+        let seq = forged_seq.expect("a snapshot was forged");
+        let report = check_journal(&forged);
+        let hits = report.by_rule(RuleId::Ctl406);
+        assert_eq!(hits.len(), 1, "one forgery, one finding: {report}");
+        assert!(matches!(
+            hits.first().map(|d| &d.location),
+            Some(Location::JournalEntry(s)) if *s == seq
+        ));
+    }
+
+    #[test]
+    fn honest_compaction_passes_and_eaten_record_trips_ctl407() {
+        let j = snapshotted_journal();
+        let snap_seq = j
+            .records()
+            .iter()
+            .find(|r| matches!(r.entry, JournalEntry::Snapshot { .. }))
+            .map(|r| r.seq)
+            .expect("snapshot record");
+
+        // Honest compaction to the snapshot watermark is clean.
+        let mut compacted = j.clone();
+        compacted.compact_to(snap_seq).expect("compacts");
+        let mut honest = Report::new();
+        check_compaction_watermark(&compacted, &mut honest);
+        assert!(honest.is_clean(), "{honest}");
+
+        // Seeded violation: compaction that also ate the watermark
+        // snapshot leaves a live (non-snapshot) record at the base.
+        let mut hungry = Journal::with_base(*j.header(), snap_seq + 1, 0xdead_beef);
+        hungry.push(
+            SimTime::ZERO,
+            JournalEntry::Admit {
+                job: 0,
+                origin: Coord3::new(0, 0, 0),
+                extent: Shape3::new(2, 2, 1),
+            },
+        );
+        let mut report = Report::new();
+        check_compaction_watermark(&hungry, &mut report);
+        assert!(report.has(RuleId::Ctl407), "{report}");
+
+        // Seeded violation: everything eaten, watermark included.
+        let empty = Journal::with_base(*j.header(), snap_seq + 1, 0xdead_beef);
+        let mut report = Report::new();
+        check_compaction_watermark(&empty, &mut report);
+        assert!(report.has(RuleId::Ctl407), "{report}");
+    }
+
+    #[test]
+    fn compacted_journal_is_skipped_by_ctl406() {
+        let j = snapshotted_journal();
+        let snap_seq = j
+            .records()
+            .iter()
+            .find(|r| matches!(r.entry, JournalEntry::Snapshot { .. }))
+            .map(|r| r.seq)
+            .expect("snapshot record");
+        let mut compacted = j.clone();
+        compacted.compact_to(snap_seq).expect("compacts");
+        let mut report = Report::new();
+        check_snapshot_fingerprints(&compacted, &mut report);
+        assert!(
+            report.is_clean(),
+            "delta journals are not audited: {report}"
+        );
     }
 
     #[test]

@@ -61,11 +61,19 @@ pub enum RuleId {
     /// leaves the rack group its programming was delegated to, so no
     /// single per-shard fabricd could have programmed it.
     Ctl405,
+    /// A journaled `Snapshot` record's committed fingerprint disagrees
+    /// with the fingerprint of the state replayed from the records before
+    /// it — the snapshot does not describe the state it claims to.
+    Ctl406,
+    /// A compacted journal's watermark is corrupt: the first retained
+    /// record is not the `Snapshot` record at `base_seq`, or retained
+    /// sequence numbers are not dense — compaction ate a live record.
+    Ctl407,
 }
 
 impl RuleId {
     /// Every rule, in catalog order.
-    pub const ALL: [RuleId; 14] = [
+    pub const ALL: [RuleId; 16] = [
         RuleId::Sch001,
         RuleId::Sch002,
         RuleId::Sch003,
@@ -80,6 +88,8 @@ impl RuleId {
         RuleId::Ctl403,
         RuleId::Ctl404,
         RuleId::Ctl405,
+        RuleId::Ctl406,
+        RuleId::Ctl407,
     ];
 
     /// The stable code printed in diagnostics, e.g. `SCH001`.
@@ -99,6 +109,8 @@ impl RuleId {
             RuleId::Ctl403 => "CTL403",
             RuleId::Ctl404 => "CTL404",
             RuleId::Ctl405 => "CTL405",
+            RuleId::Ctl406 => "CTL406",
+            RuleId::Ctl407 => "CTL407",
         }
     }
 
@@ -119,6 +131,8 @@ impl RuleId {
             RuleId::Ctl403 => "journaled rejection carries an unregistered reason code",
             RuleId::Ctl404 => "journaled rollback unpaired with its originating reject",
             RuleId::Ctl405 => "journaled admission straddles a shard-domain boundary",
+            RuleId::Ctl406 => "journaled snapshot fingerprint contradicts the replayed state",
+            RuleId::Ctl407 => "compaction watermark corrupt: a live record was truncated",
         }
     }
 }

@@ -32,7 +32,7 @@ pub struct JobRequest {
 }
 
 /// Parameters of the arrival process.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ArrivalParams {
     /// Mean inter-arrival time.
     pub mean_interarrival: SimDuration,

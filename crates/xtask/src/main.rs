@@ -98,7 +98,7 @@ fn lint(flags: &[String]) -> ExitCode {
     let mut failures: Vec<String> = Vec::new();
 
     section("verify: golden schedules & circuits");
-    failures.extend(verify_golden());
+    failures.extend(verify_golden(&root));
 
     section("detlint: determinism & panic-freedom");
     failures.extend(detlint_run(&root, false, &[]));
@@ -122,6 +122,13 @@ fn lint(flags: &[String]) -> ExitCode {
         println!("  skipped (--skip-bench)");
     } else {
         failures.extend(pod_baseline(&root));
+    }
+
+    section("perf baseline: BENCH_ctrl.json");
+    if skip_bench {
+        println!("  skipped (--skip-bench)");
+    } else {
+        failures.extend(ctrl_baseline(&root));
     }
 
     section("cargo fmt --check");
@@ -180,7 +187,7 @@ fn expect_clean(failures: &mut Vec<String>, what: &str, report: &Report) {
     }
 }
 
-fn verify_golden() -> Vec<String> {
+fn verify_golden(root: &Path) -> Vec<String> {
     let mut failures = Vec::new();
     let params = CostParams::default();
     let rack = Shape3::rack_4x4x4();
@@ -514,6 +521,122 @@ fn verify_golden() -> Vec<String> {
         }
     }
 
+    // Snapshotted-campaign golden: the BENCH_ctrl campaign re-run with its
+    // committed cadence must journal Snapshot records that audit clean
+    // under the full CTL rule set — CTL406 (committed snapshot fingerprint
+    // equals the replayed-prefix fingerprint) and CTL407 (compaction
+    // watermark integrity) included — and its last snapshot must match the
+    // committed `golden/ctrl_snapshot.txt` artifact byte for byte, with
+    // delta replay from it landing on the live fingerprint.
+    let (bench_cfg, every) = fabricd::bench_config();
+    let snap_opts = fabricd::CampaignOptions {
+        snapshot_every: Some(every),
+        ..fabricd::CampaignOptions::default()
+    };
+    match fabricd::run_campaign(&bench_cfg, &snap_opts) {
+        Err(e) => {
+            failures.push(format!("snapshot campaign failed: {e}"));
+            println!("  FAIL snapshot campaign: {e}");
+        }
+        Ok(out) => {
+            let journal = out.state.journal();
+            expect_clean(
+                &mut failures,
+                "snapshot-campaign journal (CTL401-CTL407)",
+                &verify::check_journal(journal),
+            );
+            let golden_path = root.join("golden").join("ctrl_snapshot.txt");
+            let regen = "regenerate with `spsim ctrl --campaign --jobs 48 --failures 2 \
+                         --snapshot-every 600 --snapshot-out golden/ctrl_snapshot.txt`";
+            match (out.snapshots.last(), std::fs::read_to_string(&golden_path)) {
+                (None, _) => {
+                    failures.push("snapshot campaign captured no snapshots".into());
+                    println!("  FAIL snapshot campaign captured no snapshots");
+                }
+                (Some(_), Err(e)) => {
+                    failures.push(format!(
+                        "missing golden snapshot {}: {e} — {regen}",
+                        golden_path.display()
+                    ));
+                    println!("  FAIL missing {}", golden_path.display());
+                }
+                (Some(snap), Ok(text)) => {
+                    if snap.to_text() != text {
+                        failures.push(format!(
+                            "golden snapshot artifact drifted from the live campaign — {regen}"
+                        ));
+                        println!("  FAIL golden snapshot artifact drifted");
+                    } else {
+                        match fabricd::CtrlSnapshot::parse(&text).and_then(|parsed| {
+                            fabricd::replay_from(&parsed.fabric, journal).map_err(|e| e.to_string())
+                        }) {
+                            Ok(st) if st.fingerprint() == out.state.fingerprint() => {
+                                println!(
+                                    "  ok   golden snapshot (seq {}) round-trips; delta replay \
+                                     reproduces fingerprint {:#018x}",
+                                    snap.fabric.seq,
+                                    out.state.fingerprint()
+                                );
+                            }
+                            Ok(_) => {
+                                failures.push("golden snapshot delta replay diverged".into());
+                                println!("  FAIL golden snapshot delta replay diverged");
+                            }
+                            Err(e) => {
+                                failures.push(format!("golden snapshot: {e}"));
+                                println!("  FAIL golden snapshot: {e}");
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Negative controls for the snapshot rules. CTL406: re-journal
+            // the campaign with one committed snapshot fingerprint flipped
+            // — the forgery must be caught. CTL407: a compacted journal
+            // whose first retained record is not the watermark Snapshot
+            // (compaction ate a live record) must be caught.
+            let mut forged_snap = fabricd::Journal::new(*journal.header());
+            let mut flipped = false;
+            for r in journal.records() {
+                match r.entry {
+                    fabricd::JournalEntry::Snapshot { fingerprint } if !flipped => {
+                        flipped = true;
+                        forged_snap.push(
+                            r.at,
+                            fabricd::JournalEntry::Snapshot {
+                                fingerprint: fingerprint ^ 1,
+                            },
+                        );
+                    }
+                    _ => {
+                        forged_snap.push(r.at, r.entry.clone());
+                    }
+                }
+            }
+            let mut hungry = fabricd::Journal::with_base(*journal.header(), 3, 0xdead_beef);
+            hungry.push(
+                desim::SimTime::ZERO,
+                fabricd::JournalEntry::Admit {
+                    job: 1,
+                    origin: Coord3::new(0, 0, 0),
+                    extent: Shape3::new(2, 2, 1),
+                },
+            );
+            for (journal, rule, what) in [
+                (&forged_snap, RuleId::Ctl406, "forged snapshot fingerprint"),
+                (&hungry, RuleId::Ctl407, "compaction ate a live record"),
+            ] {
+                if verify::check_journal(journal).has(rule) {
+                    println!("  ok   forged journal trips {rule} as designed ({what})");
+                } else {
+                    failures.push(format!("negative control: {what} did not trip {rule}"));
+                    println!("  FAIL negative control: {what} did not trip {rule}");
+                }
+            }
+        }
+    }
+
     failures
 }
 
@@ -764,6 +887,96 @@ fn pod_baseline(root: &Path) -> Vec<String> {
             current.events_per_sec,
             baseline.events_per_sec,
             pod::MIN_PERF_RATIO
+        );
+    } else {
+        for f in &failures {
+            println!("  FAIL {f}");
+        }
+    }
+    failures
+}
+
+/// Re-run the committed control-plane bench — the [`fabricd::bench_config`]
+/// campaign with periodic snapshots, a from-scratch replay, and a delta
+/// replay from the last snapshot — and gate on `BENCH_ctrl.json`: exact
+/// fingerprint, journal hash, record/snapshot/admission counts, the
+/// tail-replay record count (the structural O(tail) claim), a tolerant
+/// admissions/sec floor, and a tolerant tail-replay latency ceiling (see
+/// [`fabricd::MIN_CTRL_PERF_RATIO`]).
+fn ctrl_baseline(root: &Path) -> Vec<String> {
+    let baseline_path = root.join("BENCH_ctrl.json");
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            println!("  FAIL cannot read {}: {e}", baseline_path.display());
+            return vec![format!(
+                "missing perf baseline {} — generate with `spsim ctrl --campaign \
+                 --write-baseline BENCH_ctrl.json`",
+                baseline_path.display()
+            )];
+        }
+    };
+    let baseline = match fabricd::CtrlBenchReport::parse(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => {
+            println!("  FAIL unparseable baseline: {e}");
+            return vec![format!("unparseable {}: {e}", baseline_path.display())];
+        }
+    };
+    let current_path = root.join("target").join("BENCH_ctrl.current.json");
+    let status = cargo()
+        .current_dir(root)
+        .args([
+            "run",
+            "--release",
+            "--quiet",
+            "--bin",
+            "spsim",
+            "--",
+            "ctrl",
+            "--campaign",
+            "--write-baseline",
+        ])
+        .arg(&current_path)
+        .stdout(std::process::Stdio::null())
+        .status();
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(_) => {
+            println!("  FAIL spsim ctrl --campaign --write-baseline exited non-zero");
+            return vec!["spsim ctrl bench failed (replay divergence or no snapshots)".into()];
+        }
+        Err(e) => {
+            println!("  FAIL could not spawn cargo run ({e})");
+            return vec![format!("could not run spsim ctrl: {e}")];
+        }
+    }
+    let current = match std::fs::read_to_string(&current_path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| fabricd::CtrlBenchReport::parse(&t))
+    {
+        Ok(c) => c,
+        Err(e) => {
+            println!("  FAIL unreadable ctrl bench output: {e}");
+            return vec![format!("unreadable {}: {e}", current_path.display())];
+        }
+    };
+    let failures = fabricd::compare_ctrl_baseline(&current, &baseline);
+    if failures.is_empty() {
+        println!(
+            "  ok   {} jobs / {} snapshots: fingerprint {} and journal {} reproduced; \
+             delta replay folds {} of {} records in {:.3} ms; {:.0} admissions/s \
+             (baseline {:.0}, floor {:.2}x)",
+            current.jobs,
+            current.snapshots,
+            current.fingerprint,
+            current.journal_hash,
+            current.replay_tail_records,
+            current.replay_full_records,
+            current.replay_tail_ms,
+            current.admissions_per_sec,
+            baseline.admissions_per_sec,
+            fabricd::MIN_CTRL_PERF_RATIO
         );
     } else {
         for f in &failures {

@@ -15,10 +15,10 @@ use server_photonics::collectives::{
     all_to_all, bucket_reduce_scatter, execute, ring_reduce_scatter, snake_order, CostParams, Mode,
 };
 use server_photonics::desim::{SimDuration, SimRng, SimTime};
-use server_photonics::fabricd::{self, CtrlConfig};
+use server_photonics::fabricd::{self, CampaignOptions, CtrlConfig, CtrlSnapshot};
 use server_photonics::hostnet::{self, CircuitPolicy, HostParams, Message, PeerId};
 use server_photonics::lightpath::{CircuitRequest, FabricError, TileCoord, Wafer, WaferConfig};
-use server_photonics::pod::{self, PodBenchReport, PodConfig};
+use server_photonics::pod::{self, PodBenchReport, PodConfig, PodOptions, PodSnapshot};
 use server_photonics::resilience::{
     analyze, fig6a, measure_interference, optical_repair, PhotonicRack,
 };
@@ -251,8 +251,8 @@ fn render_fault(e: &FabricError) -> String {
     out
 }
 
-fn cmd_ctrl(args: &Args) -> Result<(), String> {
-    let cfg = CtrlConfig {
+fn ctrl_config(args: &Args) -> Result<CtrlConfig, String> {
+    Ok(CtrlConfig {
         racks: args.get("racks", 1)?,
         lanes: args.get("lanes", 2)?,
         jobs: args.get("jobs", 12)?,
@@ -263,7 +263,108 @@ fn cmd_ctrl(args: &Args) -> Result<(), String> {
         retry_backoff: SimDuration::from_us(args.get("backoff-us", 100_000)?),
         infeasible_every: args.get("infeasible-every", 0)?,
         ..CtrlConfig::default()
+    })
+}
+
+/// `spsim ctrl --campaign`: the snapshotted campaign driver. Runs (or
+/// `--restart-from` resumes) a campaign with periodic [`CtrlSnapshot`]s,
+/// optionally compacting the journal to each snapshot watermark, then
+/// proves delta replay from the last snapshot reproduces the live
+/// fingerprint. `--crash-after N` kills the run after N events so the
+/// written `--snapshot-out` artifact exercises a real restart.
+fn cmd_ctrl_campaign(args: &Args) -> Result<(), String> {
+    if let Some(path) = args.0.get("write-baseline") {
+        let (cfg, every) = fabricd::bench_config();
+        let report = fabricd::run_ctrl_bench(&cfg, every)?;
+        std::fs::write(path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!(
+            "ctrl bench: {} admissions at {:.0}/s, delta replay {} of {} records in {:.3} ms",
+            report.admissions,
+            report.admissions_per_sec,
+            report.replay_tail_records,
+            report.replay_full_records,
+            report.replay_tail_ms
+        );
+        println!("  baseline written to {path}");
+        return Ok(());
+    }
+
+    let every_s: u64 = args.get("snapshot-every", 600)?;
+    let crash_after: u64 = args.get("crash-after", 0)?;
+    let opts = CampaignOptions {
+        snapshot_every: (every_s > 0).then(|| SimDuration::from_secs(every_s)),
+        compact: args.get_str("compact", "false") == "true",
+        crash_after_events: (crash_after > 0).then_some(crash_after),
     };
+
+    let out = if let Some(path) = args.0.get("restart-from") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let snap = CtrlSnapshot::parse(&text)?;
+        println!(
+            "restarting from snapshot at {} (journal seq {})",
+            snap.fabric.at, snap.fabric.seq
+        );
+        fabricd::resume_campaign(&snap, &opts)?
+    } else {
+        fabricd::run_campaign(&ctrl_config(args)?, &opts)?
+    };
+
+    let journal = out.state.journal();
+    println!(
+        "campaign: {} events to {}, {} snapshot(s) every {every_s}s{}",
+        out.events_executed,
+        out.horizon,
+        out.snapshots.len(),
+        if out.crashed { " — CRASHED" } else { "" }
+    );
+    println!(
+        "  journal: {} logical records ({} retained, base seq {}), hash {:#018x}",
+        journal.len(),
+        journal.records().len(),
+        journal.base_seq(),
+        journal.hash()
+    );
+    println!("  state fingerprint: {:#018x}", out.state.fingerprint());
+
+    if let Some(path) = args.0.get("snapshot-out") {
+        let snap = out
+            .snapshots
+            .last()
+            .ok_or_else(|| "no snapshot captured; set --snapshot-every".to_string())?;
+        std::fs::write(path, snap.to_text()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("  snapshot (seq {}) written to {path}", snap.fabric.seq);
+    }
+
+    // Prove the restart path on every invocation: delta replay from the
+    // last snapshot must land on the live fingerprint.
+    if let Some(snap) = out.snapshots.last() {
+        let tail = fabricd::replay_from(&snap.fabric, journal).map_err(|e| render_fault(&e))?;
+        let identical = tail.fingerprint() == out.state.fingerprint();
+        println!(
+            "  delta replay from seq {}: {}",
+            snap.fabric.seq,
+            if identical {
+                "IDENTICAL (bit-for-bit)"
+            } else {
+                "DIVERGED"
+            }
+        );
+        if !identical {
+            return Err("delta replay diverged from live state".into());
+        }
+    }
+    print!("{}", out.metrics.summary());
+    Ok(())
+}
+
+fn cmd_ctrl(args: &Args) -> Result<(), String> {
+    if args.get_str("campaign", "false") == "true"
+        || args.0.contains_key("restart-from")
+        || args.0.contains_key("write-baseline")
+    {
+        return cmd_ctrl_campaign(args);
+    }
+    let cfg = ctrl_config(args)?;
     let out = fabricd::run_scenario(&cfg);
     let journal = out.state.journal();
     println!(
@@ -444,9 +545,52 @@ fn cmd_pod(args: &Args) -> Result<(), String> {
         ..PodConfig::default()
     };
     let shards: usize = args.get("shards", 4)?;
+    let crash_after: u64 = args.get("crash-after", 0)?;
+    let opts = PodOptions {
+        snapshot_every: args.get("snapshot-every", 0)?,
+        compact: args.get_str("compact", "false") == "true",
+        crash_after_epochs: (crash_after > 0).then_some(crash_after),
+    };
 
-    let reference = pod::run_pod(&cfg, 1)?;
-    let run = pod::run_pod(&cfg, shards)?;
+    // `--restart-from` resumes a crashed campaign from its snapshot
+    // artifact; there is no 1-shard reference to compare against (the
+    // resume IS the other half of the equivalence, asserted in tests and
+    // by the `ctrl-restart-smoke` CI job against the uninterrupted run).
+    if let Some(path) = args.0.get("restart-from") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let snap = PodSnapshot::parse(&text)?;
+        println!(
+            "restarting pod from snapshot at epoch {} (journal seq {})",
+            snap.epoch, snap.journal_next_seq
+        );
+        let run = pod::resume_pod(
+            &snap,
+            shards,
+            &PodOptions {
+                crash_after_epochs: None,
+                ..opts
+            },
+        )?;
+        println!(
+            "  resumed to epoch {} ({} events): fingerprint {:#018x}, journal {:#018x} \
+             ({} logical records)",
+            run.epochs,
+            run.events,
+            run.fingerprint,
+            run.journal.hash(),
+            run.journal.len()
+        );
+        print!("{}", run.metrics.summary());
+        if let Some(out) = args.0.get("json") {
+            let bench = PodBenchReport::from_outcome(&run, snap.config.jobs);
+            std::fs::write(out, bench.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!("  report written to {out}");
+        }
+        return Ok(());
+    }
+
+    let reference = pod::run_pod_with(&cfg, 1, &opts)?;
+    let run = pod::run_pod_with(&cfg, shards, &opts)?;
     println!(
         "pod: {} chips in {} rack-group domain(s), {} jobs, {} failure(s), seed {}",
         cfg.chips, run.groups, cfg.jobs, cfg.failures, cfg.seed
@@ -471,6 +615,33 @@ fn cmd_pod(args: &Args) -> Result<(), String> {
         ));
     }
     println!("  fingerprints IDENTICAL (sharded == sequential, bit for bit)");
+    if run.snapshots != reference.snapshots {
+        return Err(format!(
+            "DETERMINISM VIOLATION: {}-shard snapshot stream != 1-shard reference",
+            run.shards
+        ));
+    }
+    if opts.snapshot_every > 0 {
+        println!(
+            "  snapshots: {} captured every {} epoch(s){}{}",
+            run.snapshots.len(),
+            opts.snapshot_every,
+            if opts.compact {
+                ", journal compacted to each watermark"
+            } else {
+                ""
+            },
+            if run.crashed { " — CRASHED" } else { "" }
+        );
+    }
+    if let Some(path) = args.0.get("snapshot-out") {
+        let snap = run
+            .snapshots
+            .last()
+            .ok_or_else(|| "no snapshot captured; set --snapshot-every".to_string())?;
+        std::fs::write(path, snap.to_text()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("  snapshot (epoch {}) written to {path}", snap.epoch);
+    }
     println!(
         "  journal: {} records, hash {:#018x}, {} epochs to {}, {} delegations",
         run.journal.len(),
@@ -592,10 +763,15 @@ USAGE:
   spsim ctrl       [--jobs 12] [--seed 7] [--racks 1] [--lanes 2] [--failures 1] [--timeout-s 1800]
                    [--retries 0] [--backoff-us 100000] [--infeasible-every 0] [--report rejections.json]
                    [--dump-journal out.json]
-  spsim sweep      [--grid smoke|full] [--workers 4] [--seed 42] [--json out.json] [--write-baseline BENCH_sweep.json]
+  spsim ctrl --campaign
+                   [--snapshot-every 600] [--compact] [--crash-after N] [--snapshot-out snap.txt]
+                   [--restart-from snap.txt] [--write-baseline BENCH_ctrl.json]
+  spsim sweep      [--grid smoke|full|churn] [--workers 4] [--seed 42] [--json out.json] [--write-baseline BENCH_sweep.json]
                    (--smoke expands to --grid smoke --workers 2)
   spsim pod        [--chips 4096] [--shards 4] [--seed 7] [--jobs 256] [--failures 8] [--epochs 0]
                    [--epoch-s 600] [--lanes 2] [--timeout-s 1800] [--json out.json]
+                   [--snapshot-every E] [--compact] [--crash-after N] [--snapshot-out snap.txt]
+                   [--restart-from snap.txt]
                    [--write-baseline BENCH_pod.json] [--dump-journal out.json]
                    (--smoke expands to --chips 4096 --epochs 2 --shards 4)
   spsim routebench [--searches 200000] [--batches 2000] [--write-baseline BENCH_route.json]
@@ -608,36 +784,37 @@ fn main() -> ExitCode {
         print!("{USAGE}");
         return ExitCode::SUCCESS;
     };
-    // `sweep --smoke` is CI sugar for the small-grid 2-worker run; expand
-    // it before the generic --key value parser sees it.
-    let rest: Vec<String> = argv
-        .get(1..)
-        .unwrap_or_default()
-        .iter()
-        .flat_map(|a| {
-            if cmd == "sweep" && a == "--smoke" {
-                vec![
-                    "--grid".to_string(),
-                    "smoke".to_string(),
-                    "--workers".to_string(),
-                    "2".to_string(),
-                ]
-            } else if cmd == "pod" && a == "--smoke" {
-                // The CI gate: the full 4096-chip pod, two epoch windows,
-                // shards=1 vs shards=4 fingerprint equality.
-                vec![
-                    "--chips".to_string(),
-                    "4096".to_string(),
-                    "--epochs".to_string(),
-                    "2".to_string(),
-                    "--shards".to_string(),
-                    "4".to_string(),
-                ]
-            } else {
-                vec![a.clone()]
-            }
-        })
-        .collect();
+    // `sweep --smoke` is CI sugar for the small-grid 2-worker run, and
+    // `--campaign`/`--compact` are bare switches; expand both before the
+    // generic --key value parser sees them.
+    let raw = argv.get(1..).unwrap_or_default();
+    let mut rest: Vec<String> = Vec::with_capacity(raw.len() + 4);
+    let mut it = raw.iter().peekable();
+    while let Some(a) = it.next() {
+        if cmd == "sweep" && a == "--smoke" {
+            rest.extend(
+                ["--grid", "smoke", "--workers", "2"]
+                    .iter()
+                    .map(|s| s.to_string()),
+            );
+        } else if cmd == "pod" && a == "--smoke" {
+            // The CI gate: the full 4096-chip pod, two epoch windows,
+            // shards=1 vs shards=4 fingerprint equality.
+            rest.extend(
+                ["--chips", "4096", "--epochs", "2", "--shards", "4"]
+                    .iter()
+                    .map(|s| s.to_string()),
+            );
+        } else if (cmd == "ctrl" || cmd == "pod")
+            && (a == "--campaign" || a == "--compact")
+            && it.peek().is_none_or(|n| n.starts_with("--"))
+        {
+            rest.push(a.clone());
+            rest.push("true".to_string());
+        } else {
+            rest.push(a.clone());
+        }
+    }
     let result = Args::parse(&rest).and_then(|args| match cmd.as_str() {
         "wafer" => cmd_wafer(&args),
         "collective" => cmd_collective(&args),
