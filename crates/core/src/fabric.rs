@@ -23,7 +23,7 @@ use phy::wdm::LambdaSet;
 
 use crate::circuit::{CircuitError, CircuitId, CircuitRequest};
 use crate::config::WaferConfig;
-use crate::geom::{Path, TileCoord};
+use crate::geom::{EdgeId, Path, TileCoord};
 use crate::wafer::Wafer;
 
 /// Gain of the inline amplifier at each fiber ingress, dB. Cascading wafers
@@ -142,6 +142,67 @@ impl CrossCircuit {
     pub fn fiber_hops(&self) -> usize {
         self.fibers.len()
     }
+}
+
+/// A captured, re-stampable image of one successful cross-wafer establish:
+/// the fiber hops it chose, each intra-wafer segment's path and link
+/// report, the edge loads those decisions were made under (witnesses), and
+/// the end-to-end link report. [`Fabric::stamp_cross`] replays the image
+/// without re-running BFS fiber routing or any link-budget evaluation after
+/// verifying the witnesses still hold; on any mismatch the caller falls
+/// back to [`Fabric::establish_cross`], which behaves identically by
+/// construction.
+#[derive(Debug, Clone)]
+pub struct CrossPlan {
+    src: (WaferId, TileCoord),
+    dst: (WaferId, TileCoord),
+    lanes: usize,
+    fibers: Vec<usize>,
+    link: LinkReport,
+    segments: Vec<CrossSegmentPlan>,
+}
+
+impl CrossPlan {
+    /// The `(src, dst)` endpoints this plan programs.
+    pub fn endpoints(&self) -> ((WaferId, TileCoord), (WaferId, TileCoord)) {
+        (self.src, self.dst)
+    }
+
+    /// Wavelength lanes the plan carries.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+}
+
+/// One intra-wafer segment image inside a [`CrossPlan`].
+#[derive(Debug, Clone)]
+struct CrossSegmentPlan {
+    wafer: WaferId,
+    path: Path,
+    link: LinkReport,
+    /// `(edge, load)` pairs for every bus the fresh admission read while
+    /// routing and budgeting this segment: the XY probe of the default
+    /// route, the YX alternative, and the chosen path. Equal loads imply
+    /// the fresh decisions replay bit-identically.
+    witnesses: Vec<(EdgeId, u32)>,
+}
+
+/// How [`Fabric::cross_impl`] should treat the plan library.
+enum CrossMode<'a> {
+    /// Route, budget, and establish from scratch.
+    Fresh,
+    /// Fresh, plus record each segment's decision image.
+    Capture(&'a mut Vec<CrossSegmentPlan>),
+    /// Replay a verified [`CrossPlan`] via the prebudgeted fast path.
+    Stamp(&'a CrossPlan),
+}
+
+/// Segment handles and manual SerDes claims accumulated while building a
+/// cross circuit, so a mid-build failure can roll all of it back.
+struct CrossBuild {
+    segments: Vec<(WaferId, CircuitId)>,
+    manual_src_claim: Option<LambdaSet>,
+    manual_dst_claim: Option<usize>,
 }
 
 /// A rack-scale assembly of LIGHTPATH wafers joined by fibers.
@@ -301,49 +362,145 @@ impl Fabric {
         dst: (WaferId, TileCoord),
         lanes: usize,
     ) -> Result<(CrossCircuitId, SimDuration), CircuitError> {
+        let (id, setup, _) = self.cross_impl(src, dst, lanes, CrossMode::Fresh)?;
+        Ok((id, setup))
+    }
+
+    /// [`establish_cross`](Self::establish_cross), additionally capturing a
+    /// [`CrossPlan`] image of every routing and budgeting decision so later
+    /// identical admissions can [`stamp_cross`](Self::stamp_cross) instead
+    /// of searching. The fabric mutation is bit-identical to a plain
+    /// establish — capture only reads.
+    pub fn establish_cross_captured(
+        &mut self,
+        src: (WaferId, TileCoord),
+        dst: (WaferId, TileCoord),
+        lanes: usize,
+    ) -> Result<(CrossCircuitId, SimDuration, CrossPlan), CircuitError> {
+        let mut segments = Vec::new();
+        let (id, setup, link) =
+            self.cross_impl(src, dst, lanes, CrossMode::Capture(&mut segments))?;
+        let fibers = self
+            .cross
+            .get(&id)
+            .map(|c| c.fibers.clone())
+            .unwrap_or_default();
+        Ok((
+            id,
+            setup,
+            CrossPlan {
+                src,
+                dst,
+                lanes,
+                fibers,
+                link,
+                segments,
+            },
+        ))
+    }
+
+    /// Replay a captured [`CrossPlan`]: re-run the cheap fiber-route probe
+    /// and the per-segment load witnesses, and — when everything still
+    /// matches the capture — commit the identical circuit without any BFS
+    /// or link-budget evaluation. Returns `Ok(None)` when the fabric has
+    /// drifted from the captured image (the caller falls back to a fresh
+    /// [`establish_cross`](Self::establish_cross)); establish-time errors
+    /// (SerDes exhaustion, failed tiles) surface exactly as a fresh
+    /// admission would raise them.
+    pub fn stamp_cross(
+        &mut self,
+        plan: &CrossPlan,
+    ) -> Result<Option<(CrossCircuitId, SimDuration)>, CircuitError> {
+        match self.fiber_route(plan.src.0, plan.dst.0, true) {
+            Some(f) if f == plan.fibers => {}
+            _ => return Ok(None),
+        }
+        for sp in &plan.segments {
+            for &(e, load) in &sp.witnesses {
+                if self.wafer(sp.wafer).edge_used(e) != load {
+                    return Ok(None);
+                }
+            }
+        }
+        let (id, setup, _) =
+            self.cross_impl(plan.src, plan.dst, plan.lanes, CrossMode::Stamp(plan))?;
+        Ok(Some((id, setup)))
+    }
+
+    fn cross_impl(
+        &mut self,
+        src: (WaferId, TileCoord),
+        dst: (WaferId, TileCoord),
+        lanes: usize,
+        mut mode: CrossMode<'_>,
+    ) -> Result<(CrossCircuitId, SimDuration, LinkReport), CircuitError> {
         assert_ne!(
             src.0, dst.0,
             "use Wafer::establish for circuits within one wafer"
         );
-        let fibers = match self.fiber_route(src.0, dst.0, true) {
-            Some(p) => p,
-            None => {
-                // Distinguish "no fiber plant" from "plant exhausted".
-                return match self.fiber_route(src.0, dst.0, false) {
-                    Some(unconstrained) => {
-                        // Report the total capacity of the first saturated
-                        // hop's wafer pair.
-                        let mut wafer = src.0;
-                        let mut cap = 0;
-                        for &fi in &unconstrained {
-                            let next = self.fibers[fi].other_end(wafer);
-                            let pair_free: u32 = self
-                                .fibers
-                                .iter()
-                                .filter(|f| f.joins(wafer, next))
-                                .map(FiberState::free)
-                                .sum();
-                            if pair_free == 0 {
-                                cap = self
+        let fibers = if let CrossMode::Stamp(plan) = &mode {
+            // `stamp_cross` verified the route is still the one a fresh
+            // admission would choose.
+            debug_assert_eq!(
+                self.fiber_route(src.0, dst.0, true).as_deref(),
+                Some(plan.fibers.as_slice()),
+                "stamped fiber route diverged from a fresh probe"
+            );
+            plan.fibers.clone()
+        } else {
+            match self.fiber_route(src.0, dst.0, true) {
+                Some(p) => p,
+                None => {
+                    // Distinguish "no fiber plant" from "plant exhausted".
+                    return match self.fiber_route(src.0, dst.0, false) {
+                        Some(unconstrained) => {
+                            // Report the total capacity of the first saturated
+                            // hop's wafer pair.
+                            let mut wafer = src.0;
+                            let mut cap = 0;
+                            for &fi in &unconstrained {
+                                let next = self.fibers[fi].other_end(wafer);
+                                let pair_free: u32 = self
                                     .fibers
                                     .iter()
                                     .filter(|f| f.joins(wafer, next))
-                                    .map(|f| f.link.capacity)
+                                    .map(FiberState::free)
                                     .sum();
-                                break;
+                                if pair_free == 0 {
+                                    cap = self
+                                        .fibers
+                                        .iter()
+                                        .filter(|f| f.joins(wafer, next))
+                                        .map(|f| f.link.capacity)
+                                        .sum();
+                                    break;
+                                }
+                                wafer = next;
                             }
-                            wafer = next;
+                            Err(CircuitError::FiberExhausted { capacity: cap })
                         }
-                        Err(CircuitError::FiberExhausted { capacity: cap })
-                    }
-                    None => Err(CircuitError::NoFiberLink),
-                };
+                        None => Err(CircuitError::NoFiberLink),
+                    };
+                }
             }
         };
 
-        // Budget check before any commitment.
-        let budget = self.cross_budget(src, dst, &fibers);
-        let link = LinkBudget::lightpath_default(budget).evaluate();
+        // Budget check before any commitment. A verified stamp reuses the
+        // captured report: the witnesses pin every load the budget reads,
+        // so a fresh evaluation would reproduce it bit-for-bit (asserted in
+        // debug builds).
+        let link = if let CrossMode::Stamp(plan) = &mode {
+            debug_assert_eq!(
+                crate::wafer::report_bits(&plan.link),
+                crate::wafer::report_bits(
+                    &LinkBudget::lightpath_default(self.cross_budget(src, dst, &fibers)).evaluate()
+                ),
+                "stamped cross link report diverged from a fresh evaluation"
+            );
+            plan.link
+        } else {
+            LinkBudget::lightpath_default(self.cross_budget(src, dst, &fibers)).evaluate()
+        };
         if !link.closes() {
             return Err(CircuitError::BudgetFailed {
                 margin_db: link.margin.0,
@@ -351,88 +508,18 @@ impl Fabric {
         }
 
         // Build segments wafer by wafer, rolling back on any failure.
-        let mut segments: Vec<(WaferId, CircuitId)> = Vec::new();
-        let mut manual_src_claim: Option<LambdaSet> = None;
-        let mut manual_dst_claim: Option<usize> = None;
-
-        let result = (|this: &mut Self| -> Result<(), CircuitError> {
-            let mut wafer = src.0;
-            let mut at = src.1;
-            for (hop, &fi) in fibers.iter().enumerate() {
-                let (near, far) = this.fibers[fi].oriented(wafer);
-                let first = hop == 0;
-                if at != near {
-                    let mut req = CircuitRequest::new(at, near, lanes);
-                    req.claim_src_serdes = first;
-                    req.claim_dst_serdes = false;
-                    let rep = this.wafers[wafer.0].establish(req)?;
-                    segments.push((wafer, rep.id));
-                } else if first {
-                    // Source sits on the attach tile: claim tx manually.
-                    let tile = this.wafers[wafer.0].tile_mut(at);
-                    if tile.is_failed() {
-                        return Err(CircuitError::TileFailed(at));
-                    }
-                    let avail = tile.serdes.tx_available();
-                    let set =
-                        avail
-                            .take_lowest(lanes)
-                            .ok_or(CircuitError::InsufficientTxLanes {
-                                tile: at,
-                                free: avail.len(),
-                                requested: lanes,
-                            })?;
-                    if tile.serdes.claim_tx(set).is_none() {
-                        return Err(CircuitError::InsufficientTxLanes {
-                            tile: at,
-                            free: tile.serdes.tx_available().len(),
-                            requested: lanes,
-                        });
-                    }
-                    manual_src_claim = Some(set);
-                }
-                wafer = this.fibers[fi].other_end(wafer);
-                at = far;
-            }
-            // Final wafer: attach tile → destination.
-            if at != dst.1 {
-                let mut req = CircuitRequest::new(at, dst.1, lanes);
-                req.claim_src_serdes = false;
-                req.claim_dst_serdes = true;
-                let rep = this.wafers[wafer.0].establish(req)?;
-                segments.push((wafer, rep.id));
-            } else {
-                let tile = this.wafers[wafer.0].tile_mut(at);
-                if tile.is_failed() {
-                    return Err(CircuitError::TileFailed(at));
-                }
-                let avail = tile.serdes.rx_available();
-                let set = avail
-                    .take_lowest(lanes)
-                    .ok_or(CircuitError::InsufficientRxLanes {
-                        tile: at,
-                        free: avail.len(),
-                        requested: lanes,
-                    })?;
-                if tile.serdes.claim_rx(set).is_none() {
-                    return Err(CircuitError::InsufficientRxLanes {
-                        tile: at,
-                        free: tile.serdes.rx_available().len(),
-                        requested: lanes,
-                    });
-                }
-                manual_dst_claim = Some(lanes);
-            }
-            Ok(())
-        })(self);
-
-        if let Err(e) = result {
-            for (w, id) in segments.into_iter().rev() {
+        let mut build = CrossBuild {
+            segments: Vec::new(),
+            manual_src_claim: None,
+            manual_dst_claim: None,
+        };
+        if let Err(e) = self.cross_segments(src, dst, lanes, &fibers, &mut mode, &mut build) {
+            for (w, id) in build.segments.into_iter().rev() {
                 // Just-established segments cannot fail to tear down; keep
                 // the rollback panic-free regardless.
                 let _ = self.wafers[w.0].teardown(id);
             }
-            if let Some(set) = manual_src_claim {
+            if let Some(set) = build.manual_src_claim {
                 self.wafers[src.0 .0].tile_mut(src.1).serdes.release_tx(set);
             }
             return Err(e);
@@ -451,15 +538,154 @@ impl Fabric {
                 src,
                 dst,
                 fibers,
-                segments,
+                segments: build.segments,
                 lanes,
                 bandwidth: Gbps(rate.0 * lanes as f64),
                 link,
-                manual_src_claim,
-                manual_dst_claim,
+                manual_src_claim: build.manual_src_claim,
+                manual_dst_claim: build.manual_dst_claim,
             },
         );
-        Ok((id, SimDuration::from_secs_f64(RECONFIG_LATENCY_S)))
+        Ok((id, SimDuration::from_secs_f64(RECONFIG_LATENCY_S), link))
+    }
+
+    /// The segment-building pass of [`cross_impl`](Self::cross_impl):
+    /// establishes every intra-wafer hop (or performs the degenerate
+    /// attach-tile SerDes claims), recording handles and manual claims into
+    /// `build` so the caller can roll back on failure.
+    fn cross_segments(
+        &mut self,
+        src: (WaferId, TileCoord),
+        dst: (WaferId, TileCoord),
+        lanes: usize,
+        fibers: &[usize],
+        mode: &mut CrossMode<'_>,
+        build: &mut CrossBuild,
+    ) -> Result<(), CircuitError> {
+        let mut seg_cursor = 0usize;
+        let mut wafer = src.0;
+        let mut at = src.1;
+        for (hop, &fi) in fibers.iter().enumerate() {
+            let (near, far) = self.fibers[fi].oriented(wafer);
+            let first = hop == 0;
+            if at != near {
+                let mut req = CircuitRequest::new(at, near, lanes);
+                req.claim_src_serdes = first;
+                req.claim_dst_serdes = false;
+                let id = self.establish_segment(wafer, req, mode, &mut seg_cursor)?;
+                build.segments.push((wafer, id));
+            } else if first {
+                // Source sits on the attach tile: claim tx manually.
+                let tile = self.wafers[wafer.0].tile_mut(at);
+                if tile.is_failed() {
+                    return Err(CircuitError::TileFailed(at));
+                }
+                let avail = tile.serdes.tx_available();
+                let set = avail
+                    .take_lowest(lanes)
+                    .ok_or(CircuitError::InsufficientTxLanes {
+                        tile: at,
+                        free: avail.len(),
+                        requested: lanes,
+                    })?;
+                if tile.serdes.claim_tx(set).is_none() {
+                    return Err(CircuitError::InsufficientTxLanes {
+                        tile: at,
+                        free: tile.serdes.tx_available().len(),
+                        requested: lanes,
+                    });
+                }
+                build.manual_src_claim = Some(set);
+            }
+            wafer = self.fibers[fi].other_end(wafer);
+            at = far;
+        }
+        // Final wafer: attach tile → destination.
+        if at != dst.1 {
+            let mut req = CircuitRequest::new(at, dst.1, lanes);
+            req.claim_src_serdes = false;
+            req.claim_dst_serdes = true;
+            let id = self.establish_segment(wafer, req, mode, &mut seg_cursor)?;
+            build.segments.push((wafer, id));
+        } else {
+            let tile = self.wafers[wafer.0].tile_mut(at);
+            if tile.is_failed() {
+                return Err(CircuitError::TileFailed(at));
+            }
+            let avail = tile.serdes.rx_available();
+            let set = avail
+                .take_lowest(lanes)
+                .ok_or(CircuitError::InsufficientRxLanes {
+                    tile: at,
+                    free: avail.len(),
+                    requested: lanes,
+                })?;
+            if tile.serdes.claim_rx(set).is_none() {
+                return Err(CircuitError::InsufficientRxLanes {
+                    tile: at,
+                    free: tile.serdes.rx_available().len(),
+                    requested: lanes,
+                });
+            }
+            build.manual_dst_claim = Some(lanes);
+        }
+        Ok(())
+    }
+
+    /// One intra-wafer segment establish, honouring the mode: fresh routes
+    /// search and budget from scratch, capture additionally records the
+    /// decision image, stamp replays it via the prebudgeted fast path. A
+    /// stamp whose recorded segment no longer lines up with the traversal
+    /// falls back to a fresh establish — identical behaviour, just slower.
+    fn establish_segment(
+        &mut self,
+        wafer: WaferId,
+        req: CircuitRequest,
+        mode: &mut CrossMode<'_>,
+        seg_cursor: &mut usize,
+    ) -> Result<CircuitId, CircuitError> {
+        let (src, dst) = (req.src, req.dst);
+        match mode {
+            CrossMode::Fresh => Ok(self.wafer_mut(wafer).establish(req)?.id),
+            CrossMode::Capture(segs) => {
+                let mut witnesses: Vec<(EdgeId, u32)> = Vec::new();
+                {
+                    let w = self.wafer(wafer);
+                    for e in Path::xy(src, dst).edges().chain(Path::yx(src, dst).edges()) {
+                        if !witnesses.iter().any(|&(seen, _)| seen == e) {
+                            witnesses.push((e, w.edge_used(e)));
+                        }
+                    }
+                }
+                let rep = self.wafer_mut(wafer).establish(req)?;
+                let ckt = self
+                    .wafer(wafer)
+                    .circuit(rep.id)
+                    .ok_or(CircuitError::UnknownCircuit(rep.id))?;
+                segs.push(CrossSegmentPlan {
+                    wafer,
+                    path: ckt.path.clone(),
+                    link: ckt.link,
+                    witnesses,
+                });
+                Ok(rep.id)
+            }
+            CrossMode::Stamp(plan) => {
+                let sp = plan.segments.get(*seg_cursor);
+                *seg_cursor += 1;
+                match sp {
+                    Some(sp)
+                        if sp.wafer == wafer && sp.path.src() == src && sp.path.dst() == dst =>
+                    {
+                        Ok(self
+                            .wafer_mut(wafer)
+                            .establish_prebudgeted(req.via(sp.path.clone()), sp.link)?
+                            .id)
+                    }
+                    _ => Ok(self.wafer_mut(wafer).establish(req)?.id),
+                }
+            }
+        }
     }
 
     /// Tear a cross-wafer circuit down.

@@ -44,6 +44,19 @@ impl TileCoord {
         self.row.abs_diff(other.row) as u32 + self.col.abs_diff(other.col) as u32
     }
 
+    /// This coordinate shifted by `(dr, dc)`, or `None` when the result
+    /// leaves the `u8` coordinate space. Relocatable plan templates store
+    /// their footprint at a canonical origin and translate with this.
+    pub fn offset(self, dr: i16, dc: i16) -> Option<TileCoord> {
+        let nr = self.row as i16 + dr;
+        let nc = self.col as i16 + dc;
+        if (0..=u8::MAX as i16).contains(&nr) && (0..=u8::MAX as i16).contains(&nc) {
+            Some(TileCoord::new(nr as u8, nc as u8))
+        } else {
+            None
+        }
+    }
+
     /// Direction of travel to an adjacent coordinate.
     ///
     /// Panics if `to` is not a 4-neighbour of `self`.
@@ -314,6 +327,24 @@ impl EdgeSet {
     pub fn is_empty(&self) -> bool {
         self.words.iter().all(|&w| w == 0)
     }
+
+    /// True when the two sets share at least one edge — one AND per word,
+    /// the collision check a plan stamp runs instead of a route search.
+    pub fn intersects(&self, other: &EdgeSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(&a, &b)| a & b != 0)
+    }
+
+    /// OR every bit of `other` into this set. Both sets must be sized for
+    /// the same grid.
+    pub fn union_with(&mut self, other: &EdgeSet) {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        for (w, &o) in self.words.iter_mut().zip(other.words.iter()) {
+            *w |= o;
+        }
+    }
 }
 
 /// A simple path of adjacent tiles on the wafer grid.
@@ -439,6 +470,17 @@ impl Path {
     pub fn edge_disjoint(&self, other: &Path) -> bool {
         let mine: Vec<EdgeId> = self.edges().collect();
         !other.edges().any(|e| mine.contains(&e))
+    }
+
+    /// The path rigidly shifted by `(dr, dc)`, or `None` when any tile
+    /// would leave the `u8` coordinate space. Adjacency and simplicity are
+    /// translation-invariant, so the result needs no re-validation.
+    pub fn translated(&self, dr: i16, dc: i16) -> Option<Path> {
+        let mut tiles = Vec::with_capacity(self.tiles.len());
+        for t in &self.tiles {
+            tiles.push(t.offset(dr, dc)?);
+        }
+        Some(Path { tiles })
     }
 }
 
@@ -644,5 +686,46 @@ mod tests {
             edges[0],
             EdgeId::between(TileCoord::new(0, 0), TileCoord::new(0, 1))
         );
+    }
+
+    #[test]
+    fn edge_set_intersection_and_union() {
+        let mut a = EdgeSet::new(130);
+        let mut b = EdgeSet::new(130);
+        assert!(!a.intersects(&b), "empty sets are disjoint");
+        a.insert(0);
+        a.insert(129);
+        b.insert(64);
+        assert!(!a.intersects(&b));
+        b.insert(129);
+        assert!(a.intersects(&b), "shared bit in the last word detected");
+        assert!(b.intersects(&a), "intersection is symmetric");
+        a.union_with(&b);
+        for i in [0, 64, 129] {
+            assert!(a.contains(i), "union must carry bit {i}");
+        }
+        assert!(!a.contains(1));
+    }
+
+    #[test]
+    fn tile_offset_translates_and_bounds_checks() {
+        let t = TileCoord::new(2, 3);
+        assert_eq!(t.offset(1, -2), Some(TileCoord::new(3, 1)));
+        assert_eq!(t.offset(0, 0), Some(t));
+        assert_eq!(t.offset(-3, 0), None, "negative row leaves u8 space");
+        assert_eq!(TileCoord::new(255, 0).offset(1, 0), None, "row overflow");
+        assert_eq!(TileCoord::new(0, 255).offset(0, 1), None, "col overflow");
+    }
+
+    #[test]
+    fn path_translation_is_rigid_and_bounds_checked() {
+        let p = Path::xy(TileCoord::new(1, 1), TileCoord::new(2, 3));
+        let q = p.translated(1, 2).expect("in-bounds translation");
+        assert_eq!(q.src(), TileCoord::new(2, 3));
+        assert_eq!(q.dst(), TileCoord::new(3, 5));
+        assert_eq!(q.hops(), p.hops(), "rigid translation preserves shape");
+        // Round trip restores the original path byte for byte.
+        assert_eq!(q.translated(-1, -2), Some(p.clone()));
+        assert_eq!(p.translated(-2, 0), None, "any out-of-range tile refuses");
     }
 }

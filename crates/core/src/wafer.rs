@@ -251,6 +251,30 @@ impl Wafer {
     /// lanes, and switch programming are committed atomically; on error
     /// nothing changes.
     pub fn establish(&mut self, req: CircuitRequest) -> Result<EstablishReport, CircuitError> {
+        self.establish_impl(req, None)
+    }
+
+    /// Establish with a link report captured from an earlier evaluation of
+    /// the *same* path under the *same* crosstalk loads — the plan-library
+    /// stamp path, which skips the dominant link-budget recomputation.
+    ///
+    /// Contract: `link` must equal `self.link_budget(path)` bit-for-bit at
+    /// the moment of the call; callers guarantee this by only stamping when
+    /// every load the budget reads is unchanged since capture. Debug builds
+    /// (the test suite) recompute and assert the equality.
+    pub fn establish_prebudgeted(
+        &mut self,
+        req: CircuitRequest,
+        link: phy::link_budget::LinkReport,
+    ) -> Result<EstablishReport, CircuitError> {
+        self.establish_impl(req, Some(link))
+    }
+
+    fn establish_impl(
+        &mut self,
+        req: CircuitRequest,
+        prebudgeted: Option<phy::link_budget::LinkReport>,
+    ) -> Result<EstablishReport, CircuitError> {
         // --- validate endpoints -------------------------------------------------
         if req.src == req.dst {
             return Err(CircuitError::SameEndpoints(req.src));
@@ -312,7 +336,17 @@ impl Wafer {
         } else {
             LambdaSet::EMPTY
         };
-        let link = self.link_budget(&path);
+        let link = match prebudgeted {
+            Some(given) => {
+                debug_assert_eq!(
+                    report_bits(&given),
+                    report_bits(&self.link_budget(&path)),
+                    "prebudgeted link report diverged from a fresh evaluation"
+                );
+                given
+            }
+            None => self.link_budget(&path),
+        };
         if let Err(infeasible) = link.require_closure(phy::DEFAULT_TARGET_BER) {
             return Err(CircuitError::BudgetFailed {
                 margin_db: infeasible.margin_db,
@@ -567,6 +601,18 @@ impl Wafer {
         }
         Ok(())
     }
+}
+
+/// Bitwise image of a link report, for exact (not epsilon) comparison in
+/// the prebudgeted-establish contract check.
+pub(crate) fn report_bits(r: &phy::link_budget::LinkReport) -> [u64; 5] {
+    [
+        r.received.0.to_bits(),
+        r.sensitivity.0.to_bits(),
+        r.margin.0.to_bits(),
+        r.ber.to_bits(),
+        r.rate.0.to_bits(),
+    ]
 }
 
 /// The set of rx lanes a teardown should release: the *highest* `k` lanes

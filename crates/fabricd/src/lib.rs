@@ -41,8 +41,11 @@ pub use ctrl::{
     CtrlOutcome, CtrlSnapshot,
 };
 pub use journal::{DenyReason, Journal, JournalEntry, JournalHeader, Record};
-pub use metrics::Metrics;
-pub use plan::{program, program_counted, program_with, ring_plan, CircuitPlan, ProgramFailure};
+pub use metrics::{Metrics, RouteTelemetry};
+pub use plan::{
+    program, program_counted, program_planned, program_with, ring_plan, CircuitPlan,
+    CrossPlanStats, PlanEngine, ProgramFailure,
+};
 pub use report::{
     bench_config, compare_ctrl_baseline, run_ctrl_bench, CtrlBenchReport, MIN_CTRL_PERF_RATIO,
 };

@@ -8,9 +8,11 @@
 //!
 //! [`FabricState`]: crate::state::FabricState
 
+use crate::plan::CrossPlanStats;
 use crate::state::{FabricState, Utilization};
 use desim::stats::{Histogram, OnlineStats, TimeSeries};
 use desim::{SimTime, SnapReader, SnapWriter};
+use route::{CacheStats, PlanStats};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -58,6 +60,136 @@ fn static_code(code: &str) -> Result<&'static str, String> {
         .find(|&&c| c == code)
         .copied()
         .ok_or_else(|| format!("metrics restore: unknown fault code {code:?}"))
+}
+
+/// Routing-cache telemetry in one place: the plan library, the cross-plan
+/// cache, and optionally a [`route::PathCache`] when the caller drives one.
+/// Telemetry only — read from the live engine at report time, never
+/// journaled, snapshotted, or folded into fingerprints (a cold cache must
+/// replay bit-identically to a warm one).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RouteTelemetry {
+    /// Intra-wafer plan-library counters.
+    pub plan: PlanStats,
+    /// Plan-library instances resident at report time.
+    pub plan_resident: usize,
+    /// Cross-wafer plan cache counters.
+    pub cross: CrossPlanStats,
+    /// Cross plans resident at report time.
+    pub cross_resident: usize,
+    /// `PathCache` counters, when one is in play.
+    pub path_cache: Option<CacheStats>,
+}
+
+impl RouteTelemetry {
+    /// Snapshot the counters of a state's plan engine.
+    pub fn of(state: &FabricState) -> RouteTelemetry {
+        let engine = state.plan_engine();
+        RouteTelemetry {
+            plan: engine.plan_stats(),
+            plan_resident: engine.resident_instances(),
+            cross: engine.cross_stats(),
+            cross_resident: engine.resident_cross_plans(),
+            path_cache: None,
+        }
+    }
+
+    /// Fold another telemetry snapshot into this one (pod aggregation).
+    /// Counters add; `path_cache` sums when either side carries one.
+    pub fn merge(&mut self, other: &RouteTelemetry) {
+        self.plan.hits += other.plan.hits;
+        self.plan.misses += other.plan.misses;
+        self.plan.evictions += other.plan.evictions;
+        self.plan.fallbacks += other.plan.fallbacks;
+        self.plan.stamped_circuits += other.plan.stamped_circuits;
+        self.plan_resident += other.plan_resident;
+        self.cross.hits += other.cross.hits;
+        self.cross.misses += other.cross.misses;
+        self.cross.fallbacks += other.cross.fallbacks;
+        self.cross.evictions += other.cross.evictions;
+        self.cross_resident += other.cross_resident;
+        if let Some(o) = &other.path_cache {
+            let c = self.path_cache.get_or_insert(CacheStats::default());
+            c.hits += o.hits;
+            c.misses += o.misses;
+            c.invalidations += o.invalidations;
+        }
+    }
+
+    /// Fixed-key-order JSON object (no trailing newline). Key order is
+    /// hand-rolled and byte-stable: same counters, same bytes, regardless
+    /// of shard count or merge order.
+    pub fn json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let inner = " ".repeat(indent + 2);
+        let mut out = String::from("{\n");
+        let _ = writeln!(
+            out,
+            "{inner}\"plan_library\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+             \"fallbacks\": {}, \"stamped_circuits\": {}, \"resident\": {} }},",
+            self.plan.hits,
+            self.plan.misses,
+            self.plan.evictions,
+            self.plan.fallbacks,
+            self.plan.stamped_circuits,
+            self.plan_resident,
+        );
+        let _ = write!(
+            out,
+            "{inner}\"cross_plans\": {{ \"hits\": {}, \"misses\": {}, \"fallbacks\": {}, \
+             \"evictions\": {}, \"resident\": {} }}",
+            self.cross.hits,
+            self.cross.misses,
+            self.cross.fallbacks,
+            self.cross.evictions,
+            self.cross_resident,
+        );
+        if let Some(c) = &self.path_cache {
+            let _ = write!(
+                out,
+                ",\n{inner}\"path_cache\": {{ \"hits\": {}, \"misses\": {}, \
+                 \"invalidations\": {} }}",
+                c.hits, c.misses, c.invalidations,
+            );
+        }
+        let _ = write!(out, "\n{pad}}}");
+        out
+    }
+
+    /// Human-readable lines for the CLI report.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "plan library:  hits={} misses={} fallbacks={} evictions={} stamped={} resident={}",
+            self.plan.hits,
+            self.plan.misses,
+            self.plan.fallbacks,
+            self.plan.evictions,
+            self.plan.stamped_circuits,
+            self.plan_resident,
+        );
+        let _ = writeln!(
+            out,
+            "cross plans:   hits={} misses={} fallbacks={} evictions={} resident={}",
+            self.cross.hits,
+            self.cross.misses,
+            self.cross.fallbacks,
+            self.cross.evictions,
+            self.cross_resident,
+        );
+        if let Some(c) = &self.path_cache {
+            let _ = writeln!(
+                out,
+                "path cache:    hits={} misses={} invalidations={} hit_rate={:.3}",
+                c.hits,
+                c.misses,
+                c.invalidations,
+                c.hit_rate(),
+            );
+        }
+        out
+    }
 }
 
 /// The control plane's metrics registry.

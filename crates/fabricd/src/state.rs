@@ -13,13 +13,12 @@
 //! (`BTreeMap`/`BTreeSet`/coordinate order), never hash-ordered.
 
 use crate::journal::{DenyReason, Journal, JournalEntry, JournalHeader, Record};
-use crate::plan::{program_counted, program_with, ring_plan};
+use crate::plan::{program_planned, ring_plan, PlanEngine};
 use crate::snapshot::FabricSnapshot;
 use desim::{SimDuration, SimTime, SnapReader, SnapWriter};
 use lightpath::{CtrlFault, FabricCircuit, FabricError, TopoFault, WaferId, WaferTelemetry};
 use phy::thermal::RECONFIG_LATENCY_S;
 use resilience::{chip_to_tile, optical_repair, PhotonicRack};
-use route::Searcher;
 use std::collections::{BTreeMap, BTreeSet};
 use topo::{Coord3, Shape3, Slice, SliceId};
 
@@ -111,8 +110,12 @@ pub struct FabricState {
     /// choice until their tenant departs.
     reserved: BTreeSet<Coord3>,
     journal: Journal,
-    /// Routing scratch shared by every plan this daemon programs.
-    searcher: Searcher,
+    /// Routing scratch and plan caches shared by every plan this daemon
+    /// programs — one A* searcher per campaign (retries and replays never
+    /// allocate a fresh scratch) plus the relocatable plan library and
+    /// cross-plan cache. Pure accelerator: excluded from snapshots and
+    /// fingerprints because a cold engine reproduces identical bytes.
+    plans: PlanEngine,
     /// Replay bookkeeping: a `Reject` record awaiting its paired
     /// `Rollback` — `(job, attempt, circuits rolled back)`.
     pending_rollback: Option<(u32, u32, usize)>,
@@ -135,7 +138,7 @@ impl FabricState {
                 seed,
                 shape,
             }),
-            searcher: Searcher::new(),
+            plans: PlanEngine::new(),
             pending_rollback: None,
         }
     }
@@ -148,6 +151,11 @@ impl FabricState {
     /// The command journal.
     pub fn journal(&self) -> &Journal {
         &self.journal
+    }
+
+    /// The plan engine (routing scratch + plan caches), for telemetry.
+    pub fn plan_engine(&self) -> &PlanEngine {
+        &self.plans
     }
 
     /// Failure incidents, in injection order.
@@ -597,7 +605,7 @@ impl FabricState {
             Err(_) => return Admission::NoSpace,
         };
         let plan = ring_plan(&self.rack.cluster, &slice, self.lanes);
-        match program_counted(&mut self.rack.fabric, &plan, &mut self.searcher) {
+        match program_planned(&mut self.rack.fabric, &plan, &mut self.plans) {
             Ok(handles) => {
                 self.journal.push(
                     now,
@@ -868,7 +876,7 @@ impl FabricState {
             .place_best_fit(job, shape)
             .map_err(|e| replay_diverged(seq, format!("denied job placed differently: {e:?}")))?;
         let plan = ring_plan(&self.rack.cluster, &slice, self.lanes);
-        let outcome = program_with(&mut self.rack.fabric, &plan, &mut self.searcher);
+        let outcome = program_planned(&mut self.rack.fabric, &plan, &mut self.plans);
         self.rack.cluster.occupancy_mut().remove(SliceId(job));
         match outcome {
             Err(_) => Ok(()),
@@ -923,7 +931,7 @@ impl FabricState {
             .place_best_fit(job, shape)
             .map_err(|e| replay_diverged(seq, format!("rejected job placed differently: {e:?}")))?;
         let plan = ring_plan(&self.rack.cluster, &slice, self.lanes);
-        let outcome = program_counted(&mut self.rack.fabric, &plan, &mut self.searcher);
+        let outcome = program_planned(&mut self.rack.fabric, &plan, &mut self.plans);
         self.rack.cluster.occupancy_mut().remove(SliceId(job));
         match outcome {
             Err(failure) => {
@@ -979,7 +987,9 @@ impl FabricState {
                     None => return Err(diverged(format!("program for unknown job {job}"))),
                 };
                 let plan = ring_plan(&self.rack.cluster, &slice, self.lanes);
-                match program_with(&mut self.rack.fabric, &plan, &mut self.searcher) {
+                match program_planned(&mut self.rack.fabric, &plan, &mut self.plans)
+                    .map_err(|f| f.error)
+                {
                     Ok(handles) if handles.len() == *circuits => {
                         if let Some(rec) = self.jobs.get_mut(job) {
                             rec.handles = handles;

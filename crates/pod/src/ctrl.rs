@@ -39,7 +39,7 @@ use crate::shard::{PodEvent, ShardDomain, ShardSnapshot};
 use desim::epoch::{exchange, EpochConfig, Stamped};
 use desim::fnv::{combine, derive_seed, Fnv};
 use desim::{SimDuration, SimTime, SnapReader, SnapWriter};
-use fabricd::{Journal, JournalEntry, JournalHeader, Metrics};
+use fabricd::{Journal, JournalEntry, JournalHeader, Metrics, RouteTelemetry};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use topo::RackGroupPartition;
@@ -114,6 +114,12 @@ pub struct PodOutcome {
     pub journal: Journal,
     /// All domains' metrics, folded in group-index order.
     pub metrics: Metrics,
+    /// Plan-library / cross-plan cache counters, summed over all domains
+    /// in group-index order. Telemetry only — never part of the
+    /// fingerprint (a cold cache must replay bit-identically to a warm
+    /// one), but deterministic and shard-count invariant, so
+    /// `BENCH_pod.json` gates the counts exactly.
+    pub route: RouteTelemetry,
     /// Local events executed across all domains.
     pub events: u64,
     /// Epoch windows executed.
@@ -544,8 +550,10 @@ impl PodRun {
             }
         };
 
-        // Final fold, in group-index order: metrics, fingerprints, events.
+        // Final fold, in group-index order: metrics, fingerprints, events,
+        // and the plan-library telemetry (summed, never fingerprinted).
         let mut metrics = Metrics::new();
+        let mut route = RouteTelemetry::default();
         let mut fps: Vec<u64> = Vec::with_capacity(groups);
         let mut events: u64 = 0;
         for slot in &mut self.domains {
@@ -553,6 +561,7 @@ impl PodRun {
                 .get_mut()
                 .map_err(|_| "pod shard mutex poisoned".to_string())?;
             metrics.merge(dom.metrics());
+            route.merge(&RouteTelemetry::of(dom.state()));
             fps.push(dom.fingerprint());
             events += dom.events_executed();
         }
@@ -576,6 +585,7 @@ impl PodRun {
             fingerprint,
             journal: self.journal,
             metrics,
+            route,
             events,
             epochs: self.epoch,
             shards: workers,
@@ -861,6 +871,7 @@ mod tests {
             one.metrics.rejection_report_json(),
             four.metrics.rejection_report_json()
         );
+        assert_eq!(one.route, four.route, "plan telemetry is shard-invariant");
     }
 
     #[test]

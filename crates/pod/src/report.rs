@@ -38,6 +38,22 @@ pub struct PodBenchReport {
     pub wall_s: f64,
     /// Events per wall-clock second — the gated throughput.
     pub events_per_sec: f64,
+    /// Plan-library stamps across all domains (deterministic, gated).
+    pub plan_hits: u64,
+    /// Plan-library fresh captures across all domains.
+    pub plan_misses: u64,
+    /// Plan-library occupancy-guard fallbacks to fresh routing.
+    pub plan_fallbacks: u64,
+    /// Plan-library FIFO evictions.
+    pub plan_evictions: u64,
+    /// Circuits programmed via stamping (no search, no re-budgeting).
+    pub plan_stamped_circuits: u64,
+    /// Cross-plan cache stamps across all domains.
+    pub cross_hits: u64,
+    /// Cross-plan fresh captures across all domains.
+    pub cross_misses: u64,
+    /// Cross-plan witness-guard fallbacks to fresh routing.
+    pub cross_fallbacks: u64,
 }
 
 impl PodBenchReport {
@@ -55,6 +71,14 @@ impl PodBenchReport {
             events: out.events,
             wall_s: out.wall_s,
             events_per_sec: out.events_per_sec,
+            plan_hits: out.route.plan.hits,
+            plan_misses: out.route.plan.misses,
+            plan_fallbacks: out.route.plan.fallbacks,
+            plan_evictions: out.route.plan.evictions,
+            plan_stamped_circuits: out.route.plan.stamped_circuits,
+            cross_hits: out.route.cross.hits,
+            cross_misses: out.route.cross.misses,
+            cross_fallbacks: out.route.cross.fallbacks,
         }
     }
 
@@ -65,7 +89,10 @@ impl PodBenchReport {
             "{{\n  \"chips\": {},\n  \"groups\": {},\n  \"shards\": {},\n  \
              \"epochs\": {},\n  \"jobs\": {},\n  \"fingerprint\": \"{}\",\n  \
              \"journal_hash\": \"{}\",\n  \"journal_records\": {},\n  \
-             \"events\": {},\n  \"wall_s\": {},\n  \"events_per_sec\": {}\n}}\n",
+             \"events\": {},\n  \"wall_s\": {},\n  \"events_per_sec\": {},\n  \
+             \"plan_hits\": {},\n  \"plan_misses\": {},\n  \"plan_fallbacks\": {},\n  \
+             \"plan_evictions\": {},\n  \"plan_stamped_circuits\": {},\n  \
+             \"cross_hits\": {},\n  \"cross_misses\": {},\n  \"cross_fallbacks\": {}\n}}\n",
             self.chips,
             self.groups,
             self.shards,
@@ -77,6 +104,14 @@ impl PodBenchReport {
             self.events,
             self.wall_s,
             self.events_per_sec,
+            self.plan_hits,
+            self.plan_misses,
+            self.plan_fallbacks,
+            self.plan_evictions,
+            self.plan_stamped_circuits,
+            self.cross_hits,
+            self.cross_misses,
+            self.cross_fallbacks,
         )
     }
 
@@ -94,6 +129,14 @@ impl PodBenchReport {
             events: json_u64(text, "events")?,
             wall_s: json_f64(text, "wall_s")?,
             events_per_sec: json_f64(text, "events_per_sec")?,
+            plan_hits: json_u64(text, "plan_hits")?,
+            plan_misses: json_u64(text, "plan_misses")?,
+            plan_fallbacks: json_u64(text, "plan_fallbacks")?,
+            plan_evictions: json_u64(text, "plan_evictions")?,
+            plan_stamped_circuits: json_u64(text, "plan_stamped_circuits")?,
+            cross_hits: json_u64(text, "cross_hits")?,
+            cross_misses: json_u64(text, "cross_misses")?,
+            cross_fallbacks: json_u64(text, "cross_fallbacks")?,
         })
     }
 }
@@ -114,6 +157,30 @@ pub fn compare_baseline(current: &PodBenchReport, baseline: &PodBenchReport) -> 
             baseline.journal_records,
         ),
         ("events", current.events, baseline.events),
+        ("plan_hits", current.plan_hits, baseline.plan_hits),
+        ("plan_misses", current.plan_misses, baseline.plan_misses),
+        (
+            "plan_fallbacks",
+            current.plan_fallbacks,
+            baseline.plan_fallbacks,
+        ),
+        (
+            "plan_evictions",
+            current.plan_evictions,
+            baseline.plan_evictions,
+        ),
+        (
+            "plan_stamped_circuits",
+            current.plan_stamped_circuits,
+            baseline.plan_stamped_circuits,
+        ),
+        ("cross_hits", current.cross_hits, baseline.cross_hits),
+        ("cross_misses", current.cross_misses, baseline.cross_misses),
+        (
+            "cross_fallbacks",
+            current.cross_fallbacks,
+            baseline.cross_fallbacks,
+        ),
     ] {
         if cur != base {
             failures.push(format!("{name} {cur} != baseline {base}"));
@@ -199,6 +266,14 @@ mod tests {
             events: 12345,
             wall_s: 0.25,
             events_per_sec: 49380.0,
+            plan_hits: 40,
+            plan_misses: 12,
+            plan_fallbacks: 3,
+            plan_evictions: 0,
+            plan_stamped_circuits: 120,
+            cross_hits: 18,
+            cross_misses: 6,
+            cross_fallbacks: 1,
         }
     }
 
@@ -232,6 +307,15 @@ mod tests {
         current.journal_hash = "0x0000000000000002".into();
         let failures = compare_baseline(&current, &baseline);
         assert_eq!(failures.len(), 2);
+    }
+
+    #[test]
+    fn plan_counter_drift_fails_the_gate() {
+        let baseline = report();
+        let mut current = report();
+        current.plan_hits += 1;
+        current.cross_fallbacks += 1;
+        assert_eq!(compare_baseline(&current, &baseline).len(), 2);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   with hundreds of accelerators").
 //! * [`moe`] — dynamic circuit scheduling for Mixture-of-Experts inference
 //!   with a warm-circuit LRU bounded by SerDes lanes.
+//! * [`planlib`] — precompiled, relocatable circuit-plan templates with
+//!   boundary-edge contracts: admission by translate + collision-check +
+//!   stamp instead of per-path A*.
 //! * [`fault`] — fiber-frugal planning of cross-wafer repair circuits.
 //! * [`protected`] — 1+1 protection: working + edge-disjoint backup
 //!   circuits with a single-reconfiguration failover.
@@ -30,6 +33,7 @@ pub mod cache;
 pub mod controllers;
 pub mod fault;
 pub mod moe;
+pub mod planlib;
 pub mod protected;
 pub mod rwa;
 
@@ -40,5 +44,6 @@ pub use controllers::{central_setup, decentralized_setup, ControlParams, Control
 pub use fault::{fibers_in_use, plan_pooled, CrossDemand, FiberPlan};
 pub use lightpath::{FabricError, FaultKind, RouteFault};
 pub use moe::{run_moe, MoeParams, MoeReport};
+pub use planlib::{AuditEdge, PlanLibrary, PlanStats, StampAudit, StampRecord};
 pub use protected::{establish_protected, establish_protected_with, ProtectedCircuit};
 pub use rwa::{route_and_assign, wdm_capacity_multiplier, Assignment, WavelengthPlane};

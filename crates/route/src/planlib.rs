@@ -1,0 +1,760 @@
+//! Pre-routed relocatable circuit-plan library: admission by stamp, not by
+//! search.
+//!
+//! Slices of the same (shape × collective mode × wavelength set) produce
+//! structurally identical circuit plans, yet every admission used to route
+//! each one from scratch. Borrowing the pre-routed-FPGA-core idea (modules
+//! precompiled against tightly constrained boundary-wire contracts), this
+//! module caches each batch's routed form as a **relocatable template**:
+//! the per-demand paths in translation-invariant local coordinates plus an
+//! explicit boundary-edge contract (which border waveguides the plan
+//! claims, at what fabricated stitch loss). Admission then becomes
+//! *translate + occupancy collision-check (one bitset AND over the dense
+//! [`EdgeSet`]) + stamp*, falling back to fresh A* only on contract
+//! mismatch or cache miss.
+//!
+//! ## Why a stamp is byte-identical to fresh routing
+//!
+//! A stamped batch must be indistinguishable — circuit ids, paths, link
+//! reports, error behaviour, snapshot bytes — from what
+//! [`allocate_non_overlapping_with`] would have produced. That holds
+//! because a stamp is only attempted under the **clearance guard**:
+//!
+//! * every bus with an endpoint inside any demand's source–destination
+//!   bounding rectangle (the only loads a minimal-path batch search can
+//!   read) carries zero load, verified by one `EdgeSet` intersection; and
+//! * every cached path is *minimal* (hops == Manhattan distance), which
+//!   certifies the capturing search never popped a node outside those
+//!   rectangles — so the search is a pure function of the clearance, and a
+//!   fresh run now would reproduce it step-for-step; and
+//! * a template is only *relocated* to an origin whose per-demand
+//!   grid-boundary flush pattern matches the capture origin, so the
+//!   off-grid neighbour clipping inside A* is congruent under translation.
+//!
+//! Link reports are captured per origin (reticle stitch losses are
+//! absolute-position-dependent) under the same guard, so the crosstalk
+//! terms the budget reads are zero at capture and at stamp alike;
+//! [`Wafer::establish_prebudgeted`] re-asserts the bit-equality in debug
+//! builds. Anything the guard cannot certify routes fresh — slower, never
+//! different.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use desim::fnv::Fnv;
+use phy::link_budget::LinkReport;
+
+use crate::alloc::{allocate_non_overlapping_with, Demand};
+use crate::astar::Searcher;
+use lightpath::{
+    CircuitId, CircuitRequest, Dir, EdgeId, EdgeSet, FabricError, Path, RouteFault, TileCoord,
+    Wafer, WaferConfig,
+};
+
+/// Default cap on cached plan instances across the whole library (FIFO
+/// eviction). Each instance is a handful of short paths and link reports;
+/// 256 covers every (shape × mode × origin) combination the pod-scale
+/// campaigns cycle through.
+pub const DEFAULT_PLAN_CAPACITY: usize = 256;
+
+/// Stamp records retained for the boundary-contract audit (RTE501).
+pub const AUDIT_CAPACITY: usize = 64;
+
+/// Identity of a plan template: the wafer-config signature (loss model,
+/// grid shape, fabrication seed — everything routing and budgeting read)
+/// plus the demand list normalized to its minimum corner, order preserved.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct PlanKey {
+    cfg_sig: u64,
+    /// Per demand: local (src row, src col, dst row, dst col, lanes).
+    demands: Vec<(u8, u8, u8, u8, u16)>,
+}
+
+/// FNV-1a digest of every config field the batch router or link budget
+/// reads. Two wafers with equal signatures fabricate identical stitch maps
+/// (same `fab_seed`), so one template serves all of them.
+fn config_signature(cfg: &WaferConfig) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(cfg.rows as u64)
+        .write_u64(cfg.cols as u64)
+        .write_f64(cfg.tile_pitch_cm)
+        .write_u64(cfg.waveguides_per_edge as u64)
+        .write_u64(cfg.fibers_per_edge_tile as u64)
+        .write_u64(cfg.wdm.channels as u64)
+        .write_f64(cfg.wdm.start_nm)
+        .write_f64(cfg.wdm.spacing_nm)
+        .write_f64(cfg.wdm.rate.0)
+        .write_f64(cfg.mzi.insertion_loss_db)
+        .write_f64(cfg.stitch.mode_radius_um)
+        .write_f64(cfg.stitch.overlay_sigma_um)
+        .write_f64(cfg.stitch.base_loss_db)
+        .write_f64(cfg.propagation_loss_db_per_cm)
+        .write_u64(cfg.crossings_per_through_tile as u64)
+        .write_u64(cfg.crossings_per_turn as u64)
+        .write_f64(cfg.crosstalk_per_cochannel_db)
+        .write_u64(cfg.fab_seed);
+    h.finish()
+}
+
+/// A relocatable plan: canonical local-coordinate paths plus the
+/// per-origin instances stamped so far.
+#[derive(Debug, Clone)]
+struct PlanTemplate {
+    /// Per-demand paths translated so the batch's minimum corner is (0,0).
+    local_paths: Vec<Path>,
+    /// Per-demand grid-boundary flush pattern `[north, south, west, east]`
+    /// at the capture origin. Relocation is only step-congruent (hence
+    /// byte-identical to fresh A*) at origins reproducing this pattern.
+    canonical_flush: Vec<[bool; 4]>,
+    instances: BTreeMap<(u8, u8), PlanInstance>,
+}
+
+/// A template instantiated at one origin: global paths, per-origin link
+/// reports, the clearance guard, and the boundary contract.
+#[derive(Debug, Clone)]
+struct PlanInstance {
+    paths: Vec<Path>,
+    /// Captured under a clear clearance, where every crosstalk term the
+    /// budget reads is zero — exactly what a fresh establish would compute.
+    links: Vec<LinkReport>,
+    /// Every bus with an endpoint inside any demand's bounding rectangle:
+    /// all the loads a minimal-path batch search can read. A stamp requires
+    /// every one of them unloaded.
+    clearance: EdgeSet,
+    /// Boundary contract: border waveguides the plan claims (footprint
+    /// edges on the perimeter of the stamped region) and the fabricated
+    /// stitch loss each was budgeted at.
+    contract: Vec<(EdgeId, f64)>,
+}
+
+/// Plan-library hit/miss/evict counters. Telemetry only: never journaled,
+/// snapshotted, or folded into fingerprints, so a warm and a cold library
+/// replay bit-identically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Batches admitted by stamping a cached instance.
+    pub hits: u64,
+    /// Batches routed fresh because no usable instance existed (captured
+    /// afterwards when eligible).
+    pub misses: u64,
+    /// Instances dropped by the FIFO capacity bound.
+    pub evictions: u64,
+    /// Batches routed fresh because the occupancy guard or relocation
+    /// contract rejected a stamp.
+    pub fallbacks: u64,
+    /// Circuits established through the stamp fast path.
+    pub stamped_circuits: u64,
+}
+
+/// One boundary-contract reading taken as a stamp landed.
+#[derive(Debug, Clone)]
+pub struct AuditEdge {
+    /// First endpoint of the border edge, `(row, col)`.
+    pub a: (u8, u8),
+    /// Second endpoint of the border edge, `(row, col)`.
+    pub b: (u8, u8),
+    /// Stitch loss the plan's contract budgeted this boundary at, dB.
+    pub expected_stitch_db: f64,
+    /// Stitch loss fabricated on the wafer the stamp landed on, dB.
+    pub observed_stitch_db: f64,
+    /// Waveguides already in use on the edge when the stamp landed.
+    pub pre_load: u32,
+}
+
+/// One audited stamp: where a plan instance landed and what its boundary
+/// contract read at that moment. Verify rule RTE501 checks every record:
+/// the observed stitch losses must equal the contract bit-for-bit and the
+/// claimed border buses must have been unoccupied.
+#[derive(Debug, Clone)]
+pub struct StampRecord {
+    /// Grid origin (minimum corner) the instance was stamped at.
+    pub origin: (u8, u8),
+    /// Contract readings for every claimed border edge.
+    pub edges: Vec<AuditEdge>,
+}
+
+/// The bounded trail of recent stamps, for offline contract verification.
+#[derive(Debug, Clone, Default)]
+pub struct StampAudit {
+    /// Records, oldest first.
+    pub records: Vec<StampRecord>,
+}
+
+/// A library of precompiled, relocatable circuit-plan templates.
+///
+/// [`stamp_or_route`](Self::stamp_or_route) is a drop-in replacement for
+/// [`allocate_non_overlapping_with`]: identical results and errors, with
+/// repeated batches admitted by translate + collision-check + stamp
+/// instead of per-path A* and link-budget evaluation.
+#[derive(Debug, Clone)]
+pub struct PlanLibrary {
+    capacity: usize,
+    templates: BTreeMap<PlanKey, PlanTemplate>,
+    /// FIFO insertion order of `(key, origin)` instances, for eviction.
+    order: VecDeque<(PlanKey, (u8, u8))>,
+    audit: VecDeque<StampRecord>,
+    stats: PlanStats,
+}
+
+impl Default for PlanLibrary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlanLibrary {
+    /// An empty library with the default instance capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_PLAN_CAPACITY)
+    }
+
+    /// An empty library holding at most `capacity` instances (FIFO).
+    pub fn with_capacity(capacity: usize) -> Self {
+        PlanLibrary {
+            capacity,
+            templates: BTreeMap::new(),
+            order: VecDeque::new(),
+            audit: VecDeque::new(),
+            stats: PlanStats::default(),
+        }
+    }
+
+    /// Counters since construction.
+    pub fn stats(&self) -> PlanStats {
+        self.stats
+    }
+
+    /// Cached instances currently resident.
+    pub fn instance_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The recent-stamp audit trail (oldest first).
+    pub fn audit(&self) -> StampAudit {
+        StampAudit {
+            records: self.audit.iter().cloned().collect(),
+        }
+    }
+
+    /// Route and establish a batch exactly like
+    /// [`allocate_non_overlapping_with`], stamping a cached plan when the
+    /// occupancy guard proves the stamp byte-equivalent to fresh routing.
+    pub fn stamp_or_route(
+        &mut self,
+        wafer: &mut Wafer,
+        demands: &[Demand],
+        searcher: &mut Searcher,
+    ) -> Result<Vec<CircuitId>, FabricError> {
+        if demands.is_empty() {
+            return allocate_non_overlapping_with(wafer, demands, searcher);
+        }
+        let cfg = wafer.config();
+        let mut min_r = u8::MAX;
+        let mut min_c = u8::MAX;
+        for d in demands {
+            min_r = min_r.min(d.src.row).min(d.dst.row);
+            min_c = min_c.min(d.src.col).min(d.dst.col);
+        }
+        let origin = (min_r, min_c);
+        let key = PlanKey {
+            cfg_sig: config_signature(cfg),
+            demands: demands
+                .iter()
+                .map(|d| {
+                    (
+                        d.src.row - min_r,
+                        d.src.col - min_c,
+                        d.dst.row - min_r,
+                        d.dst.col - min_c,
+                        d.lanes as u16,
+                    )
+                })
+                .collect(),
+        };
+
+        // The occupancy collision check: one AND over the dense bitsets.
+        let clearance = clearance_set(wafer, demands);
+        let mut loaded = EdgeSet::new(wafer.edge_loads().len());
+        for (i, &used) in wafer.edge_loads().iter().enumerate() {
+            if used > 0 {
+                loaded.insert(i);
+            }
+        }
+        if clearance.intersects(&loaded) {
+            // Occupied clearance: a fresh search could read those loads, so
+            // no cached decision is provably equivalent. Route fresh.
+            self.stats.fallbacks += 1;
+            return allocate_non_overlapping_with(wafer, demands, searcher);
+        }
+
+        let has_instance = self
+            .templates
+            .get(&key)
+            .is_some_and(|t| t.instances.contains_key(&origin));
+        if !has_instance && !self.try_relocate(wafer, demands, &key, origin, &clearance) {
+            return self.route_and_capture(wafer, demands, searcher, key, origin, clearance);
+        }
+        self.stamp_instance(wafer, demands, &key, origin, &clearance)
+    }
+
+    /// Instantiate an existing template at a new origin by rigid
+    /// translation, when the boundary contract allows it. Returns `false`
+    /// when no template exists or the flush pattern differs (the caller
+    /// routes fresh and captures a per-origin instance instead).
+    fn try_relocate(
+        &mut self,
+        wafer: &Wafer,
+        demands: &[Demand],
+        key: &PlanKey,
+        origin: (u8, u8),
+        clearance: &EdgeSet,
+    ) -> bool {
+        let Some(tpl) = self.templates.get(key) else {
+            return false;
+        };
+        let (rows, cols) = (wafer.config().rows, wafer.config().cols);
+        let flush: Vec<[bool; 4]> = demands
+            .iter()
+            .map(|d| flush_pattern(d, rows, cols))
+            .collect();
+        if flush != tpl.canonical_flush {
+            return false;
+        }
+        let mut paths = Vec::with_capacity(tpl.local_paths.len());
+        for lp in &tpl.local_paths {
+            match lp.translated(origin.0 as i16, origin.1 as i16) {
+                Some(p) if p.tiles().iter().all(|t| t.row < rows && t.col < cols) => paths.push(p),
+                _ => return false,
+            }
+        }
+        // Per-origin link reports: stitch losses are absolute-position
+        // dependent. The clearance is clear (checked by the caller), so the
+        // crosstalk terms are zero — exactly what a fresh mid-batch
+        // establish would read, since batch paths are edge-disjoint.
+        let links: Vec<LinkReport> = paths.iter().map(|p| wafer.link_budget(p)).collect();
+        let contract = contract_for(wafer, &paths);
+        let inst = PlanInstance {
+            paths,
+            links,
+            clearance: clearance.clone(),
+            contract,
+        };
+        if let Some(tpl) = self.templates.get_mut(key) {
+            tpl.instances.insert(origin, inst);
+        }
+        self.note_insert(key.clone(), origin);
+        true
+    }
+
+    /// Fresh-route the batch, then capture it as a template instance when
+    /// every path is minimal (the eligibility proof for later stamps).
+    fn route_and_capture(
+        &mut self,
+        wafer: &mut Wafer,
+        demands: &[Demand],
+        searcher: &mut Searcher,
+        key: PlanKey,
+        origin: (u8, u8),
+        clearance: EdgeSet,
+    ) -> Result<Vec<CircuitId>, FabricError> {
+        self.stats.misses += 1;
+        let ids = allocate_non_overlapping_with(wafer, demands, searcher)?;
+        let mut paths = Vec::with_capacity(ids.len());
+        let mut links = Vec::with_capacity(ids.len());
+        let mut eligible = ids.len() == demands.len();
+        for (id, d) in ids.iter().zip(demands) {
+            match wafer.circuit(*id) {
+                Some(c) if c.path.hops() as u32 == d.src.manhattan(d.dst) => {
+                    paths.push(c.path.clone());
+                    links.push(c.link);
+                }
+                _ => {
+                    eligible = false;
+                    break;
+                }
+            }
+        }
+        if eligible {
+            let mut local = Vec::with_capacity(paths.len());
+            for p in &paths {
+                match p.translated(-(origin.0 as i16), -(origin.1 as i16)) {
+                    Some(lp) => local.push(lp),
+                    None => {
+                        eligible = false;
+                        break;
+                    }
+                }
+            }
+            if eligible {
+                let (rows, cols) = (wafer.config().rows, wafer.config().cols);
+                let flush: Vec<[bool; 4]> = demands
+                    .iter()
+                    .map(|d| flush_pattern(d, rows, cols))
+                    .collect();
+                let contract = contract_for(wafer, &paths);
+                let tpl = self
+                    .templates
+                    .entry(key.clone())
+                    .or_insert_with(|| PlanTemplate {
+                        local_paths: local,
+                        canonical_flush: flush,
+                        instances: BTreeMap::new(),
+                    });
+                tpl.instances.insert(
+                    origin,
+                    PlanInstance {
+                        paths,
+                        links,
+                        clearance,
+                        contract,
+                    },
+                );
+                self.note_insert(key, origin);
+            }
+        }
+        Ok(ids)
+    }
+
+    /// Stamp the instance at `origin`: replay its paths through the
+    /// prebudgeted establish fast path, mirroring the fresh allocator's
+    /// rollback and error shape exactly.
+    fn stamp_instance(
+        &mut self,
+        wafer: &mut Wafer,
+        demands: &[Demand],
+        key: &PlanKey,
+        origin: (u8, u8),
+        clearance: &EdgeSet,
+    ) -> Result<Vec<CircuitId>, FabricError> {
+        let Some(inst) = self
+            .templates
+            .get(key)
+            .and_then(|t| t.instances.get(&origin))
+        else {
+            // Unreachable in practice (the caller just checked); keep the
+            // path total anyway.
+            return Err(FabricError::new(RouteFault::NoDisjointPath { demand: 0 }));
+        };
+        // The instance was captured under this exact footprint; a drift here
+        // would mean the key or guard under-constrains the plan.
+        debug_assert!(
+            inst.clearance == *clearance,
+            "plan instance clearance diverged from the admission guard"
+        );
+        // Boundary-contract audit, read before the establishes mutate
+        // occupancy.
+        let edges: Vec<AuditEdge> = inst
+            .contract
+            .iter()
+            .map(|&(e, expected)| {
+                let (a, b) = e.endpoints();
+                AuditEdge {
+                    a: (a.row, a.col),
+                    b: (b.row, b.col),
+                    expected_stitch_db: expected,
+                    observed_stitch_db: wafer.stitch_loss_db(e),
+                    pre_load: wafer.edge_used(e),
+                }
+            })
+            .collect();
+        let mut established: Vec<CircuitId> = Vec::with_capacity(inst.paths.len());
+        for (i, ((path, link), d)) in inst
+            .paths
+            .iter()
+            .zip(inst.links.iter())
+            .zip(demands)
+            .enumerate()
+        {
+            match wafer.establish_prebudgeted(
+                CircuitRequest::new(d.src, d.dst, d.lanes).via(path.clone()),
+                *link,
+            ) {
+                Ok(rep) => established.push(rep.id),
+                Err(e) => {
+                    // Mirror `allocate_non_overlapping_with`: tear down in
+                    // establishment order, surface the same fault chain.
+                    for &id in &established {
+                        let _ = wafer.teardown(id);
+                    }
+                    return Err(FabricError::caused_by(
+                        RouteFault::Establish { demand: i },
+                        e.into(),
+                    ));
+                }
+            }
+        }
+        self.stats.hits += 1;
+        self.stats.stamped_circuits += established.len() as u64;
+        self.audit.push_back(StampRecord { origin, edges });
+        if self.audit.len() > AUDIT_CAPACITY {
+            self.audit.pop_front();
+        }
+        Ok(established)
+    }
+
+    /// Record an instance insertion and enforce the FIFO capacity bound.
+    fn note_insert(&mut self, key: PlanKey, origin: (u8, u8)) {
+        self.order.push_back((key, origin));
+        while self.order.len() > self.capacity {
+            let Some((k, o)) = self.order.pop_front() else {
+                break;
+            };
+            if let Some(tpl) = self.templates.get_mut(&k) {
+                if tpl.instances.remove(&o).is_some() {
+                    self.stats.evictions += 1;
+                }
+                if tpl.instances.is_empty() {
+                    self.templates.remove(&k);
+                }
+            }
+        }
+    }
+}
+
+/// Per-demand grid-boundary flush pattern `[north, south, west, east]`: is
+/// the demand's bounding rectangle flush with each wafer edge? A* clips
+/// off-grid neighbours without consuming a tie-break sequence number, so
+/// translation preserves the search step-for-step only when this pattern
+/// is preserved.
+fn flush_pattern(d: &Demand, rows: u8, cols: u8) -> [bool; 4] {
+    let r0 = d.src.row.min(d.dst.row);
+    let r1 = d.src.row.max(d.dst.row);
+    let c0 = d.src.col.min(d.dst.col);
+    let c1 = d.src.col.max(d.dst.col);
+    [
+        r0 == 0,
+        r1 == rows.saturating_sub(1),
+        c0 == 0,
+        c1 == cols.saturating_sub(1),
+    ]
+}
+
+/// Every bus a minimal-path batch search over `demands` can read: edges
+/// with at least one endpoint inside some demand's source–destination
+/// bounding rectangle (the rectangle's interior edges plus its one-ring of
+/// incident edges).
+fn clearance_set(wafer: &Wafer, demands: &[Demand]) -> EdgeSet {
+    let idx = wafer.edge_index();
+    let (rows, cols) = (wafer.config().rows, wafer.config().cols);
+    let mut set = EdgeSet::new(wafer.edge_loads().len());
+    for d in demands {
+        let r0 = d.src.row.min(d.dst.row);
+        let r1 = d.src.row.max(d.dst.row);
+        let c0 = d.src.col.min(d.dst.col);
+        let c1 = d.src.col.max(d.dst.col);
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                let t = TileCoord::new(r, c);
+                for dir in Dir::ALL {
+                    if let Some(n) = t.step(dir, rows, cols) {
+                        set.insert(idx.index(EdgeId::between(t, n)));
+                    }
+                }
+            }
+        }
+    }
+    set
+}
+
+/// Boundary-edge contract of a stamped region: footprint edges with an
+/// endpoint on the perimeter of the region's bounding box, each with the
+/// fabricated stitch loss it was budgeted at.
+fn contract_for(wafer: &Wafer, paths: &[Path]) -> Vec<(EdgeId, f64)> {
+    let mut r0 = u8::MAX;
+    let mut r1 = 0u8;
+    let mut c0 = u8::MAX;
+    let mut c1 = 0u8;
+    for p in paths {
+        for t in p.tiles() {
+            r0 = r0.min(t.row);
+            r1 = r1.max(t.row);
+            c0 = c0.min(t.col);
+            c1 = c1.max(t.col);
+        }
+    }
+    let on_border = |t: TileCoord| t.row == r0 || t.row == r1 || t.col == c0 || t.col == c1;
+    let mut out: Vec<(EdgeId, f64)> = Vec::new();
+    for p in paths {
+        for e in p.edges() {
+            let (a, b) = e.endpoints();
+            if (on_border(a) || on_border(b)) && !out.iter().any(|&(seen, _)| seen == e) {
+                out.push((e, wafer.stitch_loss_db(e)));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightpath::WaferConfig;
+
+    fn t(r: u8, c: u8) -> TileCoord {
+        TileCoord::new(r, c)
+    }
+
+    fn ring_demands(origin: TileCoord) -> Vec<Demand> {
+        // A 2×2 ring at `origin`, the shape `fabricd::ring_plan` emits for
+        // one server's worth of chips.
+        let a = origin;
+        let b = t(origin.row, origin.col + 1);
+        let c = t(origin.row + 1, origin.col + 1);
+        let d = t(origin.row + 1, origin.col);
+        vec![
+            Demand::new(a, b, 2),
+            Demand::new(b, c, 2),
+            Demand::new(c, d, 2),
+            Demand::new(d, a, 2),
+        ]
+    }
+
+    /// Snapshot a wafer's full mutable state as canonical bytes.
+    fn snap(w: &Wafer) -> String {
+        let mut sw = desim::SnapWriter::new();
+        w.write_snap(&mut sw);
+        sw.finish()
+    }
+
+    #[test]
+    fn stamp_equals_fresh_bit_for_bit() {
+        let demands = ring_demands(t(1, 2));
+        let mut lib = PlanLibrary::new();
+        let mut s1 = Searcher::new();
+        let mut s2 = Searcher::new();
+
+        let mut warm = Wafer::new(WaferConfig::default());
+        // Capture pass (miss), then teardown.
+        let ids = lib.stamp_or_route(&mut warm, &demands, &mut s1).unwrap();
+        assert_eq!(lib.stats().misses, 1);
+        for id in ids {
+            warm.teardown(id).unwrap();
+        }
+
+        // Second admission stamps; a scratch wafer with the same history
+        // routes fresh. Both must serialize identically.
+        let mut fresh = warm.clone();
+        let a = lib.stamp_or_route(&mut warm, &demands, &mut s1).unwrap();
+        let b = allocate_non_overlapping_with(&mut fresh, &demands, &mut s2).unwrap();
+        assert_eq!(a, b, "stamped ids equal fresh ids");
+        assert_eq!(lib.stats().hits, 1);
+        assert_eq!(lib.stats().stamped_circuits, 4);
+        assert_eq!(snap(&warm), snap(&fresh), "stamped wafer state ≡ fresh");
+    }
+
+    #[test]
+    fn relocation_stamps_at_new_origins() {
+        let mut lib = PlanLibrary::new();
+        let mut s = Searcher::new();
+        let mut w = Wafer::new(WaferConfig::default());
+        let ids = lib
+            .stamp_or_route(&mut w, &ring_demands(t(1, 2)), &mut s)
+            .unwrap();
+        for id in ids {
+            w.teardown(id).unwrap();
+        }
+        // Same shape, different interior origin: relocated, then stamped.
+        let mut fresh = w.clone();
+        let a = lib
+            .stamp_or_route(&mut w, &ring_demands(t(1, 4)), &mut s)
+            .unwrap();
+        let b =
+            allocate_non_overlapping_with(&mut fresh, &ring_demands(t(1, 4)), &mut Searcher::new())
+                .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(lib.stats().hits, 1);
+        assert_eq!(snap(&w), snap(&fresh));
+    }
+
+    #[test]
+    fn occupied_clearance_falls_back_to_fresh() {
+        let mut lib = PlanLibrary::new();
+        let mut s = Searcher::new();
+        let mut w = Wafer::new(WaferConfig::default());
+        let demands = ring_demands(t(1, 2));
+        let ids = lib.stamp_or_route(&mut w, &demands, &mut s).unwrap();
+        for id in ids {
+            w.teardown(id).unwrap();
+        }
+        // Load a bus inside the clearance; the stamp must be refused and
+        // the fresh route must still succeed.
+        w.establish(CircuitRequest::new(t(1, 2), t(1, 3), 1))
+            .unwrap();
+        let mut fresh = w.clone();
+        let a = lib.stamp_or_route(&mut w, &demands, &mut s).unwrap();
+        let b = allocate_non_overlapping_with(&mut fresh, &demands, &mut Searcher::new()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(lib.stats().fallbacks, 1);
+        assert_eq!(lib.stats().hits, 0);
+        assert_eq!(snap(&w), snap(&fresh));
+    }
+
+    #[test]
+    fn rejected_stamp_is_a_byte_identical_no_op() {
+        let mut lib = PlanLibrary::new();
+        let mut s = Searcher::new();
+        let mut w = Wafer::new(WaferConfig::default());
+        let demands = ring_demands(t(1, 2));
+        let ids = lib.stamp_or_route(&mut w, &demands, &mut s).unwrap();
+        for id in ids {
+            w.teardown(id).unwrap();
+        }
+        // Exhaust the tx SerDes at one demand's source: edges stay clear
+        // (the stamp is attempted) but the establish fails mid-batch.
+        let tile = w.tile_mut(t(2, 3));
+        let all = tile.serdes.tx_available();
+        tile.serdes.claim_tx(all).unwrap();
+        let before_loads = w.edge_loads().to_vec();
+        let mut fresh = w.clone();
+        let a = lib.stamp_or_route(&mut w, &demands, &mut s).unwrap_err();
+        let b =
+            allocate_non_overlapping_with(&mut fresh, &demands, &mut Searcher::new()).unwrap_err();
+        assert_eq!(a, b, "stamped failure equals fresh failure");
+        assert_eq!(
+            w.edge_loads(),
+            &before_loads[..],
+            "loads restored after rollback"
+        );
+        assert_eq!(snap(&w), snap(&fresh), "post-failure state ≡ fresh failure");
+    }
+
+    #[test]
+    fn audit_records_contract_readings() {
+        let mut lib = PlanLibrary::new();
+        let mut s = Searcher::new();
+        let mut w = Wafer::new(WaferConfig::default());
+        let demands = ring_demands(t(0, 0));
+        let ids = lib.stamp_or_route(&mut w, &demands, &mut s).unwrap();
+        for id in ids {
+            w.teardown(id).unwrap();
+        }
+        lib.stamp_or_route(&mut w, &demands, &mut s).unwrap();
+        let audit = lib.audit();
+        assert_eq!(audit.records.len(), 1);
+        let rec = &audit.records[0];
+        assert_eq!(rec.origin, (0, 0));
+        assert!(!rec.edges.is_empty());
+        for e in &rec.edges {
+            assert_eq!(
+                e.expected_stitch_db.to_bits(),
+                e.observed_stitch_db.to_bits()
+            );
+            assert_eq!(e.pre_load, 0);
+        }
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_bounded() {
+        let mut lib = PlanLibrary::with_capacity(2);
+        let mut s = Searcher::new();
+        let mut w = Wafer::new(WaferConfig::default());
+        for col in [0u8, 2, 4] {
+            let demands = ring_demands(t(0, col));
+            let ids = lib.stamp_or_route(&mut w, &demands, &mut s).unwrap();
+            for id in ids {
+                w.teardown(id).unwrap();
+            }
+        }
+        assert!(lib.instance_count() <= 2);
+        assert_eq!(lib.stats().evictions, 1);
+    }
+}

@@ -2,11 +2,36 @@
 
 use lightpath::{CircuitRequest, EdgeId, TileCoord, Wafer, WaferConfig};
 use proptest::prelude::*;
-use route::{allocate_non_overlapping, astar, Demand, PathCache, SearchOptions};
+use route::{
+    allocate_non_overlapping, allocate_non_overlapping_with, astar, Demand, PathCache, PlanLibrary,
+    SearchOptions, Searcher,
+};
 use std::collections::HashSet;
 
 fn tile() -> impl Strategy<Value = TileCoord> {
     (0u8..4, 0u8..8).prop_map(|(r, c)| TileCoord::new(r, c))
+}
+
+/// A 2×2 ring of demands at `origin` — the shape the control plane's
+/// `ring_plan` emits for one server's worth of chips.
+fn ring2x2(origin: TileCoord, lanes: usize) -> Vec<Demand> {
+    let a = origin;
+    let b = TileCoord::new(origin.row, origin.col + 1);
+    let c = TileCoord::new(origin.row + 1, origin.col + 1);
+    let d = TileCoord::new(origin.row + 1, origin.col);
+    vec![
+        Demand::new(a, b, lanes),
+        Demand::new(b, c, lanes),
+        Demand::new(c, d, lanes),
+        Demand::new(d, a, lanes),
+    ]
+}
+
+/// Serialize a wafer's full mutable state as canonical snapshot bytes.
+fn snap(w: &Wafer) -> String {
+    let mut sw = desim::SnapWriter::new();
+    w.write_snap(&mut sw);
+    sw.finish()
 }
 
 proptest! {
@@ -129,6 +154,89 @@ proptest! {
         let s = cache.stats();
         prop_assert!(s.hits > 0, "churn workload should produce cache hits");
         prop_assert!(s.misses > 0);
+    }
+
+    /// Stamping a cached plan at *every* legal translation of a randomly
+    /// pre-loaded wafer is byte-equivalent to fresh A*: same ids or same
+    /// error, and the full serialized wafer state identical either way.
+    #[test]
+    fn stamping_at_every_translation_equals_fresh_astar(seed in any::<u64>(), lanes in 1usize..=4) {
+        let mut rng = desim::SimRng::seed_from_u64(seed);
+        let mut base = Wafer::new(WaferConfig::lightpath_32());
+        // Random pre-load: short single-hop circuits, so some footprints
+        // are occupied (exercising the guard's fallback) while most stay
+        // clean (so stamps actually land).
+        for _ in 0..1 + rng.gen_range_u64(2) {
+            let src = TileCoord::new(rng.gen_range_u64(4) as u8, rng.gen_range_u64(7) as u8);
+            let dst = TileCoord::new(src.row, src.col + 1);
+            let _ = base.establish(CircuitRequest::new(src, dst, 1));
+        }
+        // Prime the library: the first admission misses, routes fresh, and
+        // captures a relocatable template for the ring shape.
+        let mut lib = PlanLibrary::new();
+        let mut searcher = Searcher::new();
+        let prime = TileCoord::new(rng.gen_range_u64(3) as u8, rng.gen_range_u64(7) as u8);
+        if let Ok(ids) = lib.stamp_or_route(&mut base, &ring2x2(prime, lanes), &mut searcher) {
+            for id in ids {
+                prop_assert!(base.teardown(id).is_ok());
+            }
+        }
+        // Every legal 2×2 translation on the 4×8 grid, twice: the first
+        // pass captures (or relocates within a flush class), the second
+        // stamps per-origin instances, so translated stamps are exercised
+        // no matter which flush class the primer landed in.
+        for pass in 0..2 {
+            for r in 0u8..3 {
+                for c in 0u8..7 {
+                    let demands = ring2x2(TileCoord::new(r, c), lanes);
+                    let mut warm = base.clone();
+                    let mut fresh = base.clone();
+                    let a = lib.stamp_or_route(&mut warm, &demands, &mut searcher);
+                    let b = allocate_non_overlapping_with(&mut fresh, &demands, &mut Searcher::new());
+                    match (a, b) {
+                        (Ok(x), Ok(y)) => {
+                            prop_assert_eq!(x, y, "ids diverged at ({}, {}) pass {}", r, c, pass);
+                        }
+                        (Err(_), Err(_)) => {}
+                        (x, y) => prop_assert!(
+                            false,
+                            "verdicts diverged at ({}, {}) pass {}: {:?} vs {:?}", r, c, pass, x, y
+                        ),
+                    }
+                    prop_assert_eq!(
+                        snap(&warm), snap(&fresh),
+                        "wafer state diverged after admission at ({}, {}) pass {}", r, c, pass
+                    );
+                }
+            }
+        }
+        let s = lib.stats();
+        prop_assert!(s.hits > 0, "warm library must stamp at translated origins");
+    }
+
+    /// A rejected stamp is a zero-op: when admission fails, edge occupancy
+    /// is byte-identical to before the attempt, and the wafer serializes
+    /// identically to a twin that suffered the same fresh-routing failure.
+    #[test]
+    fn rejected_stamp_leaves_occupancy_byte_identical(seed in any::<u64>(), lanes in 9usize..=16) {
+        let mut rng = desim::SimRng::seed_from_u64(seed);
+        let origin = TileCoord::new(rng.gen_range_u64(3) as u8, rng.gen_range_u64(7) as u8);
+        let mut lib = PlanLibrary::new();
+        let mut searcher = Searcher::new();
+        let mut w = Wafer::new(WaferConfig::lightpath_32());
+        // Prime and KEEP the ring live: with > half the SerDes pool per
+        // tile claimed, a second ring on the same footprint cannot land.
+        let ids = lib.stamp_or_route(&mut w, &ring2x2(origin, lanes), &mut searcher);
+        prop_assert!(ids.is_ok(), "priming ring must route on an empty wafer");
+        let before_loads = w.edge_loads().to_vec();
+        let mut twin = w.clone();
+        let r = lib.stamp_or_route(&mut w, &ring2x2(origin, lanes), &mut searcher);
+        prop_assert!(r.is_err(), "overlapping ring must exhaust the SerDes pools");
+        prop_assert!(
+            allocate_non_overlapping_with(&mut twin, &ring2x2(origin, lanes), &mut Searcher::new()).is_err()
+        );
+        prop_assert_eq!(w.edge_loads(), &before_loads[..], "occupancy must be untouched");
+        prop_assert_eq!(snap(&w), snap(&twin), "failed stamp must mirror failed fresh routing");
     }
 
     /// Protected pairs, when they establish, are always fault-independent,

@@ -95,6 +95,21 @@ pub enum Scenario {
         /// RNG seed (already partitioned per scenario).
         seed: u64,
     },
+    /// Plan-library admission churn: a cold [`route::PlanLibrary`] warms
+    /// over translated ring-slice batches while a twin wafer admits the
+    /// same batches by fresh A*. Every batch's stamp-vs-scratch byte
+    /// equality is asserted in-sweep and the library's hit/miss/fallback
+    /// counters fold into the scenario fingerprint, so a stamp that stops
+    /// being byte-equivalent — or silently regresses to fresh routing —
+    /// moves the sweep digest.
+    PlanLib {
+        /// Admission batches (each a ring demand set at a random origin).
+        batches: usize,
+        /// Wavelength lanes per demand (part of the plan key).
+        lanes: usize,
+        /// RNG seed (already partitioned per scenario).
+        seed: u64,
+    },
     /// A sharded pod-scale campaign ([`pod::run_pod`]): rack-group shard
     /// domains under the pod-level control plane. The pod's own
     /// worker-count-invariant fingerprint is the scenario fingerprint.
@@ -144,6 +159,11 @@ impl Scenario {
                 )
             }
             Scenario::RouteChurn { ops, seed } => format!("route/churn/n{ops}/s{seed:x}"),
+            Scenario::PlanLib {
+                batches,
+                lanes,
+                seed,
+            } => format!("route/planlib/b{batches}l{lanes}/s{seed:x}"),
             Scenario::SnapshotChurn {
                 jobs,
                 failures,
@@ -183,6 +203,7 @@ impl GridSpec {
             "pod" => Some(GridSpec::pod(base_seed)),
             "churn" => Some(GridSpec::churn(base_seed)),
             "churn-smoke" => Some(GridSpec::churn_smoke(base_seed)),
+            "planlib" => Some(GridSpec::planlib(base_seed)),
             _ => None,
         }
     }
@@ -270,6 +291,20 @@ impl GridSpec {
         g.finish()
     }
 
+    /// The plan-library grid: cold-to-warm admission churn across batch
+    /// counts and lane widths (lanes are part of the plan key, so each
+    /// width warms its own template family). The existing
+    /// smoke/full/pod/churn grids are untouched — their committed
+    /// fingerprints must not move.
+    pub fn planlib(base_seed: u64) -> GridSpec {
+        let mut g = GridBuilder::new("planlib", base_seed);
+        g.plan_lib(40, 1);
+        g.plan_lib(40, 2);
+        g.plan_lib(80, 2);
+        g.plan_lib(120, 4);
+        g.finish()
+    }
+
     /// Number of scenarios.
     pub fn len(&self) -> usize {
         self.scenarios.len()
@@ -339,6 +374,15 @@ impl GridBuilder {
             jobs,
             failures,
             every_s,
+            seed,
+        });
+    }
+
+    fn plan_lib(&mut self, batches: usize, lanes: usize) {
+        let seed = self.next_seed();
+        self.scenarios.push(Scenario::PlanLib {
+            batches,
+            lanes,
             seed,
         });
     }
@@ -416,7 +460,32 @@ mod tests {
         assert!(GridSpec::by_name("pod", 1).is_some());
         assert!(GridSpec::by_name("churn", 1).is_some());
         assert!(GridSpec::by_name("churn-smoke", 1).is_some());
+        assert!(GridSpec::by_name("planlib", 1).is_some());
         assert!(GridSpec::by_name("nope", 1).is_none());
+    }
+
+    #[test]
+    fn planlib_grid_spans_lane_widths_with_distinct_seeds() {
+        let g = GridSpec::planlib(5);
+        assert!(!g.is_empty());
+        let mut lanes = Vec::new();
+        let mut seeds = Vec::new();
+        for s in &g.scenarios {
+            match s {
+                Scenario::PlanLib { lanes: l, seed, .. } => {
+                    lanes.push(*l);
+                    seeds.push(*seed);
+                }
+                other => panic!("non-planlib scenario in planlib grid: {other:?}"),
+            }
+        }
+        lanes.sort_unstable();
+        lanes.dedup();
+        assert!(lanes.len() > 1, "multiple lane widths (plan-key families)");
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "per-scenario seeds are distinct");
     }
 
     #[test]

@@ -20,7 +20,9 @@ use desim::SimRng;
 use fabricd::{metrics::COUNTERS, CtrlConfig};
 use lightpath::{CircuitRequest, TileCoord, Wafer, WaferConfig};
 use phy::StitchModel;
-use route::{astar, PathCache, SearchOptions};
+use route::{
+    allocate_non_overlapping_with, astar, Demand, PathCache, PlanLibrary, SearchOptions, Searcher,
+};
 use topo::{Coord3, Shape3, Slice, Torus};
 
 /// Histogram range for stitch-loss Monte-Carlo (matches Fig 3b).
@@ -174,6 +176,11 @@ pub fn run_scenario(scenario: &Scenario, merged: &mut MergedStats) -> (u64, u64)
             n_bytes,
         } => run_collective(*shape, *mode, *algo, *n_bytes, merged),
         Scenario::RouteChurn { ops, seed } => run_route_churn(*ops, *seed, merged),
+        Scenario::PlanLib {
+            batches,
+            lanes,
+            seed,
+        } => run_plan_lib(*batches, *lanes, *seed),
         Scenario::SnapshotChurn {
             jobs,
             failures,
@@ -315,6 +322,107 @@ fn run_collective(
         .write_f64(sym.beta_bytes);
     merged.collective_us.push(report.total.as_micros_f64());
     (f.finish(), report.transfers)
+}
+
+/// Cold-vs-warm plan-library churn. A library wafer and a twin wafer see
+/// the same translated ring batches — the library admits by stamp once its
+/// templates warm, the twin always routes fresh — and every batch's
+/// outcome must agree byte for byte (ids, errors, and full wafer state).
+/// Occasional blocker circuits occupy the landing region so the guard's
+/// fallback path runs in-sweep too. The equality verdicts and the final
+/// hit/miss/fallback counters all fold into the fingerprint: a stamp that
+/// drifts from fresh routing — or a library that silently stops stamping —
+/// moves the sweep digest, not just a test.
+fn run_plan_lib(batches: usize, lanes: usize, seed: u64) -> (u64, u64) {
+    fn snap(w: &Wafer) -> String {
+        let mut sw = desim::SnapWriter::new();
+        w.write_snap(&mut sw);
+        sw.finish()
+    }
+    fn ring(origin: TileCoord, lanes: usize) -> Vec<Demand> {
+        let a = origin;
+        let b = TileCoord::new(origin.row, origin.col + 1);
+        let c = TileCoord::new(origin.row + 1, origin.col + 1);
+        let d = TileCoord::new(origin.row + 1, origin.col);
+        vec![
+            Demand::new(a, b, lanes),
+            Demand::new(b, c, lanes),
+            Demand::new(c, d, lanes),
+            Demand::new(d, a, lanes),
+        ]
+    }
+    let mut rng = SimRng::seed_from_u64(seed);
+    let cfg = WaferConfig::lightpath_32();
+    let mut warm = Wafer::new(cfg.clone());
+    let mut fresh = Wafer::new(cfg);
+    let mut lib = PlanLibrary::new();
+    let mut s_warm = Searcher::new();
+    let mut s_fresh = Searcher::new();
+    let mut f = Fnv::new();
+    f.write_str("planlib").write_u64(seed);
+    let mut circuits = 0u64;
+    for _ in 0..batches {
+        let origin = TileCoord::new(rng.gen_range_u64(3) as u8, rng.gen_range_u64(7) as u8);
+        // One batch in four lands on an occupied region: a blocker circuit
+        // through the footprint forces the occupancy guard to refuse the
+        // stamp and fall back to fresh routing on both wafers.
+        let blocker = if rng.gen_range_u64(4) == 0 {
+            let req = CircuitRequest::new(
+                TileCoord::new(origin.row, origin.col),
+                TileCoord::new(origin.row, origin.col + 1),
+                1,
+            );
+            let (a, b) = (warm.establish(req.clone()), fresh.establish(req));
+            assert!(
+                a.is_ok() == b.is_ok(),
+                "blocker admission diverged between twin wafers"
+            );
+            match (a, b) {
+                (Ok(a), Ok(b)) => {
+                    assert!(a.id == b.id, "blocker ids diverged");
+                    Some(a.id)
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
+        let demands = ring(origin, lanes);
+        let stamped = lib.stamp_or_route(&mut warm, &demands, &mut s_warm);
+        let routed = allocate_non_overlapping_with(&mut fresh, &demands, &mut s_fresh);
+        assert!(
+            stamped.is_ok() == routed.is_ok(),
+            "stamped admission verdict diverged from fresh A*"
+        );
+        if let (Ok(a), Ok(b)) = (stamped, routed) {
+            assert!(a == b, "stamped batch ids diverged from fresh A*");
+            circuits += a.len() as u64;
+            f.write_u64(a.len() as u64);
+            for id in a {
+                let _ = warm.teardown(id);
+                let _ = fresh.teardown(id);
+            }
+        } else {
+            f.write_u64(u64::MAX);
+        }
+        if let Some(id) = blocker {
+            let _ = warm.teardown(id);
+            let _ = fresh.teardown(id);
+        }
+        // The stamp must be transparent mid-sweep, not just in tests.
+        assert!(
+            snap(&warm) == snap(&fresh),
+            "plan-library wafer state diverged from fresh A* twin"
+        );
+    }
+    let stats = lib.stats();
+    f.write_u64(stats.hits)
+        .write_u64(stats.misses)
+        .write_u64(stats.fallbacks)
+        .write_u64(stats.evictions)
+        .write_u64(stats.stamped_circuits);
+    f.write_u64(lib.instance_count() as u64);
+    (f.finish(), circuits)
 }
 
 fn run_route_churn(ops: usize, seed: u64, merged: &mut MergedStats) -> (u64, u64) {
@@ -482,6 +590,38 @@ mod tests {
         let mut m2 = MergedStats::new();
         assert_eq!(run_scenario(&s, &mut m1), run_scenario(&s, &mut m2));
         assert_eq!(m1.churn_hops.count(), m2.churn_hops.count());
+    }
+
+    #[test]
+    fn plan_lib_scenario_is_pure_and_establishes_circuits() {
+        let s = Scenario::PlanLib {
+            batches: 30,
+            lanes: 2,
+            seed: 4,
+        };
+        let mut m1 = MergedStats::new();
+        let mut m2 = MergedStats::new();
+        let a = run_scenario(&s, &mut m1);
+        assert_eq!(a, run_scenario(&s, &mut m2));
+        assert!(a.1 > 0, "batches established circuits");
+        let b = run_scenario(
+            &Scenario::PlanLib {
+                batches: 30,
+                lanes: 2,
+                seed: 5,
+            },
+            &mut m1,
+        );
+        assert_ne!(a.0, b.0, "seed must matter");
+    }
+
+    #[test]
+    fn planlib_grid_fingerprint_is_worker_count_invariant() {
+        let grid = GridSpec::planlib(11);
+        let seq = run_sweep(&grid, 1);
+        let par = run_sweep(&grid, 4);
+        assert_eq!(seq.fingerprint, par.fingerprint);
+        assert_eq!(seq.events, par.events);
     }
 
     #[test]

@@ -17,6 +17,8 @@ use topo::DirLink;
 /// * `CKT1xx` — circuit allocations on a wafer ([`crate::circuit_rules`])
 /// * `PHY2xx` — physical-layer link budgets ([`crate::circuit_rules`])
 /// * `RES3xx` — repair blast radius ([`crate::blast_rules`])
+/// * `CTL4xx` — control-plane journals ([`crate::ctrl_rules`])
+/// * `RTE5xx` — stamped-plan admission audits ([`crate::plan_rules`])
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum RuleId {
     /// A round oversubscribes a directed electrical link (load > 1).
@@ -69,11 +71,16 @@ pub enum RuleId {
     /// record is not the `Snapshot` record at `base_seq`, or retained
     /// sequence numbers are not dense — compaction ate a live record.
     Ctl407,
+    /// A stamped plan's boundary contract contradicts the wafer it landed
+    /// on: a claimed border bus fabricates a different stitch loss than
+    /// the plan's link budgets were compiled with, or was already
+    /// occupied when the stamp landed.
+    Rte501,
 }
 
 impl RuleId {
     /// Every rule, in catalog order.
-    pub const ALL: [RuleId; 16] = [
+    pub const ALL: [RuleId; 17] = [
         RuleId::Sch001,
         RuleId::Sch002,
         RuleId::Sch003,
@@ -90,6 +97,7 @@ impl RuleId {
         RuleId::Ctl405,
         RuleId::Ctl406,
         RuleId::Ctl407,
+        RuleId::Rte501,
     ];
 
     /// The stable code printed in diagnostics, e.g. `SCH001`.
@@ -111,6 +119,7 @@ impl RuleId {
             RuleId::Ctl405 => "CTL405",
             RuleId::Ctl406 => "CTL406",
             RuleId::Ctl407 => "CTL407",
+            RuleId::Rte501 => "RTE501",
         }
     }
 
@@ -133,6 +142,7 @@ impl RuleId {
             RuleId::Ctl405 => "journaled admission straddles a shard-domain boundary",
             RuleId::Ctl406 => "journaled snapshot fingerprint contradicts the replayed state",
             RuleId::Ctl407 => "compaction watermark corrupt: a live record was truncated",
+            RuleId::Rte501 => "stamped plan's boundary contract contradicts the landing wafer",
         }
     }
 }

@@ -24,6 +24,9 @@
 //! | CTL403 | journal   | journaled rejections carry registered fault-taxonomy codes |
 //! | CTL404 | journal   | every Rollback pairs adjacently with its originating Reject |
 //! | CTL405 | journal   | pod admissions stay inside one shard domain's rack group |
+//! | CTL406 | journal   | journaled snapshot fingerprints match the replayed state |
+//! | CTL407 | journal   | compaction watermarks retain every live record |
+//! | RTE501 | stamps    | stamped-plan boundary contracts match the landing wafer |
 //!
 //! Diagnostics are structured ([`Diagnostic`]: rule id, severity,
 //! location, message, fix hint) so callers — tests, `cargo xtask lint` —
@@ -38,6 +41,7 @@ pub mod blast_rules;
 pub mod circuit_rules;
 pub mod ctrl_rules;
 pub mod diag;
+pub mod plan_rules;
 pub mod schedule_rules;
 
 pub use blast_rules::{
@@ -52,6 +56,7 @@ pub use ctrl_rules::{
     check_rollback_pairing, check_shard_containment,
 };
 pub use diag::{Diagnostic, Location, Report, RuleId, Severity};
+pub use plan_rules::check_stamp_audit;
 pub use schedule_rules::{
     check_byte_conservation, check_oversubscription, check_path_continuity,
     check_physical_transfers, check_schedule, CollectiveSpec, ScheduleContext,

@@ -432,6 +432,53 @@ fn verify_golden(root: &Path) -> Vec<String> {
         }
     }
 
+    // RTE501: the golden scenario's stamped admissions must carry
+    // boundary contracts that audit clean against the wafers they landed
+    // on — and a forged contract must trip the rule.
+    let audit = out.state.plan_engine().audit();
+    let stamps = audit.records.len();
+    let contract_edges: usize = audit.records.iter().map(|r| r.edges.len()).sum();
+    if stamps == 0 {
+        failures.push("golden scenario admitted no batches by stamping".into());
+        println!("  FAIL golden scenario: plan library never stamped");
+    } else {
+        println!(
+            "  ok   golden scenario stamped {stamps} batch(es) ({contract_edges} contract edge(s) audited)"
+        );
+    }
+    expect_clean(
+        &mut failures,
+        "stamped-plan boundary contracts (RTE501)",
+        &verify::check_stamp_audit(&audit),
+    );
+    let mut forged_audit = audit.clone();
+    forged_audit.records.push(route::StampRecord {
+        origin: (0, 0),
+        edges: vec![
+            route::AuditEdge {
+                a: (0, 0),
+                b: (0, 1),
+                expected_stitch_db: 0.25,
+                observed_stitch_db: 0.75,
+                pre_load: 0,
+            },
+            route::AuditEdge {
+                a: (1, 0),
+                b: (1, 1),
+                expected_stitch_db: 0.25,
+                observed_stitch_db: 0.25,
+                pre_load: 2,
+            },
+        ],
+    });
+    let report = verify::check_stamp_audit(&forged_audit);
+    if report.by_rule(RuleId::Rte501).len() >= 2 {
+        println!("  ok   forged boundary contract trips RTE501 as designed (loss + occupancy)");
+    } else {
+        failures.push("negative control: forged boundary contract did not trip RTE501".into());
+        println!("  FAIL negative control: forged boundary contract did not trip RTE501");
+    }
+
     // Fault-campaign golden: the same seeded scenario with one retry
     // allowed must journal machine-readable Reject + Rollback pairs for
     // the programming failures it hits, still audit clean under the full
@@ -793,13 +840,22 @@ fn route_baseline(root: &Path) -> Vec<String> {
     let failures = sweep::compare_route_baseline(&current, &baseline);
     if failures.is_empty() {
         println!(
-            "  ok   fingerprint {} reproduced; {:.0} paths/s, {:.0} batches/s \
-             (baseline {:.0}/{:.0}, floor {:.2}x)",
+            "  ok   fingerprints {} / {} (stamped) reproduced; {:.0} paths/s, \
+             {:.0} batches/s, {:.0} stamped plans/s ({:.1}x scratch; baseline \
+             {:.0}/{:.0}/{:.0}, floor {:.2}x)",
             current.fingerprint,
+            current.stamped_fingerprint,
             current.paths_per_sec,
             current.batches_per_sec,
+            current.stamped_plans_per_sec,
+            if current.batches_per_sec > 0.0 {
+                current.stamped_plans_per_sec / current.batches_per_sec
+            } else {
+                0.0
+            },
             baseline.paths_per_sec,
             baseline.batches_per_sec,
+            baseline.stamped_plans_per_sec,
             sweep::MIN_PERF_RATIO
         );
     } else {

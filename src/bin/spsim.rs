@@ -354,6 +354,7 @@ fn cmd_ctrl_campaign(args: &Args) -> Result<(), String> {
         }
     }
     print!("{}", out.metrics.summary());
+    print!("{}", fabricd::RouteTelemetry::of(&out.state).summary());
     Ok(())
 }
 
@@ -401,9 +402,19 @@ fn cmd_ctrl(args: &Args) -> Result<(), String> {
         }
     }
     print!("{}", out.metrics.summary());
+    let route = fabricd::RouteTelemetry::of(&out.state);
+    print!("{}", route.summary());
     if let Some(path) = args.0.get("report") {
-        std::fs::write(path, out.metrics.rejection_report_json())
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        // Splice the route-telemetry object into the rejection report so
+        // `--report` stays one JSON artifact: drop the closing brace,
+        // append `"route"`, close again. Rejection keys are untouched
+        // (CI greps the artifact for specific fault codes).
+        let mut report = out.metrics.rejection_report_json();
+        let trimmed = report.trim_end().to_string();
+        if let Some(body) = trimmed.strip_suffix('}') {
+            report = format!("{},\n  \"route\": {}\n}}\n", body.trim_end(), route.json(2));
+        }
+        std::fs::write(path, report).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("rejection report written to {path}");
     }
     // Replay the journal against a fresh rack and prove determinism. A
@@ -581,6 +592,7 @@ fn cmd_pod(args: &Args) -> Result<(), String> {
             run.journal.len()
         );
         print!("{}", run.metrics.summary());
+        print!("{}", run.route.summary());
         if let Some(out) = args.0.get("json") {
             let bench = PodBenchReport::from_outcome(&run, snap.config.jobs);
             std::fs::write(out, bench.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
@@ -651,6 +663,7 @@ fn cmd_pod(args: &Args) -> Result<(), String> {
         run.delegations
     );
     print!("{}", run.metrics.summary());
+    print!("{}", run.route.summary());
     let bench = PodBenchReport::from_outcome(&run, cfg.jobs);
     if let Some(path) = args.0.get("json") {
         std::fs::write(path, bench.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -668,12 +681,17 @@ fn cmd_pod(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `spsim routebench` — the routing micro-benchmark. `--stamped` gates the
+/// fresh run against the committed `BENCH_route.json` (exact fingerprints,
+/// rate floors, and the release-build requirement that warm plan-library
+/// stamping beats scratch programming by ≥10×), exiting nonzero on any
+/// violated gate — the CI `plan-smoke` entry point.
 fn cmd_routebench(args: &Args) -> Result<(), String> {
     let searches: u64 = args.get("searches", route_bench::DEFAULT_SEARCHES)?;
     let batches: u64 = args.get("batches", route_bench::DEFAULT_BATCHES)?;
     let report = run_route_bench(searches, batches);
     println!(
-        "routebench: {} searches + {} ring batches on a loaded 4x8 wafer",
+        "routebench: {} searches + {} ring batches (scratch, then stamped) on a loaded 4x8 wafer",
         report.searches, report.batches
     );
     println!("  fingerprint : {}", report.fingerprint);
@@ -681,6 +699,33 @@ fn cmd_routebench(args: &Args) -> Result<(), String> {
         "  paths/sec   : {:.0}   batches/sec: {:.0}   ({:.3}s wall)",
         report.paths_per_sec, report.batches_per_sec, report.wall_s
     );
+    println!(
+        "  stamped     : {:.0} plans/sec ({:.1}x scratch), fingerprint {}",
+        report.stamped_plans_per_sec,
+        if report.batches_per_sec > 0.0 {
+            report.stamped_plans_per_sec / report.batches_per_sec
+        } else {
+            0.0
+        },
+        report.stamped_fingerprint
+    );
+    if args.get_str("stamped", "false") == "true" {
+        let path = args.get_str("baseline", "BENCH_route.json");
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let baseline = route_bench::RouteBenchReport::parse(&text)?;
+        let failures = route_bench::compare_route_baseline(&report, &baseline);
+        for f in &failures {
+            eprintln!("  GATE {f}");
+        }
+        if !failures.is_empty() {
+            return Err(format!(
+                "routebench: {} baseline gate(s) violated against {path}",
+                failures.len()
+            ));
+        }
+        println!("  baseline {path} holds (fingerprints exact, rates above floor)");
+    }
     if let Some(path) = args.0.get("write-baseline") {
         std::fs::write(path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("  baseline written to {path}");
@@ -775,6 +820,9 @@ USAGE:
                    [--write-baseline BENCH_pod.json] [--dump-journal out.json]
                    (--smoke expands to --chips 4096 --epochs 2 --shards 4)
   spsim routebench [--searches 200000] [--batches 2000] [--write-baseline BENCH_route.json]
+                   [--stamped [--baseline BENCH_route.json]]
+                   (--stamped gates the run against the committed baseline, incl. the
+                    >=10x stamped-vs-scratch speedup in release builds)
   spsim detlint    [--paths crates/route,rwa.rs] [--check-file some.rs] [--json true] [--root .]
 ";
 
@@ -805,8 +853,8 @@ fn main() -> ExitCode {
                     .iter()
                     .map(|s| s.to_string()),
             );
-        } else if (cmd == "ctrl" || cmd == "pod")
-            && (a == "--campaign" || a == "--compact")
+        } else if (cmd == "ctrl" || cmd == "pod" || cmd == "routebench")
+            && (a == "--campaign" || a == "--compact" || a == "--stamped")
             && it.peek().is_none_or(|n| n.starts_with("--"))
         {
             rest.push(a.clone());
