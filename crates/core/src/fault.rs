@@ -257,6 +257,13 @@ pub enum TopoFault {
     DuplicateId(u32),
     /// No free box of the requested extent exists.
     NoSpace,
+    /// A pod chip count that cannot form a rack-group partition (zero,
+    /// or not a whole number of racks). Rejecting it here keeps the
+    /// shard layout total: no chip is ever silently truncated away.
+    DegenerateLayout {
+        /// The rejected chip count.
+        chips: usize,
+    },
 }
 
 impl fmt::Display for TopoFault {
@@ -266,6 +273,9 @@ impl fmt::Display for TopoFault {
             TopoFault::Occupied { x, y, z } => write!(f, "chip [{x},{y},{z}] already owned"),
             TopoFault::DuplicateId(id) => write!(f, "slice id {id} already placed"),
             TopoFault::NoSpace => write!(f, "no free box of the requested extent"),
+            TopoFault::DegenerateLayout { chips } => {
+                write!(f, "{chips} chips cannot form a rack-group partition")
+            }
         }
     }
 }
@@ -514,6 +524,7 @@ pub const CODES: &[&str] = &[
     "ctrl/replay-diverged",
     "ctrl/unknown-job",
     "ctrl/repair-failed",
+    "topo/degenerate-layout",
 ];
 
 impl FabricError {
@@ -571,6 +582,7 @@ impl FabricError {
                 TopoFault::Occupied { .. } => "topo/occupied",
                 TopoFault::DuplicateId(_) => "topo/duplicate-id",
                 TopoFault::NoSpace => "topo/no-space",
+                TopoFault::DegenerateLayout { .. } => "topo/degenerate-layout",
             },
             FaultKind::Route(e) => match e {
                 RouteFault::NoDisjointPath { .. } => "route/no-disjoint-path",

@@ -168,6 +168,46 @@ pub enum JournalEntry {
         /// FNV-1a fingerprint of the canonical state serialization.
         fingerprint: u64,
     },
+    /// A pod-level cross-group admission: one job split into per-group
+    /// legs stitched over the rack-face OCS banks. The legs' `Admit`
+    /// records appear separately (each in-band of its group); this record
+    /// binds them into one atomic admission and carries the stitch-port
+    /// assignment on every crossed rack face. Pod-journal only — domain
+    /// replay treats it as a no-op (audited by verify CTL408).
+    MultiGroupAdmit {
+        /// Pod-global job id.
+        job: u32,
+        /// The job's requested extent (legs partition its Z axis).
+        extent: Shape3,
+        /// Per-group legs, in consecutive ascending group order.
+        legs: Vec<StitchLegRecord>,
+        /// Stitch-port assignments, boundary-major: for each of the
+        /// `legs.len() - 1` crossed rack faces, one port index per chip
+        /// of the job's X×Y cross-section.
+        ports: Vec<u32>,
+    },
+}
+
+/// One leg of a [`JournalEntry::MultiGroupAdmit`], in pod coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StitchLegRecord {
+    /// Leg slice id (high-bit namespaced; never a trace job id).
+    pub leg: u32,
+    /// Rack group the leg landed in.
+    pub group: u64,
+    /// Leg origin, pod coordinates.
+    pub origin: Coord3,
+    /// Leg extent (same X/Y as the job, a Z-slab of its extent).
+    pub extent: Shape3,
+}
+
+impl StitchLegRecord {
+    fn canon(&self) -> String {
+        format!(
+            "{}@g{}:{}+{}",
+            self.leg, self.group, self.origin, self.extent
+        )
+    }
 }
 
 impl JournalEntry {
@@ -239,6 +279,20 @@ impl JournalEntry {
             JournalEntry::Snapshot { fingerprint } => {
                 format!("snapshot fingerprint={fingerprint:#018x}")
             }
+            JournalEntry::MultiGroupAdmit {
+                job,
+                extent,
+                legs,
+                ports,
+            } => {
+                let legs: Vec<String> = legs.iter().map(|l| l.canon()).collect();
+                let ports: Vec<String> = ports.iter().map(|p| p.to_string()).collect();
+                format!(
+                    "multi-admit job={job} extent={extent} legs=[{}] ports=[{}]",
+                    legs.join(";"),
+                    ports.join(",")
+                )
+            }
         }
     }
 
@@ -256,6 +310,7 @@ impl JournalEntry {
             JournalEntry::Rollback { .. } => "rollback",
             JournalEntry::Evict { .. } => "evict",
             JournalEntry::Snapshot { .. } => "snapshot",
+            JournalEntry::MultiGroupAdmit { .. } => "multi-admit",
         }
     }
 }
@@ -603,6 +658,32 @@ fn record_json(r: &Record) -> String {
         JournalEntry::Snapshot { fingerprint } => {
             format!(", \"fingerprint\": \"{fingerprint:#018x}\"")
         }
+        JournalEntry::MultiGroupAdmit {
+            job,
+            extent,
+            legs,
+            ports,
+        } => {
+            let legs: Vec<String> = legs
+                .iter()
+                .map(|l| {
+                    format!(
+                        "{{\"leg\": {}, \"group\": {}, \"origin\": {}, \"extent\": {}}}",
+                        l.leg,
+                        l.group,
+                        coord_json(l.origin),
+                        shape_json(l.extent)
+                    )
+                })
+                .collect();
+            let ports: Vec<String> = ports.iter().map(|p| p.to_string()).collect();
+            format!(
+                ", \"job\": {job}, \"extent\": {}, \"legs\": [{}], \"ports\": [{}]",
+                shape_json(*extent),
+                legs.join(", "),
+                ports.join(", ")
+            )
+        }
     };
     format!("{{{common}{rest}}}")
 }
@@ -700,6 +781,45 @@ mod tests {
         );
         assert!(json.contains("\"kind\": \"rollback\""), "{json}");
         assert!(json.contains("\"circuits\": 3"), "{json}");
+    }
+
+    #[test]
+    fn multi_group_admit_canon_and_json_are_stable() {
+        let mut j = Journal::new(header());
+        j.push(
+            SimTime::from_ps(20),
+            JournalEntry::MultiGroupAdmit {
+                job: 9,
+                extent: Shape3::new(4, 4, 4),
+                legs: vec![
+                    StitchLegRecord {
+                        leg: 0x8000_0090,
+                        group: 1,
+                        origin: Coord3::new(0, 0, 4),
+                        extent: Shape3::new(4, 4, 2),
+                    },
+                    StitchLegRecord {
+                        leg: 0x8000_0091,
+                        group: 2,
+                        origin: Coord3::new(0, 0, 8),
+                        extent: Shape3::new(4, 4, 2),
+                    },
+                ],
+                ports: vec![0, 1, 2],
+            },
+        );
+        let canon = j.records().iter().map(|r| r.canon()).collect::<Vec<_>>();
+        assert_eq!(
+            canon.first().map(String::as_str),
+            Some(
+                "seq=0 t=20ps multi-admit job=9 extent=4x4x4 \
+                 legs=[2147483792@g1:[0,0,4]+4x4x2;2147483793@g2:[0,0,8]+4x4x2] ports=[0,1,2]"
+            )
+        );
+        let json = j.to_json();
+        assert!(json.contains("\"kind\": \"multi-admit\""), "{json}");
+        assert!(json.contains("\"legs\": [{\"leg\": 2147483792"), "{json}");
+        assert!(json.contains("\"ports\": [0, 1, 2]"), "{json}");
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub use ctrl::{
     resume_campaign, run_campaign, run_scenario, CampaignOptions, CampaignOutcome, CtrlConfig,
     CtrlOutcome, CtrlSnapshot,
 };
-pub use journal::{DenyReason, Journal, JournalEntry, JournalHeader, Record};
+pub use journal::{DenyReason, Journal, JournalEntry, JournalHeader, Record, StitchLegRecord};
 pub use metrics::{Metrics, RouteTelemetry};
 pub use plan::{
     program, program_counted, program_planned, program_with, ring_plan, CircuitPlan,

@@ -39,6 +39,10 @@ pub const EXTRA_COUNTERS: &[&str] = &[
     "jobs.rejected.infeasible",
     "jobs.rejected.program",
     "jobs.retried",
+    "jobs.stitched",
+    "stitch.legs",
+    "stitch.legs.departed",
+    "stitch.rollbacks",
 ];
 
 /// Resolve a snapshot-serialized counter name to its `'static` identity.
@@ -500,6 +504,68 @@ mod tests {
         for name in COUNTERS {
             assert!(text.contains(name), "summary missing {name}");
         }
+    }
+
+    #[test]
+    fn merging_an_empty_rejection_map_is_identity() {
+        let mut m = Metrics::new();
+        m.bump_rejection("route/no-disjoint-path");
+        m.bump_rejection("route/no-disjoint-path");
+        m.bump_rejection("circuit/insufficient-tx-lanes");
+        let before = m.rejection_report_json();
+        m.merge(&Metrics::new());
+        assert_eq!(
+            m.rejection_report_json(),
+            before,
+            "a shard that rejected nothing must not perturb the map"
+        );
+        assert_eq!(m.rejections().get("route/no-disjoint-path"), Some(&2));
+        // The other direction too: empty absorbs the populated map whole.
+        let mut empty = Metrics::new();
+        empty.merge(&m);
+        assert_eq!(empty.rejection_report_json(), before);
+    }
+
+    #[test]
+    fn merging_disjoint_rejection_keys_unions_the_maps() {
+        let mut a = Metrics::new();
+        a.bump_rejection("route/no-disjoint-path");
+        let mut b = Metrics::new();
+        b.bump_rejection("circuit/insufficient-tx-lanes");
+        b.bump_rejection("topo/degenerate-layout");
+        a.merge(&b);
+        assert_eq!(a.rejections().len(), 3, "disjoint keys union, none lost");
+        assert_eq!(a.rejections().get("route/no-disjoint-path"), Some(&1));
+        assert_eq!(
+            a.rejections().get("circuit/insufficient-tx-lanes"),
+            Some(&1)
+        );
+        assert_eq!(a.rejections().get("topo/degenerate-layout"), Some(&1));
+    }
+
+    #[test]
+    fn merging_overlapping_rejection_keys_sums_counts() {
+        let mut a = Metrics::new();
+        for _ in 0..3 {
+            a.bump_rejection("route/no-disjoint-path");
+        }
+        let mut b = Metrics::new();
+        for _ in 0..5 {
+            b.bump_rejection("route/no-disjoint-path");
+        }
+        b.bump_rejection("circuit/insufficient-tx-lanes");
+        a.merge(&b);
+        assert_eq!(
+            a.rejections().get("route/no-disjoint-path"),
+            Some(&8),
+            "overlapping keys sum, they do not overwrite"
+        );
+        assert_eq!(
+            a.rejections().get("circuit/insufficient-tx-lanes"),
+            Some(&1)
+        );
+        let total: u64 = a.rejections().values().sum();
+        assert_eq!(total, 9);
     }
 
     #[test]

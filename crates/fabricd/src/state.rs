@@ -1004,6 +1004,10 @@ impl FabricState {
                 }
             }
             JournalEntry::Reconfigure { .. } => Ok(()),
+            // Pod-level record: legs are admitted per-domain as ordinary
+            // `Admit` records in each shard journal; the stitch record only
+            // exists in the pod journal and carries no per-domain state.
+            JournalEntry::MultiGroupAdmit { .. } => Ok(()),
             JournalEntry::Deny { job, shape, reason } => match reason {
                 DenyReason::QueueTimeout => Ok(()),
                 DenyReason::ProgramFailed => self.apply_deny_program(r.seq, *job, *shape),

@@ -35,14 +35,15 @@
 //! records into the base hash, so compaction is invisible to the chain.
 
 use crate::layout::{PodLayout, POD_CHIPS};
+use crate::policy::{pick_group, CapacityView, PlacementDecision, PolicyKind, StitchLeg};
 use crate::shard::{PodEvent, ShardDomain, ShardSnapshot};
 use desim::epoch::{exchange, EpochConfig, Stamped};
 use desim::fnv::{combine, derive_seed, Fnv};
 use desim::{SimDuration, SimTime, SnapReader, SnapWriter};
-use fabricd::{Journal, JournalEntry, JournalHeader, Metrics, RouteTelemetry};
+use fabricd::{Journal, JournalEntry, JournalHeader, Metrics, RouteTelemetry, StitchLegRecord};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use topo::RackGroupPartition;
+use topo::{band, RackGroupPartition};
 use workloads::{generate, ArrivalParams, JobRequest};
 
 /// Parameters of one pod run. Worker count is deliberately *not* here —
@@ -68,6 +69,9 @@ pub struct PodConfig {
     pub queue_timeout: SimDuration,
     /// Arrival process parameters.
     pub arrivals: ArrivalParams,
+    /// Placement policy the control plane delegates with. The default
+    /// ([`PolicyKind::Greedy`]) reproduces PR 7's delegation bit-for-bit.
+    pub policy: PolicyKind,
 }
 
 impl Default for PodConfig {
@@ -82,6 +86,7 @@ impl Default for PodConfig {
             max_epochs: 0,
             queue_timeout: SimDuration::from_secs(1_800),
             arrivals: ArrivalParams::default(),
+            policy: PolicyKind::Greedy,
         }
     }
 }
@@ -143,6 +148,17 @@ pub struct PodOutcome {
     /// True when the run stopped at [`PodOptions::crash_after_epochs`]
     /// instead of quiescing.
     pub crashed: bool,
+    /// Placement policy the run delegated with (echo of the config).
+    pub policy: PolicyKind,
+    /// Mean capacity fragmentation over all epoch barriers:
+    /// `1 - largest_group_free / total_free`, sampled from the canonical
+    /// barrier capacity view. 0 when every free chip sits in one group;
+    /// telemetry only — never part of the fingerprint.
+    pub frag_mean: f64,
+    /// Mean pod occupancy over all epoch barriers:
+    /// `1 - total_free / total_chips`, sampled from the canonical barrier
+    /// capacity view. Telemetry only — never part of the fingerprint.
+    pub occ_mean: f64,
 }
 
 /// What one domain reports at an epoch barrier.
@@ -151,24 +167,6 @@ struct BarrierReport {
     delta: Vec<fabricd::Record>,
     free: usize,
     pending: usize,
-}
-
-/// Greedy delegation: the fittest domain that can hold `need` chips
-/// (most free capacity, ties to the lowest group index); if none can,
-/// the domain with the most free capacity anyway — it will queue or
-/// deny deterministically.
-fn pick_group(free: &[usize], need: usize) -> usize {
-    let mut best_any = (0usize, 0usize);
-    let mut best_fit: Option<(usize, usize)> = None;
-    for (g, &f) in free.iter().enumerate() {
-        if f > best_any.1 {
-            best_any = (g, f);
-        }
-        if f >= need && best_fit.is_none_or(|(_, bf)| f > bf) {
-            best_fit = Some((g, f));
-        }
-    }
-    best_fit.unwrap_or(best_any).0
 }
 
 /// Remap a domain-local journal entry into pod coordinates: slice
@@ -238,6 +236,20 @@ struct PodRun {
     next_job: usize,
     next_fail: usize,
     epoch: u64,
+    /// Pod-level `MultiGroupAdmit` records staged at this barrier; merged
+    /// into the canonical exchange at part 2, so they land time-sorted.
+    /// Always empty between barriers — never snapshotted.
+    staged: Vec<Stamped<JournalEntry>>,
+    /// Fragmentation accumulator: Σ (1 - largest_free/total_free) over
+    /// epoch barriers, from the canonical capacity view.
+    frag_sum: f64,
+    /// Barriers that contributed to `frag_sum`.
+    frag_samples: u64,
+    /// Occupancy accumulator: Σ (1 - total_free/total_chips) over epoch
+    /// barriers, from the canonical capacity view.
+    occ_sum: f64,
+    /// Barriers that contributed to `occ_sum`.
+    occ_samples: u64,
 }
 
 impl PodRun {
@@ -245,7 +257,7 @@ impl PodRun {
     /// failure schedule regenerated from the config (both are pure
     /// functions of it, so a snapshot need not carry them).
     fn fresh(cfg: &PodConfig) -> Result<PodRun, String> {
-        let layout = PodLayout::new(cfg.chips)?;
+        let layout = PodLayout::new(cfg.chips).map_err(|e| e.to_string())?;
         let groups = layout.groups();
         let domains: Vec<Mutex<ShardDomain>> = (0..groups)
             .map(|g| {
@@ -279,6 +291,11 @@ impl PodRun {
             next_job: 0,
             next_fail: 0,
             epoch: 0,
+            staged: Vec::new(),
+            frag_sum: 0.0,
+            frag_samples: 0,
+            occ_sum: 0.0,
+            occ_samples: 0,
         })
     }
 
@@ -287,7 +304,7 @@ impl PodRun {
     /// delegation cursors/digest exactly where the capture left them.
     fn from_snapshot(snap: &PodSnapshot) -> Result<PodRun, String> {
         let cfg = snap.config;
-        let layout = PodLayout::new(cfg.chips)?;
+        let layout = PodLayout::new(cfg.chips).map_err(|e| e.to_string())?;
         let groups = layout.groups();
         let header = JournalHeader {
             racks: layout.racks(),
@@ -337,6 +354,11 @@ impl PodRun {
             next_job: snap.next_job,
             next_fail: snap.next_fail,
             epoch: snap.epoch,
+            staged: Vec::new(),
+            frag_sum: snap.frag_sum,
+            frag_samples: snap.frag_samples,
+            occ_sum: snap.occ_sum,
+            occ_samples: snap.occ_samples,
         })
     }
 
@@ -375,6 +397,10 @@ impl PodRun {
             next_job: self.next_job,
             next_fail: self.next_fail,
             free_est: self.free_est.clone(),
+            frag_sum: self.frag_sum,
+            frag_samples: self.frag_samples,
+            occ_sum: self.occ_sum,
+            occ_samples: self.occ_samples,
             domains: doms,
         };
         if compact {
@@ -408,25 +434,47 @@ impl PodRun {
 
             // --- barrier, part 1 (single-threaded): delegate this window's
             // demand in trace order against the previous barrier's view.
-            while let Some(job) = self.trace.get(self.next_job) {
+            // The policy decides; a stitch decision admits its legs here,
+            // atomically, and falls back to single-group delegation when
+            // the estimate was stale.
+            while let Some(&job) = self.trace.get(self.next_job) {
                 if job.arrival >= end {
                     break;
                 }
                 let need = job.shape.volume();
-                let g = pick_group(&self.free_est, need);
-                if let Some(f) = self.free_est.get_mut(g) {
-                    *f = f.saturating_sub(need);
-                }
-                self.deleg.write_u64(self.next_job as u64);
-                self.deleg.write_u64(g as u64);
-                self.delegations += 1;
-                let ev = PodEvent::Arrival {
-                    job: self.next_job as u32,
-                    shape: job.shape,
-                    duration: job.duration,
+                let decision = {
+                    let view = CapacityView {
+                        free: &self.free_est,
+                        group_chips: self.layout.group_chips(),
+                        group_z: partition.group_z(),
+                    };
+                    cfg.policy.policy().place(&view, job.shape)
                 };
-                let arrival = job.arrival;
-                deliver(&mut self.domains, g, arrival, ev)?;
+                let single = match decision {
+                    PlacementDecision::SingleGroup(g) => Some(g),
+                    PlacementDecision::Stitch(legs) => {
+                        if self.admit_stitch(&job, &legs)? {
+                            None
+                        } else {
+                            Some(pick_group(&self.free_est, need))
+                        }
+                    }
+                };
+                if let Some(g) = single {
+                    if let Some(f) = self.free_est.get_mut(g) {
+                        *f = f.saturating_sub(need);
+                    }
+                    self.deleg.write_u64(self.next_job as u64);
+                    self.deleg.write_u64(g as u64);
+                    self.delegations += 1;
+                    let ev = PodEvent::Arrival {
+                        job: self.next_job as u32,
+                        shape: job.shape,
+                        duration: job.duration,
+                    };
+                    let arrival = job.arrival;
+                    deliver(&mut self.domains, g, arrival, ev)?;
+                }
                 self.next_job += 1;
             }
             while let Some(&(at, g)) = self.failures.get(self.next_fail) {
@@ -517,8 +565,28 @@ impl PodRun {
                         .collect(),
                 );
             }
+            // Pod-level MultiGroupAdmit records staged at part 1 join the
+            // same canonical exchange; their shard stamp (`groups`) sorts
+            // them after every domain record at the same instant.
+            if !self.staged.is_empty() {
+                outboxes.push(std::mem::take(&mut self.staged));
+            }
             for m in exchange(outboxes) {
                 self.journal.push(m.at, m.payload);
+            }
+
+            // Fragmentation sample from the refreshed canonical view:
+            // how much of the pod's free capacity sits outside its
+            // largest free group. Telemetry only, worker-count invariant.
+            let total_free: usize = self.free_est.iter().sum();
+            let largest_free = self.free_est.iter().copied().max().unwrap_or(0);
+            if total_free > 0 {
+                self.frag_sum += 1.0 - (largest_free as f64) / (total_free as f64);
+                self.frag_samples += 1;
+            }
+            if self.layout.chips() > 0 {
+                self.occ_sum += 1.0 - (total_free as f64) / (self.layout.chips() as f64);
+                self.occ_samples += 1;
             }
 
             self.epoch += 1;
@@ -596,7 +664,134 @@ impl PodRun {
             events_per_sec,
             snapshots,
             crashed,
+            policy: cfg.policy,
+            frag_mean: if self.frag_samples > 0 {
+                self.frag_sum / self.frag_samples as f64
+            } else {
+                0.0
+            },
+            occ_mean: if self.occ_samples > 0 {
+                self.occ_sum / self.occ_samples as f64
+            } else {
+                0.0
+            },
         })
+    }
+
+    /// Admit a cross-group stitched job, all-or-nothing, at the
+    /// single-threaded barrier. Each leg is admitted against its
+    /// domain's *true* occupancy; on success every leg departs at the
+    /// same instant (`arrival + duration`) and one [`MultiGroupAdmit`]
+    /// record — legs in pod coordinates plus the stitch-port assignment
+    /// on every crossed rack face — is staged for the canonical journal
+    /// exchange. On any leg failure all already-admitted legs are
+    /// evicted (honest journal records) and the caller falls back to
+    /// single-group delegation. Returns whether the stitch landed.
+    ///
+    /// [`MultiGroupAdmit`]: JournalEntry::MultiGroupAdmit
+    fn admit_stitch(&mut self, job: &JobRequest, legs: &[StitchLeg]) -> Result<bool, String> {
+        let partition = *self.layout.partition();
+        let job_idx = self.next_job;
+        // Leg slice ids live in a high-bit namespace so they can never
+        // collide with trace job ids: LEG_ID_BIT | job << 4 | leg.
+        if job_idx >= (1 << 27) || legs.len() > 15 || legs.is_empty() {
+            return Ok(false);
+        }
+        let face = band::face_ports(partition.group_shape());
+        let unit = job.shape.volume() / job.shape.extent(topo::Dim::Z).max(1);
+        let Some(ports_per_face) = band::stitch_ports(face, unit) else {
+            return Ok(false);
+        };
+        let leg_id = |i: usize| crate::policy::LEG_ID_BIT | ((job_idx as u32) << 4) | (i as u32);
+
+        let mut admitted: Vec<StitchLegRecord> = Vec::with_capacity(legs.len());
+        for (i, leg) in legs.iter().enumerate() {
+            let origin = {
+                let slot = self
+                    .domains
+                    .get_mut(leg.group)
+                    .ok_or_else(|| format!("stitch delegation to unknown group {}", leg.group))?;
+                let dom = slot
+                    .get_mut()
+                    .map_err(|_| "pod shard mutex poisoned".to_string())?;
+                dom.admit_leg(job.arrival, leg_id(i), leg.extent)
+            };
+            let Some(origin) = origin else {
+                // Roll back every already-admitted leg, newest first.
+                for rec in admitted.iter().rev() {
+                    let slot = self
+                        .domains
+                        .get_mut(rec.group as usize)
+                        .ok_or_else(|| format!("stitch rollback to unknown group {}", rec.group))?;
+                    let dom = slot
+                        .get_mut()
+                        .map_err(|_| "pod shard mutex poisoned".to_string())?;
+                    dom.evict_leg(job.arrival, rec.leg);
+                    dom.bump("stitch.rollbacks");
+                }
+                return Ok(false);
+            };
+            admitted.push(StitchLegRecord {
+                leg: leg_id(i),
+                group: leg.group as u64,
+                origin: partition.to_pod(leg.group, origin),
+                extent: leg.extent,
+            });
+        }
+
+        // Every leg landed: schedule the atomic teardown, charge the
+        // capacity view, and stamp the delegation digest.
+        let depart = job.arrival + job.duration;
+        for rec in &admitted {
+            let slot = self
+                .domains
+                .get_mut(rec.group as usize)
+                .ok_or_else(|| format!("stitch delegation to unknown group {}", rec.group))?;
+            let dom = slot
+                .get_mut()
+                .map_err(|_| "pod shard mutex poisoned".to_string())?;
+            dom.schedule_leg_depart(depart, rec.leg);
+            if let Some(f) = self.free_est.get_mut(rec.group as usize) {
+                *f = f.saturating_sub(rec.extent.volume());
+            }
+        }
+        if let Some(first) = admitted.first() {
+            let slot = self
+                .domains
+                .get_mut(first.group as usize)
+                .ok_or_else(|| format!("stitch delegation to unknown group {}", first.group))?;
+            let dom = slot
+                .get_mut()
+                .map_err(|_| "pod shard mutex poisoned".to_string())?;
+            dom.bump("jobs.stitched");
+        }
+        self.deleg.write_u64(job_idx as u64);
+        self.deleg.write_u64(u64::MAX - 1); // stitch marker
+        for rec in &admitted {
+            self.deleg.write_u64(rec.group);
+            self.deleg.write_u64(rec.extent.volume() as u64);
+        }
+        self.delegations += 1;
+
+        // Boundary-major stitch-port assignment: the same deterministic
+        // port set on every crossed rack face.
+        let mut ports: Vec<u32> = Vec::with_capacity(ports_per_face.len() * (admitted.len() - 1));
+        for _ in 1..admitted.len() {
+            ports.extend_from_slice(&ports_per_face);
+        }
+        let entry = JournalEntry::MultiGroupAdmit {
+            job: job_idx as u32,
+            extent: job.shape,
+            legs: admitted,
+            ports,
+        };
+        self.staged.push(Stamped {
+            at: job.arrival,
+            shard: self.layout.groups() as u32,
+            seq: self.staged.len() as u64,
+            payload: entry,
+        });
+        Ok(true)
     }
 }
 
@@ -685,6 +880,16 @@ pub struct PodSnapshot {
     pub next_fail: usize,
     /// Per-group capacity view at the capture.
     pub free_est: Vec<usize>,
+    /// Fragmentation accumulator at the capture (see
+    /// [`PodOutcome::frag_mean`]).
+    pub frag_sum: f64,
+    /// Barriers that contributed to `frag_sum` before the capture.
+    pub frag_samples: u64,
+    /// Occupancy accumulator at the capture (see
+    /// [`PodOutcome::occ_mean`]).
+    pub occ_sum: f64,
+    /// Barriers that contributed to `occ_sum` before the capture.
+    pub occ_samples: u64,
     /// Per-domain captures, in group-index order.
     pub domains: Vec<ShardSnapshot>,
 }
@@ -712,6 +917,10 @@ impl PodSnapshot {
         for &f in &self.free_est {
             w.u64("free", f as u64);
         }
+        w.f64("frag_sum", self.frag_sum);
+        w.u64("frag_samples", self.frag_samples);
+        w.f64("occ_sum", self.occ_sum);
+        w.u64("occ_samples", self.occ_samples);
         w.section("config");
         w.u64("chips", self.config.chips as u64);
         w.u64("lanes", self.config.lanes as u64);
@@ -730,6 +939,7 @@ impl PodSnapshot {
             self.config.arrivals.mean_duration.as_ps(),
         );
         w.f64("small_job_skew", self.config.arrivals.small_job_skew);
+        w.u64("policy", self.config.policy.tag());
         for d in &self.domains {
             d.write_snap(&mut w);
         }
@@ -779,6 +989,10 @@ impl PodSnapshot {
         for _ in 0..groups {
             free_est.push(r.u64("free")? as usize);
         }
+        let frag_sum = r.f64("frag_sum")?;
+        let frag_samples = r.u64("frag_samples")?;
+        let occ_sum = r.f64("occ_sum")?;
+        let occ_samples = r.u64("occ_samples")?;
         r.section("config")?;
         let config = PodConfig {
             chips: r.u64("chips")? as usize,
@@ -793,6 +1007,11 @@ impl PodSnapshot {
                 mean_interarrival: SimDuration::from_ps(r.u64("mean_interarrival_ps")?),
                 mean_duration: SimDuration::from_ps(r.u64("mean_duration_ps")?),
                 small_job_skew: r.f64("small_job_skew")?,
+            },
+            policy: {
+                let tag = r.u64("policy")?;
+                PolicyKind::from_tag(tag)
+                    .ok_or_else(|| format!("pod snapshot: unknown policy tag {tag}"))?
             },
         };
         let mut domains = Vec::with_capacity(groups);
@@ -824,6 +1043,10 @@ impl PodSnapshot {
             next_job,
             next_fail,
             free_est,
+            frag_sum,
+            frag_samples,
+            occ_sum,
+            occ_samples,
             domains,
         })
     }
@@ -1040,6 +1263,91 @@ mod tests {
         assert_eq!(plain.journal.len(), compacted.journal.len());
         assert_eq!(plain.fingerprint, compacted.fingerprint);
         assert_eq!(plain.snapshots, compacted.snapshots);
+    }
+
+    /// A pod small and saturated enough that single groups run out of
+    /// contiguous capacity: 8 single-rack groups of 64 chips, so the
+    /// trace's 4×4×4 jobs must stitch once every group is broken.
+    fn stitchy() -> PodConfig {
+        PodConfig {
+            chips: 512,
+            jobs: 96,
+            failures: 2,
+            policy: PolicyKind::Stitch,
+            ..PodConfig::default()
+        }
+    }
+
+    #[test]
+    fn every_policy_is_worker_count_invariant() {
+        for k in PolicyKind::ALL {
+            let cfg = PodConfig {
+                policy: k,
+                ..stitchy()
+            };
+            let one = run_pod(&cfg, 1).expect("1 worker");
+            let four = run_pod(&cfg, 4).expect("4 workers");
+            assert_eq!(one.fingerprint, four.fingerprint, "policy {}", k.name());
+            assert_eq!(
+                one.journal.hash(),
+                four.journal.hash(),
+                "policy {}",
+                k.name()
+            );
+            assert_eq!(one.events, four.events, "policy {}", k.name());
+            assert_eq!(
+                one.frag_mean.to_bits(),
+                four.frag_mean.to_bits(),
+                "frag telemetry is shard-invariant under {}",
+                k.name()
+            );
+            assert_eq!(
+                one.occ_mean.to_bits(),
+                four.occ_mean.to_bits(),
+                "occupancy telemetry is shard-invariant under {}",
+                k.name()
+            );
+        }
+    }
+
+    #[test]
+    fn stitch_policy_admits_cross_group_slices_atomically() {
+        let cfg = stitchy();
+        let out = run_pod(&cfg, 4).expect("runs");
+        let stitched = out.metrics.counter("jobs.stitched");
+        assert!(stitched >= 1, "at least one stitch landed");
+        let legs = out.metrics.counter("stitch.legs");
+        let rollbacks = out.metrics.counter("stitch.rollbacks");
+        assert!(
+            legs >= 2 * stitched + rollbacks,
+            "every landed stitch carries at least two legs \
+             (legs={legs} stitched={stitched} rollbacks={rollbacks})"
+        );
+        assert_eq!(
+            out.metrics.counter("stitch.legs.departed"),
+            legs - rollbacks,
+            "quiescence: every landed leg departed"
+        );
+
+        // The journal carries one well-formed MultiGroupAdmit per stitch.
+        let mut multi = 0u64;
+        for r in out.journal.records() {
+            if let JournalEntry::MultiGroupAdmit { extent, legs, .. } = &r.entry {
+                multi += 1;
+                assert!(legs.len() >= 2, "a stitch spans at least two groups");
+                let z_sum: usize = legs.iter().map(|l| l.extent.extent(topo::Dim::Z)).sum();
+                assert_eq!(z_sum, extent.extent(topo::Dim::Z), "legs partition Z");
+            }
+        }
+        assert_eq!(multi, stitched, "one record per landed stitch");
+
+        // The CTL408 audit accepts the production journal.
+        let layout = PodLayout::new(cfg.chips).expect("layout");
+        let group_z = layout.partition().group_z();
+        let face = band::face_ports(layout.partition().group_shape());
+        let mut report = verify::Report::new();
+        verify::check_multi_group_admission(&out.journal, group_z, face, &mut report);
+        assert!(report.is_clean(), "{report}");
     }
 
     #[test]

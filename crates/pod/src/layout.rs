@@ -6,6 +6,7 @@
 //! *same* logical domains, in the same epoch windows, with the same
 //! per-domain RNG streams.
 
+use lightpath::{FabricError, TopoFault};
 use topo::{Dim, RackGroupPartition, Shape3};
 
 /// Chips in one TPUv4 rack (4×4×4 cube).
@@ -29,23 +30,31 @@ pub struct PodLayout {
 
 impl PodLayout {
     /// Lay out a pod of `chips` chips (must be a positive multiple of one
-    /// rack). Pods of ≥16 racks shard into groups of 4 racks (the 4096-chip
-    /// pod → 16 domains); smaller pods shard one rack per group so tests
-    /// still exercise multiple domains.
-    pub fn new(chips: usize) -> Result<PodLayout, String> {
+    /// rack). Pods of ≥16 racks shard into groups of up to 4 racks — the
+    /// largest divisor of the rack count, so the 4096-chip pod is 16
+    /// domains of 4 racks, an 18-rack pod is 6 domains of 3, and a prime
+    /// rack count degrades to one rack per group. The partition is always
+    /// **total**: `groups × group_racks == racks`, never a truncation.
+    /// Degenerate sizes (zero, or a partial rack) are rejected with a
+    /// structured [`FabricError`] (`topo/degenerate-layout`).
+    pub fn new(chips: usize) -> Result<PodLayout, FabricError> {
+        let degenerate = || FabricError::new(TopoFault::DegenerateLayout { chips });
         if chips == 0 || !chips.is_multiple_of(CHIPS_PER_RACK) {
-            return Err(format!(
-                "pod size must be a positive multiple of {CHIPS_PER_RACK} chips, got {chips}"
-            ));
+            return Err(degenerate());
         }
         let racks = chips / CHIPS_PER_RACK;
-        let group_racks = if racks >= 16 && racks.is_multiple_of(GROUP_RACKS) {
-            GROUP_RACKS
+        let group_racks = if racks >= 16 {
+            // Largest group size ≤ GROUP_RACKS that divides the rack
+            // count exactly — remainder racks must never be dropped.
+            (1..=GROUP_RACKS)
+                .rev()
+                .find(|g| racks.is_multiple_of(*g))
+                .unwrap_or(1)
         } else {
             1
         };
         let partition = RackGroupPartition::new(racks, group_racks, Shape3::rack_4x4x4())
-            .ok_or_else(|| format!("cannot group {racks} racks by {group_racks}"))?;
+            .ok_or_else(degenerate)?;
         Ok(PodLayout { chips, partition })
     }
 
@@ -113,8 +122,39 @@ mod tests {
     }
 
     #[test]
-    fn invalid_sizes_are_rejected() {
-        assert!(PodLayout::new(0).is_err());
-        assert!(PodLayout::new(100).is_err());
+    fn remainder_rack_counts_partition_totally() {
+        // 18 racks: not a multiple of 4 — the largest divisor ≤ 4 is 3.
+        // The old layout fell all the way to 18 one-rack domains.
+        let l = PodLayout::new(18 * CHIPS_PER_RACK).expect("18 racks lay out");
+        assert_eq!(l.groups(), 6);
+        assert_eq!(l.group_racks(), 3);
+        // 22 racks: largest divisor ≤ 4 is 2.
+        let l = PodLayout::new(22 * CHIPS_PER_RACK).expect("22 racks lay out");
+        assert_eq!(l.groups(), 11);
+        assert_eq!(l.group_racks(), 2);
+        // 17 racks: prime — one rack per group is the only total split.
+        let l = PodLayout::new(17 * CHIPS_PER_RACK).expect("17 racks lay out");
+        assert_eq!(l.groups(), 17);
+        assert_eq!(l.group_racks(), 1);
+        // The partition is always total: no chip silently truncated.
+        for racks in [16usize, 17, 18, 20, 22, 36, 64] {
+            let l = PodLayout::new(racks * CHIPS_PER_RACK).expect("lays out");
+            assert_eq!(l.groups() * l.group_racks(), l.racks(), "{racks} racks");
+            assert_eq!(l.groups() * l.group_chips(), l.chips(), "{racks} racks");
+            assert_eq!(l.pod_shape().volume(), l.chips(), "{racks} racks");
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes_are_structured_faults() {
+        for chips in [0usize, 100, CHIPS_PER_RACK - 1, CHIPS_PER_RACK + 1] {
+            let err = PodLayout::new(chips).expect_err("degenerate");
+            assert_eq!(err.code(), "topo/degenerate-layout", "{chips} chips");
+            assert!(
+                lightpath::FabricError::is_valid_code(err.code()),
+                "registered code"
+            );
+            assert!(err.to_string().contains(&chips.to_string()), "{err}");
+        }
     }
 }

@@ -17,13 +17,20 @@
 //!   fixed sim-time epoch windows, meeting at barriers where the pod
 //!   control plane collects their journal deltas through the canonical
 //!   `(time, shard, seq)` exchange order of [`desim::epoch`].
+//! - **Placement policies** ([`policy`]): admission placement is a
+//!   pluggable, pure `(capacity view, demand) -> PlacementDecision`
+//!   layer — `GreedyBestFit` (PR 7's delegation, bit-identical),
+//!   `FragAwareScored` (fragmentation-aware packing with pristine-group
+//!   reservation), and `CrossGroupStitch` (per-group Z-slab legs
+//!   stitched over the rack-face OCS banks, admitted atomically as one
+//!   `MultiGroupAdmit` journal record).
 //! - **Pod control plane** ([`ctrl`]): `PodCtrl` admits jobs against the
-//!   whole torus, delegates each admission to exactly one rack-group
-//!   shard (greedily, against the capacity view of the previous barrier),
-//!   and folds the shards' journals into one pod-level append-only FNV
-//!   journal whose hash — combined with per-shard fingerprints in group
-//!   index order — is the run fingerprint `spsim pod` asserts is
-//!   identical for 1 worker and N workers.
+//!   whole torus, delegates each admission through the configured
+//!   placement policy (against the capacity view of the previous
+//!   barrier), and folds the shards' journals into one pod-level
+//!   append-only FNV journal whose hash — combined with per-shard
+//!   fingerprints in group index order — is the run fingerprint
+//!   `spsim pod` asserts is identical for 1 worker and N workers.
 //! - **Benchmark report** ([`report`]): the `BENCH_pod.json` format gated
 //!   by `cargo xtask lint` (fingerprint exact, events/sec floor).
 
@@ -32,10 +39,15 @@
 
 pub mod ctrl;
 pub mod layout;
+pub mod policy;
 pub mod report;
 pub mod shard;
 
 pub use ctrl::{resume_pod, run_pod, run_pod_with, PodConfig, PodOptions, PodOutcome, PodSnapshot};
 pub use layout::{PodLayout, CHIPS_PER_RACK, POD_CHIPS, POD_RACKS};
+pub use policy::{
+    CapacityView, CrossGroupStitch, FragAwareScored, GreedyBestFit, PlacementDecision,
+    PlacementPolicy, PolicyKind, StitchLeg,
+};
 pub use report::{compare_baseline, PodBenchReport, MIN_PERF_RATIO};
 pub use shard::{PodEvent, ShardDomain, ShardSnapshot};

@@ -54,6 +54,14 @@ pub struct PodBenchReport {
     pub cross_misses: u64,
     /// Cross-plan witness-guard fallbacks to fresh routing.
     pub cross_fallbacks: u64,
+    /// Placement policy of the recorded run (`greedy` / `frag` / `stitch`).
+    pub policy: String,
+    /// Cross-group stitched jobs admitted (deterministic, gated).
+    pub stitch_admits: u64,
+    /// Per-group legs admitted across all stitches (incl. rolled back).
+    pub stitch_legs: u64,
+    /// Legs evicted by failed all-or-nothing stitch admissions.
+    pub stitch_rollbacks: u64,
 }
 
 impl PodBenchReport {
@@ -79,6 +87,10 @@ impl PodBenchReport {
             cross_hits: out.route.cross.hits,
             cross_misses: out.route.cross.misses,
             cross_fallbacks: out.route.cross.fallbacks,
+            policy: out.policy.name().to_string(),
+            stitch_admits: out.metrics.counter("jobs.stitched"),
+            stitch_legs: out.metrics.counter("stitch.legs"),
+            stitch_rollbacks: out.metrics.counter("stitch.rollbacks"),
         }
     }
 
@@ -92,7 +104,9 @@ impl PodBenchReport {
              \"events\": {},\n  \"wall_s\": {},\n  \"events_per_sec\": {},\n  \
              \"plan_hits\": {},\n  \"plan_misses\": {},\n  \"plan_fallbacks\": {},\n  \
              \"plan_evictions\": {},\n  \"plan_stamped_circuits\": {},\n  \
-             \"cross_hits\": {},\n  \"cross_misses\": {},\n  \"cross_fallbacks\": {}\n}}\n",
+             \"cross_hits\": {},\n  \"cross_misses\": {},\n  \"cross_fallbacks\": {},\n  \
+             \"policy\": \"{}\",\n  \"stitch_admits\": {},\n  \"stitch_legs\": {},\n  \
+             \"stitch_rollbacks\": {}\n}}\n",
             self.chips,
             self.groups,
             self.shards,
@@ -112,6 +126,10 @@ impl PodBenchReport {
             self.cross_hits,
             self.cross_misses,
             self.cross_fallbacks,
+            self.policy,
+            self.stitch_admits,
+            self.stitch_legs,
+            self.stitch_rollbacks,
         )
     }
 
@@ -137,6 +155,10 @@ impl PodBenchReport {
             cross_hits: json_u64(text, "cross_hits")?,
             cross_misses: json_u64(text, "cross_misses")?,
             cross_fallbacks: json_u64(text, "cross_fallbacks")?,
+            policy: json_str(text, "policy")?,
+            stitch_admits: json_u64(text, "stitch_admits")?,
+            stitch_legs: json_u64(text, "stitch_legs")?,
+            stitch_rollbacks: json_u64(text, "stitch_rollbacks")?,
         })
     }
 }
@@ -181,10 +203,27 @@ pub fn compare_baseline(current: &PodBenchReport, baseline: &PodBenchReport) -> 
             current.cross_fallbacks,
             baseline.cross_fallbacks,
         ),
+        (
+            "stitch_admits",
+            current.stitch_admits,
+            baseline.stitch_admits,
+        ),
+        ("stitch_legs", current.stitch_legs, baseline.stitch_legs),
+        (
+            "stitch_rollbacks",
+            current.stitch_rollbacks,
+            baseline.stitch_rollbacks,
+        ),
     ] {
         if cur != base {
             failures.push(format!("{name} {cur} != baseline {base}"));
         }
+    }
+    if current.policy != baseline.policy {
+        failures.push(format!(
+            "policy {:?} != baseline {:?}",
+            current.policy, baseline.policy
+        ));
     }
     if current.fingerprint != baseline.fingerprint {
         failures.push(format!(
@@ -274,6 +313,10 @@ mod tests {
             cross_hits: 18,
             cross_misses: 6,
             cross_fallbacks: 1,
+            policy: "greedy".into(),
+            stitch_admits: 0,
+            stitch_legs: 0,
+            stitch_rollbacks: 0,
         }
     }
 
@@ -316,6 +359,16 @@ mod tests {
         current.plan_hits += 1;
         current.cross_fallbacks += 1;
         assert_eq!(compare_baseline(&current, &baseline).len(), 2);
+    }
+
+    #[test]
+    fn policy_and_stitch_drift_fail_the_gate() {
+        let baseline = report();
+        let mut current = report();
+        current.policy = "stitch".into();
+        current.stitch_admits = 3;
+        current.stitch_legs = 7;
+        assert_eq!(compare_baseline(&current, &baseline).len(), 3);
     }
 
     #[test]

@@ -10,11 +10,12 @@
 //! journal deltas, free capacity, metrics, its fingerprint — is a pure
 //! function of the delivered commands.
 
+use crate::policy::LEG_ID_BIT;
 use desim::fnv::Fnv;
 use desim::{SimDuration, SimTime, SnapReader, SnapWriter};
 use fabricd::{Admission, FabricSnapshot, FabricState, Journal, JournalEntry, Metrics, Record};
 use std::collections::{BTreeMap, VecDeque};
-use topo::Shape3;
+use topo::{Coord3, Shape3};
 
 /// A command the pod control plane delegates across the shard boundary.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -416,6 +417,63 @@ impl ShardDomain {
         Ok(dropped)
     }
 
+    // -------------------------------------------- cross-group stitching ----
+
+    /// Admit one leg of a cross-group stitched slice directly at the
+    /// epoch barrier, against this domain's *true* occupancy (not the
+    /// control plane's estimate). Returns the leg's domain-local origin
+    /// on success; on any denial nothing is held and the caller rolls
+    /// the whole stitch back. Called single-threaded by the pod control
+    /// plane, so the journal append order stays worker-count invariant.
+    pub fn admit_leg(&mut self, at: SimTime, leg: u32, shape: Shape3) -> Option<Coord3> {
+        match self.st.admit(at, leg, shape) {
+            Admission::Admitted { .. } => {
+                self.metrics.bump("stitch.legs");
+                let programmed = self
+                    .st
+                    .journal()
+                    .records()
+                    .iter()
+                    .rev()
+                    .find_map(|r| match &r.entry {
+                        JournalEntry::Program { circuits, .. } => Some(*circuits as u64),
+                        _ => None,
+                    })
+                    .unwrap_or(0);
+                self.metrics.add("circuits.programmed", programmed);
+                self.st
+                    .journal()
+                    .records()
+                    .iter()
+                    .rev()
+                    .find_map(|r| match &r.entry {
+                        JournalEntry::Admit { job, origin, .. } if *job == leg => Some(*origin),
+                        _ => None,
+                    })
+            }
+            _ => None,
+        }
+    }
+
+    /// Roll back one admitted leg at the barrier: an honest journaled
+    /// `Evict`, exactly like a departure, so CTL401 stays clean.
+    pub fn evict_leg(&mut self, at: SimTime, leg: u32) {
+        self.st.evict(at, leg);
+    }
+
+    /// Schedule the atomic teardown of one admitted leg. Every leg of a
+    /// stitched job departs at the same instant; the event runs through
+    /// the normal departure path (evict + FIFO retry of queued jobs).
+    pub fn schedule_leg_depart(&mut self, at: SimTime, leg: u32) {
+        self.schedule(at, LocalEvent::Depart(leg));
+    }
+
+    /// Bump a named counter in this domain's metrics. The pod control
+    /// plane accounts each stitched job on its first leg's domain.
+    pub fn bump(&mut self, name: &'static str) {
+        self.metrics.bump(name);
+    }
+
     // ------------------------------------------------------ event loop ----
 
     fn schedule(&mut self, at: SimTime, ev: LocalEvent) {
@@ -484,7 +542,11 @@ impl ShardDomain {
 
     fn on_depart(&mut self, now: SimTime, job: u32) {
         self.st.evict(now, job);
-        self.metrics.bump("jobs.departed");
+        if job & LEG_ID_BIT != 0 {
+            self.metrics.bump("stitch.legs.departed");
+        } else {
+            self.metrics.bump("jobs.departed");
+        }
         // Freed capacity: retry queued jobs FIFO until one fails to fit.
         while let Some(&head) = self.queue.front() {
             if self.try_start(now, head) {

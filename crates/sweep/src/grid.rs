@@ -10,6 +10,7 @@
 
 use crate::fingerprint::derive_seed;
 use collectives::Mode;
+use pod::PolicyKind;
 use topo::Shape3;
 use workloads::STANDARD_SHAPES;
 
@@ -125,6 +126,27 @@ pub enum Scenario {
         /// RNG seed (already partitioned per scenario).
         seed: u64,
     },
+    /// One cell of the placement-policy comparison: the *same* pod
+    /// arrival trace (one seed per cell, shared across the cell's three
+    /// policy scenarios) admitted under one [`PlacementPolicy`]
+    /// (pod::PlacementPolicy). Policy telemetry — mean admission wait,
+    /// occupancy, fragmentation — folds into the scenario fingerprint, so
+    /// a policy whose decisions drift moves the sweep digest.
+    PlacementCampaign {
+        /// Total chips (multiple of one 64-chip rack).
+        chips: usize,
+        /// Jobs in the pod arrival trace.
+        jobs: usize,
+        /// Chip failures injected across domains.
+        failures: usize,
+        /// Epoch cap (0 = run to quiescence).
+        epochs: u64,
+        /// Placement policy under comparison.
+        policy: PolicyKind,
+        /// RNG seed (partitioned per *cell*, shared across its policies
+        /// so the three scenarios admit the identical demand trace).
+        seed: u64,
+    },
 }
 
 impl Scenario {
@@ -177,6 +199,17 @@ impl Scenario {
                 epochs,
                 seed,
             } => format!("pod/c{chips}j{jobs}f{failures}e{epochs}/s{seed:x}"),
+            Scenario::PlacementCampaign {
+                chips,
+                jobs,
+                failures,
+                epochs,
+                policy,
+                seed,
+            } => format!(
+                "place/{}/c{chips}j{jobs}f{failures}e{epochs}/s{seed:x}",
+                policy.name()
+            ),
         }
     }
 }
@@ -204,6 +237,7 @@ impl GridSpec {
             "churn" => Some(GridSpec::churn(base_seed)),
             "churn-smoke" => Some(GridSpec::churn_smoke(base_seed)),
             "planlib" => Some(GridSpec::planlib(base_seed)),
+            "placement" => Some(GridSpec::placement(base_seed)),
             _ => None,
         }
     }
@@ -305,6 +339,22 @@ impl GridSpec {
         g.finish()
     }
 
+    /// The placement-policy comparison grid: each cell replays one pod
+    /// arrival trace under every [`pod::PolicyKind`], so the per-policy
+    /// admission wait, occupancy, and fragmentation are directly
+    /// comparable (same jobs, same failures, same arrival times). The
+    /// first cell is the committed stitch-exercising scale — 512 chips is
+    /// eight single-rack domains, so 64-chip jobs cannot fit a broken
+    /// group without crossing a rack face. The existing
+    /// smoke/full/pod/churn/planlib grids are untouched — their committed
+    /// fingerprints must not move.
+    pub fn placement(base_seed: u64) -> GridSpec {
+        let mut g = GridBuilder::new("placement", base_seed);
+        g.placement_cell(512, 96, 2, 0);
+        g.placement_cell(1024, 128, 4, 8);
+        g.finish()
+    }
+
     /// Number of scenarios.
     pub fn len(&self) -> usize {
         self.scenarios.len()
@@ -398,6 +448,22 @@ impl GridBuilder {
         });
     }
 
+    fn placement_cell(&mut self, chips: usize, jobs: usize, failures: usize, epochs: u64) {
+        // One seed per cell, shared by all three policy scenarios: the
+        // comparison is only meaningful over the identical arrival trace.
+        let seed = self.next_seed();
+        for policy in PolicyKind::ALL {
+            self.scenarios.push(Scenario::PlacementCampaign {
+                chips,
+                jobs,
+                failures,
+                epochs,
+                policy,
+                seed,
+            });
+        }
+    }
+
     fn finish(self) -> GridSpec {
         GridSpec {
             name: self.name.to_string(),
@@ -445,7 +511,11 @@ mod tests {
 
     #[test]
     fn labels_are_unique_within_a_grid() {
-        for grid in [GridSpec::smoke(7), GridSpec::full(7)] {
+        for grid in [
+            GridSpec::smoke(7),
+            GridSpec::full(7),
+            GridSpec::placement(7),
+        ] {
             let mut seen = std::collections::HashSet::new();
             for s in &grid.scenarios {
                 assert!(seen.insert(s.label()), "duplicate label {}", s.label());
@@ -461,6 +531,7 @@ mod tests {
         assert!(GridSpec::by_name("churn", 1).is_some());
         assert!(GridSpec::by_name("churn-smoke", 1).is_some());
         assert!(GridSpec::by_name("planlib", 1).is_some());
+        assert!(GridSpec::by_name("placement", 1).is_some());
         assert!(GridSpec::by_name("nope", 1).is_none());
     }
 
@@ -516,6 +587,52 @@ mod tests {
                 .sum()
         };
         assert!(load(&GridSpec::churn_smoke(9)) < load(&GridSpec::churn(9)) / 4);
+    }
+
+    #[test]
+    fn placement_cells_replay_one_trace_per_policy() {
+        let g = GridSpec::placement(3);
+        assert!(!g.is_empty());
+        // Every cell carries all three policies over the *same* seed:
+        // group scenarios by (chips, jobs, failures, epochs, seed) and
+        // demand each group is exactly PolicyKind::ALL in order.
+        let mut cells: Vec<((usize, usize, usize, u64, u64), Vec<PolicyKind>)> = Vec::new();
+        for s in &g.scenarios {
+            let Scenario::PlacementCampaign {
+                chips,
+                jobs,
+                failures,
+                epochs,
+                policy,
+                seed,
+            } = s
+            else {
+                panic!("non-placement scenario in placement grid: {s:?}");
+            };
+            let key = (*chips, *jobs, *failures, *epochs, *seed);
+            match cells.last_mut() {
+                Some((k, policies)) if *k == key => policies.push(*policy),
+                _ => cells.push((key, vec![*policy])),
+            }
+        }
+        assert!(cells.len() > 1, "multiple comparison cells");
+        for (key, policies) in &cells {
+            assert_eq!(policies, &PolicyKind::ALL, "cell {key:?}");
+        }
+        // Distinct cells draw distinct traces.
+        let mut seeds: Vec<u64> = cells.iter().map(|(k, _)| k.4).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), cells.len(), "per-cell seeds are distinct");
+        // The committed stitch-exercising scale is present.
+        assert!(g.scenarios.iter().any(|s| matches!(
+            s,
+            Scenario::PlacementCampaign {
+                chips: 512,
+                policy: PolicyKind::Stitch,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -275,6 +275,58 @@ pub fn run_scenario(scenario: &Scenario, merged: &mut MergedStats) -> (u64, u64)
                 }
             }
         }
+        Scenario::PlacementCampaign {
+            chips,
+            jobs,
+            failures,
+            epochs,
+            policy,
+            seed,
+        } => {
+            let cfg = pod::PodConfig {
+                chips: *chips,
+                jobs: *jobs,
+                failures: *failures,
+                max_epochs: *epochs,
+                seed: *seed,
+                policy: *policy,
+                ..pod::PodConfig::default()
+            };
+            match pod::run_pod(&cfg, 1) {
+                Ok(out) => {
+                    let mut f = Fnv::new();
+                    f.write_str("place")
+                        .write_str(policy.name())
+                        .write_u64(*seed);
+                    f.write_u64(out.fingerprint);
+                    f.write_u64(out.journal.hash());
+                    f.write_u64(out.journal.len() as u64);
+                    f.write_u64(out.epochs).write_u64(out.delegations);
+                    for name in COUNTERS {
+                        f.write_u64(out.metrics.counter(name));
+                    }
+                    // The comparison axes themselves — mean admission
+                    // wait, mean occupancy, mean fragmentation — fold in
+                    // as exact bit patterns. All three are worker-count
+                    // invariant, so the sweep digest stays invariant too;
+                    // a policy whose quality drifts moves the digest.
+                    let wait = out.metrics.admission_wait();
+                    f.write_u64(wait.count());
+                    f.write_f64(wait.stats().mean());
+                    f.write_f64(out.occ_mean);
+                    f.write_f64(out.frag_mean);
+                    merged.admission_wait_s.merge(wait);
+                    (f.finish(), out.events)
+                }
+                Err(e) => {
+                    let mut f = Fnv::new();
+                    f.write_str("place-error")
+                        .write_str(policy.name())
+                        .write_str(&e);
+                    (f.finish(), 0)
+                }
+            }
+        }
     }
 }
 
@@ -622,6 +674,32 @@ mod tests {
         let par = run_sweep(&grid, 4);
         assert_eq!(seq.fingerprint, par.fingerprint);
         assert_eq!(seq.events, par.events);
+    }
+
+    #[test]
+    fn placement_scenarios_are_pure_and_policy_sensitive() {
+        let cell = |policy| Scenario::PlacementCampaign {
+            chips: 512,
+            jobs: 48,
+            failures: 2,
+            epochs: 0,
+            policy,
+            seed: 11,
+        };
+        let mut m1 = MergedStats::new();
+        let mut m2 = MergedStats::new();
+        let greedy = run_scenario(&cell(pod::PolicyKind::Greedy), &mut m1);
+        assert_eq!(
+            greedy,
+            run_scenario(&cell(pod::PolicyKind::Greedy), &mut m2),
+            "placement scenarios are pure"
+        );
+        assert!(greedy.1 > 0, "the campaign executed events");
+        // Same trace, different policy: at a scale where whole jobs span
+        // a rack face, the stitch policy admits differently — and the
+        // fingerprint must see it.
+        let stitch = run_scenario(&cell(pod::PolicyKind::Stitch), &mut m1);
+        assert_ne!(greedy.0, stitch.0, "policy must move the fingerprint");
     }
 
     #[test]

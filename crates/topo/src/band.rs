@@ -1,0 +1,76 @@
+//! Cross-group band geometry over the rack-face OCS banks.
+//!
+//! A rack group exposes one optical circuit switch bank per Z face; a
+//! cross-group ("stitched") slice rides those banks to join per-group
+//! Z-slab legs into one logical torus. The geometry here is deliberately
+//! small and pure: the number of fiber ports on a group's Z face is the
+//! X×Y cross-section of the group shape, and a stitch needs one port per
+//! chip column it carries across each group boundary.
+//!
+//! Everything in this module is a pure function of its arguments — no
+//! state, no panics — so both the pod control plane (choosing ports at
+//! admission) and `verify` CTL408 (auditing the journaled assignment)
+//! can share it.
+
+use crate::coords::{Dim, Shape3};
+
+/// Number of OCS fiber ports on one Z face of a rack group: the X×Y
+/// cross-section of the group shape. A 4×4×16 group exposes 16 ports
+/// per face.
+pub fn face_ports(group: Shape3) -> usize {
+    group.extent(Dim::X) * group.extent(Dim::Y)
+}
+
+/// Canonical port assignment for one group boundary of a stitched slice.
+///
+/// A stitch whose legs have an X×Y cross-section of `cross_section`
+/// chips needs that many ports on each boundary it crosses. Returns the
+/// deterministic assignment `0..cross_section` when the face can carry
+/// it, and `None` when the demand is degenerate (zero) or exceeds the
+/// face capacity.
+pub fn stitch_ports(face: usize, cross_section: usize) -> Option<Vec<u32>> {
+    if cross_section == 0 || cross_section > face {
+        return None;
+    }
+    Some((0..cross_section as u32).collect())
+}
+
+/// Whether `port` names a real fiber port on a face with `face` ports.
+/// Used by verify CTL408 to audit journaled stitch-port assignments.
+pub fn port_in_face(face: usize, port: u32) -> bool {
+    (port as usize) < face
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coords::Shape3;
+
+    #[test]
+    fn face_ports_is_the_xy_cross_section() {
+        assert_eq!(face_ports(Shape3::new(4, 4, 16)), 16);
+        assert_eq!(face_ports(Shape3::new(4, 4, 4)), 16);
+        assert_eq!(face_ports(Shape3::new(2, 3, 9)), 6);
+    }
+
+    #[test]
+    fn stitch_ports_are_the_canonical_prefix() {
+        assert_eq!(stitch_ports(16, 4), Some(vec![0, 1, 2, 3]));
+        assert_eq!(stitch_ports(16, 16).map(|v| v.len()), Some(16));
+    }
+
+    #[test]
+    fn stitch_ports_reject_degenerate_and_oversubscribed_demand() {
+        assert_eq!(stitch_ports(16, 0), None);
+        assert_eq!(stitch_ports(16, 17), None);
+        assert_eq!(stitch_ports(0, 1), None);
+    }
+
+    #[test]
+    fn port_validity_matches_the_face_size() {
+        assert!(port_in_face(16, 0));
+        assert!(port_in_face(16, 15));
+        assert!(!port_in_face(16, 16));
+        assert!(!port_in_face(0, 0));
+    }
+}

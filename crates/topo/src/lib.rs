@@ -22,10 +22,14 @@
 //! * [`Ocs`] — the rack-face optical circuit switches whose reprogramming
 //!   composes cubes into larger tori (Fig 5a) — the mechanism behind the
 //!   rack-granularity migration baseline.
+//! * [`band`] — cross-group band geometry: fiber-port counts on a rack
+//!   group's Z faces and the canonical stitch-port assignment shared by
+//!   the pod control plane and the CTL408 audit.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod band;
 pub mod cluster;
 pub mod congestion;
 pub mod coords;

@@ -27,10 +27,10 @@
 //!   sequence numbers above it — compaction must never eat a live record.
 
 use crate::diag::{Diagnostic, Location, Report, RuleId, Severity};
-use fabricd::{Journal, JournalEntry};
+use fabricd::{Journal, JournalEntry, StitchLegRecord};
 use lightpath::FabricError;
 use std::collections::BTreeMap;
-use topo::{Occupancy, Slice, SliceId};
+use topo::{Occupancy, Shape3, Slice, SliceId};
 
 /// Audit a control-plane journal (CTL401–CTL404, CTL406–CTL407).
 pub fn check_journal(journal: &Journal) -> Report {
@@ -368,6 +368,233 @@ pub fn check_shard_containment(journal: &Journal, group_z: usize, report: &mut R
                             .into(),
                     ),
                 });
+            }
+        }
+    }
+}
+
+/// CTL408: cross-group admission audit — CTL405 relaxed for pod runs that
+/// stitch slices over the rack-face OCS banks.
+///
+/// Single-group `Admit` records must still lie inside one shard domain's
+/// Z slab (the CTL405 predicate; stitched legs are journaled as per-group
+/// `Admit`s, so they are in-band by construction). A `MultiGroupAdmit`
+/// record must additionally be **well-formed**:
+///
+/// * it carries at least two legs over *consecutive, ascending* rack
+///   groups;
+/// * the legs are an X/Y-preserving Z-split of the record's extent (each
+///   leg keeps the job's X/Y cross-section; leg Z extents sum to it);
+/// * every leg lies entirely inside its declared group's Z slab;
+/// * the stitch-port assignment names one port per chip column per
+///   crossed boundary — `(legs − 1) × (x·y)` ports, each a real port on a
+///   `face_ports`-wide rack-face OCS bank, distinct within a boundary;
+/// * teardown is atomic: by journal end a stitched job's legs are either
+///   all evicted or none (a partially-released stitch leaks capacity).
+///
+/// Like [`check_shard_containment`], this is not part of
+/// [`check_journal`]: the shard geometry and face width are properties of
+/// the pod run, so the pod harness passes them explicitly.
+pub fn check_multi_group_admission(
+    journal: &Journal,
+    group_z: usize,
+    face_ports: usize,
+    report: &mut Report,
+) {
+    if group_z == 0 {
+        return;
+    }
+    let mut err = |seq: u64, message: String, hint: Option<String>| {
+        report.push(Diagnostic {
+            rule: RuleId::Ctl408,
+            severity: Severity::Error,
+            location: Location::JournalEntry(seq),
+            message,
+            hint,
+        });
+    };
+    // Stitched job -> (record seq, leg slice ids, evicted-so-far count).
+    let mut stitches: BTreeMap<u32, (u64, Vec<u32>, usize)> = BTreeMap::new();
+    for r in journal.records() {
+        match &r.entry {
+            JournalEntry::Admit {
+                job,
+                origin,
+                extent,
+            } => {
+                let z0 = origin.get(topo::Dim::Z);
+                let ez = extent.extent(topo::Dim::Z);
+                if ez == 0 || z0 / group_z != (z0 + ez - 1) / group_z {
+                    err(
+                        r.seq,
+                        format!(
+                            "admit of job {job} at {origin} extent {extent} straddles a \
+                             shard-domain boundary (group Z extent {group_z}) with no \
+                             covering multi-group record"
+                        ),
+                        Some(
+                            "cross-group slices must be journaled as a MultiGroupAdmit \
+                             with per-group legs"
+                                .into(),
+                        ),
+                    );
+                }
+            }
+            JournalEntry::MultiGroupAdmit {
+                job,
+                extent,
+                legs,
+                ports,
+            } => {
+                check_stitch_record(
+                    r.seq, *job, *extent, legs, ports, group_z, face_ports, &mut err,
+                );
+                stitches.insert(*job, (r.seq, legs.iter().map(|l| l.leg).collect(), 0));
+            }
+            JournalEntry::Evict { job } => {
+                for (_, (_, legs, evicted)) in stitches.iter_mut() {
+                    if legs.contains(job) {
+                        *evicted += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    for (job, (seq, legs, evicted)) in stitches {
+        if evicted != 0 && evicted != legs.len() {
+            err(
+                seq,
+                format!(
+                    "stitched job {job} was torn down non-atomically: {evicted} of {} \
+                     legs evicted by journal end",
+                    legs.len()
+                ),
+                Some("release every leg of a stitched slice in the same teardown".into()),
+            );
+        }
+    }
+}
+
+/// Well-formedness of one `MultiGroupAdmit` record (CTL408 helper).
+#[allow(clippy::too_many_arguments)]
+fn check_stitch_record(
+    seq: u64,
+    job: u32,
+    extent: Shape3,
+    legs: &[StitchLegRecord],
+    ports: &[u32],
+    group_z: usize,
+    face_ports: usize,
+    err: &mut impl FnMut(u64, String, Option<String>),
+) {
+    if legs.len() < 2 {
+        err(
+            seq,
+            format!(
+                "multi-group admit of job {job} carries {} leg(s); a stitch spans \
+                 at least two rack groups",
+                legs.len()
+            ),
+            Some("single-group slices are journaled as plain Admit records".into()),
+        );
+        return;
+    }
+    for pair in legs.windows(2) {
+        if let [a, b] = pair {
+            if b.group != a.group + 1 {
+                err(
+                    seq,
+                    format!(
+                        "job {job}'s legs jump from group {} to group {}: stitched legs \
+                         ride consecutive rack faces",
+                        a.group, b.group
+                    ),
+                    None,
+                );
+            }
+        }
+    }
+    let (x, y, z) = (
+        extent.extent(topo::Dim::X),
+        extent.extent(topo::Dim::Y),
+        extent.extent(topo::Dim::Z),
+    );
+    let mut z_sum = 0usize;
+    for l in legs {
+        z_sum += l.extent.extent(topo::Dim::Z);
+        if l.extent.extent(topo::Dim::X) != x || l.extent.extent(topo::Dim::Y) != y {
+            err(
+                seq,
+                format!(
+                    "job {job}'s leg {} has cross-section {}, the job's extent is {extent}: \
+                     legs must preserve the X/Y cross-section",
+                    l.leg, l.extent
+                ),
+                None,
+            );
+        }
+        let band_lo = (l.group as usize).saturating_mul(group_z);
+        let band_hi = band_lo + group_z;
+        let z0 = l.origin.get(topo::Dim::Z);
+        let z1 = z0 + l.extent.extent(topo::Dim::Z);
+        if z0 < band_lo || z1 > band_hi {
+            err(
+                seq,
+                format!(
+                    "job {job}'s leg {} spans Z [{z0}, {z1}) outside its declared group \
+                     {}'s slab [{band_lo}, {band_hi})",
+                    l.leg, l.group
+                ),
+                None,
+            );
+        }
+    }
+    if z_sum != z {
+        err(
+            seq,
+            format!(
+                "job {job}'s leg Z extents sum to {z_sum}, the job's extent is {extent}: \
+                 legs must partition the slice"
+            ),
+            None,
+        );
+    }
+    let unit = x * y;
+    let boundaries = legs.len() - 1;
+    if ports.len() != boundaries * unit {
+        err(
+            seq,
+            format!(
+                "job {job} stitches {boundaries} boundaries of {unit} chip columns but \
+                 assigns {} ports",
+                ports.len()
+            ),
+            Some("one OCS port per chip column per crossed rack face".into()),
+        );
+        return;
+    }
+    for (b, chunk) in ports.chunks(unit.max(1)).enumerate() {
+        let mut seen = chunk.to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        if seen.len() != chunk.len() {
+            err(
+                seq,
+                format!("job {job} assigns a duplicate stitch port on boundary {b}"),
+                None,
+            );
+        }
+        for &p in chunk {
+            if !topo::band::port_in_face(face_ports, p) {
+                err(
+                    seq,
+                    format!(
+                        "job {job} assigns stitch port {p} on boundary {b}, but the \
+                         rack-face OCS bank has {face_ports} ports"
+                    ),
+                    Some("stitch ports must come from topo::band::stitch_ports".into()),
+                );
             }
         }
     }
@@ -786,5 +1013,208 @@ mod tests {
             },
         );
         assert!(check_journal(&n).has(RuleId::Ctl404));
+    }
+
+    /// A pod journal over 2 groups of Z extent 8 (shape 4×4×16) carrying
+    /// one well-formed stitch: two 4×4×2 legs on groups 0 and 1, 16-port
+    /// rack faces, 16 chip columns per boundary.
+    fn stitched_journal() -> Journal {
+        let mut j = Journal::new(JournalHeader {
+            racks: 4,
+            lanes: 2,
+            seed: 0,
+            shape: Shape3::new(4, 4, 16),
+        });
+        let legs = vec![
+            fabricd::StitchLegRecord {
+                leg: 0x8000_0090,
+                group: 0,
+                origin: Coord3::new(0, 0, 6),
+                extent: Shape3::new(4, 4, 2),
+            },
+            fabricd::StitchLegRecord {
+                leg: 0x8000_0091,
+                group: 1,
+                origin: Coord3::new(0, 0, 8),
+                extent: Shape3::new(4, 4, 2),
+            },
+        ];
+        // The legs land as per-group Admit records in their shards...
+        for l in &legs {
+            j.push(
+                SimTime::ZERO,
+                JournalEntry::Admit {
+                    job: l.leg,
+                    origin: l.origin,
+                    extent: l.extent,
+                },
+            );
+        }
+        // ...and the pod control plane journals the covering stitch.
+        j.push(
+            SimTime::ZERO,
+            JournalEntry::MultiGroupAdmit {
+                job: 9,
+                extent: Shape3::new(4, 4, 4),
+                legs,
+                ports: (0..16).collect(),
+            },
+        );
+        j
+    }
+
+    #[test]
+    fn well_formed_stitch_passes_ctl408() {
+        let mut j = stitched_journal();
+        let mut live = Report::new();
+        check_multi_group_admission(&j, 8, 16, &mut live);
+        assert!(live.is_clean(), "{live}");
+        // Atomic teardown — both legs evicted — stays clean.
+        j.push(
+            SimTime::from_ps(1),
+            JournalEntry::Evict { job: 0x8000_0090 },
+        );
+        j.push(
+            SimTime::from_ps(1),
+            JournalEntry::Evict { job: 0x8000_0091 },
+        );
+        let mut done = Report::new();
+        check_multi_group_admission(&j, 8, 16, &mut done);
+        assert!(done.is_clean(), "{done}");
+    }
+
+    #[test]
+    fn forged_straddling_admit_trips_ctl408() {
+        // An Admit spanning Z [6, 10) with no covering stitch record.
+        let mut j = Journal::new(JournalHeader {
+            racks: 4,
+            lanes: 2,
+            seed: 0,
+            shape: Shape3::new(4, 4, 16),
+        });
+        j.push(
+            SimTime::ZERO,
+            JournalEntry::Admit {
+                job: 2,
+                origin: Coord3::new(0, 0, 6),
+                extent: Shape3::new(4, 4, 4),
+            },
+        );
+        let mut report = Report::new();
+        check_multi_group_admission(&j, 8, 16, &mut report);
+        assert!(report.has(RuleId::Ctl408), "{report}");
+        assert_eq!(report.error_count(), 1, "{report}");
+    }
+
+    #[test]
+    fn forged_stitch_port_trips_ctl408() {
+        // Rebuild the stitch with one port off the 16-port rack face.
+        let j = stitched_journal();
+        let mut forged = Journal::new(*j.header());
+        for r in j.records() {
+            let entry = match &r.entry {
+                JournalEntry::MultiGroupAdmit {
+                    job,
+                    extent,
+                    legs,
+                    ports,
+                } => {
+                    let mut ports = ports.clone();
+                    if let Some(p) = ports.last_mut() {
+                        *p = 16; // faces have ports 0..16
+                    }
+                    JournalEntry::MultiGroupAdmit {
+                        job: *job,
+                        extent: *extent,
+                        legs: legs.clone(),
+                        ports,
+                    }
+                }
+                e => e.clone(),
+            };
+            forged.push(r.at, entry);
+        }
+        let mut report = Report::new();
+        check_multi_group_admission(&forged, 8, 16, &mut report);
+        assert!(report.has(RuleId::Ctl408), "{report}");
+    }
+
+    #[test]
+    fn malformed_stitch_records_trip_ctl408() {
+        let base = stitched_journal();
+        let mutate = |f: &dyn Fn(&mut Vec<StitchLegRecord>, &mut Vec<u32>)| {
+            let mut j = Journal::new(*base.header());
+            for r in base.records() {
+                let entry = match &r.entry {
+                    JournalEntry::MultiGroupAdmit {
+                        job,
+                        extent,
+                        legs,
+                        ports,
+                    } => {
+                        let mut legs = legs.clone();
+                        let mut ports = ports.clone();
+                        f(&mut legs, &mut ports);
+                        JournalEntry::MultiGroupAdmit {
+                            job: *job,
+                            extent: *extent,
+                            legs,
+                            ports,
+                        }
+                    }
+                    e => e.clone(),
+                };
+                j.push(r.at, entry);
+            }
+            let mut report = Report::new();
+            check_multi_group_admission(&j, 8, 16, &mut report);
+            report
+        };
+        // One leg only: not a stitch.
+        let r = mutate(&|legs, _| {
+            legs.truncate(1);
+        });
+        assert!(r.has(RuleId::Ctl408), "{r}");
+        // Non-consecutive groups.
+        let r = mutate(&|legs, _| {
+            if let Some(l) = legs.last_mut() {
+                l.group = 3;
+            }
+        });
+        assert!(r.has(RuleId::Ctl408), "{r}");
+        // Legs no longer partition the Z extent.
+        let r = mutate(&|legs, _| {
+            if let Some(l) = legs.last_mut() {
+                l.extent = Shape3::new(4, 4, 1);
+            }
+        });
+        assert!(r.has(RuleId::Ctl408), "{r}");
+        // Port count disagrees with the boundary cross-section.
+        let r = mutate(&|_, ports| {
+            ports.pop();
+        });
+        assert!(r.has(RuleId::Ctl408), "{r}");
+        // Duplicate port within a boundary.
+        let r = mutate(&|_, ports| {
+            let first = ports.first().copied();
+            if let (Some(first), Some(last)) = (first, ports.last_mut()) {
+                *last = first;
+            }
+        });
+        assert!(r.has(RuleId::Ctl408), "{r}");
+    }
+
+    #[test]
+    fn partial_stitch_teardown_trips_ctl408() {
+        let mut j = stitched_journal();
+        j.push(
+            SimTime::from_ps(1),
+            JournalEntry::Evict { job: 0x8000_0090 },
+        );
+        let mut report = Report::new();
+        check_multi_group_admission(&j, 8, 16, &mut report);
+        assert!(report.has(RuleId::Ctl408), "{report}");
+        let msgs = report.render();
+        assert!(msgs.contains("non-atomically"), "{msgs}");
     }
 }

@@ -71,6 +71,12 @@ pub enum RuleId {
     /// record is not the `Snapshot` record at `base_seq`, or retained
     /// sequence numbers are not dense — compaction ate a live record.
     Ctl407,
+    /// A cross-group admission is malformed: a single-group `Admit`
+    /// straddles a shard boundary without a covering `MultiGroupAdmit`,
+    /// a stitch record's legs fail to partition its extent over
+    /// consecutive groups, a stitch port falls outside the rack-face
+    /// OCS bank, or a stitched job's legs were torn down non-atomically.
+    Ctl408,
     /// A stamped plan's boundary contract contradicts the wafer it landed
     /// on: a claimed border bus fabricates a different stitch loss than
     /// the plan's link budgets were compiled with, or was already
@@ -80,7 +86,7 @@ pub enum RuleId {
 
 impl RuleId {
     /// Every rule, in catalog order.
-    pub const ALL: [RuleId; 17] = [
+    pub const ALL: [RuleId; 18] = [
         RuleId::Sch001,
         RuleId::Sch002,
         RuleId::Sch003,
@@ -97,6 +103,7 @@ impl RuleId {
         RuleId::Ctl405,
         RuleId::Ctl406,
         RuleId::Ctl407,
+        RuleId::Ctl408,
         RuleId::Rte501,
     ];
 
@@ -119,6 +126,7 @@ impl RuleId {
             RuleId::Ctl405 => "CTL405",
             RuleId::Ctl406 => "CTL406",
             RuleId::Ctl407 => "CTL407",
+            RuleId::Ctl408 => "CTL408",
             RuleId::Rte501 => "RTE501",
         }
     }
@@ -142,6 +150,7 @@ impl RuleId {
             RuleId::Ctl405 => "journaled admission straddles a shard-domain boundary",
             RuleId::Ctl406 => "journaled snapshot fingerprint contradicts the replayed state",
             RuleId::Ctl407 => "compaction watermark corrupt: a live record was truncated",
+            RuleId::Ctl408 => "cross-group admission malformed or torn down non-atomically",
             RuleId::Rte501 => "stamped plan's boundary contract contradicts the landing wafer",
         }
     }

@@ -26,6 +26,7 @@
 //! | CTL405 | journal   | pod admissions stay inside one shard domain's rack group |
 //! | CTL406 | journal   | journaled snapshot fingerprints match the replayed state |
 //! | CTL407 | journal   | compaction watermarks retain every live record |
+//! | CTL408 | journal   | cross-group stitches are well-formed and torn down atomically |
 //! | RTE501 | stamps    | stamped-plan boundary contracts match the landing wafer |
 //!
 //! Diagnostics are structured ([`Diagnostic`]: rule id, severity,
@@ -52,8 +53,8 @@ pub use circuit_rules::{
     check_waveguide_conservation, CircuitView, PhyLintConfig, WaferView,
 };
 pub use ctrl_rules::{
-    check_admission_capacity, check_journal, check_rejection_codes, check_repair_references,
-    check_rollback_pairing, check_shard_containment,
+    check_admission_capacity, check_journal, check_multi_group_admission, check_rejection_codes,
+    check_repair_references, check_rollback_pairing, check_shard_containment,
 };
 pub use diag::{Diagnostic, Location, Report, RuleId, Severity};
 pub use plan_rules::check_stamp_audit;

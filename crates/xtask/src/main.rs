@@ -103,32 +103,13 @@ fn lint(flags: &[String]) -> ExitCode {
     section("detlint: determinism & panic-freedom");
     failures.extend(detlint_run(&root, false, &[]));
 
-    section("perf baseline: BENCH_sweep.json");
-    if skip_bench {
-        println!("  skipped (--skip-bench)");
-    } else {
-        failures.extend(perf_baseline(&root));
-    }
-
-    section("perf baseline: BENCH_route.json");
-    if skip_bench {
-        println!("  skipped (--skip-bench)");
-    } else {
-        failures.extend(route_baseline(&root));
-    }
-
-    section("perf baseline: BENCH_pod.json");
-    if skip_bench {
-        println!("  skipped (--skip-bench)");
-    } else {
-        failures.extend(pod_baseline(&root));
-    }
-
-    section("perf baseline: BENCH_ctrl.json");
-    if skip_bench {
-        println!("  skipped (--skip-bench)");
-    } else {
-        failures.extend(ctrl_baseline(&root));
+    for gate in BENCH_GATES {
+        section(&format!("perf baseline: {}", gate.baseline));
+        if skip_bench {
+            println!("  skipped (--skip-bench)");
+        } else {
+            failures.extend((gate.run)(&root));
+        }
     }
 
     section("cargo fmt --check");
@@ -684,186 +665,307 @@ fn verify_golden(root: &Path) -> Vec<String> {
         }
     }
 
+    // Cross-group admission golden (CTL408): the stitch placement policy
+    // at a scale where whole jobs span rack faces must land at least one
+    // multi-group admission, and the pod journal must audit clean under
+    // the cross-group rule. Then the negative controls: a forged
+    // straddling Admit (no covering stitch record) and a forged
+    // out-of-face stitch port must both trip CTL408.
+    let stitch_cfg = pod::PodConfig {
+        chips: 512,
+        jobs: 96,
+        failures: 2,
+        policy: pod::PolicyKind::Stitch,
+        ..pod::PodConfig::default()
+    };
+    match (
+        pod::PodLayout::new(stitch_cfg.chips),
+        pod::run_pod(&stitch_cfg, 1),
+    ) {
+        (Err(e), _) => {
+            failures.push(format!("stitch campaign layout: {e}"));
+            println!("  FAIL stitch campaign layout: {e}");
+        }
+        (_, Err(e)) => {
+            failures.push(format!("stitch campaign failed: {e}"));
+            println!("  FAIL stitch campaign: {e}");
+        }
+        (Ok(layout), Ok(out)) => {
+            let stitched = out.metrics.counter("jobs.stitched");
+            if stitched == 0 {
+                failures.push("stitch campaign admitted no cross-group job".into());
+                println!("  FAIL stitch campaign admitted no cross-group job");
+            } else {
+                println!(
+                    "  ok   stitch campaign: {stitched} cross-group admission(s) \
+                     ({} legs, {} rollbacks)",
+                    out.metrics.counter("stitch.legs"),
+                    out.metrics.counter("stitch.rollbacks")
+                );
+            }
+            let group_z = layout.partition().group_z();
+            let face = topo::band::face_ports(layout.partition().group_shape());
+            let mut report = Report::new();
+            verify::check_multi_group_admission(&out.journal, group_z, face, &mut report);
+            expect_clean(&mut failures, "stitch-campaign journal (CTL408)", &report);
+
+            // Forged straddle: an Admit crossing the group-0/group-1 rack
+            // face with no covering MultiGroupAdmit record.
+            let mut forged_straddle = fabricd::Journal::new(*out.journal.header());
+            forged_straddle.push(
+                desim::SimTime::ZERO,
+                fabricd::JournalEntry::Admit {
+                    job: 7,
+                    origin: Coord3::new(0, 0, group_z.saturating_sub(1)),
+                    extent: Shape3::new(2, 2, 2),
+                },
+            );
+            // Forged stitch port: a well-formed two-leg stitch whose port
+            // assignment indexes one past the rack face.
+            let legs = [
+                fabricd::StitchLegRecord {
+                    leg: 0x8000_0070,
+                    group: 0,
+                    origin: Coord3::new(0, 0, group_z - 1),
+                    extent: Shape3::new(1, 1, 1),
+                },
+                fabricd::StitchLegRecord {
+                    leg: 0x8000_0071,
+                    group: 1,
+                    origin: Coord3::new(0, 0, group_z),
+                    extent: Shape3::new(1, 1, 1),
+                },
+            ];
+            let mut forged_port = fabricd::Journal::new(*out.journal.header());
+            for l in legs {
+                forged_port.push(
+                    desim::SimTime::ZERO,
+                    fabricd::JournalEntry::Admit {
+                        job: l.leg,
+                        origin: l.origin,
+                        extent: l.extent,
+                    },
+                );
+            }
+            forged_port.push(
+                desim::SimTime::ZERO,
+                fabricd::JournalEntry::MultiGroupAdmit {
+                    job: 7,
+                    extent: Shape3::new(1, 1, 2),
+                    legs: legs.to_vec(),
+                    ports: vec![face as u32],
+                },
+            );
+            for (journal, what) in [
+                (&forged_straddle, "straddling admit with no stitch record"),
+                (&forged_port, "stitch port outside the rack face"),
+            ] {
+                let mut r = Report::new();
+                verify::check_multi_group_admission(journal, group_z, face, &mut r);
+                if r.has(RuleId::Ctl408) {
+                    println!("  ok   forged journal trips CTL408 as designed ({what})");
+                } else {
+                    failures.push(format!("negative control: {what} did not trip CTL408"));
+                    println!("  FAIL negative control: {what} did not trip CTL408");
+                }
+            }
+        }
+    }
+
     failures
 }
 
 // --------------------------------------------------------- perf baseline --
 
-/// Re-run the committed benchmark grid through `spsim sweep` (release, so
-/// throughput is comparable to the committed numbers) and gate on the
-/// baseline: exact fingerprint/scenario/event equality, tolerant
-/// throughput floor (see [`sweep::MIN_PERF_RATIO`]).
-fn perf_baseline(root: &Path) -> Vec<String> {
-    let baseline_path = root.join("BENCH_sweep.json");
+/// One committed perf-baseline artifact and the typed gate that re-runs
+/// and compares it. `lint` walks [`BENCH_GATES`] in order; adding a gate
+/// is one table entry plus a thin typed wrapper over [`run_bench_gate`].
+struct BenchGate {
+    /// The committed artifact at the workspace root (also the section
+    /// title `lint` prints).
+    baseline: &'static str,
+    /// The typed gate body.
+    run: fn(&Path) -> Vec<String>,
+}
+
+/// Every perf gate `cargo xtask lint` enforces, in run order.
+const BENCH_GATES: &[BenchGate] = &[
+    BenchGate {
+        baseline: "BENCH_sweep.json",
+        run: sweep_baseline,
+    },
+    BenchGate {
+        baseline: "BENCH_route.json",
+        run: route_baseline,
+    },
+    BenchGate {
+        baseline: "BENCH_pod.json",
+        run: pod_baseline,
+    },
+    BenchGate {
+        baseline: "BENCH_ctrl.json",
+        run: ctrl_baseline,
+    },
+    BenchGate {
+        baseline: "BENCH_placement.json",
+        run: placement_baseline,
+    },
+];
+
+/// The shared skeleton every perf gate runs: read the committed baseline,
+/// parse it, re-run the workload through `spsim` (release, so throughput
+/// is comparable to the committed numbers) into a scratch artifact under
+/// `target/`, parse that, compare, and report. The closures supply the
+/// typed pieces: `argv` builds the spsim invocation from the parsed
+/// baseline (`--write-baseline <scratch>` is appended here), `compare`
+/// returns the violated gates, `ok_line` renders the success summary.
+fn run_bench_gate<R>(
+    root: &Path,
+    baseline_file: &str,
+    regen: &str,
+    parse: fn(&str) -> Result<R, String>,
+    argv: impl FnOnce(&R) -> Vec<String>,
+    compare: impl FnOnce(&R, &R) -> Vec<String>,
+    ok_line: impl FnOnce(&R, &R) -> String,
+) -> Vec<String> {
+    let baseline_path = root.join(baseline_file);
     let baseline_text = match std::fs::read_to_string(&baseline_path) {
         Ok(t) => t,
         Err(e) => {
             println!("  FAIL cannot read {}: {e}", baseline_path.display());
             return vec![format!(
-                "missing perf baseline {} — generate with `spsim sweep --grid smoke \
-                 --workers 2 --write-baseline BENCH_sweep.json`",
+                "missing perf baseline {} — generate with `{regen}`",
                 baseline_path.display()
             )];
         }
     };
-    let baseline = match sweep::BenchReport::parse(&baseline_text) {
+    let baseline = match parse(&baseline_text) {
         Ok(b) => b,
         Err(e) => {
             println!("  FAIL unparseable baseline: {e}");
             return vec![format!("unparseable {}: {e}", baseline_path.display())];
         }
     };
-    let current_path = root.join("target").join("BENCH_sweep.current.json");
+    let args = argv(&baseline);
+    let subcommand = args.first().cloned().unwrap_or_default();
+    let stem = baseline_file.strip_suffix(".json").unwrap_or(baseline_file);
+    let current_path = root.join("target").join(format!("{stem}.current.json"));
     let status = cargo()
         .current_dir(root)
-        .args([
-            "run",
-            "--release",
-            "--quiet",
-            "--bin",
-            "spsim",
-            "--",
-            "sweep",
-            "--grid",
-            &baseline.grid,
-            "--workers",
-            &baseline.workers.to_string(),
-            "--write-baseline",
-        ])
+        .args(["run", "--release", "--quiet", "--bin", "spsim", "--"])
+        .args(&args)
+        .arg("--write-baseline")
         .arg(&current_path)
         .stdout(std::process::Stdio::null())
         .status();
     match status {
         Ok(s) if s.success() => {}
         Ok(_) => {
-            println!("  FAIL spsim sweep exited non-zero");
-            return vec!["spsim sweep failed (determinism violation or bad grid)".into()];
+            println!("  FAIL spsim {subcommand} exited non-zero");
+            return vec![format!(
+                "spsim {subcommand} failed (determinism violation or bad workload)"
+            )];
         }
         Err(e) => {
             println!("  FAIL could not spawn cargo run ({e})");
-            return vec![format!("could not run spsim sweep: {e}")];
+            return vec![format!("could not run spsim {subcommand}: {e}")];
         }
     }
     let current = match std::fs::read_to_string(&current_path)
         .map_err(|e| e.to_string())
-        .and_then(|t| sweep::BenchReport::parse(&t))
+        .and_then(|t| parse(&t))
     {
         Ok(c) => c,
         Err(e) => {
-            println!("  FAIL unreadable sweep output: {e}");
+            println!("  FAIL unreadable {subcommand} output: {e}");
             return vec![format!("unreadable {}: {e}", current_path.display())];
         }
     };
-    let failures = sweep::compare_baseline(&current, &baseline);
+    let failures = compare(&current, &baseline);
     if failures.is_empty() {
-        println!(
-            "  ok   grid '{}' fingerprint {} reproduced; {:.0} events/s (baseline {:.0}, \
-             floor {:.2}x)",
-            current.grid,
-            current.fingerprint,
-            current.events_per_sec,
-            baseline.events_per_sec,
-            sweep::MIN_PERF_RATIO
-        );
+        println!("  ok   {}", ok_line(&current, &baseline));
     } else {
         for f in &failures {
             println!("  FAIL {f}");
         }
     }
     failures
+}
+
+/// Re-run the committed benchmark grid through `spsim sweep` and gate on
+/// `BENCH_sweep.json`: exact fingerprint/scenario/event equality,
+/// tolerant throughput floor (see [`sweep::MIN_PERF_RATIO`]).
+fn sweep_baseline(root: &Path) -> Vec<String> {
+    run_bench_gate(
+        root,
+        "BENCH_sweep.json",
+        "spsim sweep --grid smoke --workers 2 --write-baseline BENCH_sweep.json",
+        sweep::BenchReport::parse,
+        |b| {
+            vec![
+                "sweep".into(),
+                "--grid".into(),
+                b.grid.clone(),
+                "--workers".into(),
+                b.workers.to_string(),
+            ]
+        },
+        sweep::compare_baseline,
+        |c, b| {
+            format!(
+                "grid '{}' fingerprint {} reproduced; {:.0} events/s (baseline {:.0}, \
+                 floor {:.2}x)",
+                c.grid,
+                c.fingerprint,
+                c.events_per_sec,
+                b.events_per_sec,
+                sweep::MIN_PERF_RATIO
+            )
+        },
+    )
 }
 
 /// Re-run the committed routing benchmark through `spsim routebench` and
 /// gate on `BENCH_route.json`: exact workload and path-fingerprint
 /// equality, tolerant throughput floors for both rates.
 fn route_baseline(root: &Path) -> Vec<String> {
-    let baseline_path = root.join("BENCH_route.json");
-    let baseline_text = match std::fs::read_to_string(&baseline_path) {
-        Ok(t) => t,
-        Err(e) => {
-            println!("  FAIL cannot read {}: {e}", baseline_path.display());
-            return vec![format!(
-                "missing perf baseline {} — generate with `spsim routebench \
-                 --write-baseline BENCH_route.json`",
-                baseline_path.display()
-            )];
-        }
-    };
-    let baseline = match sweep::RouteBenchReport::parse(&baseline_text) {
-        Ok(b) => b,
-        Err(e) => {
-            println!("  FAIL unparseable baseline: {e}");
-            return vec![format!("unparseable {}: {e}", baseline_path.display())];
-        }
-    };
-    let current_path = root.join("target").join("BENCH_route.current.json");
-    let status = cargo()
-        .current_dir(root)
-        .args([
-            "run",
-            "--release",
-            "--quiet",
-            "--bin",
-            "spsim",
-            "--",
-            "routebench",
-            "--searches",
-            &baseline.searches.to_string(),
-            "--batches",
-            &baseline.batches.to_string(),
-            "--write-baseline",
-        ])
-        .arg(&current_path)
-        .stdout(std::process::Stdio::null())
-        .status();
-    match status {
-        Ok(s) if s.success() => {}
-        Ok(_) => {
-            println!("  FAIL spsim routebench exited non-zero");
-            return vec!["spsim routebench failed".into()];
-        }
-        Err(e) => {
-            println!("  FAIL could not spawn cargo run ({e})");
-            return vec![format!("could not run spsim routebench: {e}")];
-        }
-    }
-    let current = match std::fs::read_to_string(&current_path)
-        .map_err(|e| e.to_string())
-        .and_then(|t| sweep::RouteBenchReport::parse(&t))
-    {
-        Ok(c) => c,
-        Err(e) => {
-            println!("  FAIL unreadable routebench output: {e}");
-            return vec![format!("unreadable {}: {e}", current_path.display())];
-        }
-    };
-    let failures = sweep::compare_route_baseline(&current, &baseline);
-    if failures.is_empty() {
-        println!(
-            "  ok   fingerprints {} / {} (stamped) reproduced; {:.0} paths/s, \
-             {:.0} batches/s, {:.0} stamped plans/s ({:.1}x scratch; baseline \
-             {:.0}/{:.0}/{:.0}, floor {:.2}x)",
-            current.fingerprint,
-            current.stamped_fingerprint,
-            current.paths_per_sec,
-            current.batches_per_sec,
-            current.stamped_plans_per_sec,
-            if current.batches_per_sec > 0.0 {
-                current.stamped_plans_per_sec / current.batches_per_sec
-            } else {
-                0.0
-            },
-            baseline.paths_per_sec,
-            baseline.batches_per_sec,
-            baseline.stamped_plans_per_sec,
-            sweep::MIN_PERF_RATIO
-        );
-    } else {
-        for f in &failures {
-            println!("  FAIL {f}");
-        }
-    }
-    failures
+    run_bench_gate(
+        root,
+        "BENCH_route.json",
+        "spsim routebench --write-baseline BENCH_route.json",
+        sweep::RouteBenchReport::parse,
+        |b| {
+            vec![
+                "routebench".into(),
+                "--searches".into(),
+                b.searches.to_string(),
+                "--batches".into(),
+                b.batches.to_string(),
+            ]
+        },
+        sweep::compare_route_baseline,
+        |c, b| {
+            format!(
+                "fingerprints {} / {} (stamped) reproduced; {:.0} paths/s, \
+                 {:.0} batches/s, {:.0} stamped plans/s ({:.1}x scratch; baseline \
+                 {:.0}/{:.0}/{:.0}, floor {:.2}x)",
+                c.fingerprint,
+                c.stamped_fingerprint,
+                c.paths_per_sec,
+                c.batches_per_sec,
+                c.stamped_plans_per_sec,
+                if c.batches_per_sec > 0.0 {
+                    c.stamped_plans_per_sec / c.batches_per_sec
+                } else {
+                    0.0
+                },
+                b.paths_per_sec,
+                b.batches_per_sec,
+                b.stamped_plans_per_sec,
+                sweep::MIN_PERF_RATIO
+            )
+        },
+    )
 }
 
 /// Re-run the committed pod smoke — the full 4096-chip pod over two epoch
@@ -873,83 +975,28 @@ fn route_baseline(root: &Path) -> Vec<String> {
 /// and event counts, tolerant events/sec floor (see
 /// [`pod::MIN_PERF_RATIO`]).
 fn pod_baseline(root: &Path) -> Vec<String> {
-    let baseline_path = root.join("BENCH_pod.json");
-    let baseline_text = match std::fs::read_to_string(&baseline_path) {
-        Ok(t) => t,
-        Err(e) => {
-            println!("  FAIL cannot read {}: {e}", baseline_path.display());
-            return vec![format!(
-                "missing perf baseline {} — generate with `spsim pod --smoke \
-                 --write-baseline BENCH_pod.json`",
-                baseline_path.display()
-            )];
-        }
-    };
-    let baseline = match pod::PodBenchReport::parse(&baseline_text) {
-        Ok(b) => b,
-        Err(e) => {
-            println!("  FAIL unparseable baseline: {e}");
-            return vec![format!("unparseable {}: {e}", baseline_path.display())];
-        }
-    };
-    let current_path = root.join("target").join("BENCH_pod.current.json");
-    let status = cargo()
-        .current_dir(root)
-        .args([
-            "run",
-            "--release",
-            "--quiet",
-            "--bin",
-            "spsim",
-            "--",
-            "pod",
-            "--smoke",
-            "--write-baseline",
-        ])
-        .arg(&current_path)
-        .stdout(std::process::Stdio::null())
-        .status();
-    match status {
-        Ok(s) if s.success() => {}
-        Ok(_) => {
-            println!("  FAIL spsim pod --smoke exited non-zero");
-            return vec!["spsim pod --smoke failed (shard-count determinism violation)".into()];
-        }
-        Err(e) => {
-            println!("  FAIL could not spawn cargo run ({e})");
-            return vec![format!("could not run spsim pod: {e}")];
-        }
-    }
-    let current = match std::fs::read_to_string(&current_path)
-        .map_err(|e| e.to_string())
-        .and_then(|t| pod::PodBenchReport::parse(&t))
-    {
-        Ok(c) => c,
-        Err(e) => {
-            println!("  FAIL unreadable pod output: {e}");
-            return vec![format!("unreadable {}: {e}", current_path.display())];
-        }
-    };
-    let failures = pod::compare_baseline(&current, &baseline);
-    if failures.is_empty() {
-        println!(
-            "  ok   {} chips / {} groups / {} epochs: fingerprint {} and journal {} \
-             reproduced; {:.0} events/s (baseline {:.0}, floor {:.2}x)",
-            current.chips,
-            current.groups,
-            current.epochs,
-            current.fingerprint,
-            current.journal_hash,
-            current.events_per_sec,
-            baseline.events_per_sec,
-            pod::MIN_PERF_RATIO
-        );
-    } else {
-        for f in &failures {
-            println!("  FAIL {f}");
-        }
-    }
-    failures
+    run_bench_gate(
+        root,
+        "BENCH_pod.json",
+        "spsim pod --smoke --write-baseline BENCH_pod.json",
+        pod::PodBenchReport::parse,
+        |_| vec!["pod".into(), "--smoke".into()],
+        pod::compare_baseline,
+        |c, b| {
+            format!(
+                "{} chips / {} groups / {} epochs: fingerprint {} and journal {} \
+                 reproduced; {:.0} events/s (baseline {:.0}, floor {:.2}x)",
+                c.chips,
+                c.groups,
+                c.epochs,
+                c.fingerprint,
+                c.journal_hash,
+                c.events_per_sec,
+                b.events_per_sec,
+                pod::MIN_PERF_RATIO
+            )
+        },
+    )
 }
 
 /// Re-run the committed control-plane bench — the [`fabricd::bench_config`]
@@ -960,86 +1007,83 @@ fn pod_baseline(root: &Path) -> Vec<String> {
 /// admissions/sec floor, and a tolerant tail-replay latency ceiling (see
 /// [`fabricd::MIN_CTRL_PERF_RATIO`]).
 fn ctrl_baseline(root: &Path) -> Vec<String> {
-    let baseline_path = root.join("BENCH_ctrl.json");
-    let baseline_text = match std::fs::read_to_string(&baseline_path) {
-        Ok(t) => t,
-        Err(e) => {
-            println!("  FAIL cannot read {}: {e}", baseline_path.display());
-            return vec![format!(
-                "missing perf baseline {} — generate with `spsim ctrl --campaign \
-                 --write-baseline BENCH_ctrl.json`",
-                baseline_path.display()
-            )];
-        }
-    };
-    let baseline = match fabricd::CtrlBenchReport::parse(&baseline_text) {
-        Ok(b) => b,
-        Err(e) => {
-            println!("  FAIL unparseable baseline: {e}");
-            return vec![format!("unparseable {}: {e}", baseline_path.display())];
-        }
-    };
-    let current_path = root.join("target").join("BENCH_ctrl.current.json");
-    let status = cargo()
-        .current_dir(root)
-        .args([
-            "run",
-            "--release",
-            "--quiet",
-            "--bin",
-            "spsim",
-            "--",
-            "ctrl",
-            "--campaign",
-            "--write-baseline",
-        ])
-        .arg(&current_path)
-        .stdout(std::process::Stdio::null())
-        .status();
-    match status {
-        Ok(s) if s.success() => {}
-        Ok(_) => {
-            println!("  FAIL spsim ctrl --campaign --write-baseline exited non-zero");
-            return vec!["spsim ctrl bench failed (replay divergence or no snapshots)".into()];
-        }
-        Err(e) => {
-            println!("  FAIL could not spawn cargo run ({e})");
-            return vec![format!("could not run spsim ctrl: {e}")];
-        }
-    }
-    let current = match std::fs::read_to_string(&current_path)
-        .map_err(|e| e.to_string())
-        .and_then(|t| fabricd::CtrlBenchReport::parse(&t))
-    {
-        Ok(c) => c,
-        Err(e) => {
-            println!("  FAIL unreadable ctrl bench output: {e}");
-            return vec![format!("unreadable {}: {e}", current_path.display())];
-        }
-    };
-    let failures = fabricd::compare_ctrl_baseline(&current, &baseline);
-    if failures.is_empty() {
-        println!(
-            "  ok   {} jobs / {} snapshots: fingerprint {} and journal {} reproduced; \
-             delta replay folds {} of {} records in {:.3} ms; {:.0} admissions/s \
-             (baseline {:.0}, floor {:.2}x)",
-            current.jobs,
-            current.snapshots,
-            current.fingerprint,
-            current.journal_hash,
-            current.replay_tail_records,
-            current.replay_full_records,
-            current.replay_tail_ms,
-            current.admissions_per_sec,
-            baseline.admissions_per_sec,
-            fabricd::MIN_CTRL_PERF_RATIO
-        );
-    } else {
-        for f in &failures {
-            println!("  FAIL {f}");
-        }
-    }
-    failures
+    run_bench_gate(
+        root,
+        "BENCH_ctrl.json",
+        "spsim ctrl --campaign --write-baseline BENCH_ctrl.json",
+        fabricd::CtrlBenchReport::parse,
+        |_| vec!["ctrl".into(), "--campaign".into()],
+        fabricd::compare_ctrl_baseline,
+        |c, b| {
+            format!(
+                "{} jobs / {} snapshots: fingerprint {} and journal {} reproduced; \
+                 delta replay folds {} of {} records in {:.3} ms; {:.0} admissions/s \
+                 (baseline {:.0}, floor {:.2}x)",
+                c.jobs,
+                c.snapshots,
+                c.fingerprint,
+                c.journal_hash,
+                c.replay_tail_records,
+                c.replay_full_records,
+                c.replay_tail_ms,
+                c.admissions_per_sec,
+                b.admissions_per_sec,
+                fabricd::MIN_CTRL_PERF_RATIO
+            )
+        },
+    )
+}
+
+/// Re-run the committed cross-group placement scenario — the stitch
+/// policy on a 512-chip pod (eight single-rack shard domains, so a
+/// 64-chip job cannot fit a broken group without crossing a rack face) —
+/// and gate on `BENCH_placement.json`: exact fingerprint, journal hash,
+/// policy and stitch-counter equality, the tolerant events/sec floor,
+/// plus the structural claim that at least one cross-group job was
+/// admitted (a stitch policy that silently stops stitching fails the
+/// gate even if it stays deterministic).
+fn placement_baseline(root: &Path) -> Vec<String> {
+    run_bench_gate(
+        root,
+        "BENCH_placement.json",
+        "spsim pod --chips 512 --jobs 96 --failures 2 --policy stitch \
+         --write-baseline BENCH_placement.json",
+        pod::PodBenchReport::parse,
+        |b| {
+            vec![
+                "pod".into(),
+                "--chips".into(),
+                b.chips.to_string(),
+                "--jobs".into(),
+                b.jobs.to_string(),
+                "--failures".into(),
+                "2".into(),
+                "--policy".into(),
+                b.policy.clone(),
+            ]
+        },
+        |c, b| {
+            let mut f = pod::compare_baseline(c, b);
+            if c.stitch_admits == 0 {
+                f.push("placement gate: the stitch policy admitted no cross-group job".into());
+            }
+            f
+        },
+        |c, b| {
+            format!(
+                "policy '{}': {} stitched job(s) ({} legs, {} rollbacks), fingerprint {} \
+                 reproduced; {:.0} events/s (baseline {:.0}, floor {:.2}x)",
+                c.policy,
+                c.stitch_admits,
+                c.stitch_legs,
+                c.stitch_rollbacks,
+                c.fingerprint,
+                c.events_per_sec,
+                b.events_per_sec,
+                pod::MIN_PERF_RATIO
+            )
+        },
+    )
 }
 
 // --------------------------------------------------------- source audits --

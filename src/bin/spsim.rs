@@ -544,6 +544,10 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
 /// invariance the pod crate promises is asserted on every invocation,
 /// not just in tests.
 fn cmd_pod(args: &Args) -> Result<(), String> {
+    let policy_name = args.get_str("policy", "greedy");
+    let policy = pod::PolicyKind::parse(&policy_name).ok_or_else(|| {
+        format!("unknown placement policy '{policy_name}' (try greedy, frag, or stitch)")
+    })?;
     let cfg = PodConfig {
         chips: args.get("chips", pod::POD_CHIPS)?,
         lanes: args.get("lanes", 2)?,
@@ -553,6 +557,7 @@ fn cmd_pod(args: &Args) -> Result<(), String> {
         epoch: SimDuration::from_secs(args.get("epoch-s", 600)?),
         max_epochs: args.get("epochs", 0)?,
         queue_timeout: SimDuration::from_secs(args.get("timeout-s", 1_800)?),
+        policy,
         ..PodConfig::default()
     };
     let shards: usize = args.get("shards", 4)?;
@@ -604,8 +609,13 @@ fn cmd_pod(args: &Args) -> Result<(), String> {
     let reference = pod::run_pod_with(&cfg, 1, &opts)?;
     let run = pod::run_pod_with(&cfg, shards, &opts)?;
     println!(
-        "pod: {} chips in {} rack-group domain(s), {} jobs, {} failure(s), seed {}",
-        cfg.chips, run.groups, cfg.jobs, cfg.failures, cfg.seed
+        "pod: {} chips in {} rack-group domain(s), {} jobs, {} failure(s), seed {}, policy {}",
+        cfg.chips,
+        run.groups,
+        cfg.jobs,
+        cfg.failures,
+        cfg.seed,
+        run.policy.name()
     );
     println!(
         "  1 shard  : {:#018x} in {:.3}s ({:.0} events/s)",
@@ -661,6 +671,15 @@ fn cmd_pod(args: &Args) -> Result<(), String> {
         run.epochs,
         run.horizon,
         run.delegations
+    );
+    println!(
+        "  placement: mean occupancy {:.1}%, mean fragmentation {:.3}, \
+         {} stitched job(s) ({} legs, {} rollbacks)",
+        run.occ_mean * 100.0,
+        run.frag_mean,
+        run.metrics.counter("jobs.stitched"),
+        run.metrics.counter("stitch.legs"),
+        run.metrics.counter("stitch.rollbacks")
     );
     print!("{}", run.metrics.summary());
     print!("{}", run.route.summary());
@@ -811,10 +830,11 @@ USAGE:
   spsim ctrl --campaign
                    [--snapshot-every 600] [--compact] [--crash-after N] [--snapshot-out snap.txt]
                    [--restart-from snap.txt] [--write-baseline BENCH_ctrl.json]
-  spsim sweep      [--grid smoke|full|churn] [--workers 4] [--seed 42] [--json out.json] [--write-baseline BENCH_sweep.json]
-                   (--smoke expands to --grid smoke --workers 2)
+  spsim sweep      [--grid smoke|full|churn|placement] [--workers 4] [--seed 42] [--json out.json] [--write-baseline BENCH_sweep.json]
+                   (--smoke expands to --grid smoke --workers 2;
+                    --grid placement compares greedy|frag|stitch per arrival trace)
   spsim pod        [--chips 4096] [--shards 4] [--seed 7] [--jobs 256] [--failures 8] [--epochs 0]
-                   [--epoch-s 600] [--lanes 2] [--timeout-s 1800] [--json out.json]
+                   [--policy greedy|frag|stitch] [--epoch-s 600] [--lanes 2] [--timeout-s 1800] [--json out.json]
                    [--snapshot-every E] [--compact] [--crash-after N] [--snapshot-out snap.txt]
                    [--restart-from snap.txt]
                    [--write-baseline BENCH_pod.json] [--dump-journal out.json]
